@@ -1,0 +1,197 @@
+// A4 — failure recovery: the TE machinery as a repair mechanism.
+//
+// The paper's Step-7b design (every ITR holds every active flow's tuple;
+// the PCE can re-push with fresh ingress/egress choices at any time) makes
+// provider-link failover a pure control-plane action: no mapping is ever
+// re-resolved.  This bench injects a provider-link outage into a loaded
+// Fig. 1-style topology and compares:
+//
+//   no failure            the reference run
+//   failure, no recovery  the outage blackholes the domain's primary egress
+//   failure + controller  BFD-style detection (src/core/failover) drives
+//                         IRC + locator-status + Step-7b re-push
+//
+// plus a detection-parameter sweep (hello interval x down threshold) and a
+// repeated-outage soak (exponential MTBF/MTTR process) to show the
+// detection-latency / hello-overhead trade-off.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/failure.hpp"
+
+namespace lispcp {
+namespace {
+
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using topo::ControlPlaneKind;
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.spec = topo::InternetSpec::preset(ControlPlaneKind::kPce);
+  config.spec.domains = 6;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.te_policy = irc::TePolicy::kRoundRobin;
+  config.spec.seed = 31;
+  config.traffic.sessions_per_second = 40;
+  config.traffic.duration = sim::SimDuration::seconds(40);
+  config.drain = sim::SimDuration::seconds(20);
+  return config;
+}
+
+core::LinkHealthConfig health(std::int64_t hello_ms, std::uint32_t threshold) {
+  core::LinkHealthConfig config;
+  config.hello_interval = sim::SimDuration::millis(hello_ms);
+  config.reply_timeout = sim::SimDuration::millis(hello_ms / 2);
+  config.down_threshold = threshold;
+  return config;
+}
+
+constexpr auto kFailAt = sim::SimTime::from_ns(15'000'000'000);
+
+void recovery_arms() {
+  metrics::Table table({"arm", "sessions", "established", "est. rate",
+                        "link-down drops", "flows re-pushed",
+                        "detect latency ms"});
+
+  {
+    Experiment reference(base_config());
+    const auto summary = reference.run();
+    table.add_row({"no failure", metrics::Table::integer(summary.sessions),
+                   metrics::Table::integer(summary.established),
+                   metrics::Table::percent(
+                       static_cast<double>(summary.established) /
+                       static_cast<double>(summary.sessions)),
+                   metrics::Table::integer(
+                       reference.internet().network().counters().drops_link_down),
+                   "-", "-"});
+  }
+  {
+    Experiment unprotected(base_config());
+    sim::FailureSchedule failures(unprotected.internet().network());
+    failures.link_outage(*unprotected.internet().domain(0).provider_links[0],
+                         kFailAt);
+    const auto summary = unprotected.run();
+    table.add_row({"failure, no recovery",
+                   metrics::Table::integer(summary.sessions),
+                   metrics::Table::integer(summary.established),
+                   metrics::Table::percent(
+                       static_cast<double>(summary.established) /
+                       static_cast<double>(summary.sessions)),
+                   metrics::Table::integer(unprotected.internet()
+                                               .network()
+                                               .counters()
+                                               .drops_link_down),
+                   "-", "-"});
+  }
+  {
+    Experiment protected_arm(base_config());
+    auto& controller =
+        protected_arm.internet().arm_failover(0, health(300, 3));
+    sim::FailureSchedule failures(protected_arm.internet().network());
+    failures.link_outage(*protected_arm.internet().domain(0).provider_links[0],
+                         kFailAt);
+    const auto summary = protected_arm.run();
+    const double detect_ms =
+        (controller.monitor(0).last_transition_at() - kFailAt).ms();
+    table.add_row({"failure + controller",
+                   metrics::Table::integer(summary.sessions),
+                   metrics::Table::integer(summary.established),
+                   metrics::Table::percent(
+                       static_cast<double>(summary.established) /
+                       static_cast<double>(summary.sessions)),
+                   metrics::Table::integer(protected_arm.internet()
+                                               .network()
+                                               .counters()
+                                               .drops_link_down),
+                   metrics::Table::integer(controller.stats().flows_repushed),
+                   metrics::Table::num(detect_ms, 1)});
+  }
+  table.print(std::cout);
+}
+
+void detection_sweep() {
+  metrics::Table table({"hello ms", "threshold", "bound ms", "measured ms",
+                        "hellos sent", "est. rate"});
+  for (const std::int64_t hello_ms : {100, 300, 1000}) {
+    for (const std::uint32_t threshold : {2u, 3u, 5u}) {
+      Experiment experiment(base_config());
+      auto& controller =
+          experiment.internet().arm_failover(0, health(hello_ms, threshold));
+      sim::FailureSchedule failures(experiment.internet().network());
+      failures.link_outage(
+          *experiment.internet().domain(0).provider_links[0], kFailAt);
+      const auto summary = experiment.run();
+      const double bound_ms = static_cast<double>(hello_ms) * threshold +
+                              static_cast<double>(hello_ms) / 2.0 +
+                              static_cast<double>(hello_ms);
+      const double measured_ms =
+          (controller.monitor(0).last_transition_at() - kFailAt).ms();
+      std::uint64_t hellos = 0;
+      for (std::size_t i = 0; i < controller.monitor_count(); ++i) {
+        hellos += controller.monitor(i).stats().hellos_sent;
+      }
+      table.add_row({metrics::Table::integer(hello_ms),
+                     metrics::Table::integer(threshold),
+                     metrics::Table::num(bound_ms, 0),
+                     metrics::Table::num(measured_ms, 1),
+                     metrics::Table::integer(hellos),
+                     metrics::Table::percent(
+                         static_cast<double>(summary.established) /
+                         static_cast<double>(summary.sessions))});
+    }
+  }
+  table.print(std::cout);
+}
+
+void outage_soak() {
+  metrics::Table table({"arm", "outages", "sessions", "established",
+                        "est. rate"});
+  for (const bool with_controller : {false, true}) {
+    Experiment experiment(base_config());
+    if (with_controller) {
+      experiment.internet().arm_failover(0, health(300, 3));
+    }
+    sim::FailureSchedule failures(experiment.internet().network());
+    failures.random_outages(*experiment.internet().domain(0).provider_links[0],
+                            sim::SimTime::from_ns(40'000'000'000),
+                            /*mtbf=*/sim::SimDuration::seconds(10),
+                            /*mttr=*/sim::SimDuration::seconds(3),
+                            sim::Rng(77));
+    const auto summary = experiment.run();
+    table.add_row({with_controller ? "controller" : "no recovery",
+                   metrics::Table::integer(failures.outages_injected()),
+                   metrics::Table::integer(summary.sessions),
+                   metrics::Table::integer(summary.established),
+                   metrics::Table::percent(
+                       static_cast<double>(summary.established) /
+                       static_cast<double>(summary.sessions))});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace lispcp
+
+int main() {
+  lispcp::bench::print_header(
+      "A4", "failure recovery through Step-7b re-push",
+      "claim (iii) machinery as a repair path: dynamic mapping management "
+      "moves traffic off a failed provider link with no re-resolution");
+  std::cout << "\n-- Recovery arms (one permanent provider-link failure at "
+               "t=15s) --\n";
+  lispcp::recovery_arms();
+  std::cout << "\n-- Detection sweep (hello interval x down threshold) --\n";
+  lispcp::detection_sweep();
+  std::cout << "\n-- Repeated-outage soak (MTBF 10s / MTTR 3s on the primary "
+               "link) --\n";
+  lispcp::outage_soak();
+  lispcp::bench::print_footer(
+      "Shape check: without recovery the outage blackholes the domain "
+      "(established rate collapses, link-down drops pile up); with the "
+      "controller the loss is confined to the detection window, measured "
+      "detection stays under the analytic bound, and tighter hellos buy "
+      "faster detection at proportional hello overhead.");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// A5 — ablation: how should the mapping travel between PCEs?
+//
+// The paper's Step 6 rides the mapping on the DNS reply itself (the port-P
+// encapsulation): zero extra round trips, but it requires the PCE to sit in
+// the DNS data path at *both* domains.  The standards-flavoured alternative
+// is an explicit PCEP request/reply (RFC 5440 messages, src/pcep): the
+// source PCE asks the destination PCE for the mapping after it sees the DNS
+// answer — one PCE-to-PCE RTT later.  Three arms on identical workloads:
+//
+//   snooped port-P   (paper)      mapping ready before the DNS answer
+//   PCEP on-demand   (A5)         mapping ready ~1 PCE RTT after the answer
+//   reactive pull    (ALT queue)  mapping fetched by the ITR on first packet
+//
+// The gap between the arms is pure transport: everything else (topology,
+// IRC engine, push machinery, workload seed) is identical.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace lispcp {
+namespace {
+
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using topo::ControlPlaneKind;
+
+enum class Arm { kSnoop, kPcepOnDemand, kReactivePull };
+
+ExperimentConfig arm(Arm which) {
+  ExperimentConfig config;
+  config.spec = topo::InternetSpec::preset(which == Arm::kReactivePull
+                                               ? ControlPlaneKind::kAltQueue
+                                               : ControlPlaneKind::kPce);
+  if (which == Arm::kPcepOnDemand) {
+    config.spec.pce_snoop = false;
+    config.spec.pce_on_demand = true;
+  }
+  config.spec.domains = 16;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.cache_capacity = 8;
+  config.spec.mapping_ttl_seconds = 60;
+  config.spec.seed = 8;
+  config.traffic.sessions_per_second = 30;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.drain = sim::SimDuration::seconds(30);
+  return config;
+}
+
+}  // namespace
+}  // namespace lispcp
+
+int main() {
+  using lispcp::metrics::Table;
+  lispcp::bench::print_header(
+      "A5", "ablation: mapping transport between PCEs",
+      "Step 6 port-P encapsulation vs explicit PCEP (RFC 5440) request/reply "
+      "vs reactive pull");
+
+  lispcp::Experiment snoop(lispcp::arm(lispcp::Arm::kSnoop));
+  const auto s = snoop.run();
+  lispcp::Experiment pcep(lispcp::arm(lispcp::Arm::kPcepOnDemand));
+  const auto p = pcep.run();
+  lispcp::Experiment pull(lispcp::arm(lispcp::Arm::kReactivePull));
+  const auto r = pull.run();
+
+  Table table({"metric", "snooped port-P", "PCEP on-demand", "reactive pull"});
+  table.add_row({"sessions", Table::integer(s.sessions), Table::integer(p.sessions),
+                 Table::integer(r.sessions)});
+  table.add_row({"first-packet miss events", Table::integer(s.miss_events),
+                 Table::integer(p.miss_events), Table::integer(r.miss_events)});
+  table.add_row({"drops", Table::integer(s.miss_drops),
+                 Table::integer(p.miss_drops), Table::integer(r.miss_drops)});
+  table.add_row({"sessions w/ retransmission",
+                 Table::integer(s.sessions_with_retransmission),
+                 Table::integer(p.sessions_with_retransmission),
+                 Table::integer(r.sessions_with_retransmission)});
+  table.add_row({"T_setup mean (ms)", Table::num(s.t_setup_mean_ms),
+                 Table::num(p.t_setup_mean_ms), Table::num(r.t_setup_mean_ms)});
+  table.add_row({"T_setup p95 (ms)", Table::num(s.t_setup_p95_ms),
+                 Table::num(p.t_setup_p95_ms), Table::num(r.t_setup_p95_ms)});
+  table.add_row({"T_setup p99 (ms)", Table::num(s.t_setup_p99_ms),
+                 Table::num(p.t_setup_p99_ms), Table::num(r.t_setup_p99_ms)});
+
+  // PCEP-side accounting, summed over domains.
+  std::uint64_t requests = 0, learned = 0, failures = 0;
+  for (const auto& dom : pcep.internet().domains()) {
+    requests += dom.pce->stats().pcep_requests;
+    learned += dom.pce->stats().pcep_mappings_learned;
+    failures += dom.pce->stats().pcep_failures;
+  }
+  table.add_row({"PCEP requests issued", "0", Table::integer(requests), "-"});
+  table.add_row({"PCEP mappings learned", "0", Table::integer(learned), "-"});
+  table.add_row({"PCEP failures", "0", Table::integer(failures), "-"});
+  table.print(std::cout);
+
+  lispcp::bench::print_footer(
+      "Shape check: snooping pre-positions every mapping (0 miss events); "
+      "PCEP on-demand closes most of the gap to reactive pull — the mapping "
+      "arrives one PCE RTT after the DNS answer, so only flows whose first "
+      "packet beats that RTT still miss; reactive pull pays the full mapping "
+      "resolution on every cold flow.");
+  return 0;
+}

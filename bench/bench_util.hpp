@@ -1,0 +1,38 @@
+// bench_util.hpp — shared helpers for the experiment harness binaries.
+//
+// Each bench regenerates one table/figure from DESIGN.md's per-experiment
+// index and prints it via metrics::Table so EXPERIMENTS.md can quote the
+// output verbatim.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "metrics/table.hpp"
+#include "scenario/experiment.hpp"
+
+namespace lispcp::bench {
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& claim) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+  if (!claim.empty()) std::cout << "Paper artifact: " << claim << "\n";
+  std::cout << "\n";
+}
+
+inline void print_footer(const std::string& note) {
+  if (!note.empty()) std::cout << "\n" << note << "\n";
+  std::cout << std::endl;
+}
+
+/// The five control planes compared throughout the evaluation.
+inline const std::vector<topo::ControlPlaneKind>& compared_control_planes() {
+  static const std::vector<topo::ControlPlaneKind> kinds = {
+      topo::ControlPlaneKind::kAltDrop,  topo::ControlPlaneKind::kAltQueue,
+      topo::ControlPlaneKind::kAltForward, topo::ControlPlaneKind::kCons,
+      topo::ControlPlaneKind::kNerd,     topo::ControlPlaneKind::kPce,
+  };
+  return kinds;
+}
+
+}  // namespace lispcp::bench

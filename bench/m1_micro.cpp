@@ -1,0 +1,256 @@
+// M1 — microbenchmarks (google-benchmark): the per-packet costs the paper's
+// "line rate" assumptions rest on — LISP encap/decap header work, map-cache
+// and LPM lookups, DNS and control-message (de)serialization, event-queue
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "dns/message.hpp"
+#include "lisp/control.hpp"
+#include "lisp/map_cache.hpp"
+#include "net/packet.hpp"
+#include "net/checksum.hpp"
+#include "net/prefix_trie.hpp"
+#include "pcep/messages.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace lispcp {
+namespace {
+
+net::Packet make_data_packet() {
+  net::TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 80;
+  return net::Packet::tcp(net::Ipv4Address(100, 64, 0, 10),
+                          net::Ipv4Address(100, 64, 1, 10), tcp, 1000);
+}
+
+void BM_LispEncapsulate(benchmark::State& state) {
+  const auto base = make_data_packet();
+  for (auto _ : state) {
+    net::Packet p = base;
+    net::LispHeader shim;
+    shim.nonce = 42;
+    net::UdpHeader udp;
+    udp.dst_port = net::ports::kLispData;
+    net::Ipv4Header outer;
+    outer.src = net::Ipv4Address(10, 0, 0, 1);
+    outer.dst = net::Ipv4Address(10, 0, 1, 1);
+    p.push_outer(shim);
+    p.push_outer(udp);
+    p.push_outer(outer);
+    benchmark::DoNotOptimize(p.wire_size());
+  }
+}
+BENCHMARK(BM_LispEncapsulate);
+
+void BM_LispDecapsulate(benchmark::State& state) {
+  auto encapsulated = make_data_packet();
+  encapsulated.push_outer(net::LispHeader{});
+  encapsulated.push_outer(net::UdpHeader{});
+  encapsulated.push_outer(net::Ipv4Header{});
+  for (auto _ : state) {
+    net::Packet p = encapsulated;
+    p.pop_outer();
+    p.pop_outer();
+    p.pop_outer();
+    benchmark::DoNotOptimize(p.inner_ip().dst);
+  }
+}
+BENCHMARK(BM_LispDecapsulate);
+
+void BM_PacketSerializeFull(benchmark::State& state) {
+  auto p = make_data_packet();
+  p.push_outer(net::LispHeader{});
+  net::UdpHeader udp;
+  udp.dst_port = net::ports::kLispData;
+  p.push_outer(udp);
+  net::Ipv4Header outer;
+  outer.src = net::Ipv4Address(10, 0, 0, 1);
+  outer.dst = net::Ipv4Address(10, 0, 1, 1);
+  p.push_outer(outer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.serialize());
+  }
+}
+BENCHMARK(BM_PacketSerializeFull);
+
+void BM_MapCacheLookupHit(benchmark::State& state) {
+  const auto sites = static_cast<int>(state.range(0));
+  lisp::MapCache cache;
+  sim::Rng rng(1);
+  for (int i = 0; i < sites; ++i) {
+    lisp::MapEntry entry;
+    entry.eid_prefix = net::Ipv4Prefix(
+        net::Ipv4Address(100, static_cast<std::uint8_t>(64 + i / 256),
+                         static_cast<std::uint8_t>(i % 256), 0),
+        24);
+    entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 0, 1), 1, 100, true}};
+    cache.insert(entry, sim::SimTime::zero());
+  }
+  const auto now = sim::SimTime::zero() + sim::SimDuration::seconds(1);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Ipv4Address eid(100, 64 + ((i / 256) % 16),
+                               static_cast<std::uint8_t>(i % 256), 10);
+    benchmark::DoNotOptimize(cache.lookup(eid, now));
+    ++i;
+  }
+}
+BENCHMARK(BM_MapCacheLookupHit)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  const auto prefixes = static_cast<int>(state.range(0));
+  net::PrefixTrie<int> trie;
+  sim::Rng rng(2);
+  for (int i = 0; i < prefixes; ++i) {
+    trie.insert(net::Ipv4Prefix(
+                    net::Ipv4Address(static_cast<std::uint32_t>(rng.engine()())),
+                    8 + static_cast<int>(rng.uniform_int(0, 16))),
+                i);
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(net::Ipv4Address(probe)));
+    probe += 2654435761u;
+  }
+}
+BENCHMARK(BM_PrefixTrieLookup)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_DnsMessageSerialize(benchmark::State& state) {
+  auto m = dns::DnsMessage::answer(
+      1, {dns::DomainName::from_string("h0.d5.example"), dns::RrType::kA},
+      {dns::ResourceRecord::a(dns::DomainName::from_string("h0.d5.example"),
+                              net::Ipv4Address(100, 64, 5, 10))},
+      true);
+  for (auto _ : state) {
+    net::ByteWriter w(m->wire_size());
+    m->serialize(w);
+    benchmark::DoNotOptimize(w.view().data());
+  }
+}
+BENCHMARK(BM_DnsMessageSerialize);
+
+void BM_DnsMessageParse(benchmark::State& state) {
+  auto m = dns::DnsMessage::answer(
+      1, {dns::DomainName::from_string("h0.d5.example"), dns::RrType::kA},
+      {dns::ResourceRecord::a(dns::DomainName::from_string("h0.d5.example"),
+                              net::Ipv4Address(100, 64, 5, 10))},
+      true);
+  net::ByteWriter w;
+  m->serialize(w);
+  const auto bytes = w.take();
+  for (auto _ : state) {
+    net::ByteReader r(bytes);
+    benchmark::DoNotOptimize(dns::DnsMessage::parse_wire(r));
+  }
+}
+BENCHMARK(BM_DnsMessageParse);
+
+void BM_MapReplySerializeParse(benchmark::State& state) {
+  lisp::MapEntry entry;
+  entry.eid_prefix = net::Ipv4Prefix::from_string("100.64.1.0/24");
+  entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 1, 1), 1, 50, true},
+                 lisp::Rloc{net::Ipv4Address(10, 0, 1, 2), 1, 50, true}};
+  lisp::MapReply reply(7, entry);
+  for (auto _ : state) {
+    net::ByteWriter w(reply.wire_size());
+    reply.serialize(w);
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    benchmark::DoNotOptimize(lisp::MapReply::parse_wire(r));
+  }
+}
+BENCHMARK(BM_MapReplySerializeParse);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::int64_t t = 0;
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    // Keep ~1k events in flight, firing the earliest each iteration.
+    queue.schedule(sim::SimTime::from_ns(t + static_cast<std::int64_t>(
+                                                 rng.uniform_int(1, 1'000'000))),
+                   [] {});
+    if (queue.size() > 1000) {
+      sim::EventQueue::Fired fired;
+      queue.pop(fired);
+      t = fired.time.ns();
+    }
+  }
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_ZipfSample(benchmark::State& state) {
+  sim::ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.9);
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(65536);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),
+                              std::byte{0xA5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
+
+void BM_PcepRequestSerializeParse(benchmark::State& state) {
+  const pcep::MapComputationRequest request(7, net::Ipv4Address(100, 64, 1, 10));
+  for (auto _ : state) {
+    net::ByteWriter w;
+    request.serialize(w);
+    net::ByteReader r(w.view());
+    benchmark::DoNotOptimize(pcep::parse_message(r));
+  }
+}
+BENCHMARK(BM_PcepRequestSerializeParse);
+
+void BM_PcepReplySerializeParse(benchmark::State& state) {
+  lisp::MapEntry entry;
+  entry.eid_prefix = net::Ipv4Prefix(net::Ipv4Address(100, 64, 1, 0), 24);
+  for (int i = 0; i < 4; ++i) {
+    entry.rlocs.push_back(
+        lisp::Rloc{net::Ipv4Address(10, 0, 0, std::uint8_t(i + 1)), 1, 25, true});
+  }
+  const pcep::MapComputationReply reply(7, entry);
+  for (auto _ : state) {
+    net::ByteWriter w;
+    reply.serialize(w);
+    net::ByteReader r(w.view());
+    benchmark::DoNotOptimize(pcep::parse_message(r));
+  }
+}
+BENCHMARK(BM_PcepReplySerializeParse);
+
+void BM_MapRegisterSerializeParse(benchmark::State& state) {
+  std::vector<lisp::MapEntry> entries(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].eid_prefix =
+        net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(
+                            (100u << 24) | (i << 8))),
+                        24);
+    entries[i].rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 0, 1), 1, 100, true}};
+  }
+  const lisp::MapRegister reg(1, 180, entries);
+  for (auto _ : state) {
+    net::ByteWriter w;
+    reg.serialize(w);
+    net::ByteReader r(w.view());
+    benchmark::DoNotOptimize(lisp::MapRegister::parse_wire(r));
+  }
+}
+BENCHMARK(BM_MapRegisterSerializeParse)->Arg(1)->Arg(16)->Arg(64);
+
+
+}  // namespace
+}  // namespace lispcp
+
+BENCHMARK_MAIN();
+

@@ -1,0 +1,28 @@
+#include <iostream>
+#include "scenario/experiment.hpp"
+#include "sim/failure.hpp"
+using namespace lispcp;
+int main() {
+  scenario::ExperimentConfig config;
+  config.spec = topo::InternetSpec::preset(topo::ControlPlaneKind::kPce);
+  config.spec.domains = 3;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.te_policy = irc::TePolicy::kRoundRobin;
+  config.spec.seed = 17;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.drain = sim::SimDuration::seconds(20);
+  scenario::Experiment e(config);
+  auto& internet = e.internet();
+  sim::FailureSchedule failures(internet.network());
+  failures.link_outage(*internet.domain(0).provider_links[0],
+                       sim::SimTime::from_ns(10'000'000'000));
+  auto s = e.run();
+  std::cout << "sessions=" << s.sessions << " est=" << s.established
+            << " dnsfail=" << s.dns_failures << " connfail=" << s.connect_failures
+            << " drops_link_down=" << internet.network().counters().drops_link_down
+            << " link0_up=" << internet.domain(0).provider_links[0]->is_up()
+            << " outages=" << failures.outages_injected() << "\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// failover — provider-link failure and TE recovery.
+//
+// A dual-homed domain is serving traffic when its primary provider link
+// fails.  The IRC engine marks the border link unusable and the PCE
+// re-pushes every active flow's tuple onto the surviving RLOC; traffic
+// continues without re-resolving a single mapping.  The example prints the
+// inbound byte counts per provider in 10-second phases around the failure.
+//
+//   $ ./failover
+#include <iostream>
+
+#include "metrics/table.hpp"
+#include "scenario/experiment.hpp"
+
+using namespace lispcp;
+
+int main() {
+  scenario::ExperimentConfig config;
+  config.spec = topo::InternetSpec::preset(topo::ControlPlaneKind::kPce);
+  config.spec.domains = 6;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.te_policy = irc::TePolicy::kRoundRobin;
+  config.spec.seed = 31;
+  config.traffic.sessions_per_second = 40;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.drain = sim::SimDuration::seconds(20);
+
+  scenario::Experiment experiment(std::move(config));
+  auto& internet = experiment.internet();
+  auto& dom0 = internet.domain(0);
+
+  const auto far0 = dom0.provider_links[0]->peer_of(dom0.xtrs[0]->id());
+  const auto far1 = dom0.provider_links[1]->peer_of(dom0.xtrs[1]->id());
+
+  // Sample inbound bytes per provider every 10 seconds.
+  struct Phase {
+    std::uint64_t a;
+    std::uint64_t b;
+  };
+  std::vector<Phase> phases;
+  auto w0 = dom0.provider_links[0]->open_window(far0);
+  auto w1 = dom0.provider_links[1]->open_window(far1);
+  for (int tick = 1; tick <= 4; ++tick) {
+    internet.sim().schedule(sim::SimDuration::seconds(10 * tick), [&] {
+      phases.push_back({dom0.provider_links[0]->bytes_in_window(far0, w0),
+                        dom0.provider_links[1]->bytes_in_window(far1, w1)});
+      w0 = dom0.provider_links[0]->open_window(far0);
+      w1 = dom0.provider_links[1]->open_window(far1);
+    });
+  }
+
+  // At t = 15 s: provider A's link dies.  The failover controller reacts:
+  // IRC stops selecting RLOC A, the PCE re-pushes active flows, and the
+  // cached mappings' locator-status is updated at the border routers.
+  internet.sim().schedule(sim::SimDuration::seconds(15), [&] {
+    std::cout << "[t=15s] provider A link DOWN; re-optimising "
+              << dom0.pce->stats().flows_configured << " active flows\n";
+    dom0.provider_links[0]->set_up(false);
+
+    // What routing convergence would do (IGP inside the domain, BGP at the
+    // provider edge): egress and domain-bound infra traffic move to the
+    // surviving border router.
+    auto& net = internet.network();
+    net.add_route(dom0.internal_router->id(), net::Ipv4Prefix(),
+                  dom0.xtrs[1]->id());
+    net.add_route(internet.core_router().id(),
+                  net::Ipv4Prefix(dom0.resolver->address(), 24),
+                  dom0.xtrs[1]->id());
+
+    // What the PCE control plane adds on top: the IRC engine stops
+    // selecting RLOC A, cached locator status flips, and every active
+    // flow's tuple is re-pushed with the surviving ingress RLOC.
+    dom0.irc->set_link_usable(0, false);
+    for (auto* xtr : dom0.xtrs) {
+      xtr->set_rloc_reachability(dom0.xtrs[0]->rloc(), false);
+    }
+    dom0.control_plane->reoptimize();
+  });
+
+  const auto summary = experiment.run();
+
+  std::cout << "\nInbound bytes into d0 by 10s phase:\n";
+  metrics::Table table({"phase", "provider A", "provider B"});
+  const char* labels[] = {"0-10s (both up)", "10-20s (A fails at 15s)",
+                          "20-30s (recovered on B)", "30-40s (drain)"};
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    table.add_row({labels[i], metrics::Table::integer(phases[i].a),
+                   metrics::Table::integer(phases[i].b)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsessions: " << summary.sessions
+            << ", established: " << summary.established
+            << ", connect failures: " << summary.connect_failures
+            << "\nAfter the failure all inbound traffic shifts to provider B "
+               "within one re-push — no mapping re-resolution, no control-"
+               "plane round trips.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// mapping_systems — side-by-side tour of the LISP control planes.
+//
+// Runs the identical workload over ALT (drop / queue / data-forward), CONS,
+// NERD, Map-Server/Map-Resolver (draft-lisp-ms) and the PCE control plane
+// and prints a comparison table: this is the paper's §1 argument as a
+// program.
+//
+//   $ ./mapping_systems [sessions_per_second]
+#include <cstdlib>
+#include <iostream>
+
+#include "metrics/table.hpp"
+#include "scenario/experiment.hpp"
+
+using namespace lispcp;
+
+int main(int argc, char** argv) {
+  const double rate = argc > 1 ? std::atof(argv[1]) : 25.0;
+
+  metrics::Table table({"control plane", "sessions", "miss events", "drops",
+                        "SYN retx", "T_setup p50 (ms)", "T_setup p99 (ms)"});
+
+  for (auto kind :
+       {topo::ControlPlaneKind::kPlainIp, topo::ControlPlaneKind::kAltDrop,
+        topo::ControlPlaneKind::kAltQueue, topo::ControlPlaneKind::kAltForward,
+        topo::ControlPlaneKind::kCons, topo::ControlPlaneKind::kNerd,
+        topo::ControlPlaneKind::kMapServer, topo::ControlPlaneKind::kPce}) {
+    scenario::ExperimentConfig config;
+    config.spec = topo::InternetSpec::preset(kind);
+    config.spec.domains = 12;
+    config.spec.hosts_per_domain = 2;
+    config.spec.providers_per_domain = 2;
+    config.spec.cache_capacity = 8;
+    config.spec.seed = 1;
+    config.traffic.sessions_per_second = rate;
+    config.traffic.duration = sim::SimDuration::seconds(20);
+    config.drain = sim::SimDuration::seconds(40);
+
+    scenario::Experiment experiment(std::move(config));
+    const auto s = experiment.run();
+    table.add_row({topo::to_string(kind), metrics::Table::integer(s.sessions),
+                   metrics::Table::integer(s.miss_events),
+                   metrics::Table::integer(s.miss_drops),
+                   metrics::Table::integer(s.syn_retransmissions),
+                   metrics::Table::num(s.t_setup_p50_ms),
+                   metrics::Table::num(s.t_setup_p99_ms)});
+  }
+
+  std::cout << "Identical workload (" << rate
+            << " sessions/s, Zipf 0.9, 12 sites, cache=8) under each control "
+               "plane:\n\n";
+  table.print(std::cout);
+  std::cout
+      << "\nReading guide: lisp-alt(drop) loses first packets (3s p99); the "
+         "queue and cp-fwd palliatives trade drops for delay or overlay "
+         "detours; NERD needs the whole database everywhere; lisp-pce "
+         "matches plain-ip — no drops, no queueing, no pull latency.\n";
+  return 0;
+}

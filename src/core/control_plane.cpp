@@ -1,0 +1,83 @@
+#include "core/control_plane.hpp"
+
+#include "net/ports.hpp"
+
+namespace lispcp::core {
+
+PceControlPlane::PceControlPlane(Pce& pce, dns::DnsResolver& resolver,
+                                 std::vector<lisp::TunnelRouter*> xtrs,
+                                 irc::IrcEngine& irc, ControlPlaneConfig config)
+    : pce_(pce),
+      resolver_(resolver),
+      xtrs_(std::move(xtrs)),
+      irc_(irc),
+      config_(config) {}
+
+void PceControlPlane::activate() {
+  if (activated_) return;
+  activated_ = true;
+
+  pce_.set_irc(&irc_);
+
+  // Step-1 IPC: resolver -> PCE, process-local (no DNS protocol change).
+  resolver_.set_query_observer(
+      [this](net::Ipv4Address client, const dns::DomainName& name) {
+        pce_.on_client_query(client, name);
+      });
+
+  for (lisp::TunnelRouter* xtr : xtrs_) {
+    if (xtr->config().itr_role) {
+      pce_.add_itr(xtr->rloc());
+    }
+    if (xtr->config().etr_role) {
+      xtr->set_reverse_mapping_hook(
+          [this](lisp::TunnelRouter& etr, const lisp::FlowMapping& reverse,
+                 bool first_packet) {
+            on_reverse_mapping(etr, reverse, first_packet);
+          });
+    }
+  }
+
+  irc_.start();
+}
+
+void PceControlPlane::on_reverse_mapping(lisp::TunnelRouter& etr,
+                                         const lisp::FlowMapping& reverse,
+                                         bool first_packet) {
+  if (!first_packet) return;
+
+  // The return flow's outer source is the RLOC the forward traffic arrived
+  // at — the locator this domain advertised for the flow in Step 6 — so the
+  // two directions stay consistent with the local ingress-TE decision.
+  lisp::FlowMapping tuple = reverse;
+  tuple.source_rloc = etr.rloc();
+
+  // Install locally: this ETR may also serve as the return-path ITR.
+  etr.install_flow_mapping(tuple);
+
+  if (!config_.multicast_reverse) return;
+
+  // Multicast to the peer tunnel routers and the PCE database (§2 last
+  // paragraph: "pushes this mapping to the rest of the ETRs (and updates
+  // the PCED database) via multicast").
+  auto payload =
+      std::make_shared<lisp::FlowMappingPush>(std::vector<lisp::FlowMapping>{tuple});
+  for (lisp::TunnelRouter* peer : xtrs_) {
+    if (peer == &etr) continue;
+    etr.network().sim().schedule(sim::SimDuration::micros(10),
+                                 [&etr, peer, payload] {
+                                   etr.send(net::Packet::udp(
+                                       etr.rloc(), peer->rloc(),
+                                       net::ports::kEtrSync, net::ports::kEtrSync,
+                                       payload));
+                                 });
+  }
+  etr.network().sim().schedule(
+      sim::SimDuration::micros(10), [this, &etr, payload] {
+        etr.send(net::Packet::udp(etr.rloc(), pce_.address(),
+                                  net::ports::kEtrSync, net::ports::kEtrSync,
+                                  payload));
+      });
+}
+
+}  // namespace lispcp::core

@@ -1,0 +1,64 @@
+// control_plane.hpp — per-domain orchestration of the PCE control plane.
+//
+// Wires one domain's components into the architecture of Fig. 1:
+//
+//   * the resolver's Step-1 IPC observer feeds the PCE,
+//   * the PCE learns the domain's ITRs (Step-7b push targets) and its
+//     background IRC engine,
+//   * every ETR's reverse-mapping hook completes the two-way resolution:
+//     on the first data packet of a flow it installs the return tuple
+//     locally, multicasts it to the peer ETRs, and updates the PCE database
+//     (paper §2, last paragraph).
+//
+// Activation is the only LISP-router-visible change the architecture needs;
+// the DNS servers themselves are untouched (the paper's headline property).
+#pragma once
+
+#include <vector>
+
+#include "core/pce.hpp"
+#include "dns/resolver.hpp"
+#include "irc/irc_engine.hpp"
+#include "lisp/tunnel_router.hpp"
+
+namespace lispcp::core {
+
+struct ControlPlaneConfig {
+  /// Ablation A3: multicast learned reverse mappings to peer ETRs (paper
+  /// behaviour) or keep them only at the receiving ETR.
+  bool multicast_reverse = true;
+};
+
+class PceControlPlane {
+ public:
+  /// All pointers are non-owning and must outlive the control plane.
+  PceControlPlane(Pce& pce, dns::DnsResolver& resolver,
+                  std::vector<lisp::TunnelRouter*> xtrs, irc::IrcEngine& irc,
+                  ControlPlaneConfig config = {});
+
+  /// Installs the hooks.  Idempotent.
+  void activate();
+
+  [[nodiscard]] Pce& pce() noexcept { return pce_; }
+  [[nodiscard]] irc::IrcEngine& irc() noexcept { return irc_; }
+  [[nodiscard]] const std::vector<lisp::TunnelRouter*>& xtrs() const noexcept {
+    return xtrs_;
+  }
+
+  /// Local TE action: recompute ingress choices for active flows and
+  /// re-push their tuples (exercises the push-to-all-ITRs rationale, A1).
+  std::size_t reoptimize() { return pce_.reoptimize_flows(); }
+
+ private:
+  void on_reverse_mapping(lisp::TunnelRouter& etr, const lisp::FlowMapping& reverse,
+                          bool first_packet);
+
+  Pce& pce_;
+  dns::DnsResolver& resolver_;
+  std::vector<lisp::TunnelRouter*> xtrs_;
+  irc::IrcEngine& irc_;
+  ControlPlaneConfig config_;
+  bool activated_ = false;
+};
+
+}  // namespace lispcp::core

@@ -1,0 +1,125 @@
+#include "core/failover.hpp"
+
+#include "core/control_plane.hpp"
+#include "net/ports.hpp"
+
+namespace lispcp::core {
+
+LinkHealthMonitor::LinkHealthMonitor(lisp::TunnelRouter& xtr,
+                                     net::Ipv4Address target,
+                                     LinkHealthConfig config,
+                                     TransitionHandler on_transition)
+    : xtr_(xtr),
+      target_(target),
+      config_(config),
+      on_transition_(std::move(on_transition)) {
+  if (config_.down_threshold == 0) {
+    throw std::invalid_argument(
+        "LinkHealthMonitor: down_threshold must be >= 1");
+  }
+  if (config_.reply_timeout >= config_.hello_interval) {
+    throw std::invalid_argument(
+        "LinkHealthMonitor: reply_timeout must be < hello_interval (one "
+        "hello in flight at a time)");
+  }
+}
+
+void LinkHealthMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  xtr_.set_echo_reply_handler(
+      [this](net::Ipv4Address from, std::uint64_t nonce) {
+        if (from == target_) on_reply(nonce);
+      });
+  hello_cycle();
+}
+
+void LinkHealthMonitor::hello_cycle() {
+  const std::uint64_t nonce = next_nonce_++;
+  outstanding_nonce_ = nonce;
+  ++stats_.hellos_sent;
+  xtr_.send(net::Packet::udp(
+      xtr_.rloc(), target_, net::ports::kEcho, net::ports::kEcho,
+      std::make_shared<net::EchoPayload>(nonce, /*is_reply=*/false)));
+  // Both timers are daemons: liveness supervision is background maintenance.
+  xtr_.sim().schedule_daemon(config_.reply_timeout,
+                             [this, nonce] { on_timeout(nonce); });
+  xtr_.sim().schedule_daemon(config_.hello_interval, [this] { hello_cycle(); });
+}
+
+void LinkHealthMonitor::on_reply(std::uint64_t nonce) {
+  if (nonce != outstanding_nonce_) return;  // late reply to a missed hello
+  outstanding_nonce_ = 0;
+  ++stats_.replies_received;
+  misses_ = 0;
+  if (!up_) {
+    up_ = true;
+    ++stats_.up_transitions;
+    last_transition_ = xtr_.sim().now();
+    if (on_transition_) on_transition_(true);
+  }
+}
+
+void LinkHealthMonitor::on_timeout(std::uint64_t nonce) {
+  if (nonce != outstanding_nonce_) return;  // the reply got here first
+  outstanding_nonce_ = 0;
+  ++stats_.hellos_missed;
+  ++misses_;
+  if (up_ && misses_ >= config_.down_threshold) {
+    up_ = false;
+    ++stats_.down_transitions;
+    last_transition_ = xtr_.sim().now();
+    if (on_transition_) on_transition_(false);
+  }
+}
+
+FailoverController::FailoverController(PceControlPlane& control_plane,
+                                       irc::IrcEngine& irc,
+                                       std::vector<lisp::TunnelRouter*> xtrs,
+                                       net::Ipv4Address echo_target,
+                                       LinkHealthConfig health,
+                                       RoutingAdapter routing_adapter)
+    : control_plane_(control_plane),
+      irc_(irc),
+      xtrs_(std::move(xtrs)),
+      routing_adapter_(std::move(routing_adapter)) {
+  for (std::size_t i = 0; i < xtrs_.size(); ++i) {
+    monitors_.push_back(std::make_unique<LinkHealthMonitor>(
+        *xtrs_[i], echo_target, health,
+        [this, i](bool up) { on_transition(i, up); }));
+  }
+}
+
+void FailoverController::start() {
+  for (auto& monitor : monitors_) monitor->start();
+}
+
+bool FailoverController::has_usable_link() const {
+  for (const auto& monitor : monitors_) {
+    if (monitor->link_up()) return true;
+  }
+  return false;
+}
+
+void FailoverController::on_transition(std::size_t index, bool up) {
+  // (a) The IRC engine stops (or resumes) choosing this ingress/egress.
+  irc_.set_link_usable(index, up);
+  // (b) Locator status in every local map-cache, so already-encapsulating
+  // flows steer away immediately even before the re-push lands.
+  const net::Ipv4Address rloc = xtrs_[index]->rloc();
+  for (auto* xtr : xtrs_) {
+    xtr->set_rloc_reachability(rloc, up);
+  }
+  // (c) IGP-side moves, delegated.
+  if (routing_adapter_) routing_adapter_(index, up);
+  // (d) Step-7b re-push of every active flow with fresh ingress choices —
+  // the paper's TE mechanism doubling as the recovery mechanism.
+  stats_.flows_repushed += control_plane_.reoptimize();
+  if (up) {
+    ++stats_.recoveries;
+  } else {
+    ++stats_.failovers;
+  }
+}
+
+}  // namespace lispcp::core

@@ -1,0 +1,141 @@
+// failover.hpp — automatic border-link failure detection and TE recovery.
+//
+// The failover story the paper's TE claim (iii) implies but leaves manual:
+// when a provider link dies, the domain's ingress/egress choices must move
+// to the surviving RLOCs *without* re-resolving any mapping — a Step-7b
+// re-push suffices because every ITR holds every active flow's tuple.
+//
+// Two pieces:
+//
+//   LinkHealthMonitor — BFD-style liveness over one border link: the border
+//   router echoes (RFC 862, src/net/echo.hpp) off the node at the far end
+//   of its uplink every hello interval; `down_threshold` consecutive missed
+//   replies declare the link down, the first reply after that declares it
+//   up again.  Detection latency is therefore bounded by
+//   hello_interval * down_threshold + reply_timeout.
+//
+//   FailoverController — owns one monitor per border link of a domain and,
+//   on a transition, (a) tells the IRC engine to stop/resume using the
+//   link, (b) flips the RLOC's reachability in every local map-cache, and
+//   (c) has the PCE re-push all active flows (Step 7b).  Intra-domain
+//   routing moves (what the IGP would do) are delegated to an injectable
+//   adapter, since they are topology knowledge, not control-plane logic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "irc/irc_engine.hpp"
+#include "lisp/tunnel_router.hpp"
+#include "net/echo.hpp"
+#include "sim/simulator.hpp"
+
+namespace lispcp::core {
+
+class PceControlPlane;
+
+struct LinkHealthConfig {
+  sim::SimDuration hello_interval = sim::SimDuration::millis(300);
+  sim::SimDuration reply_timeout = sim::SimDuration::millis(200);
+  /// Consecutive missed hellos before the link is declared down.
+  std::uint32_t down_threshold = 3;
+};
+
+struct LinkHealthStats {
+  std::uint64_t hellos_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t hellos_missed = 0;
+  std::uint64_t down_transitions = 0;
+  std::uint64_t up_transitions = 0;
+};
+
+/// Liveness of one border link, detected by echoing off `target` (the node
+/// at the provider end of the uplink) from the border router itself — the
+/// echo path exercises exactly the link under test, both directions.
+class LinkHealthMonitor {
+ public:
+  using TransitionHandler = std::function<void(bool up)>;
+
+  LinkHealthMonitor(lisp::TunnelRouter& xtr, net::Ipv4Address target,
+                    LinkHealthConfig config, TransitionHandler on_transition);
+
+  LinkHealthMonitor(const LinkHealthMonitor&) = delete;
+  LinkHealthMonitor& operator=(const LinkHealthMonitor&) = delete;
+
+  /// Starts the hello cycle.  Idempotent.
+  void start();
+
+  [[nodiscard]] bool link_up() const noexcept { return up_; }
+  [[nodiscard]] const LinkHealthStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::SimTime last_transition_at() const noexcept {
+    return last_transition_;
+  }
+
+ private:
+  void hello_cycle();
+  void on_reply(std::uint64_t nonce);
+  void on_timeout(std::uint64_t nonce);
+
+  lisp::TunnelRouter& xtr_;
+  net::Ipv4Address target_;
+  LinkHealthConfig config_;
+  TransitionHandler on_transition_;
+
+  bool started_ = false;
+  bool up_ = true;
+  std::uint32_t misses_ = 0;
+  std::uint64_t next_nonce_ = 1;
+  std::uint64_t outstanding_nonce_ = 0;  ///< 0 = none in flight
+  sim::SimTime last_transition_;
+  LinkHealthStats stats_;
+};
+
+struct FailoverStats {
+  std::uint64_t failovers = 0;   ///< links declared down and traffic moved
+  std::uint64_t recoveries = 0;  ///< links restored into the TE pool
+  std::uint64_t flows_repushed = 0;
+};
+
+/// Per-domain recovery orchestration.  One monitor per border link; on a
+/// transition the controller rewires IRC, locator status and active-flow
+/// tuples, and calls the routing adapter for the IGP-side moves.
+class FailoverController {
+ public:
+  /// Applies the topology-level routing changes for border link `index`
+  /// going up or down (e.g. moving the internal default route).
+  using RoutingAdapter = std::function<void(std::size_t index, bool up)>;
+
+  FailoverController(PceControlPlane& control_plane, irc::IrcEngine& irc,
+                     std::vector<lisp::TunnelRouter*> xtrs,
+                     net::Ipv4Address echo_target, LinkHealthConfig health,
+                     RoutingAdapter routing_adapter);
+
+  FailoverController(const FailoverController&) = delete;
+  FailoverController& operator=(const FailoverController&) = delete;
+
+  /// Arms every monitor.  Idempotent.
+  void start();
+
+  [[nodiscard]] const FailoverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LinkHealthMonitor& monitor(std::size_t i) const {
+    return *monitors_.at(i);
+  }
+  [[nodiscard]] std::size_t monitor_count() const noexcept {
+    return monitors_.size();
+  }
+  /// True while at least one border link is usable.
+  [[nodiscard]] bool has_usable_link() const;
+
+ private:
+  void on_transition(std::size_t index, bool up);
+
+  PceControlPlane& control_plane_;
+  irc::IrcEngine& irc_;
+  std::vector<lisp::TunnelRouter*> xtrs_;
+  RoutingAdapter routing_adapter_;
+  std::vector<std::unique_ptr<LinkHealthMonitor>> monitors_;
+  FailoverStats stats_;
+};
+
+}  // namespace lispcp::core

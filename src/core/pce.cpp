@@ -1,0 +1,337 @@
+#include "core/pce.hpp"
+
+#include "net/ports.hpp"
+
+namespace lispcp::core {
+
+Pce::Pce(sim::Network& network, std::string name, net::Ipv4Address address,
+         PceConfig config)
+    : Node(network, std::move(name)), config_(std::move(config)) {
+  add_address(address);
+}
+
+bool Pce::is_local_eid(net::Ipv4Address a) const noexcept {
+  for (const auto& p : config_.local_eid_prefixes) {
+    if (p.contains(a)) return true;
+  }
+  return false;
+}
+
+void Pce::on_client_query(net::Ipv4Address client, const dns::DomainName& name) {
+  ++stats_.dns_queries_observed;
+  auto& waiting = pending_queries_[name];
+  waiting.push_back(PendingClient{client, sim().now()});
+  // Bound the queue: expire stale observations from the front.
+  const auto horizon = sim().now() - config_.pending_query_ttl;
+  while (!waiting.empty() && waiting.front().observed_at < horizon) {
+    waiting.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transit interception: Steps 2-7 all happen on packets passing through.
+// ---------------------------------------------------------------------------
+
+sim::Node::TransitAction Pce::transit(net::Packet& packet) {
+  const auto* udp = packet.udp();
+  if (udp == nullptr) return TransitAction::kForward;
+
+  // Step 7: a port-P message addressed to our resolver.
+  if (udp->dst_port == net::ports::kPceP &&
+      packet.outer_ip().dst == config_.resolver_address) {
+    if (auto message = packet.payload_as<PceMessage>()) {
+      handle_port_p(std::move(packet), *message);
+      return TransitAction::kConsumed;
+    }
+  }
+
+  // Steps 2-6: DNS replies in transit.
+  if (udp->src_port == net::ports::kDns || udp->dst_port == net::ports::kDns) {
+    if (auto message = packet.payload_as<dns::DnsMessage>()) {
+      if (message->is_response()) {
+        ++stats_.dns_replies_snooped;
+        // Step 6 trigger: an authoritative reply from *our* authoritative
+        // server whose answer is an EID of this domain, headed to a remote
+        // resolver.
+        if (config_.snoop_enabled && message->authoritative() &&
+            packet.outer_ip().src == config_.authoritative_address) {
+          if (auto answer = message->first_address();
+              answer && is_local_eid(*answer)) {
+            encapsulate_reply(std::move(packet), *message);
+            return TransitAction::kConsumed;
+          }
+        }
+        // Warm-cache safety net (extension; see DESIGN.md): when our own
+        // resolver answers a *local* client from its cache, no port-P
+        // message is generated — but the answer still traverses us, and the
+        // mapping may already be in our database from an earlier resolution.
+        // Push the tuple now so cached resolutions are covered too.
+        //
+        // The same observation point drives A5's on-demand mode: a remote
+        // EID with no database entry triggers an explicit PCEP request to
+        // its home PCE instead of relying on Step-6 snooping.
+        if ((config_.snoop_enabled || config_.on_demand_pcep) &&
+            packet.outer_ip().src == config_.resolver_address) {
+          if (auto answer = message->first_address();
+              answer && !is_local_eid(*answer)) {
+            if (const RemoteMapping* remote = find_remote(*answer)) {
+              configure_flow(packet.outer_ip().dst, *answer, remote->entry,
+                             message->question().name);
+            } else if (config_.on_demand_pcep) {
+              request_mapping_via_pcep(packet.outer_ip().dst, *answer,
+                                       message->question().name);
+            }
+          }
+        }
+      }
+    }
+  }
+  return TransitAction::kForward;
+}
+
+void Pce::deliver(net::Packet packet) {
+  const auto* udp = packet.udp();
+  if (udp != nullptr && udp->dst_port == net::ports::kEtrSync) {
+    // ETR multicast also updates the PCE database (paper §2 last paragraph).
+    if (auto push = packet.payload_as<lisp::FlowMappingPush>()) {
+      for (const auto& mapping : push->mappings()) {
+        record_reverse_mapping(mapping);
+      }
+      return;
+    }
+  }
+  if (udp != nullptr && udp->dst_port == net::ports::kPcep) {
+    if (auto message = packet.payload_as<pcep::Message>()) {
+      pcep_session(packet.outer_ip().src).on_message(*message);
+      return;
+    }
+  }
+  Node::deliver(std::move(packet));
+}
+
+// ---------------------------------------------------------------------------
+// Step 6 — destination-side encapsulation.
+// ---------------------------------------------------------------------------
+
+lisp::MapEntry Pce::local_mapping_for(net::Ipv4Address eid) {
+  // The mapping is precomputed by the background IRC engine: site_mapping()
+  // is a table read reflecting the engine's current ingress split, so this
+  // path stays O(1) per packet ("roughly at line rate").
+  lisp::MapEntry mapping;
+  if (irc_ != nullptr) {
+    const net::Ipv4Prefix* local = nullptr;
+    for (const auto& p : config_.local_eid_prefixes) {
+      if (p.contains(eid)) {
+        local = &p;
+        break;
+      }
+    }
+    mapping = irc_->site_mapping(local != nullptr ? *local
+                                                  : net::Ipv4Prefix::host(eid));
+  } else {
+    mapping.eid_prefix = net::Ipv4Prefix::host(eid);
+  }
+  mapping.version = next_version_++;
+  return mapping;
+}
+
+void Pce::encapsulate_reply(net::Packet reply_packet,
+                            const dns::DnsMessage& reply) {
+  const auto ed = *reply.first_address();
+  const auto resolver = reply_packet.outer_ip().dst;
+  lisp::MapEntry mapping = local_mapping_for(ed);
+
+  ++stats_.replies_encapsulated;
+  auto payload = std::make_shared<PceMessage>(std::move(reply_packet),
+                                              std::move(mapping), address());
+  sim().schedule(config_.processing_delay, [this, resolver, payload] {
+    send(net::Packet::udp(address(), resolver, net::ports::kPceP,
+                          net::ports::kPceP, payload));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Step 7 — source-side decapsulation, release, and push.
+// ---------------------------------------------------------------------------
+
+void Pce::handle_port_p(net::Packet packet, const PceMessage& message) {
+  (void)packet;
+  ++stats_.port_p_received;
+
+  // Record the remote mapping and the peer PCE in the database.
+  RemoteMapping remote{message.mapping(), message.pce_address(), sim().now()};
+  database_.insert(message.mapping().eid_prefix, remote);
+
+  sim().schedule(config_.processing_delay, [this, inner = message.inner(),
+                                            mapping = message.mapping()]() mutable {
+    auto reply = inner.payload_as<dns::DnsMessage>();
+
+    // Step 7a: release the original DNS reply toward the resolver.
+    ++stats_.replies_released;
+    send(std::move(inner));
+
+    // Step 7b: configure the ITRs.  The answered EID and the qname are in
+    // the reply; Step-1 IPC tells us which local hosts asked for that name.
+    if (auto ed = reply ? reply->first_address() : std::nullopt) {
+      push_tuples_for(reply->question().name, *ed, mapping);
+    }
+  });
+}
+
+void Pce::push_tuples_for(const dns::DomainName& qname, net::Ipv4Address ed,
+                          const lisp::MapEntry& mapping) {
+  auto it = pending_queries_.find(qname);
+  if (it == pending_queries_.end() || it->second.empty()) {
+    ++stats_.uncorrelated_replies;
+    return;
+  }
+  std::vector<lisp::FlowMapping> tuples;
+  for (const auto& pending : it->second) {
+    if (auto tuple = make_tuple(pending.client, ed, mapping)) {
+      tuples.push_back(*tuple);
+      // Mapping-configuration latency relative to the Step-1 observation —
+      // the quantity claim (ii) bounds by T_DNS.
+      push_slack_.add_duration(sim().now() - pending.observed_at);
+    }
+  }
+  pending_queries_.erase(it);
+  push_to_itrs(tuples);
+}
+
+void Pce::configure_flow(net::Ipv4Address es, net::Ipv4Address ed,
+                         const lisp::MapEntry& mapping,
+                         const dns::DomainName& qname) {
+  // Consume the Step-1 observation for this client so the correlation state
+  // (and the slack accounting) stays clean when the port-P path is skipped.
+  if (auto pending = pending_queries_.find(qname);
+      pending != pending_queries_.end()) {
+    auto& waiting = pending->second;
+    for (auto it = waiting.begin(); it != waiting.end(); ++it) {
+      if (it->client == es) {
+        push_slack_.add_duration(sim().now() - it->observed_at);
+        waiting.erase(it);
+        break;
+      }
+    }
+    if (waiting.empty()) pending_queries_.erase(pending);
+  }
+
+  const std::uint64_t key = (std::uint64_t{es.value()} << 32) | ed.value();
+  if (active_flows_.contains(key)) return;  // already configured
+  if (auto tuple = make_tuple(es, ed, mapping)) {
+    push_to_itrs({*tuple});
+  }
+}
+
+std::optional<lisp::FlowMapping> Pce::make_tuple(net::Ipv4Address es,
+                                                 net::Ipv4Address ed,
+                                                 const lisp::MapEntry& mapping) {
+  const auto chosen = mapping.select_rloc(lisp::flow_hash(es, ed, 0, 0));
+  if (!chosen) return std::nullopt;
+  lisp::FlowMapping tuple;
+  tuple.source_eid = es;
+  tuple.destination_eid = ed;
+  // RLOC_S: this domain's ingress choice for the reverse direction,
+  // precomputed by the background IRC engine (Step 1).
+  tuple.source_rloc = irc_ != nullptr ? irc_->choose_ingress() : net::Ipv4Address();
+  tuple.destination_rloc = chosen->address;
+  tuple.version = next_version_++;
+  const std::uint64_t key = (std::uint64_t{es.value()} << 32) | ed.value();
+  active_flows_[key] = tuple;
+  ++stats_.flows_configured;
+  return tuple;
+}
+
+std::size_t Pce::reoptimize_flows() {
+  if (irc_ == nullptr || active_flows_.empty()) return 0;
+  std::vector<lisp::FlowMapping> tuples;
+  tuples.reserve(active_flows_.size());
+  for (auto& [key, flow] : active_flows_) {
+    (void)key;
+    flow.source_rloc = irc_->choose_ingress();
+    flow.version = next_version_++;
+    tuples.push_back(flow);
+  }
+  push_to_itrs(tuples);
+  return tuples.size();
+}
+
+void Pce::record_reverse_mapping(const lisp::FlowMapping& mapping) {
+  ++stats_.reverse_updates;
+  const std::uint64_t key =
+      (std::uint64_t{mapping.source_eid.value()} << 32) |
+      mapping.destination_eid.value();
+  auto it = active_flows_.find(key);
+  if (it == active_flows_.end() || it->second.version <= mapping.version) {
+    active_flows_[key] = mapping;
+  }
+}
+
+const Pce::RemoteMapping* Pce::find_remote(net::Ipv4Address eid) const {
+  return database_.lookup(eid);
+}
+
+// ---------------------------------------------------------------------------
+// A5 — on-demand mapping acquisition over PCEP.
+// ---------------------------------------------------------------------------
+
+void Pce::add_pce_directory_entry(const net::Ipv4Prefix& prefix,
+                                  net::Ipv4Address pce_address) {
+  pce_directory_.insert(prefix, pce_address);
+}
+
+pcep::Session& Pce::pcep_session(net::Ipv4Address peer) {
+  auto it = pcep_sessions_.find(peer);
+  if (it == pcep_sessions_.end()) {
+    auto session = std::make_unique<pcep::Session>(
+        sim(), config_.pcep,
+        [this, peer](std::shared_ptr<const pcep::Message> message) {
+          send(net::Packet::udp(address(), peer, net::ports::kPcep,
+                                net::ports::kPcep, std::move(message)));
+        });
+    // Responder side: we answer PCReq for our own EID space from the IRC
+    // engine's current choice, exactly as Step 6 would.
+    session->set_mapping_provider(
+        [this](net::Ipv4Address eid) -> std::optional<lisp::MapEntry> {
+          if (!is_local_eid(eid)) return std::nullopt;
+          return local_mapping_for(eid);
+        });
+    it = pcep_sessions_.emplace(peer, std::move(session)).first;
+  }
+  return *it->second;
+}
+
+void Pce::request_mapping_via_pcep(net::Ipv4Address es, net::Ipv4Address ed,
+                                   const dns::DomainName& qname) {
+  const net::Ipv4Address* peer = pce_directory_.lookup(ed);
+  if (peer == nullptr) {
+    ++stats_.pcep_failures;
+    return;
+  }
+  ++stats_.pcep_requests;
+  pcep_session(*peer).request_mapping(
+      ed, [this, es, ed, qname, peer_address = *peer](
+              std::optional<lisp::MapEntry> mapping) {
+        if (!mapping.has_value()) {
+          ++stats_.pcep_failures;
+          return;
+        }
+        ++stats_.pcep_mappings_learned;
+        database_.insert(mapping->eid_prefix,
+                         RemoteMapping{*mapping, peer_address, sim().now()});
+        configure_flow(es, ed, *mapping, qname);
+      });
+}
+
+void Pce::push_to_itrs(const std::vector<lisp::FlowMapping>& tuples) {
+  if (tuples.empty() || itr_rlocs_.empty()) return;
+  auto payload = std::make_shared<lisp::FlowMappingPush>(tuples);
+  const std::size_t targets = config_.push_all_itrs ? itr_rlocs_.size() : 1;
+  for (std::size_t i = 0; i < targets; ++i) {
+    ++stats_.tuples_pushed;
+    send(net::Packet::udp(address(), itr_rlocs_[i], net::ports::kPcePush,
+                          net::ports::kPcePush, payload));
+  }
+}
+
+}  // namespace lispcp::core

@@ -1,0 +1,195 @@
+// pce.hpp — the Path Computation Element node (the paper's contribution).
+//
+// One PCE per domain, wired into the data path of that domain's DNS servers
+// (Fig. 1): every DNS packet entering or leaving the domain's resolver and
+// authoritative server physically traverses this node, so it can observe
+// the resolution transparently (Steps 2-5) and act on it:
+//
+//   Destination side (PCED, Step 6): when the local authoritative server's
+//   reply carries an A record inside the local EID space, the PCE consumes
+//   the reply and re-emits it encapsulated in a UDP message to the querying
+//   resolver's address on port P, bundling the EID-to-RLOC mapping that the
+//   background IRC engine has already selected ("known aforehand" — the
+//   encapsulation adds only constant per-packet work).
+//
+//   Source side (PCES, Step 7): a port-P packet headed for the local
+//   resolver is intercepted, the original DNS reply is released to the
+//   resolver unchanged (7a), and the bundled mapping is combined with the
+//   requesting end-host learned through Step-1 IPC to form the tuple
+//   (ES, ED, RLOC_S, RLOC_D), where RLOC_S is this domain's *ingress*
+//   choice computed by its own IRC engine.  The tuple is pushed to the
+//   domain's ITRs (7b) — to all of them by default, so later TE moves need
+//   no re-resolution.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pce_message.hpp"
+#include "dns/message.hpp"
+#include "irc/irc_engine.hpp"
+#include "lisp/tunnel_router.hpp"
+#include "metrics/histogram.hpp"
+#include "pcep/session.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace lispcp::core {
+
+struct PceConfig {
+  /// Addresses of the local DNS servers this PCE fronts.
+  net::Ipv4Address resolver_address;       ///< DNSS (source-side role)
+  net::Ipv4Address authoritative_address;  ///< DNSD (destination-side role)
+  /// The domain's own EID space (answers inside it trigger Step 6).
+  std::vector<net::Ipv4Prefix> local_eid_prefixes;
+  /// Per-packet constant work for snoop/encap/decap.
+  sim::SimDuration processing_delay = sim::SimDuration::micros(50);
+  /// Ablation A2: with snooping off, Step 6 is skipped entirely and the
+  /// DNS reply passes through untouched (mappings must then come from
+  /// gleaning or on-demand resolution).
+  bool snoop_enabled = true;
+  /// Ablation A5: acquire mappings by explicit PCEP request/reply instead
+  /// of (or as a fallback to) Step-6 snooping.  When the resolver's answer
+  /// to a local client reveals a remote EID with no database entry, the PCE
+  /// issues a PCReq to the EID's home PCE (found via the directory) and
+  /// configures the flow when the PCRep lands — one PCE-to-PCE RTT after
+  /// the DNS answer, where snooping pre-positions the mapping at zero.
+  bool on_demand_pcep = false;
+  /// Session parameters for the PCEP speaker (A5 transport).
+  pcep::SessionConfig pcep;
+  /// Ablation A1: push Step-7b tuples to every ITR (paper default) or only
+  /// to the first one.
+  bool push_all_itrs = true;
+  /// How long a Step-1 (client, qname) observation stays correlatable.
+  sim::SimDuration pending_query_ttl = sim::SimDuration::seconds(10);
+};
+
+struct PceStats {
+  std::uint64_t dns_queries_observed = 0;   ///< Step 1 IPC notifications
+  std::uint64_t dns_replies_snooped = 0;    ///< replies inspected in transit
+  std::uint64_t replies_encapsulated = 0;   ///< Step 6 actions
+  std::uint64_t port_p_received = 0;        ///< Step 7 interceptions
+  std::uint64_t replies_released = 0;       ///< Step 7a
+  std::uint64_t tuples_pushed = 0;          ///< Step 7b push messages sent
+  std::uint64_t flows_configured = 0;       ///< distinct (ES, ED) tuples formed
+  std::uint64_t reverse_updates = 0;        ///< ETR-multicast database updates
+  std::uint64_t uncorrelated_replies = 0;   ///< port-P arrivals with no Step-1 match
+  std::uint64_t pcep_requests = 0;          ///< A5: PCReq issued on demand
+  std::uint64_t pcep_mappings_learned = 0;  ///< A5: PCRep with a mapping
+  std::uint64_t pcep_failures = 0;          ///< A5: NO-PATH / timeout / no peer
+};
+
+class Pce : public sim::Node {
+ public:
+  Pce(sim::Network& network, std::string name, net::Ipv4Address address,
+      PceConfig config);
+
+  /// The background IRC engine that precomputes this domain's ingress RLOC
+  /// choices.  Must be set before traffic flows.
+  void set_irc(irc::IrcEngine* irc) noexcept { irc_ = irc; }
+
+  /// Registers a local tunnel router as a Step-7b push target.
+  void add_itr(net::Ipv4Address itr_rloc) { itr_rlocs_.push_back(itr_rloc); }
+
+  /// Step-1 IPC endpoint: the co-located resolver reports (client, qname).
+  void on_client_query(net::Ipv4Address client, const dns::DomainName& name);
+
+  /// ETR-multicast database update (paper §2 last paragraph).
+  void record_reverse_mapping(const lisp::FlowMapping& mapping);
+
+  /// PCE discovery substitute (A5): registers which peer PCE is
+  /// authoritative for an EID prefix.  Real deployments learn this through
+  /// IGP-based PCE discovery (RFC 5088/5089); the topology builder wires it.
+  void add_pce_directory_entry(const net::Ipv4Prefix& prefix,
+                               net::Ipv4Address pce_address);
+
+  /// The PCEP session to `peer`, created (and opened lazily on first
+  /// request) on demand.  Exposed for tests and stats inspection.
+  [[nodiscard]] pcep::Session& pcep_session(net::Ipv4Address peer);
+
+  // Node interface: the PCE forwards everything, intercepting only the DNS
+  // replies of Step 6 and the port-P messages of Step 7.
+  TransitAction transit(net::Packet& packet) override;
+  void deliver(net::Packet packet) override;
+
+  [[nodiscard]] const PceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const PceConfig& config() const noexcept { return config_; }
+
+  /// Mapping database: remote mappings learned via port P, keyed by EID
+  /// prefix, plus the peer PCE address each came from.
+  struct RemoteMapping {
+    lisp::MapEntry entry;
+    net::Ipv4Address pce_address;
+    sim::SimTime learned_at;
+  };
+  [[nodiscard]] const RemoteMapping* find_remote(net::Ipv4Address eid) const;
+  [[nodiscard]] std::size_t database_size() const noexcept {
+    return database_.size();
+  }
+
+  /// Re-pushes tuples for all active flows with freshly chosen ingress
+  /// RLOCs — a local TE action ("move part of its internal traffic",
+  /// Step 7b rationale).  Returns the number of flows re-pushed.
+  std::size_t reoptimize_flows();
+
+  /// Time from DNS-answer release (7a) to the tuple push send (7b): the
+  /// extra control-plane latency on top of T_DNS; claim (ii) says ~0.
+  [[nodiscard]] const metrics::Histogram& push_slack() const noexcept {
+    return push_slack_;
+  }
+
+ private:
+  /// Step 6: the destination-side action.
+  void encapsulate_reply(net::Packet reply_packet, const dns::DnsMessage& reply);
+  /// Step 7: the source-side action.
+  void handle_port_p(net::Packet packet, const PceMessage& message);
+  /// Step 7b: form and push tuples for every host waiting on `qname`.
+  void push_tuples_for(const dns::DomainName& qname, net::Ipv4Address ed,
+                       const lisp::MapEntry& mapping);
+  /// Warm-cache path: configure one (ES, ED) flow from the local database,
+  /// consuming the Step-1 observation for `qname`.
+  void configure_flow(net::Ipv4Address es, net::Ipv4Address ed,
+                      const lisp::MapEntry& mapping,
+                      const dns::DomainName& qname);
+  /// Builds the Step-7b tuple (ES, ED, RLOC_S, RLOC_D) and records it.
+  std::optional<lisp::FlowMapping> make_tuple(net::Ipv4Address es,
+                                              net::Ipv4Address ed,
+                                              const lisp::MapEntry& mapping);
+  void push_to_itrs(const std::vector<lisp::FlowMapping>& tuples);
+
+  /// The mapping this domain advertises for one of its own EIDs — the IRC
+  /// engine's current choice (Step 6 and the PCEP responder share it).
+  [[nodiscard]] lisp::MapEntry local_mapping_for(net::Ipv4Address eid);
+  /// A5 requester side: ask `ed`'s home PCE for the mapping, then configure.
+  void request_mapping_via_pcep(net::Ipv4Address es, net::Ipv4Address ed,
+                                const dns::DomainName& qname);
+
+  [[nodiscard]] bool is_local_eid(net::Ipv4Address a) const noexcept;
+
+  PceConfig config_;
+  PceStats stats_;
+  irc::IrcEngine* irc_ = nullptr;
+  std::vector<net::Ipv4Address> itr_rlocs_;
+
+  /// Step-1 observations: qname -> clients awaiting that name.
+  struct PendingClient {
+    net::Ipv4Address client;
+    sim::SimTime observed_at;
+  };
+  std::unordered_map<dns::DomainName, std::deque<PendingClient>> pending_queries_;
+
+  net::PrefixTrie<RemoteMapping> database_;
+  /// A5: EID prefix -> authoritative peer PCE address.
+  net::PrefixTrie<net::Ipv4Address> pce_directory_;
+  std::unordered_map<net::Ipv4Address, std::unique_ptr<pcep::Session>>
+      pcep_sessions_;
+  /// Active flows configured by this PCE: key (ES<<32|ED) -> tuple.
+  std::unordered_map<std::uint64_t, lisp::FlowMapping> active_flows_;
+  std::uint64_t next_version_ = 1;
+  metrics::Histogram push_slack_;
+};
+
+}  // namespace lispcp::core

@@ -1,0 +1,62 @@
+// pce_message.hpp — the Step-6 PCE-to-PCE encapsulation.
+//
+// "it encapsulates the reply into a new UDP message, with source address
+//  PCED, destination address DNSS, and a special transport port P ...
+//  The payload of the outer-packet contains the mapping for ED."  (§2)
+//
+// The PceMessage payload carries (a) the original, untouched DNS reply
+// packet, re-emitted verbatim at the source-domain PCE (Step 7a), and
+// (b) the EID-to-RLOC mapping for ED as selected by the destination
+// domain's background IRC engine, plus the PCED address the source PCE
+// learns from the message (Step 7b).
+#pragma once
+
+#include <memory>
+
+#include "lisp/control.hpp"
+#include "net/packet.hpp"
+
+namespace lispcp::core {
+
+class PceMessage final : public net::Payload {
+ public:
+  PceMessage(net::Packet inner_dns_reply, lisp::MapEntry mapping,
+             net::Ipv4Address pce_address)
+      : inner_(std::move(inner_dns_reply)),
+        mapping_(std::move(mapping)),
+        pce_address_(pce_address) {}
+
+  /// The encapsulated DNS reply packet, exactly as DNSD emitted it.
+  [[nodiscard]] const net::Packet& inner() const noexcept { return inner_; }
+
+  /// The EID-to-RLOC mapping for the answered ED.
+  [[nodiscard]] const lisp::MapEntry& mapping() const noexcept { return mapping_; }
+
+  /// The address of the destination-domain PCE ("From the outer-packet
+  /// PCES learns the address of PCED").
+  [[nodiscard]] net::Ipv4Address pce_address() const noexcept { return pce_address_; }
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return 4 + lisp::map_entry_wire_size(mapping_) + 2 + inner_.wire_size();
+  }
+
+  void serialize(net::ByteWriter& w) const override {
+    w.address(pce_address_);
+    lisp::serialize_map_entry(w, mapping_);
+    const auto inner_bytes = inner_.serialize();
+    w.u16(static_cast<std::uint16_t>(inner_bytes.size()));
+    w.bytes(inner_bytes);
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "PCE-Encap from=" + pce_address_.to_string() + " map=[" +
+           mapping_.to_string() + "] carrying {" + inner_.describe() + "}";
+  }
+
+ private:
+  net::Packet inner_;
+  lisp::MapEntry mapping_;
+  net::Ipv4Address pce_address_;
+};
+
+}  // namespace lispcp::core

@@ -1,0 +1,184 @@
+#include "dns/message.hpp"
+
+namespace lispcp::dns {
+
+ResourceRecord ResourceRecord::a(DomainName name, net::Ipv4Address addr,
+                                 std::uint32_t ttl_seconds) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RrType::kA;
+  rr.ttl_seconds = ttl_seconds;
+  rr.addr = addr;
+  return rr;
+}
+
+ResourceRecord ResourceRecord::ns(DomainName zone, DomainName ns_name,
+                                  std::uint32_t ttl_seconds) {
+  ResourceRecord rr;
+  rr.name = std::move(zone);
+  rr.type = RrType::kNs;
+  rr.ttl_seconds = ttl_seconds;
+  rr.ns_name = std::move(ns_name);
+  return rr;
+}
+
+void ResourceRecord::serialize(net::ByteWriter& w) const {
+  name.serialize(w);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u16(1);  // class IN
+  w.u32(ttl_seconds);
+  if (type == RrType::kA) {
+    w.u16(4);
+    w.address(addr);
+  } else {
+    w.u16(static_cast<std::uint16_t>(ns_name.wire_size()));
+    ns_name.serialize(w);
+  }
+}
+
+ResourceRecord ResourceRecord::parse_wire(net::ByteReader& r) {
+  ResourceRecord rr;
+  rr.name = DomainName::parse_wire(r);
+  rr.type = static_cast<RrType>(r.u16());
+  const auto klass = r.u16();
+  if (klass != 1) throw net::ParseError("ResourceRecord: class must be IN");
+  rr.ttl_seconds = r.u32();
+  const auto rdlength = r.u16();
+  if (rr.type == RrType::kA) {
+    if (rdlength != 4) throw net::ParseError("ResourceRecord: A rdlength != 4");
+    rr.addr = r.address();
+  } else if (rr.type == RrType::kNs) {
+    rr.ns_name = DomainName::parse_wire(r);
+  } else {
+    throw net::ParseError("ResourceRecord: unsupported type");
+  }
+  return rr;
+}
+
+std::size_t ResourceRecord::wire_size() const noexcept {
+  std::size_t size = name.wire_size() + 2 + 2 + 4 + 2;  // type class ttl rdlen
+  size += type == RrType::kA ? 4 : ns_name.wire_size();
+  return size;
+}
+
+std::shared_ptr<const DnsMessage> DnsMessage::query(std::uint16_t id,
+                                                    Question question,
+                                                    bool recursion_desired) {
+  auto m = std::shared_ptr<DnsMessage>(new DnsMessage());
+  m->id_ = id;
+  m->question_ = std::move(question);
+  m->recursion_desired_ = recursion_desired;
+  return m;
+}
+
+std::shared_ptr<const DnsMessage> DnsMessage::answer(
+    std::uint16_t id, Question question, std::vector<ResourceRecord> answers,
+    bool authoritative) {
+  auto m = std::shared_ptr<DnsMessage>(new DnsMessage());
+  m->id_ = id;
+  m->is_response_ = true;
+  m->authoritative_ = authoritative;
+  m->question_ = std::move(question);
+  m->answers_ = std::move(answers);
+  return m;
+}
+
+std::shared_ptr<const DnsMessage> DnsMessage::referral(
+    std::uint16_t id, Question question, std::vector<ResourceRecord> authority,
+    std::vector<ResourceRecord> additional) {
+  auto m = std::shared_ptr<DnsMessage>(new DnsMessage());
+  m->id_ = id;
+  m->is_response_ = true;
+  m->question_ = std::move(question);
+  m->authority_ = std::move(authority);
+  m->additional_ = std::move(additional);
+  return m;
+}
+
+std::shared_ptr<const DnsMessage> DnsMessage::error(std::uint16_t id,
+                                                    Question question,
+                                                    Rcode rcode) {
+  auto m = std::shared_ptr<DnsMessage>(new DnsMessage());
+  m->id_ = id;
+  m->is_response_ = true;
+  m->rcode_ = rcode;
+  m->question_ = std::move(question);
+  return m;
+}
+
+std::optional<net::Ipv4Address> DnsMessage::first_address() const noexcept {
+  for (const auto& rr : answers_) {
+    if (rr.type == RrType::kA) return rr.addr;
+  }
+  return std::nullopt;
+}
+
+std::size_t DnsMessage::wire_size() const noexcept {
+  std::size_t size = 12;  // header
+  size += question_.name.wire_size() + 4;
+  for (const auto& rr : answers_) size += rr.wire_size();
+  for (const auto& rr : authority_) size += rr.wire_size();
+  for (const auto& rr : additional_) size += rr.wire_size();
+  return size;
+}
+
+void DnsMessage::serialize(net::ByteWriter& w) const {
+  w.u16(id_);
+  std::uint16_t flags = 0;
+  if (is_response_) flags |= 0x8000;
+  if (authoritative_) flags |= 0x0400;
+  if (recursion_desired_) flags |= 0x0100;
+  flags |= static_cast<std::uint16_t>(rcode_) & 0x000F;
+  w.u16(flags);
+  w.u16(1);  // qdcount
+  w.u16(static_cast<std::uint16_t>(answers_.size()));
+  w.u16(static_cast<std::uint16_t>(authority_.size()));
+  w.u16(static_cast<std::uint16_t>(additional_.size()));
+  question_.name.serialize(w);
+  w.u16(static_cast<std::uint16_t>(question_.type));
+  w.u16(1);  // class IN
+  for (const auto& rr : answers_) rr.serialize(w);
+  for (const auto& rr : authority_) rr.serialize(w);
+  for (const auto& rr : additional_) rr.serialize(w);
+}
+
+std::shared_ptr<const DnsMessage> DnsMessage::parse_wire(net::ByteReader& r) {
+  auto m = std::shared_ptr<DnsMessage>(new DnsMessage());
+  m->id_ = r.u16();
+  const auto flags = r.u16();
+  m->is_response_ = (flags & 0x8000) != 0;
+  m->authoritative_ = (flags & 0x0400) != 0;
+  m->recursion_desired_ = (flags & 0x0100) != 0;
+  m->rcode_ = static_cast<Rcode>(flags & 0x000F);
+  const auto qdcount = r.u16();
+  if (qdcount != 1) throw net::ParseError("DnsMessage: qdcount must be 1");
+  const auto ancount = r.u16();
+  const auto nscount = r.u16();
+  const auto arcount = r.u16();
+  m->question_.name = DomainName::parse_wire(r);
+  m->question_.type = static_cast<RrType>(r.u16());
+  if (r.u16() != 1) throw net::ParseError("DnsMessage: question class must be IN");
+  for (int i = 0; i < ancount; ++i) m->answers_.push_back(ResourceRecord::parse_wire(r));
+  for (int i = 0; i < nscount; ++i) m->authority_.push_back(ResourceRecord::parse_wire(r));
+  for (int i = 0; i < arcount; ++i) m->additional_.push_back(ResourceRecord::parse_wire(r));
+  return m;
+}
+
+std::string DnsMessage::describe() const {
+  std::string out = is_response_ ? "DNS-R" : "DNS-Q";
+  out += " id=" + std::to_string(id_);
+  out += " q=" + question_.name.to_string();
+  if (is_response_) {
+    if (rcode_ != Rcode::kNoError) {
+      out += rcode_ == Rcode::kNxDomain ? " NXDOMAIN" : " SERVFAIL";
+    } else if (is_referral()) {
+      out += " referral(" + std::to_string(authority_.size()) + " ns)";
+    } else if (auto addr = first_address()) {
+      out += " a=" + addr->to_string();
+      if (authoritative_) out += " AA";
+    }
+  }
+  return out;
+}
+
+}  // namespace lispcp::dns

@@ -1,0 +1,130 @@
+// message.hpp — DNS wire messages (RFC 1035 subset: A and NS records).
+//
+// A DnsMessage is a net::Payload, so it travels inside simulated UDP packets
+// and also serializes to a real wire format (12-byte header, question,
+// answer/authority/additional sections; no name compression).  The PCE
+// control plane never modifies DNS messages — it only observes them in
+// transit and re-encapsulates replies (paper Fig. 1, Steps 2-7) — so
+// immutability after construction is enforced by the Payload contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+
+namespace lispcp::dns {
+
+enum class RrType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+};
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kServFail = 2,
+  kNxDomain = 3,
+};
+
+/// One resource record.  rdata is the union of the two supported types:
+/// kA carries `addr`, kNs carries `ns_name`.
+struct ResourceRecord {
+  DomainName name;
+  RrType type = RrType::kA;
+  std::uint32_t ttl_seconds = 300;
+  net::Ipv4Address addr;  ///< kA rdata
+  DomainName ns_name;     ///< kNs rdata
+
+  static ResourceRecord a(DomainName name, net::Ipv4Address addr,
+                          std::uint32_t ttl_seconds = 300);
+  static ResourceRecord ns(DomainName zone, DomainName ns_name,
+                           std::uint32_t ttl_seconds = 3600);
+
+  void serialize(net::ByteWriter& w) const;
+  static ResourceRecord parse_wire(net::ByteReader& r);
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+struct Question {
+  DomainName name;
+  RrType type = RrType::kA;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+/// An immutable DNS message.  Build with the static factories, then wrap in
+/// a shared_ptr and attach to a packet.
+class DnsMessage final : public net::Payload {
+ public:
+  /// A query for `question` with transaction id `id`.
+  static std::shared_ptr<const DnsMessage> query(std::uint16_t id, Question question,
+                                                 bool recursion_desired);
+
+  /// An (authoritative) answer to `question`.
+  static std::shared_ptr<const DnsMessage> answer(std::uint16_t id, Question question,
+                                                  std::vector<ResourceRecord> answers,
+                                                  bool authoritative);
+
+  /// A referral: NS records in authority, glue A records in additional.
+  static std::shared_ptr<const DnsMessage> referral(
+      std::uint16_t id, Question question, std::vector<ResourceRecord> authority,
+      std::vector<ResourceRecord> additional);
+
+  /// An error response (NXDOMAIN / SERVFAIL).
+  static std::shared_ptr<const DnsMessage> error(std::uint16_t id, Question question,
+                                                 Rcode rcode);
+
+  [[nodiscard]] std::uint16_t id() const noexcept { return id_; }
+  [[nodiscard]] bool is_response() const noexcept { return is_response_; }
+  [[nodiscard]] bool authoritative() const noexcept { return authoritative_; }
+  [[nodiscard]] bool recursion_desired() const noexcept { return recursion_desired_; }
+  [[nodiscard]] Rcode rcode() const noexcept { return rcode_; }
+  [[nodiscard]] const Question& question() const noexcept { return question_; }
+  [[nodiscard]] const std::vector<ResourceRecord>& answers() const noexcept {
+    return answers_;
+  }
+  [[nodiscard]] const std::vector<ResourceRecord>& authority() const noexcept {
+    return authority_;
+  }
+  [[nodiscard]] const std::vector<ResourceRecord>& additional() const noexcept {
+    return additional_;
+  }
+
+  /// True if this response delegates to other servers rather than answering.
+  [[nodiscard]] bool is_referral() const noexcept {
+    return is_response_ && rcode_ == Rcode::kNoError && answers_.empty() &&
+           !authority_.empty();
+  }
+
+  /// First A record in the answer section, if any.
+  [[nodiscard]] std::optional<net::Ipv4Address> first_address() const noexcept;
+
+  // net::Payload
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  void serialize(net::ByteWriter& w) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// Parses a full message previously produced by serialize().
+  static std::shared_ptr<const DnsMessage> parse_wire(net::ByteReader& r);
+
+ private:
+  DnsMessage() = default;
+
+  std::uint16_t id_ = 0;
+  bool is_response_ = false;
+  bool authoritative_ = false;
+  bool recursion_desired_ = false;
+  Rcode rcode_ = Rcode::kNoError;
+  Question question_;
+  std::vector<ResourceRecord> answers_;
+  std::vector<ResourceRecord> authority_;
+  std::vector<ResourceRecord> additional_;
+};
+
+}  // namespace lispcp::dns

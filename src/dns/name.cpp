@@ -1,0 +1,135 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <stdexcept>
+
+namespace lispcp::dns {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool valid_label(std::string_view label) noexcept {
+  return !label.empty() && label.size() <= 63;
+}
+
+}  // namespace
+
+DomainName::DomainName(std::vector<std::string> labels) {
+  labels_.reserve(labels.size());
+  for (auto& label : labels) {
+    if (!valid_label(label)) {
+      throw std::invalid_argument("DomainName: invalid label '" + label + "'");
+    }
+    labels_.push_back(to_lower(label));
+  }
+}
+
+std::optional<DomainName> DomainName::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text == ".") return DomainName();
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  std::size_t total = 0;
+  while (!text.empty()) {
+    const auto dot = text.find('.');
+    const std::string_view label =
+        dot == std::string_view::npos ? text : text.substr(0, dot);
+    if (!valid_label(label)) return std::nullopt;
+    total += label.size() + 1;
+    if (total > 255) return std::nullopt;
+    labels.push_back(to_lower(label));
+    if (dot == std::string_view::npos) break;
+    text.remove_prefix(dot + 1);
+    if (text.empty()) return std::nullopt;  // trailing ".." or "a."
+  }
+  DomainName out;
+  out.labels_ = std::move(labels);
+  return out;
+}
+
+DomainName DomainName::from_string(std::string_view text) {
+  auto parsed = parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("DomainName: malformed name '" + std::string(text) +
+                                "'");
+  }
+  return *parsed;
+}
+
+bool DomainName::is_under(const DomainName& ancestor) const noexcept {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  // Compare trailing labels (the least-specific end).
+  return std::equal(ancestor.labels_.rbegin(), ancestor.labels_.rend(),
+                    labels_.rbegin());
+}
+
+DomainName DomainName::parent() const {
+  DomainName out;
+  if (labels_.size() > 1) {
+    out.labels_.assign(labels_.begin() + 1, labels_.end());
+  }
+  return out;
+}
+
+DomainName DomainName::child(std::string_view label) const {
+  if (!valid_label(label)) {
+    throw std::invalid_argument("DomainName::child: invalid label");
+  }
+  DomainName out;
+  out.labels_.reserve(labels_.size() + 1);
+  out.labels_.push_back(to_lower(label));
+  out.labels_.insert(out.labels_.end(), labels_.begin(), labels_.end());
+  return out;
+}
+
+std::string DomainName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+void DomainName::serialize(net::ByteWriter& w) const {
+  for (const auto& label : labels_) {
+    w.counted_string(label);
+  }
+  w.u8(0);  // root label terminator
+}
+
+DomainName DomainName::parse_wire(net::ByteReader& r) {
+  DomainName out;
+  std::size_t total = 0;
+  for (;;) {
+    // Peek length; counted_string consumes it.
+    std::string label = r.counted_string();
+    if (label.empty()) break;  // root terminator
+    if (label.size() > 63) throw net::ParseError("DomainName: label > 63 octets");
+    total += label.size() + 1;
+    if (total > 255) throw net::ParseError("DomainName: name > 255 octets");
+    out.labels_.push_back(to_lower(label));
+  }
+  return out;
+}
+
+std::size_t DomainName::wire_size() const noexcept {
+  std::size_t size = 1;  // terminator
+  for (const auto& label : labels_) size += 1 + label.size();
+  return size;
+}
+
+std::ostream& operator<<(std::ostream& os, const DomainName& name) {
+  return os << name.to_string();
+}
+
+}  // namespace lispcp::dns

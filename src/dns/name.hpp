@@ -1,0 +1,85 @@
+// name.hpp — DNS domain names.
+//
+// A DomainName is an ordered list of labels, most-specific first
+// ("www.example.com" = ["www", "example", "com"]).  Names are normalised to
+// lower case at construction (DNS is case-insensitive) and can be wire-
+// encoded in the standard label format (RFC 1035 §3.1, without compression).
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace lispcp::dns {
+
+class DomainName {
+ public:
+  /// The root name (zero labels), written ".".
+  DomainName() = default;
+
+  /// From explicit labels, most-specific first.
+  explicit DomainName(std::vector<std::string> labels);
+
+  /// Parses dotted notation: "www.example.com" (a trailing dot is allowed;
+  /// "." alone is the root).  Returns nullopt for malformed names (empty
+  /// labels, labels > 63 octets, total length > 255).
+  static std::optional<DomainName> parse(std::string_view text);
+
+  /// Parses dotted notation; throws std::invalid_argument on failure.
+  static DomainName from_string(std::string_view text);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
+
+  /// True iff this name equals `ancestor` or lies below it in the tree
+  /// ("www.example.com" is under "example.com", "com" and the root).
+  [[nodiscard]] bool is_under(const DomainName& ancestor) const noexcept;
+
+  /// The name with the most-specific label removed ("example.com" for
+  /// "www.example.com"); the root's parent is the root.
+  [[nodiscard]] DomainName parent() const;
+
+  /// A child of this name: label.this ("www" + "example.com").
+  [[nodiscard]] DomainName child(std::string_view label) const;
+
+  /// Dotted representation without trailing dot; "." for the root.
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC 1035 label wire encoding, terminated by the zero-length root label.
+  void serialize(net::ByteWriter& w) const;
+  static DomainName parse_wire(net::ByteReader& r);
+
+  /// Wire-encoded size in bytes.
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+
+  friend auto operator<=>(const DomainName&, const DomainName&) = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DomainName& name);
+
+}  // namespace lispcp::dns
+
+template <>
+struct std::hash<lispcp::dns::DomainName> {
+  std::size_t operator()(const lispcp::dns::DomainName& n) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (const auto& label : n.labels()) {
+      for (char c : label) {
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+      }
+      h = (h ^ 0xFF) * 0x100000001b3ull;  // label separator
+    }
+    return h;
+  }
+};

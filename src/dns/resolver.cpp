@@ -1,0 +1,268 @@
+#include "dns/resolver.hpp"
+
+#include <algorithm>
+
+#include "net/ports.hpp"
+
+namespace lispcp::dns {
+
+DnsResolver::DnsResolver(sim::Network& network, std::string name,
+                         net::Ipv4Address address, ResolverConfig config)
+    : Node(network, std::move(name)), config_(std::move(config)) {
+  if (config_.root_hints.empty()) {
+    throw std::invalid_argument("DnsResolver: root hints required");
+  }
+  add_address(address);
+}
+
+void DnsResolver::deliver(net::Packet packet) {
+  const auto* udp = packet.udp();
+  if (udp == nullptr) {
+    Node::deliver(std::move(packet));
+    return;
+  }
+  auto message = packet.payload_as<DnsMessage>();
+  if (!message) {
+    Node::deliver(std::move(packet));
+    return;
+  }
+  if (!message->is_response() && udp->dst_port == net::ports::kDns) {
+    handle_client_query(packet, *message);
+  } else if (message->is_response()) {
+    handle_upstream_response(packet, *message);
+  } else {
+    Node::deliver(std::move(packet));
+  }
+}
+
+void DnsResolver::flush_cache() {
+  positive_cache_.clear();
+  negative_cache_.clear();
+  referral_cache_.clear();
+}
+
+bool DnsResolver::is_cached(const DomainName& name) const {
+  return cached_positive(name) != nullptr;
+}
+
+const DnsResolver::PositiveEntry* DnsResolver::cached_positive(
+    const DomainName& name) const {
+  auto it = positive_cache_.find(name);
+  if (it == positive_cache_.end()) return nullptr;
+  if (it->second.expiry <= sim().now()) return nullptr;  // aged out
+  return &it->second;
+}
+
+void DnsResolver::handle_client_query(const net::Packet& packet,
+                                      const DnsMessage& query) {
+  ++stats_.client_queries;
+  const ClientRef client{packet.outer_ip().src, packet.udp()->src_port, query.id()};
+  const DomainName& name = query.question().name;
+  if (query_observer_) query_observer_(client.address, name);
+
+  if (config_.enable_cache) {
+    if (const auto* hit = cached_positive(name)) {
+      ++stats_.cache_hits;
+      ++stats_.answered;
+      auto response = DnsMessage::answer(client.query_id, query.question(),
+                                         hit->records, /*authoritative=*/false);
+      sim().schedule(config_.processing_delay, [this, client, response] {
+        reply_to(client, response);
+      });
+      latency_.add_duration(config_.processing_delay);
+      return;
+    }
+    auto neg = negative_cache_.find(name);
+    if (neg != negative_cache_.end() && neg->second > sim().now()) {
+      ++stats_.cache_hits;
+      ++stats_.nxdomain;
+      auto response =
+          DnsMessage::error(client.query_id, query.question(), Rcode::kNxDomain);
+      sim().schedule(config_.processing_delay, [this, client, response] {
+        reply_to(client, response);
+      });
+      return;
+    }
+  }
+  ++stats_.cache_misses;
+
+  // Coalesce with an in-flight resolution of the same name.
+  if (auto it = tasks_.find(name); it != tasks_.end()) {
+    ++stats_.coalesced;
+    it->second.clients.push_back(client);
+    return;
+  }
+
+  Task task;
+  task.question = query.question();
+  task.clients.push_back(client);
+  task.servers = closest_servers(name);
+  task.started = sim().now();
+  auto [it, inserted] = tasks_.emplace(name, std::move(task));
+  query_upstream(it->second);
+}
+
+std::vector<net::Ipv4Address> DnsResolver::closest_servers(
+    const DomainName& name) const {
+  const ReferralEntry* best = nullptr;
+  if (config_.enable_cache) {
+    for (const auto& entry : referral_cache_) {
+      if (entry.expiry <= sim().now()) continue;
+      if (!name.is_under(entry.zone)) continue;
+      if (best == nullptr ||
+          entry.zone.label_count() > best->zone.label_count()) {
+        best = &entry;
+      }
+    }
+  }
+  return best != nullptr ? best->servers : config_.root_hints;
+}
+
+void DnsResolver::query_upstream(Task& task) {
+  const net::Ipv4Address server = task.servers[task.server_index];
+  task.upstream_id = next_upstream_id_++;
+  if (next_upstream_id_ == 0) next_upstream_id_ = 1;
+  ++task.attempts;
+  ++stats_.upstream_queries;
+
+  auto query = DnsMessage::query(task.upstream_id, task.question,
+                                 /*recursion_desired=*/false);
+  send(net::Packet::udp(address(), server, net::ports::kDns, net::ports::kDns,
+                        query));
+
+  const DomainName name = task.question.name;
+  task.timeout = sim().schedule(config_.query_timeout,
+                                [this, name] { on_timeout(name); });
+}
+
+void DnsResolver::on_timeout(const DomainName& name) {
+  auto it = tasks_.find(name);
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+  ++stats_.retries;
+  if (task.attempts >= config_.max_attempts) {
+    conclude(name, {}, Rcode::kServFail);
+    return;
+  }
+  task.server_index = (task.server_index + 1) % task.servers.size();
+  query_upstream(task);
+}
+
+void DnsResolver::handle_upstream_response(const net::Packet& packet,
+                                           const DnsMessage& response) {
+  (void)packet;
+  auto it = tasks_.find(response.question().name);
+  if (it == tasks_.end()) return;  // stale / duplicate response
+  Task& task = it->second;
+  if (response.id() != task.upstream_id) return;  // not the outstanding query
+  task.timeout.cancel();
+
+  if (response.rcode() == Rcode::kNxDomain) {
+    if (config_.enable_cache) {
+      negative_cache_[response.question().name] =
+          sim().now() + sim::SimDuration::seconds(config_.negative_ttl_seconds);
+    }
+    conclude(response.question().name, {}, Rcode::kNxDomain);
+    return;
+  }
+  if (response.rcode() != Rcode::kNoError) {
+    // SERVFAIL upstream: rotate to the next candidate server.
+    if (task.attempts >= config_.max_attempts) {
+      conclude(response.question().name, {}, Rcode::kServFail);
+    } else {
+      task.server_index = (task.server_index + 1) % task.servers.size();
+      query_upstream(task);
+    }
+    return;
+  }
+
+  if (!response.answers().empty()) {
+    if (config_.enable_cache) {
+      cache_positive(response.question().name, response.answers());
+    }
+    conclude(response.question().name, response.answers(), Rcode::kNoError);
+    return;
+  }
+
+  if (response.is_referral()) {
+    if (config_.enable_cache) cache_referral(response);
+    std::vector<net::Ipv4Address> next;
+    for (const auto& rr : response.additional()) {
+      if (rr.type == RrType::kA) next.push_back(rr.addr);
+    }
+    if (next.empty() || ++task.iterations > config_.max_iterations) {
+      conclude(response.question().name, {}, Rcode::kServFail);
+      return;
+    }
+    task.servers = std::move(next);
+    task.server_index = 0;
+    query_upstream(task);
+    return;
+  }
+
+  // NOERROR with no data: treat as resolution failure.
+  conclude(response.question().name, {}, Rcode::kServFail);
+}
+
+void DnsResolver::cache_positive(const DomainName& name,
+                                 const std::vector<ResourceRecord>& records) {
+  std::uint32_t ttl = ~std::uint32_t{0};
+  for (const auto& rr : records) ttl = std::min(ttl, rr.ttl_seconds);
+  positive_cache_[name] = PositiveEntry{
+      records, sim().now() + sim::SimDuration::seconds(ttl)};
+}
+
+void DnsResolver::cache_referral(const DnsMessage& response) {
+  if (response.authority().empty()) return;
+  ReferralEntry entry;
+  entry.zone = response.authority().front().name;
+  std::uint32_t ttl = ~std::uint32_t{0};
+  for (const auto& rr : response.authority()) ttl = std::min(ttl, rr.ttl_seconds);
+  for (const auto& rr : response.additional()) {
+    if (rr.type == RrType::kA) entry.servers.push_back(rr.addr);
+  }
+  if (entry.servers.empty()) return;
+  entry.expiry = sim().now() + sim::SimDuration::seconds(ttl);
+  // Replace any existing entry for the same zone.
+  std::erase_if(referral_cache_,
+                [&](const ReferralEntry& e) { return e.zone == entry.zone; });
+  referral_cache_.push_back(std::move(entry));
+}
+
+void DnsResolver::conclude(const DomainName& name,
+                           const std::vector<ResourceRecord>& answers,
+                           Rcode rcode) {
+  auto it = tasks_.find(name);
+  if (it == tasks_.end()) return;
+  Task task = std::move(it->second);
+  tasks_.erase(it);
+  task.timeout.cancel();
+
+  latency_.add_duration(sim().now() - task.started + config_.processing_delay);
+  switch (rcode) {
+    case Rcode::kNoError: ++stats_.answered; break;
+    case Rcode::kNxDomain: ++stats_.nxdomain; break;
+    case Rcode::kServFail: ++stats_.servfail; break;
+  }
+
+  for (const auto& client : task.clients) {
+    std::shared_ptr<const DnsMessage> response;
+    if (rcode == Rcode::kNoError) {
+      response = DnsMessage::answer(client.query_id, task.question, answers,
+                                    /*authoritative=*/false);
+    } else {
+      response = DnsMessage::error(client.query_id, task.question, rcode);
+    }
+    sim().schedule(config_.processing_delay, [this, client, response] {
+      reply_to(client, response);
+    });
+  }
+}
+
+void DnsResolver::reply_to(const ClientRef& client,
+                           std::shared_ptr<const DnsMessage> message) {
+  send(net::Packet::udp(address(), client.address, net::ports::kDns, client.port,
+                        std::move(message)));
+}
+
+}  // namespace lispcp::dns

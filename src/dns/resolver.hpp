@@ -1,0 +1,151 @@
+// resolver.hpp — caching recursive resolver (the paper's DNSS).
+//
+// Accepts recursion-desired queries from end-hosts and resolves them
+// iteratively: root hints -> TLD referral -> site-authoritative answer,
+// exactly the multi-round-trip process whose duration is the paper's T_DNS.
+// Caches positive answers, negative answers and referrals (with TTL), so
+// warm-cache resolutions complete in one local round trip — which is why
+// claim (ii) is interesting: the PCE must keep mapping resolution inside
+// *whatever* T_DNS happens to be.
+//
+// The resolver is deliberately PCE-unaware.  The PCE sits in the resolver's
+// data path and re-encapsulates in-flight replies (Fig. 1 Steps 5-7) without
+// the resolver ever noticing — reproducing the paper's "no changes to the
+// DNS system" property.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "metrics/histogram.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace lispcp::dns {
+
+struct ResolverConfig {
+  std::vector<net::Ipv4Address> root_hints;
+  /// Local processing before a cached answer / after the last upstream hop.
+  sim::SimDuration processing_delay = sim::SimDuration::micros(200);
+  /// Per-attempt upstream timeout before trying the next server.
+  sim::SimDuration query_timeout = sim::SimDuration::millis(2000);
+  /// Total upstream attempts per resolution before SERVFAIL.
+  int max_attempts = 6;
+  /// Bound on referral chain length.
+  int max_iterations = 16;
+  bool enable_cache = true;
+  /// TTL for cached NXDOMAIN results.
+  std::uint32_t negative_ttl_seconds = 60;
+};
+
+struct ResolverStats {
+  std::uint64_t client_queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t coalesced = 0;       ///< joined an in-flight resolution
+  std::uint64_t upstream_queries = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t servfail = 0;
+};
+
+class DnsResolver : public sim::Node {
+ public:
+  DnsResolver(sim::Network& network, std::string name, net::Ipv4Address address,
+              ResolverConfig config);
+
+  void deliver(net::Packet packet) override;
+
+  /// The paper's Step 1 "IPC with the DNS" (Fig. 1 dashed line): an observer
+  /// — in practice the co-located PCE — is told which end-host asked for
+  /// which name, so it can later associate the answered EID with the
+  /// requesting ES.  This is process-local IPC, not a DNS protocol change.
+  using QueryObserver =
+      std::function<void(net::Ipv4Address client, const DomainName& name)>;
+  void set_query_observer(QueryObserver observer) {
+    query_observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
+
+  /// Latency of completed resolutions as observed at the resolver
+  /// (client query in -> client response out), microseconds.
+  [[nodiscard]] const metrics::Histogram& resolution_latency() const noexcept {
+    return latency_;
+  }
+
+  /// Drops every cached entry (used by cold-cache experiment arms).
+  void flush_cache();
+
+  /// Test/experiment hook: true iff `name` has a live positive cache entry.
+  [[nodiscard]] bool is_cached(const DomainName& name) const;
+
+ private:
+  struct ClientRef {
+    net::Ipv4Address address;
+    std::uint16_t port;
+    std::uint16_t query_id;
+  };
+
+  struct Task {
+    Question question;
+    std::vector<ClientRef> clients;
+    std::vector<net::Ipv4Address> servers;  ///< candidates at the current cut
+    std::size_t server_index = 0;
+    int attempts = 0;
+    int iterations = 0;
+    std::uint16_t upstream_id = 0;
+    sim::EventHandle timeout;
+    sim::SimTime started;
+  };
+
+  struct PositiveEntry {
+    std::vector<ResourceRecord> records;
+    sim::SimTime expiry;
+  };
+
+  struct ReferralEntry {
+    DomainName zone;
+    std::vector<net::Ipv4Address> servers;
+    sim::SimTime expiry;
+  };
+
+  void handle_client_query(const net::Packet& packet, const DnsMessage& query);
+  void handle_upstream_response(const net::Packet& packet, const DnsMessage& response);
+
+  /// Sends the task's question to its current candidate server.
+  void query_upstream(Task& task);
+  void on_timeout(const DomainName& name);
+
+  /// Finishes a task: replies to every waiting client and erases it.
+  void conclude(const DomainName& name,
+                const std::vector<ResourceRecord>& answers, Rcode rcode);
+
+  /// Best cached delegation for `name`, else root hints.
+  [[nodiscard]] std::vector<net::Ipv4Address> closest_servers(
+      const DomainName& name) const;
+
+  void cache_positive(const DomainName& name,
+                      const std::vector<ResourceRecord>& records);
+  void cache_referral(const DnsMessage& response);
+  [[nodiscard]] const PositiveEntry* cached_positive(const DomainName& name) const;
+
+  void reply_to(const ClientRef& client, std::shared_ptr<const DnsMessage> message);
+
+  ResolverConfig config_;
+  ResolverStats stats_;
+  metrics::Histogram latency_;
+  std::unordered_map<DomainName, Task> tasks_;
+  std::unordered_map<DomainName, PositiveEntry> positive_cache_;
+  std::unordered_map<DomainName, sim::SimTime> negative_cache_;
+  std::vector<ReferralEntry> referral_cache_;
+  std::uint16_t next_upstream_id_ = 1;
+  QueryObserver query_observer_;
+};
+
+}  // namespace lispcp::dns

@@ -1,0 +1,201 @@
+#include "lisp/control.hpp"
+
+namespace lispcp::lisp {
+
+void serialize_map_entry(net::ByteWriter& w, const MapEntry& entry) {
+  w.address(entry.eid_prefix.address());
+  w.u8(static_cast<std::uint8_t>(entry.eid_prefix.length()));
+  w.u32(entry.ttl_seconds);
+  w.u64(entry.version);
+  w.u8(static_cast<std::uint8_t>(entry.rlocs.size()));
+  for (const auto& rloc : entry.rlocs) {
+    w.address(rloc.address);
+    w.u8(rloc.priority);
+    w.u8(rloc.weight);
+    w.u8(rloc.reachable ? 1 : 0);
+  }
+}
+
+MapEntry parse_map_entry(net::ByteReader& r) {
+  MapEntry entry;
+  const auto base = r.address();
+  const auto length = r.u8();
+  if (length > 32) throw net::ParseError("MapEntry: prefix length > 32");
+  entry.eid_prefix = net::Ipv4Prefix(base, length);
+  entry.ttl_seconds = r.u32();
+  entry.version = r.u64();
+  const auto n = r.u8();
+  entry.rlocs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Rloc rloc;
+    rloc.address = r.address();
+    rloc.priority = r.u8();
+    rloc.weight = r.u8();
+    rloc.reachable = r.u8() != 0;
+    entry.rlocs.push_back(rloc);
+  }
+  return entry;
+}
+
+std::size_t map_entry_wire_size(const MapEntry& entry) noexcept {
+  return 4 + 1 + 4 + 8 + 1 + entry.rlocs.size() * 7;
+}
+
+std::size_t MapRegister::wire_size() const noexcept {
+  std::size_t total = 8 + 4 + 2;
+  for (const auto& entry : entries_) total += map_entry_wire_size(entry);
+  return total;
+}
+
+void MapRegister::serialize(net::ByteWriter& w) const {
+  w.u64(nonce_);
+  w.u32(ttl_seconds_);
+  w.u16(static_cast<std::uint16_t>(entries_.size()));
+  for (const auto& entry : entries_) serialize_map_entry(w, entry);
+}
+
+std::shared_ptr<const MapRegister> MapRegister::parse_wire(net::ByteReader& r) {
+  const auto nonce = r.u64();
+  const auto ttl = r.u32();
+  const auto n = r.u16();
+  std::vector<MapEntry> entries;
+  entries.reserve(n);
+  for (int i = 0; i < n; ++i) entries.push_back(parse_map_entry(r));
+  return std::make_shared<MapRegister>(nonce, ttl, std::move(entries));
+}
+
+std::string MapRegister::describe() const {
+  return "Map-Register nonce=" + std::to_string(nonce_) + " ttl=" +
+         std::to_string(ttl_seconds_) + "s records=" +
+         std::to_string(entries_.size());
+}
+
+std::shared_ptr<const MapRequest> MapRequest::with_hop(net::Ipv4Address hop) const {
+  auto copy = std::make_shared<MapRequest>(nonce_, target_eid_, reply_to_rloc_,
+                                           record_route_);
+  copy->path_ = path_;
+  copy->path_.push_back(hop);
+  return copy;
+}
+
+std::size_t MapRequest::wire_size() const noexcept {
+  return 8 + 4 + 4 + 1 + 1 + path_.size() * 4;
+}
+
+void MapRequest::serialize(net::ByteWriter& w) const {
+  w.u64(nonce_);
+  w.address(target_eid_);
+  w.address(reply_to_rloc_);
+  w.u8(record_route_ ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(path_.size()));
+  for (auto hop : path_) w.address(hop);
+}
+
+std::shared_ptr<const MapRequest> MapRequest::parse_wire(net::ByteReader& r) {
+  const auto nonce = r.u64();
+  const auto target = r.address();
+  const auto reply_to = r.address();
+  const bool record_route = r.u8() != 0;
+  auto out = std::make_shared<MapRequest>(nonce, target, reply_to, record_route);
+  const auto hops = r.u8();
+  for (int i = 0; i < hops; ++i) out->path_.push_back(r.address());
+  return out;
+}
+
+std::string MapRequest::describe() const {
+  return "Map-Request nonce=" + std::to_string(nonce_) + " eid=" +
+         target_eid_.to_string() + " reply-to=" + reply_to_rloc_.to_string() +
+         (record_route_ ? " rr(" + std::to_string(path_.size()) + ")" : "");
+}
+
+std::shared_ptr<const MapReply> MapReply::with_path_popped() const {
+  std::vector<net::Ipv4Address> remaining = path_;
+  if (!remaining.empty()) remaining.pop_back();
+  return std::make_shared<MapReply>(nonce_, entry_, std::move(remaining));
+}
+
+std::size_t MapReply::wire_size() const noexcept {
+  return 8 + map_entry_wire_size(entry_) + 1 + path_.size() * 4;
+}
+
+void MapReply::serialize(net::ByteWriter& w) const {
+  w.u64(nonce_);
+  serialize_map_entry(w, entry_);
+  w.u8(static_cast<std::uint8_t>(path_.size()));
+  for (auto hop : path_) w.address(hop);
+}
+
+std::shared_ptr<const MapReply> MapReply::parse_wire(net::ByteReader& r) {
+  const auto nonce = r.u64();
+  auto entry = parse_map_entry(r);
+  std::vector<net::Ipv4Address> path;
+  const auto hops = r.u8();
+  for (int i = 0; i < hops; ++i) path.push_back(r.address());
+  return std::make_shared<MapReply>(nonce, std::move(entry), std::move(path));
+}
+
+std::string MapReply::describe() const {
+  return "Map-Reply nonce=" + std::to_string(nonce_) + " " + entry_.to_string();
+}
+
+std::size_t MapPush::wire_size() const noexcept {
+  std::size_t size = 8 + 2;
+  for (const auto& e : entries_) size += map_entry_wire_size(e);
+  return size;
+}
+
+void MapPush::serialize(net::ByteWriter& w) const {
+  w.u64(generation_);
+  w.u16(static_cast<std::uint16_t>(entries_.size()));
+  for (const auto& e : entries_) serialize_map_entry(w, e);
+}
+
+std::shared_ptr<const MapPush> MapPush::parse_wire(net::ByteReader& r) {
+  const auto generation = r.u64();
+  const auto n = r.u16();
+  std::vector<MapEntry> entries;
+  entries.reserve(n);
+  for (int i = 0; i < n; ++i) entries.push_back(parse_map_entry(r));
+  return std::make_shared<MapPush>(std::move(entries), generation);
+}
+
+std::string MapPush::describe() const {
+  return "Map-Push gen=" + std::to_string(generation_) + " " +
+         std::to_string(entries_.size()) + " entries";
+}
+
+void FlowMappingPush::serialize(net::ByteWriter& w) const {
+  w.u16(static_cast<std::uint16_t>(mappings_.size()));
+  for (const auto& m : mappings_) {
+    w.address(m.source_eid);
+    w.address(m.destination_eid);
+    w.address(m.source_rloc);
+    w.address(m.destination_rloc);
+    w.u64(m.version);
+  }
+}
+
+std::shared_ptr<const FlowMappingPush> FlowMappingPush::parse_wire(
+    net::ByteReader& r) {
+  const auto n = r.u16();
+  std::vector<FlowMapping> mappings;
+  mappings.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    FlowMapping m;
+    m.source_eid = r.address();
+    m.destination_eid = r.address();
+    m.source_rloc = r.address();
+    m.destination_rloc = r.address();
+    m.version = r.u64();
+    mappings.push_back(m);
+  }
+  return std::make_shared<FlowMappingPush>(std::move(mappings));
+}
+
+std::string FlowMappingPush::describe() const {
+  std::string out = "Flow-Push " + std::to_string(mappings_.size()) + " tuples";
+  if (!mappings_.empty()) out += " [" + mappings_.front().to_string() + ", ...]";
+  return out;
+}
+
+}  // namespace lispcp::lisp

@@ -1,0 +1,192 @@
+// control.hpp — LISP control-plane messages (Map-Request / Map-Reply) and
+// mapping-distribution payloads.
+//
+// Map-Request/Map-Reply follow draft-farinacci-lisp-08 §6.1 in spirit
+// (nonce-matched, carrying the requested EID and the replying mapping).  The
+// same Map-Request serves both ALT (reply sent directly to the requester)
+// and CONS (reply relayed back down the tree): `record_route` makes each
+// overlay hop append itself, and the ETR replies along the recorded path.
+// MapPush carries batches of records for push-style distribution (NERD
+// database deltas).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lisp/map_entry.hpp"
+#include "net/packet.hpp"
+
+namespace lispcp::lisp {
+
+/// Wire helpers shared by the control messages.
+void serialize_map_entry(net::ByteWriter& w, const MapEntry& entry);
+[[nodiscard]] MapEntry parse_map_entry(net::ByteReader& r);
+[[nodiscard]] std::size_t map_entry_wire_size(const MapEntry& entry) noexcept;
+
+class MapRequest final : public net::Payload {
+ public:
+  MapRequest(std::uint64_t nonce, net::Ipv4Address target_eid,
+             net::Ipv4Address reply_to_rloc, bool record_route)
+      : nonce_(nonce),
+        target_eid_(target_eid),
+        reply_to_rloc_(reply_to_rloc),
+        record_route_(record_route) {}
+
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return nonce_; }
+  [[nodiscard]] net::Ipv4Address target_eid() const noexcept { return target_eid_; }
+  [[nodiscard]] net::Ipv4Address reply_to_rloc() const noexcept {
+    return reply_to_rloc_;
+  }
+  [[nodiscard]] bool record_route() const noexcept { return record_route_; }
+  [[nodiscard]] const std::vector<net::Ipv4Address>& path() const noexcept {
+    return path_;
+  }
+
+  /// A copy with `hop` appended to the recorded path (CONS relaying).
+  [[nodiscard]] std::shared_ptr<const MapRequest> with_hop(
+      net::Ipv4Address hop) const;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  void serialize(net::ByteWriter& w) const override;
+  static std::shared_ptr<const MapRequest> parse_wire(net::ByteReader& r);
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint64_t nonce_;
+  net::Ipv4Address target_eid_;
+  net::Ipv4Address reply_to_rloc_;
+  bool record_route_;
+  std::vector<net::Ipv4Address> path_;
+};
+
+class MapReply final : public net::Payload {
+ public:
+  MapReply(std::uint64_t nonce, MapEntry entry,
+           std::vector<net::Ipv4Address> remaining_path = {})
+      : nonce_(nonce), entry_(std::move(entry)), path_(std::move(remaining_path)) {}
+
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return nonce_; }
+  [[nodiscard]] const MapEntry& entry() const noexcept { return entry_; }
+  [[nodiscard]] const std::vector<net::Ipv4Address>& path() const noexcept {
+    return path_;
+  }
+
+  /// A copy with the last path hop removed (consumed by a CONS relay).
+  [[nodiscard]] std::shared_ptr<const MapReply> with_path_popped() const;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  void serialize(net::ByteWriter& w) const override;
+  static std::shared_ptr<const MapReply> parse_wire(net::ByteReader& r);
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint64_t nonce_;
+  MapEntry entry_;
+  std::vector<net::Ipv4Address> path_;
+};
+
+/// A batch of mapping records pushed to a consumer (NERD distribution).
+class MapPush final : public net::Payload {
+ public:
+  explicit MapPush(std::vector<MapEntry> entries, std::uint64_t generation = 0)
+      : entries_(std::move(entries)), generation_(generation) {}
+
+  [[nodiscard]] const std::vector<MapEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  void serialize(net::ByteWriter& w) const override;
+  static std::shared_ptr<const MapPush> parse_wire(net::ByteReader& r);
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<MapEntry> entries_;
+  std::uint64_t generation_;
+};
+
+/// Map-Register (draft-lisp-ms §4.2): an ETR registers the mapping records
+/// for its site with a Map-Server.  Registrations carry a TTL and must be
+/// refreshed before it lapses, or the Map-Server drops the site (exactly
+/// the liveness property that lets the MS answer or forward authoritatively).
+class MapRegister final : public net::Payload {
+ public:
+  MapRegister(std::uint64_t nonce, std::uint32_t ttl_seconds,
+              std::vector<MapEntry> entries)
+      : nonce_(nonce), ttl_seconds_(ttl_seconds), entries_(std::move(entries)) {}
+
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return nonce_; }
+  [[nodiscard]] std::uint32_t ttl_seconds() const noexcept { return ttl_seconds_; }
+  [[nodiscard]] const std::vector<MapEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  void serialize(net::ByteWriter& w) const override;
+  static std::shared_ptr<const MapRegister> parse_wire(net::ByteReader& r);
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint64_t nonce_;
+  std::uint32_t ttl_seconds_;
+  std::vector<MapEntry> entries_;
+};
+
+/// RLOC liveness probe (draft-farinacci-lisp-08 §6.3 "RLOC reachability"):
+/// an xTR periodically probes the locators it is using; a locator that
+/// misses several consecutive probes is marked unreachable in every cached
+/// mapping, steering traffic to backup RLOCs without control-plane help.
+class RlocProbe final : public net::Payload {
+ public:
+  RlocProbe(std::uint64_t nonce, bool is_reply)
+      : nonce_(nonce), is_reply_(is_reply) {}
+
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return nonce_; }
+  [[nodiscard]] bool is_reply() const noexcept { return is_reply_; }
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override { return 9; }
+  void serialize(net::ByteWriter& w) const override {
+    w.u64(nonce_);
+    w.u8(is_reply_ ? 1 : 0);
+  }
+  static std::shared_ptr<const RlocProbe> parse_wire(net::ByteReader& r) {
+    const auto nonce = r.u64();
+    return std::make_shared<RlocProbe>(nonce, r.u8() != 0);
+  }
+  [[nodiscard]] std::string describe() const override {
+    return std::string(is_reply_ ? "RLOC-Probe-Reply" : "RLOC-Probe") +
+           " nonce=" + std::to_string(nonce_);
+  }
+
+ private:
+  std::uint64_t nonce_;
+  bool is_reply_;
+};
+
+/// A batch of per-flow mapping tuples (paper Step 7b) pushed to tunnel
+/// routers: by the source-domain PCE after decapsulating the mapping
+/// (Step 7b), and by an ETR multicasting a learned reverse mapping to its
+/// peer ETRs (paper §2, last paragraph).
+class FlowMappingPush final : public net::Payload {
+ public:
+  explicit FlowMappingPush(std::vector<FlowMapping> mappings)
+      : mappings_(std::move(mappings)) {}
+
+  [[nodiscard]] const std::vector<FlowMapping>& mappings() const noexcept {
+    return mappings_;
+  }
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return 2 + mappings_.size() * 24;
+  }
+  void serialize(net::ByteWriter& w) const override;
+  static std::shared_ptr<const FlowMappingPush> parse_wire(net::ByteReader& r);
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<FlowMapping> mappings_;
+};
+
+}  // namespace lispcp::lisp

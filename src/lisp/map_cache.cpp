@@ -1,0 +1,115 @@
+#include "lisp/map_cache.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lispcp::lisp {
+
+std::optional<MapEntry> MapCache::lookup(net::Ipv4Address eid, sim::SimTime now) {
+  ++stats_.lookups;
+  const net::Ipv4Prefix* key = index_.lookup(eid);
+  if (key == nullptr) {
+    ++stats_.misses_absent;
+    return std::nullopt;
+  }
+  auto it = entries_.find(*key);
+  if (it == entries_.end()) {
+    // Index and map out of sync would be a bug; treat as absent defensively.
+    ++stats_.misses_absent;
+    return std::nullopt;
+  }
+  if (it->second.expiry <= now) {
+    ++stats_.misses_expired;
+    erase(*key);
+    return std::nullopt;
+  }
+  touch(it->second);
+  ++stats_.hits;
+  return it->second.entry;
+}
+
+void MapCache::insert(const MapEntry& entry, sim::SimTime now) {
+  const auto expiry = now + sim::SimDuration::seconds(entry.ttl_seconds);
+  auto it = entries_.find(entry.eid_prefix);
+  if (it != entries_.end()) {
+    it->second.entry = entry;
+    it->second.expiry = expiry;
+    touch(it->second);
+    ++stats_.updates;
+    return;
+  }
+  lru_.push_front(entry.eid_prefix);
+  entries_.emplace(entry.eid_prefix, Stored{entry, expiry, lru_.begin()});
+  index_.insert(entry.eid_prefix, entry.eid_prefix);
+  ++stats_.inserts;
+  evict_if_needed();
+}
+
+bool MapCache::set_rloc_reachability(const net::Ipv4Prefix& prefix,
+                                     net::Ipv4Address rloc, bool reachable) {
+  auto it = entries_.find(prefix);
+  if (it == entries_.end()) return false;
+  for (auto& r : it->second.entry.rlocs) {
+    if (r.address == rloc) {
+      r.reachable = reachable;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t MapCache::set_rloc_reachability_all(net::Ipv4Address rloc,
+                                                bool reachable) {
+  std::size_t touched = 0;
+  for (auto& [prefix, stored] : entries_) {
+    for (auto& r : stored.entry.rlocs) {
+      if (r.address == rloc && r.reachable != reachable) {
+        r.reachable = reachable;
+        ++touched;
+      }
+    }
+  }
+  return touched;
+}
+
+std::vector<net::Ipv4Address> MapCache::distinct_rlocs() const {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& [prefix, stored] : entries_) {
+    for (const auto& rloc : stored.entry.rlocs) {
+      if (std::find(out.begin(), out.end(), rloc.address) == out.end()) {
+        out.push_back(rloc.address);
+      }
+    }
+  }
+  return out;
+}
+
+bool MapCache::erase(const net::Ipv4Prefix& prefix) {
+  auto it = entries_.find(prefix);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_position);
+  index_.erase(prefix);
+  entries_.erase(it);
+  return true;
+}
+
+void MapCache::clear() {
+  entries_.clear();
+  lru_.clear();
+  index_.clear();
+}
+
+void MapCache::touch(Stored& stored) {
+  lru_.splice(lru_.begin(), lru_, stored.lru_position);
+  stored.lru_position = lru_.begin();
+}
+
+void MapCache::evict_if_needed() {
+  while (capacity_ != 0 && entries_.size() > capacity_) {
+    const net::Ipv4Prefix victim = lru_.back();
+    erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace lispcp::lisp

@@ -1,0 +1,92 @@
+// map_cache.hpp — the ITR's EID-to-RLOC map-cache.
+//
+// Longest-prefix-match cache with TTL aging and LRU capacity eviction.  The
+// paper's claim (i) hinges on this component's behaviour: "a hit might not
+// necessarily be found, either because the mapping has aged out, or simply
+// because it was never requested before" (§1).  Experiment E1 sweeps its
+// capacity and the workload skew to regenerate exactly those miss causes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "lisp/map_entry.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/time.hpp"
+
+namespace lispcp::lisp {
+
+struct MapCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses_absent = 0;   ///< never inserted (cold miss)
+  std::uint64_t misses_expired = 0;  ///< entry present but TTL-aged out
+  std::uint64_t inserts = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t evictions = 0;  ///< LRU capacity evictions
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Not a Node: a passive data structure embedded in the ITR (and, under
+/// NERD, doubling as the full local database with capacity = 0 = unlimited).
+class MapCache {
+ public:
+  /// `capacity` = maximum number of entries (0 means unlimited).
+  explicit MapCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// LPM lookup of `eid` at time `now`.  Expired entries are removed and
+  /// counted as expired misses.  A hit refreshes LRU recency.
+  [[nodiscard]] std::optional<MapEntry> lookup(net::Ipv4Address eid,
+                                               sim::SimTime now);
+
+  /// Inserts or replaces the entry for its EID prefix, stamped at `now`.
+  /// Eviction runs if the cache is over capacity.
+  void insert(const MapEntry& entry, sim::SimTime now);
+
+  /// Marks one RLOC of an entry unreachable/reachable (failover handling).
+  /// Returns false if no exact entry for `prefix` exists.
+  bool set_rloc_reachability(const net::Ipv4Prefix& prefix,
+                             net::Ipv4Address rloc, bool reachable);
+
+  /// Marks `rloc` up/down in every entry that references it; returns the
+  /// number of entries touched.  Used when locator-status propagation or a
+  /// failover controller reports a locator change.
+  std::size_t set_rloc_reachability_all(net::Ipv4Address rloc, bool reachable);
+
+  /// Every distinct locator address referenced by live entries (the RLOC
+  /// probing working set).
+  [[nodiscard]] std::vector<net::Ipv4Address> distinct_rlocs() const;
+
+  /// Removes the exact entry; returns true iff it existed.
+  bool erase(const net::Ipv4Prefix& prefix);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const MapCacheStats& stats() const noexcept { return stats_; }
+
+  void clear();
+
+ private:
+  struct Stored {
+    MapEntry entry;
+    sim::SimTime expiry;
+    std::list<net::Ipv4Prefix>::iterator lru_position;
+  };
+
+  void touch(Stored& stored);
+  void evict_if_needed();
+
+  std::size_t capacity_;
+  net::PrefixTrie<net::Ipv4Prefix> index_;  ///< LPM -> exact key
+  std::unordered_map<net::Ipv4Prefix, Stored> entries_;
+  std::list<net::Ipv4Prefix> lru_;  ///< front = most recent
+  MapCacheStats stats_;
+};
+
+}  // namespace lispcp::lisp

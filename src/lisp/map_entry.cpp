@@ -1,0 +1,78 @@
+#include "lisp/map_entry.hpp"
+
+#include <algorithm>
+
+namespace lispcp::lisp {
+
+std::optional<Rloc> MapEntry::select_rloc(std::uint64_t flow_hash) const {
+  // Find the best (lowest) priority among reachable locators.
+  std::uint8_t best_priority = 255;
+  std::uint32_t total_weight = 0;
+  for (const auto& rloc : rlocs) {
+    if (!rloc.reachable) continue;
+    if (rloc.priority < best_priority) best_priority = rloc.priority;
+  }
+  for (const auto& rloc : rlocs) {
+    if (rloc.reachable && rloc.priority == best_priority) {
+      total_weight += rloc.weight;
+    }
+  }
+  if (total_weight == 0) {
+    // Either no reachable locator, or all best-priority weights are zero;
+    // fall back to the first reachable best-priority locator if any.
+    for (const auto& rloc : rlocs) {
+      if (rloc.reachable && rloc.priority == best_priority) return rloc;
+    }
+    return std::nullopt;
+  }
+  // Deterministic weighted choice: hash picks a point on the weight wheel.
+  std::uint32_t point = static_cast<std::uint32_t>(flow_hash % total_weight);
+  for (const auto& rloc : rlocs) {
+    if (!rloc.reachable || rloc.priority != best_priority) continue;
+    if (point < rloc.weight) return rloc;
+    point -= rloc.weight;
+  }
+  return std::nullopt;  // unreachable: the wheel always lands
+}
+
+std::uint32_t MapEntry::locator_status_bits() const noexcept {
+  std::uint32_t bits = 0;
+  for (std::size_t i = 0; i < rlocs.size() && i < 32; ++i) {
+    if (rlocs[i].reachable) bits |= (std::uint32_t{1} << i);
+  }
+  return bits;
+}
+
+std::string MapEntry::to_string() const {
+  std::string out = eid_prefix.to_string() + " -> {";
+  for (std::size_t i = 0; i < rlocs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rlocs[i].address.to_string() + "(p" + std::to_string(rlocs[i].priority) +
+           "/w" + std::to_string(rlocs[i].weight) +
+           (rlocs[i].reachable ? "" : ",down") + ")";
+  }
+  out += "} ttl=" + std::to_string(ttl_seconds) + "s v" + std::to_string(version);
+  return out;
+}
+
+std::string FlowMapping::to_string() const {
+  return "(" + source_eid.to_string() + ", " + destination_eid.to_string() + ", " +
+         source_rloc.to_string() + ", " + destination_rloc.to_string() + ") v" +
+         std::to_string(version);
+}
+
+std::uint64_t flow_hash(net::Ipv4Address src, net::Ipv4Address dst,
+                        std::uint16_t src_port, std::uint16_t dst_port) noexcept {
+  // FNV-1a over the 4-tuple.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 0x100000001b3ull;
+  };
+  mix(src.value());
+  mix(dst.value());
+  mix(src_port);
+  mix(dst_port);
+  return h;
+}
+
+}  // namespace lispcp::lisp

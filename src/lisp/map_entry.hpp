@@ -1,0 +1,75 @@
+// map_entry.hpp — EID-to-RLOC mapping records.
+//
+// The unit of the mapping system (draft-farinacci-lisp-08 §6): an EID prefix
+// maps to a set of RLOCs, each with priority (lower preferred) and weight
+// (load-split among equal priorities).  The paper's Step 7b extends the
+// plain record with the per-flow tuple (ES, ED, RLOC_S, RLOC_D) — see
+// FlowMapping — enabling two independent one-way tunnels.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/time.hpp"
+
+namespace lispcp::lisp {
+
+/// One locator within a mapping.
+struct Rloc {
+  net::Ipv4Address address;
+  std::uint8_t priority = 1;  ///< lower value preferred
+  std::uint8_t weight = 100;  ///< share among equal-priority locators
+  bool reachable = true;
+
+  friend bool operator==(const Rloc&, const Rloc&) = default;
+};
+
+/// An EID-prefix-to-RLOC-set mapping record.
+struct MapEntry {
+  net::Ipv4Prefix eid_prefix;
+  std::vector<Rloc> rlocs;
+  std::uint32_t ttl_seconds = 900;  ///< draft default: 15 minutes
+  /// Version counter bumped by the origin on TE changes; consumers keep the
+  /// highest version seen (staleness detection in NERD, ablation benches).
+  std::uint64_t version = 0;
+
+  /// Selects an RLOC: the reachable locator with the lowest priority value;
+  /// weights split ties deterministically by `flow_hash` so one flow always
+  /// pins to one locator (no reordering).  Returns nullopt if every locator
+  /// is unreachable.
+  [[nodiscard]] std::optional<Rloc> select_rloc(std::uint64_t flow_hash) const;
+
+  /// Locator-status-bits as carried in the LISP data header: bit i set iff
+  /// rlocs[i].reachable.
+  [[nodiscard]] std::uint32_t locator_status_bits() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MapEntry&, const MapEntry&) = default;
+};
+
+/// The paper's Step 7b mapping tuple (ES, ED, RLOC_S, RLOC_D): packets of
+/// the flow ES -> ED are encapsulated from RLOC_S to RLOC_D, where RLOC_S
+/// may differ from the encapsulating ITR's own address (one-way tunnels,
+/// the basis of the inbound-TE claim (iii)).
+struct FlowMapping {
+  net::Ipv4Address source_eid;       ///< ES
+  net::Ipv4Address destination_eid;  ///< ED
+  net::Ipv4Address source_rloc;      ///< RLOC_S — chosen by the local PCE/IRC
+  net::Ipv4Address destination_rloc; ///< RLOC_D — chosen by the remote PCE/IRC
+  std::uint64_t version = 0;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FlowMapping&, const FlowMapping&) = default;
+};
+
+/// Computes the canonical flow hash used for weight-based RLOC selection.
+[[nodiscard]] std::uint64_t flow_hash(net::Ipv4Address src, net::Ipv4Address dst,
+                                      std::uint16_t src_port,
+                                      std::uint16_t dst_port) noexcept;
+
+}  // namespace lispcp::lisp

@@ -1,0 +1,194 @@
+#include "mapping/map_server.hpp"
+
+#include "net/ports.hpp"
+
+namespace lispcp::mapping {
+
+MapServer::MapServer(sim::Network& network, std::string name,
+                     net::Ipv4Address address, MapServerConfig config)
+    : Node(network, std::move(name)), config_(config) {
+  add_address(address);
+  sim().schedule_daemon(config_.sweep_interval, [this] { sweep(); });
+}
+
+void MapServer::deliver(net::Packet packet) {
+  const auto* udp = packet.udp();
+  if (udp != nullptr && udp->dst_port == net::ports::kLispControl) {
+    if (auto reg = packet.payload_as<lisp::MapRegister>()) {
+      handle_register(packet, *reg);
+      return;
+    }
+    if (auto request = packet.payload_as<lisp::MapRequest>()) {
+      handle_request(packet, *request);
+      return;
+    }
+  }
+  Node::deliver(std::move(packet));
+}
+
+void MapServer::handle_register(const net::Packet& packet,
+                                const lisp::MapRegister& reg) {
+  ++stats_.registers_received;
+  const auto expires =
+      sim().now() + sim::SimDuration::seconds(reg.ttl_seconds());
+  for (const auto& entry : reg.entries()) {
+    const bool fresh = !expiry_index_.contains(entry.eid_prefix);
+    registrations_.insert(
+        entry.eid_prefix,
+        Registration{entry, packet.outer_ip().src, expires});
+    expiry_index_[entry.eid_prefix] = expires;
+    if (fresh) ++stats_.records_registered;
+  }
+}
+
+void MapServer::handle_request(const net::Packet& packet,
+                               const lisp::MapRequest& request) {
+  (void)packet;
+  ++stats_.requests_received;
+  Registration* registration = registrations_.lookup(request.target_eid());
+  if (registration == nullptr || registration->expires <= sim().now()) {
+    send_negative_reply(request);
+    return;
+  }
+  if (config_.proxy_reply) {
+    ++stats_.proxy_replies;
+    auto reply =
+        std::make_shared<lisp::MapReply>(request.nonce(), registration->entry);
+    sim().schedule(config_.processing_delay, [this, reply,
+                                              to = request.reply_to_rloc()] {
+      send(net::Packet::udp(address(), to, net::ports::kLispControl,
+                            net::ports::kLispControl, reply));
+    });
+    return;
+  }
+  // Non-proxy: hand the request to the registering ETR; it replies straight
+  // to the ITR named inside the request.
+  ++stats_.requests_forwarded;
+  auto forwarded = std::make_shared<lisp::MapRequest>(
+      request.nonce(), request.target_eid(), request.reply_to_rloc(),
+      /*record_route=*/false);
+  sim().schedule(config_.processing_delay,
+                 [this, forwarded, to = registration->etr_rloc] {
+                   send(net::Packet::udp(address(), to,
+                                         net::ports::kLispControl,
+                                         net::ports::kLispControl, forwarded));
+                 });
+}
+
+void MapServer::send_negative_reply(const lisp::MapRequest& request) {
+  ++stats_.negative_replies;
+  // A Negative Map-Reply: no locators, short TTL, covering just the host.
+  lisp::MapEntry negative;
+  negative.eid_prefix = net::Ipv4Prefix::host(request.target_eid());
+  negative.ttl_seconds = config_.negative_ttl_seconds;
+  auto reply =
+      std::make_shared<lisp::MapReply>(request.nonce(), std::move(negative));
+  sim().schedule(config_.processing_delay, [this, reply,
+                                            to = request.reply_to_rloc()] {
+    send(net::Packet::udp(address(), to, net::ports::kLispControl,
+                          net::ports::kLispControl, reply));
+  });
+}
+
+void MapServer::sweep() {
+  const auto now = sim().now();
+  for (auto it = expiry_index_.begin(); it != expiry_index_.end();) {
+    if (it->second <= now) {
+      registrations_.erase(it->first);
+      it = expiry_index_.erase(it);
+      ++stats_.registrations_expired;
+      if (stats_.records_registered > 0) --stats_.records_registered;
+    } else {
+      ++it;
+    }
+  }
+  sim().schedule_daemon(config_.sweep_interval, [this] { sweep(); });
+}
+
+const lisp::MapEntry* MapServer::find_registration(net::Ipv4Address eid) const {
+  const Registration* registration = registrations_.lookup(eid);
+  if (registration == nullptr || registration->expires <= sim().now()) {
+    return nullptr;
+  }
+  return &registration->entry;
+}
+
+MapResolver::MapResolver(sim::Network& network, std::string name,
+                         net::Ipv4Address address,
+                         sim::SimDuration processing_delay)
+    : Node(network, std::move(name)), processing_delay_(processing_delay) {
+  add_address(address);
+}
+
+void MapResolver::add_map_server_route(const net::Ipv4Prefix& prefix,
+                                       net::Ipv4Address map_server) {
+  ms_table_.insert(prefix, map_server);
+}
+
+void MapResolver::deliver(net::Packet packet) {
+  const auto* udp = packet.udp();
+  if (udp != nullptr && udp->dst_port == net::ports::kLispControl) {
+    if (auto request = packet.payload_as<lisp::MapRequest>()) {
+      ++stats_.requests_received;
+      const net::Ipv4Address* ms = ms_table_.lookup(request->target_eid());
+      if (ms == nullptr) {
+        ++stats_.negative_replies;
+        lisp::MapEntry negative;
+        negative.eid_prefix = net::Ipv4Prefix::host(request->target_eid());
+        negative.ttl_seconds = 15;
+        auto reply = std::make_shared<lisp::MapReply>(request->nonce(),
+                                                      std::move(negative));
+        sim().schedule(processing_delay_,
+                       [this, reply, to = request->reply_to_rloc()] {
+                         send(net::Packet::udp(address(), to,
+                                               net::ports::kLispControl,
+                                               net::ports::kLispControl,
+                                               reply));
+                       });
+        return;
+      }
+      ++stats_.requests_forwarded;
+      auto forwarded = request;
+      sim().schedule(processing_delay_, [this, forwarded, to = *ms] {
+        send(net::Packet::udp(address(), to, net::ports::kLispControl,
+                              net::ports::kLispControl, forwarded));
+      });
+      return;
+    }
+  }
+  Node::deliver(std::move(packet));
+}
+
+EtrRegistrar::EtrRegistrar(lisp::TunnelRouter& xtr, net::Ipv4Address map_server,
+                           std::vector<lisp::MapEntry> entries,
+                           RegistrarConfig config)
+    : xtr_(xtr),
+      map_server_(map_server),
+      entries_(std::move(entries)),
+      config_(config) {
+  const auto ttl = sim::SimDuration::seconds(config_.ttl_seconds);
+  if (config_.refresh_interval >= ttl) {
+    throw std::invalid_argument(
+        "EtrRegistrar: refresh_interval must be below the registration TTL");
+  }
+}
+
+void EtrRegistrar::start() {
+  if (started_) return;
+  started_ = true;
+  register_now();
+}
+
+void EtrRegistrar::register_now() {
+  if (!running_) return;
+  ++stats_.registers_sent;
+  auto reg = std::make_shared<lisp::MapRegister>(next_nonce_++,
+                                                 config_.ttl_seconds, entries_);
+  xtr_.send(net::Packet::udp(xtr_.rloc(), map_server_,
+                             net::ports::kLispControl,
+                             net::ports::kLispControl, std::move(reg)));
+  xtr_.sim().schedule_daemon(config_.refresh_interval,
+                             [this] { register_now(); });
+}
+
+}  // namespace lispcp::mapping

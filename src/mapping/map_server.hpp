@@ -1,0 +1,168 @@
+// map_server.hpp — the Map-Server / Map-Resolver mapping system
+// (draft-lisp-ms), the fourth contemporaneous control-plane proposal next
+// to the ALT / CONS / NERD baselines the paper names — and the one the
+// LISP community eventually deployed.
+//
+// Division of labour:
+//
+//   * ETRs register their site's mapping records with a Map-Server
+//     (Map-Register, lisp::MapRegister) under a registration TTL and
+//     refresh them periodically (EtrRegistrar); a site that stops
+//     refreshing ages out.
+//   * ITRs send Map-Requests to a Map-Resolver, which routes them to the
+//     Map-Server holding the registration (in deployment the MR finds the
+//     MS over the ALT; this simulation flattens that into a static
+//     prefix-to-MS table — the substitution changes one overlay traversal
+//     into one hop, documented in DESIGN.md).
+//   * The Map-Server forwards the request to a registered ETR, which sends
+//     the Map-Reply directly to the ITR (non-proxy mode, the draft
+//     default), or answers itself from the registration (proxy mode).
+//   * Unregistered EIDs get a Negative Map-Reply (an entry with no
+//     locators and a short TTL) so the ITR caches the miss.
+//
+// Resolution latency is therefore ITR->MR->MS->ETR->ITR (three control
+// hops plus the reply), between ALT (overlay traversal) and NERD (no
+// resolution at all) — exactly the regime experiment E5 compares.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "lisp/control.hpp"
+#include "lisp/tunnel_router.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace lispcp::mapping {
+
+struct MapServerConfig {
+  /// Answer from the registration instead of forwarding to the ETR.
+  bool proxy_reply = false;
+  /// Negative Map-Reply TTL (draft-lisp-ms §4.1 suggests short).
+  std::uint32_t negative_ttl_seconds = 15;
+  /// Per-message control-plane processing.
+  sim::SimDuration processing_delay = sim::SimDuration::micros(200);
+  /// How often expired registrations are swept out.
+  sim::SimDuration sweep_interval = sim::SimDuration::seconds(5);
+};
+
+struct MapServerStats {
+  std::uint64_t registers_received = 0;
+  std::uint64_t records_registered = 0;   ///< entries currently live
+  std::uint64_t requests_received = 0;
+  std::uint64_t requests_forwarded = 0;   ///< non-proxy: handed to the ETR
+  std::uint64_t proxy_replies = 0;
+  std::uint64_t negative_replies = 0;
+  std::uint64_t registrations_expired = 0;
+};
+
+class MapServer : public sim::Node {
+ public:
+  MapServer(sim::Network& network, std::string name, net::Ipv4Address address,
+            MapServerConfig config);
+
+  void deliver(net::Packet packet) override;
+
+  [[nodiscard]] const MapServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t registration_count() const noexcept {
+    return expiry_index_.size();
+  }
+  /// The registering ETR for `eid`, if a live registration covers it.
+  [[nodiscard]] const lisp::MapEntry* find_registration(net::Ipv4Address eid) const;
+
+ private:
+  struct Registration {
+    lisp::MapEntry entry;
+    net::Ipv4Address etr_rloc;   ///< who registered (forward target)
+    sim::SimTime expires;
+  };
+
+  void handle_register(const net::Packet& packet,
+                       const lisp::MapRegister& reg);
+  void handle_request(const net::Packet& packet,
+                      const lisp::MapRequest& request);
+  void send_negative_reply(const lisp::MapRequest& request);
+  void sweep();
+
+  MapServerConfig config_;
+  net::PrefixTrie<Registration> registrations_;
+  std::map<net::Ipv4Prefix, sim::SimTime> expiry_index_;  ///< for the sweep
+  MapServerStats stats_;
+};
+
+struct MapResolverStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t negative_replies = 0;  ///< no Map-Server covers the EID
+};
+
+/// The ITR-facing front end: routes Map-Requests to the Map-Server that
+/// holds the registration.
+class MapResolver : public sim::Node {
+ public:
+  MapResolver(sim::Network& network, std::string name, net::Ipv4Address address,
+              sim::SimDuration processing_delay = sim::SimDuration::micros(200));
+
+  /// Routes requests for `prefix` to the Map-Server at `map_server`.
+  void add_map_server_route(const net::Ipv4Prefix& prefix,
+                            net::Ipv4Address map_server);
+
+  void deliver(net::Packet packet) override;
+
+  [[nodiscard]] const MapResolverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t route_count() const noexcept {
+    return ms_table_.size();
+  }
+
+ private:
+  sim::SimDuration processing_delay_;
+  net::PrefixTrie<net::Ipv4Address> ms_table_;
+  MapResolverStats stats_;
+};
+
+struct RegistrarConfig {
+  /// Registration lifetime granted to the Map-Server.
+  std::uint32_t ttl_seconds = 180;
+  /// Refresh period; must be comfortably below the TTL.
+  sim::SimDuration refresh_interval = sim::SimDuration::seconds(60);
+};
+
+struct RegistrarStats {
+  std::uint64_t registers_sent = 0;
+};
+
+/// Periodic Map-Register emission on behalf of one border router (the
+/// draft's ETR registration loop).
+class EtrRegistrar {
+ public:
+  EtrRegistrar(lisp::TunnelRouter& xtr, net::Ipv4Address map_server,
+               std::vector<lisp::MapEntry> entries, RegistrarConfig config);
+
+  EtrRegistrar(const EtrRegistrar&) = delete;
+  EtrRegistrar& operator=(const EtrRegistrar&) = delete;
+
+  /// Sends the first Map-Register now and refreshes on a daemon timer.
+  /// Idempotent.
+  void start();
+
+  /// Stops refreshing (site decommission / mobility-away); the Map-Server
+  /// entry then lapses at its TTL.
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] const RegistrarStats& stats() const noexcept { return stats_; }
+
+ private:
+  void register_now();
+
+  lisp::TunnelRouter& xtr_;
+  net::Ipv4Address map_server_;
+  std::vector<lisp::MapEntry> entries_;
+  RegistrarConfig config_;
+  bool started_ = false;
+  bool running_ = true;
+  std::uint64_t next_nonce_ = 1;
+  RegistrarStats stats_;
+};
+
+}  // namespace lispcp::mapping

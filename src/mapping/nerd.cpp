@@ -1,0 +1,68 @@
+#include "mapping/nerd.hpp"
+
+#include "net/ports.hpp"
+
+namespace lispcp::mapping {
+
+NerdAuthority::NerdAuthority(sim::Network& network, std::string name,
+                             net::Ipv4Address address, NerdConfig config)
+    : Node(network, std::move(name)), config_(config) {
+  add_address(address);
+}
+
+void NerdAuthority::subscribe(net::Ipv4Address consumer) {
+  subscribers_.push_back(consumer);
+}
+
+void NerdAuthority::load_database(std::vector<lisp::MapEntry> entries) {
+  for (auto& entry : entries) {
+    database_[entry.eid_prefix] = std::move(entry);
+  }
+}
+
+void NerdAuthority::submit_update(lisp::MapEntry entry) {
+  ++stats_.updates_submitted;
+  database_[entry.eid_prefix] = entry;
+  pending_updates_.push_back(std::move(entry));
+}
+
+void NerdAuthority::push_full() {
+  ++stats_.full_pushes;
+  std::vector<lisp::MapEntry> all;
+  all.reserve(database_.size());
+  for (const auto& [prefix, entry] : database_) all.push_back(entry);
+  push_entries(all);
+}
+
+void NerdAuthority::start() {
+  if (started_) return;
+  started_ = true;
+  sim().schedule_daemon(config_.push_interval, [this] { on_push_timer(); });
+}
+
+void NerdAuthority::on_push_timer() {
+  if (!pending_updates_.empty()) {
+    ++stats_.delta_pushes;
+    push_entries(pending_updates_);
+    pending_updates_.clear();
+  }
+  sim().schedule_daemon(config_.push_interval, [this] { on_push_timer(); });
+}
+
+void NerdAuthority::push_entries(const std::vector<lisp::MapEntry>& entries) {
+  ++generation_;
+  for (std::size_t start = 0; start < entries.size(); start += config_.chunk_size) {
+    const std::size_t end = std::min(start + config_.chunk_size, entries.size());
+    std::vector<lisp::MapEntry> chunk(entries.begin() + start, entries.begin() + end);
+    auto push = std::make_shared<lisp::MapPush>(std::move(chunk), generation_);
+    stats_.entries_pushed += end - start;
+    for (auto consumer : subscribers_) {
+      sim().schedule(config_.processing_delay, [this, consumer, push] {
+        send(net::Packet::udp(address(), consumer, net::ports::kNerd,
+                              net::ports::kNerd, push));
+      });
+    }
+  }
+}
+
+}  // namespace lispcp::mapping

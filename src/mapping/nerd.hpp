@@ -1,0 +1,77 @@
+// nerd.hpp — NERD-style push mapping database.
+//
+// NERD (draft-lear-lisp-nerd) distributes the *entire* EID-to-RLOC database
+// to every consumer ahead of time: there are no resolution misses, so no
+// packets are dropped or queued — but every mapping change must propagate
+// through a periodic (signed, in the real protocol) database update, so
+// consumers forward on stale mappings between pushes.  This is the "no
+// drops, but slow to change and heavyweight" corner of the design space the
+// paper positions the PCE control plane against.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lisp/control.hpp"
+#include "mapping/registry.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace lispcp::mapping {
+
+struct NerdConfig {
+  /// Interval between delta pushes (the protocol's refresh period).
+  sim::SimDuration push_interval = sim::SimDuration::seconds(60);
+  /// Server-side processing per push batch.
+  sim::SimDuration processing_delay = sim::SimDuration::millis(1);
+  /// Records per push packet (large databases are chunked).
+  std::size_t chunk_size = 64;
+};
+
+struct NerdStats {
+  std::uint64_t full_pushes = 0;
+  std::uint64_t delta_pushes = 0;
+  std::uint64_t entries_pushed = 0;
+  std::uint64_t updates_submitted = 0;
+};
+
+class NerdAuthority : public sim::Node {
+ public:
+  NerdAuthority(sim::Network& network, std::string name, net::Ipv4Address address,
+                NerdConfig config);
+
+  /// Adds a consumer (ITR) that receives database pushes.
+  void subscribe(net::Ipv4Address consumer);
+
+  /// Seeds the database from the registry snapshot.
+  void load_database(std::vector<lisp::MapEntry> entries);
+
+  /// Accepts a mapping change; it is distributed with the *next* periodic
+  /// delta push (this batching delay is NERD's staleness window).
+  void submit_update(lisp::MapEntry entry);
+
+  /// Immediately pushes the full database to all subscribers (bootstrap).
+  void push_full();
+
+  /// Starts the periodic delta push cycle.
+  void start();
+
+  [[nodiscard]] const NerdStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t database_size() const noexcept { return database_.size(); }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  void push_entries(const std::vector<lisp::MapEntry>& entries);
+  void on_push_timer();
+
+  NerdConfig config_;
+  NerdStats stats_;
+  std::vector<net::Ipv4Address> subscribers_;
+  std::unordered_map<net::Ipv4Prefix, lisp::MapEntry> database_;
+  std::vector<lisp::MapEntry> pending_updates_;
+  std::uint64_t generation_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace lispcp::mapping

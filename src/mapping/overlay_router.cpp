@@ -1,0 +1,91 @@
+#include "mapping/overlay_router.hpp"
+
+#include "net/ports.hpp"
+
+namespace lispcp::mapping {
+
+OverlayRouter::OverlayRouter(sim::Network& network, std::string name,
+                             net::Ipv4Address address, OverlayRouterConfig config)
+    : Node(network, std::move(name)), config_(config) {
+  add_address(address);
+}
+
+void OverlayRouter::add_overlay_route(const net::Ipv4Prefix& prefix,
+                                      net::Ipv4Address next_hop) {
+  routes_.insert(prefix, next_hop);
+}
+
+void OverlayRouter::deliver(net::Packet packet) {
+  if (packet.outer_ip().protocol == net::IpProto::kIpInIp) {
+    forward_data(std::move(packet));
+    return;
+  }
+  const auto* udp = packet.udp();
+  if (udp != nullptr && udp->dst_port == net::ports::kLispControl) {
+    if (auto request = packet.payload_as<lisp::MapRequest>()) {
+      forward_request(*request);
+      return;
+    }
+    if (auto reply = packet.payload_as<lisp::MapReply>()) {
+      relay_reply(*reply);
+      return;
+    }
+  }
+  Node::deliver(std::move(packet));
+}
+
+void OverlayRouter::forward_request(const lisp::MapRequest& request) {
+  const net::Ipv4Address* next = routes_.lookup(request.target_eid());
+  if (next == nullptr) {
+    ++stats_.no_route;
+    return;
+  }
+  ++stats_.requests_forwarded;
+  std::shared_ptr<const lisp::MapRequest> forwarded;
+  if (config_.mode == OverlayMode::kCons && request.record_route()) {
+    forwarded = request.with_hop(address());
+  } else {
+    forwarded = std::make_shared<lisp::MapRequest>(request);
+  }
+  const net::Ipv4Address to = *next;
+  sim().schedule(config_.processing_delay, [this, to, forwarded] {
+    send(net::Packet::udp(address(), to, net::ports::kLispControl,
+                          net::ports::kLispControl, forwarded));
+  });
+}
+
+void OverlayRouter::relay_reply(const lisp::MapReply& reply) {
+  if (reply.path().empty()) {
+    // Nothing left to retrace: misdirected reply.
+    ++stats_.no_route;
+    return;
+  }
+  ++stats_.replies_relayed;
+  const net::Ipv4Address next = reply.path().back();
+  auto popped = reply.with_path_popped();
+  sim().schedule(config_.processing_delay, [this, next, popped] {
+    send(net::Packet::udp(address(), next, net::ports::kLispControl,
+                          net::ports::kLispControl, popped));
+  });
+}
+
+void OverlayRouter::forward_data(net::Packet packet) {
+  // Strip the incoming overlay hop and re-tunnel toward the next one.
+  packet.pop_outer();
+  const net::Ipv4Address* next = routes_.lookup(packet.inner_ip().dst);
+  if (next == nullptr) {
+    ++stats_.no_route;
+    network().drop(sim::DropReason::kNoRoute, packet);
+    return;
+  }
+  ++stats_.data_forwarded;
+  net::Ipv4Header outer;
+  outer.src = address();
+  outer.dst = *next;
+  outer.protocol = net::IpProto::kIpInIp;
+  packet.push_outer(outer);
+  sim().schedule(config_.processing_delay,
+                 [this, p = std::move(packet)]() mutable { send(std::move(p)); });
+}
+
+}  // namespace lispcp::mapping

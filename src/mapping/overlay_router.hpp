@@ -1,0 +1,81 @@
+// overlay_router.hpp — ALT / CONS mapping-overlay routers.
+//
+// Both baselines the paper cites are aggregation hierarchies of dedicated
+// routers that carry Map-Requests toward the ETR registering the queried
+// EID prefix:
+//
+//   * LISP+ALT (draft-fuller-lisp-alt): GRE/BGP overlay; the Map-Request is
+//     routed hop by hop up and down the aggregation tree, and the ETR sends
+//     the Map-Reply *directly* to the requesting ITR over the native
+//     Internet.
+//
+//   * LISP-CONS (draft-meyer-lisp-cons): a content-distribution hierarchy
+//     of CARs/CDRs; the request records its route and the *reply retraces
+//     the overlay path*, roughly doubling resolution latency relative to
+//     ALT for symmetric trees.
+//
+// One router class covers both: in CONS mode it appends itself to the
+// request's recorded route and relays replies back down.  Overlay hops are
+// unicast UDP between router addresses, so the underlay topology (and its
+// congestion) shapes resolution latency exactly as it would in deployment.
+// ALT routers also forward data packets tunnelled into the overlay by ITRs
+// using the kForwardOverlay miss palliative (IP-in-IP hop-by-hop re-tunnel).
+#pragma once
+
+#include <cstdint>
+
+#include "lisp/control.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace lispcp::mapping {
+
+enum class OverlayMode {
+  kAlt,   ///< direct Map-Reply to the requester
+  kCons,  ///< record-route request, reply relayed back down the tree
+};
+
+struct OverlayRouterConfig {
+  OverlayMode mode = OverlayMode::kAlt;
+  /// Per-hop control processing (BGP/GRE lookup on 2008 hardware).
+  sim::SimDuration processing_delay = sim::SimDuration::micros(300);
+};
+
+struct OverlayRouterStats {
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t replies_relayed = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t no_route = 0;
+};
+
+class OverlayRouter : public sim::Node {
+ public:
+  OverlayRouter(sim::Network& network, std::string name, net::Ipv4Address address,
+                OverlayRouterConfig config);
+
+  /// Installs an overlay route: EID `prefix` is reached via `next_hop`
+  /// (another overlay router, or the registering ETR's RLOC at the edge).
+  void add_overlay_route(const net::Ipv4Prefix& prefix, net::Ipv4Address next_hop);
+
+  /// The default (aggregate) route toward the parent router.
+  void set_parent(net::Ipv4Address parent) {
+    add_overlay_route(net::Ipv4Prefix(), parent);
+  }
+
+  void deliver(net::Packet packet) override;
+
+  [[nodiscard]] const OverlayRouterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t route_count() const noexcept { return routes_.size(); }
+
+ private:
+  void forward_request(const lisp::MapRequest& request);
+  void relay_reply(const lisp::MapReply& reply);
+  void forward_data(net::Packet packet);
+
+  OverlayRouterConfig config_;
+  net::PrefixTrie<net::Ipv4Address> routes_;
+  OverlayRouterStats stats_;
+};
+
+}  // namespace lispcp::mapping

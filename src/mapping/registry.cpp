@@ -1,0 +1,39 @@
+#include "mapping/registry.hpp"
+
+namespace lispcp::mapping {
+
+void MappingRegistry::register_site(lisp::MapEntry entry) {
+  entry.version = next_version_++;
+  if (entries_.insert(entry.eid_prefix, entry)) {
+    ++count_;
+  }
+}
+
+const lisp::MapEntry* MappingRegistry::lookup(net::Ipv4Address eid) const noexcept {
+  return entries_.lookup(eid);
+}
+
+const lisp::MapEntry* MappingRegistry::find(
+    const net::Ipv4Prefix& prefix) const noexcept {
+  return entries_.find_exact(prefix);
+}
+
+std::uint64_t MappingRegistry::update_rlocs(const net::Ipv4Prefix& prefix,
+                                            std::vector<lisp::Rloc> rlocs) {
+  lisp::MapEntry* entry = entries_.find_exact(prefix);
+  if (entry == nullptr) return 0;
+  entry->rlocs = std::move(rlocs);
+  entry->version = next_version_++;
+  return entry->version;
+}
+
+std::vector<lisp::MapEntry> MappingRegistry::all() const {
+  std::vector<lisp::MapEntry> out;
+  out.reserve(count_);
+  entries_.for_each([&out](const net::Ipv4Prefix&, const lisp::MapEntry& e) {
+    out.push_back(e);
+  });
+  return out;
+}
+
+}  // namespace lispcp::mapping

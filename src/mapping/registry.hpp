@@ -1,0 +1,49 @@
+// registry.hpp — ground-truth EID-to-RLOC mapping database.
+//
+// Every site registers its mapping here when the topology is built.  The
+// registry itself is not a protocol — it is the oracle the control planes
+// are seeded from: the ALT/CONS overlays derive their aggregation routes
+// from it, the NERD authority snapshots it as the pushed database, and the
+// per-domain PCE/IRC engines own the records for their local prefixes.
+// Tests use it to check that whatever a control plane resolved matches the
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lisp/map_entry.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace lispcp::mapping {
+
+class MappingRegistry {
+ public:
+  /// Registers (or replaces) the mapping for its EID prefix.  Replacements
+  /// bump the version so consumers can detect staleness.
+  void register_site(lisp::MapEntry entry);
+
+  /// Longest-prefix-match lookup of the authoritative mapping for `eid`.
+  [[nodiscard]] const lisp::MapEntry* lookup(net::Ipv4Address eid) const noexcept;
+
+  /// Exact lookup by prefix.
+  [[nodiscard]] const lisp::MapEntry* find(const net::Ipv4Prefix& prefix) const noexcept;
+
+  /// Applies a TE change to an existing mapping (new RLOC set), bumping the
+  /// version.  Returns the new version, or 0 if the prefix is unknown.
+  std::uint64_t update_rlocs(const net::Ipv4Prefix& prefix,
+                             std::vector<lisp::Rloc> rlocs);
+
+  /// Snapshot of every registered record (NERD database bootstrap).
+  [[nodiscard]] std::vector<lisp::MapEntry> all() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  net::PrefixTrie<lisp::MapEntry> entries_;
+  std::size_t count_ = 0;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace lispcp::mapping

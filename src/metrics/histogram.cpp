@@ -1,0 +1,109 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lispcp::metrics {
+
+void Summary::add(double x) noexcept {
+  ++count_;
+  total_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Summary::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  total_ += other.total_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+int Histogram::bucket_of(double value) noexcept {
+  if (value < 1.0) return 0;
+  // log-linear: decade via log10, sub-bucket linear within the decade.
+  const double l = std::log10(value);
+  int decade = static_cast<int>(l);
+  if (decade >= kDecades) return kBucketCount - 1;
+  const double lo = std::pow(10.0, decade);
+  const double frac = (value - lo) / (lo * 9.0);  // [0,1) within decade
+  int sub = static_cast<int>(frac * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return 1 + decade * kSubBuckets + sub;
+}
+
+double Histogram::bucket_upper(int bucket) noexcept {
+  if (bucket <= 0) return 1.0;
+  const int idx = bucket - 1;
+  const int decade = idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  const double lo = std::pow(10.0, decade);
+  return lo + lo * 9.0 * (static_cast<double>(sub + 1) / kSubBuckets);
+}
+
+void Histogram::add(double value) noexcept {
+  summary_.add(value);
+  ++buckets_[static_cast<std::size_t>(bucket_of(std::max(value, 0.0)))];
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const auto n = summary_.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return summary_.min();
+  if (q >= 1.0) return summary_.max();
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      return std::min(bucket_upper(b), summary_.max());
+    }
+  }
+  return summary_.max();
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  summary_.merge(other.summary_);
+  for (int b = 0; b < kBucketCount; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
+}
+
+std::string Histogram::brief(const std::string& unit) const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.2f%s p50=%.2f%s p95=%.2f%s p99=%.2f%s max=%.2f%s",
+                static_cast<unsigned long long>(count()), mean(), unit.c_str(),
+                p50(), unit.c_str(), p95(), unit.c_str(), p99(), unit.c_str(),
+                max(), unit.c_str());
+  return buf;
+}
+
+}  // namespace lispcp::metrics

@@ -1,0 +1,84 @@
+// histogram.hpp — latency statistics for experiment reporting.
+//
+// Two collectors: `Summary` keeps exact running moments plus min/max;
+// `Histogram` adds percentile queries via logarithmic bucketing (HDR-style,
+// ~1% relative error over nine decades), which is how every latency series
+// in EXPERIMENTS.md is reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lispcp::metrics {
+
+/// Running mean / variance (Welford) with min and max.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Log-bucketed histogram over non-negative values.
+///
+/// Buckets: [0], then per-decade subdivisions with `kSubBuckets` buckets per
+/// decade covering [1, 1e9] after scaling by `unit`.  Values are recorded in
+/// any unit the caller chooses (we use microseconds for latencies).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void add(double value) noexcept;
+  void add_duration(sim::SimDuration d) noexcept { add(d.us()); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return summary_.count(); }
+  [[nodiscard]] double mean() const noexcept { return summary_.mean(); }
+  [[nodiscard]] double min() const noexcept { return summary_.min(); }
+  [[nodiscard]] double max() const noexcept { return summary_.max(); }
+  [[nodiscard]] double stddev() const noexcept { return summary_.stddev(); }
+
+  /// Value at quantile q in [0, 1]; exact min/max at the ends, bucket upper
+  /// bound otherwise.  Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  [[nodiscard]] double p50() const noexcept { return percentile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return percentile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return percentile(0.99); }
+
+  void merge(const Histogram& other) noexcept;
+
+  /// "n=..., mean=..., p50/p95/p99=..., max=..." one-liner.
+  [[nodiscard]] std::string brief(const std::string& unit = "us") const;
+
+ private:
+  static constexpr int kSubBuckets = 64;   // per decade
+  static constexpr int kDecades = 10;      // [1, 1e10)
+  static constexpr int kBucketCount = 1 + kSubBuckets * kDecades;
+
+  [[nodiscard]] static int bucket_of(double value) noexcept;
+  [[nodiscard]] static double bucket_upper(int bucket) noexcept;
+
+  Summary summary_;
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBucketCount, 0);
+};
+
+}  // namespace lispcp::metrics

@@ -1,0 +1,49 @@
+// table.hpp — aligned-text and CSV table output for the benchmark harness.
+//
+// Every bench binary prints the paper-style table through this class, so all
+// experiment output has a uniform, machine-parsable shape.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lispcp::metrics {
+
+/// A simple column-oriented table: set headers once, append rows of cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::uint64_t v);
+  static std::string percent(double fraction, int precision = 2);
+
+  /// Writes an aligned, pipe-separated table (markdown-compatible).
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-style CSV (cells containing commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace lispcp::metrics

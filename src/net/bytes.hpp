@@ -1,0 +1,147 @@
+// bytes.hpp — bounds-checked big-endian byte serialization.
+//
+// All wire formats in the library (IPv4/UDP/TCP/LISP headers, DNS messages,
+// PCE control messages) serialize through ByteWriter and parse through
+// ByteReader.  Network byte order (big endian) throughout.  Readers throw
+// ParseError on truncated input — a packet that parses is structurally valid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace lispcp::net {
+
+/// Thrown by ByteReader (and message parsers built on it) on malformed or
+/// truncated wire input.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian fields to a growable byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buffer_.push_back(std::byte{v}); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  void address(Ipv4Address a) { u32(a.value()); }
+
+  void bytes(std::span<const std::byte> data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u8) string; throws std::length_error beyond 255 bytes.
+  /// Used by DNS labels and PCE message fields.
+  void counted_string(std::string_view s) {
+    if (s.size() > 255) {
+      throw std::length_error("ByteWriter::counted_string: > 255 bytes");
+    }
+    u8(static_cast<std::uint8_t>(s.size()));
+    for (char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+
+  /// Overwrites a previously written u16 at `offset` (e.g. a length field
+  /// backfilled after the body is known).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buffer_.size()) {
+      throw std::out_of_range("ByteWriter::patch_u16 outside buffer");
+    }
+    buffer_[offset] = std::byte{static_cast<std::uint8_t>(v >> 8)};
+    buffer_[offset + 1] = std::byte{static_cast<std::uint8_t>(v)};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::span<const std::byte> view() const noexcept { return buffer_; }
+
+  /// Moves the accumulated buffer out; the writer is left empty but reusable.
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Consumes big-endian fields from a byte span.  Throws ParseError when the
+/// input is shorter than a requested field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  std::uint8_t u8() {
+    require(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t u16() {
+    const auto hi = u8();
+    return static_cast<std::uint16_t>((std::uint16_t{hi} << 8) | u8());
+  }
+
+  std::uint32_t u32() {
+    const auto hi = u16();
+    return (std::uint32_t{hi} << 16) | u16();
+  }
+
+  std::uint64_t u64() {
+    const auto hi = u32();
+    return (std::uint64_t{hi} << 32) | u32();
+  }
+
+  Ipv4Address address() { return Ipv4Address(u32()); }
+
+  std::span<const std::byte> bytes(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Counterpart of ByteWriter::counted_string.
+  std::string counted_string() {
+    const auto n = u8();
+    auto raw = bytes(n);
+    return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+
+  void skip(std::size_t n) { require(n), pos_ += n; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw ParseError("ByteReader: truncated input (need " + std::to_string(n) +
+                       " bytes, have " + std::to_string(remaining()) + ")");
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lispcp::net

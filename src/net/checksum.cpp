@@ -1,0 +1,26 @@
+#include "net/checksum.hpp"
+
+namespace lispcp::net {
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint64_t{static_cast<std::uint8_t>(data[i])} << 8) |
+           std::uint64_t{static_cast<std::uint8_t>(data[i + 1])};
+  }
+  if (i < data.size()) {
+    sum += std::uint64_t{static_cast<std::uint8_t>(data[i])} << 8;
+  }
+  // Fold carries until the sum fits 16 bits (at most a few iterations).
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+bool checksum_ok(std::span<const std::byte> data) noexcept {
+  return internet_checksum(data) == 0;
+}
+
+}  // namespace lispcp::net

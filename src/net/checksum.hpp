@@ -1,0 +1,22 @@
+// checksum.hpp — RFC 1071 Internet checksum.
+//
+// Used by the IPv4 header serializer so that serialized headers are
+// wire-faithful and parsers can verify integrity end to end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lispcp::net {
+
+/// One's-complement sum over `data`, folded to 16 bits, per RFC 1071.
+/// An odd trailing byte is padded with zero (treated as the high byte of the
+/// final 16-bit word).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+
+/// Verifies data whose checksum field is already in place: the RFC 1071 sum
+/// over the whole buffer must be zero.
+[[nodiscard]] bool checksum_ok(std::span<const std::byte> data) noexcept;
+
+}  // namespace lispcp::net

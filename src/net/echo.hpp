@@ -1,0 +1,45 @@
+// echo.hpp — the UDP Echo protocol (RFC 862).
+//
+// The liveness primitive under the failover machinery: every sim::Node
+// answers an echo request to one of its own addresses with an echo reply
+// (as real routers answer ping), so a border router can verify a specific
+// uplink by echoing off the node at its far end.  core::LinkHealthMonitor
+// builds BFD-style up/down detection on top of this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace lispcp::net {
+
+class EchoPayload final : public Payload {
+ public:
+  EchoPayload(std::uint64_t nonce, bool is_reply)
+      : nonce_(nonce), is_reply_(is_reply) {}
+
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return nonce_; }
+  [[nodiscard]] bool is_reply() const noexcept { return is_reply_; }
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override { return 9; }
+  void serialize(ByteWriter& w) const override {
+    w.u64(nonce_);
+    w.u8(is_reply_ ? 1 : 0);
+  }
+  static std::shared_ptr<const EchoPayload> parse_wire(ByteReader& r) {
+    const auto nonce = r.u64();
+    return std::make_shared<EchoPayload>(nonce, r.u8() != 0);
+  }
+  [[nodiscard]] std::string describe() const override {
+    return std::string(is_reply_ ? "Echo-Reply" : "Echo-Request") +
+           " nonce=" + std::to_string(nonce_);
+  }
+
+ private:
+  std::uint64_t nonce_;
+  bool is_reply_;
+};
+
+}  // namespace lispcp::net

@@ -1,0 +1,149 @@
+#include "net/headers.hpp"
+
+#include "net/checksum.hpp"
+
+namespace lispcp::net {
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  ByteWriter h(kWireSize);
+  h.u8(0x45);  // version 4, IHL 5
+  h.u8(dscp << 2);
+  h.u16(total_length);
+  h.u16(identification);
+  h.u16(0x4000);  // flags: DF set, no fragmentation modelled
+  h.u8(ttl);
+  h.u8(static_cast<std::uint8_t>(protocol));
+  h.u16(0);  // checksum placeholder
+  h.address(src);
+  h.address(dst);
+  auto bytes = h.take();
+  const std::uint16_t sum = internet_checksum(bytes);
+  bytes[10] = std::byte{static_cast<std::uint8_t>(sum >> 8)};
+  bytes[11] = std::byte{static_cast<std::uint8_t>(sum)};
+  w.bytes(bytes);
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  auto raw = r.bytes(kWireSize);
+  if (!checksum_ok(raw)) throw ParseError("Ipv4Header: bad checksum");
+  ByteReader h(raw);
+  const auto version_ihl = h.u8();
+  if (version_ihl != 0x45) {
+    throw ParseError("Ipv4Header: unsupported version/IHL");
+  }
+  Ipv4Header out;
+  out.dscp = static_cast<std::uint8_t>(h.u8() >> 2);
+  out.total_length = h.u16();
+  out.identification = h.u16();
+  h.u16();  // flags/fragment offset
+  out.ttl = h.u8();
+  out.protocol = static_cast<IpProto>(h.u8());
+  h.u16();  // checksum (verified above)
+  out.src = h.address();
+  out.dst = h.address();
+  return out;
+}
+
+std::string Ipv4Header::to_string() const {
+  return "IPv4 " + src.to_string() + " -> " + dst.to_string() +
+         " proto=" + std::to_string(static_cast<int>(protocol)) +
+         " ttl=" + std::to_string(ttl) + " len=" + std::to_string(total_length);
+}
+
+void UdpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum not computed (valid for IPv4)
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+  UdpHeader out;
+  out.src_port = r.u16();
+  out.dst_port = r.u16();
+  out.length = r.u16();
+  if (out.length < kWireSize) throw ParseError("UdpHeader: length < 8");
+  r.u16();  // checksum
+  return out;
+}
+
+std::string UdpHeader::to_string() const {
+  return "UDP " + std::to_string(src_port) + " -> " + std::to_string(dst_port) +
+         " len=" + std::to_string(length);
+}
+
+void TcpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  std::uint16_t offset_flags = std::uint16_t{5} << 12;  // data offset 5 words
+  if (flags.fin) offset_flags |= 0x001;
+  if (flags.syn) offset_flags |= 0x002;
+  if (flags.rst) offset_flags |= 0x004;
+  if (flags.ack) offset_flags |= 0x010;
+  w.u16(offset_flags);
+  w.u16(0xFFFF);  // window (fixed; not modelled)
+  w.u16(0);       // checksum (not modelled)
+  w.u16(0);       // urgent pointer
+}
+
+TcpHeader TcpHeader::parse(ByteReader& r) {
+  TcpHeader out;
+  out.src_port = r.u16();
+  out.dst_port = r.u16();
+  out.seq = r.u32();
+  out.ack = r.u32();
+  const auto offset_flags = r.u16();
+  if ((offset_flags >> 12) != 5) {
+    throw ParseError("TcpHeader: options not supported");
+  }
+  out.flags.fin = (offset_flags & 0x001) != 0;
+  out.flags.syn = (offset_flags & 0x002) != 0;
+  out.flags.rst = (offset_flags & 0x004) != 0;
+  out.flags.ack = (offset_flags & 0x010) != 0;
+  r.skip(6);  // window, checksum, urgent
+  return out;
+}
+
+std::string TcpHeader::to_string() const {
+  std::string f;
+  if (flags.syn) f += "S";
+  if (flags.ack) f += "A";
+  if (flags.fin) f += "F";
+  if (flags.rst) f += "R";
+  return "TCP " + std::to_string(src_port) + " -> " + std::to_string(dst_port) +
+         " [" + f + "] seq=" + std::to_string(seq) + " ack=" + std::to_string(ack);
+}
+
+void LispHeader::serialize(ByteWriter& w) const {
+  // Flags byte: N (nonce present) in the top bit, L (locator-status-bits
+  // present) next, matching the draft's N|L|E|V|I|flags layout in spirit.
+  std::uint8_t flags = 0;
+  if (nonce_present) flags |= 0x80;
+  flags |= 0x40;  // LSBs always carried in this implementation
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(nonce >> 16));
+  w.u8(static_cast<std::uint8_t>(nonce >> 8));
+  w.u8(static_cast<std::uint8_t>(nonce));
+  w.u32(locator_status_bits);
+}
+
+LispHeader LispHeader::parse(ByteReader& r) {
+  LispHeader out;
+  const auto flags = r.u8();
+  out.nonce_present = (flags & 0x80) != 0;
+  std::uint32_t nonce = r.u8();
+  nonce = (nonce << 8) | r.u8();
+  nonce = (nonce << 8) | r.u8();
+  out.nonce = nonce;
+  out.locator_status_bits = r.u32();
+  return out;
+}
+
+std::string LispHeader::to_string() const {
+  return "LISP nonce=" + std::to_string(nonce) +
+         " lsb=" + std::to_string(locator_status_bits);
+}
+
+}  // namespace lispcp::net

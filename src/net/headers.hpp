@@ -1,0 +1,106 @@
+// headers.hpp — IPv4 / UDP / TCP / LISP header value types with wire
+// serialization.
+//
+// Each header is a plain struct plus `serialize` / `parse` functions.  The
+// simulator moves packets around as typed header stacks (see packet.hpp) for
+// speed and debuggability, but every header can round-trip through real wire
+// bytes; the test suite exercises this so the formats stay honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/bytes.hpp"
+#include "net/ipv4.hpp"
+#include "net/ports.hpp"
+
+namespace lispcp::net {
+
+/// IPv4 header (no options; IHL always 5).
+struct Ipv4Header {
+  static constexpr std::size_t kWireSize = 20;
+
+  Ipv4Address src;
+  Ipv4Address dst;
+  IpProto protocol = IpProto::kUdp;
+  std::uint8_t ttl = 64;
+  /// Total datagram length (header + payload), maintained by Packet.
+  std::uint16_t total_length = kWireSize;
+  std::uint16_t identification = 0;
+  std::uint8_t dscp = 0;
+
+  /// Serializes 20 bytes with a valid RFC 1071 header checksum.
+  void serialize(ByteWriter& w) const;
+  /// Parses and verifies the header checksum; throws ParseError on failure.
+  static Ipv4Header parse(ByteReader& r);
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+/// UDP header.  The simulator does not compute the UDP pseudo-header
+/// checksum (legal for IPv4: checksum 0 means "not computed").
+struct UdpHeader {
+  static constexpr std::size_t kWireSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  /// Header + payload length, maintained by Packet.
+  std::uint16_t length = kWireSize;
+
+  void serialize(ByteWriter& w) const;
+  static UdpHeader parse(ByteReader& r);
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+/// TCP flags relevant to the connection-setup model.
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+
+  friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+};
+
+/// Simplified TCP header: enough for the workload model to run real
+/// SYN / SYN-ACK / ACK handshakes and measure setup latency (paper §1's
+/// T_setup formulas).  Window/urgent/options are not modelled.
+struct TcpHeader {
+  static constexpr std::size_t kWireSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+
+  void serialize(ByteWriter& w) const;
+  static TcpHeader parse(ByteReader& r);
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+/// LISP data-plane shim header, modelled on draft-farinacci-lisp-08 §5.1:
+/// 8 bytes carried between the outer UDP header and the inner IPv4 packet.
+struct LispHeader {
+  static constexpr std::size_t kWireSize = 8;
+
+  /// Nonce echoed for reachability testing (24 bits on the wire).
+  std::uint32_t nonce = 0;
+  /// Locator-status-bits advertising the up/down state of the source site's
+  /// RLOCs.  Bit i set = RLOC i up.
+  std::uint32_t locator_status_bits = 0;
+  bool nonce_present = true;
+
+  void serialize(ByteWriter& w) const;
+  static LispHeader parse(ByteReader& r);
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const LispHeader&, const LispHeader&) = default;
+};
+
+}  // namespace lispcp::net

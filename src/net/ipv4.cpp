@@ -1,0 +1,105 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <ostream>
+
+namespace lispcp::net {
+
+namespace {
+
+/// Parses one decimal octet in [0, 255] from the front of `text`, advancing
+/// it past the digits.  Returns std::nullopt on failure.
+std::optional<std::uint8_t> parse_octet(std::string_view& text) noexcept {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  // Reject leading zeros like "01" which often indicate octal intent.
+  if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = parse_octet(text);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::from_string(std::string_view text) {
+  auto parsed = parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("Ipv4Address: malformed address '" +
+                                std::string(text) + "'");
+  }
+  return *parsed;
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr) {
+  return os << addr.to_string();
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = 0;
+  auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*address, length);
+}
+
+Ipv4Prefix Ipv4Prefix::from_string(std::string_view text) {
+  auto parsed = parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("Ipv4Prefix: malformed prefix '" +
+                                std::string(text) + "'");
+  }
+  return *parsed;
+}
+
+Ipv4Address Ipv4Prefix::nth(std::uint64_t i) const {
+  if (i >= size()) {
+    throw std::out_of_range("Ipv4Prefix::nth: index " + std::to_string(i) +
+                            " outside " + to_string());
+  }
+  return Ipv4Address(address_.value() + static_cast<std::uint32_t>(i));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Ipv4Prefix& prefix) {
+  return os << prefix.to_string();
+}
+
+}  // namespace lispcp::net

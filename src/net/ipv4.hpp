@@ -1,0 +1,153 @@
+// ipv4.hpp — IPv4 address and prefix value types.
+//
+// Strong types used pervasively across the library: an `Ipv4Address` is a
+// 32-bit value with dotted-quad parsing/formatting, and an `Ipv4Prefix` is an
+// address/length pair kept in canonical form (host bits cleared).  Both are
+// regular types: cheap to copy, totally ordered, hashable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace lispcp::net {
+
+/// A 32-bit IPv4 address.  Stored in host byte order; serialization to wire
+/// format (network byte order) is handled by ByteWriter/ByteReader.
+class Ipv4Address {
+ public:
+  /// Default-constructs the unspecified address 0.0.0.0.
+  constexpr Ipv4Address() noexcept = default;
+
+  /// Constructs from a raw 32-bit value in host byte order.
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+
+  /// Constructs from four dotted-quad octets, e.g. {10, 0, 0, 1}.
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses "a.b.c.d".  Returns std::nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  /// Parses "a.b.c.d"; throws std::invalid_argument on malformed input.
+  /// Intended for literals in tests and topology builders.
+  static Ipv4Address from_string(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Octet accessor: octet(0) is the most significant ("a" in a.b.c.d).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    if (i < 0 || i > 3) throw std::out_of_range("Ipv4Address::octet index");
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept { return value_ == 0; }
+
+  /// Dotted-quad representation, e.g. "10.0.0.1".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr);
+
+/// An IPv4 prefix (address + mask length) in canonical form: construction
+/// clears all host bits, so two prefixes covering the same range compare
+/// equal regardless of how they were written.
+class Ipv4Prefix {
+ public:
+  /// Default-constructs the default route 0.0.0.0/0.
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Canonicalising constructor; throws std::invalid_argument if length > 32.
+  constexpr Ipv4Prefix(Ipv4Address address, int length)
+      : length_(length) {
+    if (length < 0 || length > 32) {
+      throw std::invalid_argument("Ipv4Prefix: length must be in [0, 32]");
+    }
+    address_ = Ipv4Address(address.value() & mask());
+  }
+
+  /// Parses "a.b.c.d/len".  Returns std::nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view text) noexcept;
+
+  /// Parses "a.b.c.d/len"; throws std::invalid_argument on malformed input.
+  static Ipv4Prefix from_string(std::string_view text);
+
+  /// The /32 host prefix for a single address.
+  static constexpr Ipv4Prefix host(Ipv4Address address) noexcept {
+    Ipv4Prefix p;
+    p.address_ = address;
+    p.length_ = 32;
+    return p;
+  }
+
+  [[nodiscard]] constexpr Ipv4Address address() const noexcept { return address_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  /// Network mask as a 32-bit value, e.g. /8 -> 0xFF000000.
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return length_ == 0 ? 0u : ~std::uint32_t{0} << (32 - length_);
+  }
+
+  /// True iff `addr` falls inside this prefix.
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask()) == address_.value();
+  }
+
+  /// True iff `other` is fully covered by this prefix (equal or more specific).
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+
+  /// Number of addresses covered (2^(32-length)); 2^32 saturates to
+  /// std::uint64_t precision, which is exact.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The i-th address inside the prefix; throws std::out_of_range if i is
+  /// outside the block.  Used by topology builders to assign host addresses.
+  [[nodiscard]] Ipv4Address nth(std::uint64_t i) const;
+
+  /// "a.b.c.d/len" representation.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) noexcept =
+      default;
+
+ private:
+  Ipv4Address address_;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Ipv4Prefix& prefix);
+
+}  // namespace lispcp::net
+
+template <>
+struct std::hash<lispcp::net::Ipv4Address> {
+  std::size_t operator()(lispcp::net::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<lispcp::net::Ipv4Prefix> {
+  std::size_t operator()(const lispcp::net::Ipv4Prefix& p) const noexcept {
+    // Mix length into the high bits so /8 and /16 of the same base differ.
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().value()} << 6) ^
+        static_cast<std::uint64_t>(p.length()));
+  }
+};

@@ -1,0 +1,40 @@
+// ports.hpp — well-known protocol numbers and transport ports.
+#pragma once
+
+#include <cstdint>
+
+namespace lispcp::net {
+
+/// IP protocol numbers (IPv4 header "protocol" field).
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kIpInIp = 4,  ///< IP-over-IP tunnelling (LISP data plane per draft-08 §5)
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Transport ports used across the library.
+namespace ports {
+/// UDP Echo (RFC 862): the liveness primitive under failover detection.
+inline constexpr std::uint16_t kEcho = 7;
+inline constexpr std::uint16_t kDns = 53;
+/// LISP data-plane encapsulation port (draft-farinacci-lisp-08).
+inline constexpr std::uint16_t kLispData = 4341;
+/// LISP control-plane port (Map-Request / Map-Reply).
+inline constexpr std::uint16_t kLispControl = 4342;
+/// The paper's "special transport port P" listened on by the source-domain
+/// PCE (Step 6/7 of Fig. 1).  The draft reserves nothing for this, so we use
+/// an adjacent experimental value.
+inline constexpr std::uint16_t kPceP = 4344;
+/// Port used for PCE -> ITR mapping-push control messages (Step 7b).
+inline constexpr std::uint16_t kPcePush = 4345;
+/// Port used for ETR reverse-mapping multicast (paper §2, last paragraph).
+inline constexpr std::uint16_t kEtrSync = 4346;
+/// NERD database push/delta distribution.
+inline constexpr std::uint16_t kNerd = 4347;
+/// PCEP (RFC 5440).  Real PCEP runs over TCP on this port; the simulator
+/// carries the same messages in UDP packets (see src/pcep/messages.hpp).
+inline constexpr std::uint16_t kPcep = 4189;
+}  // namespace ports
+
+}  // namespace lispcp::net

@@ -1,0 +1,262 @@
+#include "pcep/session.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lispcp::pcep {
+
+std::string to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kOpenWait: return "OpenWait";
+    case SessionState::kKeepWait: return "KeepWait";
+    case SessionState::kUp: return "Up";
+    case SessionState::kClosed: return "Closed";
+  }
+  return "?";
+}
+
+Session::Session(sim::Simulator& sim, SessionConfig config, SendFn send)
+    : sim_(sim), config_(config), send_(std::move(send)) {
+  if (!send_) {
+    throw std::invalid_argument("pcep::Session: send function is required");
+  }
+  if (config_.dead_factor == 0) {
+    throw std::invalid_argument("pcep::Session: dead_factor must be >= 1");
+  }
+}
+
+void Session::transmit(std::shared_ptr<const Message> message) {
+  send_(std::move(message));
+}
+
+void Session::open() {
+  if (state_ != SessionState::kIdle) return;
+  state_ = SessionState::kOpenWait;
+  send_open();
+  arm_dead_timer();
+}
+
+void Session::send_open() {
+  const auto keepalive_s = static_cast<std::uint8_t>(
+      std::min<std::int64_t>(255, config_.keepalive.ns() / 1'000'000'000));
+  const auto dead_s = static_cast<std::uint8_t>(std::min<std::uint32_t>(
+      255, static_cast<std::uint32_t>(keepalive_s) * config_.dead_factor));
+  ++stats_.opens_sent;
+  sent_open_ = true;
+  transmit(std::make_shared<Open>(keepalive_s, dead_s, config_.session_id));
+
+  // Retransmit until the handshake completes or the budget runs out.  The
+  // retry is foreground on purpose: an opening session *is* pending work.
+  open_retry_timer_ = sim_.schedule(config_.open_retry, [this] {
+    if (state_ == SessionState::kUp || state_ == SessionState::kClosed) return;
+    if (open_retries_ >= config_.max_open_retries) {
+      enter_closed();
+      return;
+    }
+    ++open_retries_;
+    send_open();
+  });
+}
+
+void Session::close(Close::Reason reason) {
+  if (state_ == SessionState::kClosed) return;
+  transmit(std::make_shared<Close>(reason));
+  enter_closed();
+}
+
+void Session::enter_closed() {
+  state_ = SessionState::kClosed;
+  open_retry_timer_.cancel();
+  keepalive_timer_.cancel();
+  dead_timer_.cancel();
+  fail_all_outstanding();
+}
+
+void Session::fail_all_outstanding() {
+  // Handlers may re-enter the session; detach state first.
+  std::vector<ReplyHandler> handlers;
+  handlers.reserve(outstanding_.size());
+  for (auto& [id, pending] : outstanding_) {
+    pending.timeout.cancel();
+    handlers.push_back(std::move(pending.handler));
+    ++stats_.requests_failed;
+  }
+  outstanding_.clear();
+  queued_.clear();
+  for (auto& handler : handlers) {
+    if (handler) handler(std::nullopt);
+  }
+}
+
+void Session::arm_dead_timer() {
+  dead_timer_.cancel();
+  if (state_ == SessionState::kClosed) return;
+  const auto dead = sim::SimDuration::nanos(config_.keepalive.ns() *
+                                            config_.dead_factor);
+  // Daemon: supervision must not keep an unbounded run() alive.
+  dead_timer_ = sim_.schedule_daemon(dead, [this] {
+    ++stats_.dead_timer_expiries;
+    transmit(std::make_shared<Close>(Close::Reason::kDeadTimer));
+    enter_closed();
+  });
+}
+
+void Session::keepalive_tick() {
+  if (state_ != SessionState::kUp) return;
+  ++stats_.keepalives_sent;
+  transmit(std::make_shared<Keepalive>());
+  keepalive_timer_ =
+      sim_.schedule_daemon(config_.keepalive, [this] { keepalive_tick(); });
+}
+
+void Session::maybe_session_up() {
+  if (state_ == SessionState::kUp || state_ == SessionState::kClosed) return;
+  if (!(sent_open_ && got_open_ && got_ack_)) return;
+  state_ = SessionState::kUp;
+  open_retry_timer_.cancel();
+  keepalive_timer_ =
+      sim_.schedule_daemon(config_.keepalive, [this] { keepalive_tick(); });
+  // Flush requests that queued while the handshake was in flight.
+  std::deque<std::uint32_t> queued;
+  queued.swap(queued_);
+  for (const std::uint32_t id : queued) {
+    if (outstanding_.contains(id)) send_request(id);
+  }
+}
+
+void Session::on_message(const Message& message) {
+  if (state_ == SessionState::kClosed) return;
+  arm_dead_timer();  // any traffic proves liveness (RFC 5440 §10.1)
+  switch (message.type()) {
+    case MessageType::kOpen:
+      handle_open(static_cast<const Open&>(message));
+      break;
+    case MessageType::kKeepalive:
+      handle_keepalive();
+      break;
+    case MessageType::kRequest:
+      handle_request(static_cast<const MapComputationRequest&>(message));
+      break;
+    case MessageType::kReply:
+      handle_reply(static_cast<const MapComputationReply&>(message));
+      break;
+    case MessageType::kError:
+      ++stats_.errors_received;
+      break;
+    case MessageType::kClose:
+      enter_closed();
+      break;
+  }
+}
+
+void Session::handle_open(const Open&) {
+  if (got_open_) {
+    // Duplicate Open after the handshake is a protocol error (RFC 5440
+    // §6.7), but retransmissions during it are expected: only complain when
+    // the session is already up.
+    if (state_ == SessionState::kUp) {
+      ++stats_.errors_sent;
+      transmit(std::make_shared<Error>(Error::Kind::kSessionFailure));
+      return;
+    }
+  }
+  got_open_ = true;
+  if (!sent_open_) {
+    // Passive side: answer with our own Open.
+    state_ = SessionState::kOpenWait;
+    send_open();
+  }
+  // Acknowledge the peer's Open.
+  ++stats_.keepalives_sent;
+  transmit(std::make_shared<Keepalive>());
+  if (state_ == SessionState::kOpenWait) state_ = SessionState::kKeepWait;
+  maybe_session_up();
+}
+
+void Session::handle_keepalive() {
+  ++stats_.keepalives_received;
+  got_ack_ = true;
+  maybe_session_up();
+}
+
+void Session::handle_request(const MapComputationRequest& request) {
+  if (state_ != SessionState::kUp) {
+    // A request before the handshake finished: tolerated (our Keepalive may
+    // still be in flight), answered all the same — the requester's clock is
+    // ticking.
+  }
+  ++stats_.requests_served;
+  std::optional<lisp::MapEntry> mapping;
+  if (provider_) mapping = provider_(request.eid());
+  if (mapping.has_value()) {
+    transmit(std::make_shared<MapComputationReply>(request.request_id(),
+                                                   std::move(*mapping)));
+  } else {
+    transmit(std::make_shared<MapComputationReply>(request.request_id()));
+  }
+}
+
+void Session::handle_reply(const MapComputationReply& reply) {
+  auto it = outstanding_.find(reply.request_id());
+  if (it == outstanding_.end()) {
+    ++stats_.errors_sent;
+    transmit(std::make_shared<Error>(Error::Kind::kUnknownRequest));
+    return;
+  }
+  PendingRequest pending = std::move(it->second);
+  outstanding_.erase(it);
+  pending.timeout.cancel();
+  ++stats_.replies_received;
+  if (reply.no_path()) {
+    ++stats_.no_paths_received;
+    if (pending.handler) pending.handler(std::nullopt);
+  } else {
+    if (pending.handler) pending.handler(reply.mapping());
+  }
+}
+
+void Session::request_mapping(net::Ipv4Address eid, ReplyHandler handler) {
+  if (state_ == SessionState::kClosed) {
+    ++stats_.requests_failed;
+    // Fail asynchronously so the caller never re-enters itself.
+    sim_.schedule(sim::SimDuration{}, [handler = std::move(handler)] {
+      if (handler) handler(std::nullopt);
+    });
+    return;
+  }
+  const std::uint32_t id = next_request_id_++;
+  outstanding_.emplace(id, PendingRequest{eid, std::move(handler), 0, {}});
+  if (state_ == SessionState::kUp) {
+    send_request(id);
+  } else {
+    queued_.push_back(id);
+    if (state_ == SessionState::kIdle) open();
+  }
+}
+
+void Session::send_request(std::uint32_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  ++stats_.requests_sent;
+  transmit(std::make_shared<MapComputationRequest>(id, it->second.eid));
+  it->second.timeout = sim_.schedule(config_.request_timeout,
+                                     [this, id] { on_request_timeout(id); });
+}
+
+void Session::on_request_timeout(std::uint32_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  ++stats_.request_timeouts;
+  if (it->second.retries >= config_.max_request_retries) {
+    PendingRequest pending = std::move(it->second);
+    outstanding_.erase(it);
+    ++stats_.requests_failed;
+    if (pending.handler) pending.handler(std::nullopt);
+    return;
+  }
+  ++it->second.retries;
+  send_request(id);
+}
+
+}  // namespace lispcp::pcep

@@ -1,0 +1,154 @@
+// session.hpp — the PCEP session state machine (RFC 5440 §4.2, adapted).
+//
+// Transport-agnostic: the owner supplies a send function and feeds received
+// messages in; the session handles the Open handshake, keepalive emission,
+// dead-timer supervision, request/reply correlation with timeout + retry,
+// and teardown.  core::Pce embeds one Session per peer PCE and moves the
+// messages in UDP packets over the simulated network; unit tests drive two
+// Sessions back-to-back with plain function calls.
+//
+// Handshake (both sides symmetric): each side sends Open, acknowledges the
+// peer's Open with a Keepalive, and declares the session up once it has
+// (a) sent its Open, (b) received the peer's Open, and (c) received a
+// Keepalive acknowledging its own Open.  Keepalives then flow every
+// `keepalive` interval; silence for `keepalive * dead_factor` expires the
+// dead timer and closes the session.  Both periodic timers are daemon
+// events — background maintenance must not keep Simulator::run() alive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "pcep/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace lispcp::pcep {
+
+enum class SessionState : std::uint8_t {
+  kIdle,      ///< constructed; nothing sent or received
+  kOpenWait,  ///< our Open is out; waiting for the peer's
+  kKeepWait,  ///< peer's Open seen; waiting for the Keepalive that acks ours
+  kUp,        ///< handshake complete; requests may flow
+  kClosed,    ///< terminal: Close sent/received, dead timer, or open failure
+};
+
+[[nodiscard]] std::string to_string(SessionState state);
+
+struct SessionConfig {
+  sim::SimDuration keepalive = sim::SimDuration::seconds(30);
+  /// Dead timer = keepalive * dead_factor (RFC 5440 recommends 4x).
+  std::uint32_t dead_factor = 4;
+  /// Open retransmission while the handshake is incomplete.
+  sim::SimDuration open_retry = sim::SimDuration::seconds(10);
+  std::uint32_t max_open_retries = 3;
+  /// Request timeout and retry budget.
+  sim::SimDuration request_timeout = sim::SimDuration::seconds(2);
+  std::uint32_t max_request_retries = 2;
+  std::uint8_t session_id = 1;
+};
+
+struct SessionStats {
+  std::uint64_t opens_sent = 0;
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t keepalives_received = 0;
+  std::uint64_t requests_sent = 0;      ///< includes retransmissions
+  std::uint64_t requests_served = 0;    ///< PCReq answered by our provider
+  std::uint64_t replies_received = 0;
+  std::uint64_t no_paths_received = 0;
+  std::uint64_t request_timeouts = 0;   ///< individual expiries (pre-retry)
+  std::uint64_t requests_failed = 0;    ///< gave up after all retries
+  std::uint64_t errors_sent = 0;
+  std::uint64_t errors_received = 0;
+  std::uint64_t dead_timer_expiries = 0;
+};
+
+class Session {
+ public:
+  using SendFn = std::function<void(std::shared_ptr<const Message>)>;
+  /// Answers a peer's PCReq: the mapping for `eid`, or nullopt → NO-PATH.
+  using MappingProvider =
+      std::function<std::optional<lisp::MapEntry>(net::Ipv4Address)>;
+  /// Receives the outcome of request_mapping: the mapping, or nullopt on
+  /// NO-PATH, timeout, or session failure.
+  using ReplyHandler = std::function<void(std::optional<lisp::MapEntry>)>;
+
+  Session(sim::Simulator& sim, SessionConfig config, SendFn send);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Initiates the handshake (active side).  No-op unless state is kIdle.
+  void open();
+
+  /// Sends Close and moves to kClosed; outstanding requests fail.
+  void close(Close::Reason reason);
+
+  /// Feeds one received message into the state machine.
+  void on_message(const Message& message);
+
+  /// Requests the EID-to-RLOC mapping from the peer.  Queued until the
+  /// session is up; fails immediately (asynchronously) when closed.
+  void request_mapping(net::Ipv4Address eid, ReplyHandler handler);
+
+  /// Installs the responder-side mapping source.  Without one, every PCReq
+  /// is answered NO-PATH.
+  void set_mapping_provider(MappingProvider provider) {
+    provider_ = std::move(provider);
+  }
+
+  [[nodiscard]] SessionState state() const noexcept { return state_; }
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
+  /// Requests awaiting a reply (including those queued for session-up —
+  /// queued ids keep their entry in the outstanding table).
+  [[nodiscard]] std::size_t outstanding_requests() const noexcept {
+    return outstanding_.size();
+  }
+
+ private:
+  void send_open();
+  void transmit(std::shared_ptr<const Message> message);
+  void maybe_session_up();
+  void enter_closed();
+  void arm_dead_timer();
+  void keepalive_tick();
+  void send_request(std::uint32_t id);
+  void on_request_timeout(std::uint32_t id);
+  void fail_all_outstanding();
+
+  void handle_open(const Open& open);
+  void handle_keepalive();
+  void handle_request(const MapComputationRequest& request);
+  void handle_reply(const MapComputationReply& reply);
+
+  sim::Simulator& sim_;
+  SessionConfig config_;
+  SendFn send_;
+  MappingProvider provider_;
+
+  SessionState state_ = SessionState::kIdle;
+  bool sent_open_ = false;
+  bool got_open_ = false;
+  bool got_ack_ = false;
+  std::uint32_t open_retries_ = 0;
+  sim::EventHandle open_retry_timer_;
+  sim::EventHandle keepalive_timer_;
+  sim::EventHandle dead_timer_;
+
+  struct PendingRequest {
+    net::Ipv4Address eid;
+    ReplyHandler handler;
+    std::uint32_t retries = 0;
+    sim::EventHandle timeout;
+  };
+  std::uint32_t next_request_id_ = 1;
+  std::unordered_map<std::uint32_t, PendingRequest> outstanding_;
+  std::deque<std::uint32_t> queued_;  ///< ids waiting for session-up
+
+  SessionStats stats_;
+};
+
+}  // namespace lispcp::pcep

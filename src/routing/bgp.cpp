@@ -1,0 +1,269 @@
+#include "routing/bgp.hpp"
+
+#include <algorithm>
+
+namespace lispcp::routing {
+
+namespace {
+
+/// Relationship preference in the decision process: higher wins.  Locally
+/// originated routes outrank everything a neighbor could say.
+int preference(NeighborKind kind) {
+  switch (kind) {
+    case NeighborKind::kCustomer: return 2;
+    case NeighborKind::kPeer: return 1;
+    case NeighborKind::kProvider: return 0;
+  }
+  return -1;
+}
+
+bool same_route(const BgpSpeaker::BestRoute& a, const BgpSpeaker::BestRoute& b) {
+  return a.local_origin == b.local_origin && a.learned_from == b.learned_from &&
+         a.as_path == b.as_path;
+}
+
+}  // namespace
+
+BgpSpeaker::BgpSpeaker(BgpFabric& fabric, AsNumber asn)
+    : fabric_(fabric), asn_(asn) {}
+
+void BgpSpeaker::originate(const net::Ipv4Prefix& prefix) {
+  origins_.insert(prefix);
+  decide(prefix);
+}
+
+void BgpSpeaker::withdraw_origin(const net::Ipv4Prefix& prefix) {
+  if (origins_.erase(prefix) == 0) return;
+  decide(prefix);
+}
+
+void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
+  ++stats_.updates_received;
+  for (const net::Ipv4Prefix& prefix : message.withdraws) {
+    if (adj_in_[from].routes.erase(prefix) > 0) decide(prefix);
+  }
+  for (const RouteAdvert& advert : message.announces) {
+    const bool loops = std::find(advert.as_path.begin(), advert.as_path.end(),
+                                 asn_) != advert.as_path.end();
+    if (loops) {
+      // A looped advert is unusable, and — update semantics — it implicitly
+      // replaces whatever this neighbor said before, so the old path goes.
+      ++stats_.loops_rejected;
+      if (adj_in_[from].routes.erase(advert.prefix) > 0) decide(advert.prefix);
+      continue;
+    }
+    adj_in_[from].routes[advert.prefix] = advert.as_path;
+    decide(advert.prefix);
+  }
+}
+
+const BgpSpeaker::BestRoute* BgpSpeaker::best(
+    const net::Ipv4Prefix& prefix) const {
+  auto it = loc_rib_.find(prefix);
+  return it == loc_rib_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Ipv4Prefix> BgpSpeaker::rib_prefixes() const {
+  std::vector<net::Ipv4Prefix> out;
+  out.reserve(loc_rib_.size());
+  for (const auto& [prefix, route] : loc_rib_) out.push_back(prefix);
+  return out;
+}
+
+void BgpSpeaker::decide(const net::Ipv4Prefix& prefix) {
+  // Gather candidates: local origination plus one per advertising neighbor,
+  // iterated in graph order for determinism.
+  std::optional<BestRoute> winner;
+  const auto better = [](const BestRoute& a, const BestRoute& b) {
+    // Local origin beats all; then relationship preference, path length,
+    // lowest neighbor ASN.
+    if (a.local_origin != b.local_origin) return a.local_origin;
+    const int pa = preference(a.neighbor_kind);
+    const int pb = preference(b.neighbor_kind);
+    if (pa != pb) return pa > pb;
+    if (a.as_path.size() != b.as_path.size()) {
+      return a.as_path.size() < b.as_path.size();
+    }
+    return a.learned_from < b.learned_from;
+  };
+
+  if (origins_.contains(prefix)) {
+    winner = BestRoute{{}, asn_, NeighborKind::kCustomer, /*local_origin=*/true};
+  }
+  for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
+    auto adj = adj_in_.find(neighbor.asn);
+    if (adj == adj_in_.end()) continue;
+    auto route = adj->second.routes.find(prefix);
+    if (route == adj->second.routes.end()) continue;
+    BestRoute candidate{route->second, neighbor.asn, neighbor.kind,
+                        /*local_origin=*/false};
+    if (!winner || better(candidate, *winner)) winner = std::move(candidate);
+  }
+
+  const auto installed = loc_rib_.find(prefix);
+  const bool had = installed != loc_rib_.end();
+  if (!winner) {
+    if (!had) return;
+    loc_rib_.erase(installed);
+    ++stats_.best_changes;
+    for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
+      enqueue(neighbor.asn, prefix, std::nullopt);
+    }
+    return;
+  }
+  if (had && same_route(installed->second, *winner)) return;
+
+  loc_rib_[prefix] = *winner;
+  ++stats_.best_changes;
+  std::vector<AsNumber> path;
+  path.reserve(winner->as_path.size() + 1);
+  path.push_back(asn_);
+  path.insert(path.end(), winner->as_path.begin(), winner->as_path.end());
+
+  for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
+    // Split horizon: never echo a route to the session it came from.  A
+    // neighbor the new best is not exportable to gets a withdraw instead
+    // (it may hold a previously exportable path).
+    if (!winner->local_origin && neighbor.asn == winner->learned_from) {
+      enqueue(neighbor.asn, prefix, std::nullopt);
+      continue;
+    }
+    if (exportable(*winner, neighbor.kind)) {
+      enqueue(neighbor.asn, prefix, RouteAdvert{prefix, path});
+    } else {
+      enqueue(neighbor.asn, prefix, std::nullopt);
+    }
+  }
+}
+
+bool BgpSpeaker::exportable(const BestRoute& route, NeighborKind to) {
+  if (to == NeighborKind::kCustomer) return true;
+  return route.local_origin || route.neighbor_kind == NeighborKind::kCustomer;
+}
+
+void BgpSpeaker::enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
+                         std::optional<RouteAdvert> advert) {
+  Outbound& out = outbound_[neighbor];
+  if (!advert.has_value()) {
+    const auto pending = out.pending.find(prefix);
+    const bool pending_announce =
+        pending != out.pending.end() && pending->second.has_value();
+    if (pending_announce) {
+      // The announce never left this router: just cancel it.  A withdraw is
+      // still owed if an *earlier* flush advertised the prefix.
+      out.pending.erase(pending);
+    }
+    if (out.advertised.contains(prefix)) {
+      out.pending[prefix] = std::nullopt;
+    } else if (!pending_announce) {
+      return;  // neighbor never heard of it: nothing to retract
+    }
+  } else {
+    out.pending[prefix] = std::move(advert);
+  }
+  if (!out.pending.empty() && !out.mrai_timer.pending()) {
+    out.mrai_timer = fabric_.sim().schedule(
+        fabric_.config().mrai, [this, neighbor] { flush(neighbor); });
+  }
+}
+
+void BgpSpeaker::flush(AsNumber neighbor) {
+  Outbound& out = outbound_[neighbor];
+  if (out.pending.empty()) return;
+  UpdateMessage message;
+  for (auto& [prefix, advert] : out.pending) {
+    if (advert.has_value()) {
+      message.announces.push_back(std::move(*advert));
+      out.advertised.insert(prefix);
+    } else {
+      message.withdraws.push_back(prefix);
+      out.advertised.erase(prefix);
+    }
+  }
+  out.pending.clear();
+  ++stats_.updates_sent;
+  stats_.routes_announced += message.announces.size();
+  stats_.routes_withdrawn += message.withdraws.size();
+  fabric_.send(asn_, neighbor, std::move(message));
+}
+
+BgpFabric::BgpFabric(sim::Simulator& sim, const AsGraph& graph, BgpConfig config)
+    : sim_(sim), graph_(graph), config_(config) {
+  for (AsNumber asn : graph_.ases()) {
+    speakers_.emplace(asn, std::make_unique<BgpSpeaker>(*this, asn));
+  }
+}
+
+BgpSpeaker& BgpFabric::speaker(AsNumber asn) {
+  auto it = speakers_.find(asn);
+  if (it == speakers_.end()) {
+    throw std::out_of_range("BgpFabric: unknown " + asn.to_string());
+  }
+  return *it->second;
+}
+
+const BgpSpeaker& BgpFabric::speaker(AsNumber asn) const {
+  auto it = speakers_.find(asn);
+  if (it == speakers_.end()) {
+    throw std::out_of_range("BgpFabric: unknown " + asn.to_string());
+  }
+  return *it->second;
+}
+
+NeighborKind BgpFabric::kind_of(AsNumber self, AsNumber neighbor) const {
+  for (const AsGraph::Neighbor& n : graph_.neighbors(self)) {
+    if (n.asn == neighbor) return n.kind;
+  }
+  throw std::out_of_range("BgpFabric: no session " + self.to_string() + " <-> " +
+                          neighbor.to_string());
+}
+
+sim::SimDuration BgpFabric::session_delay(AsNumber a, AsNumber b) const {
+  if (config_.session_jitter.ns() == 0) return config_.session_delay;
+  // Deterministic per-session jitter: hash the unordered pair.
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  std::uint64_t x = (lo << 32) | hi;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  const auto jitter_ns = static_cast<std::int64_t>(
+      x % static_cast<std::uint64_t>(config_.session_jitter.ns()));
+  return config_.session_delay + sim::SimDuration::nanos(jitter_ns);
+}
+
+void BgpFabric::send(AsNumber from, AsNumber to, UpdateMessage message) {
+  auto shared = std::make_shared<UpdateMessage>(std::move(message));
+  sim_.schedule(session_delay(from, to), [this, from, to, shared] {
+    speaker(to).handle_update(from, *shared);
+  });
+}
+
+sim::SimTime BgpFabric::run_to_convergence(std::uint64_t max_events) {
+  sim_.run(max_events);
+  return sim_.now();
+}
+
+std::uint64_t BgpFabric::total_updates_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& [asn, speaker] : speakers_) total += speaker->stats().updates_sent;
+  return total;
+}
+
+std::uint64_t BgpFabric::total_routes_announced() const {
+  std::uint64_t total = 0;
+  for (const auto& [asn, speaker] : speakers_) {
+    total += speaker->stats().routes_announced;
+  }
+  return total;
+}
+
+std::uint64_t BgpFabric::total_routes_withdrawn() const {
+  std::uint64_t total = 0;
+  for (const auto& [asn, speaker] : speakers_) {
+    total += speaker->stats().routes_withdrawn;
+  }
+  return total;
+}
+
+}  // namespace lispcp::routing

@@ -1,0 +1,193 @@
+// bgp.hpp — a path-vector inter-domain routing protocol (BGP-lite).
+//
+// Implements the parts of BGP that determine default-free-zone (DFZ)
+// routing-table size and update churn — the quantities the paper's §1
+// motivation is about:
+//
+//   * per-neighbor Adj-RIB-In and a Loc-RIB with the standard decision
+//     process (relationship preference customer > peer > provider, then
+//     shortest AS path, then lowest neighbor ASN as the deterministic
+//     tie-break);
+//   * Gao-Rexford export policy (customer routes go everywhere; peer and
+//     provider routes go only to customers), which keeps paths valley-free
+//     and guarantees convergence;
+//   * AS-path loop detection on receipt;
+//   * MRAI-style batching of outbound updates per session.
+//
+// Sessions exchange messages through the discrete-event simulator with a
+// per-session propagation delay, so "convergence time" is a simulated-time
+// measurement, and Simulator::run() returning means the protocol has
+// converged (no foreground work left).
+//
+// The abstraction level is the AS, not the packet: updates are structs, not
+// serialized TCP segments.  RIB sizes and message counts — the outputs of
+// experiment F2 — do not depend on the octet encoding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "routing/as_graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace lispcp::routing {
+
+class BgpFabric;
+
+/// One reachability announcement inside an update message.  `as_path`
+/// follows wire convention: front() is the most recently prepended AS (the
+/// sender), back() is the origin.
+struct RouteAdvert {
+  net::Ipv4Prefix prefix;
+  std::vector<AsNumber> as_path;
+};
+
+/// What one speaker sends a neighbor per MRAI flush.
+struct UpdateMessage {
+  std::vector<RouteAdvert> announces;
+  std::vector<net::Ipv4Prefix> withdraws;
+};
+
+struct BgpConfig {
+  /// One-way session propagation delay, plus deterministic per-session
+  /// jitter in [0, session_jitter).
+  sim::SimDuration session_delay = sim::SimDuration::millis(30);
+  sim::SimDuration session_jitter = sim::SimDuration::millis(10);
+  /// Outbound updates to one neighbor are batched for this long before a
+  /// flush (the Min Route Advertisement Interval, abbreviated).
+  sim::SimDuration mrai = sim::SimDuration::millis(100);
+};
+
+struct BgpSpeakerStats {
+  std::uint64_t updates_sent = 0;        ///< update messages (flushes)
+  std::uint64_t updates_received = 0;
+  std::uint64_t routes_announced = 0;    ///< advert records sent
+  std::uint64_t routes_withdrawn = 0;    ///< withdraw records sent
+  std::uint64_t loops_rejected = 0;      ///< adverts dropped: own ASN in path
+  std::uint64_t best_changes = 0;        ///< Loc-RIB best-route transitions
+};
+
+/// One AS's routing process.
+class BgpSpeaker {
+ public:
+  BgpSpeaker(BgpFabric& fabric, AsNumber asn);
+
+  BgpSpeaker(const BgpSpeaker&) = delete;
+  BgpSpeaker& operator=(const BgpSpeaker&) = delete;
+
+  [[nodiscard]] AsNumber asn() const noexcept { return asn_; }
+
+  /// Injects a locally originated prefix and schedules its propagation.
+  void originate(const net::Ipv4Prefix& prefix);
+
+  /// Withdraws a locally originated prefix; no-op if never originated.
+  void withdraw_origin(const net::Ipv4Prefix& prefix);
+
+  /// Delivery hook used by the fabric.
+  void handle_update(AsNumber from, const UpdateMessage& message);
+
+  /// The best route currently installed for `prefix`, if any.
+  struct BestRoute {
+    std::vector<AsNumber> as_path;  ///< empty for locally originated
+    AsNumber learned_from;          ///< == asn() for locally originated
+    NeighborKind neighbor_kind = NeighborKind::kCustomer;
+    bool local_origin = false;
+  };
+  [[nodiscard]] const BestRoute* best(const net::Ipv4Prefix& prefix) const;
+
+  /// Loc-RIB size: the DFZ table when this AS is a tier-1.
+  [[nodiscard]] std::size_t rib_size() const noexcept { return loc_rib_.size(); }
+
+  /// All Loc-RIB prefixes (deterministic order: map is ordered).
+  [[nodiscard]] std::vector<net::Ipv4Prefix> rib_prefixes() const;
+
+  [[nodiscard]] const BgpSpeakerStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Re-runs the decision process for one prefix; if the best route
+  /// changed, installs it and enqueues the delta to every eligible session.
+  void decide(const net::Ipv4Prefix& prefix);
+
+  /// Gao-Rexford: may `route` be told to a neighbor of kind `to`?
+  [[nodiscard]] static bool exportable(const BestRoute& route, NeighborKind to);
+
+  /// Queues an announce/withdraw for `neighbor` and arms its MRAI timer.
+  void enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
+               std::optional<RouteAdvert> advert);
+  void flush(AsNumber neighbor);
+
+  BgpFabric& fabric_;
+  AsNumber asn_;
+
+  /// Adj-RIB-In: per neighbor, the paths it advertised.
+  struct AdjIn {
+    std::map<net::Ipv4Prefix, std::vector<AsNumber>> routes;
+  };
+  std::unordered_map<AsNumber, AdjIn> adj_in_;
+
+  std::map<net::Ipv4Prefix, BestRoute> loc_rib_;
+  std::set<net::Ipv4Prefix> origins_;
+
+  /// Pending outbound deltas per neighbor: nullopt value = withdraw.
+  /// `advertised` is the Adj-RIB-Out ledger, kept so a route that was never
+  /// told to a neighbor is never withdrawn from it.
+  struct Outbound {
+    std::map<net::Ipv4Prefix, std::optional<RouteAdvert>> pending;
+    std::set<net::Ipv4Prefix> advertised;
+    sim::EventHandle mrai_timer;
+  };
+  std::unordered_map<AsNumber, Outbound> outbound_;
+
+  BgpSpeakerStats stats_;
+};
+
+/// Owns one speaker per AS and the message plumbing between them.
+class BgpFabric {
+ public:
+  BgpFabric(sim::Simulator& sim, const AsGraph& graph, BgpConfig config = {});
+
+  BgpFabric(const BgpFabric&) = delete;
+  BgpFabric& operator=(const BgpFabric&) = delete;
+
+  [[nodiscard]] BgpSpeaker& speaker(AsNumber asn);
+  [[nodiscard]] const BgpSpeaker& speaker(AsNumber asn) const;
+
+  [[nodiscard]] const AsGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const BgpConfig& config() const noexcept { return config_; }
+
+  /// Relationship of `neighbor` as seen from `self`; throws if no session.
+  [[nodiscard]] NeighborKind kind_of(AsNumber self, AsNumber neighbor) const;
+
+  /// Schedules delivery of `message` on the (from, to) session.
+  void send(AsNumber from, AsNumber to, UpdateMessage message);
+
+  /// Runs the simulator until no foreground work remains, i.e. until the
+  /// protocol has converged.  Returns the convergence instant.
+  sim::SimTime run_to_convergence(std::uint64_t max_events = 50'000'000);
+
+  /// Messages in flight plus pending MRAI flushes are foreground events, so
+  /// this is exact, not heuristic.
+  [[nodiscard]] bool converged() { return !sim_.queue().has_foreground(); }
+
+  /// Sum of a stat over all speakers.
+  [[nodiscard]] std::uint64_t total_updates_sent() const;
+  [[nodiscard]] std::uint64_t total_routes_announced() const;
+  [[nodiscard]] std::uint64_t total_routes_withdrawn() const;
+
+ private:
+  [[nodiscard]] sim::SimDuration session_delay(AsNumber a, AsNumber b) const;
+
+  sim::Simulator& sim_;
+  const AsGraph& graph_;
+  BgpConfig config_;
+  std::unordered_map<AsNumber, std::unique_ptr<BgpSpeaker>> speakers_;
+};
+
+}  // namespace lispcp::routing

@@ -1,0 +1,196 @@
+#include "routing/dfz_study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace lispcp::routing {
+
+namespace {
+
+/// Stub site blocks live in 100.0.0.0/8, one /20 per stub — disjoint from
+/// the provider RLOC space by construction.
+constexpr std::uint32_t kSiteSpaceBase = (100u << 24);
+constexpr int kSiteBlockLength = 20;
+
+/// Provider RLOC aggregates live in 60.0.0.0/8, one /12 per provider ASN.
+constexpr std::uint32_t kRlocSpaceBase = (60u << 24);
+constexpr int kProviderAggregateLength = 12;
+
+[[nodiscard]] bool is_power_of_two(std::size_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// All tier-1 and transit ASes: the provider set that owns RLOC space.
+[[nodiscard]] std::vector<AsNumber> providers_of(const AsGraph& graph) {
+  std::vector<AsNumber> out = graph.ases_of_tier(AsTier::kTier1);
+  const auto transits = graph.ases_of_tier(AsTier::kTransit);
+  out.insert(out.end(), transits.begin(), transits.end());
+  return out;
+}
+
+struct BuiltStudy {
+  sim::Simulator sim;
+  AsGraph graph;
+  std::unique_ptr<BgpFabric> fabric;
+  std::size_t origin_prefixes = 0;
+  std::size_t mapping_entries = 0;
+};
+
+/// Builds the Internet, originates prefixes per scenario, returns the
+/// un-converged fabric.
+[[nodiscard]] std::unique_ptr<BuiltStudy> build_study(const DfzStudyConfig& config) {
+  if (!is_power_of_two(config.deaggregation_factor) ||
+      config.deaggregation_factor > 4096) {
+    throw std::invalid_argument(
+        "DfzStudy: deaggregation_factor must be a power of two <= 4096");
+  }
+  auto study = std::make_unique<BuiltStudy>();
+  study->graph = build_synthetic_internet(config.internet);
+  study->fabric =
+      std::make_unique<BgpFabric>(study->sim, study->graph, config.bgp);
+
+  for (AsNumber provider : providers_of(study->graph)) {
+    study->fabric->speaker(provider).originate(provider_aggregate(provider));
+    ++study->origin_prefixes;
+  }
+  const auto stubs = study->graph.ases_of_tier(AsTier::kStub);
+  for (std::size_t i = 0; i < stubs.size(); ++i) {
+    const auto prefixes = stub_site_prefixes(i, config.deaggregation_factor);
+    if (config.scenario == AddressingScenario::kLegacyBgp) {
+      for (const net::Ipv4Prefix& prefix : prefixes) {
+        study->fabric->speaker(stubs[i]).originate(prefix);
+        ++study->origin_prefixes;
+      }
+    } else {
+      // LISP: the EID block is registered with the mapping system and never
+      // enters a BGP session.
+      study->mapping_entries += prefixes.size();
+    }
+  }
+  return study;
+}
+
+}  // namespace
+
+std::string to_string(AddressingScenario scenario) {
+  switch (scenario) {
+    case AddressingScenario::kLegacyBgp: return "legacy-bgp";
+    case AddressingScenario::kLispRlocOnly: return "lisp-rloc-only";
+  }
+  return "?";
+}
+
+std::vector<net::Ipv4Prefix> stub_site_prefixes(std::size_t stub_index,
+                                                std::size_t deaggregation_factor) {
+  if (!is_power_of_two(deaggregation_factor) || deaggregation_factor > 4096) {
+    throw std::invalid_argument(
+        "stub_site_prefixes: factor must be a power of two <= 4096");
+  }
+  const std::uint64_t block_size = std::uint64_t{1} << (32 - kSiteBlockLength);
+  const std::uint64_t base = kSiteSpaceBase + stub_index * block_size;
+  if (base + block_size > (std::uint64_t{101} << 24)) {
+    throw std::out_of_range("stub_site_prefixes: stub index exhausts 100/8");
+  }
+  const int extra_bits =
+      static_cast<int>(std::lround(std::log2(deaggregation_factor)));
+  const int length = kSiteBlockLength + extra_bits;
+  const std::uint64_t piece = block_size >> extra_bits;
+  std::vector<net::Ipv4Prefix> out;
+  out.reserve(deaggregation_factor);
+  for (std::size_t k = 0; k < deaggregation_factor; ++k) {
+    out.emplace_back(net::Ipv4Address(static_cast<std::uint32_t>(base + k * piece)),
+                     length);
+  }
+  return out;
+}
+
+net::Ipv4Prefix provider_aggregate(AsNumber asn) {
+  const std::uint64_t block_size =
+      std::uint64_t{1} << (32 - kProviderAggregateLength);
+  const std::uint64_t base =
+      kRlocSpaceBase + std::uint64_t{asn.value() - 1} * block_size;
+  if (base + block_size > (std::uint64_t{61} << 24)) {
+    throw std::out_of_range("provider_aggregate: ASN exhausts 60/8");
+  }
+  return {net::Ipv4Address(static_cast<std::uint32_t>(base)),
+          kProviderAggregateLength};
+}
+
+DfzStudyResult run_dfz_study(const DfzStudyConfig& config) {
+  auto study = build_study(config);
+  const sim::SimTime converged = study->fabric->run_to_convergence();
+
+  DfzStudyResult result;
+  result.bgp_origin_prefixes = study->origin_prefixes;
+  result.mapping_system_entries = study->mapping_entries;
+  result.update_messages = study->fabric->total_updates_sent();
+  result.route_records = study->fabric->total_routes_announced();
+  result.convergence_ms = converged.ms();
+
+  const auto tier1s = study->graph.ases_of_tier(AsTier::kTier1);
+  result.dfz_table_size = study->fabric->speaker(tier1s.front()).rib_size();
+
+  std::uint64_t total = 0;
+  for (AsNumber asn : study->graph.ases()) {
+    const std::size_t size = study->fabric->speaker(asn).rib_size();
+    total += size;
+    result.max_rib_size = std::max(result.max_rib_size, size);
+  }
+  result.mean_rib_size =
+      static_cast<double>(total) / static_cast<double>(study->graph.size());
+  return result;
+}
+
+RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
+  RehomingChurnResult result;
+  if (config.scenario == AddressingScenario::kLispRlocOnly) {
+    // Re-homing is a mapping update: the PCE pushes a new (ES, ED, RLOC_S,
+    // RLOC_D) tuple (Step 7b) and no BGP speaker hears about it.  The BGP
+    // side of the event is identically zero; the mapping-side latency is
+    // measured by bench/e4_traffic_engineering on the packet simulator.
+    return result;
+  }
+
+  auto study = build_study(config);
+  study->fabric->run_to_convergence();
+
+  const std::uint64_t updates_before = study->fabric->total_updates_sent();
+  const std::uint64_t records_before = study->fabric->total_routes_announced() +
+                                       study->fabric->total_routes_withdrawn();
+  std::unordered_map<std::uint32_t, std::uint64_t> changes_before;
+  for (AsNumber asn : study->graph.ases()) {
+    changes_before[asn.value()] =
+        study->fabric->speaker(asn).stats().best_changes;
+  }
+  const sim::SimTime t0 = study->sim.now();
+
+  // The flap: the first stub takes its prefixes down (converge), then brings
+  // them back (converge) — the BGP cost of swinging ingress traffic that the
+  // paper's CP replaces with a mapping push.
+  const auto stubs = study->graph.ases_of_tier(AsTier::kStub);
+  const auto prefixes = stub_site_prefixes(0, config.deaggregation_factor);
+  BgpSpeaker& mover = study->fabric->speaker(stubs.front());
+  for (const net::Ipv4Prefix& prefix : prefixes) mover.withdraw_origin(prefix);
+  study->fabric->run_to_convergence();
+  for (const net::Ipv4Prefix& prefix : prefixes) mover.originate(prefix);
+  study->fabric->run_to_convergence();
+
+  result.update_messages = study->fabric->total_updates_sent() - updates_before;
+  result.route_records = study->fabric->total_routes_announced() +
+                         study->fabric->total_routes_withdrawn() - records_before;
+  result.settle_ms = (study->sim.now() - t0).ms();
+  for (AsNumber asn : study->graph.ases()) {
+    if (study->fabric->speaker(asn).stats().best_changes >
+        changes_before[asn.value()]) {
+      ++result.ases_touched;
+    }
+  }
+  return result;
+}
+
+}  // namespace lispcp::routing

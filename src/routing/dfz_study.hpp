@@ -1,0 +1,86 @@
+// dfz_study.hpp — quantifying the paper's §1 premise on the BGP substrate.
+//
+// "The scaling benefits arise when EID addresses are not routable through
+// the Internet — only the RLOCs are globally routable [2]."  This harness
+// measures exactly that, on the same synthetic Internet, under two
+// addressing scenarios:
+//
+//   kLegacyBgp   — every stub site injects its provider-independent prefix
+//                  (times the de-aggregation factor, §3) into BGP, as the
+//                  pre-LISP Internet does;
+//   kLispRlocOnly — only providers announce their RLOC aggregates; stub EID
+//                  blocks go to the LISP mapping system instead and never
+//                  appear in a DFZ table.
+//
+// Outputs per run: DFZ table size (tier-1 Loc-RIB), mean/max RIB over all
+// ASes, total update messages and route records to converge, convergence
+// time, and — for the LISP scenario — how many entries moved into the
+// mapping system.  A second harness measures re-homing churn: the update
+// storm when one multihomed stub swings between providers (the event the
+// paper's IRC/TE engine triggers on), legacy vs LISP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "routing/as_graph.hpp"
+#include "routing/bgp.hpp"
+
+namespace lispcp::routing {
+
+enum class AddressingScenario : std::uint8_t { kLegacyBgp, kLispRlocOnly };
+
+[[nodiscard]] std::string to_string(AddressingScenario scenario);
+
+struct DfzStudyConfig {
+  SyntheticInternetConfig internet;
+  AddressingScenario scenario = AddressingScenario::kLegacyBgp;
+  /// §3: each stub splits its site block into this many more-specifics
+  /// ("the world's largest IPv4 de-aggregation factor").  Power of two.
+  std::size_t deaggregation_factor = 1;
+  BgpConfig bgp;
+};
+
+struct DfzStudyResult {
+  std::size_t dfz_table_size = 0;       ///< tier-1 Loc-RIB entries
+  double mean_rib_size = 0.0;           ///< over every AS
+  std::size_t max_rib_size = 0;
+  std::uint64_t update_messages = 0;    ///< MRAI flushes to converge
+  std::uint64_t route_records = 0;      ///< announce records to converge
+  double convergence_ms = 0.0;
+  std::size_t mapping_system_entries = 0;  ///< EID prefixes kept out of BGP
+  std::size_t bgp_origin_prefixes = 0;     ///< prefixes actually injected
+};
+
+/// Runs origination-to-convergence for the configured scenario.
+[[nodiscard]] DfzStudyResult run_dfz_study(const DfzStudyConfig& config);
+
+struct RehomingChurnResult {
+  /// Update messages and route records triggered network-wide by one stub
+  /// moving its traffic between providers.
+  std::uint64_t update_messages = 0;
+  std::uint64_t route_records = 0;
+  double settle_ms = 0.0;
+  /// ASes whose Loc-RIB changed at least once during the event.
+  std::size_t ases_touched = 0;
+};
+
+/// After convergence, re-homes one multihomed stub (legacy: withdraw +
+/// re-announce its prefixes; LISP: a mapping-system update that touches no
+/// BGP speaker) and measures the churn.  The contrast is the paper's TE
+/// argument: with LISP+PCE, moving ingress traffic is a mapping push, not a
+/// BGP event.
+[[nodiscard]] RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config);
+
+/// The prefixes a stub injects under the given de-aggregation factor:
+/// `factor` equal-sized sub-blocks of its /20 site block (factor 1 = the
+/// block itself).  Exposed for tests.
+[[nodiscard]] std::vector<net::Ipv4Prefix> stub_site_prefixes(
+    std::size_t stub_index, std::size_t deaggregation_factor);
+
+/// The aggregate a provider (tier-1 or transit) announces for its RLOC
+/// space.  Exposed for tests.
+[[nodiscard]] net::Ipv4Prefix provider_aggregate(AsNumber asn);
+
+}  // namespace lispcp::routing

@@ -1,0 +1,62 @@
+#include "scenario/experiment.hpp"
+
+namespace lispcp::scenario {
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  internet_ = std::make_unique<topo::Internet>(config_.spec);
+
+  auto& net = *internet_;
+  sim::Rng seeder(config_.spec.seed ^ 0x9e3779b97f4a7c15ull);
+
+  if (config_.mode == TrafficMode::kSingleSource) {
+    generators_.push_back(std::make_unique<workload::TrafficGenerator>(
+        net.sim(), net.domain(0).hosts, net.destination_names(0),
+        config_.traffic, seeder.fork()));
+  } else {
+    // Split the aggregate rate evenly over the sending domains.
+    workload::TrafficConfig per_domain = config_.traffic;
+    per_domain.sessions_per_second =
+        config_.traffic.sessions_per_second /
+        static_cast<double>(config_.spec.domains);
+    if (config_.traffic.max_sessions != 0) {
+      per_domain.max_sessions =
+          config_.traffic.max_sessions / config_.spec.domains;
+    }
+    for (std::size_t d = 0; d < config_.spec.domains; ++d) {
+      generators_.push_back(std::make_unique<workload::TrafficGenerator>(
+          net.sim(), net.domain(d).hosts, net.destination_names(d), per_domain,
+          seeder.fork()));
+    }
+  }
+}
+
+ExperimentSummary Experiment::run() {
+  for (auto& generator : generators_) generator->start();
+  internet_->sim().run_until(internet_->sim().now() + config_.traffic.duration +
+                             config_.drain);
+  return summary();
+}
+
+ExperimentSummary Experiment::summary() const {
+  const auto& m = internet_->metrics();
+  ExperimentSummary s;
+  s.sessions = m.sessions_started();
+  s.established = m.established();
+  s.completed = m.completed();
+  s.dns_failures = m.dns_failures();
+  s.connect_failures = m.connect_failures();
+  s.syn_retransmissions = m.syn_retransmissions();
+  s.sessions_with_retransmission = m.sessions_with_retransmission();
+  s.miss_events = internet_->total_miss_events();
+  s.miss_drops = internet_->total_miss_drops();
+  s.encapsulated = internet_->total_encapsulated();
+  s.t_dns_mean_ms = m.t_dns().mean() / 1000.0;
+  s.t_dns_p95_ms = m.t_dns().p95() / 1000.0;
+  s.t_setup_mean_ms = m.t_setup().mean() / 1000.0;
+  s.t_setup_p50_ms = m.t_setup().p50() / 1000.0;
+  s.t_setup_p95_ms = m.t_setup().p95() / 1000.0;
+  s.t_setup_p99_ms = m.t_setup().p99() / 1000.0;
+  return s;
+}
+
+}  // namespace lispcp::scenario

@@ -1,0 +1,75 @@
+// experiment.hpp — one-call experiment harness.
+//
+// Builds an Internet from a spec, drives a session workload over it, and
+// summarises the quantities every bench reports: session outcomes, the
+// latency histograms of the paper's formulas, and the ITR mapping-miss
+// counters of claim (i).  Benches that need bespoke measurement (TE link
+// utilization, step timelines) use the Internet directly; this harness
+// covers the common comparative runs.
+#pragma once
+
+#include <memory>
+
+#include "topo/internet.hpp"
+#include "workload/generator.hpp"
+
+namespace lispcp::scenario {
+
+/// Who talks to whom.
+enum class TrafficMode {
+  kSingleSource,  ///< domain 0's hosts open sessions to all other domains
+  kAllToAll,      ///< every domain's hosts open sessions to every other
+};
+
+struct ExperimentConfig {
+  topo::InternetSpec spec;
+  workload::TrafficConfig traffic;
+  TrafficMode mode = TrafficMode::kSingleSource;
+  /// Idle time after the arrival process ends, letting handshakes and
+  /// retransmissions finish before counters are read.
+  sim::SimDuration drain = sim::SimDuration::seconds(20);
+};
+
+struct ExperimentSummary {
+  std::uint64_t sessions = 0;
+  std::uint64_t established = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dns_failures = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t syn_retransmissions = 0;
+  std::uint64_t sessions_with_retransmission = 0;
+  std::uint64_t miss_events = 0;
+  std::uint64_t miss_drops = 0;
+  std::uint64_t encapsulated = 0;
+
+  double t_dns_mean_ms = 0.0;
+  double t_dns_p95_ms = 0.0;
+  double t_setup_mean_ms = 0.0;
+  double t_setup_p50_ms = 0.0;
+  double t_setup_p95_ms = 0.0;
+  double t_setup_p99_ms = 0.0;
+
+  [[nodiscard]] double first_packet_loss_rate() const noexcept {
+    return sessions == 0 ? 0.0
+                         : static_cast<double>(sessions_with_retransmission) /
+                               static_cast<double>(sessions);
+  }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  /// Runs the arrival process plus drain; returns the summary.
+  ExperimentSummary run();
+
+  [[nodiscard]] topo::Internet& internet() noexcept { return *internet_; }
+  [[nodiscard]] ExperimentSummary summary() const;
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<topo::Internet> internet_;
+  std::vector<std::unique_ptr<workload::TrafficGenerator>> generators_;
+};
+
+}  // namespace lispcp::scenario

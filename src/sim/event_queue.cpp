@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace lispcp::sim {
+
+EventHandle EventQueue::schedule(SimTime at, std::function<void()> action,
+                                 bool daemon) {
+  auto record = std::make_shared<EventHandle::Record>();
+  record->action = std::move(action);
+  record->daemon = daemon;
+  record->foreground_live = &foreground_live_;
+  if (!daemon) ++foreground_live_;
+  heap_.push(Entry{at, seq_++, record});
+  return EventHandle(record);
+}
+
+void EventQueue::prune() {
+  // Cancelled entries already gave back their foreground count in
+  // EventHandle::cancel(); here they are only physically discarded.
+  while (!heap_.empty() && heap_.top().record->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::pop(Fired& out) {
+  prune();
+  if (heap_.empty()) return false;
+  Entry entry = heap_.top();
+  heap_.pop();
+  out.time = entry.time;
+  out.action = std::move(entry.record->action);
+  out.daemon = entry.record->daemon;
+  entry.record->cancelled = true;  // a fired event is no longer pending
+  if (!entry.record->daemon) --foreground_live_;
+  return true;
+}
+
+SimTime EventQueue::next_time() {
+  prune();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time on empty queue");
+  }
+  return heap_.top().time;
+}
+
+bool EventQueue::empty() {
+  prune();
+  return heap_.empty();
+}
+
+}  // namespace lispcp::sim

@@ -1,0 +1,120 @@
+// event_queue.hpp — the discrete-event scheduler core.
+//
+// A binary-heap priority queue of (time, sequence) ordered events.  The
+// sequence number breaks ties FIFO, which makes simulations fully
+// deterministic: two events scheduled for the same instant always fire in
+// scheduling order.  Cancellation is O(1) via a tombstone flag; cancelled
+// entries are discarded lazily when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lispcp::sim {
+
+/// Handle for cancelling a scheduled event.  Default-constructed handles are
+/// inert; cancelling twice is harmless.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Returns true iff this call
+  /// transitioned the event from pending to cancelled.
+  bool cancel() noexcept {
+    auto record = record_.lock();
+    if (!record || record->cancelled) return false;
+    record->cancelled = true;
+    record->action = nullptr;  // release captured state eagerly
+    if (!record->daemon && record->foreground_live != nullptr) {
+      --*record->foreground_live;
+    }
+    return true;
+  }
+
+  /// True while the event is still scheduled to fire.
+  [[nodiscard]] bool pending() const noexcept {
+    auto record = record_.lock();
+    return record && !record->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  struct Record {
+    std::function<void()> action;
+    bool cancelled = false;
+    bool daemon = false;
+    /// Exact live-foreground accounting at cancel time (see EventQueue).
+    /// The record is owned by the queue's heap, so this pointer cannot
+    /// outlive the counter it targets.
+    std::uint64_t* foreground_live = nullptr;
+  };
+  explicit EventHandle(std::weak_ptr<Record> record) : record_(std::move(record)) {}
+  std::weak_ptr<Record> record_;
+};
+
+/// Time-ordered event queue.  Not thread-safe: the whole simulation is
+/// single-threaded by design (see DESIGN.md, determinism).
+class EventQueue {
+ public:
+  /// Enqueues `action` to fire at absolute time `at`.  A *daemon* event
+  /// (periodic background maintenance: IRC refresh, RLOC probe cycles, NERD
+  /// push timers) fires in time order like any other, but does not keep the
+  /// simulation alive: Simulator::run() drains the queue only while
+  /// foreground work remains.
+  EventHandle schedule(SimTime at, std::function<void()> action,
+                       bool daemon = false);
+
+  /// Removes and returns the next live event, skipping tombstones.
+  /// Returns false when the queue is empty (of live events).
+  struct Fired {
+    SimTime time;
+    std::function<void()> action;
+    bool daemon = false;
+  };
+  bool pop(Fired& out);
+
+  /// Time of the next live event without popping it; meaningful only when
+  /// !empty().
+  [[nodiscard]] SimTime next_time();
+
+  [[nodiscard]] bool empty();
+
+  /// True while at least one live non-daemon event is queued.  Exact (not
+  /// lazy): cancellation adjusts the count immediately.
+  [[nodiscard]] bool has_foreground() const noexcept {
+    return foreground_live_ > 0;
+  }
+
+  /// Queued entries.  Upper bound on live events: cancelled entries that
+  /// have not yet bubbled to the front are still counted (lazy deletion).
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Total events ever scheduled, for stats.
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::Record> record;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  /// Drops cancelled entries from the front so top() is live.
+  void prune();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t foreground_live_ = 0;
+};
+
+}  // namespace lispcp::sim

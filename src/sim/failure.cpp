@@ -1,0 +1,58 @@
+#include "sim/failure.hpp"
+
+namespace lispcp::sim {
+
+void FailureSchedule::down(Link& link) {
+  link.set_up(false);
+  ++outages_injected_;
+}
+
+void FailureSchedule::up(Link& link) {
+  link.set_up(true);
+  ++repairs_injected_;
+}
+
+void FailureSchedule::link_outage(Link& link, SimTime at, SimDuration duration) {
+  network_.sim().schedule_at(at, [this, &link] { down(link); });
+  if (duration > SimDuration{}) {
+    network_.sim().schedule_at(at + duration, [this, &link] { up(link); });
+  }
+}
+
+void FailureSchedule::node_outage(NodeId node, SimTime at, SimDuration duration) {
+  for (Link* link : network_.links_of(node)) {
+    link_outage(*link, at, duration);
+  }
+}
+
+void FailureSchedule::random_outages(Link& link, SimTime until,
+                                     SimDuration mean_time_between_failures,
+                                     SimDuration mean_time_to_repair, Rng rng) {
+  if (mean_time_between_failures <= SimDuration{} ||
+      mean_time_to_repair <= SimDuration{}) {
+    throw std::invalid_argument("FailureSchedule::random_outages: means must "
+                                "be positive");
+  }
+  schedule_random_cycle(link, until, mean_time_between_failures,
+                        mean_time_to_repair, std::make_shared<Rng>(std::move(rng)));
+}
+
+void FailureSchedule::schedule_random_cycle(Link& link, SimTime until,
+                                            SimDuration mtbf, SimDuration mttr,
+                                            std::shared_ptr<Rng> rng) {
+  const auto uptime = SimDuration::nanos(static_cast<std::int64_t>(
+      rng->exponential(static_cast<double>(mtbf.ns()))));
+  const SimTime fail_at = network_.sim().now() + uptime;
+  if (fail_at >= until) return;  // process ends while the link is up
+  network_.sim().schedule_at(fail_at, [this, &link, until, mtbf, mttr, rng] {
+    down(link);
+    const auto downtime = SimDuration::nanos(static_cast<std::int64_t>(
+        rng->exponential(static_cast<double>(mttr.ns()))));
+    network_.sim().schedule(downtime, [this, &link, until, mtbf, mttr, rng] {
+      up(link);
+      schedule_random_cycle(link, until, mtbf, mttr, rng);
+    });
+  });
+}
+
+}  // namespace lispcp::sim

@@ -1,0 +1,62 @@
+// failure.hpp — structured failure injection for experiments.
+//
+// Schedules deterministic link outages (down at T, up at T + duration),
+// whole-node outages (every incident link), and randomized outage processes
+// (exponential time-between-failures / time-to-repair) for soak tests.
+// Failure events are foreground events on purpose: an injected outage is
+// part of the experiment script, and a run() must not finish before the
+// world has finished changing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/network.hpp"
+
+namespace lispcp::sim {
+
+class FailureSchedule {
+ public:
+  explicit FailureSchedule(Network& network) : network_(network) {}
+
+  FailureSchedule(const FailureSchedule&) = delete;
+  FailureSchedule& operator=(const FailureSchedule&) = delete;
+
+  /// Takes `link` down at `at` and restores it `duration` later
+  /// (duration <= 0 means the outage is permanent).
+  void link_outage(Link& link, SimTime at,
+                   SimDuration duration = SimDuration{});
+
+  /// Fails every link incident to `node` for the given window — the
+  /// standard model for a whole-router failure.
+  void node_outage(NodeId node, SimTime at,
+                   SimDuration duration = SimDuration{});
+
+  /// Subjects `link` to a renewal outage process until `until`: up-times
+  /// drawn from Exponential(mean_time_between_failures), down-times from
+  /// Exponential(mean_time_to_repair).  Deterministic per `rng` stream.
+  void random_outages(Link& link, SimTime until,
+                      SimDuration mean_time_between_failures,
+                      SimDuration mean_time_to_repair, Rng rng);
+
+  [[nodiscard]] std::uint64_t outages_injected() const noexcept {
+    return outages_injected_;
+  }
+  [[nodiscard]] std::uint64_t repairs_injected() const noexcept {
+    return repairs_injected_;
+  }
+
+ private:
+  void down(Link& link);
+  void up(Link& link);
+  void schedule_random_cycle(Link& link, SimTime until,
+                             SimDuration mtbf, SimDuration mttr,
+                             std::shared_ptr<Rng> rng);
+
+  Network& network_;
+  std::uint64_t outages_injected_ = 0;
+  std::uint64_t repairs_injected_ = 0;
+};
+
+}  // namespace lispcp::sim

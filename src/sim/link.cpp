@@ -1,0 +1,88 @@
+#include "sim/link.hpp"
+
+#include "sim/network.hpp"
+
+namespace lispcp::sim {
+
+Link::Link(Network& network, NodeId a, NodeId b, LinkConfig config)
+    : network_(network), a_(a), b_(b), config_(config) {
+  if (config_.bandwidth_bps <= 0) {
+    throw std::invalid_argument("LinkConfig: bandwidth must be positive");
+  }
+  if (config_.delay < SimDuration{}) {
+    throw std::invalid_argument("LinkConfig: negative delay");
+  }
+  forward_.to = b_;
+  backward_.to = a_;
+}
+
+NodeId Link::peer_of(NodeId n) const {
+  if (n == a_) return b_;
+  if (n == b_) return a_;
+  throw std::invalid_argument("Link::peer_of: node not an endpoint");
+}
+
+Link::Direction& Link::direction(NodeId from) {
+  if (from == a_) return forward_;
+  if (from == b_) return backward_;
+  throw std::invalid_argument("Link: node is not an endpoint");
+}
+
+const Link::Direction& Link::direction(NodeId from) const {
+  return const_cast<Link*>(this)->direction(from);
+}
+
+void Link::transmit(NodeId from, net::Packet packet) {
+  Direction& dir = direction(from);
+  Simulator& sim = network_.sim();
+  const SimTime now = sim.now();
+
+  if (!up_) {
+    network_.drop(DropReason::kLinkDown, packet);
+    return;
+  }
+
+  if (config_.loss > 0.0 && sim.rng().chance(config_.loss)) {
+    ++dir.stats.drops_loss;
+    network_.drop(DropReason::kRandomLoss, packet);
+    return;
+  }
+
+  // Backlog currently awaiting serialization, implied by the busy horizon.
+  const SimDuration backlog =
+      dir.busy_until > now ? dir.busy_until - now : SimDuration{};
+  const double backlog_bytes = backlog.sec() * config_.bandwidth_bps / 8.0;
+  if (backlog_bytes > static_cast<double>(config_.queue_bytes)) {
+    ++dir.stats.drops_queue;
+    network_.drop(DropReason::kQueueFull, packet);
+    return;
+  }
+
+  const std::size_t size = packet.wire_size();
+  const SimDuration tx_time =
+      SimDuration::seconds_f(static_cast<double>(size) * 8.0 / config_.bandwidth_bps);
+  const SimTime start = dir.busy_until > now ? dir.busy_until : now;
+  dir.busy_until = start + tx_time;
+  dir.stats.busy += tx_time;
+  ++dir.stats.tx_packets;
+  dir.stats.tx_bytes += size;
+
+  const SimTime arrival = dir.busy_until + config_.delay;
+  const NodeId to = dir.to;
+  sim.schedule_at(arrival, [this, to, p = std::move(packet)]() mutable {
+    network_.arrive(to, std::move(p));
+  });
+}
+
+LinkWindow Link::open_window(NodeId from) const {
+  return LinkWindow{network_.sim().now(), direction(from).stats.tx_bytes};
+}
+
+double Link::utilization(NodeId from, const LinkWindow& w) const {
+  const SimDuration elapsed = network_.sim().now() - w.start;
+  if (elapsed <= SimDuration{}) return 0.0;
+  const double bits = static_cast<double>(bytes_in_window(from, w)) * 8.0;
+  return bits / (elapsed.sec() * config_.bandwidth_bps);
+}
+
+}  // namespace lispcp::sim

@@ -1,0 +1,63 @@
+#include "sim/node.hpp"
+
+#include <stdexcept>
+
+#include "net/echo.hpp"
+#include "net/ports.hpp"
+#include "sim/network.hpp"
+
+namespace lispcp::sim {
+
+Node::Node(Network& network, std::string name)
+    : network_(&network), name_(std::move(name)) {
+  id_ = network.register_node(this);
+}
+
+Simulator& Node::sim() const noexcept { return network_->sim(); }
+
+void Node::add_address(net::Ipv4Address address) {
+  addresses_.push_back(address);
+  network_->register_address(address, id_);
+}
+
+net::Ipv4Address Node::address() const {
+  if (addresses_.empty()) {
+    throw std::logic_error("Node '" + name_ + "' has no address");
+  }
+  return addresses_.front();
+}
+
+bool Node::owns(net::Ipv4Address address) const noexcept {
+  for (auto a : addresses_) {
+    if (a == address) return true;
+  }
+  return false;
+}
+
+void Node::deliver(net::Packet packet) {
+  // Every node speaks UDP Echo (RFC 862), the liveness primitive of the
+  // failover machinery — as real routers answer ping.
+  if (const auto* udp = packet.udp();
+      udp != nullptr && udp->dst_port == net::ports::kEcho) {
+    if (auto echo = packet.payload_as<net::EchoPayload>()) {
+      if (!echo->is_reply()) {
+        auto reply = std::make_shared<net::EchoPayload>(echo->nonce(),
+                                                        /*is_reply=*/true);
+        send(net::Packet::udp(packet.outer_ip().dst, packet.outer_ip().src,
+                              net::ports::kEcho, net::ports::kEcho,
+                              std::move(reply)));
+      } else if (echo_reply_handler_) {
+        echo_reply_handler_(packet.outer_ip().src, echo->nonce());
+      }
+      return;
+    }
+  }
+  (void)packet;
+  ++unexpected_deliveries_;
+}
+
+void Node::send(net::Packet packet) {
+  network_->inject(id_, std::move(packet));
+}
+
+}  // namespace lispcp::sim

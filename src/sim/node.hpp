@@ -1,0 +1,125 @@
+// node.hpp — base class for every simulated network element.
+//
+// Hosts, routers, DNS servers, tunnel routers and PCEs all derive from Node.
+// A node participates in forwarding through two hooks:
+//
+//   * deliver(pkt)  — the packet's outer destination is one of this node's
+//                     addresses; the node is the endpoint.
+//   * transit(pkt)  — the packet is passing through.  Returning kConsumed
+//                     removes it from the forwarding path; this is how the
+//                     PCE transparently intercepts DNS replies on their way
+//                     to the local DNS server (paper Fig. 1, Steps 2-7), and
+//                     how the ITR grabs outbound packets for encapsulation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+
+namespace lispcp::sim {
+
+class Network;
+class Simulator;
+
+/// Index of a node within its Network.  Strong type to keep node indices,
+/// link indices and counters from mixing.
+class NodeId {
+ public:
+  constexpr NodeId() noexcept = default;
+  constexpr explicit NodeId(std::uint32_t v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(NodeId, NodeId) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  std::uint32_t value_ = kInvalid;
+};
+
+class Node {
+ public:
+  /// What a node tells the forwarding engine about a transiting packet.
+  enum class TransitAction {
+    kForward,   ///< keep forwarding toward the destination
+    kConsumed,  ///< the node took ownership (intercepted / encapsulated)
+  };
+
+  /// Registers the node with `network` (assigning its NodeId).  `name` is
+  /// for traces and error messages; uniqueness is not required but helps.
+  Node(Network& network, std::string name);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Network& network() const noexcept { return *network_; }
+  [[nodiscard]] Simulator& sim() const noexcept;
+
+  /// Adds an address owned by this node (also indexed by the Network for
+  /// endpoint delivery).  The first address added is the primary one.
+  void add_address(net::Ipv4Address address);
+
+  /// Primary address; throws std::logic_error if none was assigned.
+  [[nodiscard]] net::Ipv4Address address() const;
+
+  [[nodiscard]] const std::vector<net::Ipv4Address>& addresses() const noexcept {
+    return addresses_;
+  }
+
+  [[nodiscard]] bool owns(net::Ipv4Address address) const noexcept;
+
+  /// Endpoint delivery.  The default counts the packet as unexpected —
+  /// pure transit elements (routers) never legitimately terminate traffic.
+  virtual void deliver(net::Packet packet);
+
+  /// Transit hook; default is plain forwarding.
+  virtual TransitAction transit(net::Packet& packet) {
+    (void)packet;
+    return TransitAction::kForward;
+  }
+
+  /// Originates `packet` from this node: it enters the forwarding engine
+  /// here at the current simulation time.
+  void send(net::Packet packet);
+
+  /// Packets that hit the default deliver() (should stay 0 in a correctly
+  /// wired topology; asserted by integration tests).
+  [[nodiscard]] std::uint64_t unexpected_deliveries() const noexcept {
+    return unexpected_deliveries_;
+  }
+
+  /// Observer for UDP Echo replies reaching this node (RFC 862; the base
+  /// deliver() answers requests automatically and routes replies here).
+  /// Used by core::LinkHealthMonitor for BFD-style liveness detection.
+  using EchoReplyHandler =
+      std::function<void(net::Ipv4Address from, std::uint64_t nonce)>;
+  void set_echo_reply_handler(EchoReplyHandler handler) {
+    echo_reply_handler_ = std::move(handler);
+  }
+
+ private:
+  Network* network_;
+  NodeId id_;
+  std::string name_;
+  std::vector<net::Ipv4Address> addresses_;
+  std::uint64_t unexpected_deliveries_ = 0;
+  EchoReplyHandler echo_reply_handler_;
+};
+
+}  // namespace lispcp::sim
+
+template <>
+struct std::hash<lispcp::sim::NodeId> {
+  std::size_t operator()(lispcp::sim::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,39 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace lispcp::sim {
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string SimDuration::to_string() const { return format_ns(ns_); }
+std::string SimTime::to_string() const { return format_ns(ns_); }
+
+std::ostream& operator<<(std::ostream& os, SimDuration d) {
+  return os << d.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.to_string();
+}
+
+}  // namespace lispcp::sim

@@ -1,0 +1,76 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace lispcp::sim {
+
+const char* to_string(TraceRecord::Kind kind) noexcept {
+  switch (kind) {
+    case TraceRecord::Kind::kSend: return "SEND";
+    case TraceRecord::Kind::kDeliver: return "DELIVER";
+    case TraceRecord::Kind::kForward: return "FORWARD";
+    case TraceRecord::Kind::kConsume: return "CONSUME";
+    case TraceRecord::Kind::kDrop: return "DROP";
+  }
+  return "?";
+}
+
+const char* to_string(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kNoRoute: return "no-route";
+    case DropReason::kTtlExpired: return "ttl-expired";
+    case DropReason::kQueueFull: return "queue-full";
+    case DropReason::kRandomLoss: return "random-loss";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kMappingMiss: return "mapping-miss";
+  }
+  return "?";
+}
+
+std::string TraceRecord::to_string() const {
+  std::string out = "[" + time.to_string() + "] ";
+  out += sim::to_string(kind);
+  if (kind == Kind::kDrop) {
+    out += "(";
+    out += sim::to_string(drop_reason);
+    out += ")";
+  }
+  if (!node.empty()) out += " @" + node;
+  out += " " + summary;
+  return out;
+}
+
+void RecordingTracer::record(TraceRecord::Kind kind, SimTime t, std::string node,
+                             const net::Packet& p, DropReason reason) {
+  TraceRecord rec;
+  rec.kind = kind;
+  rec.time = t;
+  rec.node = std::move(node);
+  rec.drop_reason = reason;
+  rec.packet_id = p.id();
+  rec.summary = p.describe();
+  if (filter_ && !filter_(rec)) return;
+  ++total_;
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++overflowed_;
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::vector<TraceRecord> RecordingTracer::packet_journey(
+    std::uint64_t packet_id) const {
+  std::vector<TraceRecord> out;
+  for (const auto& rec : records_) {
+    if (rec.packet_id == packet_id) out.push_back(rec);
+  }
+  return out;
+}
+
+void RecordingTracer::write_text(std::ostream& os) const {
+  for (const auto& rec : records_) {
+    os << rec.to_string() << "\n";
+  }
+}
+
+}  // namespace lispcp::sim

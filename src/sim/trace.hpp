@@ -1,0 +1,92 @@
+// trace.hpp — packet-event recording and text trace output.
+//
+// A ready-made Tracer for debugging and examples: records every fabric
+// event (optionally filtered) with timestamp, node and packet summary, and
+// can dump a tcpdump-style text log.  Recording is bounded so a forgotten
+// tracer cannot eat the heap on a long run.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "sim/network.hpp"
+
+namespace lispcp::sim {
+
+/// One recorded fabric event.
+struct TraceRecord {
+  enum class Kind { kSend, kDeliver, kForward, kConsume, kDrop };
+
+  Kind kind = Kind::kSend;
+  SimTime time;
+  std::string node;             ///< empty for drops reported by links
+  DropReason drop_reason = DropReason::kNoRoute;  ///< valid when kind==kDrop
+  std::uint64_t packet_id = 0;
+  std::string summary;          ///< Packet::describe() output
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Filter callback: return true to record the event.
+using TraceFilter = std::function<bool(const TraceRecord&)>;
+
+class RecordingTracer final : public Tracer {
+ public:
+  /// `capacity` bounds the number of retained records (oldest dropped).
+  explicit RecordingTracer(std::size_t capacity = 100'000)
+      : capacity_(capacity) {}
+
+  void set_filter(TraceFilter filter) { filter_ = std::move(filter); }
+
+  void on_send(SimTime t, const Node& n, const net::Packet& p) override {
+    record(TraceRecord::Kind::kSend, t, n.name(), p, DropReason::kNoRoute);
+  }
+  void on_deliver(SimTime t, const Node& n, const net::Packet& p) override {
+    record(TraceRecord::Kind::kDeliver, t, n.name(), p, DropReason::kNoRoute);
+  }
+  void on_forward(SimTime t, const Node& n, const net::Packet& p) override {
+    record(TraceRecord::Kind::kForward, t, n.name(), p, DropReason::kNoRoute);
+  }
+  void on_consume(SimTime t, const Node& n, const net::Packet& p) override {
+    record(TraceRecord::Kind::kConsume, t, n.name(), p, DropReason::kNoRoute);
+  }
+  void on_drop(SimTime t, DropReason reason, const net::Packet& p) override {
+    record(TraceRecord::Kind::kDrop, t, "", p, reason);
+  }
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t recorded_total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t overflowed() const noexcept { return overflowed_; }
+
+  /// All records following `packet_id` through the fabric, in order.
+  [[nodiscard]] std::vector<TraceRecord> packet_journey(
+      std::uint64_t packet_id) const;
+
+  /// Writes one line per record.
+  void write_text(std::ostream& os) const;
+
+  void clear() {
+    records_.clear();
+    total_ = 0;
+    overflowed_ = 0;
+  }
+
+ private:
+  void record(TraceRecord::Kind kind, SimTime t, std::string node,
+              const net::Packet& p, DropReason reason);
+
+  std::size_t capacity_;
+  TraceFilter filter_;
+  std::deque<TraceRecord> records_;
+  std::size_t total_ = 0;
+  std::size_t overflowed_ = 0;
+};
+
+[[nodiscard]] const char* to_string(TraceRecord::Kind kind) noexcept;
+[[nodiscard]] const char* to_string(DropReason reason) noexcept;
+
+}  // namespace lispcp::sim

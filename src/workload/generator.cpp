@@ -1,0 +1,48 @@
+#include "workload/generator.hpp"
+
+#include <stdexcept>
+
+namespace lispcp::workload {
+
+TrafficGenerator::TrafficGenerator(sim::Simulator& sim, std::vector<Host*> clients,
+                                   std::vector<dns::DomainName> destinations,
+                                   TrafficConfig config, sim::Rng rng)
+    : sim_(sim),
+      clients_(std::move(clients)),
+      destinations_(std::move(destinations)),
+      config_(config),
+      rng_(rng),
+      zipf_(destinations_.empty() ? 1 : destinations_.size(), config.zipf_alpha) {
+  if (clients_.empty()) {
+    throw std::invalid_argument("TrafficGenerator: no client hosts");
+  }
+  if (destinations_.empty()) {
+    throw std::invalid_argument("TrafficGenerator: no destinations");
+  }
+  if (config_.sessions_per_second <= 0.0) {
+    throw std::invalid_argument("TrafficGenerator: rate must be positive");
+  }
+}
+
+void TrafficGenerator::start() {
+  end_time_ = sim_.now() + config_.duration;
+  const double mean_gap = 1.0 / config_.sessions_per_second;
+  sim_.schedule(sim::SimDuration::seconds_f(rng_.exponential(mean_gap)),
+                [this] { arrival(); });
+}
+
+void TrafficGenerator::arrival() {
+  if (sim_.now() >= end_time_) return;
+  if (config_.max_sessions != 0 && launched_ >= config_.max_sessions) return;
+
+  Host* client = clients_[rng_.uniform_int(0, clients_.size() - 1)];
+  const auto& destination = destinations_[zipf_(rng_)];
+  client->start_session(destination);
+  ++launched_;
+
+  const double mean_gap = 1.0 / config_.sessions_per_second;
+  sim_.schedule(sim::SimDuration::seconds_f(rng_.exponential(mean_gap)),
+                [this] { arrival(); });
+}
+
+}  // namespace lispcp::workload

@@ -1,0 +1,56 @@
+// generator.hpp — traffic generation for the experiments.
+//
+// Sessions arrive as a Poisson process; each picks a uniformly random client
+// host and a destination *name* drawn from a Zipf popularity distribution
+// over the remote host population.  Zipf skew is the lever that controls
+// map-cache hit ratios in experiment E1 (hot destinations stay cached, the
+// tail always misses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "workload/host.hpp"
+
+namespace lispcp::workload {
+
+struct TrafficConfig {
+  double sessions_per_second = 50.0;
+  sim::SimDuration duration = sim::SimDuration::seconds(60);
+  double zipf_alpha = 0.9;
+  /// If > 0, stop after exactly this many sessions regardless of duration.
+  std::uint64_t max_sessions = 0;
+};
+
+class TrafficGenerator {
+ public:
+  /// `clients` originate sessions; `destinations` are resolvable names of
+  /// remote hosts, index-aligned with the Zipf ranks (index 0 = hottest).
+  TrafficGenerator(sim::Simulator& sim, std::vector<Host*> clients,
+                   std::vector<dns::DomainName> destinations, TrafficConfig config,
+                   sim::Rng rng);
+
+  /// Schedules the arrival process from the current simulation time.
+  void start();
+
+  [[nodiscard]] std::uint64_t sessions_launched() const noexcept {
+    return launched_;
+  }
+
+ private:
+  void arrival();
+
+  sim::Simulator& sim_;
+  std::vector<Host*> clients_;
+  std::vector<dns::DomainName> destinations_;
+  TrafficConfig config_;
+  sim::Rng rng_;
+  sim::ZipfDistribution zipf_;
+  sim::SimTime end_time_;
+  std::uint64_t launched_ = 0;
+};
+
+}  // namespace lispcp::workload

@@ -1,0 +1,237 @@
+#include "workload/host.hpp"
+
+#include "net/ports.hpp"
+
+namespace lispcp::workload {
+
+namespace {
+
+std::uint64_t passive_key(net::Ipv4Address peer, std::uint16_t port) noexcept {
+  return (std::uint64_t{peer.value()} << 16) | port;
+}
+
+constexpr std::uint16_t kServerPort = 80;
+
+}  // namespace
+
+std::uint64_t Host::next_session_id() noexcept {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+Host::Host(sim::Network& network, std::string name, net::Ipv4Address eid,
+           HostConfig config, WorkloadMetrics* metrics)
+    : Node(network, std::move(name)), config_(config), metrics_(metrics) {
+  add_address(eid);
+}
+
+std::uint64_t Host::start_session(const dns::DomainName& target) {
+  Session session;
+  session.id = next_session_id();
+  session.started = sim().now();
+  session.target = target;
+  session.local_port = next_port_++;
+  if (next_port_ < 1024) next_port_ = 1024;  // wrapped
+  session.dns_id = next_dns_id_++;
+  session.responses_outstanding = config_.data_packets;
+
+  if (metrics_ != nullptr) metrics_->session_started(session.id, session.started);
+
+  // DNS query to the local resolver (Step 1 of the paper's sequence).
+  auto query = dns::DnsMessage::query(session.dns_id, {target, dns::RrType::kA},
+                                      /*recursion_desired=*/true);
+  send(net::Packet::udp(address(), config_.resolver, session.local_port,
+                        net::ports::kDns, std::move(query)));
+
+  const std::uint16_t port = session.local_port;
+  session.timer = sim().schedule(config_.dns_timeout, [this, port] {
+    auto it = by_port_.find(port);
+    if (it == by_port_.end() || it->second.state != State::kResolving) return;
+    if (metrics_ != nullptr) metrics_->dns_failed(it->second.id);
+    resolving_.erase(it->second.dns_id);
+    by_port_.erase(it);
+  });
+
+  const std::uint64_t id = session.id;
+  resolving_[session.dns_id] = session.local_port;
+  by_port_.emplace(port, std::move(session));
+  return id;
+}
+
+void Host::deliver(net::Packet packet) {
+  if (const auto* udp = packet.udp();
+      udp != nullptr && udp->src_port == net::ports::kDns) {
+    if (auto message = packet.payload_as<dns::DnsMessage>()) {
+      handle_dns_response(packet, *message);
+      return;
+    }
+  }
+  if (const auto* tcp = packet.tcp()) {
+    handle_tcp(packet, *tcp);
+    return;
+  }
+  Node::deliver(std::move(packet));
+}
+
+void Host::handle_dns_response(const net::Packet& packet,
+                               const dns::DnsMessage& message) {
+  (void)packet;
+  auto resolving_it = resolving_.find(message.id());
+  if (resolving_it == resolving_.end()) return;  // late/duplicate answer
+  auto session_it = by_port_.find(static_cast<std::uint16_t>(resolving_it->second));
+  resolving_.erase(resolving_it);
+  if (session_it == by_port_.end()) return;
+  Session& session = session_it->second;
+  if (session.state != State::kResolving) return;
+  session.timer.cancel();
+
+  const auto answer = message.first_address();
+  if (message.rcode() != dns::Rcode::kNoError || !answer) {
+    if (metrics_ != nullptr) metrics_->dns_failed(session.id);
+    by_port_.erase(session_it);
+    return;
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->dns_resolved(session.id, sim().now() - session.started);
+  }
+  session.peer = *answer;
+  session.state = State::kConnecting;
+  send_syn(session);
+}
+
+void Host::send_syn(Session& session) {
+  net::TcpHeader syn;
+  syn.src_port = session.local_port;
+  syn.dst_port = kServerPort;
+  // The session id rides in the sequence number so the server can report
+  // handshake completion for the right session.
+  syn.seq = static_cast<std::uint32_t>(session.id);
+  syn.flags.syn = true;
+  send(net::Packet::tcp(address(), session.peer, syn));
+
+  const std::uint16_t port = session.local_port;
+  // Exponential backoff: 3s, 6s, 12s, ... (RFC 2988 with 2008-era initial RTO).
+  const auto rto = config_.syn_rto * (std::int64_t{1} << session.syn_retries);
+  session.timer = sim().schedule(rto, [this, port] { on_syn_timeout(port); });
+}
+
+void Host::on_syn_timeout(std::uint16_t port) {
+  auto it = by_port_.find(port);
+  if (it == by_port_.end() || it->second.state != State::kConnecting) return;
+  Session& session = it->second;
+  if (session.syn_retries >= config_.max_syn_retries) {
+    if (metrics_ != nullptr) metrics_->connect_failed(session.id);
+    by_port_.erase(it);
+    return;
+  }
+  ++session.syn_retries;
+  send_syn(session);
+}
+
+void Host::handle_tcp(const net::Packet& packet, const net::TcpHeader& tcp) {
+  const auto peer = packet.outer_ip().src;
+
+  // --- Server side ---------------------------------------------------------
+  if (tcp.dst_port == kServerPort) {
+    const auto key = passive_key(peer, tcp.src_port);
+    if (tcp.flags.syn && !tcp.flags.ack) {
+      ++host_stats_.syns_received;
+      auto& conn = passive_[key];
+      conn.session_id = tcp.seq;
+      net::TcpHeader synack;
+      synack.src_port = kServerPort;
+      synack.dst_port = tcp.src_port;
+      synack.seq = tcp.seq;  // echo the session id back
+      synack.ack = tcp.seq + 1;
+      synack.flags.syn = true;
+      synack.flags.ack = true;
+      send(net::Packet::tcp(address(), peer, synack));
+      return;
+    }
+    auto conn_it = passive_.find(key);
+    if (conn_it == passive_.end()) return;  // stray segment
+    PassiveConn& conn = conn_it->second;
+    if (tcp.flags.ack && !tcp.flags.syn && !conn.established) {
+      conn.established = true;
+      ++host_stats_.connections_accepted;
+      if (metrics_ != nullptr) {
+        metrics_->handshake_complete(conn.session_id, sim().now());
+      }
+      return;
+    }
+    if (!tcp.flags.syn && packet.payload() != nullptr) {
+      // Data packet: answer with a response packet (reverse-direction load).
+      ++host_stats_.data_packets_received;
+      net::TcpHeader resp;
+      resp.src_port = kServerPort;
+      resp.dst_port = tcp.src_port;
+      resp.seq = tcp.seq;
+      resp.ack = tcp.seq + 1;
+      resp.flags.ack = true;
+      ++host_stats_.responses_sent;
+      send(net::Packet::tcp(address(), peer, resp, config_.response_packet_bytes));
+      return;
+    }
+    return;
+  }
+
+  // --- Client side ----------------------------------------------------------
+  auto it = by_port_.find(tcp.dst_port);
+  if (it == by_port_.end()) return;
+  Session& session = it->second;
+  if (peer != session.peer) return;
+
+  if (tcp.flags.syn && tcp.flags.ack && session.state == State::kConnecting) {
+    session.timer.cancel();
+    session.state = State::kEstablished;
+    if (metrics_ != nullptr) {
+      metrics_->client_connected(session.id, sim().now() - session.started,
+                                 session.syn_retries);
+    }
+    on_established(session);
+    return;
+  }
+
+  if (session.state == State::kEstablished && tcp.flags.ack &&
+      packet.payload() != nullptr) {
+    ++host_stats_.responses_received;
+    if (--session.responses_outstanding <= 0) {
+      if (metrics_ != nullptr) metrics_->data_complete(session.id, sim().now());
+      by_port_.erase(it);
+    }
+    return;
+  }
+}
+
+void Host::on_established(Session& session) {
+  // Complete the handshake, then stream the data burst.
+  net::TcpHeader ack;
+  ack.src_port = session.local_port;
+  ack.dst_port = kServerPort;
+  ack.seq = static_cast<std::uint32_t>(session.id) + 1;
+  ack.ack = static_cast<std::uint32_t>(session.id) + 1;
+  ack.flags.ack = true;
+  send(net::Packet::tcp(address(), session.peer, ack));
+  send_data_burst(session);
+}
+
+void Host::send_data_burst(Session& session) {
+  for (int i = 0; i < config_.data_packets; ++i) {
+    net::TcpHeader data;
+    data.src_port = session.local_port;
+    data.dst_port = kServerPort;
+    data.seq = static_cast<std::uint32_t>(session.id) + 2 +
+               static_cast<std::uint32_t>(i);
+    data.flags.ack = true;
+    // Small pacing to avoid an unrealistic instantaneous burst.
+    const auto delay = sim::SimDuration::micros(50) * (i + 1);
+    const auto peer = session.peer;
+    auto packet = net::Packet::tcp(address(), peer, data, config_.data_packet_bytes);
+    sim().schedule(delay, [this, p = std::move(packet)]() mutable {
+      send(std::move(p));
+    });
+  }
+}
+
+}  // namespace lispcp::workload

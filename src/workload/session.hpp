@@ -1,0 +1,116 @@
+// session.hpp — session outcome records and the shared metrics sink.
+//
+// A "session" is the paper's §1 scenario: an end-host looks up a name in
+// the DNS, opens a TCP connection to the answered EID, and exchanges data.
+// The sink collects exactly the quantities the paper's formulas speak
+// about: T_DNS, the client-side connect time, the full three-way-handshake
+// setup time T_setup, and the SYN retransmissions caused by first-packet
+// drops at the ITR (claim (i)'s failure mode: a dropped SYN costs a full
+// 3-second RFC 2988 initial RTO).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/histogram.hpp"
+#include "sim/time.hpp"
+
+namespace lispcp::workload {
+
+struct SessionResult {
+  std::uint64_t id = 0;
+  sim::SimTime started;
+  std::optional<sim::SimDuration> t_dns;      ///< DNS query -> answer
+  std::optional<sim::SimDuration> t_connect;  ///< start -> SYN-ACK at client
+  std::optional<sim::SimDuration> t_setup;    ///< start -> ACK at server (§1 formula)
+  int syn_retransmissions = 0;
+  bool dns_failed = false;
+  bool connect_failed = false;
+  bool data_complete = false;
+};
+
+/// Shared collector; hosts report into it as sessions progress.
+class WorkloadMetrics {
+ public:
+  void session_started(std::uint64_t id, sim::SimTime now) {
+    ++sessions_started_;
+    starts_[id] = now;
+  }
+
+  void dns_resolved(std::uint64_t id, sim::SimDuration t_dns) {
+    (void)id;
+    t_dns_.add_duration(t_dns);
+  }
+
+  void dns_failed(std::uint64_t id) {
+    (void)id;
+    ++dns_failures_;
+  }
+
+  void client_connected(std::uint64_t id, sim::SimDuration t_connect,
+                        int retransmissions) {
+    (void)id;
+    t_connect_.add_duration(t_connect);
+    syn_retransmissions_ += static_cast<std::uint64_t>(retransmissions);
+    if (retransmissions > 0) ++sessions_with_retransmission_;
+  }
+
+  /// Called by the *server-side* host when the handshake ACK arrives.
+  void handshake_complete(std::uint64_t id, sim::SimTime now) {
+    auto it = starts_.find(id);
+    if (it == starts_.end()) return;
+    t_setup_.add_duration(now - it->second);
+    ++established_;
+  }
+
+  void connect_failed(std::uint64_t id) {
+    (void)id;
+    ++connect_failures_;
+  }
+
+  void data_complete(std::uint64_t id, sim::SimTime now) {
+    (void)now;
+    ++completed_;
+    starts_.erase(id);
+  }
+
+  [[nodiscard]] const metrics::Histogram& t_dns() const noexcept { return t_dns_; }
+  [[nodiscard]] const metrics::Histogram& t_connect() const noexcept {
+    return t_connect_;
+  }
+  [[nodiscard]] const metrics::Histogram& t_setup() const noexcept {
+    return t_setup_;
+  }
+  [[nodiscard]] std::uint64_t sessions_started() const noexcept {
+    return sessions_started_;
+  }
+  [[nodiscard]] std::uint64_t established() const noexcept { return established_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t dns_failures() const noexcept { return dns_failures_; }
+  [[nodiscard]] std::uint64_t connect_failures() const noexcept {
+    return connect_failures_;
+  }
+  [[nodiscard]] std::uint64_t syn_retransmissions() const noexcept {
+    return syn_retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t sessions_with_retransmission() const noexcept {
+    return sessions_with_retransmission_;
+  }
+
+ private:
+  metrics::Histogram t_dns_;
+  metrics::Histogram t_connect_;
+  metrics::Histogram t_setup_;
+  std::unordered_map<std::uint64_t, sim::SimTime> starts_;
+  std::uint64_t sessions_started_ = 0;
+  std::uint64_t established_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dns_failures_ = 0;
+  std::uint64_t connect_failures_ = 0;
+  std::uint64_t syn_retransmissions_ = 0;
+  std::uint64_t sessions_with_retransmission_ = 0;
+};
+
+}  // namespace lispcp::workload

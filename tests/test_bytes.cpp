@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "net/bytes.hpp"
+#include "net/checksum.hpp"
+
+namespace lispcp::net {
+namespace {
+
+TEST(ByteWriter, BigEndianFields) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 15u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]), 0xAB);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[1]), 0x12);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[2]), 0x34);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[3]), 0xDE);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[14]), 0x08);
+}
+
+TEST(ByteRoundTrip, AllFieldTypes) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0);
+  w.u64(~std::uint64_t{0});
+  w.address(Ipv4Address(10, 20, 30, 40));
+  w.counted_string("hello");
+  auto bytes = w.take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u64(), ~std::uint64_t{0});
+  EXPECT_EQ(r.address(), Ipv4Address(10, 20, 30, 40));
+  EXPECT_EQ(r.counted_string(), "hello");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u16(42);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_EQ(r.u8(), 42);
+  EXPECT_THROW(r.u8(), ParseError);
+}
+
+TEST(ByteReader, TruncatedCountedStringThrows) {
+  ByteWriter w;
+  w.u8(10);  // claims 10 bytes follow
+  w.u8('x');
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.counted_string(), ParseError);
+}
+
+TEST(ByteWriter, CountedStringLimit) {
+  ByteWriter w;
+  std::string max(255, 'a');
+  EXPECT_NO_THROW(w.counted_string(max));
+  std::string too_long(256, 'a');
+  EXPECT_THROW(w.counted_string(too_long), std::length_error);
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16(0);  // placeholder at offset 0
+  w.u32(0xAABBCCDD);
+  w.patch_u16(0, 0xBEEF);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xAABBCCDDu);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 5), std::out_of_range);
+}
+
+TEST(ByteReader, SkipAndPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  r.skip(4);
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.u32(), 2u);
+  EXPECT_THROW(r.skip(1), ParseError);
+}
+
+TEST(ByteReader, BytesSubspan) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  auto buffer = w.take();
+  ByteReader r(buffer);
+  auto two = r.bytes(2);
+  EXPECT_EQ(static_cast<std::uint8_t>(two[0]), 1);
+  EXPECT_EQ(static_cast<std::uint8_t>(two[1]), 2);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example: 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 ->
+  // fold: 0xddf2 -> complement: 0x220d.
+  ByteWriter w;
+  w.u16(0x0001);
+  w.u16(0xf203);
+  w.u16(0xf4f5);
+  w.u16(0xf6f7);
+  auto bytes = w.take();
+  EXPECT_EQ(internet_checksum(bytes), 0x220D);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  ByteWriter w;
+  w.u8(0x12);
+  auto bytes = w.take();
+  // One byte 0x12 -> word 0x1200 -> checksum ~0x1200 = 0xEDFF.
+  EXPECT_EQ(internet_checksum(bytes), 0xEDFF);
+}
+
+TEST(Checksum, VerifiesSelf) {
+  ByteWriter w;
+  w.u32(0xDEADBEEF);
+  w.u16(0);  // checksum slot
+  auto bytes = w.take();
+  const auto sum = internet_checksum(bytes);
+  bytes[4] = std::byte{static_cast<std::uint8_t>(sum >> 8)};
+  bytes[5] = std::byte{static_cast<std::uint8_t>(sum)};
+  EXPECT_TRUE(checksum_ok(bytes));
+  bytes[0] = std::byte{0x00};  // corrupt
+  EXPECT_FALSE(checksum_ok(bytes));
+}
+
+TEST(Checksum, EmptyInput) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+}  // namespace
+}  // namespace lispcp::net

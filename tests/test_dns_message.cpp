@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+
+namespace lispcp::dns {
+namespace {
+
+Question q(const char* name) {
+  return Question{DomainName::from_string(name), RrType::kA};
+}
+
+TEST(DnsMessage, QueryFactory) {
+  auto m = DnsMessage::query(42, q("h0.d1.example"), true);
+  EXPECT_EQ(m->id(), 42);
+  EXPECT_FALSE(m->is_response());
+  EXPECT_TRUE(m->recursion_desired());
+  EXPECT_EQ(m->question().name.to_string(), "h0.d1.example");
+  EXPECT_FALSE(m->is_referral());
+}
+
+TEST(DnsMessage, AnswerFactoryAndFirstAddress) {
+  auto m = DnsMessage::answer(
+      7, q("h0.d1.example"),
+      {ResourceRecord::a(DomainName::from_string("h0.d1.example"),
+                         net::Ipv4Address(100, 64, 1, 10))},
+      true);
+  EXPECT_TRUE(m->is_response());
+  EXPECT_TRUE(m->authoritative());
+  EXPECT_EQ(m->rcode(), Rcode::kNoError);
+  ASSERT_TRUE(m->first_address().has_value());
+  EXPECT_EQ(*m->first_address(), net::Ipv4Address(100, 64, 1, 10));
+  EXPECT_FALSE(m->is_referral());
+}
+
+TEST(DnsMessage, ReferralFactory) {
+  auto m = DnsMessage::referral(
+      9, q("h0.d1.example"),
+      {ResourceRecord::ns(DomainName::from_string("d1.example"),
+                          DomainName::from_string("ns.d1.example"))},
+      {ResourceRecord::a(DomainName::from_string("ns.d1.example"),
+                         net::Ipv4Address(192, 1, 1, 20))});
+  EXPECT_TRUE(m->is_referral());
+  EXPECT_FALSE(m->first_address().has_value());
+  ASSERT_EQ(m->authority().size(), 1u);
+  EXPECT_EQ(m->authority()[0].type, RrType::kNs);
+  ASSERT_EQ(m->additional().size(), 1u);
+  EXPECT_EQ(m->additional()[0].addr, net::Ipv4Address(192, 1, 1, 20));
+}
+
+TEST(DnsMessage, ErrorFactory) {
+  auto m = DnsMessage::error(3, q("nope.example"), Rcode::kNxDomain);
+  EXPECT_TRUE(m->is_response());
+  EXPECT_EQ(m->rcode(), Rcode::kNxDomain);
+  EXPECT_FALSE(m->is_referral());
+}
+
+TEST(DnsMessage, WireRoundTripAnswer) {
+  auto m = DnsMessage::answer(
+      0xBEEF, q("h3.d7.example"),
+      {ResourceRecord::a(DomainName::from_string("h3.d7.example"),
+                         net::Ipv4Address(100, 64, 7, 13), 600)},
+      true);
+  net::ByteWriter w;
+  m->serialize(w);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), m->wire_size());
+
+  net::ByteReader r(bytes);
+  auto parsed = DnsMessage::parse_wire(r);
+  EXPECT_EQ(parsed->id(), 0xBEEF);
+  EXPECT_TRUE(parsed->is_response());
+  EXPECT_TRUE(parsed->authoritative());
+  EXPECT_EQ(parsed->question(), m->question());
+  ASSERT_EQ(parsed->answers().size(), 1u);
+  EXPECT_EQ(parsed->answers()[0], m->answers()[0]);
+}
+
+TEST(DnsMessage, WireRoundTripReferral) {
+  auto m = DnsMessage::referral(
+      1, q("h0.d2.example"),
+      {ResourceRecord::ns(DomainName::from_string("d2.example"),
+                          DomainName::from_string("ns.d2.example"), 7200)},
+      {ResourceRecord::a(DomainName::from_string("ns.d2.example"),
+                         net::Ipv4Address(192, 1, 2, 20), 7200)});
+  net::ByteWriter w;
+  m->serialize(w);
+  auto bytes = w.take();
+  net::ByteReader r(bytes);
+  auto parsed = DnsMessage::parse_wire(r);
+  EXPECT_TRUE(parsed->is_referral());
+  EXPECT_EQ(parsed->authority()[0].ns_name,
+            DomainName::from_string("ns.d2.example"));
+  EXPECT_EQ(parsed->additional()[0].ttl_seconds, 7200u);
+}
+
+TEST(DnsMessage, WireRoundTripQueryFlags) {
+  auto m = DnsMessage::query(5, q("x.example"), true);
+  net::ByteWriter w;
+  m->serialize(w);
+  auto bytes = w.take();
+  net::ByteReader r(bytes);
+  auto parsed = DnsMessage::parse_wire(r);
+  EXPECT_FALSE(parsed->is_response());
+  EXPECT_TRUE(parsed->recursion_desired());
+  EXPECT_FALSE(parsed->authoritative());
+}
+
+TEST(DnsMessage, WireRejectsTruncation) {
+  auto m = DnsMessage::query(5, q("x.example"), true);
+  net::ByteWriter w;
+  m->serialize(w);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 3);
+  net::ByteReader r(bytes);
+  EXPECT_THROW(DnsMessage::parse_wire(r), net::ParseError);
+}
+
+TEST(ResourceRecord, WireSizeMatchesSerialization) {
+  auto a = ResourceRecord::a(DomainName::from_string("host.zone.example"),
+                             net::Ipv4Address(1, 2, 3, 4));
+  net::ByteWriter w;
+  a.serialize(w);
+  EXPECT_EQ(w.size(), a.wire_size());
+
+  auto ns = ResourceRecord::ns(DomainName::from_string("zone.example"),
+                               DomainName::from_string("ns1.zone.example"));
+  net::ByteWriter w2;
+  ns.serialize(w2);
+  EXPECT_EQ(w2.size(), ns.wire_size());
+}
+
+TEST(DnsMessage, DescribeIsInformative) {
+  auto m = DnsMessage::answer(
+      7, q("h0.d1.example"),
+      {ResourceRecord::a(DomainName::from_string("h0.d1.example"),
+                         net::Ipv4Address(100, 64, 1, 10))},
+      true);
+  const auto text = m->describe();
+  EXPECT_NE(text.find("h0.d1.example"), std::string::npos);
+  EXPECT_NE(text.find("100.64.1.10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lispcp::dns

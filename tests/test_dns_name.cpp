@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dns/name.hpp"
+
+namespace lispcp::dns {
+namespace {
+
+TEST(DomainName, ParseAndFormat) {
+  auto name = DomainName::from_string("www.Example.COM");
+  EXPECT_EQ(name.to_string(), "www.example.com");  // case-insensitive
+  EXPECT_EQ(name.label_count(), 3u);
+  EXPECT_EQ(name.labels()[0], "www");
+  EXPECT_EQ(name.labels()[2], "com");
+}
+
+TEST(DomainName, RootForms) {
+  EXPECT_TRUE(DomainName().is_root());
+  EXPECT_EQ(DomainName().to_string(), ".");
+  auto parsed = DomainName::parse(".");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_root());
+}
+
+TEST(DomainName, TrailingDotAccepted) {
+  EXPECT_EQ(DomainName::from_string("example.com."),
+            DomainName::from_string("example.com"));
+}
+
+TEST(DomainName, ParseRejectsMalformed) {
+  EXPECT_FALSE(DomainName::parse("").has_value());
+  EXPECT_FALSE(DomainName::parse("a..b").has_value());
+  EXPECT_FALSE(DomainName::parse(".a").has_value());
+  EXPECT_FALSE(DomainName::parse("a..").has_value());
+  EXPECT_FALSE(DomainName::parse(std::string(64, 'x') + ".com").has_value());
+  // Total length > 255.
+  std::string huge;
+  for (int i = 0; i < 50; ++i) huge += "abcdef.";
+  huge += "com";
+  EXPECT_FALSE(DomainName::parse(huge).has_value());
+}
+
+TEST(DomainName, IsUnderRelations) {
+  const auto www = DomainName::from_string("www.example.com");
+  const auto example = DomainName::from_string("example.com");
+  const auto com = DomainName::from_string("com");
+  const auto org = DomainName::from_string("org");
+
+  EXPECT_TRUE(www.is_under(example));
+  EXPECT_TRUE(www.is_under(com));
+  EXPECT_TRUE(www.is_under(DomainName()));  // everything is under the root
+  EXPECT_TRUE(www.is_under(www));
+  EXPECT_FALSE(example.is_under(www));
+  EXPECT_FALSE(www.is_under(org));
+  // Label-boundary check: "badexample.com" is NOT under "example.com".
+  EXPECT_FALSE(DomainName::from_string("badexample.com").is_under(example));
+}
+
+TEST(DomainName, ParentAndChild) {
+  const auto www = DomainName::from_string("www.example.com");
+  EXPECT_EQ(www.parent(), DomainName::from_string("example.com"));
+  EXPECT_EQ(www.parent().parent(), DomainName::from_string("com"));
+  EXPECT_TRUE(www.parent().parent().parent().is_root());
+  EXPECT_TRUE(DomainName().parent().is_root());
+
+  EXPECT_EQ(DomainName::from_string("example.com").child("www"), www);
+  EXPECT_THROW(DomainName().child(""), std::invalid_argument);
+}
+
+TEST(DomainName, WireRoundTrip) {
+  for (const char* text : {"h0.d3.example", "a.b.c.d.e", "x"}) {
+    const auto name = DomainName::from_string(text);
+    net::ByteWriter w;
+    name.serialize(w);
+    auto bytes = w.take();
+    EXPECT_EQ(bytes.size(), name.wire_size());
+    net::ByteReader r(bytes);
+    EXPECT_EQ(DomainName::parse_wire(r), name);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(DomainName, WireRootIsSingleZeroByte) {
+  net::ByteWriter w;
+  DomainName().serialize(w);
+  auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]), 0);
+}
+
+TEST(DomainName, WireTruncatedThrows) {
+  net::ByteWriter w;
+  w.u8(3);
+  w.u8('a');  // claims 3 bytes, provides 1
+  auto bytes = w.take();
+  net::ByteReader r(bytes);
+  EXPECT_THROW(DomainName::parse_wire(r), net::ParseError);
+}
+
+TEST(DomainName, HashAndEquality) {
+  std::unordered_set<DomainName> set;
+  set.insert(DomainName::from_string("a.example"));
+  set.insert(DomainName::from_string("A.EXAMPLE"));
+  set.insert(DomainName::from_string("b.example"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DomainName, OrderingIsDeterministic) {
+  const auto a = DomainName::from_string("a.example");
+  const auto b = DomainName::from_string("b.example");
+  EXPECT_TRUE((a < b) != (b < a));
+}
+
+}  // namespace
+}  // namespace lispcp::dns

@@ -1,0 +1,235 @@
+// Iterative DNS resolution over a real simulated hierarchy:
+// client -> resolver -> root -> TLD -> authoritative.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "net/ports.hpp"
+#include "sim/network.hpp"
+
+namespace lispcp::dns {
+namespace {
+
+const net::Ipv4Address kClientAddr(100, 64, 0, 10);
+const net::Ipv4Address kResolverAddr(192, 1, 0, 10);
+const net::Ipv4Address kRootAddr(192, 0, 1, 1);
+const net::Ipv4Address kTldAddr(192, 0, 1, 2);
+const net::Ipv4Address kAuthAddr(192, 1, 5, 20);
+const net::Ipv4Address kHostEid(100, 64, 5, 10);
+
+/// Test client: fires queries, records answers with timestamps.
+class StubClient : public sim::Node {
+ public:
+  StubClient(sim::Network& network, std::string name, net::Ipv4Address address)
+      : Node(network, std::move(name)) {
+    add_address(address);
+  }
+
+  void query(std::uint16_t id, const std::string& name,
+             net::Ipv4Address resolver) {
+    auto message = DnsMessage::query(
+        id, {DomainName::from_string(name), RrType::kA}, true);
+    sent_at[id] = sim().now();
+    send(net::Packet::udp(address(), resolver, 5353, net::ports::kDns, message));
+  }
+
+  void deliver(net::Packet packet) override {
+    if (auto message = packet.payload_as<DnsMessage>()) {
+      responses[message->id()] = message;
+      answered_at[message->id()] = sim().now();
+      return;
+    }
+    Node::deliver(std::move(packet));
+  }
+
+  std::unordered_map<std::uint16_t, std::shared_ptr<const DnsMessage>> responses;
+  std::unordered_map<std::uint16_t, sim::SimTime> sent_at;
+  std::unordered_map<std::uint16_t, sim::SimTime> answered_at;
+};
+
+class DnsResolutionTest : public ::testing::Test {
+ protected:
+  DnsResolutionTest() : network_(sim_) {
+    // Zones: root delegates "example" -> TLD; TLD delegates "d5.example" ->
+    // auth; auth has the host record.
+    Zone root_zone{DomainName()};
+    root_zone.delegate({DomainName::from_string("example"),
+                        {{DomainName::from_string("ns.example"), kTldAddr}}});
+    Zone tld_zone{DomainName::from_string("example")};
+    tld_zone.delegate({DomainName::from_string("d5.example"),
+                       {{DomainName::from_string("ns.d5.example"), kAuthAddr}}});
+    Zone auth_zone{DomainName::from_string("d5.example")};
+    auth_zone.add_a(DomainName::from_string("h0.d5.example"), kHostEid, 300);
+
+    root_ = &network_.make<DnsServer>("root", kRootAddr, std::move(root_zone));
+    tld_ = &network_.make<DnsServer>("tld", kTldAddr, std::move(tld_zone));
+    auth_ = &network_.make<DnsServer>("auth", kAuthAddr, std::move(auth_zone));
+
+    ResolverConfig rcfg;
+    rcfg.root_hints = {kRootAddr};
+    rcfg.query_timeout = sim::SimDuration::millis(500);
+    resolver_ = &network_.make<DnsResolver>("resolver", kResolverAddr, rcfg);
+    client_ = &network_.make<StubClient>("client", kClientAddr);
+
+    hub_ = &network_.make<sim::Node>("hub");
+    sim::LinkConfig wan;
+    wan.delay = sim::SimDuration::millis(10);
+    for (sim::Node* n :
+         {static_cast<sim::Node*>(root_), static_cast<sim::Node*>(tld_),
+          static_cast<sim::Node*>(auth_), static_cast<sim::Node*>(resolver_),
+          static_cast<sim::Node*>(client_)}) {
+      network_.connect(hub_->id(), n->id(), wan);
+      network_.add_route(n->id(), net::Ipv4Prefix(), hub_->id());
+      network_.add_host_route(hub_->id(), n->address(), n->id());
+    }
+  }
+
+  sim::Simulator sim_;
+  sim::Network network_;
+  DnsServer* root_ = nullptr;
+  DnsServer* tld_ = nullptr;
+  DnsServer* auth_ = nullptr;
+  DnsResolver* resolver_ = nullptr;
+  StubClient* client_ = nullptr;
+  sim::Node* hub_ = nullptr;
+};
+
+TEST_F(DnsResolutionTest, ColdResolutionWalksTheHierarchy) {
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  ASSERT_TRUE(client_->responses.contains(1));
+  auto response = client_->responses[1];
+  EXPECT_EQ(response->rcode(), Rcode::kNoError);
+  ASSERT_TRUE(response->first_address().has_value());
+  EXPECT_EQ(*response->first_address(), kHostEid);
+
+  EXPECT_EQ(root_->stats().referrals, 1u);
+  EXPECT_EQ(tld_->stats().referrals, 1u);
+  EXPECT_EQ(auth_->stats().answers, 1u);
+  EXPECT_EQ(resolver_->stats().upstream_queries, 3u);
+  EXPECT_EQ(resolver_->stats().cache_misses, 1u);
+
+  // Cold T_DNS over the star (two 10 ms hops per direction): one
+  // client<->resolver RTT (40 ms) + three upstream RTTs (120 ms) + processing.
+  const auto t_dns = client_->answered_at[1] - client_->sent_at[1];
+  EXPECT_GT(t_dns, sim::SimDuration::millis(160));
+  EXPECT_LT(t_dns, sim::SimDuration::millis(170));
+}
+
+TEST_F(DnsResolutionTest, WarmCacheAnswersLocally) {
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  client_->query(2, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  ASSERT_TRUE(client_->responses.contains(2));
+  EXPECT_EQ(resolver_->stats().cache_hits, 1u);
+  EXPECT_EQ(resolver_->stats().upstream_queries, 3u);  // no new upstream work
+  // Warm T_DNS ~ one client<->resolver RTT (40 ms) + processing.
+  const auto t_dns = client_->answered_at[2] - client_->sent_at[2];
+  EXPECT_LT(t_dns, sim::SimDuration::millis(45));
+  EXPECT_TRUE(resolver_->is_cached(DomainName::from_string("h0.d5.example")));
+}
+
+TEST_F(DnsResolutionTest, CacheRespectsTtl) {
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  // Advance beyond the 300s record TTL.
+  sim_.run_until(sim_.now() + sim::SimDuration::seconds(301));
+  EXPECT_FALSE(resolver_->is_cached(DomainName::from_string("h0.d5.example")));
+  client_->query(2, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  EXPECT_EQ(resolver_->stats().cache_misses, 2u);
+  ASSERT_TRUE(client_->responses.contains(2));
+  EXPECT_TRUE(client_->responses[2]->first_address().has_value());
+}
+
+TEST_F(DnsResolutionTest, ReferralCacheShortcutsSiblingLookups) {
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  // New name in the same zone: the cached d5.example referral skips root+TLD.
+  // (The name does not exist, but the query must go straight to auth.)
+  client_->query(2, "h9.d5.example", kResolverAddr);
+  sim_.run();
+  EXPECT_EQ(root_->stats().queries, 1u);  // still only the first walk
+  EXPECT_EQ(tld_->stats().queries, 1u);
+  EXPECT_EQ(auth_->stats().queries, 2u);
+}
+
+TEST_F(DnsResolutionTest, NxDomainAndNegativeCache) {
+  client_->query(1, "missing.d5.example", kResolverAddr);
+  sim_.run();
+  ASSERT_TRUE(client_->responses.contains(1));
+  EXPECT_EQ(client_->responses[1]->rcode(), Rcode::kNxDomain);
+
+  client_->query(2, "missing.d5.example", kResolverAddr);
+  sim_.run();
+  EXPECT_EQ(client_->responses[2]->rcode(), Rcode::kNxDomain);
+  EXPECT_EQ(auth_->stats().queries, 1u);  // second answer came from the negative cache
+}
+
+TEST_F(DnsResolutionTest, OutOfZoneQueryIsNxDomain) {
+  client_->query(1, "host.other", kResolverAddr);
+  sim_.run();
+  ASSERT_TRUE(client_->responses.contains(1));
+  EXPECT_EQ(client_->responses[1]->rcode(), Rcode::kNxDomain);
+}
+
+TEST_F(DnsResolutionTest, ConcurrentQueriesCoalesce) {
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  // Second query for the same name a moment later, while the first is in
+  // flight (iterative walk takes ~60 ms).
+  sim_.schedule(sim::SimDuration::millis(5),
+                [this] { client_->query(2, "h0.d5.example", kResolverAddr); });
+  sim_.run();
+  ASSERT_TRUE(client_->responses.contains(1));
+  ASSERT_TRUE(client_->responses.contains(2));
+  EXPECT_EQ(resolver_->stats().coalesced, 1u);
+  EXPECT_EQ(resolver_->stats().upstream_queries, 3u);  // one walk served both
+}
+
+TEST_F(DnsResolutionTest, UnreachableServerTimesOutToServfail) {
+  // Cut the authoritative server off.
+  sim::Link* link = network_.link_between(hub_->id(), auth_->id());
+  ASSERT_NE(link, nullptr);
+  link->set_up(false);
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  ASSERT_TRUE(client_->responses.contains(1));
+  EXPECT_EQ(client_->responses[1]->rcode(), Rcode::kServFail);
+  EXPECT_GT(resolver_->stats().retries, 0u);
+  EXPECT_EQ(resolver_->stats().servfail, 1u);
+}
+
+TEST_F(DnsResolutionTest, FlushCacheForcesRefetch) {
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  resolver_->flush_cache();
+  EXPECT_FALSE(resolver_->is_cached(DomainName::from_string("h0.d5.example")));
+  client_->query(2, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  EXPECT_EQ(root_->stats().queries, 2u);  // full re-walk
+}
+
+TEST_F(DnsResolutionTest, ResolutionLatencyHistogramPopulated) {
+  client_->query(1, "h0.d5.example", kResolverAddr);
+  sim_.run();
+  EXPECT_EQ(resolver_->resolution_latency().count(), 1u);
+  EXPECT_GT(resolver_->resolution_latency().mean(), 0.0);
+}
+
+TEST(ZoneValidation, RejectsForeignNamesAndEmptyDelegations) {
+  Zone zone{DomainName::from_string("d1.example")};
+  EXPECT_THROW(zone.add_a(DomainName::from_string("h0.d2.example"),
+                          net::Ipv4Address(1, 2, 3, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(zone.delegate({DomainName::from_string("d1.example"), {}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      zone.delegate({DomainName::from_string("other.example"),
+                     {{DomainName::from_string("ns.other.example"),
+                       net::Ipv4Address(1, 1, 1, 1)}}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lispcp::dns

@@ -1,0 +1,322 @@
+// Tests for the failure-injection and recovery machinery: the UDP Echo
+// substrate in sim::Node, sim::FailureSchedule, core::LinkHealthMonitor
+// detection timing, and the end-to-end FailoverController on the Fig. 1
+// topology (traffic keeps flowing across a provider-link failure).
+#include <gtest/gtest.h>
+
+#include "net/echo.hpp"
+#include "net/ports.hpp"
+#include "scenario/experiment.hpp"
+#include "sim/failure.hpp"
+
+namespace lispcp {
+namespace {
+
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using topo::ControlPlaneKind;
+using topo::InternetSpec;
+
+// ---------------------------------------------------------------------------
+// UDP Echo (RFC 862) in the base node.
+
+struct EchoWorld {
+  EchoWorld() : network(sim) {
+    a = &network.make<sim::Node>("a");
+    b = &network.make<sim::Node>("b");
+    a->add_address(net::Ipv4Address(10, 0, 0, 1));
+    b->add_address(net::Ipv4Address(10, 0, 0, 2));
+    sim::LinkConfig cfg;
+    cfg.delay = sim::SimDuration::millis(5);
+    link = &network.connect(a->id(), b->id(), cfg);
+    network.add_host_route(a->id(), b->address(), b->id());
+    network.add_host_route(b->id(), a->address(), a->id());
+  }
+
+  void ping(std::uint64_t nonce) {
+    a->send(net::Packet::udp(
+        a->address(), b->address(), net::ports::kEcho, net::ports::kEcho,
+        std::make_shared<net::EchoPayload>(nonce, /*is_reply=*/false)));
+  }
+
+  sim::Simulator sim;
+  sim::Network network;
+  sim::Node* a = nullptr;
+  sim::Node* b = nullptr;
+  sim::Link* link = nullptr;
+};
+
+TEST(Echo, RequestIsAnsweredByAnyNode) {
+  EchoWorld world;
+  std::vector<std::uint64_t> replies;
+  world.a->set_echo_reply_handler(
+      [&](net::Ipv4Address from, std::uint64_t nonce) {
+        EXPECT_EQ(from, world.b->address());
+        replies.push_back(nonce);
+      });
+  world.ping(7);
+  world.ping(8);
+  world.sim.run();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], 7u);
+  EXPECT_EQ(replies[1], 8u);
+  EXPECT_EQ(world.a->unexpected_deliveries(), 0u);
+  EXPECT_EQ(world.b->unexpected_deliveries(), 0u);
+}
+
+TEST(Echo, ReplyTakesOneRoundTrip) {
+  EchoWorld world;
+  sim::SimTime replied_at;
+  world.a->set_echo_reply_handler(
+      [&](net::Ipv4Address, std::uint64_t) { replied_at = world.sim.now(); });
+  world.ping(1);
+  world.sim.run();
+  // 5 ms propagation each way plus sub-microsecond serialization.
+  EXPECT_GE(replied_at.ms(), 10.0);
+  EXPECT_LT(replied_at.ms(), 10.01);
+}
+
+TEST(Echo, ReplyWithoutHandlerIsNotUnexpected) {
+  EchoWorld world;  // no handler installed on a
+  world.ping(1);
+  world.sim.run();
+  EXPECT_EQ(world.a->unexpected_deliveries(), 0u)
+      << "an unsolicited echo reply is consumed silently";
+}
+
+TEST(Echo, RoundTripWireFormat) {
+  const net::EchoPayload original(0xABCDEF, true);
+  net::ByteWriter w;
+  original.serialize(w);
+  EXPECT_EQ(w.size(), original.wire_size());
+  net::ByteReader r(w.view());
+  auto parsed = net::EchoPayload::parse_wire(r);
+  EXPECT_EQ(parsed->nonce(), 0xABCDEFu);
+  EXPECT_TRUE(parsed->is_reply());
+}
+
+// ---------------------------------------------------------------------------
+// FailureSchedule.
+
+TEST(FailureSchedule, LinkOutageDownAndUp) {
+  EchoWorld world;
+  sim::FailureSchedule failures(world.network);
+  failures.link_outage(*world.link, sim::SimTime::from_ns(1'000'000'000),
+                       sim::SimDuration::seconds(2));
+  EXPECT_TRUE(world.link->is_up());
+  world.sim.run_until(sim::SimTime::from_ns(1'500'000'000));
+  EXPECT_FALSE(world.link->is_up());
+  world.sim.run_until(sim::SimTime::from_ns(3'500'000'000));
+  EXPECT_TRUE(world.link->is_up());
+  EXPECT_EQ(failures.outages_injected(), 1u);
+  EXPECT_EQ(failures.repairs_injected(), 1u);
+}
+
+TEST(FailureSchedule, PermanentOutageNeverRepairs) {
+  EchoWorld world;
+  sim::FailureSchedule failures(world.network);
+  failures.link_outage(*world.link, sim::SimTime::from_ns(1000));
+  world.sim.run();
+  EXPECT_FALSE(world.link->is_up());
+  EXPECT_EQ(failures.repairs_injected(), 0u);
+}
+
+TEST(FailureSchedule, DownedLinkDropsPackets) {
+  EchoWorld world;
+  sim::FailureSchedule failures(world.network);
+  failures.link_outage(*world.link, sim::SimTime::from_ns(0));
+  bool replied = false;
+  world.a->set_echo_reply_handler(
+      [&](net::Ipv4Address, std::uint64_t) { replied = true; });
+  world.sim.run_until(sim::SimTime::from_ns(1));
+  world.ping(1);
+  world.sim.run();
+  EXPECT_FALSE(replied);
+  EXPECT_EQ(world.network.counters().drops_link_down, 1u);
+}
+
+TEST(FailureSchedule, NodeOutageFailsEveryIncidentLink) {
+  sim::Simulator sim;
+  sim::Network network(sim);
+  auto& hub = network.make<sim::Node>("hub");
+  auto& s1 = network.make<sim::Node>("s1");
+  auto& s2 = network.make<sim::Node>("s2");
+  auto& l1 = network.connect(hub.id(), s1.id());
+  auto& l2 = network.connect(hub.id(), s2.id());
+  sim::FailureSchedule failures(network);
+  failures.node_outage(hub.id(), sim::SimTime::from_ns(100),
+                       sim::SimDuration::seconds(1));
+  sim.run_until(sim::SimTime::from_ns(200));
+  EXPECT_FALSE(l1.is_up());
+  EXPECT_FALSE(l2.is_up());
+  sim.run();
+  EXPECT_TRUE(l1.is_up());
+  EXPECT_TRUE(l2.is_up());
+}
+
+TEST(FailureSchedule, RandomOutagesAreDeterministicAndBounded) {
+  EchoWorld world_a;
+  sim::FailureSchedule fa(world_a.network);
+  fa.random_outages(*world_a.link, sim::SimTime::from_ns(60'000'000'000),
+                    sim::SimDuration::seconds(5), sim::SimDuration::seconds(1),
+                    sim::Rng(99));
+  world_a.sim.run();
+  EXPECT_GT(fa.outages_injected(), 0u);
+
+  EchoWorld world_b;
+  sim::FailureSchedule fb(world_b.network);
+  fb.random_outages(*world_b.link, sim::SimTime::from_ns(60'000'000'000),
+                    sim::SimDuration::seconds(5), sim::SimDuration::seconds(1),
+                    sim::Rng(99));
+  world_b.sim.run();
+  EXPECT_EQ(fa.outages_injected(), fb.outages_injected());
+  EXPECT_EQ(fa.repairs_injected(), fb.repairs_injected());
+  // Every outage completed by the process is repaired (the process only
+  // stops while the link is up).
+  EXPECT_EQ(fa.outages_injected(), fa.repairs_injected());
+  EXPECT_TRUE(world_a.link->is_up());
+}
+
+TEST(FailureSchedule, RejectsNonPositiveMeans) {
+  EchoWorld world;
+  sim::FailureSchedule failures(world.network);
+  EXPECT_THROW(
+      failures.random_outages(*world.link, sim::SimTime::from_ns(1000),
+                              sim::SimDuration{}, sim::SimDuration::seconds(1),
+                              sim::Rng(1)),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// LinkHealthMonitor + FailoverController end-to-end on the Fig. 1 topology.
+
+ExperimentConfig failover_config() {
+  ExperimentConfig config;
+  config.spec = InternetSpec::preset(ControlPlaneKind::kPce);
+  config.spec.domains = 3;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.te_policy = irc::TePolicy::kRoundRobin;
+  config.spec.seed = 17;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.drain = sim::SimDuration::seconds(20);
+  return config;
+}
+
+core::LinkHealthConfig fast_health() {
+  core::LinkHealthConfig health;
+  health.hello_interval = sim::SimDuration::millis(300);
+  health.reply_timeout = sim::SimDuration::millis(200);
+  health.down_threshold = 3;
+  return health;
+}
+
+TEST(Failover, MonitorDetectsDownWithinBoundAndRecovers) {
+  Experiment experiment(failover_config());
+  auto& internet = experiment.internet();
+  auto& controller = internet.arm_failover(0, fast_health());
+
+  auto& dom0 = internet.domain(0);
+  sim::FailureSchedule failures(internet.network());
+  const auto fail_at = sim::SimTime::from_ns(10'000'000'000);
+  failures.link_outage(*dom0.provider_links[0], fail_at,
+                       sim::SimDuration::seconds(10));
+
+  experiment.run();
+
+  const auto& monitor = controller.monitor(0);
+  EXPECT_EQ(monitor.stats().down_transitions, 1u);
+  EXPECT_EQ(monitor.stats().up_transitions, 1u);
+  EXPECT_TRUE(monitor.link_up()) << "link repaired at t=20s";
+  EXPECT_EQ(controller.stats().failovers, 1u);
+  EXPECT_EQ(controller.stats().recoveries, 1u);
+  EXPECT_GT(controller.stats().flows_repushed, 0u);
+
+  // Detection bound: hello_interval * threshold + timeout (+1 hello slack).
+  const auto bound = sim::SimDuration::millis(300 * 3 + 200 + 300);
+  // The monitor's last transition is the *recovery*; the failover happened
+  // within [fail_at, fail_at + bound].  Recovery detection is bounded by
+  // one hello interval + RTT after the repair.
+  EXPECT_LE((monitor.last_transition_at() -
+             (fail_at + sim::SimDuration::seconds(10))).ms(),
+            bound.ms());
+}
+
+TEST(Failover, TrafficSurvivesProviderFailureWithController) {
+  Experiment experiment(failover_config());
+  auto& internet = experiment.internet();
+  internet.arm_failover(0, fast_health());
+
+  sim::FailureSchedule failures(internet.network());
+  // Permanent failure of provider 0 mid-run; provider 1 must carry the rest.
+  failures.link_outage(*internet.domain(0).provider_links[0],
+                       sim::SimTime::from_ns(10'000'000'000));
+
+  const auto summary = experiment.run();
+  EXPECT_GT(summary.sessions, 100u);
+  // The blackout window is one detection bound (~1.1 s); sessions started
+  // inside it may fail, everything after must succeed.  Allow the window's
+  // worth of casualties, not more.
+  EXPECT_LT(summary.dns_failures + summary.connect_failures,
+            summary.sessions / 10)
+      << "failover must confine losses to the detection window";
+  EXPECT_GT(summary.established, summary.sessions * 8 / 10);
+}
+
+TEST(Failover, WithoutControllerAPermanentFailureIsAnOutage) {
+  Experiment experiment(failover_config());
+  auto& internet = experiment.internet();
+  // No controller armed.
+  sim::FailureSchedule failures(internet.network());
+  failures.link_outage(*internet.domain(0).provider_links[0],
+                       sim::SimTime::from_ns(10'000'000'000));
+
+  const auto summary = experiment.run();
+  // Domain 0's egress default and half of its ingress RLOC choices dangle
+  // on the dead link: a large share of sessions never establishes (SYNs and
+  // DNS queries blackhole), which is precisely what the controller
+  // prevents.
+  EXPECT_LT(summary.established, summary.sessions * 2 / 3);
+  EXPECT_GT(experiment.internet().network().counters().drops_link_down, 100u);
+}
+
+TEST(Failover, ControllerReportsUsableLinks) {
+  Experiment experiment(failover_config());
+  auto& internet = experiment.internet();
+  auto& controller = internet.arm_failover(0, fast_health());
+  EXPECT_TRUE(controller.has_usable_link());
+  EXPECT_EQ(controller.monitor_count(), 2u);
+
+  sim::FailureSchedule failures(internet.network());
+  failures.link_outage(*internet.domain(0).provider_links[0],
+                       sim::SimTime::from_ns(5'000'000'000));
+  failures.link_outage(*internet.domain(0).provider_links[1],
+                       sim::SimTime::from_ns(5'000'000'000));
+  experiment.run();
+  EXPECT_FALSE(controller.has_usable_link());
+  EXPECT_EQ(controller.stats().failovers, 2u);
+}
+
+TEST(Failover, ArmFailoverRequiresPceControlPlane) {
+  ExperimentConfig config = failover_config();
+  config.spec = InternetSpec::preset(ControlPlaneKind::kAltDrop);
+  config.spec.domains = 3;
+  Experiment experiment(config);
+  EXPECT_THROW(experiment.internet().arm_failover(0), std::logic_error);
+}
+
+TEST(Failover, MonitorConfigValidation) {
+  Experiment experiment(failover_config());
+  core::LinkHealthConfig bad = fast_health();
+  bad.down_threshold = 0;
+  EXPECT_THROW(experiment.internet().arm_failover(0, bad),
+               std::invalid_argument);
+  bad = fast_health();
+  bad.reply_timeout = bad.hello_interval;  // would allow two in flight
+  EXPECT_THROW(experiment.internet().arm_failover(0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lispcp

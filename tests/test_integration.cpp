@@ -1,0 +1,118 @@
+// End-to-end integration tests: full sessions (DNS + TCP + data) across the
+// emulated Internet under each control plane.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace lispcp {
+namespace {
+
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using scenario::TrafficMode;
+using topo::ControlPlaneKind;
+using topo::InternetSpec;
+
+ExperimentConfig small_config(ControlPlaneKind kind) {
+  ExperimentConfig config;
+  config.spec = InternetSpec::preset(kind);
+  config.spec.domains = 4;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.seed = 42;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(10);
+  config.traffic.zipf_alpha = 0.8;
+  config.mode = TrafficMode::kSingleSource;
+  return config;
+}
+
+TEST(Integration, PlainIpSessionsComplete) {
+  Experiment experiment(small_config(ControlPlaneKind::kPlainIp));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 50u);
+  EXPECT_EQ(summary.dns_failures, 0u);
+  EXPECT_EQ(summary.connect_failures, 0u);
+  EXPECT_EQ(summary.established, summary.sessions);
+  EXPECT_EQ(summary.completed, summary.sessions);
+  EXPECT_EQ(summary.syn_retransmissions, 0u);
+  EXPECT_EQ(summary.encapsulated, 0u);  // no LISP in the plain-IP baseline
+}
+
+TEST(Integration, AltDropSessionsRecoverViaRetransmission) {
+  Experiment experiment(small_config(ControlPlaneKind::kAltDrop));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 50u);
+  EXPECT_EQ(summary.dns_failures, 0u);
+  EXPECT_EQ(summary.established, summary.sessions);
+  // Cold map-caches: the very first SYN toward each new destination site is
+  // dropped at the ITR and recovered by TCP retransmission.
+  EXPECT_GT(summary.miss_events, 0u);
+  EXPECT_GT(summary.syn_retransmissions, 0u);
+  EXPECT_GT(summary.encapsulated, 0u);
+}
+
+TEST(Integration, AltQueueSessionsDoNotRetransmit) {
+  Experiment experiment(small_config(ControlPlaneKind::kAltQueue));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 50u);
+  EXPECT_EQ(summary.established, summary.sessions);
+  EXPECT_GT(summary.miss_events, 0u);
+  // Queued, not dropped: resolution delays the SYN but TCP never times out
+  // (resolution ~60ms << 3s RTO).
+  EXPECT_EQ(summary.syn_retransmissions, 0u);
+  EXPECT_EQ(summary.miss_drops, 0u);
+}
+
+TEST(Integration, ConsSessionsComplete) {
+  Experiment experiment(small_config(ControlPlaneKind::kCons));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 50u);
+  EXPECT_EQ(summary.established, summary.sessions);
+  EXPECT_GT(summary.miss_events, 0u);
+}
+
+TEST(Integration, NerdHasNoMissesAfterBootstrap) {
+  Experiment experiment(small_config(ControlPlaneKind::kNerd));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 50u);
+  EXPECT_EQ(summary.established, summary.sessions);
+  // The full database is pushed before traffic starts: no misses at all.
+  EXPECT_EQ(summary.miss_events, 0u);
+  EXPECT_EQ(summary.syn_retransmissions, 0u);
+}
+
+TEST(Integration, PceHasNoDropsAndNoQueueing) {
+  Experiment experiment(small_config(ControlPlaneKind::kPce));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 50u);
+  EXPECT_EQ(summary.dns_failures, 0u);
+  EXPECT_EQ(summary.established, summary.sessions);
+  EXPECT_EQ(summary.completed, summary.sessions);
+  // Claim (i): neither dropped nor queued during mapping resolution.
+  EXPECT_EQ(summary.miss_drops, 0u);
+  EXPECT_EQ(summary.syn_retransmissions, 0u);
+  EXPECT_GT(summary.encapsulated, 0u);
+}
+
+TEST(Integration, PceSetupMatchesPlainIpSetup) {
+  auto pce_summary = Experiment(small_config(ControlPlaneKind::kPce)).run();
+  auto ip_summary = Experiment(small_config(ControlPlaneKind::kPlainIp)).run();
+  // Claim (ii) corollary: with the PCE control plane, session setup time is
+  // indistinguishable from the pre-LISP Internet (same formula, no T_map).
+  EXPECT_NEAR(pce_summary.t_setup_p50_ms, ip_summary.t_setup_p50_ms,
+              ip_summary.t_setup_p50_ms * 0.05 + 0.5);
+}
+
+TEST(Integration, NoUnexpectedDeliveriesAnywhere) {
+  Experiment experiment(small_config(ControlPlaneKind::kPce));
+  experiment.run();
+  auto& net = experiment.internet().network();
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const auto& node = net.node(sim::NodeId(static_cast<std::uint32_t>(i)));
+    EXPECT_EQ(node.unexpected_deliveries(), 0u) << "node " << node.name();
+  }
+}
+
+}  // namespace
+}  // namespace lispcp

@@ -1,0 +1,205 @@
+// IRC engine tests: policy weighting, smooth-WRR distribution, EWMA load
+// measurement against real link counters, failover handling.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "irc/irc_engine.hpp"
+#include "sim/network.hpp"
+
+namespace lispcp::irc {
+namespace {
+
+class Sink : public sim::Node {
+ public:
+  Sink(sim::Network& network, std::string name, net::Ipv4Address address)
+      : Node(network, std::move(name)) {
+    add_address(address);
+  }
+  void deliver(net::Packet) override {}
+};
+
+/// Two border links: xtr0 <-> core (fast), xtr1 <-> core (slow / smaller).
+struct Fixture {
+  Fixture() : net(sim) {
+    core = &net.make<sim::Node>("core");
+    xtr0 = &net.make<Sink>("xtr0", net::Ipv4Address(10, 0, 0, 1));
+    xtr1 = &net.make<Sink>("xtr1", net::Ipv4Address(10, 0, 0, 2));
+    sim::LinkConfig fast;
+    fast.delay = sim::SimDuration::millis(5);
+    fast.bandwidth_bps = 100e6;
+    sim::LinkConfig slow;
+    slow.delay = sim::SimDuration::millis(20);
+    slow.bandwidth_bps = 50e6;
+    link0 = &net.connect(xtr0->id(), core->id(), fast);
+    link1 = &net.connect(xtr1->id(), core->id(), slow);
+  }
+
+  std::vector<BorderLink> border() {
+    return {BorderLink{xtr0->address(), link0, xtr0->id(), 100e6},
+            BorderLink{xtr1->address(), link1, xtr1->id(), 50e6}};
+  }
+
+  std::map<net::Ipv4Address, int> draw(IrcEngine& engine, int n) {
+    std::map<net::Ipv4Address, int> counts;
+    for (int i = 0; i < n; ++i) ++counts[engine.choose_ingress()];
+    return counts;
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  sim::Node* core = nullptr;
+  Sink* xtr0 = nullptr;
+  Sink* xtr1 = nullptr;
+  sim::Link* link0 = nullptr;
+  sim::Link* link1 = nullptr;
+};
+
+TEST(IrcEngine, RequiresLinks) {
+  Fixture f;
+  EXPECT_THROW(IrcEngine(f.net, {}, {}), std::invalid_argument);
+}
+
+TEST(IrcEngine, RejectsBadAlpha) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.ewma_alpha = 0.0;
+  EXPECT_THROW(IrcEngine(f.net, f.border(), cfg), std::invalid_argument);
+  cfg.ewma_alpha = 1.5;
+  EXPECT_THROW(IrcEngine(f.net, f.border(), cfg), std::invalid_argument);
+}
+
+TEST(IrcEngine, PrimaryBackupPinsToFirstLink) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kPrimaryBackup;
+  IrcEngine engine(f.net, f.border(), cfg);
+  auto counts = f.draw(engine, 100);
+  EXPECT_EQ(counts[f.xtr0->address()], 100);
+}
+
+TEST(IrcEngine, PrimaryBackupFailsOverWhenPrimaryUnusable) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kPrimaryBackup;
+  IrcEngine engine(f.net, f.border(), cfg);
+  engine.set_link_usable(0, false);
+  auto counts = f.draw(engine, 50);
+  EXPECT_EQ(counts[f.xtr1->address()], 50);
+  engine.set_link_usable(0, true);
+  counts = f.draw(engine, 50);
+  EXPECT_EQ(counts[f.xtr0->address()], 50);
+}
+
+TEST(IrcEngine, RoundRobinAlternatesEvenly) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kRoundRobin;
+  IrcEngine engine(f.net, f.border(), cfg);
+  auto counts = f.draw(engine, 100);
+  EXPECT_EQ(counts[f.xtr0->address()], 50);
+  EXPECT_EQ(counts[f.xtr1->address()], 50);
+}
+
+TEST(IrcEngine, CapacityWeightedSplitsProportionally) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kCapacityWeighted;
+  IrcEngine engine(f.net, f.border(), cfg);
+  auto counts = f.draw(engine, 300);
+  // 100 Mbit vs 50 Mbit => 2:1.
+  EXPECT_EQ(counts[f.xtr0->address()], 200);
+  EXPECT_EQ(counts[f.xtr1->address()], 100);
+}
+
+TEST(IrcEngine, LowestLatencyPicksFastestLink) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kLowestLatency;
+  IrcEngine engine(f.net, f.border(), cfg);
+  auto counts = f.draw(engine, 40);
+  EXPECT_EQ(counts[f.xtr0->address()], 40);  // 5 ms < 20 ms
+}
+
+TEST(IrcEngine, LeastLoadedShiftsAwayFromLoadedLink) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kLeastLoaded;
+  cfg.refresh_interval = sim::SimDuration::millis(100);
+  cfg.ewma_alpha = 1.0;  // react immediately for the test
+  IrcEngine engine(f.net, f.border(), cfg);
+  engine.start();
+
+  // Saturate link0's *ingress* direction (core -> xtr0) at ~80%:
+  // 100 Mbit/s * 0.1 s * 0.8 = 1 MB over the measurement window.
+  f.net.add_host_route(f.core->id(), f.xtr0->address(), f.xtr0->id());
+  f.net.add_host_route(f.core->id(), f.xtr1->address(), f.xtr1->id());
+  for (int i = 0; i < 1000; ++i) {
+    f.core->send(net::Packet::udp(net::Ipv4Address(192, 0, 0, 1),
+                                  f.xtr0->address(), 1, 2,
+                                  std::make_shared<net::RawPayload>(972)));
+  }
+  // Stop after the first refresh (100 ms) so the loaded window is what the
+  // instant-EWMA reflects.
+  f.sim.run_until(f.sim.now() + sim::SimDuration::millis(150));
+
+  EXPECT_GT(engine.ingress_load(0), 0.3);
+  EXPECT_LT(engine.ingress_load(1), 0.05);
+  auto counts = f.draw(engine, 100);
+  // Most new flows steered to the unloaded link.
+  EXPECT_GT(counts[f.xtr1->address()], 60);
+  EXPECT_GT(engine.refresh_count(), 0u);
+}
+
+TEST(IrcEngine, SiteMappingReflectsWeights) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kCapacityWeighted;
+  IrcEngine engine(f.net, f.border(), cfg);
+  const auto prefix = net::Ipv4Prefix::from_string("100.64.0.0/24");
+  auto mapping = engine.site_mapping(prefix);
+  EXPECT_EQ(mapping.eid_prefix, prefix);
+  ASSERT_EQ(mapping.rlocs.size(), 2u);
+  EXPECT_EQ(mapping.rlocs[0].priority, 1);
+  EXPECT_EQ(mapping.rlocs[1].priority, 1);
+  EXPECT_NEAR(mapping.rlocs[0].weight, 67, 2);
+  EXPECT_NEAR(mapping.rlocs[1].weight, 33, 2);
+  EXPECT_TRUE(mapping.rlocs[0].reachable);
+}
+
+TEST(IrcEngine, SiteMappingMarksUnusableLinksUnreachable) {
+  Fixture f;
+  IrcEngine engine(f.net, f.border(), {});
+  engine.set_link_usable(1, false);
+  auto mapping = engine.site_mapping(net::Ipv4Prefix::from_string("100.64.0.0/24"));
+  EXPECT_TRUE(mapping.rlocs[0].reachable);
+  EXPECT_FALSE(mapping.rlocs[1].reachable);
+}
+
+TEST(IrcEngine, AllLinksDownDegradesGracefully) {
+  Fixture f;
+  IrcEngine engine(f.net, f.border(), {});
+  engine.set_link_usable(0, false);
+  engine.set_link_usable(1, false);
+  // Still returns *something* rather than crashing.
+  EXPECT_EQ(engine.choose_ingress(), f.xtr0->address());
+}
+
+TEST(IrcEngine, HashPinnedChoiceIsStable) {
+  Fixture f;
+  IrcConfig cfg;
+  cfg.policy = TePolicy::kRoundRobin;
+  IrcEngine engine(f.net, f.border(), cfg);
+  const auto first = engine.choose_ingress_for(12345);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(engine.choose_ingress_for(12345), first);
+  }
+}
+
+TEST(IrcEngine, PolicyNames) {
+  EXPECT_STREQ(to_string(TePolicy::kLeastLoaded).c_str(), "least-loaded");
+  EXPECT_STREQ(to_string(TePolicy::kRoundRobin).c_str(), "round-robin");
+}
+
+}  // namespace
+}  // namespace lispcp::irc

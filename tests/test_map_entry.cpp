@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "lisp/control.hpp"
+#include "lisp/map_entry.hpp"
+
+namespace lispcp::lisp {
+namespace {
+
+MapEntry two_rloc_entry() {
+  MapEntry entry;
+  entry.eid_prefix = net::Ipv4Prefix::from_string("100.64.1.0/24");
+  entry.rlocs = {Rloc{net::Ipv4Address(10, 0, 1, 1), 1, 100, true},
+                 Rloc{net::Ipv4Address(10, 0, 1, 2), 2, 100, true}};
+  return entry;
+}
+
+TEST(MapEntry, SelectPrefersLowestPriority) {
+  const auto entry = two_rloc_entry();
+  for (std::uint64_t h = 0; h < 64; ++h) {
+    auto chosen = entry.select_rloc(h);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(chosen->address, net::Ipv4Address(10, 0, 1, 1));
+  }
+}
+
+TEST(MapEntry, FailoverToBackupWhenPrimaryDown) {
+  auto entry = two_rloc_entry();
+  entry.rlocs[0].reachable = false;
+  auto chosen = entry.select_rloc(5);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->address, net::Ipv4Address(10, 0, 1, 2));
+}
+
+TEST(MapEntry, NoReachableLocatorReturnsNullopt) {
+  auto entry = two_rloc_entry();
+  entry.rlocs[0].reachable = false;
+  entry.rlocs[1].reachable = false;
+  EXPECT_FALSE(entry.select_rloc(1).has_value());
+}
+
+TEST(MapEntry, EqualPriorityWeightsSplitProportionally) {
+  MapEntry entry;
+  entry.eid_prefix = net::Ipv4Prefix::from_string("100.64.1.0/24");
+  entry.rlocs = {Rloc{net::Ipv4Address(10, 0, 1, 1), 1, 75, true},
+                 Rloc{net::Ipv4Address(10, 0, 1, 2), 1, 25, true}};
+  int first = 0;
+  const int n = 10'000;
+  for (int h = 0; h < n; ++h) {
+    auto chosen = entry.select_rloc(static_cast<std::uint64_t>(h) * 2654435761u);
+    ASSERT_TRUE(chosen.has_value());
+    if (chosen->address == net::Ipv4Address(10, 0, 1, 1)) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.75, 0.03);
+}
+
+TEST(MapEntry, SelectionIsDeterministicPerHash) {
+  const auto entry = two_rloc_entry();
+  for (std::uint64_t h : {0ull, 17ull, 123456789ull}) {
+    EXPECT_EQ(entry.select_rloc(h)->address, entry.select_rloc(h)->address);
+  }
+}
+
+TEST(MapEntry, ZeroWeightFallsBackToFirstReachable) {
+  MapEntry entry;
+  entry.eid_prefix = net::Ipv4Prefix::from_string("100.64.1.0/24");
+  entry.rlocs = {Rloc{net::Ipv4Address(10, 0, 1, 1), 1, 0, true},
+                 Rloc{net::Ipv4Address(10, 0, 1, 2), 1, 0, true}};
+  auto chosen = entry.select_rloc(99);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->address, net::Ipv4Address(10, 0, 1, 1));
+}
+
+TEST(MapEntry, LocatorStatusBits) {
+  auto entry = two_rloc_entry();
+  EXPECT_EQ(entry.locator_status_bits(), 0b11u);
+  entry.rlocs[0].reachable = false;
+  EXPECT_EQ(entry.locator_status_bits(), 0b10u);
+}
+
+TEST(MapEntry, ToStringMentionsAllParts) {
+  const auto text = two_rloc_entry().to_string();
+  EXPECT_NE(text.find("100.64.1.0/24"), std::string::npos);
+  EXPECT_NE(text.find("10.0.1.1"), std::string::npos);
+  EXPECT_NE(text.find("ttl=900s"), std::string::npos);
+}
+
+TEST(FlowHash, DependsOnEveryField) {
+  const auto base = flow_hash(net::Ipv4Address(1, 1, 1, 1),
+                              net::Ipv4Address(2, 2, 2, 2), 10, 20);
+  EXPECT_NE(base, flow_hash(net::Ipv4Address(1, 1, 1, 2),
+                            net::Ipv4Address(2, 2, 2, 2), 10, 20));
+  EXPECT_NE(base, flow_hash(net::Ipv4Address(1, 1, 1, 1),
+                            net::Ipv4Address(2, 2, 2, 3), 10, 20));
+  EXPECT_NE(base, flow_hash(net::Ipv4Address(1, 1, 1, 1),
+                            net::Ipv4Address(2, 2, 2, 2), 11, 20));
+  EXPECT_NE(base, flow_hash(net::Ipv4Address(1, 1, 1, 1),
+                            net::Ipv4Address(2, 2, 2, 2), 10, 21));
+  EXPECT_EQ(base, flow_hash(net::Ipv4Address(1, 1, 1, 1),
+                            net::Ipv4Address(2, 2, 2, 2), 10, 20));
+}
+
+TEST(ControlWire, MapEntryRoundTrip) {
+  auto entry = two_rloc_entry();
+  entry.version = 77;
+  entry.rlocs[1].reachable = false;
+  net::ByteWriter w;
+  serialize_map_entry(w, entry);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), map_entry_wire_size(entry));
+  net::ByteReader r(bytes);
+  EXPECT_EQ(parse_map_entry(r), entry);
+}
+
+TEST(ControlWire, MapRequestRoundTripWithPath) {
+  MapRequest request(0xDEADBEEFCAFEull, net::Ipv4Address(100, 64, 9, 9),
+                     net::Ipv4Address(10, 0, 0, 1), true);
+  auto with_hops = request.with_hop(net::Ipv4Address(192, 0, 8, 1))
+                       ->with_hop(net::Ipv4Address(192, 0, 8, 2));
+  net::ByteWriter w;
+  with_hops->serialize(w);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), with_hops->wire_size());
+  net::ByteReader r(bytes);
+  auto parsed = MapRequest::parse_wire(r);
+  EXPECT_EQ(parsed->nonce(), 0xDEADBEEFCAFEull);
+  EXPECT_EQ(parsed->target_eid(), net::Ipv4Address(100, 64, 9, 9));
+  EXPECT_TRUE(parsed->record_route());
+  ASSERT_EQ(parsed->path().size(), 2u);
+  EXPECT_EQ(parsed->path()[1], net::Ipv4Address(192, 0, 8, 2));
+}
+
+TEST(ControlWire, MapReplyRoundTripAndPathPop) {
+  MapReply reply(42, two_rloc_entry(),
+                 {net::Ipv4Address(192, 0, 8, 1), net::Ipv4Address(192, 0, 8, 2)});
+  net::ByteWriter w;
+  reply.serialize(w);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), reply.wire_size());
+  net::ByteReader r(bytes);
+  auto parsed = MapReply::parse_wire(r);
+  EXPECT_EQ(parsed->nonce(), 42u);
+  EXPECT_EQ(parsed->entry(), two_rloc_entry());
+  ASSERT_EQ(parsed->path().size(), 2u);
+
+  auto popped = parsed->with_path_popped();
+  ASSERT_EQ(popped->path().size(), 1u);
+  EXPECT_EQ(popped->path()[0], net::Ipv4Address(192, 0, 8, 1));
+  auto emptied = popped->with_path_popped()->with_path_popped();
+  EXPECT_TRUE(emptied->path().empty());  // popping empty stays empty
+}
+
+TEST(ControlWire, MapPushRoundTrip) {
+  MapPush push({two_rloc_entry(), two_rloc_entry()}, 9);
+  net::ByteWriter w;
+  push.serialize(w);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), push.wire_size());
+  net::ByteReader r(bytes);
+  auto parsed = MapPush::parse_wire(r);
+  EXPECT_EQ(parsed->generation(), 9u);
+  ASSERT_EQ(parsed->entries().size(), 2u);
+  EXPECT_EQ(parsed->entries()[0], two_rloc_entry());
+}
+
+TEST(ControlWire, FlowMappingPushRoundTrip) {
+  FlowMapping tuple;
+  tuple.source_eid = net::Ipv4Address(100, 64, 0, 10);
+  tuple.destination_eid = net::Ipv4Address(100, 64, 1, 10);
+  tuple.source_rloc = net::Ipv4Address(10, 0, 0, 2);
+  tuple.destination_rloc = net::Ipv4Address(10, 0, 1, 1);
+  tuple.version = 3;
+  FlowMappingPush push({tuple});
+  net::ByteWriter w;
+  push.serialize(w);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), push.wire_size());
+  net::ByteReader r(bytes);
+  auto parsed = FlowMappingPush::parse_wire(r);
+  ASSERT_EQ(parsed->mappings().size(), 1u);
+  EXPECT_EQ(parsed->mappings()[0], tuple);
+}
+
+}  // namespace
+}  // namespace lispcp::lisp

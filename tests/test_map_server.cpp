@@ -1,0 +1,302 @@
+// Tests for mapping/map_server: Map-Register wire format, registration
+// lifecycle (TTL, refresh, expiry sweep), request forwarding vs proxy
+// replies, negative replies, Map-Resolver routing, and the end-to-end
+// Map-Server control plane on the standard topology.
+#include <gtest/gtest.h>
+
+#include "mapping/map_server.hpp"
+#include "net/ports.hpp"
+#include "scenario/experiment.hpp"
+
+namespace lispcp {
+namespace {
+
+using mapping::MapResolver;
+using mapping::MapServer;
+using mapping::MapServerConfig;
+
+lisp::MapEntry site_entry(std::uint8_t site, std::uint32_t ttl = 300) {
+  lisp::MapEntry entry;
+  entry.eid_prefix = net::Ipv4Prefix(net::Ipv4Address(100, 64, site, 0), 24);
+  entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, site, 0, 1), 1, 100, true},
+                 lisp::Rloc{net::Ipv4Address(11, site, 0, 1), 2, 100, true}};
+  entry.ttl_seconds = ttl;
+  return entry;
+}
+
+TEST(MapRegister, WireRoundTrip) {
+  const lisp::MapRegister original(42, 180, {site_entry(1), site_entry(2)});
+  net::ByteWriter w;
+  original.serialize(w);
+  EXPECT_EQ(w.size(), original.wire_size());
+  net::ByteReader r(w.view());
+  auto parsed = lisp::MapRegister::parse_wire(r);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(parsed->nonce(), 42u);
+  EXPECT_EQ(parsed->ttl_seconds(), 180u);
+  ASSERT_EQ(parsed->entries().size(), 2u);
+  EXPECT_EQ(parsed->entries()[0], site_entry(1));
+  EXPECT_EQ(parsed->entries()[1], site_entry(2));
+}
+
+// ---------------------------------------------------------------------------
+// A small star: MS and MR and two "ETR stand-in" xTRs around a hub.
+
+struct MsWorld {
+  MsWorld() : network(sim) {
+    hub = &network.make<sim::Node>("hub");
+    MapServerConfig mscfg;
+    mscfg.sweep_interval = sim::SimDuration::seconds(1);
+    ms = &network.make<MapServer>("ms", net::Ipv4Address(192, 0, 5, 1), mscfg);
+    mr = &network.make<MapResolver>("mr", net::Ipv4Address(192, 0, 6, 1));
+
+    lisp::XtrConfig xcfg;
+    xcfg.itr_role = true;
+    xcfg.etr_role = true;
+    xcfg.local_eid_prefixes = {net::Ipv4Prefix(net::Ipv4Address(100, 64, 1, 0), 24)};
+    xcfg.eid_space = {net::Ipv4Prefix(net::Ipv4Address(100, 64, 0, 0), 10)};
+    etr = &network.make<lisp::TunnelRouter>("etr", net::Ipv4Address(10, 1, 0, 1),
+                                            xcfg);
+    lisp::XtrConfig icfg = xcfg;
+    icfg.local_eid_prefixes = {net::Ipv4Prefix(net::Ipv4Address(100, 64, 9, 0), 24)};
+    itr = &network.make<lisp::TunnelRouter>("itr", net::Ipv4Address(10, 9, 0, 1),
+                                            icfg);
+    itr->set_overlay_attachment(mr->address());
+    etr->set_site_mappings({site_entry(1)});
+
+    src = &network.make<sim::Node>("src");
+    src->add_address(net::Ipv4Address(100, 64, 9, 5));
+
+    sim::LinkConfig lcfg;
+    lcfg.delay = sim::SimDuration::millis(5);
+    for (sim::Node* n : {static_cast<sim::Node*>(ms),
+                         static_cast<sim::Node*>(mr),
+                         static_cast<sim::Node*>(etr),
+                         static_cast<sim::Node*>(itr)}) {
+      network.connect(hub->id(), n->id(), lcfg);
+      network.add_host_route(hub->id(), n->address(), n->id());
+      network.add_route(n->id(), net::Ipv4Prefix(), hub->id());
+    }
+    network.connect(src->id(), itr->id(), lcfg);
+    network.add_route(src->id(), net::Ipv4Prefix(), itr->id());
+    mr->add_map_server_route(site_entry(1).eid_prefix, ms->address());
+  }
+
+  /// Sends one EID-to-EID data packet through the ITR (cold-cache miss).
+  void send_data(net::Ipv4Address to) {
+    net::TcpHeader tcp;
+    src->send(net::Packet::tcp(src->address(), to, tcp, 0));
+  }
+
+  void register_site(std::uint32_t ttl = 300) {
+    etr->send(net::Packet::udp(
+        etr->rloc(), ms->address(), net::ports::kLispControl,
+        net::ports::kLispControl,
+        std::make_shared<lisp::MapRegister>(1, ttl,
+                                            std::vector{site_entry(1)})));
+  }
+
+  sim::Simulator sim;
+  sim::Network network;
+  sim::Node* hub = nullptr;
+  sim::Node* src = nullptr;
+  MapServer* ms = nullptr;
+  MapResolver* mr = nullptr;
+  lisp::TunnelRouter* etr = nullptr;
+  lisp::TunnelRouter* itr = nullptr;
+};
+
+TEST(MapServer, RegistrationIsStoredAndQueryable) {
+  MsWorld world;
+  world.register_site();
+  world.sim.run();
+  EXPECT_EQ(world.ms->stats().registers_received, 1u);
+  EXPECT_EQ(world.ms->registration_count(), 1u);
+  const auto* found =
+      world.ms->find_registration(net::Ipv4Address(100, 64, 1, 77));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, site_entry(1));
+  EXPECT_EQ(world.ms->find_registration(net::Ipv4Address(100, 64, 2, 1)),
+            nullptr);
+}
+
+TEST(MapServer, RegistrationExpiresWithoutRefresh) {
+  MsWorld world;
+  world.register_site(/*ttl=*/3);
+  world.sim.run();
+  EXPECT_EQ(world.ms->registration_count(), 1u);
+  world.sim.run_until(sim::SimTime::from_ns(10'000'000'000));
+  EXPECT_EQ(world.ms->registration_count(), 0u);
+  EXPECT_EQ(world.ms->stats().registrations_expired, 1u);
+  EXPECT_EQ(world.ms->find_registration(net::Ipv4Address(100, 64, 1, 77)),
+            nullptr);
+}
+
+TEST(MapServer, RefreshKeepsRegistrationAlive) {
+  MsWorld world;
+  mapping::RegistrarConfig rcfg;
+  rcfg.ttl_seconds = 3;
+  rcfg.refresh_interval = sim::SimDuration::seconds(1);
+  mapping::EtrRegistrar registrar(*world.etr, world.ms->address(),
+                                  {site_entry(1)}, rcfg);
+  registrar.start();
+  world.sim.run_until(sim::SimTime::from_ns(30'000'000'000));
+  EXPECT_EQ(world.ms->registration_count(), 1u);
+  EXPECT_GE(registrar.stats().registers_sent, 29u);
+  EXPECT_EQ(world.ms->stats().registrations_expired, 0u);
+
+  // Decommission: stop refreshing and the entry lapses.
+  registrar.stop();
+  world.sim.run_until(sim::SimTime::from_ns(40'000'000'000));
+  EXPECT_EQ(world.ms->registration_count(), 0u);
+}
+
+TEST(MapServer, RegistrarRejectsRefreshSlowerThanTtl) {
+  MsWorld world;
+  mapping::RegistrarConfig bad;
+  bad.ttl_seconds = 10;
+  bad.refresh_interval = sim::SimDuration::seconds(10);
+  EXPECT_THROW(mapping::EtrRegistrar(*world.etr, world.ms->address(),
+                                     {site_entry(1)}, bad),
+               std::invalid_argument);
+}
+
+TEST(MapServer, NonProxyForwardsToEtrWhoRepliesDirectly) {
+  MsWorld world;
+  world.register_site();
+  world.sim.run();
+
+  // The ITR misses on an EID in site 1 and resolves through MR -> MS -> ETR.
+  world.send_data(net::Ipv4Address(100, 64, 1, 7));
+  world.sim.run();
+
+  EXPECT_EQ(world.mr->stats().requests_received, 1u);
+  EXPECT_EQ(world.mr->stats().requests_forwarded, 1u);
+  EXPECT_EQ(world.ms->stats().requests_forwarded, 1u);
+  EXPECT_EQ(world.ms->stats().proxy_replies, 0u);
+  EXPECT_EQ(world.etr->stats().map_requests_answered, 1u);
+  EXPECT_EQ(world.itr->stats().map_replies_received, 1u);
+  EXPECT_EQ(world.itr->cache().size(), 1u);
+}
+
+TEST(MapServer, ProxyModeAnswersFromRegistration) {
+  MsWorld world;
+  MapServerConfig proxy_cfg;
+  proxy_cfg.proxy_reply = true;
+  auto& proxy_ms = world.network.make<MapServer>(
+      "ms-proxy", net::Ipv4Address(192, 0, 5, 2), proxy_cfg);
+  sim::LinkConfig lcfg;
+  lcfg.delay = sim::SimDuration::millis(5);
+  world.network.connect(world.hub->id(), proxy_ms.id(), lcfg);
+  world.network.add_host_route(world.hub->id(), proxy_ms.address(),
+                               proxy_ms.id());
+  world.network.add_route(proxy_ms.id(), net::Ipv4Prefix(), world.hub->id());
+  world.mr->add_map_server_route(site_entry(1).eid_prefix, proxy_ms.address());
+
+  world.etr->send(net::Packet::udp(
+      world.etr->rloc(), proxy_ms.address(), net::ports::kLispControl,
+      net::ports::kLispControl,
+      std::make_shared<lisp::MapRegister>(1, 300,
+                                          std::vector{site_entry(1)})));
+  world.sim.run();
+
+  world.send_data(net::Ipv4Address(100, 64, 1, 7));
+  world.sim.run();
+
+  EXPECT_EQ(proxy_ms.stats().proxy_replies, 1u);
+  EXPECT_EQ(proxy_ms.stats().requests_forwarded, 0u);
+  EXPECT_EQ(world.etr->stats().map_requests_answered, 0u);
+  EXPECT_EQ(world.itr->stats().map_replies_received, 1u);
+}
+
+TEST(MapServer, UnregisteredEidGetsNegativeReply) {
+  MsWorld world;  // nothing registered
+  world.mr->add_map_server_route(
+      net::Ipv4Prefix(net::Ipv4Address(100, 64, 0, 0), 10), world.ms->address());
+  world.send_data(net::Ipv4Address(100, 64, 3, 7));
+  world.sim.run();
+  EXPECT_EQ(world.ms->stats().negative_replies, 1u);
+  // The ITR caches the negative entry (no locators): the miss is remembered.
+  EXPECT_EQ(world.itr->stats().map_replies_received, 1u);
+}
+
+TEST(MapResolver, UncoveredEidAnsweredNegativelyByResolver) {
+  MsWorld world;  // resolver has only site 1's route
+  world.send_data(net::Ipv4Address(100, 64, 40, 7));
+  world.sim.run();
+  EXPECT_EQ(world.mr->stats().negative_replies, 1u);
+  EXPECT_EQ(world.ms->stats().requests_received, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end on the standard topology.
+
+scenario::ExperimentConfig ms_config() {
+  scenario::ExperimentConfig config;
+  config.spec = topo::InternetSpec::preset(topo::ControlPlaneKind::kMapServer);
+  config.spec.domains = 8;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.seed = 5;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(20);
+  config.drain = sim::SimDuration::seconds(20);
+  return config;
+}
+
+TEST(MapServerEndToEnd, SessionsEstablishOverTheMsControlPlane) {
+  scenario::Experiment experiment(ms_config());
+  const auto summary = experiment.run();
+  EXPECT_GT(summary.sessions, 100u);
+  EXPECT_GT(summary.established, summary.sessions * 9 / 10);
+  EXPECT_GT(summary.miss_events, 0u) << "pull system: cold flows miss";
+
+  auto& internet = experiment.internet();
+  std::uint64_t registered = 0, forwarded = 0;
+  for (auto* ms : internet.map_servers()) {
+    registered += ms->registration_count();
+    forwarded += ms->stats().requests_forwarded;
+  }
+  EXPECT_EQ(registered, 8u) << "every domain's site block is registered";
+  EXPECT_GT(forwarded, 0u);
+  std::uint64_t resolver_requests = 0;
+  for (auto* mr : internet.map_resolvers()) {
+    resolver_requests += mr->stats().requests_received;
+  }
+  EXPECT_GT(resolver_requests, 0u);
+}
+
+TEST(MapServerEndToEnd, ShardsSplitRegistrationsAcrossServers) {
+  auto config = ms_config();
+  config.spec.map_server_count = 4;
+  scenario::Experiment experiment(config);
+  experiment.run();
+  auto& internet = experiment.internet();
+  ASSERT_EQ(internet.map_servers().size(), 4u);
+  for (auto* ms : internet.map_servers()) {
+    EXPECT_EQ(ms->registration_count(), 2u) << "8 domains over 4 shards";
+  }
+}
+
+TEST(MapServerEndToEnd, ProxyModeShavesTheEtrHop) {
+  auto direct_config = ms_config();
+  scenario::Experiment direct(direct_config);
+  const auto d = direct.run();
+
+  auto proxy_config = ms_config();
+  proxy_config.spec.ms_proxy_reply = true;
+  scenario::Experiment proxy(proxy_config);
+  const auto p = proxy.run();
+
+  // Identical workloads; the proxy arm's resolution is one hop shorter, so
+  // its setup-latency tail cannot be worse.
+  EXPECT_LE(p.t_setup_p95_ms, d.t_setup_p95_ms * 1.05);
+  std::uint64_t proxy_answers = 0;
+  for (auto* ms : proxy.internet().map_servers()) {
+    proxy_answers += ms->stats().proxy_replies;
+  }
+  EXPECT_GT(proxy_answers, 0u);
+}
+
+}  // namespace
+}  // namespace lispcp

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "metrics/histogram.hpp"
+#include "metrics/table.hpp"
+
+namespace lispcp::metrics {
+namespace {
+
+TEST(Summary, MomentsMatchClosedForm) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+  // Sample variance of the classic data set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MergeEqualsCombinedStream) {
+  std::mt19937 rng(5);
+  std::normal_distribution<double> dist(100.0, 15.0);
+  Summary left;
+  Summary right;
+  Summary combined;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    (i % 2 == 0 ? left : right).add(x);
+    combined.add(x);
+  }
+  Summary merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_NEAR(merged.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), combined.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), combined.min());
+  EXPECT_DOUBLE_EQ(merged.max(), combined.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary empty;
+  Summary filled;
+  filled.add(3.0);
+  Summary a = filled;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Summary b = empty;
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, PercentilesWithinBucketError) {
+  Histogram h;
+  for (int i = 1; i <= 10'000; ++i) h.add(static_cast<double>(i));
+  // Log-bucketing gives ~1.5% relative error per decade bucket.
+  EXPECT_NEAR(h.p50(), 5000.0, 5000.0 * 0.03);
+  EXPECT_NEAR(h.p95(), 9500.0, 9500.0 * 0.03);
+  EXPECT_NEAR(h.p99(), 9900.0, 9900.0 * 0.03);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10'000.0);
+}
+
+TEST(Histogram, SubUnitValuesLandInZeroBucket) {
+  Histogram h;
+  h.add(0.0);
+  h.add(0.5);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.percentile(0.34), 1.0);
+}
+
+TEST(Histogram, PercentileNeverExceedsMax) {
+  Histogram h;
+  h.add(123.456);
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_LE(h.percentile(q), 123.456);
+  }
+}
+
+TEST(Histogram, DurationHelperRecordsMicroseconds) {
+  Histogram h;
+  h.add_duration(sim::SimDuration::millis(3));
+  EXPECT_NEAR(h.mean(), 3000.0, 1e-9);
+}
+
+TEST(Histogram, MergeAddsDistributions) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.add(10.0);
+  for (int i = 0; i < 100; ++i) b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_LE(a.p50(), 12.0);  // bucket upper bound of the 10.0 bucket
+  EXPECT_GT(a.p95(), 900.0);
+}
+
+TEST(Histogram, BriefMentionsFields) {
+  Histogram h;
+  h.add(5.0);
+  const auto text = h.brief("ms");
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"control plane", "drops"});
+  t.add_row({"lisp-alt", "120"});
+  t.add_row({"lisp-pce", "0"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("| control plane | drops |"), std::string::npos);
+  EXPECT_NE(text.find("| lisp-pce      | 0     |"), std::string::npos);
+  EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(Table, WrongArityThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"x", "has,comma"});
+  t.add_row({"y", "has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::percent(0.123456), "12.35%");
+  EXPECT_EQ(Table::percent(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace lispcp::metrics

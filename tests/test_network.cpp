@@ -1,0 +1,339 @@
+// Fabric tests: links (delay, serialization, queue, loss), forwarding
+// (LPM routes, TTL, no-route), Dijkstra route installation, tracer hooks.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace lispcp::sim {
+namespace {
+
+/// Endpoint that records delivered packets with timestamps.
+class Sink : public Node {
+ public:
+  Sink(Network& network, std::string name, net::Ipv4Address address)
+      : Node(network, std::move(name)) {
+    add_address(address);
+  }
+  void deliver(net::Packet packet) override {
+    arrival_times.push_back(sim().now());
+    packets.push_back(std::move(packet));
+  }
+  std::vector<SimTime> arrival_times;
+  std::vector<net::Packet> packets;
+};
+
+net::Packet make_packet(net::Ipv4Address src, net::Ipv4Address dst,
+                        std::size_t payload = 100) {
+  return net::Packet::udp(src, dst, 1111, 2222,
+                          std::make_shared<net::RawPayload>(payload));
+}
+
+struct Fixture {
+  Simulator sim;
+  Network net{sim};
+};
+
+TEST(Link, DeliversAfterPropagationAndSerialization) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.delay = SimDuration::millis(10);
+  cfg.bandwidth_bps = 8e6;  // 1 byte/us
+  f.net.connect(a.id(), b.id(), cfg);
+  f.net.add_host_route(a.id(), b.address(), b.id());
+
+  a.send(make_packet(a.address(), b.address(), 100));  // 128 bytes on wire
+  f.sim.run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  // 128 B at 1 B/us = 128 us serialization + 10 ms propagation.
+  EXPECT_EQ(b.arrival_times[0],
+            SimTime::zero() + SimDuration::millis(10) + SimDuration::micros(128));
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.delay = SimDuration::millis(1);
+  cfg.bandwidth_bps = 8e6;
+  f.net.connect(a.id(), b.id(), cfg);
+  f.net.add_host_route(a.id(), b.address(), b.id());
+
+  a.send(make_packet(a.address(), b.address(), 972));  // 1000 B = 1 ms tx
+  a.send(make_packet(a.address(), b.address(), 972));
+  f.sim.run();
+  ASSERT_EQ(b.packets.size(), 2u);
+  EXPECT_EQ((b.arrival_times[1] - b.arrival_times[0]).ms(), 1.0);
+}
+
+TEST(Link, DropTailQueueOverflow) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.queue_bytes = 2000;  // two ~1000B packets of backlog
+  Link& link = f.net.connect(a.id(), b.id(), cfg);
+  f.net.add_host_route(a.id(), b.address(), b.id());
+
+  for (int i = 0; i < 10; ++i) {
+    a.send(make_packet(a.address(), b.address(), 972));
+  }
+  f.sim.run();
+  EXPECT_LT(b.packets.size(), 10u);
+  EXPECT_GT(link.stats(a.id()).drops_queue, 0u);
+  EXPECT_EQ(b.packets.size() + link.stats(a.id()).drops_queue, 10u);
+  EXPECT_EQ(f.net.counters().drops_queue, link.stats(a.id()).drops_queue);
+}
+
+TEST(Link, RandomLossDropsApproximatelyAtRate) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.loss = 0.3;
+  cfg.bandwidth_bps = 1e12;  // effectively no queueing
+  f.net.connect(a.id(), b.id(), cfg);
+  f.net.add_host_route(a.id(), b.address(), b.id());
+
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) a.send(make_packet(a.address(), b.address(), 10));
+  f.sim.run();
+  const double delivery_rate = static_cast<double>(b.packets.size()) / n;
+  EXPECT_NEAR(delivery_rate, 0.7, 0.03);
+}
+
+TEST(Link, DownLinkDropsEverything) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  Link& link = f.net.connect(a.id(), b.id());
+  f.net.add_host_route(a.id(), b.address(), b.id());
+  link.set_up(false);
+  a.send(make_packet(a.address(), b.address()));
+  f.sim.run();
+  EXPECT_TRUE(b.packets.empty());
+  EXPECT_EQ(f.net.counters().drops_link_down, 1u);
+}
+
+TEST(Link, UtilizationWindow) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  Link& link = f.net.connect(a.id(), b.id(), cfg);
+  f.net.add_host_route(a.id(), b.address(), b.id());
+
+  auto window = link.open_window(a.id());
+  // 1000 B over 8 Mbit/s = 1 ms busy; observe over 10 ms => 10% utilization.
+  a.send(make_packet(a.address(), b.address(), 972));
+  f.sim.run_until(SimTime::zero() + SimDuration::millis(10));
+  EXPECT_NEAR(link.utilization(a.id(), window), 0.1, 0.01);
+  EXPECT_EQ(link.bytes_in_window(a.id(), window), 1000u);
+}
+
+TEST(Network, MultiHopForwardingDecrementsTtl) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& r1 = f.net.make<Node>("r1");
+  auto& r2 = f.net.make<Node>("r2");
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  f.net.connect(a.id(), r1.id());
+  f.net.connect(r1.id(), r2.id());
+  f.net.connect(r2.id(), b.id());
+  f.net.add_host_route(a.id(), b.address(), r1.id());
+  f.net.add_host_route(r1.id(), b.address(), r2.id());
+  f.net.add_host_route(r2.id(), b.address(), b.id());
+
+  auto p = make_packet(a.address(), b.address());
+  p.outer_ip().ttl = 64;
+  a.send(std::move(p));
+  f.sim.run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  // Originating hop does not decrement; two forwarding hops do.
+  EXPECT_EQ(b.packets[0].outer_ip().ttl, 62);
+}
+
+TEST(Network, TtlExpiryDrops) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& r1 = f.net.make<Node>("r1");
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  f.net.connect(a.id(), r1.id());
+  f.net.connect(r1.id(), b.id());
+  f.net.add_host_route(a.id(), b.address(), r1.id());
+  f.net.add_host_route(r1.id(), b.address(), b.id());
+
+  auto p = make_packet(a.address(), b.address());
+  p.outer_ip().ttl = 1;
+  a.send(std::move(p));
+  f.sim.run();
+  EXPECT_TRUE(b.packets.empty());
+  EXPECT_EQ(f.net.counters().drops_ttl, 1u);
+}
+
+TEST(Network, NoRouteDropsAndCounts) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  f.net.connect(a.id(), b.id());
+  // No route installed at a.
+  a.send(make_packet(a.address(), b.address()));
+  f.sim.run();
+  EXPECT_TRUE(b.packets.empty());
+  EXPECT_EQ(f.net.counters().drops_no_route, 1u);
+}
+
+TEST(Network, LoopbackDeliversLocally) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  a.send(make_packet(a.address(), a.address()));
+  f.sim.run();
+  EXPECT_EQ(a.packets.size(), 1u);
+}
+
+TEST(Network, RouteToNonAdjacentNextHopThrows) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  EXPECT_THROW(f.net.add_host_route(a.id(), b.address(), b.id()),
+               std::logic_error);
+}
+
+TEST(Network, DuplicateAddressThrows) {
+  Fixture f;
+  f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  EXPECT_THROW(f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 1)),
+               std::logic_error);
+}
+
+TEST(Network, SelfLinkAndDuplicateLinkThrow) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  EXPECT_THROW(f.net.connect(a.id(), a.id()), std::invalid_argument);
+  f.net.connect(a.id(), b.id());
+  EXPECT_THROW(f.net.connect(a.id(), b.id()), std::logic_error);
+  EXPECT_THROW(f.net.connect(b.id(), a.id()), std::logic_error);
+}
+
+TEST(Network, InstallRoutesTowardFollowsShortestDelayPath) {
+  Fixture f;
+  // Diamond: a - (fast) - r1 - target, a - (slow) - r2 - target.
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& r1 = f.net.make<Node>("r1");
+  auto& r2 = f.net.make<Node>("r2");
+  auto& target = f.net.make<Sink>("t", net::Ipv4Address(9, 0, 0, 1));
+  LinkConfig fast;
+  fast.delay = SimDuration::millis(1);
+  LinkConfig slow;
+  slow.delay = SimDuration::millis(50);
+  f.net.connect(a.id(), r1.id(), fast);
+  f.net.connect(a.id(), r2.id(), slow);
+  f.net.connect(r1.id(), target.id(), fast);
+  f.net.connect(r2.id(), target.id(), fast);
+
+  f.net.install_routes_toward(target.id(),
+                              net::Ipv4Prefix::host(target.address()));
+  a.send(make_packet(a.address(), target.address()));
+  f.sim.run();
+  ASSERT_EQ(target.packets.size(), 1u);
+  // Via r1: 2 ms total, not 51 ms.
+  EXPECT_LT(target.arrival_times[0], SimTime::zero() + SimDuration::millis(5));
+}
+
+TEST(Network, InstallRoutesScopeRestrictsInstallation) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  auto& target = f.net.make<Sink>("t", net::Ipv4Address(9, 0, 0, 1));
+  f.net.connect(a.id(), target.id());
+  f.net.connect(b.id(), target.id());
+  f.net.install_routes_toward(target.id(),
+                              net::Ipv4Prefix::host(target.address()),
+                              {a.id()});  // scope excludes b
+  a.send(make_packet(a.address(), target.address()));
+  b.send(make_packet(b.address(), target.address()));
+  f.sim.run();
+  EXPECT_EQ(target.packets.size(), 1u);
+  EXPECT_EQ(f.net.counters().drops_no_route, 1u);
+}
+
+TEST(Network, PathDelayMatchesTopology) {
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& r = f.net.make<Node>("r");
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  LinkConfig cfg;
+  cfg.delay = SimDuration::millis(7);
+  f.net.connect(a.id(), r.id(), cfg);
+  f.net.connect(r.id(), b.id(), cfg);
+  auto delay = f.net.path_delay(a.id(), b.id());
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_EQ(*delay, SimDuration::millis(14));
+  EXPECT_EQ(f.net.path_delay(a.id(), a.id()), SimDuration{});
+
+  auto& island = f.net.make<Sink>("x", net::Ipv4Address(1, 0, 0, 3));
+  EXPECT_FALSE(f.net.path_delay(a.id(), island.id()).has_value());
+}
+
+TEST(Network, TracerSeesLifecycle) {
+  struct CountingTracer : Tracer {
+    int sends = 0, delivers = 0, forwards = 0, drops = 0;
+    void on_send(SimTime, const Node&, const net::Packet&) override { ++sends; }
+    void on_deliver(SimTime, const Node&, const net::Packet&) override {
+      ++delivers;
+    }
+    void on_forward(SimTime, const Node&, const net::Packet&) override {
+      ++forwards;
+    }
+    void on_drop(SimTime, DropReason, const net::Packet&) override { ++drops; }
+  };
+  Fixture f;
+  CountingTracer tracer;
+  f.net.set_tracer(&tracer);
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& r = f.net.make<Node>("r");
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  f.net.connect(a.id(), r.id());
+  f.net.connect(r.id(), b.id());
+  f.net.add_host_route(a.id(), b.address(), r.id());
+  f.net.add_host_route(r.id(), b.address(), b.id());
+  a.send(make_packet(a.address(), b.address()));
+  f.sim.run();
+  EXPECT_EQ(tracer.sends, 1);
+  EXPECT_EQ(tracer.delivers, 1);
+  EXPECT_EQ(tracer.forwards, 2);  // at a (origination) and at r
+  EXPECT_EQ(tracer.drops, 0);
+}
+
+TEST(Network, TransitConsumeStopsForwarding) {
+  class Interceptor : public Node {
+   public:
+    using Node::Node;
+    TransitAction transit(net::Packet&) override {
+      ++consumed;
+      return TransitAction::kConsumed;
+    }
+    int consumed = 0;
+  };
+  Fixture f;
+  auto& a = f.net.make<Sink>("a", net::Ipv4Address(1, 0, 0, 1));
+  auto& mid = f.net.make<Interceptor>("mid");
+  auto& b = f.net.make<Sink>("b", net::Ipv4Address(1, 0, 0, 2));
+  f.net.connect(a.id(), mid.id());
+  f.net.connect(mid.id(), b.id());
+  f.net.add_host_route(a.id(), b.address(), mid.id());
+  f.net.add_host_route(mid.id(), b.address(), b.id());
+  a.send(make_packet(a.address(), b.address()));
+  f.sim.run();
+  EXPECT_EQ(mid.consumed, 1);
+  EXPECT_TRUE(b.packets.empty());
+  EXPECT_EQ(f.net.counters().consumed, 1u);
+}
+
+}  // namespace
+}  // namespace lispcp::sim

@@ -1,0 +1,111 @@
+// ALT / CONS overlay tests over full Internet topologies: resolution paths,
+// reply routing (direct vs relayed), latency ordering, and the
+// data-over-overlay palliative.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace lispcp {
+namespace {
+
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using topo::ControlPlaneKind;
+using topo::InternetSpec;
+
+ExperimentConfig overlay_config(ControlPlaneKind kind, std::size_t domains = 20) {
+  ExperimentConfig config;
+  config.spec = InternetSpec::preset(kind);
+  config.spec.domains = domains;
+  config.spec.hosts_per_domain = 1;
+  config.spec.overlay_fanout = 4;
+  config.spec.seed = 7;
+  config.traffic.sessions_per_second = 10;
+  config.traffic.duration = sim::SimDuration::seconds(20);
+  return config;
+}
+
+TEST(Overlay, TreeIsBuiltWithExpectedShape) {
+  Experiment experiment(overlay_config(ControlPlaneKind::kAltDrop));
+  const auto& overlay = experiment.internet().overlay();
+  // 20 domains / fanout 4 = 5 leaves, then 2 mid routers, then 1 root = 8.
+  EXPECT_EQ(overlay.size(), 8u);
+  // A leaf holds 4 domain routes plus the default route to its parent.
+  EXPECT_EQ(overlay.front()->route_count(), 5u);
+  // The root covers every domain and has no parent.
+  EXPECT_EQ(overlay.back()->route_count(), 20u);
+}
+
+TEST(Overlay, AltResolutionTraversesOverlayRouters) {
+  Experiment experiment(overlay_config(ControlPlaneKind::kAltDrop));
+  experiment.run();
+  std::uint64_t forwarded = 0;
+  for (const auto* router : experiment.internet().overlay()) {
+    forwarded += router->stats().requests_forwarded;
+    // ALT never relays replies (they go natively, direct to the ITR).
+    EXPECT_EQ(router->stats().replies_relayed, 0u);
+  }
+  EXPECT_GT(forwarded, 0u);
+}
+
+TEST(Overlay, ConsRepliesRelayThroughTree) {
+  Experiment experiment(overlay_config(ControlPlaneKind::kCons));
+  experiment.run();
+  std::uint64_t relayed = 0;
+  for (const auto* router : experiment.internet().overlay()) {
+    relayed += router->stats().replies_relayed;
+  }
+  EXPECT_GT(relayed, 0u);
+}
+
+TEST(Overlay, ConsResolutionSlowerThanAlt) {
+  // Same topology and workload; CONS replies retrace the tree, so the
+  // time-to-established for cold flows must be longer than ALT's.
+  auto alt = Experiment(overlay_config(ControlPlaneKind::kAltQueue)).run();
+
+  auto cons_config = overlay_config(ControlPlaneKind::kCons);
+  cons_config.spec.miss_policy = lisp::MissPolicy::kQueue;
+  auto cons = Experiment(cons_config).run();
+
+  ASSERT_GT(alt.established, 0u);
+  ASSERT_GT(cons.established, 0u);
+  // Compare p95 setup (cold flows dominate the tail).
+  EXPECT_GT(cons.t_setup_p95_ms, alt.t_setup_p95_ms);
+}
+
+TEST(Overlay, DataForwardPalliativeDeliversFirstPacket) {
+  Experiment experiment(overlay_config(ControlPlaneKind::kAltForward));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 20u);
+  // First packets ride the overlay instead of being dropped: no SYN
+  // retransmissions, and the overlay forwarded real data.
+  EXPECT_EQ(summary.syn_retransmissions, 0u);
+  std::uint64_t data_forwarded = 0;
+  for (const auto* router : experiment.internet().overlay()) {
+    data_forwarded += router->stats().data_forwarded;
+  }
+  EXPECT_GT(data_forwarded, 0u);
+  EXPECT_EQ(summary.established, summary.sessions);
+}
+
+TEST(Overlay, CacheHitsSkipTheOverlay) {
+  auto config = overlay_config(ControlPlaneKind::kAltDrop, 4);
+  config.traffic.zipf_alpha = 2.0;  // highly skewed: hot destination dominates
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  // Far fewer resolutions than sessions: the cache absorbs the hot flows.
+  EXPECT_LT(summary.miss_events, summary.sessions / 2);
+}
+
+TEST(Overlay, MissPolicyDropLosesExactlyFirstPackets) {
+  Experiment experiment(overlay_config(ControlPlaneKind::kAltDrop));
+  const auto summary = experiment.run();
+  // Every drop at an ITR is a mapping-miss drop and each costs one SYN RTO.
+  EXPECT_EQ(summary.miss_drops, summary.syn_retransmissions);
+  EXPECT_GT(summary.miss_drops, 0u);
+  // All sessions still complete eventually (TCP recovers).
+  EXPECT_EQ(summary.established, summary.sessions);
+}
+
+}  // namespace
+}  // namespace lispcp

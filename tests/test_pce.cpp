@@ -1,0 +1,251 @@
+// PCE control-plane tests over the Fig. 1 topology: Step-by-step counters,
+// tuple contents, claim (ii) timing, and the A1/A2/A3 ablation switches.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace lispcp {
+namespace {
+
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using topo::ControlPlaneKind;
+using topo::InternetSpec;
+
+ExperimentConfig pce_config() {
+  ExperimentConfig config;
+  config.spec = InternetSpec::preset(ControlPlaneKind::kPce);
+  config.spec.domains = 3;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.seed = 11;
+  config.traffic.sessions_per_second = 10;
+  config.traffic.duration = sim::SimDuration::seconds(15);
+  return config;
+}
+
+TEST(Pce, Step6TriggersOnlyAtDestinationPce) {
+  Experiment experiment(pce_config());
+  experiment.run();
+  auto& internet = experiment.internet();
+  // Domain 0 only originates sessions: its PCE never encapsulates replies
+  // (its authoritative server answers nobody), but receives port-P messages.
+  const auto& src_stats = internet.domain(0).pce->stats();
+  EXPECT_EQ(src_stats.replies_encapsulated, 0u);
+  EXPECT_GT(src_stats.port_p_received, 0u);
+  EXPECT_EQ(src_stats.port_p_received, src_stats.replies_released);
+
+  // Destination domains do Step 6 and never see port P.
+  for (std::size_t d = 1; d < 3; ++d) {
+    const auto& dst_stats = internet.domain(d).pce->stats();
+    EXPECT_GT(dst_stats.replies_encapsulated, 0u) << d;
+    EXPECT_EQ(dst_stats.port_p_received, 0u) << d;
+  }
+}
+
+TEST(Pce, EveryResolutionConfiguresAFlow) {
+  Experiment experiment(pce_config());
+  const auto summary = experiment.run();
+  const auto& stats = experiment.internet().domain(0).pce->stats();
+  EXPECT_GT(stats.flows_configured, 0u);
+  EXPECT_GT(stats.tuples_pushed, 0u);
+  EXPECT_EQ(stats.uncorrelated_replies, 0u);
+  EXPECT_EQ(summary.miss_drops, 0u);
+}
+
+TEST(Pce, TupleCarriesLocalIngressChoiceAsSourceRloc) {
+  Experiment experiment(pce_config());
+  experiment.run();
+  auto& dom0 = experiment.internet().domain(0);
+  // With the default least-loaded policy over two symmetric providers, the
+  // engine spreads ingress choices over both RLOCs: both must appear as
+  // RLOC_S in the ITRs' flow tables.
+  std::set<std::uint32_t> source_rlocs;
+  for (auto* xtr : dom0.xtrs) {
+    EXPECT_GT(xtr->flow_table_size(), 0u);
+  }
+  for (auto* xtr : dom0.xtrs) {
+    for (std::size_t h = 0; h < dom0.hosts.size(); ++h) {
+      for (std::size_t d = 1; d < 3; ++d) {
+        for (std::size_t p = 0; p < 2; ++p) {
+          const auto* tuple = xtr->find_flow_mapping(
+              dom0.hosts[h]->address(),
+              experiment.internet().domain(d).hosts[p]->address());
+          if (tuple != nullptr) source_rlocs.insert(tuple->source_rloc.value());
+        }
+      }
+    }
+  }
+  EXPECT_GE(source_rlocs.size(), 2u);
+  EXPECT_TRUE(source_rlocs.contains(dom0.xtrs[0]->rloc().value()));
+  EXPECT_TRUE(source_rlocs.contains(dom0.xtrs[1]->rloc().value()));
+}
+
+TEST(Pce, PushAllItrsInstallsTupleEverywhere) {
+  Experiment experiment(pce_config());
+  experiment.run();
+  auto& dom0 = experiment.internet().domain(0);
+  // Both ITRs must have received pushes (paper Step 7b: "all ITRs").
+  for (auto* xtr : dom0.xtrs) {
+    EXPECT_GT(xtr->stats().flow_pushes_received, 0u);
+  }
+}
+
+TEST(Pce, AblationA1PushOneLeavesOtherItrsEmpty) {
+  auto config = pce_config();
+  config.spec.pce_push_all_itrs = false;
+  Experiment experiment(config);
+  experiment.run();
+  auto& dom0 = experiment.internet().domain(0);
+  // Only the first ITR receives PCE pushes now.  (The second may still hold
+  // reverse tuples multicast by its ETR role; count pushes, not table size.)
+  EXPECT_GT(dom0.xtrs[0]->stats().flow_pushes_received, 0u);
+  const auto& from_pce = experiment.internet().domain(0).pce->stats();
+  EXPECT_EQ(from_pce.tuples_pushed, from_pce.flows_configured);
+}
+
+TEST(Pce, AblationA2NoSnoopMeansNoMappingsAndDrops) {
+  auto config = pce_config();
+  config.spec.pce_snoop = false;
+  // SYN retries back off 3/6/12/24/48 s before a connection is abandoned;
+  // leave enough drain for the failures to be accounted.
+  config.drain = sim::SimDuration::seconds(120);
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  const auto& stats = experiment.internet().domain(0).pce->stats();
+  EXPECT_EQ(stats.replies_encapsulated, 0u);
+  EXPECT_EQ(stats.port_p_received, 0u);
+  // Without the snooped mapping distribution every packet misses, and with
+  // no on-demand resolution path either, connections fail outright.
+  EXPECT_GT(summary.miss_drops, 0u);
+  EXPECT_GT(summary.connect_failures, 0u);
+  EXPECT_EQ(summary.established, 0u);
+}
+
+TEST(Pce, AblationA3NoMulticastRisksReversePathDrops) {
+  auto with = pce_config();
+  auto without = pce_config();
+  without.spec.multicast_reverse = false;
+  const auto with_summary = Experiment(with).run();
+  const auto without_summary = Experiment(without).run();
+  EXPECT_EQ(with_summary.syn_retransmissions, 0u);
+  // Without multicast the reverse tuple only exists at the receiving ETR;
+  // return packets leaving via the other border miss.  (Gleaning at that
+  // same ETR cannot help the sibling.)
+  EXPECT_GT(without_summary.miss_drops + without_summary.syn_retransmissions,
+            0u);
+}
+
+TEST(Pce, ClaimIiPushSlackIsWithinDnsTime) {
+  Experiment experiment(pce_config());
+  const auto summary = experiment.run();
+  const auto& pce = *experiment.internet().domain(0).pce;
+  ASSERT_GT(pce.push_slack().count(), 0u);
+  // The Step-7b push happens between the Step-1 observation and the DNS
+  // answer reaching the host: mean slack must not exceed mean T_DNS.
+  EXPECT_LE(pce.push_slack().mean() / 1000.0, summary.t_dns_mean_ms + 0.5);
+  EXPECT_GT(pce.push_slack().mean(), 0.0);
+}
+
+TEST(Pce, DatabaseLearnsRemoteMappingsAndPeers) {
+  Experiment experiment(pce_config());
+  experiment.run();
+  auto& internet = experiment.internet();
+  auto& pce0 = *internet.domain(0).pce;
+  EXPECT_GT(pce0.database_size(), 0u);
+  const auto* remote =
+      pce0.find_remote(internet.domain(1).hosts[0]->address());
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->pce_address, internet.domain(1).pce->address());
+  EXPECT_EQ(remote->entry.eid_prefix, internet.domain(1).eid_prefix);
+}
+
+TEST(Pce, ReverseUpdatesReachThePceDatabase) {
+  Experiment experiment(pce_config());
+  experiment.run();
+  // Destination-domain PCEs hear about reverse mappings via ETR multicast.
+  std::uint64_t reverse_updates = 0;
+  for (auto& dom : experiment.internet().domains()) {
+    reverse_updates += dom.pce->stats().reverse_updates;
+  }
+  EXPECT_GT(reverse_updates, 0u);
+}
+
+TEST(Pce, ReoptimizeRepushesActiveFlows) {
+  Experiment experiment(pce_config());
+  experiment.run();
+  auto& dom = experiment.internet().domain(0);
+  const auto pushed_before = dom.pce->stats().tuples_pushed;
+  const auto moved = dom.control_plane->reoptimize();
+  EXPECT_GT(moved, 0u);
+  EXPECT_GT(dom.pce->stats().tuples_pushed, pushed_before);
+}
+
+TEST(Pce, WarmDnsCacheStillConfiguresFlows) {
+  // Slow the arrival rate so the resolver cache stays warm between sessions
+  // of different hosts to the same destination: the second host's flow must
+  // be configured through the warm-cache snoop path (no port-P message).
+  auto config = pce_config();
+  config.traffic.zipf_alpha = 5.0;  // essentially one hot destination
+  config.traffic.sessions_per_second = 4;
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  EXPECT_EQ(summary.miss_drops, 0u);
+  EXPECT_EQ(summary.syn_retransmissions, 0u);
+  const auto& stats = experiment.internet().domain(0).pce->stats();
+  // More flows configured than port-P messages received: the extras came
+  // from the warm path.
+  EXPECT_GT(stats.flows_configured, stats.port_p_received);
+}
+
+TEST(Pce, OnDemandPcepConfiguresFlowsWithoutSnooping) {
+  // A5: snooping off, PCEP on.  Every mapping must be acquired by explicit
+  // PCReq/PCRep; flows still get configured and port P stays silent.
+  auto config = pce_config();
+  config.spec.pce_snoop = false;
+  config.spec.pce_on_demand = true;
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  EXPECT_GT(summary.sessions, 0u);
+
+  const auto& stats = experiment.internet().domain(0).pce->stats();
+  EXPECT_EQ(stats.replies_encapsulated, 0u) << "Step 6 disabled";
+  EXPECT_EQ(stats.port_p_received, 0u) << "no port-P transport in this arm";
+  EXPECT_GT(stats.pcep_requests, 0u);
+  EXPECT_GT(stats.pcep_mappings_learned, 0u);
+  EXPECT_EQ(stats.pcep_failures, 0u);
+  EXPECT_GT(stats.flows_configured, 0u);
+  // Destination-side PCEs answered those requests over their sessions.
+  std::uint64_t served = 0;
+  for (std::size_t d = 1; d < 3; ++d) {
+    auto& dst = *experiment.internet().domain(d).pce;
+    served += dst.pcep_session(experiment.internet().domain(0).pce->address())
+                  .stats()
+                  .requests_served;
+  }
+  EXPECT_GT(served, 0u);
+}
+
+TEST(Pce, OnDemandPcepIsSlowerThanSnoopingButFasterThanPull) {
+  // The transport ablation's headline ordering on a fixed small workload.
+  auto snoop_config = pce_config();
+  Experiment snoop(snoop_config);
+  const auto s = snoop.run();
+
+  auto pcep_config = pce_config();
+  pcep_config.spec.pce_snoop = false;
+  pcep_config.spec.pce_on_demand = true;
+  Experiment pcep(pcep_config);
+  const auto p = pcep.run();
+
+  // Snooping pre-positions mappings: no misses at all.  On-demand PCEP
+  // leaves a window of one PCE RTT after the DNS answer; some first packets
+  // race into it, but far fewer than with no control plane at all.
+  EXPECT_EQ(s.miss_events, 0u);
+  EXPECT_GE(p.miss_events, s.miss_events);
+  EXPECT_EQ(p.dns_failures, 0u);
+  EXPECT_GT(p.established, 0u);
+}
+
+}  // namespace
+}  // namespace lispcp

@@ -1,0 +1,331 @@
+// Tests for pcep/session: handshake FSM (active/passive), keepalive and
+// dead-timer supervision, request/reply correlation, timeout + retry, and
+// teardown semantics.  Two sessions are wired back-to-back through the
+// simulator with a configurable one-way delay and per-direction drop
+// switches (lossy-transport injection).
+#include <gtest/gtest.h>
+
+#include "pcep/session.hpp"
+
+namespace lispcp::pcep {
+namespace {
+
+lisp::MapEntry mapping_for(net::Ipv4Address eid) {
+  lisp::MapEntry entry;
+  entry.eid_prefix = net::Ipv4Prefix(eid, 24);
+  entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 0, 1), 1, 100, true}};
+  return entry;
+}
+
+struct Pair {
+  explicit Pair(SessionConfig config = fast_config()) {
+    a = std::make_unique<Session>(sim, config, [this](auto message) {
+      if (drop_a_to_b) return;
+      sim.schedule(delay, [this, message] { b->on_message(*message); });
+    });
+    b = std::make_unique<Session>(sim, config, [this](auto message) {
+      if (drop_b_to_a) return;
+      sim.schedule(delay, [this, message] { a->on_message(*message); });
+    });
+  }
+
+  /// Short timers so dead-timer tests stay cheap.
+  static SessionConfig fast_config() {
+    SessionConfig config;
+    config.keepalive = sim::SimDuration::seconds(1);
+    config.dead_factor = 4;
+    config.open_retry = sim::SimDuration::millis(500);
+    config.max_open_retries = 3;
+    config.request_timeout = sim::SimDuration::millis(200);
+    config.max_request_retries = 2;
+    return config;
+  }
+
+  void handshake() {
+    a->open();
+    sim.run();
+    ASSERT_EQ(a->state(), SessionState::kUp);
+    ASSERT_EQ(b->state(), SessionState::kUp);
+  }
+
+  sim::Simulator sim;
+  sim::SimDuration delay = sim::SimDuration::millis(10);
+  bool drop_a_to_b = false;
+  bool drop_b_to_a = false;
+  std::unique_ptr<Session> a;
+  std::unique_ptr<Session> b;
+};
+
+TEST(PcepSession, ActiveOpenCompletesHandshake) {
+  Pair pair;
+  EXPECT_EQ(pair.a->state(), SessionState::kIdle);
+  pair.a->open();
+  EXPECT_EQ(pair.a->state(), SessionState::kOpenWait);
+  pair.sim.run();
+  EXPECT_EQ(pair.a->state(), SessionState::kUp);
+  EXPECT_EQ(pair.b->state(), SessionState::kUp);
+  // Each side sent exactly one Open (no retries needed on a clean link).
+  EXPECT_EQ(pair.a->stats().opens_sent, 1u);
+  EXPECT_EQ(pair.b->stats().opens_sent, 1u);
+}
+
+TEST(PcepSession, PassiveSideAnswersWithItsOwnOpen) {
+  Pair pair;
+  pair.a->open();
+  pair.sim.run();
+  // b never called open() yet reaches Up: the incoming Open triggered its own.
+  EXPECT_EQ(pair.b->state(), SessionState::kUp);
+  EXPECT_GE(pair.b->stats().keepalives_sent, 1u);
+}
+
+TEST(PcepSession, OpenIsIdempotent) {
+  Pair pair;
+  pair.a->open();
+  pair.a->open();  // second call must not double-send
+  pair.sim.run();
+  EXPECT_EQ(pair.a->stats().opens_sent, 1u);
+}
+
+TEST(PcepSession, RequestReplyDeliversMapping) {
+  Pair pair;
+  pair.b->set_mapping_provider(
+      [](net::Ipv4Address eid) { return mapping_for(eid); });
+  pair.handshake();
+
+  const auto eid = net::Ipv4Address(100, 64, 2, 10);
+  std::optional<lisp::MapEntry> received;
+  pair.a->request_mapping(eid, [&](auto mapping) { received = mapping; });
+  pair.sim.run();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->eid_prefix, net::Ipv4Prefix(eid, 24));
+  EXPECT_EQ(pair.a->stats().replies_received, 1u);
+  EXPECT_EQ(pair.b->stats().requests_served, 1u);
+  EXPECT_EQ(pair.a->outstanding_requests(), 0u);
+}
+
+TEST(PcepSession, RequestBeforeHandshakeIsQueuedAndAutoOpens) {
+  Pair pair;
+  pair.b->set_mapping_provider(
+      [](net::Ipv4Address eid) { return mapping_for(eid); });
+  bool answered = false;
+  // Neither side has opened: the request must trigger the handshake itself.
+  pair.a->request_mapping(net::Ipv4Address(100, 64, 2, 10),
+                          [&](auto mapping) { answered = mapping.has_value(); });
+  EXPECT_EQ(pair.a->outstanding_requests(), 1u);
+  pair.sim.run();
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(pair.a->state(), SessionState::kUp);
+}
+
+TEST(PcepSession, MissingProviderYieldsNoPath) {
+  Pair pair;  // b has no mapping provider
+  pair.handshake();
+  std::optional<lisp::MapEntry> received = mapping_for(net::Ipv4Address());
+  bool called = false;
+  pair.a->request_mapping(net::Ipv4Address(100, 64, 2, 10), [&](auto mapping) {
+    called = true;
+    received = mapping;
+  });
+  pair.sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(received.has_value());
+  EXPECT_EQ(pair.a->stats().no_paths_received, 1u);
+}
+
+TEST(PcepSession, ConcurrentRequestsCorrelateIndependently) {
+  Pair pair;
+  pair.b->set_mapping_provider(
+      [](net::Ipv4Address eid) { return mapping_for(eid); });
+  pair.handshake();
+
+  std::vector<net::Ipv4Prefix> answers;
+  for (int i = 0; i < 5; ++i) {
+    pair.a->request_mapping(net::Ipv4Address(100, 64, 10 + i, 1),
+                            [&answers](auto mapping) {
+                              ASSERT_TRUE(mapping.has_value());
+                              answers.push_back(mapping->eid_prefix);
+                            });
+  }
+  pair.sim.run();
+  ASSERT_EQ(answers.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(answers[i],
+              net::Ipv4Prefix(net::Ipv4Address(100, 64, 10 + i, 1), 24));
+  }
+}
+
+TEST(PcepSession, RequestTimeoutRetriesThenFails) {
+  Pair pair;
+  pair.handshake();
+  pair.drop_a_to_b = true;  // requests vanish from here on
+
+  bool called = false;
+  std::optional<lisp::MapEntry> received;
+  pair.a->request_mapping(net::Ipv4Address(100, 64, 2, 10), [&](auto mapping) {
+    called = true;
+    received = mapping;
+  });
+  pair.sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(received.has_value());
+  // Initial send + max_request_retries retransmissions, each timing out.
+  EXPECT_EQ(pair.a->stats().requests_sent, 3u);
+  EXPECT_EQ(pair.a->stats().request_timeouts, 3u);
+  EXPECT_EQ(pair.a->stats().requests_failed, 1u);
+  EXPECT_EQ(pair.a->outstanding_requests(), 0u);
+}
+
+TEST(PcepSession, OpenRetriesThenGivesUp) {
+  Pair pair;
+  pair.drop_a_to_b = true;
+  pair.drop_b_to_a = true;
+  bool called = false;
+  pair.a->request_mapping(net::Ipv4Address(100, 64, 2, 10),
+                          [&](auto mapping) { called = !mapping.has_value(); });
+  pair.sim.run();
+  EXPECT_EQ(pair.a->state(), SessionState::kClosed);
+  EXPECT_EQ(pair.a->stats().opens_sent, 1u + 3u);  // initial + max retries
+  EXPECT_TRUE(called) << "queued request must fail when the open gives up";
+}
+
+TEST(PcepSession, DeadTimerExpiresWhenPeerGoesSilent) {
+  Pair pair;
+  pair.handshake();
+  // Sever both directions; keepalives stop arriving.
+  pair.drop_a_to_b = true;
+  pair.drop_b_to_a = true;
+  // Dead timer = keepalive * 4 = 4s; give it room.
+  pair.sim.run_for(sim::SimDuration::seconds(10));
+  EXPECT_EQ(pair.a->state(), SessionState::kClosed);
+  EXPECT_EQ(pair.b->state(), SessionState::kClosed);
+  EXPECT_EQ(pair.a->stats().dead_timer_expiries, 1u);
+}
+
+TEST(PcepSession, KeepalivesSustainAnIdleSession) {
+  Pair pair;
+  pair.handshake();
+  pair.sim.run_for(sim::SimDuration::seconds(30));  // 7+ dead intervals idle
+  EXPECT_EQ(pair.a->state(), SessionState::kUp);
+  EXPECT_EQ(pair.b->state(), SessionState::kUp);
+  EXPECT_EQ(pair.a->stats().dead_timer_expiries, 0u);
+  EXPECT_GE(pair.a->stats().keepalives_received, 25u);
+}
+
+TEST(PcepSession, CloseSendsCloseAndFailsOutstanding) {
+  Pair pair;
+  pair.handshake();
+  pair.drop_b_to_a = true;  // replies lost: the request stays outstanding
+  bool failed = false;
+  pair.a->request_mapping(net::Ipv4Address(100, 64, 2, 10),
+                          [&](auto mapping) { failed = !mapping.has_value(); });
+  pair.a->close(Close::Reason::kNoExplanation);
+  EXPECT_EQ(pair.a->state(), SessionState::kClosed);
+  EXPECT_TRUE(failed);
+  pair.sim.run();
+  EXPECT_EQ(pair.b->state(), SessionState::kClosed) << "peer honours Close";
+}
+
+TEST(PcepSession, RequestOnClosedSessionFailsAsynchronously) {
+  Pair pair;
+  pair.a->close(Close::Reason::kNoExplanation);
+  bool called = false;
+  pair.a->request_mapping(net::Ipv4Address(100, 64, 2, 10),
+                          [&](auto mapping) { called = !mapping.has_value(); });
+  EXPECT_FALSE(called) << "failure must not re-enter the caller synchronously";
+  pair.sim.run();
+  EXPECT_TRUE(called);
+}
+
+TEST(PcepSession, DuplicateOpenOnUpSessionRaisesError) {
+  Pair pair;
+  pair.handshake();
+  const auto errors_before = pair.b->stats().errors_received;
+  pair.a->on_message(Open(30, 120, 9));  // stray Open into an Up session
+  pair.sim.run();
+  EXPECT_EQ(pair.a->stats().errors_sent, 1u);
+  EXPECT_EQ(pair.b->stats().errors_received, errors_before + 1);
+  EXPECT_EQ(pair.a->state(), SessionState::kUp) << "error is non-fatal";
+}
+
+TEST(PcepSession, UnmatchedReplyRaisesError) {
+  Pair pair;
+  pair.handshake();
+  pair.a->on_message(MapComputationReply(4242));
+  EXPECT_EQ(pair.a->stats().errors_sent, 1u);
+}
+
+TEST(PcepSession, InvalidConfigIsRejected) {
+  sim::Simulator sim;
+  EXPECT_THROW(Session(sim, SessionConfig{}, nullptr), std::invalid_argument);
+  SessionConfig bad;
+  bad.dead_factor = 0;
+  EXPECT_THROW(Session(sim, bad, [](auto) {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Lossy-transport property sweep: under any loss rate, every request ends
+// in exactly one terminal outcome (answered or failed), nothing hangs, and
+// the retry accounting stays consistent.
+
+class PcepLossProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PcepLossProperty, EveryRequestTerminatesExactlyOnce) {
+  const double loss = GetParam();
+  SessionConfig config = Pair::fast_config();
+  Pair pair(config);
+  sim::Rng rng(42);
+  // Re-wire both directions through a lossy pipe.
+  pair.a = std::make_unique<Session>(pair.sim, config, [&](auto message) {
+    if (rng.chance(loss)) return;
+    pair.sim.schedule(pair.delay, [&pair, message] { pair.b->on_message(*message); });
+  });
+  pair.b = std::make_unique<Session>(pair.sim, config, [&](auto message) {
+    if (rng.chance(loss)) return;
+    pair.sim.schedule(pair.delay, [&pair, message] { pair.a->on_message(*message); });
+  });
+  pair.b->set_mapping_provider(
+      [](net::Ipv4Address eid) { return mapping_for(eid); });
+
+  constexpr int kRequests = 40;
+  int answered = 0, failed = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    pair.a->request_mapping(net::Ipv4Address(100, 64, 1, 1 + i),
+                            [&](auto mapping) {
+                              mapping.has_value() ? ++answered : ++failed;
+                            });
+  }
+  pair.sim.run();  // must terminate: every timer is bounded or daemon
+  EXPECT_EQ(answered + failed, kRequests)
+      << "each handler fires exactly once";
+  EXPECT_EQ(pair.a->outstanding_requests(), 0u);
+  if (loss == 0.0) {
+    EXPECT_EQ(failed, 0);
+  }
+  if (loss > 0.9) {
+    EXPECT_GT(failed, 0) << "a near-dead link must surface failures";
+  }
+  // Retry accounting: sends = first attempts that reached the wire plus
+  // retransmissions; never more than (retries+1) per request.
+  EXPECT_LE(pair.a->stats().requests_sent,
+            static_cast<std::uint64_t>(kRequests) *
+                (config.max_request_retries + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, PcepLossProperty,
+                         ::testing::Values(0.0, 0.05, 0.3, 0.95),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "loss" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST(PcepSession, StateNamesAreStable) {
+  EXPECT_EQ(to_string(SessionState::kIdle), "Idle");
+  EXPECT_EQ(to_string(SessionState::kOpenWait), "OpenWait");
+  EXPECT_EQ(to_string(SessionState::kKeepWait), "KeepWait");
+  EXPECT_EQ(to_string(SessionState::kUp), "Up");
+  EXPECT_EQ(to_string(SessionState::kClosed), "Closed");
+}
+
+}  // namespace
+}  // namespace lispcp::pcep

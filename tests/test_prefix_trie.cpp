@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/prefix_trie.hpp"
+
+namespace lispcp::net {
+namespace {
+
+TEST(PrefixTrie, EmptyLookupIsNull) {
+  PrefixTrie<int> trie;
+  EXPECT_EQ(trie.lookup(Ipv4Address(1, 2, 3, 4)), nullptr);
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, ExactAndCoveringLookup) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 1));
+  ASSERT_NE(trie.lookup(Ipv4Address(10, 200, 3, 4)), nullptr);
+  EXPECT_EQ(*trie.lookup(Ipv4Address(10, 200, 3, 4)), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Address(11, 0, 0, 1)), nullptr);
+}
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 8);
+  trie.insert(Ipv4Prefix::from_string("10.1.0.0/16"), 16);
+  trie.insert(Ipv4Prefix::from_string("10.1.2.0/24"), 24);
+  EXPECT_EQ(*trie.lookup(Ipv4Address(10, 1, 2, 3)), 24);
+  EXPECT_EQ(*trie.lookup(Ipv4Address(10, 1, 9, 9)), 16);
+  EXPECT_EQ(*trie.lookup(Ipv4Address(10, 9, 9, 9)), 8);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesWhenNothingElseDoes) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(), 0);
+  trie.insert(Ipv4Prefix::from_string("192.168.0.0/16"), 1);
+  EXPECT_EQ(*trie.lookup(Ipv4Address(8, 8, 8, 8)), 0);
+  EXPECT_EQ(*trie.lookup(Ipv4Address(192, 168, 1, 1)), 1);
+}
+
+TEST(PrefixTrie, InsertReplacesValue) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 2));
+  EXPECT_EQ(*trie.lookup(Ipv4Address(10, 0, 0, 1)), 2);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, EraseExactOnly) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 8);
+  trie.insert(Ipv4Prefix::from_string("10.1.0.0/16"), 16);
+  EXPECT_FALSE(trie.erase(Ipv4Prefix::from_string("10.2.0.0/16")));
+  EXPECT_TRUE(trie.erase(Ipv4Prefix::from_string("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+  // The /8 still covers what the /16 used to.
+  EXPECT_EQ(*trie.lookup(Ipv4Address(10, 1, 0, 1)), 8);
+  EXPECT_FALSE(trie.erase(Ipv4Prefix::from_string("10.1.0.0/16")));
+}
+
+TEST(PrefixTrie, FindExactDistinguishesLengths) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 8);
+  EXPECT_NE(trie.find_exact(Ipv4Prefix::from_string("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(trie.find_exact(Ipv4Prefix::from_string("10.0.0.0/16")), nullptr);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::host(Ipv4Address(1, 2, 3, 4)), 1);
+  EXPECT_NE(trie.lookup(Ipv4Address(1, 2, 3, 4)), nullptr);
+  EXPECT_EQ(trie.lookup(Ipv4Address(1, 2, 3, 5)), nullptr);
+}
+
+TEST(PrefixTrie, LookupWithPrefixReportsMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 8);
+  trie.insert(Ipv4Prefix::from_string("10.1.0.0/16"), 16);
+  auto match = trie.lookup_with_prefix(Ipv4Address(10, 1, 2, 3));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, Ipv4Prefix::from_string("10.1.0.0/16"));
+  EXPECT_EQ(*match->second, 16);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 1);
+  trie.insert(Ipv4Prefix::from_string("9.0.0.0/8"), 2);
+  trie.insert(Ipv4Prefix::from_string("10.1.0.0/16"), 3);
+  std::vector<Ipv4Prefix> seen;
+  trie.for_each([&](const Ipv4Prefix& p, const int&) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], Ipv4Prefix::from_string("9.0.0.0/8"));
+  EXPECT_EQ(seen[1], Ipv4Prefix::from_string("10.0.0.0/8"));
+  EXPECT_EQ(seen[2], Ipv4Prefix::from_string("10.1.0.0/16"));
+}
+
+TEST(PrefixTrie, Clear) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.lookup(Ipv4Address(10, 0, 0, 1)), nullptr);
+}
+
+TEST(PrefixTrie, MoveSemantics) {
+  PrefixTrie<int> a;
+  a.insert(Ipv4Prefix::from_string("10.0.0.0/8"), 1);
+  PrefixTrie<int> b = std::move(a);
+  EXPECT_EQ(*b.lookup(Ipv4Address(10, 0, 0, 1)), 1);
+}
+
+/// Property sweep: the trie must agree with a brute-force linear scan on
+/// random prefix tables across densities.
+class PrefixTrieProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixTrieProperty, MatchesLinearScan) {
+  const int prefix_count = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(prefix_count) * 7919);
+  PrefixTrie<int> trie;
+  std::vector<std::pair<Ipv4Prefix, int>> table;
+
+  for (int i = 0; i < prefix_count; ++i) {
+    const auto addr = Ipv4Address(static_cast<std::uint32_t>(rng()));
+    const int length = static_cast<int>(rng() % 33);
+    const Ipv4Prefix prefix(addr, length);
+    // Mirror trie replace semantics in the reference table.
+    auto existing = std::find_if(table.begin(), table.end(),
+                                 [&](const auto& e) { return e.first == prefix; });
+    if (existing != table.end()) {
+      existing->second = i;
+    } else {
+      table.emplace_back(prefix, i);
+    }
+    trie.insert(prefix, i);
+  }
+  EXPECT_EQ(trie.size(), table.size());
+
+  for (int probe = 0; probe < 500; ++probe) {
+    const auto addr = Ipv4Address(static_cast<std::uint32_t>(rng()));
+    const int* got = trie.lookup(addr);
+    // Brute force: most specific containing prefix, ties impossible.
+    const std::pair<Ipv4Prefix, int>* expected = nullptr;
+    for (const auto& entry : table) {
+      if (entry.first.contains(addr) &&
+          (expected == nullptr ||
+           entry.first.length() > expected->first.length())) {
+        expected = &entry;
+      }
+    }
+    if (expected == nullptr) {
+      EXPECT_EQ(got, nullptr) << addr.to_string();
+    } else {
+      ASSERT_NE(got, nullptr) << addr.to_string();
+      EXPECT_EQ(*got, expected->second) << addr.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, PrefixTrieProperty,
+                         ::testing::Values(1, 4, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace lispcp::net

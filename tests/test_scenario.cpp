@@ -1,0 +1,96 @@
+// Experiment-harness tests: traffic modes, drain semantics, summary
+// consistency, and the harness's determinism contract.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace lispcp::scenario {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.spec = topo::InternetSpec::preset(topo::ControlPlaneKind::kPce);
+  config.spec.domains = 4;
+  config.spec.hosts_per_domain = 2;
+  config.spec.seed = 77;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(10);
+  return config;
+}
+
+TEST(Experiment, SingleSourceOnlyDomainZeroOriginates) {
+  auto config = base_config();
+  config.mode = TrafficMode::kSingleSource;
+  Experiment experiment(config);
+  experiment.run();
+  auto& internet = experiment.internet();
+  // Only domain 0's PCE received port-P messages (it is the only source).
+  EXPECT_GT(internet.domain(0).pce->stats().port_p_received, 0u);
+  for (std::size_t d = 1; d < 4; ++d) {
+    EXPECT_EQ(internet.domain(d).pce->stats().port_p_received, 0u) << d;
+  }
+}
+
+TEST(Experiment, AllToAllEveryDomainOriginates) {
+  auto config = base_config();
+  config.mode = TrafficMode::kAllToAll;
+  config.traffic.sessions_per_second = 40;
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  ASSERT_GT(summary.sessions, 100u);
+  auto& internet = experiment.internet();
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_GT(internet.domain(d).pce->stats().dns_queries_observed, 0u) << d;
+  }
+  EXPECT_EQ(summary.established, summary.sessions);
+}
+
+TEST(Experiment, AllToAllSplitsAggregateRate) {
+  auto config = base_config();
+  config.mode = TrafficMode::kAllToAll;
+  config.traffic.sessions_per_second = 40;
+  config.traffic.duration = sim::SimDuration::seconds(20);
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  // Aggregate ~40/s over 20 s: the per-domain split must preserve the total.
+  EXPECT_NEAR(static_cast<double>(summary.sessions), 800.0, 120.0);
+}
+
+TEST(Experiment, SummaryWithoutRunIsEmpty) {
+  Experiment experiment(base_config());
+  const auto summary = experiment.summary();
+  EXPECT_EQ(summary.sessions, 0u);
+  EXPECT_EQ(summary.established, 0u);
+}
+
+TEST(Experiment, DrainAllowsLateHandshakes) {
+  // With zero drain, sessions started near the end of the arrival window
+  // cannot finish; the summary must reflect that honestly.
+  auto config = base_config();
+  config.drain = sim::SimDuration::nanos(0);
+  const auto no_drain = Experiment(config).run();
+  config.drain = sim::SimDuration::seconds(20);
+  const auto with_drain = Experiment(config).run();
+  EXPECT_EQ(with_drain.established, with_drain.sessions);
+  EXPECT_LE(no_drain.established, no_drain.sessions);
+}
+
+TEST(Experiment, FirstPacketLossRateDerivation) {
+  ExperimentSummary summary;
+  summary.sessions = 200;
+  summary.sessions_with_retransmission = 25;
+  EXPECT_DOUBLE_EQ(summary.first_packet_loss_rate(), 0.125);
+  ExperimentSummary empty;
+  EXPECT_DOUBLE_EQ(empty.first_packet_loss_rate(), 0.0);
+}
+
+TEST(Experiment, MaxSessionsAppliesPerMode) {
+  auto config = base_config();
+  config.mode = TrafficMode::kAllToAll;
+  config.traffic.max_sessions = 40;  // 10 per sending domain
+  const auto summary = Experiment(config).run();
+  EXPECT_EQ(summary.sessions, 40u);
+}
+
+}  // namespace
+}  // namespace lispcp::scenario

@@ -1,0 +1,326 @@
+// TunnelRouter unit tests over a hand-built miniature LISP path:
+//   src-host -- ITR -- core -- ETR -- dst-host
+// exercising encapsulation, miss policies, flow tuples (one-way tunnels),
+// decapsulation, gleaning and Map-Request answering.
+#include <gtest/gtest.h>
+
+#include "lisp/tunnel_router.hpp"
+#include "net/ports.hpp"
+
+namespace lispcp::lisp {
+namespace {
+
+const net::Ipv4Prefix kEidSpace = net::Ipv4Prefix::from_string("100.64.0.0/10");
+const net::Ipv4Prefix kSrcEids = net::Ipv4Prefix::from_string("100.64.0.0/24");
+const net::Ipv4Prefix kDstEids = net::Ipv4Prefix::from_string("100.64.1.0/24");
+const net::Ipv4Address kSrcHost(100, 64, 0, 10);
+const net::Ipv4Address kDstHost(100, 64, 1, 10);
+const net::Ipv4Address kItrRloc(10, 0, 0, 1);
+const net::Ipv4Address kItrRloc2(10, 0, 0, 2);
+const net::Ipv4Address kEtrRloc(10, 0, 1, 1);
+
+class Endpoint : public sim::Node {
+ public:
+  Endpoint(sim::Network& network, std::string name, net::Ipv4Address address)
+      : Node(network, std::move(name)) {
+    add_address(address);
+  }
+  void deliver(net::Packet packet) override { received.push_back(std::move(packet)); }
+  std::vector<net::Packet> received;
+};
+
+MapEntry dst_mapping() {
+  MapEntry entry;
+  entry.eid_prefix = kDstEids;
+  entry.rlocs = {Rloc{kEtrRloc, 1, 100, true}};
+  entry.ttl_seconds = 900;
+  return entry;
+}
+
+class TunnelRouterTest : public ::testing::Test {
+ protected:
+  explicit TunnelRouterTest(XtrConfig itr_extra = {}) : network_(sim_) {
+    src_host_ = &network_.make<Endpoint>("src", kSrcHost);
+    dst_host_ = &network_.make<Endpoint>("dst", kDstHost);
+    core_ = &network_.make<sim::Node>("core");
+
+    XtrConfig itr_cfg = itr_extra;
+    itr_cfg.itr_role = true;
+    itr_cfg.etr_role = true;
+    itr_cfg.local_eid_prefixes = {kSrcEids};
+    itr_cfg.eid_space = {kEidSpace};
+    itr_ = &network_.make<TunnelRouter>("itr", kItrRloc, itr_cfg);
+
+    XtrConfig etr_cfg;
+    etr_cfg.local_eid_prefixes = {kDstEids};
+    etr_cfg.eid_space = {kEidSpace};
+    etr_cfg.site_mappings = {dst_mapping()};
+    etr_ = &network_.make<TunnelRouter>("etr", kEtrRloc, etr_cfg);
+
+    sim::LinkConfig lan;
+    lan.delay = sim::SimDuration::micros(100);
+    sim::LinkConfig wan;
+    wan.delay = sim::SimDuration::millis(10);
+
+    network_.connect(src_host_->id(), itr_->id(), lan);
+    network_.connect(itr_->id(), core_->id(), wan);
+    network_.connect(core_->id(), etr_->id(), wan);
+    network_.connect(etr_->id(), dst_host_->id(), lan);
+
+    network_.add_route(src_host_->id(), net::Ipv4Prefix(), itr_->id());
+    network_.add_route(itr_->id(), net::Ipv4Prefix(), core_->id());
+    network_.add_host_route(core_->id(), kEtrRloc, etr_->id());
+    network_.add_host_route(core_->id(), kItrRloc, itr_->id());
+    network_.add_route(etr_->id(), kDstEids, dst_host_->id());
+    network_.add_route(etr_->id(), net::Ipv4Prefix(), core_->id());
+    network_.add_route(dst_host_->id(), net::Ipv4Prefix(), etr_->id());
+    network_.add_route(itr_->id(), kSrcEids, src_host_->id());
+  }
+
+  net::Packet data_packet(std::size_t bytes = 100) {
+    net::TcpHeader tcp;
+    tcp.src_port = 1234;
+    tcp.dst_port = 80;
+    return net::Packet::tcp(kSrcHost, kDstHost, tcp, bytes);
+  }
+
+  sim::Simulator sim_;
+  sim::Network network_;
+  Endpoint* src_host_ = nullptr;
+  Endpoint* dst_host_ = nullptr;
+  sim::Node* core_ = nullptr;
+  TunnelRouter* itr_ = nullptr;
+  TunnelRouter* etr_ = nullptr;
+};
+
+TEST_F(TunnelRouterTest, EncapDecapDeliversInnerPacket) {
+  itr_->install_mapping(dst_mapping());
+  src_host_->send(data_packet());
+  sim_.run();
+  ASSERT_EQ(dst_host_->received.size(), 1u);
+  const auto& delivered = dst_host_->received[0];
+  EXPECT_EQ(delivered.outer_ip().src, kSrcHost);
+  EXPECT_EQ(delivered.lisp(), nullptr);  // fully decapsulated
+  EXPECT_EQ(itr_->stats().encapsulated, 1u);
+  EXPECT_EQ(etr_->stats().decapsulated, 1u);
+  EXPECT_EQ(itr_->cache().stats().hits, 1u);
+}
+
+TEST_F(TunnelRouterTest, RlocSpaceTrafficForwardsNatively) {
+  // A packet to the ETR's RLOC itself is not EID traffic: no encapsulation.
+  src_host_->send(net::Packet::udp(kSrcHost, kEtrRloc, 1000,
+                                   net::ports::kLispControl,
+                                   std::make_shared<net::RawPayload>(10)));
+  sim_.run();
+  EXPECT_EQ(itr_->stats().data_seen, 0u);
+}
+
+TEST_F(TunnelRouterTest, LocalEidTrafficNotIntercepted) {
+  // Destination inside the ITR's own site: plain forwarding.
+  net::TcpHeader tcp;
+  auto p = net::Packet::tcp(kSrcHost, net::Ipv4Address(100, 64, 0, 20), tcp, 10);
+  src_host_->send(std::move(p));
+  sim_.run();
+  EXPECT_EQ(itr_->stats().data_seen, 0u);
+  EXPECT_EQ(itr_->stats().encapsulated, 0u);
+}
+
+TEST_F(TunnelRouterTest, MissWithDropPolicyDropsAndCounts) {
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_TRUE(dst_host_->received.empty());
+  EXPECT_EQ(itr_->stats().miss_events, 1u);
+  EXPECT_EQ(itr_->stats().miss_dropped, 1u);
+  EXPECT_EQ(network_.counters().drops_mapping_miss, 1u);
+}
+
+TEST_F(TunnelRouterTest, PushResolvesSubsequentPackets) {
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_TRUE(dst_host_->received.empty());
+  itr_->install_mapping(dst_mapping());
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_EQ(dst_host_->received.size(), 1u);
+}
+
+TEST_F(TunnelRouterTest, FlowTupleOverridesOuterSource) {
+  // Step 7b: the tuple carries RLOC_S = a *different* local RLOC, realising
+  // the paper's independent one-way tunnels (claim iii).
+  FlowMapping tuple;
+  tuple.source_eid = kSrcHost;
+  tuple.destination_eid = kDstHost;
+  tuple.source_rloc = kItrRloc2;  // not this ITR's own address
+  tuple.destination_rloc = kEtrRloc;
+  itr_->install_flow_mapping(tuple);
+
+  src_host_->send(data_packet());
+  sim_.run();
+  ASSERT_EQ(dst_host_->received.size(), 1u);
+  EXPECT_EQ(itr_->stats().flow_tuple_used, 1u);
+  // The ETR gleaned the reverse mapping with RLOC_S = the tuple's source.
+  auto gleaned = etr_->cache().lookup(kSrcHost, sim_.now());
+  ASSERT_TRUE(gleaned.has_value());
+  EXPECT_EQ(gleaned->rlocs[0].address, kItrRloc2);
+}
+
+TEST_F(TunnelRouterTest, FlowTupleTakesPrecedenceOverCache) {
+  itr_->install_mapping(dst_mapping());  // would choose kEtrRloc with own src
+  FlowMapping tuple;
+  tuple.source_eid = kSrcHost;
+  tuple.destination_eid = kDstHost;
+  tuple.source_rloc = kItrRloc2;
+  tuple.destination_rloc = kEtrRloc;
+  itr_->install_flow_mapping(tuple);
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_EQ(itr_->stats().flow_tuple_used, 1u);
+  EXPECT_EQ(itr_->cache().stats().hits, 0u);
+}
+
+TEST_F(TunnelRouterTest, StaleFlowTupleVersionIgnored) {
+  FlowMapping v2;
+  v2.source_eid = kSrcHost;
+  v2.destination_eid = kDstHost;
+  v2.source_rloc = kItrRloc;
+  v2.destination_rloc = kEtrRloc;
+  v2.version = 2;
+  itr_->install_flow_mapping(v2);
+
+  FlowMapping v1 = v2;
+  v1.source_rloc = kItrRloc2;
+  v1.version = 1;
+  itr_->install_flow_mapping(v1);  // stale: must not overwrite
+
+  const FlowMapping* current = itr_->find_flow_mapping(kSrcHost, kDstHost);
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->source_rloc, kItrRloc);
+  EXPECT_EQ(current->version, 2u);
+}
+
+TEST_F(TunnelRouterTest, EtrAnswersMapRequestDirectly) {
+  // ALT-style: request arrives at the ETR, reply goes straight to the ITR.
+  auto request = std::make_shared<MapRequest>(777, kDstHost, kItrRloc, false);
+  itr_->send(net::Packet::udp(kItrRloc, kEtrRloc, net::ports::kLispControl,
+                              net::ports::kLispControl, request));
+  sim_.run();
+  EXPECT_EQ(etr_->stats().map_requests_answered, 1u);
+  EXPECT_EQ(itr_->stats().map_replies_received, 1u);
+  // The mapping is now cached: data flows without further resolution.
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_EQ(dst_host_->received.size(), 1u);
+}
+
+TEST_F(TunnelRouterTest, GleaningEnablesReturnPathWithoutResolution) {
+  itr_->install_mapping(dst_mapping());
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_EQ(etr_->stats().gleaned, 1u);
+
+  // Return traffic: dst-host -> src-host encapsulates at the ETR (acting as
+  // ITR for the reverse flow) using the gleaned entry, with no miss.
+  net::TcpHeader tcp;
+  tcp.src_port = 80;
+  tcp.dst_port = 1234;
+  dst_host_->send(net::Packet::tcp(kDstHost, kSrcHost, tcp, 50));
+  sim_.run();
+  ASSERT_EQ(src_host_->received.size(), 1u);
+  EXPECT_EQ(etr_->stats().miss_events, 0u);
+  EXPECT_EQ(etr_->stats().encapsulated, 1u);
+}
+
+TEST_F(TunnelRouterTest, ReverseHookReportsFirstPacketOnly) {
+  int calls = 0;
+  bool last_first = false;
+  FlowMapping last_tuple;
+  etr_->set_reverse_mapping_hook(
+      [&](TunnelRouter&, const FlowMapping& reverse, bool first) {
+        ++calls;
+        last_first = first;
+        last_tuple = reverse;
+      });
+  itr_->install_mapping(dst_mapping());
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(last_first);
+  EXPECT_EQ(last_tuple.source_eid, kDstHost);       // return flow src
+  EXPECT_EQ(last_tuple.destination_eid, kSrcHost);  // return flow dst
+  EXPECT_EQ(last_tuple.destination_rloc, kItrRloc); // where to send it back
+
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_EQ(calls, 2);
+  EXPECT_FALSE(last_first);
+}
+
+TEST_F(TunnelRouterTest, MisdeliveredTunnelCounted) {
+  // Mapping pointing at the WRONG ETR (stale after a TE move): the ETR must
+  // refuse to forward an inner destination outside its site.
+  MapEntry wrong;
+  wrong.eid_prefix = net::Ipv4Prefix::from_string("100.64.2.0/24");
+  wrong.rlocs = {Rloc{kEtrRloc, 1, 100, true}};
+  itr_->install_mapping(wrong);
+  net::TcpHeader tcp;
+  auto p = net::Packet::tcp(kSrcHost, net::Ipv4Address(100, 64, 2, 10), tcp, 10);
+  src_host_->send(std::move(p));
+  sim_.run();
+  EXPECT_EQ(etr_->stats().not_local_after_decap, 1u);
+}
+
+TEST_F(TunnelRouterTest, AllRlocsDownFallsToMissPath) {
+  auto mapping = dst_mapping();
+  mapping.rlocs[0].reachable = false;
+  itr_->install_mapping(mapping);
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_TRUE(dst_host_->received.empty());
+  EXPECT_EQ(itr_->stats().miss_events, 1u);
+}
+
+// --- Queue palliative -------------------------------------------------------
+
+class QueuePolicyTest : public TunnelRouterTest {
+ protected:
+  QueuePolicyTest()
+      : TunnelRouterTest([] {
+          XtrConfig cfg;
+          cfg.miss_policy = MissPolicy::kQueue;
+          cfg.queue_capacity_per_eid = 3;
+          cfg.queue_timeout = sim::SimDuration::millis(500);
+          return cfg;
+        }()) {}
+};
+
+TEST_F(QueuePolicyTest, QueuedPacketsFlushOnPush) {
+  src_host_->send(data_packet());
+  src_host_->send(data_packet());
+  // Stop short of the 500 ms queue timeout: the push must win the race.
+  sim_.run_until(sim_.now() + sim::SimDuration::millis(50));
+  EXPECT_TRUE(dst_host_->received.empty());
+  EXPECT_EQ(itr_->stats().miss_queued, 2u);
+
+  itr_->install_mapping(dst_mapping());
+  sim_.run();
+  EXPECT_EQ(dst_host_->received.size(), 2u);
+  EXPECT_EQ(itr_->stats().queue_flushed, 2u);
+  EXPECT_EQ(itr_->queue_delay().count(), 2u);
+}
+
+TEST_F(QueuePolicyTest, QueueOverflowDropsTail) {
+  for (int i = 0; i < 5; ++i) src_host_->send(data_packet());
+  sim_.run_until(sim_.now() + sim::SimDuration::millis(10));
+  EXPECT_EQ(itr_->stats().miss_queued, 3u);
+  EXPECT_EQ(itr_->stats().queue_overflow_drops, 2u);
+}
+
+TEST_F(QueuePolicyTest, QueueTimesOutWithoutResolution) {
+  src_host_->send(data_packet());
+  sim_.run();
+  EXPECT_EQ(itr_->stats().queue_timeout_drops, 1u);
+  EXPECT_TRUE(dst_host_->received.empty());
+}
+
+}  // namespace
+}  // namespace lispcp::lisp
