@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "mapping/mapping_system.hpp"
 #include "metrics/table.hpp"
 #include "scenario/experiment.hpp"
 
@@ -25,14 +26,11 @@ inline void print_footer(const std::string& note) {
   std::cout << std::endl;
 }
 
-/// The five control planes compared throughout the evaluation.
-inline const std::vector<topo::ControlPlaneKind>& compared_control_planes() {
-  static const std::vector<topo::ControlPlaneKind> kinds = {
-      topo::ControlPlaneKind::kAltDrop,  topo::ControlPlaneKind::kAltQueue,
-      topo::ControlPlaneKind::kAltForward, topo::ControlPlaneKind::kCons,
-      topo::ControlPlaneKind::kNerd,     topo::ControlPlaneKind::kPce,
-  };
-  return kinds;
+/// The control planes compared throughout the evaluation: whatever the
+/// mapping-system registry marks as comparable.  A newly registered system
+/// shows up in every comparative bench without touching it.
+inline std::vector<topo::ControlPlaneKind> compared_control_planes() {
+  return mapping::MappingSystemFactory::instance().comparison_kinds();
 }
 
 }  // namespace lispcp::bench

@@ -4,10 +4,11 @@
 // The paper names ALT, CONS and NERD as "the current proposals" for the
 // LISP control plane; the MS/MR architecture was the fourth — and the one
 // the LISP community eventually standardized.  This bench extends the E1/E2
-// comparison with it: same workload and topology, five control planes, plus
-// MS-specific tables (proxy vs non-proxy resolution, shard balance, and the
-// standing registration-refresh overhead that push/pull hybrids pay even
-// when nobody sends traffic).
+// comparison with it: same workload and topology, every control plane in
+// the registry's comparison set, plus MS-specific tables (proxy vs
+// non-proxy resolution, shard balance, the standing registration-refresh
+// overhead that push/pull hybrids pay even when nobody sends traffic, and
+// the replicated Map-Resolver tier's latency/load scaling).
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -38,10 +39,7 @@ void comparison() {
   metrics::Table table({"control plane", "miss events", "drops",
                         "T_setup mean (ms)", "T_setup p95 (ms)",
                         "T_setup p99 (ms)"});
-  for (const auto kind :
-       {ControlPlaneKind::kAltDrop, ControlPlaneKind::kCons,
-        ControlPlaneKind::kNerd, ControlPlaneKind::kMapServer,
-        ControlPlaneKind::kPce}) {
+  for (const auto kind : bench::compared_control_planes()) {
     Experiment experiment(base_config(kind));
     const auto s = experiment.run();
     table.add_row({topo::to_string(kind), metrics::Table::integer(s.miss_events),
@@ -105,6 +103,42 @@ void shard_and_overhead() {
   table.print(std::cout);
 }
 
+void replica_tier() {
+  // The replicated-resolver tier (mapping::ReplicatedResolverSystem): how
+  // mean resolution latency and per-replica load behave as the resolver
+  // front end replicates out toward the sites.  Queue-at-ITR policy and
+  // all-to-all traffic so the front-end hop is measurable everywhere.
+  metrics::Table table({"MR replicas", "resolutions", "T_resol mean (ms)",
+                        "hottest MR (reqs)", "hottest MR share"});
+  for (const std::size_t replicas : {1u, 2u, 4u, 8u}) {
+    auto config = base_config(ControlPlaneKind::kMsReplicated);
+    config.spec.miss_policy = lisp::MissPolicy::kQueue;
+    config.spec.ms_replica_count = replicas;
+    config.mode = scenario::TrafficMode::kAllToAll;
+    config.traffic.sessions_per_second = 40;
+    Experiment experiment(config);
+    experiment.run();
+    const auto queue = experiment.internet().merged_queue_delay();
+    std::uint64_t total = 0, hottest = 0;
+    for (auto* mr : experiment.internet().map_resolvers()) {
+      total += mr->stats().requests_received;
+      hottest = std::max<std::uint64_t>(hottest, mr->stats().requests_received);
+    }
+    // Report what was actually built (the system clamps replicas to the
+    // domain count), never the requested knob.
+    table.add_row({metrics::Table::integer(
+                       experiment.internet().map_resolvers().size()),
+                   metrics::Table::integer(queue.count()),
+                   metrics::Table::num(queue.mean() / 1000.0),
+                   metrics::Table::integer(hottest),
+                   metrics::Table::percent(
+                       total ? static_cast<double>(hottest) /
+                                   static_cast<double>(total)
+                             : 0.0)});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -113,12 +147,14 @@ int main() {
       "E5", "Map-Server/Map-Resolver vs the paper's comparison set",
       "§1 \"current proposals for its control plane (e.g., ALT, CONS, "
       "NERD)\" — plus the one that shipped (draft-lisp-ms)");
-  std::cout << "\n-- Five control planes, identical workload --\n";
+  std::cout << "\n-- The registered control planes, identical workload --\n";
   lispcp::comparison();
   std::cout << "\n-- MS proxy-reply ablation --\n";
   lispcp::proxy_ablation();
   std::cout << "\n-- Sharding and standing registration overhead --\n";
   lispcp::shard_and_overhead();
+  std::cout << "\n-- Replicated Map-Resolver tier (nearest-replica pull) --\n";
+  lispcp::replica_tier();
   lispcp::bench::print_footer(
       "Shape check: MS/MR sits between ALT (no dedicated servers, full "
       "overlay traversal) and NERD (no misses, full database): it still "

@@ -20,11 +20,10 @@ int main(int argc, char** argv) {
   metrics::Table table({"control plane", "sessions", "miss events", "drops",
                         "SYN retx", "T_setup p50 (ms)", "T_setup p99 (ms)"});
 
-  for (auto kind :
-       {topo::ControlPlaneKind::kPlainIp, topo::ControlPlaneKind::kAltDrop,
-        topo::ControlPlaneKind::kAltQueue, topo::ControlPlaneKind::kAltForward,
-        topo::ControlPlaneKind::kCons, topo::ControlPlaneKind::kNerd,
-        topo::ControlPlaneKind::kMapServer, topo::ControlPlaneKind::kPce}) {
+  // Every registered mapping system, baselines included: the registry is
+  // the comparison set, so a newly registered control plane appears here
+  // without touching this file.
+  for (auto kind : mapping::MappingSystemFactory::instance().kinds()) {
     scenario::ExperimentConfig config;
     config.spec = topo::InternetSpec::preset(kind);
     config.spec.domains = 12;

@@ -35,7 +35,7 @@ void LinkHealthMonitor::start() {
 }
 
 void LinkHealthMonitor::hello_cycle() {
-  const std::uint64_t nonce = next_nonce_++;
+  const std::uint64_t nonce = nonces_.next();
   outstanding_nonce_ = nonce;
   ++stats_.hellos_sent;
   xtr_.send(net::Packet::udp(

@@ -29,6 +29,7 @@
 #include "irc/irc_engine.hpp"
 #include "lisp/tunnel_router.hpp"
 #include "net/echo.hpp"
+#include "net/flow.hpp"
 #include "sim/simulator.hpp"
 
 namespace lispcp::core {
@@ -85,7 +86,7 @@ class LinkHealthMonitor {
   bool started_ = false;
   bool up_ = true;
   std::uint32_t misses_ = 0;
-  std::uint64_t next_nonce_ = 1;
+  net::NonceSequence nonces_;
   std::uint64_t outstanding_nonce_ = 0;  ///< 0 = none in flight
   sim::SimTime last_transition_;
   LinkHealthStats stats_;

@@ -1,5 +1,6 @@
 #include "core/pce.hpp"
 
+#include "net/flow.hpp"
 #include "net/ports.hpp"
 
 namespace lispcp::core {
@@ -216,7 +217,7 @@ void Pce::configure_flow(net::Ipv4Address es, net::Ipv4Address ed,
     if (waiting.empty()) pending_queries_.erase(pending);
   }
 
-  const std::uint64_t key = (std::uint64_t{es.value()} << 32) | ed.value();
+  const std::uint64_t key = net::pair_key(es, ed);
   if (active_flows_.contains(key)) return;  // already configured
   if (auto tuple = make_tuple(es, ed, mapping)) {
     push_to_itrs({*tuple});
@@ -236,7 +237,7 @@ std::optional<lisp::FlowMapping> Pce::make_tuple(net::Ipv4Address es,
   tuple.source_rloc = irc_ != nullptr ? irc_->choose_ingress() : net::Ipv4Address();
   tuple.destination_rloc = chosen->address;
   tuple.version = next_version_++;
-  const std::uint64_t key = (std::uint64_t{es.value()} << 32) | ed.value();
+  const std::uint64_t key = net::pair_key(es, ed);
   active_flows_[key] = tuple;
   ++stats_.flows_configured;
   return tuple;
@@ -259,8 +260,7 @@ std::size_t Pce::reoptimize_flows() {
 void Pce::record_reverse_mapping(const lisp::FlowMapping& mapping) {
   ++stats_.reverse_updates;
   const std::uint64_t key =
-      (std::uint64_t{mapping.source_eid.value()} << 32) |
-      mapping.destination_eid.value();
+      net::pair_key(mapping.source_eid, mapping.destination_eid);
   auto it = active_flows_.find(key);
   if (it == active_flows_.end() || it->second.version <= mapping.version) {
     active_flows_[key] = mapping;

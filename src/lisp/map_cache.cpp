@@ -32,8 +32,10 @@ void MapCache::insert(const MapEntry& entry, sim::SimTime now) {
   const auto expiry = now + sim::SimDuration::seconds(entry.ttl_seconds);
   auto it = entries_.find(entry.eid_prefix);
   if (it != entries_.end()) {
+    unindex_rlocs(it->second.entry);
     it->second.entry = entry;
     it->second.expiry = expiry;
+    index_rlocs(entry);
     touch(it->second);
     ++stats_.updates;
     return;
@@ -41,6 +43,7 @@ void MapCache::insert(const MapEntry& entry, sim::SimTime now) {
   lru_.push_front(entry.eid_prefix);
   entries_.emplace(entry.eid_prefix, Stored{entry, expiry, lru_.begin()});
   index_.insert(entry.eid_prefix, entry.eid_prefix);
+  index_rlocs(entry);
   ++stats_.inserts;
   evict_if_needed();
 }
@@ -60,9 +63,13 @@ bool MapCache::set_rloc_reachability(const net::Ipv4Prefix& prefix,
 
 std::size_t MapCache::set_rloc_reachability_all(net::Ipv4Address rloc,
                                                 bool reachable) {
+  const auto indexed = rloc_index_.find(rloc);
+  if (indexed == rloc_index_.end()) return 0;
   std::size_t touched = 0;
-  for (auto& [prefix, stored] : entries_) {
-    for (auto& r : stored.entry.rlocs) {
+  for (const auto& prefix : indexed->second) {
+    auto it = entries_.find(prefix);
+    if (it == entries_.end()) continue;  // defensive; index mirrors entries_
+    for (auto& r : it->second.entry.rlocs) {
       if (r.address == rloc && r.reachable != reachable) {
         r.reachable = reachable;
         ++touched;
@@ -74,19 +81,23 @@ std::size_t MapCache::set_rloc_reachability_all(net::Ipv4Address rloc,
 
 std::vector<net::Ipv4Address> MapCache::distinct_rlocs() const {
   std::vector<net::Ipv4Address> out;
-  for (const auto& [prefix, stored] : entries_) {
-    for (const auto& rloc : stored.entry.rlocs) {
-      if (std::find(out.begin(), out.end(), rloc.address) == out.end()) {
-        out.push_back(rloc.address);
-      }
-    }
+  out.reserve(rloc_index_.size());
+  for (const auto& [rloc, prefixes] : rloc_index_) {
+    (void)prefixes;
+    out.push_back(rloc);
   }
   return out;
+}
+
+std::size_t MapCache::entries_referencing(net::Ipv4Address rloc) const {
+  const auto it = rloc_index_.find(rloc);
+  return it == rloc_index_.end() ? 0 : it->second.size();
 }
 
 bool MapCache::erase(const net::Ipv4Prefix& prefix) {
   auto it = entries_.find(prefix);
   if (it == entries_.end()) return false;
+  unindex_rlocs(it->second.entry);
   lru_.erase(it->second.lru_position);
   index_.erase(prefix);
   entries_.erase(it);
@@ -97,6 +108,22 @@ void MapCache::clear() {
   entries_.clear();
   lru_.clear();
   index_.clear();
+  rloc_index_.clear();
+}
+
+void MapCache::index_rlocs(const MapEntry& entry) {
+  for (const auto& rloc : entry.rlocs) {
+    rloc_index_[rloc.address].insert(entry.eid_prefix);
+  }
+}
+
+void MapCache::unindex_rlocs(const MapEntry& entry) {
+  for (const auto& rloc : entry.rlocs) {
+    auto it = rloc_index_.find(rloc.address);
+    if (it == rloc_index_.end()) continue;
+    it->second.erase(entry.eid_prefix);
+    if (it->second.empty()) rloc_index_.erase(it);
+  }
 }
 
 void MapCache::touch(Stored& stored) {

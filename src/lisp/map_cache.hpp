@@ -11,6 +11,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "lisp/map_entry.hpp"
 #include "net/prefix_trie.hpp"
@@ -56,12 +57,17 @@ class MapCache {
 
   /// Marks `rloc` up/down in every entry that references it; returns the
   /// number of entries touched.  Used when locator-status propagation or a
-  /// failover controller reports a locator change.
+  /// failover controller reports a locator change.  O(entries referencing
+  /// `rloc`) via the reverse index — this is the failover hot path, and a
+  /// full-cache scan would melt at f2_rib_scaling cache sizes.
   std::size_t set_rloc_reachability_all(net::Ipv4Address rloc, bool reachable);
 
   /// Every distinct locator address referenced by live entries (the RLOC
   /// probing working set).
   [[nodiscard]] std::vector<net::Ipv4Address> distinct_rlocs() const;
+
+  /// Number of live entries whose RLOC set references `rloc`.
+  [[nodiscard]] std::size_t entries_referencing(net::Ipv4Address rloc) const;
 
   /// Removes the exact entry; returns true iff it existed.
   bool erase(const net::Ipv4Prefix& prefix);
@@ -81,11 +87,17 @@ class MapCache {
 
   void touch(Stored& stored);
   void evict_if_needed();
+  void index_rlocs(const MapEntry& entry);
+  void unindex_rlocs(const MapEntry& entry);
 
   std::size_t capacity_;
   net::PrefixTrie<net::Ipv4Prefix> index_;  ///< LPM -> exact key
   std::unordered_map<net::Ipv4Prefix, Stored> entries_;
   std::list<net::Ipv4Prefix> lru_;  ///< front = most recent
+  /// Reverse index: RLOC -> prefixes of entries referencing it, so locator
+  /// flaps touch only the affected entries.
+  std::unordered_map<net::Ipv4Address, std::unordered_set<net::Ipv4Prefix>>
+      rloc_index_;
   MapCacheStats stats_;
 };
 

@@ -1,0 +1,55 @@
+#include "lisp/resolution.hpp"
+
+#include <stdexcept>
+
+#include "lisp/tunnel_router.hpp"
+
+namespace lispcp::lisp {
+
+std::optional<net::Ipv4Address> ResolutionStrategy::data_forward_target(
+    const TunnelRouter& itr, net::Ipv4Address eid) const {
+  (void)itr;
+  (void)eid;
+  return std::nullopt;
+}
+
+void UnicastPullResolution::send_map_request(TunnelRouter& itr,
+                                             net::Ipv4Address eid,
+                                             std::uint64_t nonce,
+                                             int attempt) {
+  (void)attempt;
+  itr.emit_map_request(target_, eid, nonce, record_route_);
+}
+
+std::optional<net::Ipv4Address> UnicastPullResolution::data_forward_target(
+    const TunnelRouter& itr, net::Ipv4Address eid) const {
+  (void)itr;
+  (void)eid;
+  return target_;
+}
+
+ReplicaPullResolution::ReplicaPullResolution(
+    std::vector<net::Ipv4Address> replicas)
+    : replicas_(std::move(replicas)) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument("ReplicaPullResolution: no replicas");
+  }
+}
+
+void ReplicaPullResolution::send_map_request(TunnelRouter& itr,
+                                             net::Ipv4Address eid,
+                                             std::uint64_t nonce,
+                                             int attempt) {
+  const auto& replica =
+      replicas_[static_cast<std::size_t>(attempt) % replicas_.size()];
+  itr.emit_map_request(replica, eid, nonce, /*record_route=*/false);
+}
+
+std::optional<net::Ipv4Address> ReplicaPullResolution::data_forward_target(
+    const TunnelRouter& itr, net::Ipv4Address eid) const {
+  (void)itr;
+  (void)eid;
+  return replicas_.front();
+}
+
+}  // namespace lispcp::lisp

@@ -1,0 +1,110 @@
+// resolution.hpp — pluggable ITR miss-resolution strategies.
+//
+// What an ITR does when the map-cache misses is the property that separates
+// the mapping systems the paper compares: pull systems (ALT, CONS,
+// Map-Server) send a Map-Request somewhere and wait; push systems (NERD,
+// PCE) have no on-demand path at all — a miss either waits for the next
+// push or times out.  The seed entangled both modes in XtrConfig fields
+// (`overlay_attachment`, `record_route`); this seam makes the mapping
+// system install the behaviour instead: mapping::MappingSystem::attach_itr
+// hands each tunnel router a ResolutionStrategy, and the router's
+// pending-nonce machinery (retries, queue flush, give-up) stays generic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace lispcp::lisp {
+
+class TunnelRouter;
+
+class ResolutionStrategy {
+ public:
+  virtual ~ResolutionStrategy() = default;
+
+  /// Strategy tag for traces and tests.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// True when an on-demand resolution path exists.  Push-only systems
+  /// return false: the ITR arms no Map-Request retries and a miss is
+  /// resolved only by a later push (or dropped at the queue timeout).
+  [[nodiscard]] virtual bool pull() const noexcept = 0;
+
+  /// Emits one Map-Request for `eid` from `itr`.  `attempt` is 0 for the
+  /// first transmission and counts retries after that.  Only called when
+  /// pull() is true (push-only strategies stub it out).
+  virtual void send_map_request(TunnelRouter& itr, net::Ipv4Address eid,
+                                std::uint64_t nonce, int attempt) = 0;
+
+  /// Where MissPolicy::kForwardOverlay tunnels data packets while the
+  /// mapping resolves; nullopt = the system has no data plane for misses,
+  /// so the packet is dropped.
+  [[nodiscard]] virtual std::optional<net::Ipv4Address> data_forward_target(
+      const TunnelRouter& itr, net::Ipv4Address eid) const;
+};
+
+/// NERD / PCE / plain-IP: mappings arrive by push only.
+class PushOnlyResolution final : public ResolutionStrategy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "push-only"; }
+  [[nodiscard]] bool pull() const noexcept override { return false; }
+  void send_map_request(TunnelRouter&, net::Ipv4Address, std::uint64_t,
+                        int) override {}  // unreachable: pull() is false
+};
+
+/// ALT / CONS / Map-Server: Map-Requests go to one fixed attachment point
+/// (the regional overlay leaf, or the site's Map-Resolver shard).  CONS
+/// sets `record_route` so replies retrace the overlay tree.
+class UnicastPullResolution : public ResolutionStrategy {
+ public:
+  explicit UnicastPullResolution(net::Ipv4Address target,
+                                 bool record_route = false)
+      : target_(target), record_route_(record_route) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return record_route_ ? "unicast-pull(record-route)" : "unicast-pull";
+  }
+  [[nodiscard]] bool pull() const noexcept override { return true; }
+  void send_map_request(TunnelRouter& itr, net::Ipv4Address eid,
+                        std::uint64_t nonce, int attempt) override;
+  [[nodiscard]] std::optional<net::Ipv4Address> data_forward_target(
+      const TunnelRouter& itr, net::Ipv4Address eid) const override;
+
+  [[nodiscard]] net::Ipv4Address target() const noexcept { return target_; }
+  [[nodiscard]] bool record_route() const noexcept { return record_route_; }
+
+ private:
+  net::Ipv4Address target_;
+  bool record_route_;
+};
+
+/// Replicated Map-Resolver tier: `replicas` is ordered nearest-first for
+/// this ITR (the mapping system computes distances from the topology when
+/// it attaches the strategy).  The first transmission goes to the nearest
+/// replica; each retry rotates to the next one, so a dead or unreachable
+/// replica costs one request timeout, not the session.
+class ReplicaPullResolution final : public ResolutionStrategy {
+ public:
+  explicit ReplicaPullResolution(std::vector<net::Ipv4Address> replicas);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "replica-pull";
+  }
+  [[nodiscard]] bool pull() const noexcept override { return true; }
+  void send_map_request(TunnelRouter& itr, net::Ipv4Address eid,
+                        std::uint64_t nonce, int attempt) override;
+  [[nodiscard]] std::optional<net::Ipv4Address> data_forward_target(
+      const TunnelRouter& itr, net::Ipv4Address eid) const override;
+
+  [[nodiscard]] const std::vector<net::Ipv4Address>& replicas() const noexcept {
+    return replicas_;
+  }
+
+ private:
+  std::vector<net::Ipv4Address> replicas_;  ///< nearest first
+};
+
+}  // namespace lispcp::lisp

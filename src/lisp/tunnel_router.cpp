@@ -89,7 +89,7 @@ void TunnelRouter::encapsulate_and_send(net::Packet inner,
                                         std::uint32_t lsb) {
   ++stats_.encapsulated;
   net::LispHeader shim;
-  shim.nonce = static_cast<std::uint32_t>(next_nonce_++ & 0xFFFFFF);
+  shim.nonce = static_cast<std::uint32_t>(nonces_.next() & 0xFFFFFF);
   shim.locator_status_bits = lsb;
   net::UdpHeader udp;
   // Source port derived from the inner flow for core ECMP friendliness.
@@ -110,6 +110,7 @@ void TunnelRouter::encapsulate_and_send(net::Packet inner,
 }
 
 void TunnelRouter::on_miss(net::Packet packet, net::Ipv4Address eid) {
+  const bool can_pull = resolution_ != nullptr && resolution_->pull();
   auto it = pending_.find(eid);
   const bool new_resolution = (it == pending_.end());
   if (new_resolution) {
@@ -117,7 +118,7 @@ void TunnelRouter::on_miss(net::Packet packet, net::Ipv4Address eid) {
     PendingResolution pending;
     pending.started = sim().now();
     it = pending_.emplace(eid, std::move(pending)).first;
-    if (config_.overlay_attachment.has_value()) {
+    if (can_pull) {
       send_map_request(eid, it->second);
     }
   }
@@ -143,7 +144,7 @@ void TunnelRouter::on_miss(net::Packet packet, net::Ipv4Address eid) {
 
   // Without any resolution path (NERD between pushes, or a PCE push that has
   // not arrived yet), the pending entry would leak; time it out.
-  if (new_resolution && !config_.overlay_attachment.has_value()) {
+  if (new_resolution && !can_pull) {
     it->second.timer = sim().schedule(config_.queue_timeout, [this, eid] {
       auto found = pending_.find(eid);
       if (found == pending_.end()) return;
@@ -158,20 +159,25 @@ void TunnelRouter::on_miss(net::Packet packet, net::Ipv4Address eid) {
 
 void TunnelRouter::send_map_request(net::Ipv4Address eid,
                                     PendingResolution& pending) {
-  pending.nonce = next_nonce_++;
+  pending.nonce = nonces_.next();
+  resolution_->send_map_request(*this, eid, pending.nonce, pending.retries);
+  pending.timer = sim().schedule(config_.request_timeout,
+                                 [this, eid] { on_request_timeout(eid); });
+}
+
+void TunnelRouter::emit_map_request(net::Ipv4Address target,
+                                    net::Ipv4Address eid, std::uint64_t nonce,
+                                    bool record_route) {
   ++stats_.map_requests_sent;
-  std::shared_ptr<const MapRequest> request = std::make_shared<MapRequest>(
-      pending.nonce, eid, rloc(), config_.record_route);
-  if (config_.record_route) {
+  std::shared_ptr<const MapRequest> request =
+      std::make_shared<MapRequest>(nonce, eid, rloc(), record_route);
+  if (record_route) {
     // Seed the recorded path with ourselves so the relayed reply's final
     // hop knows where to deliver it (CONS semantics).
     request = request->with_hop(rloc());
   }
-  send(net::Packet::udp(rloc(), *config_.overlay_attachment,
-                        net::ports::kLispControl, net::ports::kLispControl,
-                        std::move(request)));
-  pending.timer = sim().schedule(config_.request_timeout,
-                                 [this, eid] { on_request_timeout(eid); });
+  send(net::Packet::udp(rloc(), target, net::ports::kLispControl,
+                        net::ports::kLispControl, std::move(request)));
 }
 
 void TunnelRouter::on_request_timeout(net::Ipv4Address eid) {
@@ -193,7 +199,11 @@ void TunnelRouter::on_request_timeout(net::Ipv4Address eid) {
 }
 
 void TunnelRouter::forward_via_overlay(net::Packet packet) {
-  if (!config_.overlay_attachment.has_value()) {
+  const auto target =
+      resolution_ != nullptr
+          ? resolution_->data_forward_target(*this, packet.outer_ip().dst)
+          : std::nullopt;
+  if (!target.has_value()) {
     ++stats_.miss_dropped;
     network().drop(sim::DropReason::kMappingMiss, packet);
     return;
@@ -203,7 +213,7 @@ void TunnelRouter::forward_via_overlay(net::Packet packet) {
   // hop by hop toward the registering ETR.
   net::Ipv4Header outer;
   outer.src = rloc();
-  outer.dst = *config_.overlay_attachment;
+  outer.dst = *target;
   outer.protocol = net::IpProto::kIpInIp;
   packet.push_outer(outer);
   sim().schedule(config_.processing_delay,
@@ -336,7 +346,7 @@ void TunnelRouter::glean(const net::Packet& outer, const net::Packet& inner) {
   const auto source_rloc = outer.outer_ip().src;
   if (!is_eid(source_eid) || is_local_eid(source_eid)) return;
 
-  const auto key = flow_key(inner.inner_ip().dst, source_eid);
+  const auto key = net::pair_key(inner.inner_ip().dst, source_eid);
   // "First" also covers a changed outer source RLOC mid-flow: when the
   // remote domain re-optimises its ingress (new RLOC_S in its Step-7b
   // tuples), the change must propagate through the same multicast path.
@@ -447,7 +457,7 @@ void TunnelRouter::install_mapping(const MapEntry& entry) {
 }
 
 void TunnelRouter::install_flow_mapping(const FlowMapping& mapping) {
-  const auto key = flow_key(mapping.source_eid, mapping.destination_eid);
+  const auto key = net::pair_key(mapping.source_eid, mapping.destination_eid);
   auto it = flow_table_.find(key);
   if (it != flow_table_.end() && it->second.version > mapping.version) {
     return;  // keep the newer tuple
@@ -470,7 +480,7 @@ void TunnelRouter::install_flow_mapping(const FlowMapping& mapping) {
 
 const FlowMapping* TunnelRouter::find_flow_mapping(
     net::Ipv4Address src_eid, net::Ipv4Address dst_eid) const {
-  auto it = flow_table_.find(flow_key(src_eid, dst_eid));
+  auto it = flow_table_.find(net::pair_key(src_eid, dst_eid));
   return it == flow_table_.end() ? nullptr : &it->second;
 }
 
@@ -498,7 +508,7 @@ void TunnelRouter::probe_cycle() {
 
 void TunnelRouter::send_probe(net::Ipv4Address rloc_addr) {
   ProbeState& state = probe_states_[rloc_addr];
-  state.outstanding_nonce = next_nonce_++;
+  state.outstanding_nonce = nonces_.next();
   ++stats_.probes_sent;
   auto probe = std::make_shared<RlocProbe>(state.outstanding_nonce,
                                            /*is_reply=*/false);

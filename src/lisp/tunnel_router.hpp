@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -30,7 +31,9 @@
 #include "lisp/control.hpp"
 #include "lisp/map_cache.hpp"
 #include "lisp/map_entry.hpp"
+#include "lisp/resolution.hpp"
 #include "metrics/histogram.hpp"
+#include "net/flow.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 
@@ -59,12 +62,6 @@ struct XtrConfig {
   std::size_t cache_capacity = 0;
 
   MissPolicy miss_policy = MissPolicy::kDrop;
-
-  /// Where Map-Requests (and overlay-forwarded data) enter the mapping
-  /// overlay; unset = no on-demand resolution (NERD / pure-PCE push modes).
-  std::optional<net::Ipv4Address> overlay_attachment;
-  /// CONS-style: overlay hops record the route and the reply retraces it.
-  bool record_route = false;
 
   /// ETR: install gleaned reverse mappings into the local map-cache
   /// (vanilla LISP behaviour that forces ingress==egress for return flows).
@@ -163,10 +160,20 @@ class TunnelRouter : public sim::Node {
     config_.site_mappings = std::move(mappings);
   }
 
-  /// (Re)points this ITR at a mapping overlay for on-demand resolution.
-  void set_overlay_attachment(std::optional<net::Ipv4Address> attachment) {
-    config_.overlay_attachment = attachment;
+  /// Installs the miss-resolution behaviour (the mapping system's side of
+  /// the ITR seam).  No strategy behaves as push-only: misses wait for a
+  /// push and time out otherwise.
+  void set_resolution_strategy(std::unique_ptr<ResolutionStrategy> strategy) {
+    resolution_ = std::move(strategy);
   }
+  [[nodiscard]] const ResolutionStrategy* resolution() const noexcept {
+    return resolution_.get();
+  }
+
+  /// Sends one Map-Request toward `target` (called by pull strategies; the
+  /// packet mechanics and stats stay inside the router).
+  void emit_map_request(net::Ipv4Address target, net::Ipv4Address eid,
+                        std::uint64_t nonce, bool record_route);
 
   /// Marks an RLOC up/down in every cached entry (reachability propagation).
   void set_rloc_reachability(net::Ipv4Address rloc, bool reachable);
@@ -231,21 +238,17 @@ class TunnelRouter : public sim::Node {
   void on_probe_timeout(net::Ipv4Address rloc, std::uint64_t nonce);
   void handle_probe(const net::Packet& packet, const RlocProbe& probe);
 
-  [[nodiscard]] static std::uint64_t flow_key(net::Ipv4Address src,
-                                              net::Ipv4Address dst) noexcept {
-    return (std::uint64_t{src.value()} << 32) | dst.value();
-  }
-
   XtrConfig config_;
   MapCache cache_;
   XtrStats stats_;
   metrics::Histogram queue_delay_;
+  std::unique_ptr<ResolutionStrategy> resolution_;
   std::unordered_map<std::uint64_t, FlowMapping> flow_table_;
   std::unordered_map<net::Ipv4Address, PendingResolution> pending_;
   /// Reverse-flow key -> last gleaned outer source RLOC (change detection).
   std::unordered_map<std::uint64_t, net::Ipv4Address> seen_reverse_flows_;
   ReverseMappingHook reverse_hook_;
-  std::uint64_t next_nonce_ = 1;
+  net::NonceSequence nonces_;
   std::uint64_t highest_push_generation_ = 0;
 
   struct ProbeState {

@@ -182,7 +182,7 @@ void EtrRegistrar::start() {
 void EtrRegistrar::register_now() {
   if (!running_) return;
   ++stats_.registers_sent;
-  auto reg = std::make_shared<lisp::MapRegister>(next_nonce_++,
+  auto reg = std::make_shared<lisp::MapRegister>(nonces_.next(),
                                                  config_.ttl_seconds, entries_);
   xtr_.send(net::Packet::udp(xtr_.rloc(), map_server_,
                              net::ports::kLispControl,

@@ -30,6 +30,7 @@
 
 #include "lisp/control.hpp"
 #include "lisp/tunnel_router.hpp"
+#include "net/flow.hpp"
 #include "net/prefix_trie.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
@@ -161,7 +162,7 @@ class EtrRegistrar {
   RegistrarConfig config_;
   bool started_ = false;
   bool running_ = true;
-  std::uint64_t next_nonce_ = 1;
+  net::NonceSequence nonces_;
   RegistrarStats stats_;
 };
 

@@ -1,0 +1,216 @@
+#include "mapping/mapping_system.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "lisp/resolution.hpp"
+#include "lisp/tunnel_router.hpp"
+#include "mapping/replicated_resolver.hpp"
+#include "mapping/systems.hpp"
+#include "topo/internet.hpp"
+
+namespace lispcp::mapping {
+
+const char* to_string(ControlPlaneKind kind) {
+  return MappingSystemFactory::instance().name(kind);
+}
+
+// ---------------------------------------------------------------------------
+// MappingSystem default lifecycle
+// ---------------------------------------------------------------------------
+
+void MappingSystem::configure_xtr(const topo::InternetSpec& spec,
+                                  lisp::XtrConfig& config) {
+  (void)spec;
+  (void)config;
+}
+
+void MappingSystem::attach_domain_dns(topo::Internet& internet,
+                                      topo::DomainHandle& dom) {
+  // Default attachment: resolver and authoritative server hang directly off
+  // the internal router.
+  auto& network = internet.network();
+  sim::Node& r = *dom.internal_router;
+
+  sim::LinkConfig dns_attach;
+  dns_attach.delay = sim::SimDuration::micros(50);
+  dns_attach.bandwidth_bps = internet.spec().lan_bandwidth_bps;
+
+  network.connect(r.id(), dom.resolver->id(), dns_attach);
+  network.connect(r.id(), dom.authoritative->id(), dns_attach);
+  network.add_host_route(r.id(), dom.resolver->address(), dom.resolver->id());
+  network.add_host_route(r.id(), dom.authoritative->address(),
+                         dom.authoritative->id());
+  network.add_route(dom.resolver->id(), net::Ipv4Prefix(), r.id());
+  network.add_route(dom.authoritative->id(), net::Ipv4Prefix(), r.id());
+}
+
+void MappingSystem::register_site(topo::Internet& internet,
+                                  topo::DomainHandle& dom,
+                                  const std::vector<lisp::MapEntry>& entries) {
+  (void)internet;
+  (void)dom;
+  (void)entries;
+}
+
+void MappingSystem::attach_itr(topo::Internet& internet,
+                               topo::DomainHandle& dom,
+                               lisp::TunnelRouter& itr) {
+  (void)internet;
+  (void)dom;
+  // Push systems (and the no-system baselines) have no on-demand path.
+  itr.set_resolution_strategy(std::make_unique<lisp::PushOnlyResolution>());
+}
+
+void MappingSystem::activate(topo::Internet& internet) { (void)internet; }
+
+MappingSystemStats MappingSystem::stats() const { return {}; }
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void register_builtins(MappingSystemFactory& factory) {
+  using Registration = MappingSystemFactory::Registration;
+  using Spec = topo::InternetSpec;
+
+  auto simple = [](auto make_system) {
+    return [make_system](const Spec& spec) -> std::unique_ptr<MappingSystem> {
+      (void)spec;
+      return make_system();
+    };
+  };
+
+  factory.register_kind(Registration{
+      ControlPlaneKind::kPlainIp, "plain-ip", /*in_comparison_set=*/false,
+      nullptr, simple([] { return std::make_unique<PlainIpSystem>(); })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kNoMapping, "lisp-none", /*in_comparison_set=*/false,
+      nullptr, simple([] { return std::make_unique<NoMappingSystem>(); })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kAltDrop, "lisp-alt(drop)", true,
+      [](Spec& spec) { spec.miss_policy = lisp::MissPolicy::kDrop; },
+      simple([] {
+        return std::make_unique<AltOverlaySystem>(ControlPlaneKind::kAltDrop,
+                                                  OverlayMode::kAlt);
+      })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kAltQueue, "lisp-alt(queue)", true,
+      [](Spec& spec) { spec.miss_policy = lisp::MissPolicy::kQueue; },
+      simple([] {
+        return std::make_unique<AltOverlaySystem>(ControlPlaneKind::kAltQueue,
+                                                  OverlayMode::kAlt);
+      })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kAltForward, "lisp-alt(cp-fwd)", true,
+      [](Spec& spec) { spec.miss_policy = lisp::MissPolicy::kForwardOverlay; },
+      simple([] {
+        return std::make_unique<AltOverlaySystem>(ControlPlaneKind::kAltForward,
+                                                  OverlayMode::kAlt);
+      })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kCons, "lisp-cons", true,
+      [](Spec& spec) { spec.miss_policy = lisp::MissPolicy::kDrop; },
+      simple([] {
+        return std::make_unique<AltOverlaySystem>(ControlPlaneKind::kCons,
+                                                  OverlayMode::kCons);
+      })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kNerd, "lisp-nerd", true, nullptr,
+      simple([] { return std::make_unique<NerdSystem>(); })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kMapServer, "lisp-ms", true,
+      [](Spec& spec) { spec.miss_policy = lisp::MissPolicy::kDrop; },
+      simple([] { return std::make_unique<MapServerSystem>(); })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kMsReplicated, "lisp-ms-repl", true,
+      [](Spec& spec) { spec.miss_policy = lisp::MissPolicy::kDrop; },
+      simple([] { return std::make_unique<ReplicatedResolverSystem>(); })});
+  factory.register_kind(Registration{
+      ControlPlaneKind::kPce, "lisp-pce", true, nullptr,
+      simple([] { return std::make_unique<PceSystem>(); })});
+}
+
+}  // namespace
+
+MappingSystemFactory& MappingSystemFactory::instance() {
+  static MappingSystemFactory factory = [] {
+    MappingSystemFactory f;
+    register_builtins(f);
+    return f;
+  }();
+  return factory;
+}
+
+void MappingSystemFactory::register_kind(Registration registration) {
+  if (!registration.create) {
+    throw std::invalid_argument(
+        "MappingSystemFactory::register_kind: null creator");
+  }
+  for (auto& existing : registrations_) {
+    if (existing.kind == registration.kind) {
+      existing = std::move(registration);
+      return;
+    }
+  }
+  registrations_.push_back(std::move(registration));
+}
+
+const MappingSystemFactory::Registration* MappingSystemFactory::find(
+    ControlPlaneKind kind) const noexcept {
+  for (const auto& registration : registrations_) {
+    if (registration.kind == kind) return &registration;
+  }
+  return nullptr;
+}
+
+bool MappingSystemFactory::contains(ControlPlaneKind kind) const noexcept {
+  return find(kind) != nullptr;
+}
+
+const char* MappingSystemFactory::name(ControlPlaneKind kind) const {
+  const auto* registration = find(kind);
+  return registration == nullptr ? "?" : registration->name;
+}
+
+void MappingSystemFactory::apply_preset(ControlPlaneKind kind,
+                                        topo::InternetSpec& spec) const {
+  const auto* registration = find(kind);
+  if (registration == nullptr) {
+    throw std::invalid_argument(
+        "MappingSystemFactory::apply_preset: unregistered control plane kind " +
+        std::to_string(static_cast<int>(kind)));
+  }
+  spec.kind = kind;
+  if (registration->apply_preset) registration->apply_preset(spec);
+}
+
+std::unique_ptr<MappingSystem> MappingSystemFactory::create(
+    const topo::InternetSpec& spec) const {
+  const auto* registration = find(spec.kind);
+  if (registration == nullptr) {
+    throw std::invalid_argument(
+        "MappingSystemFactory::create: unregistered control plane kind " +
+        std::to_string(static_cast<int>(spec.kind)));
+  }
+  return registration->create(spec);
+}
+
+std::vector<ControlPlaneKind> MappingSystemFactory::kinds() const {
+  std::vector<ControlPlaneKind> out;
+  out.reserve(registrations_.size());
+  for (const auto& registration : registrations_) out.push_back(registration.kind);
+  return out;
+}
+
+std::vector<ControlPlaneKind> MappingSystemFactory::comparison_kinds() const {
+  std::vector<ControlPlaneKind> out;
+  for (const auto& registration : registrations_) {
+    if (registration.in_comparison_set) out.push_back(registration.kind);
+  }
+  return out;
+}
+
+}  // namespace lispcp::mapping

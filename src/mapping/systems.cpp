@@ -1,0 +1,385 @@
+#include "mapping/systems.hpp"
+
+#include <algorithm>
+
+#include "core/control_plane.hpp"
+#include "core/pce.hpp"
+#include "irc/irc_engine.hpp"
+#include "lisp/resolution.hpp"
+#include "lisp/tunnel_router.hpp"
+#include "topo/address_plan.hpp"
+#include "topo/internet.hpp"
+
+namespace lispcp::mapping {
+
+// ---------------------------------------------------------------------------
+// PlainIpSystem
+// ---------------------------------------------------------------------------
+
+void PlainIpSystem::configure_xtr(const topo::InternetSpec& spec,
+                                  lisp::XtrConfig& config) {
+  (void)spec;
+  // The pre-LISP Internet: border routers forward natively.
+  config.itr_role = false;
+  config.etr_role = false;
+  config.eid_space.clear();
+}
+
+void PlainIpSystem::build(topo::Internet& internet) { (void)internet; }
+
+void PlainIpSystem::register_site(topo::Internet& internet,
+                                  topo::DomainHandle& dom,
+                                  const std::vector<lisp::MapEntry>& entries) {
+  (void)entries;
+  // EIDs are globally routable (this is exactly what LISP exists to end).
+  internet.network().add_route(internet.core_router().id(), dom.eid_prefix,
+                               dom.xtrs.front()->id());
+}
+
+// ---------------------------------------------------------------------------
+// NoMappingSystem
+// ---------------------------------------------------------------------------
+
+void NoMappingSystem::build(topo::Internet& internet) { (void)internet; }
+
+// ---------------------------------------------------------------------------
+// AltOverlaySystem
+// ---------------------------------------------------------------------------
+
+void AltOverlaySystem::build(topo::Internet& internet) {
+  const auto& spec = internet.spec();
+  auto& network = internet.network();
+  sim::Node& core = internet.core_router();
+
+  // Aggregation tree bottom-up: leaves cover `overlay_fanout` domains each,
+  // every level above covers `overlay_fanout` children.
+  const std::size_t fanout = std::max<std::size_t>(2, spec.overlay_fanout);
+  sim::LinkConfig attach;
+  attach.delay = spec.overlay_link_delay;
+  attach.bandwidth_bps = spec.core_bandwidth_bps;
+
+  OverlayRouterConfig orcfg;
+  orcfg.mode = mode_;
+
+  std::size_t next_index = 0;
+  auto make_router = [&]() -> OverlayRouter* {
+    const auto addr = topo::overlay_addr(next_index);
+    auto& router = network.make<OverlayRouter>(
+        "ovl" + std::to_string(next_index), addr, orcfg);
+    ++next_index;
+    network.connect(router.id(), core.id(), attach);
+    network.add_host_route(core.id(), addr, router.id());
+    network.add_route(router.id(), net::Ipv4Prefix(), core.id());
+    routers_.push_back(&router);
+    internet.mapping_infra().overlay_routers.push_back(&router);
+    return &router;
+  };
+
+  // Level 0: leaves.  covered[i] = domains leaf i is responsible for.
+  struct Level {
+    std::vector<OverlayRouter*> routers;
+    std::vector<std::vector<std::size_t>> covered;  // domain indices
+  };
+  Level level;
+  leaf_of_domain_.resize(spec.domains);
+  for (std::size_t d = 0; d < spec.domains; d += fanout) {
+    OverlayRouter* leaf = make_router();
+    std::vector<std::size_t> covered;
+    for (std::size_t k = d; k < std::min(d + fanout, spec.domains); ++k) {
+      covered.push_back(k);
+      // Leaf routes every registered (possibly de-aggregated) prefix
+      // straight to the site's ETR.
+      for (const auto& prefix : internet.site_prefixes(k)) {
+        leaf->add_overlay_route(prefix, topo::xtr_rloc(k, 0));
+      }
+      leaf_of_domain_[k] = leaf->address();
+    }
+    level.routers.push_back(leaf);
+    level.covered.push_back(std::move(covered));
+  }
+
+  // Build parents until a single root remains.
+  while (level.routers.size() > 1) {
+    Level parent_level;
+    for (std::size_t c = 0; c < level.routers.size(); c += fanout) {
+      OverlayRouter* parent = make_router();
+      std::vector<std::size_t> covered;
+      for (std::size_t k = c; k < std::min(c + fanout, level.routers.size());
+           ++k) {
+        OverlayRouter* child = level.routers[k];
+        child->set_parent(parent->address());
+        for (std::size_t d : level.covered[k]) {
+          parent->add_overlay_route(internet.domain(d).eid_prefix,
+                                    child->address());
+          covered.push_back(d);
+        }
+      }
+      parent_level.routers.push_back(parent);
+      parent_level.covered.push_back(std::move(covered));
+    }
+    level = std::move(parent_level);
+  }
+}
+
+void AltOverlaySystem::attach_itr(topo::Internet& internet,
+                                  topo::DomainHandle& dom,
+                                  lisp::TunnelRouter& itr) {
+  (void)internet;
+  itr.set_resolution_strategy(std::make_unique<lisp::UnicastPullResolution>(
+      leaf_of_domain_.at(dom.index),
+      /*record_route=*/mode_ == OverlayMode::kCons));
+}
+
+MappingSystemStats AltOverlaySystem::stats() const {
+  MappingSystemStats out;
+  out.infrastructure_nodes = routers_.size();
+  for (const auto* router : routers_) {
+    out.database_records += router->route_count();
+    out.control_messages += router->stats().requests_forwarded +
+                            router->stats().replies_relayed;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// NerdSystem
+// ---------------------------------------------------------------------------
+
+void NerdSystem::configure_xtr(const topo::InternetSpec& spec,
+                               lisp::XtrConfig& config) {
+  (void)spec;
+  // NERD is a *database*, not a cache: consumers must hold the full mapping
+  // set, so capacity eviction would break the protocol's premise (that is
+  // precisely its memory-footprint drawback).
+  config.cache_capacity = 0;
+}
+
+void NerdSystem::build(topo::Internet& internet) {
+  const auto& spec = internet.spec();
+  auto& network = internet.network();
+  sim::Node& core = internet.core_router();
+
+  NerdConfig ncfg;
+  ncfg.push_interval = spec.nerd_push_interval;
+  authority_ = &network.make<NerdAuthority>("nerd", topo::kNerdAddr, ncfg);
+  internet.mapping_infra().nerd = authority_;
+
+  sim::LinkConfig attach;
+  attach.delay = spec.dns_infra_delay;
+  attach.bandwidth_bps = spec.core_bandwidth_bps;
+  network.connect(authority_->id(), core.id(), attach);
+  network.add_host_route(core.id(), topo::kNerdAddr, authority_->id());
+  network.add_route(authority_->id(), net::Ipv4Prefix(), core.id());
+}
+
+void NerdSystem::register_site(topo::Internet& internet,
+                               topo::DomainHandle& dom,
+                               const std::vector<lisp::MapEntry>& entries) {
+  (void)internet;
+  (void)entries;
+  for (auto* xtr : dom.xtrs) authority_->subscribe(xtr->rloc());
+}
+
+void NerdSystem::activate(topo::Internet& internet) {
+  // Database records do not age out between refreshes; only explicit
+  // updates replace them.  (Cache-style TTLs would silently re-introduce
+  // the miss behaviour NERD exists to eliminate.)
+  auto database = internet.registry().all();
+  for (auto& entry : database) {
+    entry.ttl_seconds = 30 * 24 * 3600;
+  }
+  authority_->load_database(std::move(database));
+  authority_->push_full();
+  authority_->start();
+}
+
+MappingSystemStats NerdSystem::stats() const {
+  MappingSystemStats out;
+  out.infrastructure_nodes = 1;
+  out.database_records = authority_->database_size();
+  out.control_messages =
+      authority_->stats().entries_pushed + authority_->stats().updates_submitted;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MapServerSystem
+// ---------------------------------------------------------------------------
+
+void MapServerSystem::build(topo::Internet& internet) {
+  const auto& spec = internet.spec();
+  auto& network = internet.network();
+  sim::Node& core = internet.core_router();
+
+  const std::size_t count = std::max<std::size_t>(1, spec.map_server_count);
+  sim::LinkConfig attach;
+  attach.delay = spec.dns_infra_delay;
+  attach.bandwidth_bps = spec.core_bandwidth_bps;
+
+  // Map-Servers and (colocated, one per MS) Map-Resolvers on the core.
+  MapServerConfig mscfg;
+  mscfg.proxy_reply = spec.ms_proxy_reply;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& ms = network.make<MapServer>("ms" + std::to_string(i),
+                                       topo::map_server_addr(i), mscfg);
+    network.connect(ms.id(), core.id(), attach);
+    network.add_host_route(core.id(), ms.address(), ms.id());
+    network.add_route(ms.id(), net::Ipv4Prefix(), core.id());
+    servers_.push_back(&ms);
+    internet.mapping_infra().map_servers.push_back(&ms);
+
+    auto& mr = network.make<MapResolver>("mr" + std::to_string(i),
+                                         topo::map_resolver_addr(i));
+    network.connect(mr.id(), core.id(), attach);
+    network.add_host_route(core.id(), mr.address(), mr.id());
+    network.add_route(mr.id(), net::Ipv4Prefix(), core.id());
+    resolvers_.push_back(&mr);
+    internet.mapping_infra().map_resolvers.push_back(&mr);
+  }
+
+  // Every resolver knows which Map-Server each site registers with (the
+  // MR-to-MS rendezvous that deployment runs over the ALT; see DESIGN.md).
+  for (std::size_t d = 0; d < spec.domains; ++d) {
+    const auto ms_addr = topo::map_server_addr(d % count);
+    for (const auto& prefix : internet.site_prefixes(d)) {
+      for (auto* mr : resolvers_) {
+        mr->add_map_server_route(prefix, ms_addr);
+      }
+    }
+  }
+}
+
+void MapServerSystem::register_site(topo::Internet& internet,
+                                    topo::DomainHandle& dom,
+                                    const std::vector<lisp::MapEntry>& entries) {
+  // Each domain's first border router runs the registration loop.
+  RegistrarConfig rcfg;
+  rcfg.ttl_seconds = internet.spec().ms_registration_ttl_seconds;
+  rcfg.refresh_interval = internet.spec().ms_refresh_interval;
+  auto registrar = std::make_unique<EtrRegistrar>(
+      *dom.xtrs.front(), topo::map_server_addr(dom.index % servers_.size()),
+      entries, rcfg);
+  registrar->start();
+  internet.mapping_infra().registrars.push_back(std::move(registrar));
+}
+
+void MapServerSystem::attach_itr(topo::Internet& internet,
+                                 topo::DomainHandle& dom,
+                                 lisp::TunnelRouter& itr) {
+  (void)internet;
+  // ITRs use their shard's resolver as the Map-Request target.
+  itr.set_resolution_strategy(std::make_unique<lisp::UnicastPullResolution>(
+      topo::map_resolver_addr(dom.index % resolvers_.size())));
+}
+
+MappingSystemStats MapServerSystem::stats() const {
+  MappingSystemStats out;
+  out.infrastructure_nodes = servers_.size() + resolvers_.size();
+  for (const auto* ms : servers_) {
+    out.database_records += ms->registration_count();
+    out.control_messages +=
+        ms->stats().registers_received + ms->stats().requests_received;
+  }
+  for (const auto* mr : resolvers_) {
+    out.control_messages += mr->stats().requests_received;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PceSystem
+// ---------------------------------------------------------------------------
+
+void PceSystem::attach_domain_dns(topo::Internet& internet,
+                                  topo::DomainHandle& dom) {
+  const auto& spec = internet.spec();
+  auto& network = internet.network();
+  sim::Node& r = *dom.internal_router;
+  const std::size_t d = dom.index;
+  const auto resolver_addr = dom.resolver->address();
+  const auto auth_addr = dom.authoritative->address();
+
+  sim::LinkConfig dns_attach;
+  dns_attach.delay = sim::SimDuration::micros(50);
+  dns_attach.bandwidth_bps = spec.lan_bandwidth_bps;
+
+  // "The PCEs are in the data path of the DNS servers" (Fig. 1): the PCE
+  // fronts both the caching resolver and the authoritative server.
+  core::PceConfig pcfg;
+  pcfg.resolver_address = resolver_addr;
+  pcfg.authoritative_address = auth_addr;
+  // The registered (possibly de-aggregated) prefixes: Step 6 advertises
+  // the covering mapping at registration granularity.
+  pcfg.local_eid_prefixes = internet.site_prefixes(d);
+  pcfg.snoop_enabled = spec.pce_snoop;
+  pcfg.on_demand_pcep = spec.pce_on_demand;
+  pcfg.push_all_itrs = spec.pce_push_all_itrs;
+  dom.pce = &network.make<core::Pce>(dom.name + "-pce", topo::domain_infra(d, 1),
+                                     pcfg);
+  pces_.push_back(dom.pce);
+  network.connect(r.id(), dom.pce->id(), dns_attach);
+  network.connect(dom.pce->id(), dom.resolver->id(), dns_attach);
+  network.connect(dom.pce->id(), dom.authoritative->id(), dns_attach);
+
+  network.add_route(r.id(), topo::domain_infra_prefix(d), dom.pce->id());
+  network.add_host_route(dom.pce->id(), resolver_addr, dom.resolver->id());
+  network.add_host_route(dom.pce->id(), auth_addr, dom.authoritative->id());
+  network.add_route(dom.pce->id(), net::Ipv4Prefix(), r.id());
+  network.add_route(dom.resolver->id(), net::Ipv4Prefix(), dom.pce->id());
+  network.add_route(dom.authoritative->id(), net::Ipv4Prefix(), dom.pce->id());
+}
+
+void PceSystem::build(topo::Internet& internet) { (void)internet; }
+
+void PceSystem::activate(topo::Internet& internet) {
+  const auto& spec = internet.spec();
+  for (auto& dom : internet.domains()) {
+    std::vector<irc::BorderLink> border;
+    for (std::size_t j = 0; j < dom.xtrs.size(); ++j) {
+      irc::BorderLink bl;
+      bl.rloc = dom.xtrs[j]->rloc();
+      bl.link = dom.provider_links[j];
+      bl.xtr = dom.xtrs[j]->id();
+      bl.capacity_bps = spec.access_bandwidth_bps;
+      border.push_back(bl);
+    }
+    irc::IrcConfig icfg;
+    icfg.policy = spec.te_policy;
+    dom.irc = std::make_unique<irc::IrcEngine>(internet.network(),
+                                               std::move(border), icfg);
+
+    core::ControlPlaneConfig ccfg;
+    ccfg.multicast_reverse = spec.multicast_reverse;
+    dom.control_plane = std::make_unique<core::PceControlPlane>(
+        *dom.pce, *dom.resolver, dom.xtrs, *dom.irc, ccfg);
+    dom.control_plane->activate();
+  }
+
+  // A5: PCE discovery substitute — every PCE learns which peer PCE is
+  // authoritative for each remote EID prefix (RFC 5088/5089-style discovery
+  // flattened into configuration; see DESIGN.md).
+  if (spec.pce_on_demand) {
+    for (auto& dom : internet.domains()) {
+      for (const auto& other : internet.domains()) {
+        if (other.index == dom.index) continue;
+        for (const auto& prefix : internet.site_prefixes(other.index)) {
+          dom.pce->add_pce_directory_entry(prefix, other.pce->address());
+        }
+      }
+    }
+  }
+}
+
+MappingSystemStats PceSystem::stats() const {
+  MappingSystemStats out;
+  out.infrastructure_nodes = pces_.size();
+  for (const auto* pce : pces_) {
+    out.database_records += pce->database_size();
+    out.control_messages += pce->stats().dns_queries_observed +
+                            pce->stats().tuples_pushed +
+                            pce->stats().pcep_requests;
+  }
+  return out;
+}
+
+}  // namespace lispcp::mapping

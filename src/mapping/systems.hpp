@@ -1,0 +1,135 @@
+// systems.hpp — the built-in mapping systems behind the MappingSystem seam.
+//
+// Each class owns the construction and lifecycle of one control plane from
+// the paper's comparison set (plus the two degenerate baselines).  The code
+// here is the former body of topo::Internet::build_overlay / build_nerd /
+// build_map_server / activate_pce, re-homed so the topology builder is
+// system-agnostic and new control planes register instead of patching it.
+//
+// The sharded/replicated Map-Resolver tier lives in
+// mapping/replicated_resolver.hpp.
+#pragma once
+
+#include <vector>
+
+#include "mapping/mapping_system.hpp"
+#include "mapping/map_server.hpp"
+#include "mapping/nerd.hpp"
+#include "mapping/overlay_router.hpp"
+
+namespace lispcp::core {
+class Pce;
+}  // namespace lispcp::core
+
+namespace lispcp::mapping {
+
+/// Pre-LISP baseline: EID prefixes are globally routed, xTRs are plain
+/// routers, and there is no mapping state anywhere.
+class PlainIpSystem final : public MappingSystem {
+ public:
+  [[nodiscard]] ControlPlaneKind kind() const noexcept override {
+    return ControlPlaneKind::kPlainIp;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "plain-ip"; }
+  void configure_xtr(const topo::InternetSpec& spec,
+                     lisp::XtrConfig& config) override;
+  void build(topo::Internet& internet) override;
+  void register_site(topo::Internet& internet, topo::DomainHandle& dom,
+                     const std::vector<lisp::MapEntry>& entries) override;
+};
+
+/// LISP encapsulation with no mapping distribution at all: every remote-EID
+/// packet misses forever.  The degenerate lower bound (and the default for a
+/// raw InternetSpec), useful for isolating encapsulation costs.
+class NoMappingSystem final : public MappingSystem {
+ public:
+  [[nodiscard]] ControlPlaneKind kind() const noexcept override {
+    return ControlPlaneKind::kNoMapping;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "lisp-none"; }
+  void build(topo::Internet& internet) override;
+};
+
+/// LISP+ALT / LISP-CONS: an aggregation-tree overlay of dedicated routers;
+/// ITRs pull mappings through their regional leaf.  CONS differs in reply
+/// routing (relayed back down the recorded tree path) which the ITR-side
+/// strategy selects via record-route.
+class AltOverlaySystem final : public MappingSystem {
+ public:
+  AltOverlaySystem(ControlPlaneKind kind, OverlayMode mode)
+      : kind_(kind), mode_(mode) {}
+
+  [[nodiscard]] ControlPlaneKind kind() const noexcept override { return kind_; }
+  [[nodiscard]] const char* name() const noexcept override {
+    return mode_ == OverlayMode::kCons ? "lisp-cons" : "lisp-alt";
+  }
+  void build(topo::Internet& internet) override;
+  void attach_itr(topo::Internet& internet, topo::DomainHandle& dom,
+                  lisp::TunnelRouter& itr) override;
+  [[nodiscard]] MappingSystemStats stats() const override;
+
+ private:
+  ControlPlaneKind kind_;
+  OverlayMode mode_;
+  std::vector<OverlayRouter*> routers_;
+  std::vector<net::Ipv4Address> leaf_of_domain_;
+};
+
+/// NERD: a central authority pushes the entire database to every ITR.
+class NerdSystem final : public MappingSystem {
+ public:
+  [[nodiscard]] ControlPlaneKind kind() const noexcept override {
+    return ControlPlaneKind::kNerd;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "lisp-nerd"; }
+  void configure_xtr(const topo::InternetSpec& spec,
+                     lisp::XtrConfig& config) override;
+  void build(topo::Internet& internet) override;
+  void register_site(topo::Internet& internet, topo::DomainHandle& dom,
+                     const std::vector<lisp::MapEntry>& entries) override;
+  void activate(topo::Internet& internet) override;
+  [[nodiscard]] MappingSystemStats stats() const override;
+
+ private:
+  NerdAuthority* authority_ = nullptr;
+};
+
+/// Map-Server / Map-Resolver (draft-lisp-ms): sites register with a sharded
+/// Map-Server; ITRs pull through their shard's colocated Map-Resolver.
+class MapServerSystem final : public MappingSystem {
+ public:
+  [[nodiscard]] ControlPlaneKind kind() const noexcept override {
+    return ControlPlaneKind::kMapServer;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "lisp-ms"; }
+  void build(topo::Internet& internet) override;
+  void register_site(topo::Internet& internet, topo::DomainHandle& dom,
+                     const std::vector<lisp::MapEntry>& entries) override;
+  void attach_itr(topo::Internet& internet, topo::DomainHandle& dom,
+                  lisp::TunnelRouter& itr) override;
+  [[nodiscard]] MappingSystemStats stats() const override;
+
+ private:
+  std::vector<MapServer*> servers_;
+  std::vector<MapResolver*> resolvers_;
+};
+
+/// The paper's PCE control plane: per-domain PCEs in the DNS data path push
+/// flow tuples to the ITRs, so there is no on-demand resolution at all.
+class PceSystem final : public MappingSystem {
+ public:
+  [[nodiscard]] ControlPlaneKind kind() const noexcept override {
+    return ControlPlaneKind::kPce;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "lisp-pce"; }
+  void attach_domain_dns(topo::Internet& internet,
+                         topo::DomainHandle& dom) override;
+  void build(topo::Internet& internet) override;
+  void activate(topo::Internet& internet) override;
+  [[nodiscard]] MappingSystemStats stats() const override;
+
+ private:
+  std::vector<const core::Pce*> pces_;
+};
+
+}  // namespace lispcp::mapping

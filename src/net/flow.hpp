@@ -1,0 +1,34 @@
+// flow.hpp — shared flow/nonce helpers for control-plane state tables.
+//
+// Every component that correlates per-flow state (the ITR's flow-tuple and
+// pending-resolution tables, the PCE's active-flow map) packs an ordered
+// address pair into one 64-bit key, and every component that emits control
+// messages draws nonces from a monotone sequence.  Defined once here so the
+// key layouts can never drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+
+namespace lispcp::net {
+
+/// Packs the ordered pair (a, b) into one table key.  Directional:
+/// pair_key(a, b) != pair_key(b, a).
+[[nodiscard]] constexpr std::uint64_t pair_key(Ipv4Address a,
+                                               Ipv4Address b) noexcept {
+  return (std::uint64_t{a.value()} << 32) | b.value();
+}
+
+/// Monotone nonce source for control messages (Map-Requests, probes,
+/// registrations).  Starts at 1; 0 stays free as the "no nonce" sentinel.
+class NonceSequence {
+ public:
+  [[nodiscard]] std::uint64_t next() noexcept { return next_++; }
+  [[nodiscard]] std::uint64_t last_issued() const noexcept { return next_ - 1; }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace lispcp::net

@@ -1,0 +1,73 @@
+// address_plan.hpp — the emulated Internet's address plan, shared between
+// the topology builder and the mapping-system builders.
+//
+//   EID space          100.64.0.0/10   domain d: 100.(64+d/256).(d%256).0/24
+//   provider RLOCs     10.0.0.0/8      xTR j of domain d: 10.(d/256).(d%256).(1+j)
+//   domain DNS/PCE     192.1.0.0/16    per domain d: pce .1, resolver .10, auth .20
+//   global infra       192.0.0.0/16    core .0.1, root .1.1, TLD .1.2,
+//                                      NERD .4.1, MS .5.x, MR .6.x,
+//                                      replicated MR tier .7.x,
+//                                      overlay routers .8.x
+//
+// The blocks are disjoint by construction (asserted in tests); every
+// component derives addresses from these helpers so the plan cannot drift.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+
+namespace lispcp::topo {
+
+/// The global EID superblock (RFC 6598 space, conveniently unused elsewhere
+/// in the plan).
+inline const net::Ipv4Prefix kEidSpace{net::Ipv4Address(100, 64, 0, 0), 10};
+
+inline const net::Ipv4Address kRootDns{192, 0, 1, 1};
+inline const net::Ipv4Address kTldDns{192, 0, 1, 2};
+inline const net::Ipv4Address kCoreAddress{192, 0, 0, 1};
+inline const net::Ipv4Address kNerdAddr{192, 0, 4, 1};
+
+[[nodiscard]] inline net::Ipv4Prefix domain_eid_prefix(std::size_t d) {
+  return net::Ipv4Prefix(
+      net::Ipv4Address(100, static_cast<std::uint8_t>(64 + d / 256),
+                       static_cast<std::uint8_t>(d % 256), 0),
+      24);
+}
+
+[[nodiscard]] inline net::Ipv4Address xtr_rloc(std::size_t d, std::size_t j) {
+  return net::Ipv4Address(10, static_cast<std::uint8_t>(d / 256),
+                          static_cast<std::uint8_t>(d % 256),
+                          static_cast<std::uint8_t>(1 + j));
+}
+
+[[nodiscard]] inline net::Ipv4Address domain_infra(std::size_t d,
+                                                   std::uint8_t octet) {
+  return net::Ipv4Address(192, static_cast<std::uint8_t>(1 + d / 256),
+                          static_cast<std::uint8_t>(d % 256), octet);
+}
+
+[[nodiscard]] inline net::Ipv4Prefix domain_infra_prefix(std::size_t d) {
+  return net::Ipv4Prefix(domain_infra(d, 0), 24);
+}
+
+[[nodiscard]] inline net::Ipv4Address map_server_addr(std::size_t i) {
+  return {192, 0, 5, static_cast<std::uint8_t>(i + 1)};
+}
+
+[[nodiscard]] inline net::Ipv4Address map_resolver_addr(std::size_t i) {
+  return {192, 0, 6, static_cast<std::uint8_t>(i + 1)};
+}
+
+/// Replicated Map-Resolver tier (mapping::ReplicatedResolverSystem).
+[[nodiscard]] inline net::Ipv4Address replica_resolver_addr(std::size_t i) {
+  return {192, 0, 7, static_cast<std::uint8_t>(i + 1)};
+}
+
+[[nodiscard]] inline net::Ipv4Address overlay_addr(std::size_t i) {
+  return net::Ipv4Address(192, 0, static_cast<std::uint8_t>(8 + i / 254),
+                          static_cast<std::uint8_t>(1 + i % 254));
+}
+
+}  // namespace lispcp::topo

@@ -2,68 +2,22 @@
 
 #include <stdexcept>
 
+#include "topo/address_plan.hpp"
+
 namespace lispcp::topo {
 
 namespace {
 
-/// The global EID superblock (RFC 6598 space, conveniently unused elsewhere
-/// in the plan).
-const net::Ipv4Prefix kEidSpace = net::Ipv4Prefix(net::Ipv4Address(100, 64, 0, 0), 10);
-
 constexpr std::size_t kMaxDomains = 512;
 constexpr std::size_t kMaxHosts = 200;
 constexpr std::size_t kMaxProviders = 8;
+constexpr std::size_t kMaxReplicas = 64;
 
 }  // namespace
 
-const char* to_string(ControlPlaneKind kind) {
-  switch (kind) {
-    case ControlPlaneKind::kPlainIp: return "plain-ip";
-    case ControlPlaneKind::kAltDrop: return "lisp-alt(drop)";
-    case ControlPlaneKind::kAltQueue: return "lisp-alt(queue)";
-    case ControlPlaneKind::kAltForward: return "lisp-alt(cp-fwd)";
-    case ControlPlaneKind::kCons: return "lisp-cons";
-    case ControlPlaneKind::kNerd: return "lisp-nerd";
-    case ControlPlaneKind::kMapServer: return "lisp-ms";
-    case ControlPlaneKind::kPce: return "lisp-pce";
-  }
-  return "?";
-}
-
 InternetSpec InternetSpec::preset(ControlPlaneKind kind) {
   InternetSpec spec;
-  switch (kind) {
-    case ControlPlaneKind::kPlainIp:
-      spec.enable_lisp = false;
-      break;
-    case ControlPlaneKind::kAltDrop:
-      spec.enable_overlay = true;
-      spec.miss_policy = lisp::MissPolicy::kDrop;
-      break;
-    case ControlPlaneKind::kAltQueue:
-      spec.enable_overlay = true;
-      spec.miss_policy = lisp::MissPolicy::kQueue;
-      break;
-    case ControlPlaneKind::kAltForward:
-      spec.enable_overlay = true;
-      spec.miss_policy = lisp::MissPolicy::kForwardOverlay;
-      break;
-    case ControlPlaneKind::kCons:
-      spec.enable_overlay = true;
-      spec.overlay_mode = mapping::OverlayMode::kCons;
-      spec.miss_policy = lisp::MissPolicy::kDrop;
-      break;
-    case ControlPlaneKind::kNerd:
-      spec.enable_nerd = true;
-      break;
-    case ControlPlaneKind::kMapServer:
-      spec.enable_map_server = true;
-      spec.miss_policy = lisp::MissPolicy::kDrop;
-      break;
-    case ControlPlaneKind::kPce:
-      spec.enable_pce = true;
-      break;
-  }
+  mapping::MappingSystemFactory::instance().apply_preset(kind, spec);
   return spec;
 }
 
@@ -79,6 +33,10 @@ Internet::Internet(InternetSpec spec) : spec_(std::move(spec)), sim_(spec_.seed)
     throw std::invalid_argument(
         "InternetSpec: providers_per_domain must be in [1, 8]");
   }
+  if (spec_.ms_replica_count < 1 || spec_.ms_replica_count > kMaxReplicas) {
+    throw std::invalid_argument(
+        "InternetSpec: ms_replica_count must be in [1, 64]");
+  }
   const auto k = spec_.deaggregation_factor;
   if (k < 1 || k > 64 || (k & (k - 1)) != 0) {
     throw std::invalid_argument(
@@ -87,50 +45,10 @@ Internet::Internet(InternetSpec spec) : spec_(std::move(spec)), sim_(spec_.seed)
   build();
 }
 
-net::Ipv4Prefix Internet::domain_eid_prefix(std::size_t d) const {
-  return net::Ipv4Prefix(
-      net::Ipv4Address(100, static_cast<std::uint8_t>(64 + d / 256),
-                       static_cast<std::uint8_t>(d % 256), 0),
-      24);
-}
-
-net::Ipv4Address Internet::xtr_rloc(std::size_t d, std::size_t j) const {
-  return net::Ipv4Address(10, static_cast<std::uint8_t>(d / 256),
-                          static_cast<std::uint8_t>(d % 256),
-                          static_cast<std::uint8_t>(1 + j));
-}
-
-namespace {
-
-net::Ipv4Address domain_infra(std::size_t d, std::uint8_t octet) {
-  return net::Ipv4Address(192, static_cast<std::uint8_t>(1 + d / 256),
-                          static_cast<std::uint8_t>(d % 256), octet);
-}
-
-net::Ipv4Prefix domain_infra_prefix(std::size_t d) {
-  return net::Ipv4Prefix(domain_infra(d, 0), 24);
-}
-
-const net::Ipv4Address kRootDns(192, 0, 1, 1);
-const net::Ipv4Address kTldDns(192, 0, 1, 2);
-const net::Ipv4Address kCoreAddress(192, 0, 0, 1);
-const net::Ipv4Address kNerdAddr(192, 0, 4, 1);
-
-net::Ipv4Address map_server_addr(std::size_t i) {
-  return {192, 0, 5, static_cast<std::uint8_t>(i + 1)};
-}
-net::Ipv4Address map_resolver_addr(std::size_t i) {
-  return {192, 0, 6, static_cast<std::uint8_t>(i + 1)};
-}
-
-net::Ipv4Address overlay_addr(std::size_t i) {
-  return net::Ipv4Address(192, 0, static_cast<std::uint8_t>(8 + i / 254),
-                          static_cast<std::uint8_t>(1 + i % 254));
-}
-
-}  // namespace
-
 void Internet::build() {
+  // The factory throws on an unregistered kind before any node exists.
+  system_ = mapping::MappingSystemFactory::instance().create(spec_);
+
   core_ = &network_.make<sim::Node>("core");
   // The core answers UDP Echo at this address: the far-end target for
   // border-link liveness detection (core::LinkHealthMonitor).
@@ -140,10 +58,17 @@ void Internet::build() {
   domains_.resize(spec_.domains);
   for (std::size_t d = 0; d < spec_.domains; ++d) build_domain(d);
   register_mappings();
-  if (spec_.enable_overlay) build_overlay();
-  if (spec_.enable_nerd) build_nerd();
-  if (spec_.enable_map_server) build_map_server();
-  if (spec_.enable_pce) activate_pce();
+
+  // Mapping-system lifecycle: global infrastructure, then per-site
+  // registration, then the ITR-side resolution strategies, then start-up.
+  system_->build(*this);
+  for (auto& dom : domains_) {
+    system_->register_site(*this, dom, dom.registered_entries);
+  }
+  for (auto& dom : domains_) {
+    for (auto* xtr : dom.xtrs) system_->attach_itr(*this, dom, *xtr);
+  }
+  system_->activate(*this);
 }
 
 void Internet::build_dns_hierarchy() {
@@ -185,28 +110,22 @@ void Internet::build_domain(std::size_t d) {
   access.delay = spec_.core_link_delay;
   access.bandwidth_bps = spec_.access_bandwidth_bps;
   access.loss = spec_.access_loss;
-  sim::LinkConfig dns_attach;
-  dns_attach.delay = sim::SimDuration::micros(50);
-  dns_attach.bandwidth_bps = spec_.lan_bandwidth_bps;
 
   sim::Node& r = network_.make<sim::Node>(dom.name + "-r");
   dom.internal_router = &r;
 
-  // Border tunnel routers, one per provider.
+  // Border tunnel routers, one per provider.  The mapping system tunes the
+  // baseline config (plain-IP turns the LISP roles off, NERD lifts the
+  // cache cap, ...).
   for (std::size_t j = 0; j < spec_.providers_per_domain; ++j) {
     lisp::XtrConfig xcfg;
-    xcfg.itr_role = spec_.enable_lisp;
-    xcfg.etr_role = spec_.enable_lisp;
+    xcfg.itr_role = true;
+    xcfg.etr_role = true;
     xcfg.local_eid_prefixes = {dom.eid_prefix};
-    xcfg.eid_space = spec_.enable_lisp ? std::vector{kEidSpace}
-                                       : std::vector<net::Ipv4Prefix>{};
-    // NERD is a *database*, not a cache: consumers must hold the full
-    // mapping set, so capacity eviction would break the protocol's premise
-    // (that is precisely its memory-footprint drawback).
-    xcfg.cache_capacity = spec_.enable_nerd ? 0 : spec_.cache_capacity;
+    xcfg.eid_space = {kEidSpace};
+    xcfg.cache_capacity = spec_.cache_capacity;
     xcfg.miss_policy = spec_.miss_policy;
-    xcfg.record_route = spec_.enable_overlay &&
-                        spec_.overlay_mode == mapping::OverlayMode::kCons;
+    system_->configure_xtr(spec_, xcfg);
     auto& xtr = network_.make<lisp::TunnelRouter>(
         dom.name + "-xtr" + std::to_string(j), xtr_rloc(d, j), xcfg);
     dom.xtrs.push_back(&xtr);
@@ -235,11 +154,6 @@ void Internet::build_domain(std::size_t d) {
     }
   }
 
-  // Plain-IP baseline: EIDs are globally routable (the pre-LISP Internet).
-  if (!spec_.enable_lisp) {
-    network_.add_route(core_->id(), dom.eid_prefix, dom.xtrs.front()->id());
-  }
-
   // Authoritative zone and server.
   dns::Zone zone{dom.zone};
   for (std::size_t h = 0; h < spec_.hosts_per_domain; ++h) {
@@ -258,39 +172,10 @@ void Internet::build_domain(std::size_t d) {
   dom.resolver = &network_.make<dns::DnsResolver>(dom.name + "-dns", resolver_addr,
                                                   rcfg);
 
-  // DNS attachment: behind the PCE when the PCE control plane is on
-  // ("the PCEs are in the data path of the DNS servers", Fig. 1),
-  // directly on the internal router otherwise.
-  if (spec_.enable_pce) {
-    core::PceConfig pcfg;
-    pcfg.resolver_address = resolver_addr;
-    pcfg.authoritative_address = auth_addr;
-    // The registered (possibly de-aggregated) prefixes: Step 6 advertises
-    // the covering mapping at registration granularity.
-    pcfg.local_eid_prefixes = site_prefixes(d);
-    pcfg.snoop_enabled = spec_.pce_snoop;
-    pcfg.on_demand_pcep = spec_.pce_on_demand;
-    pcfg.push_all_itrs = spec_.pce_push_all_itrs;
-    dom.pce = &network_.make<core::Pce>(dom.name + "-pce", domain_infra(d, 1),
-                                        pcfg);
-    network_.connect(r.id(), dom.pce->id(), dns_attach);
-    network_.connect(dom.pce->id(), dom.resolver->id(), dns_attach);
-    network_.connect(dom.pce->id(), dom.authoritative->id(), dns_attach);
-
-    network_.add_route(r.id(), domain_infra_prefix(d), dom.pce->id());
-    network_.add_host_route(dom.pce->id(), resolver_addr, dom.resolver->id());
-    network_.add_host_route(dom.pce->id(), auth_addr, dom.authoritative->id());
-    network_.add_route(dom.pce->id(), net::Ipv4Prefix(), r.id());
-    network_.add_route(dom.resolver->id(), net::Ipv4Prefix(), dom.pce->id());
-    network_.add_route(dom.authoritative->id(), net::Ipv4Prefix(), dom.pce->id());
-  } else {
-    network_.connect(r.id(), dom.resolver->id(), dns_attach);
-    network_.connect(r.id(), dom.authoritative->id(), dns_attach);
-    network_.add_host_route(r.id(), resolver_addr, dom.resolver->id());
-    network_.add_host_route(r.id(), auth_addr, dom.authoritative->id());
-    network_.add_route(dom.resolver->id(), net::Ipv4Prefix(), r.id());
-    network_.add_route(dom.authoritative->id(), net::Ipv4Prefix(), r.id());
-  }
+  // DNS attachment: the mapping system wires it (the PCE control plane
+  // interposes its PCE in the DNS data path, Fig. 1; everyone else attaches
+  // both servers directly to the internal router).
+  system_->attach_domain_dns(*this, dom);
 
   // End-hosts.
   workload::HostConfig hcfg;
@@ -333,145 +218,7 @@ void Internet::register_mappings() {
     for (auto* xtr : dom.xtrs) {
       xtr->set_site_mappings(site_entries);
     }
-  }
-}
-
-void Internet::build_overlay() {
-  // Aggregation tree bottom-up: leaves cover `overlay_fanout` domains each,
-  // every level above covers `overlay_fanout` children.
-  const std::size_t fanout = std::max<std::size_t>(2, spec_.overlay_fanout);
-  sim::LinkConfig attach;
-  attach.delay = spec_.overlay_link_delay;
-  attach.bandwidth_bps = spec_.core_bandwidth_bps;
-
-  mapping::OverlayRouterConfig orcfg;
-  orcfg.mode = spec_.overlay_mode;
-
-  std::size_t next_index = 0;
-  auto make_router = [&]() -> mapping::OverlayRouter* {
-    const auto addr = overlay_addr(next_index);
-    auto& router = network_.make<mapping::OverlayRouter>(
-        "ovl" + std::to_string(next_index), addr, orcfg);
-    ++next_index;
-    network_.connect(router.id(), core_->id(), attach);
-    network_.add_host_route(core_->id(), addr, router.id());
-    network_.add_route(router.id(), net::Ipv4Prefix(), core_->id());
-    overlay_routers_.push_back(&router);
-    return &router;
-  };
-
-  // Level 0: leaves.  leaf_cover[i] = domains it is responsible for.
-  struct Level {
-    std::vector<mapping::OverlayRouter*> routers;
-    std::vector<std::vector<std::size_t>> covered;  // domain indices
-  };
-  Level level;
-  overlay_leaf_of_domain_.resize(spec_.domains);
-  for (std::size_t d = 0; d < spec_.domains; d += fanout) {
-    mapping::OverlayRouter* leaf = make_router();
-    std::vector<std::size_t> covered;
-    for (std::size_t k = d; k < std::min(d + fanout, spec_.domains); ++k) {
-      covered.push_back(k);
-      // Leaf routes every registered (possibly de-aggregated) prefix
-      // straight to the site's ETR.
-      for (const auto& prefix : site_prefixes(k)) {
-        leaf->add_overlay_route(prefix, xtr_rloc(k, 0));
-      }
-      overlay_leaf_of_domain_[k] = leaf->address();
-    }
-    level.routers.push_back(leaf);
-    level.covered.push_back(std::move(covered));
-  }
-
-  // Build parents until a single root remains.
-  while (level.routers.size() > 1) {
-    Level parent_level;
-    for (std::size_t c = 0; c < level.routers.size(); c += fanout) {
-      mapping::OverlayRouter* parent = make_router();
-      std::vector<std::size_t> covered;
-      for (std::size_t k = c; k < std::min(c + fanout, level.routers.size()); ++k) {
-        mapping::OverlayRouter* child = level.routers[k];
-        child->set_parent(parent->address());
-        for (std::size_t d : level.covered[k]) {
-          parent->add_overlay_route(domains_[d].eid_prefix, child->address());
-          covered.push_back(d);
-        }
-      }
-      parent_level.routers.push_back(parent);
-      parent_level.covered.push_back(std::move(covered));
-    }
-    level = std::move(parent_level);
-  }
-
-  // Attach every ITR to its regional leaf.
-  for (std::size_t d = 0; d < spec_.domains; ++d) {
-    for (auto* xtr : domains_[d].xtrs) {
-      xtr->set_overlay_attachment(overlay_leaf_of_domain_[d]);
-    }
-  }
-}
-
-void Internet::build_nerd() {
-  mapping::NerdConfig ncfg;
-  ncfg.push_interval = spec_.nerd_push_interval;
-  nerd_ = &network_.make<mapping::NerdAuthority>("nerd", kNerdAddr, ncfg);
-
-  sim::LinkConfig attach;
-  attach.delay = spec_.dns_infra_delay;
-  attach.bandwidth_bps = spec_.core_bandwidth_bps;
-  network_.connect(nerd_->id(), core_->id(), attach);
-  network_.add_host_route(core_->id(), kNerdAddr, nerd_->id());
-  network_.add_route(nerd_->id(), net::Ipv4Prefix(), core_->id());
-
-  for (auto& dom : domains_) {
-    for (auto* xtr : dom.xtrs) nerd_->subscribe(xtr->rloc());
-  }
-  // Database records do not age out between refreshes; only explicit
-  // updates replace them.  (Cache-style TTLs would silently re-introduce
-  // the miss behaviour NERD exists to eliminate.)
-  auto database = registry_.all();
-  for (auto& entry : database) {
-    entry.ttl_seconds = 30 * 24 * 3600;
-  }
-  nerd_->load_database(std::move(database));
-  nerd_->push_full();
-  nerd_->start();
-}
-
-void Internet::activate_pce() {
-  for (auto& dom : domains_) {
-    std::vector<irc::BorderLink> border;
-    for (std::size_t j = 0; j < dom.xtrs.size(); ++j) {
-      irc::BorderLink bl;
-      bl.rloc = dom.xtrs[j]->rloc();
-      bl.link = dom.provider_links[j];
-      bl.xtr = dom.xtrs[j]->id();
-      bl.capacity_bps = spec_.access_bandwidth_bps;
-      border.push_back(bl);
-    }
-    irc::IrcConfig icfg;
-    icfg.policy = spec_.te_policy;
-    dom.irc = std::make_unique<irc::IrcEngine>(network_, std::move(border), icfg);
-
-    core::ControlPlaneConfig ccfg;
-    ccfg.multicast_reverse = spec_.multicast_reverse;
-    dom.control_plane = std::make_unique<core::PceControlPlane>(
-        *dom.pce, *dom.resolver, dom.xtrs, *dom.irc, ccfg);
-    dom.control_plane->activate();
-  }
-
-  // A5: PCE discovery substitute — every PCE learns which peer PCE is
-  // authoritative for each remote EID prefix (RFC 5088/5089-style discovery
-  // flattened into configuration; see DESIGN.md).
-  if (spec_.pce_on_demand) {
-    for (auto& dom : domains_) {
-      for (const auto& other : domains_) {
-        if (other.index == dom.index) continue;
-        for (const auto& prefix : site_prefixes(other.index)) {
-          dom.pce->add_pce_directory_entry(prefix, other.pce->address());
-        }
-      }
-    }
+    dom.registered_entries = std::move(site_entries);
   }
 }
 
@@ -508,66 +255,6 @@ core::FailoverController& Internet::arm_failover(std::size_t d,
 }
 
 net::Ipv4Address Internet::core_address() const { return kCoreAddress; }
-
-void Internet::build_map_server() {
-  const std::size_t count = std::max<std::size_t>(1, spec_.map_server_count);
-  sim::LinkConfig attach;
-  attach.delay = spec_.dns_infra_delay;
-  attach.bandwidth_bps = spec_.core_bandwidth_bps;
-
-  // Map-Servers and (colocated, one per MS) Map-Resolvers on the core.
-  mapping::MapServerConfig mscfg;
-  mscfg.proxy_reply = spec_.ms_proxy_reply;
-  for (std::size_t i = 0; i < count; ++i) {
-    auto& ms = network_.make<mapping::MapServer>(
-        "ms" + std::to_string(i), map_server_addr(i), mscfg);
-    network_.connect(ms.id(), core_->id(), attach);
-    network_.add_host_route(core_->id(), ms.address(), ms.id());
-    network_.add_route(ms.id(), net::Ipv4Prefix(), core_->id());
-    map_servers_.push_back(&ms);
-
-    auto& mr = network_.make<mapping::MapResolver>("mr" + std::to_string(i),
-                                                   map_resolver_addr(i));
-    network_.connect(mr.id(), core_->id(), attach);
-    network_.add_host_route(core_->id(), mr.address(), mr.id());
-    network_.add_route(mr.id(), net::Ipv4Prefix(), core_->id());
-    map_resolvers_.push_back(&mr);
-  }
-
-  // Every resolver knows which Map-Server each site registers with (the
-  // MR-to-MS rendezvous that deployment runs over the ALT; see DESIGN.md).
-  for (std::size_t d = 0; d < spec_.domains; ++d) {
-    const auto ms_addr = map_server_addr(d % count);
-    for (const auto& prefix : site_prefixes(d)) {
-      for (auto* mr : map_resolvers_) {
-        mr->add_map_server_route(prefix, ms_addr);
-      }
-    }
-  }
-
-  // Each domain's first border router runs the registration loop; ITRs use
-  // their shard's resolver as the Map-Request target.
-  mapping::RegistrarConfig rcfg;
-  rcfg.ttl_seconds = spec_.ms_registration_ttl_seconds;
-  rcfg.refresh_interval = spec_.ms_refresh_interval;
-  for (std::size_t d = 0; d < spec_.domains; ++d) {
-    DomainHandle& dom = domains_[d];
-    std::vector<lisp::MapEntry> entries;
-    for (const auto& prefix : site_prefixes(d)) {
-      if (const auto* registered = registry_.find(prefix)) {
-        entries.push_back(*registered);
-      }
-    }
-    auto registrar = std::make_unique<mapping::EtrRegistrar>(
-        *dom.xtrs.front(), map_server_addr(d % count), std::move(entries),
-        rcfg);
-    registrar->start();
-    registrars_.push_back(std::move(registrar));
-    for (auto* xtr : dom.xtrs) {
-      xtr->set_overlay_attachment(map_resolver_addr(d % count));
-    }
-  }
-}
 
 dns::DomainName Internet::host_name(std::size_t domain, std::size_t host) const {
   return dns::DomainName::from_string("h" + std::to_string(host) + ".d" +

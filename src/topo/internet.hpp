@@ -4,20 +4,20 @@
 // (each with end-hosts, an internal router, one border xTR per provider, a
 // caching resolver, an authoritative DNS server, and — under the PCE control
 // plane — a PCE fronting both DNS servers, exactly as in Fig. 1), a DNS
-// root/TLD hierarchy, and whichever mapping control plane the experiment
-// selects (ALT, CONS, NERD, PCE, or plain IP as the pre-LISP baseline).
+// root/TLD hierarchy, and whichever mapping system the spec selects.
+//
+// The mapping system itself is pluggable: `InternetSpec::kind` names a
+// mapping::ControlPlaneKind, the mapping::MappingSystemFactory instantiates
+// the matching mapping::MappingSystem, and build() drives its lifecycle
+// (configure_xtr / attach_domain_dns / build / register_site / attach_itr /
+// activate).  The topology builder contains no per-system branching; adding
+// a control plane is a factory registration, not a change here.
 //
 // Routing reproduces the LISP premise: provider (RLOC) space and DNS/PCE
 // infrastructure are globally routable; domain EID prefixes are routable
 // only inside their own domain, so an un-encapsulated EID packet reaching
 // the core is dropped ("no route") — which is why a mapping system exists.
-//
-// Address plan (disjoint, asserted in tests):
-//   EID space          100.64.0.0/10   domain d: 100.(64+d/256).(d%256).0/24
-//   provider RLOCs     10.0.0.0/8      xTR j of domain d: 10.(d/256).(d%256).(1+j)
-//   domain DNS/PCE     192.1.0.0/16    per domain d: pce .1, resolver .10, auth .20
-//   global infra       192.0.0.0/16    core .0.1, root .1.1, TLD .1.2,
-//                                      NERD .4.1, overlay routers .8.x
+// The address plan lives in topo/address_plan.hpp.
 #pragma once
 
 #include <memory>
@@ -32,6 +32,7 @@
 #include "irc/irc_engine.hpp"
 #include "lisp/tunnel_router.hpp"
 #include "mapping/map_server.hpp"
+#include "mapping/mapping_system.hpp"
 #include "mapping/nerd.hpp"
 #include "mapping/overlay_router.hpp"
 #include "mapping/registry.hpp"
@@ -42,19 +43,10 @@
 
 namespace lispcp::topo {
 
-/// The control planes the experiments compare.
-enum class ControlPlaneKind {
-  kPlainIp,    ///< pre-LISP Internet: EIDs globally routed, no tunnels
-  kAltDrop,    ///< LISP+ALT, vanilla drop-on-miss
-  kAltQueue,   ///< LISP+ALT, queue-at-ITR palliative
-  kAltForward, ///< LISP+ALT, data-over-control-plane palliative
-  kCons,       ///< LISP-CONS (replies relayed down the tree), drop-on-miss
-  kNerd,       ///< NERD push database
-  kMapServer,  ///< Map-Server / Map-Resolver (draft-lisp-ms)
-  kPce,        ///< the paper's PCE-based control plane
-};
-
-[[nodiscard]] const char* to_string(ControlPlaneKind kind);
+/// The compared control planes are defined (and extended) in the mapping
+/// layer; the topology re-exports the names for convenience.
+using ControlPlaneKind = mapping::ControlPlaneKind;
+using mapping::to_string;
 
 struct InternetSpec {
   std::size_t domains = 2;
@@ -87,20 +79,24 @@ struct InternetSpec {
   /// without changing the traffic — see bench/f1_deaggregation.
   std::size_t deaggregation_factor = 1;
 
-  // Control-plane selection (set the preset, or the flags directly).
-  bool enable_lisp = true;     ///< false = plain-IP baseline
-  bool enable_overlay = false; ///< build ALT/CONS overlay + attach ITRs
-  mapping::OverlayMode overlay_mode = mapping::OverlayMode::kAlt;
+  /// Mapping-system selection: the factory builds this kind.  The default
+  /// is the degenerate no-distribution baseline; use preset() (or set the
+  /// field) to select a real control plane.
+  ControlPlaneKind kind = ControlPlaneKind::kNoMapping;
+
+  // ALT/CONS overlay knobs.
   std::size_t overlay_fanout = 8;
-  bool enable_nerd = false;
-  bool enable_map_server = false;
-  bool enable_pce = false;
 
   // Map-Server system knobs (draft-lisp-ms).
   std::size_t map_server_count = 2;     ///< domains shard across these
   bool ms_proxy_reply = false;          ///< MS answers from the registration
   std::uint32_t ms_registration_ttl_seconds = 180;
   sim::SimDuration ms_refresh_interval = sim::SimDuration::seconds(60);
+  /// Replicated Map-Resolver tier (kMsReplicated): resolver replicas placed
+  /// in evenly spaced home domains; ITRs pull from the nearest one.  More
+  /// replicas than domains makes no placement sense, so the system clamps
+  /// to `domains` — read the built count off Internet::map_resolvers().
+  std::size_t ms_replica_count = 4;
 
   // PCE / IRC knobs.
   irc::TePolicy te_policy = irc::TePolicy::kLeastLoaded;
@@ -116,7 +112,8 @@ struct InternetSpec {
 
   std::uint64_t seed = 1;
 
-  /// Canonical settings for each compared control plane.
+  /// Canonical settings for each compared control plane, applied through
+  /// the factory registration (so presets extend with registered kinds).
   static InternetSpec preset(ControlPlaneKind kind);
 };
 
@@ -133,6 +130,9 @@ struct DomainHandle {
   sim::Node* internal_router = nullptr;
   dns::DnsResolver* resolver = nullptr;
   dns::DnsServer* authoritative = nullptr;
+  /// The site's registered mapping records (possibly de-aggregated), as
+  /// fed to the mapping system.
+  std::vector<lisp::MapEntry> registered_entries;
   core::Pce* pce = nullptr;
   std::unique_ptr<irc::IrcEngine> irc;
   std::unique_ptr<core::PceControlPlane> control_plane;
@@ -151,19 +151,36 @@ class Internet {
   [[nodiscard]] mapping::MappingRegistry& registry() noexcept { return registry_; }
   [[nodiscard]] workload::WorkloadMetrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] sim::Node& core_router() noexcept { return *core_; }
-  [[nodiscard]] mapping::NerdAuthority* nerd() noexcept { return nerd_; }
+
+  /// The mapping system the factory built for spec().kind.
+  [[nodiscard]] mapping::MappingSystem& mapping_system() noexcept {
+    return *system_;
+  }
+
+  /// The infrastructure the mapping system published while building
+  /// (mutable: MappingSystem implementations fill it in build()).
+  struct MappingInfra {
+    mapping::NerdAuthority* nerd = nullptr;
+    std::vector<mapping::MapServer*> map_servers;
+    std::vector<mapping::MapResolver*> map_resolvers;
+    std::vector<std::unique_ptr<mapping::EtrRegistrar>> registrars;
+    std::vector<mapping::OverlayRouter*> overlay_routers;
+  };
+  [[nodiscard]] MappingInfra& mapping_infra() noexcept { return infra_; }
+
+  [[nodiscard]] mapping::NerdAuthority* nerd() noexcept { return infra_.nerd; }
   [[nodiscard]] const std::vector<mapping::MapServer*>& map_servers() const noexcept {
-    return map_servers_;
+    return infra_.map_servers;
   }
   [[nodiscard]] const std::vector<mapping::MapResolver*>& map_resolvers() const noexcept {
-    return map_resolvers_;
+    return infra_.map_resolvers;
   }
   [[nodiscard]] const std::vector<std::unique_ptr<mapping::EtrRegistrar>>&
   registrars() const noexcept {
-    return registrars_;
+    return infra_.registrars;
   }
   [[nodiscard]] const std::vector<mapping::OverlayRouter*>& overlay() const noexcept {
-    return overlay_routers_;
+    return infra_.overlay_routers;
   }
 
   /// Arms automatic failure detection and TE recovery for domain `d`
@@ -213,29 +230,18 @@ class Internet {
   void build_dns_hierarchy();
   void build_domain(std::size_t d);
   void register_mappings();
-  void build_overlay();
-  void build_nerd();
-  void build_map_server();
-  void activate_pce();
-
-  [[nodiscard]] net::Ipv4Prefix domain_eid_prefix(std::size_t d) const;
-  [[nodiscard]] net::Ipv4Address xtr_rloc(std::size_t d, std::size_t j) const;
 
   InternetSpec spec_;
   sim::Simulator sim_;
   sim::Network network_;
   mapping::MappingRegistry registry_;
   workload::WorkloadMetrics metrics_;
+  std::unique_ptr<mapping::MappingSystem> system_;
+  MappingInfra infra_;
 
   sim::Node* core_ = nullptr;
   dns::DnsServer* root_dns_ = nullptr;
   dns::DnsServer* tld_dns_ = nullptr;
-  mapping::NerdAuthority* nerd_ = nullptr;
-  std::vector<mapping::MapServer*> map_servers_;
-  std::vector<mapping::MapResolver*> map_resolvers_;
-  std::vector<std::unique_ptr<mapping::EtrRegistrar>> registrars_;
-  std::vector<mapping::OverlayRouter*> overlay_routers_;
-  std::vector<net::Ipv4Address> overlay_leaf_of_domain_;
   std::vector<DomainHandle> domains_;
 };
 

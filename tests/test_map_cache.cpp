@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "lisp/map_cache.hpp"
 
 #include "sim/rng.hpp"
@@ -167,6 +169,72 @@ TEST_P(MapCacheCapacityProperty, HitRatioGrowsWithCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, MapCacheCapacityProperty,
                          ::testing::Values(4, 16, 64, 200));
+
+// --- Reverse RLOC index (locator-flap hot path) -----------------------------
+
+MapEntry shared_rloc_entry(int i, net::Ipv4Address rloc) {
+  MapEntry entry = entry_for(i);
+  entry.rlocs = {Rloc{rloc, 1, 100, true},
+                 Rloc{net::Ipv4Address(10, 9, static_cast<std::uint8_t>(i), 1),
+                      2, 100, true}};
+  return entry;
+}
+
+TEST(MapCacheRlocIndex, FlapTouchesOnlyReferencingEntries) {
+  MapCache cache;
+  const net::Ipv4Address shared(10, 0, 0, 99);
+  cache.insert(shared_rloc_entry(1, shared), at_seconds(0));
+  cache.insert(shared_rloc_entry(2, shared), at_seconds(0));
+  cache.insert(entry_for(3), at_seconds(0));  // does not reference `shared`
+
+  EXPECT_EQ(cache.entries_referencing(shared), 2u);
+  EXPECT_EQ(cache.set_rloc_reachability_all(shared, false), 2u);
+  // Idempotent: already down, nothing flips.
+  EXPECT_EQ(cache.set_rloc_reachability_all(shared, false), 0u);
+  EXPECT_EQ(cache.set_rloc_reachability_all(shared, true), 2u);
+  // Unknown locator: no entries, no work.
+  EXPECT_EQ(cache.set_rloc_reachability_all(net::Ipv4Address(10, 0, 0, 98),
+                                            false),
+            0u);
+}
+
+TEST(MapCacheRlocIndex, EraseAndReplaceMaintainTheIndex) {
+  MapCache cache;
+  const net::Ipv4Address shared(10, 0, 0, 99);
+  cache.insert(shared_rloc_entry(1, shared), at_seconds(0));
+  cache.insert(shared_rloc_entry(2, shared), at_seconds(0));
+  cache.erase(shared_rloc_entry(1, shared).eid_prefix);
+  EXPECT_EQ(cache.entries_referencing(shared), 1u);
+
+  // Replacing an entry with a different locator set must unindex the old
+  // RLOCs — otherwise a later flap would chase stale prefixes.
+  cache.insert(entry_for(2), at_seconds(1));
+  EXPECT_EQ(cache.entries_referencing(shared), 0u);
+  EXPECT_EQ(cache.set_rloc_reachability_all(shared, false), 0u);
+
+  cache.clear();
+  EXPECT_TRUE(cache.distinct_rlocs().empty());
+}
+
+TEST(MapCacheRlocIndex, DistinctRlocsMatchesLiveEntries) {
+  MapCache cache;
+  const net::Ipv4Address shared(10, 0, 0, 99);
+  cache.insert(shared_rloc_entry(1, shared), at_seconds(0));
+  cache.insert(shared_rloc_entry(2, shared), at_seconds(0));
+  auto rlocs = cache.distinct_rlocs();
+  // `shared` plus the two per-entry secondaries.
+  EXPECT_EQ(rlocs.size(), 3u);
+  EXPECT_NE(std::find(rlocs.begin(), rlocs.end(), shared), rlocs.end());
+}
+
+TEST(MapCacheRlocIndex, EvictionUnindexesTheVictim) {
+  MapCache cache(/*capacity=*/1);
+  const net::Ipv4Address shared(10, 0, 0, 99);
+  cache.insert(shared_rloc_entry(1, shared), at_seconds(0));
+  cache.insert(entry_for(2), at_seconds(0));  // evicts entry 1 (LRU)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.entries_referencing(shared), 0u);
+}
 
 }  // namespace
 }  // namespace lispcp::lisp

@@ -61,7 +61,8 @@ struct MsWorld {
     icfg.local_eid_prefixes = {net::Ipv4Prefix(net::Ipv4Address(100, 64, 9, 0), 24)};
     itr = &network.make<lisp::TunnelRouter>("itr", net::Ipv4Address(10, 9, 0, 1),
                                             icfg);
-    itr->set_overlay_attachment(mr->address());
+    itr->set_resolution_strategy(
+        std::make_unique<lisp::UnicastPullResolution>(mr->address()));
     etr->set_site_mappings({site_entry(1)});
 
     src = &network.make<sim::Node>("src");

@@ -1,0 +1,219 @@
+// MappingSystem seam tests: the factory registry, the preset/creation
+// round trip, the per-ITR resolution strategies each system installs, and
+// — the load-bearing one — seed parity: for every control plane the
+// factory-built Experiment must reproduce the exact ExperimentSummary
+// counters measured on the seed's flag-based construction (same seed →
+// identical sessions / established / miss_events / miss_drops /
+// encapsulated).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapping/mapping_system.hpp"
+#include "scenario/experiment.hpp"
+
+namespace lispcp {
+namespace {
+
+using mapping::ControlPlaneKind;
+using mapping::MappingSystemFactory;
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using topo::InternetSpec;
+
+const std::vector<ControlPlaneKind> kAllKinds = {
+    ControlPlaneKind::kPlainIp,   ControlPlaneKind::kNoMapping,
+    ControlPlaneKind::kAltDrop,   ControlPlaneKind::kAltQueue,
+    ControlPlaneKind::kAltForward, ControlPlaneKind::kCons,
+    ControlPlaneKind::kNerd,      ControlPlaneKind::kMapServer,
+    ControlPlaneKind::kMsReplicated, ControlPlaneKind::kPce};
+
+TEST(MappingSystemFactory, AllBuiltinKindsAreRegistered) {
+  auto& factory = MappingSystemFactory::instance();
+  const auto kinds = factory.kinds();
+  for (auto kind : kAllKinds) {
+    EXPECT_TRUE(factory.contains(kind)) << factory.name(kind);
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), kind), kinds.end());
+  }
+  EXPECT_EQ(kinds.size(), kAllKinds.size());
+}
+
+TEST(MappingSystemFactory, NamesAreStable) {
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kPlainIp), "plain-ip");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kNoMapping), "lisp-none");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kAltDrop), "lisp-alt(drop)");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kAltQueue),
+               "lisp-alt(queue)");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kAltForward),
+               "lisp-alt(cp-fwd)");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kCons), "lisp-cons");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kNerd), "lisp-nerd");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kMapServer), "lisp-ms");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kMsReplicated),
+               "lisp-ms-repl");
+  EXPECT_STREQ(mapping::to_string(ControlPlaneKind::kPce), "lisp-pce");
+}
+
+TEST(MappingSystemFactory, CreateReturnsMatchingKind) {
+  for (auto kind : kAllKinds) {
+    const auto spec = InternetSpec::preset(kind);
+    const auto system = MappingSystemFactory::instance().create(spec);
+    ASSERT_NE(system, nullptr);
+    EXPECT_EQ(system->kind(), kind) << mapping::to_string(kind);
+  }
+}
+
+TEST(MappingSystemFactory, ComparisonSetExcludesBaselines) {
+  const auto compared = MappingSystemFactory::instance().comparison_kinds();
+  EXPECT_EQ(std::find(compared.begin(), compared.end(),
+                      ControlPlaneKind::kPlainIp),
+            compared.end());
+  EXPECT_EQ(std::find(compared.begin(), compared.end(),
+                      ControlPlaneKind::kNoMapping),
+            compared.end());
+  // Every real mapping system is compared, the new tier included.
+  EXPECT_EQ(compared.size(), kAllKinds.size() - 2);
+  EXPECT_NE(std::find(compared.begin(), compared.end(),
+                      ControlPlaneKind::kMsReplicated),
+            compared.end());
+}
+
+TEST(MappingSystemFactory, UnregisteredKindThrows) {
+  InternetSpec spec;
+  spec.kind = static_cast<ControlPlaneKind>(240);
+  EXPECT_THROW(topo::Internet{spec}, std::invalid_argument);
+  EXPECT_THROW(InternetSpec::preset(static_cast<ControlPlaneKind>(240)),
+               std::invalid_argument);
+}
+
+// --- Installed resolution strategies ---------------------------------------
+
+ExperimentConfig small_config(ControlPlaneKind kind, std::uint64_t seed = 42) {
+  ExperimentConfig config;
+  config.spec = InternetSpec::preset(kind);
+  config.spec.domains = 6;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.cache_capacity = 8;
+  config.spec.mapping_ttl_seconds = 60;
+  config.spec.seed = seed;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(10);
+  config.drain = sim::SimDuration::seconds(20);
+  return config;
+}
+
+TEST(MappingSystem, InstallsTheExpectedItrStrategy) {
+  const std::vector<std::pair<ControlPlaneKind, const char*>> expectations = {
+      {ControlPlaneKind::kPlainIp, "push-only"},
+      {ControlPlaneKind::kNoMapping, "push-only"},
+      {ControlPlaneKind::kAltDrop, "unicast-pull"},
+      {ControlPlaneKind::kCons, "unicast-pull(record-route)"},
+      {ControlPlaneKind::kNerd, "push-only"},
+      {ControlPlaneKind::kMapServer, "unicast-pull"},
+      {ControlPlaneKind::kMsReplicated, "replica-pull"},
+      {ControlPlaneKind::kPce, "push-only"},
+  };
+  for (const auto& [kind, strategy] : expectations) {
+    auto spec = InternetSpec::preset(kind);
+    spec.domains = 4;
+    topo::Internet internet(spec);
+    for (auto& dom : internet.domains()) {
+      for (auto* xtr : dom.xtrs) {
+        ASSERT_NE(xtr->resolution(), nullptr) << mapping::to_string(kind);
+        EXPECT_STREQ(xtr->resolution()->name(), strategy)
+            << mapping::to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(MappingSystem, StatsReportInfrastructureFootprint) {
+  {
+    auto spec = InternetSpec::preset(ControlPlaneKind::kAltDrop);
+    spec.domains = 8;
+    spec.overlay_fanout = 4;
+    topo::Internet internet(spec);
+    const auto stats = internet.mapping_system().stats();
+    EXPECT_EQ(stats.infrastructure_nodes, internet.overlay().size());
+    EXPECT_GT(stats.database_records, 0u);
+  }
+  {
+    auto spec = InternetSpec::preset(ControlPlaneKind::kNerd);
+    spec.domains = 4;
+    topo::Internet internet(spec);
+    const auto stats = internet.mapping_system().stats();
+    EXPECT_EQ(stats.infrastructure_nodes, 1u);
+    EXPECT_EQ(stats.database_records, 4u);
+  }
+  {
+    auto spec = InternetSpec::preset(ControlPlaneKind::kPce);
+    spec.domains = 4;
+    topo::Internet internet(spec);
+    EXPECT_EQ(internet.mapping_system().stats().infrastructure_nodes, 4u);
+  }
+}
+
+// --- Seed parity ------------------------------------------------------------
+
+struct GoldenCounters {
+  ControlPlaneKind kind;
+  std::uint64_t sessions;
+  std::uint64_t established;
+  std::uint64_t miss_events;
+  std::uint64_t miss_drops;
+  std::uint64_t encapsulated;
+};
+
+// Captured by running this exact configuration (small_config, seed 42) on
+// the seed's flag-based Internet::build() before the factory refactor.  The
+// factory-built path must reproduce them bit-for-bit: any drift means the
+// refactor changed behaviour, not just structure.
+const GoldenCounters kSeedGoldens[] = {
+    {ControlPlaneKind::kPlainIp, 203, 203, 0, 0, 0},
+    {ControlPlaneKind::kAltDrop, 203, 203, 33, 44, 2233},
+    {ControlPlaneKind::kAltQueue, 203, 203, 27, 0, 2233},
+    {ControlPlaneKind::kAltForward, 203, 203, 39, 0, 2181},
+    {ControlPlaneKind::kCons, 203, 203, 32, 46, 2233},
+    {ControlPlaneKind::kNerd, 203, 203, 0, 0, 2233},
+    {ControlPlaneKind::kMapServer, 203, 203, 33, 44, 2233},
+    {ControlPlaneKind::kPce, 203, 203, 0, 0, 2233},
+};
+
+TEST(MappingSystemParity, FactoryBuildReproducesSeedCounters) {
+  for (const auto& golden : kSeedGoldens) {
+    Experiment experiment(small_config(golden.kind));
+    const auto s = experiment.run();
+    EXPECT_EQ(s.sessions, golden.sessions) << mapping::to_string(golden.kind);
+    EXPECT_EQ(s.established, golden.established)
+        << mapping::to_string(golden.kind);
+    EXPECT_EQ(s.miss_events, golden.miss_events)
+        << mapping::to_string(golden.kind);
+    EXPECT_EQ(s.miss_drops, golden.miss_drops)
+        << mapping::to_string(golden.kind);
+    EXPECT_EQ(s.encapsulated, golden.encapsulated)
+        << mapping::to_string(golden.kind);
+  }
+}
+
+TEST(MappingSystemParity, EveryKindIsDeterministicPerSeed) {
+  // The new kinds have no seed-era golden; determinism is the enforceable
+  // half of the parity contract for them (and a regression tripwire for
+  // everything else at a second seed).
+  for (auto kind : MappingSystemFactory::instance().kinds()) {
+    const auto first = Experiment(small_config(kind, 7)).run();
+    const auto second = Experiment(small_config(kind, 7)).run();
+    EXPECT_EQ(first.sessions, second.sessions) << mapping::to_string(kind);
+    EXPECT_EQ(first.established, second.established)
+        << mapping::to_string(kind);
+    EXPECT_EQ(first.miss_events, second.miss_events)
+        << mapping::to_string(kind);
+    EXPECT_EQ(first.miss_drops, second.miss_drops)
+        << mapping::to_string(kind);
+    EXPECT_EQ(first.encapsulated, second.encapsulated)
+        << mapping::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace lispcp

@@ -1,0 +1,140 @@
+// Replicated Map-Resolver tier tests: shard/replica construction, nearest-
+// replica selection, tie-rotation load spreading, end-to-end resolution,
+// and retry rotation onto the next replica when the nearest one is dead.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lisp/resolution.hpp"
+#include "mapping/replicated_resolver.hpp"
+#include "scenario/experiment.hpp"
+#include "topo/address_plan.hpp"
+
+namespace lispcp {
+namespace {
+
+using mapping::ControlPlaneKind;
+using mapping::ReplicatedResolverSystem;
+using scenario::Experiment;
+using scenario::ExperimentConfig;
+using topo::InternetSpec;
+
+ExperimentConfig repl_config(std::size_t domains = 12,
+                             std::size_t replicas = 4) {
+  ExperimentConfig config;
+  config.spec = InternetSpec::preset(ControlPlaneKind::kMsReplicated);
+  config.spec.domains = domains;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  config.spec.cache_capacity = 8;
+  config.spec.mapping_ttl_seconds = 60;
+  config.spec.ms_replica_count = replicas;
+  config.spec.seed = 11;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(10);
+  config.drain = sim::SimDuration::seconds(20);
+  return config;
+}
+
+TEST(ReplicatedResolver, BuildsShardAndReplicaTiers) {
+  Experiment experiment(repl_config(12, 4));
+  auto& internet = experiment.internet();
+  EXPECT_EQ(internet.map_servers().size(), internet.spec().map_server_count);
+  ASSERT_EQ(internet.map_resolvers().size(), 4u);
+  // One registration loop per site, against the sharded MS tier.
+  EXPECT_EQ(internet.registrars().size(), 12u);
+  // Replicated: every replica holds the full prefix-to-shard table.
+  for (const auto* mr : internet.map_resolvers()) {
+    EXPECT_EQ(mr->route_count(), 12u);
+  }
+}
+
+TEST(ReplicatedResolver, ReplicaCountClampsToDomains) {
+  Experiment experiment(repl_config(/*domains=*/4, /*replicas=*/64));
+  EXPECT_EQ(experiment.internet().map_resolvers().size(), 4u);
+}
+
+TEST(ReplicatedResolver, HomeDomainsSpreadEvenly) {
+  EXPECT_EQ(ReplicatedResolverSystem::replica_home_domain(0, 4, 12), 0u);
+  EXPECT_EQ(ReplicatedResolverSystem::replica_home_domain(1, 4, 12), 3u);
+  EXPECT_EQ(ReplicatedResolverSystem::replica_home_domain(2, 4, 12), 6u);
+  EXPECT_EQ(ReplicatedResolverSystem::replica_home_domain(3, 4, 12), 9u);
+  EXPECT_EQ(ReplicatedResolverSystem::replica_home_domain(2, 3, 12), 8u);
+}
+
+TEST(ReplicatedResolver, SingleSourceResolvesViaItsNearestReplica) {
+  auto config = repl_config(12, 4);
+  config.mode = scenario::TrafficMode::kSingleSource;
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  EXPECT_GT(summary.miss_events, 0u);
+  auto& internet = experiment.internet();
+  // Domain 0 hosts a replica; with no retries in play, every Map-Request
+  // from its ITRs lands there and nowhere else.
+  EXPECT_GT(internet.map_resolvers()[0]->stats().requests_received, 0u);
+  for (std::size_t r = 1; r < internet.map_resolvers().size(); ++r) {
+    EXPECT_EQ(internet.map_resolvers()[r]->stats().requests_received, 0u) << r;
+  }
+}
+
+TEST(ReplicatedResolver, TieRotationSpreadsRemoteDomains) {
+  auto config = repl_config(12, 4);
+  config.mode = scenario::TrafficMode::kAllToAll;
+  config.traffic.sessions_per_second = 40;
+  Experiment experiment(config);
+  experiment.run();
+  std::uint64_t total = 0, hottest = 0;
+  for (const auto* mr : experiment.internet().map_resolvers()) {
+    total += mr->stats().requests_received;
+    hottest = std::max<std::uint64_t>(hottest, mr->stats().requests_received);
+  }
+  ASSERT_GT(total, 0u);
+  // Without tie rotation every remote domain funnels to replica 0 (~3/4 of
+  // all requests here); with it no replica should be close to that.
+  EXPECT_LT(static_cast<double>(hottest), 0.6 * static_cast<double>(total));
+}
+
+TEST(ReplicatedResolver, QueuedPacketsResolveEndToEnd) {
+  auto config = repl_config(12, 4);
+  config.spec.miss_policy = lisp::MissPolicy::kQueue;
+  Experiment experiment(config);
+  const auto summary = experiment.run();
+  EXPECT_GT(summary.miss_events, 0u);
+  EXPECT_EQ(summary.miss_drops, 0u);
+  EXPECT_EQ(summary.established, summary.sessions);
+  // The resolution queue saw real waiting time (the front-end RTT).
+  EXPECT_GT(experiment.internet().merged_queue_delay().count(), 0u);
+}
+
+TEST(ReplicatedResolver, RetryRotatesToTheNextReplicaWhenNearestIsDead) {
+  auto config = repl_config(12, 4);
+  config.spec.miss_policy = lisp::MissPolicy::kQueue;
+  Experiment experiment(config);
+  auto& internet = experiment.internet();
+  // Re-point domain 0's ITRs at a replica set whose nearest member does not
+  // exist: the first transmission is lost, the retry must rotate onto the
+  // live replica and resolve.
+  const auto dead = topo::replica_resolver_addr(200);
+  const auto live = internet.map_resolvers()[0]->address();
+  for (auto* xtr : internet.domain(0).xtrs) {
+    xtr->set_resolution_strategy(std::make_unique<lisp::ReplicaPullResolution>(
+        std::vector<net::Ipv4Address>{dead, live}));
+  }
+  const auto summary = experiment.run();
+  EXPECT_EQ(summary.established, summary.sessions);
+  std::uint64_t retries = 0, replies = 0;
+  for (auto* xtr : internet.domain(0).xtrs) {
+    retries += xtr->stats().map_request_retries;
+    replies += xtr->stats().map_replies_received;
+  }
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(replies, 0u);
+}
+
+TEST(ReplicaPullResolution, RejectsEmptyReplicaSet) {
+  EXPECT_THROW(lisp::ReplicaPullResolution(std::vector<net::Ipv4Address>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lispcp

@@ -170,15 +170,19 @@ TEST(Topology, ControlPlaneNames) {
   EXPECT_STREQ(to_string(ControlPlaneKind::kPlainIp), "plain-ip");
 }
 
-TEST(Topology, PresetsSetTheRightFlags) {
-  EXPECT_FALSE(InternetSpec::preset(ControlPlaneKind::kPlainIp).enable_lisp);
-  EXPECT_TRUE(InternetSpec::preset(ControlPlaneKind::kAltDrop).enable_overlay);
+TEST(Topology, PresetsSelectKindAndDefaults) {
+  // A preset is the registry's spec defaults for the kind: it selects the
+  // kind and applies the per-kind knobs (here, the miss policies that define
+  // the ALT variants).
+  for (auto kind : mapping::MappingSystemFactory::instance().kinds()) {
+    EXPECT_EQ(InternetSpec::preset(kind).kind, kind);
+  }
+  EXPECT_EQ(InternetSpec::preset(ControlPlaneKind::kAltDrop).miss_policy,
+            lisp::MissPolicy::kDrop);
   EXPECT_EQ(InternetSpec::preset(ControlPlaneKind::kAltQueue).miss_policy,
             lisp::MissPolicy::kQueue);
-  EXPECT_EQ(InternetSpec::preset(ControlPlaneKind::kCons).overlay_mode,
-            mapping::OverlayMode::kCons);
-  EXPECT_TRUE(InternetSpec::preset(ControlPlaneKind::kNerd).enable_nerd);
-  EXPECT_TRUE(InternetSpec::preset(ControlPlaneKind::kPce).enable_pce);
+  EXPECT_EQ(InternetSpec::preset(ControlPlaneKind::kAltForward).miss_policy,
+            lisp::MissPolicy::kForwardOverlay);
 }
 
 TEST(Topology, DeaggregationRegistersSubPrefixes) {
