@@ -2,15 +2,29 @@
 //
 // Each bench regenerates one table/figure from DESIGN.md's per-experiment
 // index and prints it via metrics::Table so EXPERIMENTS.md can quote the
-// output verbatim.
+// output verbatim.  The comparative benches declare scenario::SweepSpecs and
+// run them through this file's BenchContext, which owns the shared CLI:
+//
+//   --jobs N         run sweep points on N threads (default 1)
+//   --json <path>    archive every executed ResultSet as JSON (the CI perf
+//                    trajectory artifact, BENCH_<id>.json)
+//   --csv <path>     same, as CSV sections
+//   --filter <str>   run only series whose name contains <str>, and only
+//                    points whose series label contains it when it names a
+//                    registered control plane
+//   --quick          reduced sweep (short arrival window) for smoke runs
 #pragma once
 
+#include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "mapping/mapping_system.hpp"
 #include "metrics/table.hpp"
-#include "scenario/experiment.hpp"
+#include "scenario/sweep.hpp"
 
 namespace lispcp::bench {
 
@@ -26,11 +40,159 @@ inline void print_footer(const std::string& note) {
   std::cout << std::endl;
 }
 
-/// The control planes compared throughout the evaluation: whatever the
-/// mapping-system registry marks as comparable.  A newly registered system
-/// shows up in every comparative bench without touching it.
-inline std::vector<topo::ControlPlaneKind> compared_control_planes() {
-  return mapping::MappingSystemFactory::instance().comparison_kinds();
+struct BenchOptions {
+  std::size_t jobs = 1;
+  std::string json_path;
+  std::string csv_path;
+  std::string filter;
+  bool quick = false;
+};
+
+inline BenchOptions parse_cli(int argc, char** argv) {
+  BenchOptions options;
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs") {
+      options.jobs = static_cast<std::size_t>(
+          std::strtoul(value(i, "--jobs").c_str(), nullptr, 10));
+      if (options.jobs == 0) options.jobs = 1;
+    } else if (arg == "--json") {
+      options.json_path = value(i, "--json");
+    } else if (arg == "--csv") {
+      options.csv_path = value(i, "--csv");
+    } else if (arg == "--filter") {
+      options.filter = value(i, "--filter");
+    } else if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--jobs N] [--json path] [--csv path]"
+                   " [--filter series] [--quick]\n";
+      std::exit(0);
+    } else {
+      std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
+      std::exit(2);
+    }
+  }
+  return options;
 }
+
+/// Drives a bench's series: applies the CLI to each declared sweep, prints
+/// the rendered tables, and flushes the machine-readable sinks at the end.
+class BenchContext {
+ public:
+  BenchContext(std::string bench_id, BenchOptions options)
+      : bench_id_(std::move(bench_id)), options_(std::move(options)) {}
+
+  [[nodiscard]] const BenchOptions& options() const noexcept { return options_; }
+  [[nodiscard]] bool quick() const noexcept { return options_.quick; }
+
+  /// Whether a series should run under --filter.  A filter naming (part
+  /// of) a control plane ("pce", "lisp-ms") still runs every series —
+  /// point filtering narrows within them instead.
+  [[nodiscard]] bool enabled(const std::string& series_name) const {
+    if (options_.filter.empty()) return true;
+    if (plane_filter()) return true;
+    return series_name.find(options_.filter) != std::string::npos;
+  }
+
+  /// Executes a declared sweep with the CLI's jobs/filter applied (the
+  /// returned reference stays valid for the context's lifetime).  When
+  /// --quick is set, the arrival window and drain shrink first.  A filter
+  /// that matches no point is reported on stderr instead of silently
+  /// producing an empty table/artifact.
+  [[nodiscard]] const scenario::ResultSet& run(scenario::Runner& runner) {
+    scenario::RunOptions run_options;
+    run_options.jobs = options_.jobs;
+    if (plane_filter()) run_options.filter = options_.filter;
+    results_.push_back(runner.run(run_options));
+    if (results_.back().size() == 0 && !options_.filter.empty()) {
+      std::cerr << "warning: --filter '" << options_.filter
+                << "' matched no points in series " << runner.spec().name()
+                << "\n";
+    }
+    return results_.back();
+  }
+
+  /// The canonical --quick reduction: same topology and seeds, a sixth of
+  /// the arrival window.
+  static void apply_quick(scenario::ExperimentConfig& config) {
+    config.traffic.duration = sim::SimDuration::seconds(5);
+    config.drain = sim::SimDuration::seconds(10);
+  }
+
+  /// Shrinks the sweep's base when --quick is set; call while declaring.
+  void maybe_quick(scenario::SweepSpec& spec) const {
+    if (options_.quick) spec.base(apply_quick);
+  }
+
+  /// Writes the collected ResultSets to the --json/--csv sinks.
+  void finish() const {
+    if (!options_.filter.empty()) {
+      std::size_t total_points = 0;
+      for (const auto& result : results_) total_points += result.size();
+      if (total_points == 0) {
+        std::cerr << "warning: --filter '" << options_.filter
+                  << "' selected no series and no points; nothing ran "
+                     "(series names and control-plane names match by "
+                     "substring)\n";
+      }
+    }
+    if (!options_.json_path.empty()) {
+      std::ofstream os(options_.json_path);
+      if (!os) {
+        std::cerr << "cannot open " << options_.json_path << "\n";
+        std::exit(1);
+      }
+      os << "{\"bench\": \"" << bench_id_ << "\", \"series\": [";
+      for (std::size_t i = 0; i < results_.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\n";
+        results_[i].to_json(os);
+      }
+      os << "]}\n";
+    }
+    if (!options_.csv_path.empty()) {
+      std::ofstream os(options_.csv_path);
+      if (!os) {
+        std::cerr << "cannot open " << options_.csv_path << "\n";
+        std::exit(1);
+      }
+      for (const auto& result : results_) {
+        os << "# " << result.name() << "\n";
+        result.to_csv(os);
+        os << "\n";
+      }
+    }
+  }
+
+ private:
+  /// True when --filter looks like a control plane — a substring of a
+  /// registered name ("pce", "lisp-ms") — so it should narrow points
+  /// rather than select series.
+  [[nodiscard]] bool plane_filter() const {
+    auto& factory = mapping::MappingSystemFactory::instance();
+    if (factory.find_kind(options_.filter).has_value()) return true;
+    for (const auto kind : factory.kinds()) {
+      if (std::string(topo::to_string(kind)).find(options_.filter) !=
+          std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string bench_id_;
+  BenchOptions options_;
+  /// Deque: run() hands out references that must survive later push_backs.
+  std::deque<scenario::ResultSet> results_;
+};
 
 }  // namespace lispcp::bench

@@ -2,9 +2,13 @@
 // resolution under the PCE control plane, unlike the pull baselines and the
 // palliatives the paper criticises.
 //
-// Series 1: first-packet outcome per control plane at a fixed workload.
-// Series 2: drop rate vs map-cache capacity (ALT-drop) vs PCE.
-// Series 3: drop rate vs destination-popularity skew (Zipf alpha).
+// Series E1a: first-packet outcome per control plane at a fixed workload.
+// Series E1b: drop rate vs map-cache capacity (ALT-drop) vs PCE.
+// Series E1c: drop rate vs destination-popularity skew (Zipf alpha).
+//
+// Declarative sweeps throughout: each series is a SweepSpec + probes; run
+// with --jobs N for parallel points, --json/--csv for machine-readable
+// output (see bench_util.hpp).
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -12,113 +16,140 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
-using topo::InternetSpec;
 
-ExperimentConfig base_config(ControlPlaneKind kind) {
-  ExperimentConfig config;
-  config.spec = InternetSpec::preset(kind);
-  config.spec.domains = 24;
-  config.spec.hosts_per_domain = 2;
-  config.spec.providers_per_domain = 2;
-  config.spec.cache_capacity = 8;  // small cache: misses matter
-  config.spec.mapping_ttl_seconds = 60;
-  config.spec.seed = 1;
-  config.traffic.sessions_per_second = 40;
-  config.traffic.duration = sim::SimDuration::seconds(30);
-  config.traffic.zipf_alpha = 0.9;
-  config.drain = sim::SimDuration::seconds(60);
-  return config;
+/// E1's workload on top of the canonical steady-state base: more sites, a
+/// hotter arrival process, and a longer drain for the 3 s retransmission
+/// timeouts to play out.
+SweepSpec e1_base() {
+  auto spec = SweepSpec::steady_state();
+  spec.base([](ExperimentConfig& config) {
+    config.spec.domains = 24;
+    config.spec.cache_capacity = 8;  // small cache: misses matter
+    config.spec.seed = 1;
+    config.traffic.sessions_per_second = 40;
+    config.traffic.zipf_alpha = 0.9;
+    config.drain = sim::SimDuration::seconds(60);
+  });
+  return spec;
 }
 
-void series_control_planes() {
+void drop_fields(Experiment& experiment, const RunPoint&, Record& record) {
+  const auto s = experiment.summary();
+  record.set_int("drops", s.miss_drops);
+  record.set_int("affected", s.sessions_with_retransmission);
+}
+
+void series_control_planes(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E1a")) return;
   std::cout << "-- E1a: first-packet outcome by control plane "
                "(24 sites, cache=8 entries, ttl=60s, zipf 0.9, 40 f/s) --\n\n";
-  metrics::Table table({"control plane", "sessions", "miss events", "drops",
-                        "drop rate", "affected flows", "queued", "queue p95 (ms)",
-                        "established"});
-  for (auto kind : bench::compared_control_planes()) {
-    Experiment experiment(base_config(kind));
-    const auto s = experiment.run();
-    const auto queue_delay = experiment.internet().merged_queue_delay();
+  auto spec = e1_base().named("E1a").axis(Axis::control_planes());
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
     std::uint64_t queued = 0;
     for (auto& dom : experiment.internet().domains()) {
       for (auto* xtr : dom.xtrs) queued += xtr->stats().miss_queued;
     }
-    table.add_row({topo::to_string(kind), metrics::Table::integer(s.sessions),
-                   metrics::Table::integer(s.miss_events),
-                   metrics::Table::integer(s.miss_drops),
-                   metrics::Table::percent(
-                       s.sessions ? static_cast<double>(s.miss_drops) /
-                                        static_cast<double>(s.encapsulated +
-                                                            s.miss_drops + 1)
-                                  : 0.0),
-                   metrics::Table::integer(s.sessions_with_retransmission),
-                   metrics::Table::integer(queued),
-                   metrics::Table::num(queue_delay.p95() / 1000.0),
-                   metrics::Table::integer(s.established)});
-  }
-  table.print(std::cout);
+    const auto queue_delay = experiment.internet().merged_queue_delay();
+    record.set_int("sessions", s.sessions);
+    record.set_int("miss events", s.miss_events);
+    record.set_int("drops", s.miss_drops);
+    record.set_percent(
+        "drop rate",
+        s.sessions ? static_cast<double>(s.miss_drops) /
+                         static_cast<double>(s.encapsulated + s.miss_drops + 1)
+                   : 0.0);
+    record.set_int("affected flows", s.sessions_with_retransmission);
+    record.set_int("queued", queued);
+    record.set_real("queue p95 (ms)", queue_delay.p95() / 1000.0);
+    record.set_int("established", s.established);
+  });
+  const auto& result = ctx.run(runner);
+  result.table().print(std::cout);
   std::cout << "\n";
 }
 
-void series_cache_capacity() {
+void series_cache_capacity(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E1b")) return;
   std::cout << "-- E1b: drops vs ITR map-cache capacity (ALT-drop vs PCE) --\n\n";
-  metrics::Table table({"cache entries", "alt-drop drops", "alt-drop affected",
-                        "pce drops", "pce affected"});
-  for (std::size_t capacity : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    auto alt_config = base_config(ControlPlaneKind::kAltDrop);
-    alt_config.spec.cache_capacity = capacity;
-    const auto alt = Experiment(alt_config).run();
-    auto pce_config = base_config(ControlPlaneKind::kPce);
-    pce_config.spec.cache_capacity = capacity;
-    const auto pce = Experiment(pce_config).run();
-    table.add_row({metrics::Table::integer(capacity),
-                   metrics::Table::integer(alt.miss_drops),
-                   metrics::Table::integer(alt.sessions_with_retransmission),
-                   metrics::Table::integer(pce.miss_drops),
-                   metrics::Table::integer(pce.sessions_with_retransmission)});
-  }
-  table.print(std::cout);
+  auto spec =
+      e1_base()
+          .named("E1b")
+          .axis(Axis::integers(
+              "cache entries", {2, 4, 8, 16, 32, 64},
+              [](ExperimentConfig& config, std::uint64_t capacity) {
+                config.spec.cache_capacity = capacity;
+              }))
+          .axis(Axis::control_planes(
+              "control plane", {ControlPlaneKind::kAltDrop, ControlPlaneKind::kPce},
+              {"alt-drop", "pce"}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe(drop_fields);
+  const auto& result = ctx.run(runner);
+  result.pivot("cache entries", "control plane", {"drops", "affected"})
+      .print(std::cout);
   std::cout << "\n";
 }
 
-void series_zipf() {
+void series_zipf(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E1c")) return;
   std::cout << "-- E1c: drops vs destination popularity skew (cache=8) --\n\n";
-  metrics::Table table({"zipf alpha", "alt-drop drops", "alt-drop drop sessions",
-                        "pce drops"});
-  for (double alpha : {0.6, 0.8, 1.0, 1.2}) {
-    auto alt_config = base_config(ControlPlaneKind::kAltDrop);
-    alt_config.traffic.zipf_alpha = alpha;
-    const auto alt = Experiment(alt_config).run();
-    auto pce_config = base_config(ControlPlaneKind::kPce);
-    pce_config.traffic.zipf_alpha = alpha;
-    const auto pce = Experiment(pce_config).run();
-    table.add_row({metrics::Table::num(alpha, 1),
-                   metrics::Table::integer(alt.miss_drops),
-                   metrics::Table::integer(alt.sessions_with_retransmission),
-                   metrics::Table::integer(pce.miss_drops)});
-  }
-  table.print(std::cout);
+  auto spec =
+      e1_base()
+          .named("E1c")
+          .axis(Axis::reals(
+              "zipf alpha", {0.6, 0.8, 1.0, 1.2},
+              [](ExperimentConfig& config, double alpha) {
+                config.traffic.zipf_alpha = alpha;
+              },
+              /*precision=*/1))
+          .axis(Axis::control_planes(
+              "control plane", {ControlPlaneKind::kAltDrop, ControlPlaneKind::kPce},
+              {"alt-drop", "pce"}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint& point, Record& record) {
+    const auto s = experiment.summary();
+    record.set_int("drops", s.miss_drops);
+    // The paper's figure only breaks out affected sessions for the drop
+    // baseline; the pivot omits the column for planes that never set it.
+    if (point.config.spec.kind == ControlPlaneKind::kAltDrop) {
+      record.set_int("drop sessions", s.sessions_with_retransmission);
+    }
+  });
+  const auto& result = ctx.run(runner);
+  result.pivot("zipf alpha", "control plane", {"drops", "drop sessions"})
+      .print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("E1", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "E1", "first-packet drops and queueing during mapping resolution",
       "claim (i): \"packets sourced from end-hosts are neither dropped nor "
       "queued during the mapping resolution\"");
-  lispcp::series_control_planes();
-  lispcp::series_cache_capacity();
-  lispcp::series_zipf();
+  lispcp::series_control_planes(ctx);
+  lispcp::series_cache_capacity(ctx);
+  lispcp::series_zipf(ctx);
   lispcp::bench::print_footer(
       "Shape check vs paper: pull systems (ALT/CONS) drop or queue first "
       "packets and the palliatives trade drops for queueing/overlay detours; "
       "NERD avoids misses by pushing the whole database; the PCE column is "
       "identically zero at every cache size and skew.");
+  ctx.finish();
   return 0;
 }

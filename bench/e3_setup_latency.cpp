@@ -4,9 +4,9 @@
 //   (and, when the first SYN is *dropped* rather than queued, T_map_resol
 //    degenerates into a 3-second TCP retransmission timeout)
 //
-// Series 1: measured T_setup against the analytic formula per control plane.
-// Series 2: cold vs warm cache.
-// Series 3: T_setup vs inter-domain OWD.
+// Series E3a: measured T_setup against the analytic formula per control plane.
+// Series E3b: cold vs warm cache.
+// Series E3c: T_setup vs inter-domain OWD.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -14,115 +14,138 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
-using topo::InternetSpec;
 
-ExperimentConfig base_config(ControlPlaneKind kind, sim::SimDuration core_delay,
-                             bool cold) {
-  ExperimentConfig config;
-  config.spec = InternetSpec::preset(kind);
-  config.spec.domains = 12;
-  config.spec.hosts_per_domain = 2;
-  config.spec.providers_per_domain = 2;
-  config.spec.core_link_delay = core_delay;
-  if (cold) {
-    config.spec.cache_capacity = 2;      // nearly every flow misses
-    config.spec.mapping_ttl_seconds = 5;
-  }
-  config.spec.seed = 3;
-  config.traffic.sessions_per_second = 10;
-  config.traffic.duration = sim::SimDuration::seconds(40);
-  config.traffic.zipf_alpha = cold ? 0.3 : 1.2;
-  config.drain = sim::SimDuration::seconds(60);
-  return config;
+void make_cold(ExperimentConfig& config) {
+  config.spec.cache_capacity = 2;  // nearly every flow misses
+  config.spec.mapping_ttl_seconds = 5;
+  config.traffic.zipf_alpha = 0.3;
 }
 
-void series_formula() {
+void make_warm(ExperimentConfig& config) {
+  config.spec.cache_capacity = 0;  // unlimited
+  config.spec.mapping_ttl_seconds = 900;
+  config.traffic.zipf_alpha = 1.2;
+}
+
+/// E3's slow-arrival workload on the canonical cold-resolution base (the
+/// cache state is then an axis where the series sweeps it).
+SweepSpec e3_base() {
+  auto spec = SweepSpec::cold_resolution();
+  spec.base([](ExperimentConfig& config) {
+    config.spec.seed = 3;
+    config.traffic.sessions_per_second = 10;
+    config.traffic.duration = sim::SimDuration::seconds(40);
+    config.drain = sim::SimDuration::seconds(60);
+    make_cold(config);
+  });
+  return spec;
+}
+
+void setup_fields(Experiment& experiment, const RunPoint&, Record& record) {
+  const auto s = experiment.summary();
+  record.set_real("mean (ms)", s.t_setup_mean_ms);
+  record.set_real("p99 (ms)", s.t_setup_p99_ms);
+}
+
+void series_formula(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E3a")) return;
   std::cout << "-- E3a: measured T_setup vs the paper's formula "
                "(OWD = 40.8 ms, cold caches) --\n\n";
-  metrics::Table table({"control plane", "T_DNS (ms)", "analytic T_setup (ms)",
-                        "measured mean (ms)", "p50 (ms)", "p99 (ms)",
-                        "retransmissions"});
-  const std::vector<ControlPlaneKind> kinds = {
-      ControlPlaneKind::kPlainIp, ControlPlaneKind::kAltDrop,
-      ControlPlaneKind::kAltQueue, ControlPlaneKind::kCons,
-      ControlPlaneKind::kNerd, ControlPlaneKind::kPce};
-  for (auto kind : kinds) {
-    Experiment experiment(
-        base_config(kind, sim::SimDuration::millis(20), /*cold=*/true));
-    const auto s = experiment.run();
+  auto spec = e3_base().named("E3a").axis(Axis::control_planes(
+      "control plane",
+      {ControlPlaneKind::kPlainIp, ControlPlaneKind::kAltDrop,
+       ControlPlaneKind::kAltQueue, ControlPlaneKind::kCons,
+       ControlPlaneKind::kNerd, ControlPlaneKind::kPce}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
     const double owd_ms = experiment.internet().owd(0, 1).ms();
     // Analytic formula with T_map = 0 (the "today" baseline the paper
     // compares against).
-    const double analytic = s.t_dns_mean_ms + 3.0 * owd_ms;
-    table.add_row({topo::to_string(kind), metrics::Table::num(s.t_dns_mean_ms),
-                   metrics::Table::num(analytic),
-                   metrics::Table::num(s.t_setup_mean_ms),
-                   metrics::Table::num(s.t_setup_p50_ms),
-                   metrics::Table::num(s.t_setup_p99_ms),
-                   metrics::Table::integer(s.syn_retransmissions)});
-  }
-  table.print(std::cout);
+    record.set_real("T_DNS (ms)", s.t_dns_mean_ms);
+    record.set_real("analytic T_setup (ms)", s.t_dns_mean_ms + 3.0 * owd_ms);
+    record.set_real("measured mean (ms)", s.t_setup_mean_ms);
+    record.set_real("p50 (ms)", s.t_setup_p50_ms);
+    record.set_real("p99 (ms)", s.t_setup_p99_ms);
+    record.set_int("retransmissions", s.syn_retransmissions);
+  });
+  const auto& result = ctx.run(runner);
+  result.table().print(std::cout);
   std::cout << "\n";
 }
 
-void series_cold_warm() {
+void series_cold_warm(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E3b")) return;
   std::cout << "-- E3b: cold vs warm map-caches --\n\n";
-  metrics::Table table({"control plane", "cold mean (ms)", "cold p99 (ms)",
-                        "warm mean (ms)", "warm p99 (ms)"});
-  for (auto kind :
-       {ControlPlaneKind::kAltDrop, ControlPlaneKind::kAltQueue,
-        ControlPlaneKind::kPce}) {
-    const auto cold = Experiment(base_config(kind, sim::SimDuration::millis(20),
-                                             /*cold=*/true))
-                          .run();
-    const auto warm = Experiment(base_config(kind, sim::SimDuration::millis(20),
-                                             /*cold=*/false))
-                          .run();
-    table.add_row({topo::to_string(kind), metrics::Table::num(cold.t_setup_mean_ms),
-                   metrics::Table::num(cold.t_setup_p99_ms),
-                   metrics::Table::num(warm.t_setup_mean_ms),
-                   metrics::Table::num(warm.t_setup_p99_ms)});
-  }
-  table.print(std::cout);
+  auto spec = e3_base()
+                  .named("E3b")
+                  .axis(Axis::control_planes(
+                      "control plane",
+                      {ControlPlaneKind::kAltDrop, ControlPlaneKind::kAltQueue,
+                       ControlPlaneKind::kPce}))
+                  .axis(Axis::labeled("cache state", {{"cold", make_cold},
+                                                      {"warm", make_warm}}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe(setup_fields);
+  const auto& result = ctx.run(runner);
+  result.pivot("control plane", "cache state", {"mean (ms)", "p99 (ms)"})
+      .print(std::cout);
   std::cout << "\n";
 }
 
-void series_owd() {
+void series_owd(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E3c")) return;
   std::cout << "-- E3c: mean T_setup vs inter-domain OWD (cold caches) --\n\n";
-  metrics::Table table({"OWD (ms)", "plain-ip", "alt-drop", "alt-queue", "pce"});
-  for (int half_ms : {5, 20, 50, 75}) {
-    std::vector<std::string> row{metrics::Table::integer(
-        static_cast<std::uint64_t>(2 * half_ms))};
-    for (auto kind : {ControlPlaneKind::kPlainIp, ControlPlaneKind::kAltDrop,
-                      ControlPlaneKind::kAltQueue, ControlPlaneKind::kPce}) {
-      const auto s = Experiment(base_config(kind,
-                                            sim::SimDuration::millis(half_ms),
-                                            /*cold=*/true))
-                         .run();
-      row.push_back(metrics::Table::num(s.t_setup_mean_ms));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
+  auto spec = e3_base()
+                  .named("E3c")
+                  .axis(Axis::integers(
+                      "OWD (ms)", {10, 40, 100, 150},
+                      [](ExperimentConfig& config, std::uint64_t owd_ms) {
+                        config.spec.core_link_delay =
+                            sim::SimDuration::millis(static_cast<std::int64_t>(
+                                owd_ms / 2));
+                      }))
+                  .axis(Axis::control_planes(
+                      "control plane",
+                      {ControlPlaneKind::kPlainIp, ControlPlaneKind::kAltDrop,
+                       ControlPlaneKind::kAltQueue, ControlPlaneKind::kPce},
+                      {"plain-ip", "alt-drop", "alt-queue", "pce"}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    record.set_real("T_setup mean (ms)", experiment.summary().t_setup_mean_ms);
+  });
+  const auto& result = ctx.run(runner);
+  result.pivot("OWD (ms)", "control plane", {"T_setup mean (ms)"})
+      .print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("E3", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "E3", "TCP connection-setup latency",
       "§1 formulas: T_setup = T_DNS + [T_map_resol] + 2·OWD(S,D) + OWD(D,S)");
-  lispcp::series_formula();
-  lispcp::series_cold_warm();
-  lispcp::series_owd();
+  lispcp::series_formula(ctx);
+  lispcp::series_cold_warm(ctx);
+  lispcp::series_owd(ctx);
   lispcp::bench::print_footer(
       "Shape check vs paper: plain-IP and PCE sit on the analytic formula "
       "(no T_map term); alt-queue adds one mapping RTT; alt-drop's mean is "
       "dragged by 3-second SYN retransmission timeouts (its p99 ~ 3s+), "
       "which is exactly the §1 argument for the new control plane.");
+  ctx.finish();
   return 0;
 }

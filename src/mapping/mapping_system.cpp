@@ -213,4 +213,12 @@ std::vector<ControlPlaneKind> MappingSystemFactory::comparison_kinds() const {
   return out;
 }
 
+std::optional<ControlPlaneKind> MappingSystemFactory::find_kind(
+    std::string_view name) const noexcept {
+  for (const auto& registration : registrations_) {
+    if (name == registration.name) return registration.kind;
+  }
+  return std::nullopt;
+}
+
 }  // namespace lispcp::mapping

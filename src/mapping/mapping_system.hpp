@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "lisp/map_entry.hpp"
@@ -142,6 +144,10 @@ class MappingSystemFactory {
   [[nodiscard]] std::vector<ControlPlaneKind> kinds() const;
   /// The kinds comparative benches enumerate.
   [[nodiscard]] std::vector<ControlPlaneKind> comparison_kinds() const;
+  /// Reverse lookup by registered display name ("lisp-pce" -> kPce); the
+  /// seam CLI flags and sweep filters resolve user-supplied names through.
+  [[nodiscard]] std::optional<ControlPlaneKind> find_kind(
+      std::string_view name) const noexcept;
 
  private:
   MappingSystemFactory() = default;

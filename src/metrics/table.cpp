@@ -29,6 +29,26 @@ std::string Table::percent(double fraction, int precision) {
   return buf;
 }
 
+bool Table::is_numeric(const std::string& cell) noexcept {
+  if (cell.empty()) return false;
+  std::size_t i = cell.front() == '-' ? 1 : 0;
+  std::size_t end = cell.size();
+  if (end > i && cell[end - 1] == '%') --end;  // percent() cells
+  if (i >= end) return false;
+  bool digit = false, dot = false;
+  for (; i < end; ++i) {
+    const char ch = cell[i];
+    if (ch >= '0' && ch <= '9') {
+      digit = true;
+    } else if (ch == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digit;
+}
+
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
@@ -37,23 +57,28 @@ void Table::print(std::ostream& os) const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& cells) {
+  auto print_row = [&](const std::vector<std::string>& cells, bool align) {
     os << "|";
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      os << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+      const std::string pad(widths[c] - cells[c].size(), ' ');
+      if (align && is_numeric(cells[c])) {
+        os << " " << pad << cells[c] << " |";
+      } else {
+        os << " " << cells[c] << pad << " |";
+      }
     }
     os << "\n";
   };
-  print_row(headers_);
+  print_row(headers_, /*align=*/false);
   os << "|";
   for (std::size_t c = 0; c < headers_.size(); ++c) {
     os << std::string(widths[c] + 2, '-') << "|";
   }
   os << "\n";
-  for (const auto& row : rows_) print_row(row);
+  for (const auto& row : rows_) print_row(row, /*align=*/true);
 }
 
-void Table::print_csv(std::ostream& os) const {
+void Table::to_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c > 0) os << ",";

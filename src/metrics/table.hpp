@@ -25,11 +25,18 @@ class Table {
   static std::string integer(std::uint64_t v);
   static std::string percent(double fraction, int precision = 2);
 
+  /// True when `cell` renders as a number (integer, decimal, or percent);
+  /// such cells are right-aligned by print() so value columns line up.
+  [[nodiscard]] static bool is_numeric(const std::string& cell) noexcept;
+
   /// Writes an aligned, pipe-separated table (markdown-compatible).
+  /// Numeric cells are right-aligned, text cells left-aligned.
   void print(std::ostream& os) const;
 
   /// Writes RFC-4180-style CSV (cells containing commas/quotes get quoted).
-  void print_csv(std::ostream& os) const;
+  /// This is the one CSV emitter in the tree: the sweep ResultSet CSV sink
+  /// renders through it too.
+  void to_csv(std::ostream& os) const;
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& headers() const noexcept {

@@ -1,0 +1,673 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "mapping/mapping_system.hpp"
+#include "sim/rng.hpp"
+
+namespace lispcp::scenario {
+
+namespace {
+
+/// FNV-1a over a string: the coordinate-key hash feeding Rng::derive_seed.
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char ch : s) {
+    h ^= ch;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string shortest_double(double v) {
+  // JSON has no inf/nan literals; null keeps the artifact parseable.
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Field
+// ---------------------------------------------------------------------------
+
+Field Field::integer(std::uint64_t v) {
+  Field f;
+  f.kind_ = Kind::kInt;
+  f.int_ = v;
+  return f;
+}
+
+Field Field::real(double v, int precision) {
+  Field f;
+  f.kind_ = Kind::kReal;
+  f.real_ = v;
+  f.precision_ = precision;
+  return f;
+}
+
+Field Field::percent(double fraction, int precision) {
+  Field f;
+  f.kind_ = Kind::kPercent;
+  f.real_ = fraction;
+  f.precision_ = precision;
+  return f;
+}
+
+Field Field::text(std::string v) {
+  Field f;
+  f.kind_ = Kind::kText;
+  f.text_ = std::move(v);
+  return f;
+}
+
+Field Field::boolean(bool v) {
+  Field f;
+  f.kind_ = Kind::kBool;
+  f.bool_ = v;
+  return f;
+}
+
+std::string Field::cell() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return metrics::Table::integer(int_);
+    case Kind::kReal:
+      return metrics::Table::num(real_, precision_);
+    case Kind::kPercent:
+      return metrics::Table::percent(real_, precision_);
+    case Kind::kBool:
+      return bool_ ? "yes" : "no";
+    case Kind::kText:
+      return text_;
+  }
+  return text_;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void Field::to_json(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kInt:
+      os << int_;
+      return;
+    case Kind::kReal:
+    case Kind::kPercent:
+      os << shortest_double(real_);
+      return;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Kind::kText:
+      json_escape(os, text_);
+      return;
+  }
+}
+
+bool operator==(const Field& a, const Field& b) noexcept {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Field::Kind::kInt:
+      return a.int_ == b.int_;
+    case Field::Kind::kReal:
+    case Field::Kind::kPercent:
+      return a.real_ == b.real_ && a.precision_ == b.precision_;
+    case Field::Kind::kBool:
+      return a.bool_ == b.bool_;
+    case Field::Kind::kText:
+      return a.text_ == b.text_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Record
+// ---------------------------------------------------------------------------
+
+void Record::set(std::string name, Field value) {
+  for (auto& [existing, field] : fields_) {
+    if (existing == name) {
+      field = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(name), std::move(value));
+}
+
+const Field* Record::find(const std::string& name) const noexcept {
+  for (const auto& [existing, field] : fields_) {
+    if (existing == name) return &field;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Axis
+// ---------------------------------------------------------------------------
+
+Axis::Axis(std::string name, std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("Axis '" + name_ + "': no points");
+  }
+  // Labels key the rendered tables (pivot groups by them); two points that
+  // format identically would silently merge there, so fail loudly instead.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    for (std::size_t j = i + 1; j < points_.size(); ++j) {
+      if (points_[i].label == points_[j].label) {
+        throw std::invalid_argument("Axis '" + name_ +
+                                    "': duplicate point label '" +
+                                    points_[i].label +
+                                    "' (raise the axis precision)");
+      }
+    }
+  }
+}
+
+Axis Axis::control_planes(std::string name) {
+  return control_planes(std::move(name),
+                        mapping::MappingSystemFactory::instance().comparison_kinds());
+}
+
+Axis Axis::control_planes(std::string name,
+                          std::vector<topo::ControlPlaneKind> kinds,
+                          std::vector<std::string> labels) {
+  if (!labels.empty() && labels.size() != kinds.size()) {
+    throw std::invalid_argument("Axis::control_planes: labels/kinds mismatch");
+  }
+  std::vector<Point> points;
+  points.reserve(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const auto kind = kinds[i];
+    std::string label = labels.empty() ? topo::to_string(kind) : labels[i];
+    points.push_back(Point{
+        label, Field::text(label), [kind](ExperimentConfig& config) {
+          mapping::MappingSystemFactory::instance().apply_preset(kind,
+                                                                 config.spec);
+        }});
+  }
+  return Axis(std::move(name), std::move(points));
+}
+
+Axis Axis::integers(std::string name, std::vector<std::uint64_t> values,
+                    std::function<void(ExperimentConfig&, std::uint64_t)> fn) {
+  std::vector<Point> points;
+  points.reserve(values.size());
+  for (const auto v : values) {
+    points.push_back(Point{metrics::Table::integer(v), Field::integer(v),
+                           [fn, v](ExperimentConfig& config) { fn(config, v); }});
+  }
+  return Axis(std::move(name), std::move(points));
+}
+
+Axis Axis::reals(std::string name, std::vector<double> values,
+                 std::function<void(ExperimentConfig&, double)> fn,
+                 int precision) {
+  std::vector<Point> points;
+  points.reserve(values.size());
+  for (const auto v : values) {
+    points.push_back(Point{metrics::Table::num(v, precision),
+                           Field::real(v, precision),
+                           [fn, v](ExperimentConfig& config) { fn(config, v); }});
+  }
+  return Axis(std::move(name), std::move(points));
+}
+
+Axis Axis::durations_ms(
+    std::string name, std::vector<sim::SimDuration> values,
+    std::function<void(ExperimentConfig&, sim::SimDuration)> fn) {
+  std::vector<Point> points;
+  points.reserve(values.size());
+  for (const auto v : values) {
+    points.push_back(Point{metrics::Table::num(v.ms(), 1),
+                           Field::real(v.ms(), 1),
+                           [fn, v](ExperimentConfig& config) { fn(config, v); }});
+  }
+  return Axis(std::move(name), std::move(points));
+}
+
+Axis Axis::labeled(
+    std::string name,
+    std::vector<std::pair<std::string, std::function<void(ExperimentConfig&)>>>
+        points) {
+  std::vector<Point> out;
+  out.reserve(points.size());
+  for (auto& [label, fn] : points) {
+    out.push_back(Point{label, Field::text(label), std::move(fn)});
+  }
+  return Axis(std::move(name), std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------------------
+
+SweepSpec SweepSpec::cold_resolution() {
+  ExperimentConfig config;
+  config.spec.domains = 12;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  // Tiny cache and TTL: nearly every session resolves, making the mapping
+  // resolution term visible.
+  config.spec.cache_capacity = 2;
+  config.spec.mapping_ttl_seconds = 5;
+  config.spec.seed = 2;
+  config.traffic.sessions_per_second = 20;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.traffic.zipf_alpha = 0.7;
+  config.drain = sim::SimDuration::seconds(30);
+  return SweepSpec(config);
+}
+
+SweepSpec SweepSpec::steady_state() {
+  ExperimentConfig config;
+  config.spec.domains = 16;
+  config.spec.hosts_per_domain = 2;
+  config.spec.providers_per_domain = 2;
+  // Moderate cache/TTL: hit ratios and drop behaviour differentiate the
+  // control planes instead of being forced by the configuration.
+  config.spec.cache_capacity = 8;
+  config.spec.mapping_ttl_seconds = 60;
+  config.spec.seed = 8;
+  config.traffic.sessions_per_second = 30;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.drain = sim::SimDuration::seconds(30);
+  return SweepSpec(config);
+}
+
+SweepSpec& SweepSpec::named(std::string name) {
+  name_ = std::move(name);
+  return *this;
+}
+
+SweepSpec& SweepSpec::base(const std::function<void(ExperimentConfig&)>& fn) {
+  fn(base_);
+  return *this;
+}
+
+SweepSpec& SweepSpec::axis(Axis a) {
+  require_fresh_name(a.name());
+  groups_.push_back(AxisGroup{{std::move(a)}});
+  return *this;
+}
+
+SweepSpec& SweepSpec::zip(Axis a) {
+  if (groups_.empty()) {
+    throw std::logic_error("SweepSpec::zip: no axis to zip with");
+  }
+  require_fresh_name(a.name());
+  auto& group = groups_.back();
+  if (a.points().size() != group.size()) {
+    throw std::invalid_argument("SweepSpec::zip: axis '" + a.name() + "' has " +
+                                std::to_string(a.points().size()) +
+                                " points, expected " +
+                                std::to_string(group.size()));
+  }
+  group.axes.push_back(std::move(a));
+  return *this;
+}
+
+void SweepSpec::require_fresh_name(const std::string& name) const {
+  // Axis names key record coordinates (Record::set overwrites by name) and
+  // feed the per-point stream-id hash; a duplicate would silently drop the
+  // first axis's coordinate and can collide derived seeds.
+  for (const auto& group : groups_) {
+    for (const auto& existing : group.axes) {
+      if (existing.name() == name) {
+        throw std::invalid_argument("SweepSpec: duplicate axis name '" + name +
+                                    "'");
+      }
+    }
+  }
+}
+
+SweepSpec& SweepSpec::tweak(std::function<void(ExperimentConfig&)> fn) {
+  tweaks_.push_back(std::move(fn));
+  return *this;
+}
+
+SweepSpec& SweepSpec::seed_mode(SeedMode mode) {
+  seed_mode_ = mode;
+  return *this;
+}
+
+std::vector<RunPoint> SweepSpec::expand() const {
+  std::size_t total = 1;
+  for (const auto& group : groups_) total *= group.size();
+
+  std::vector<RunPoint> points;
+  points.reserve(total);
+  std::vector<std::size_t> radix(groups_.size(), 0);
+  for (std::size_t index = 0; index < total; ++index) {
+    RunPoint point;
+    point.index = index;
+    point.config = base_;
+    std::uint64_t stream_id = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      for (const auto& axis : groups_[g].axes) {
+        const auto& axis_point = axis.points()[radix[g]];
+        axis_point.apply(point.config);
+        point.coordinates.emplace_back(axis.name(), axis_point.value);
+        if (!point.series.empty()) point.series += " / ";
+        point.series += axis_point.label;
+        // Order-independent combine (XOR of per-coordinate hashes): the
+        // stream id is a function of the coordinate *set*, so reordering
+        // axes never changes a point's seed.
+        stream_id ^= sim::Rng::splitmix64(fnv1a(axis.name()) ^
+                                          sim::Rng::splitmix64(fnv1a(axis_point.label)));
+      }
+    }
+    for (const auto& fn : tweaks_) fn(point.config);
+    if (seed_mode_ == SeedMode::kPerPoint) {
+      point.config.spec.seed =
+          sim::Rng::derive_seed(base_.spec.seed, stream_id);
+    }
+    point.seed = point.config.spec.seed;
+    points.push_back(std::move(point));
+    // Advance the mixed-radix counter, last group fastest (so the first
+    // axis is the outermost loop, matching the old hand-written nesting).
+    for (std::size_t g = groups_.size(); g-- > 0;) {
+      if (++radix[g] < groups_[g].size()) break;
+      radix[g] = 0;
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+void Probe::on_configured(Experiment& experiment, const RunPoint& point) {
+  (void)experiment;
+  (void)point;
+}
+
+namespace {
+
+/// Adapter wrapping a stateless on_finished lambda as a Probe.
+class LambdaProbe final : public Probe {
+ public:
+  explicit LambdaProbe(
+      std::function<void(Experiment&, const RunPoint&, Record&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void on_finished(Experiment& experiment, const RunPoint& point,
+                   Record& record) override {
+    fn_(experiment, point, record);
+  }
+
+ private:
+  std::function<void(Experiment&, const RunPoint&, Record&)> fn_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResultSet
+// ---------------------------------------------------------------------------
+
+ResultSet::ResultSet(std::string name, std::vector<RunPoint> points,
+                     std::vector<Record> records)
+    : name_(std::move(name)),
+      points_(std::move(points)),
+      records_(std::move(records)) {
+  if (points_.size() != records_.size()) {
+    throw std::invalid_argument("ResultSet: points/records size mismatch");
+  }
+}
+
+metrics::Table ResultSet::table() const {
+  std::vector<std::string> columns;
+  for (const auto& record : records_) {
+    for (const auto& [name, field] : record.fields()) {
+      (void)field;
+      bool known = false;
+      for (const auto& column : columns) {
+        if (column == name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) columns.push_back(name);
+    }
+  }
+  metrics::Table out(columns);
+  for (const auto& record : records_) {
+    std::vector<std::string> row;
+    row.reserve(columns.size());
+    for (const auto& column : columns) {
+      const Field* field = record.find(column);
+      row.push_back(field == nullptr ? "" : field->cell());
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+metrics::Table ResultSet::pivot(
+    const std::string& row_field, const std::string& col_field,
+    const std::vector<std::string>& value_fields) const {
+  // Distinct row/column labels in first-appearance order.
+  std::vector<std::string> row_labels;
+  std::vector<std::string> col_labels;
+  auto remember = [](std::vector<std::string>& seen, const std::string& label) {
+    for (const auto& s : seen) {
+      if (s == label) return;
+    }
+    seen.push_back(label);
+  };
+  for (const auto& record : records_) {
+    const Field* r = record.find(row_field);
+    const Field* c = record.find(col_field);
+    if (r != nullptr) remember(row_labels, r->cell());
+    if (c != nullptr) remember(col_labels, c->cell());
+  }
+
+  // A (column label, value field) pair becomes a table column when at least
+  // one record of that column group carries the field.
+  struct PivotColumn {
+    std::string header;
+    std::string col_label;
+    std::string value_field;
+  };
+  std::vector<PivotColumn> columns;
+  for (const auto& col : col_labels) {
+    for (const auto& vf : value_fields) {
+      bool present = false;
+      for (const auto& record : records_) {
+        const Field* c = record.find(col_field);
+        if (c != nullptr && c->cell() == col && record.find(vf) != nullptr) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) continue;
+      columns.push_back(PivotColumn{
+          value_fields.size() == 1 ? col : col + " " + vf, col, vf});
+    }
+  }
+
+  std::vector<std::string> headers{row_field};
+  for (const auto& column : columns) headers.push_back(column.header);
+  metrics::Table out(std::move(headers));
+  for (const auto& row : row_labels) {
+    std::vector<std::string> cells{row};
+    for (const auto& column : columns) {
+      std::string cell;
+      for (const auto& record : records_) {
+        const Field* r = record.find(row_field);
+        const Field* c = record.find(col_field);
+        if (r == nullptr || c == nullptr) continue;
+        if (r->cell() != row || c->cell() != column.col_label) continue;
+        const Field* v = record.find(column.value_field);
+        if (v != nullptr) cell = v->cell();
+        break;
+      }
+      cells.push_back(std::move(cell));
+    }
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+void ResultSet::to_json(std::ostream& os) const {
+  os << "{";
+  json_escape(os, "name");
+  os << ": ";
+  json_escape(os, name_);
+  os << ", ";
+  json_escape(os, "points");
+  os << ": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n  {";
+    json_escape(os, "index");
+    os << ": " << points_[i].index << ", ";
+    json_escape(os, "seed");
+    os << ": " << points_[i].seed << ", ";
+    json_escape(os, "series");
+    os << ": ";
+    json_escape(os, points_[i].series);
+    os << ", ";
+    json_escape(os, "fields");
+    os << ": {";
+    bool first = true;
+    for (const auto& [name, field] : records_[i].fields()) {
+      if (!first) os << ", ";
+      first = false;
+      json_escape(os, name);
+      os << ": ";
+      field.to_json(os);
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void ResultSet::to_csv(std::ostream& os) const { table().to_csv(os); }
+
+bool operator==(const ResultSet& a, const ResultSet& b) noexcept {
+  if (a.name_ != b.name_ || a.records_ != b.records_) return false;
+  if (a.points_.size() != b.points_.size()) return false;
+  for (std::size_t i = 0; i < a.points_.size(); ++i) {
+    if (a.points_[i].index != b.points_[i].index ||
+        a.points_[i].seed != b.points_[i].seed ||
+        a.points_[i].series != b.points_[i].series) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+Runner& Runner::probe(
+    std::function<void(Experiment&, const RunPoint&, Record&)> fn) {
+  probe_factories_.push_back([fn]() -> std::unique_ptr<Probe> {
+    return std::make_unique<LambdaProbe>(fn);
+  });
+  return *this;
+}
+
+Runner& Runner::probe_factory(std::function<std::unique_ptr<Probe>()> factory) {
+  probe_factories_.push_back(std::move(factory));
+  return *this;
+}
+
+ResultSet Runner::run(const RunOptions& options) const {
+  std::vector<RunPoint> points = spec_.expand();
+  if (!options.filter.empty()) {
+    std::vector<RunPoint> kept;
+    for (auto& point : points) {
+      // Match the series label OR the point's resolved control-plane name,
+      // so "--filter lisp-pce" selects PCE points even when the axis uses
+      // short labels ("pce") or the plane is pinned in the base config.
+      if (point.series.find(options.filter) != std::string::npos ||
+          options.filter == topo::to_string(point.config.spec.kind)) {
+        kept.push_back(std::move(point));
+      }
+    }
+    points = std::move(kept);
+  }
+
+  std::vector<Record> records(points.size());
+  std::vector<std::exception_ptr> errors(points.size());
+
+  auto run_point = [&](std::size_t i) {
+    try {
+      std::vector<std::unique_ptr<Probe>> probes;
+      probes.reserve(probe_factories_.size());
+      for (const auto& factory : probe_factories_) probes.push_back(factory());
+      Experiment experiment(points[i].config);
+      for (auto& p : probes) p->on_configured(experiment, points[i]);
+      experiment.run();
+      Record record;
+      for (const auto& [name, value] : points[i].coordinates) {
+        record.set(name, value);
+      }
+      for (auto& p : probes) p->on_finished(experiment, points[i], record);
+      records[i] = std::move(record);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const std::size_t jobs =
+      std::max<std::size_t>(1, std::min(options.jobs, points.size()));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= points.size()) return;
+          run_point(i);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return ResultSet(spec_.name(), std::move(points), std::move(records));
+}
+
+}  // namespace lispcp::scenario

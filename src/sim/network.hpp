@@ -144,6 +144,12 @@ class Network {
 
   [[nodiscard]] const NetworkCounters& counters() const noexcept { return counters_; }
 
+  /// Allocates an identifier unique within this network (session ids).
+  /// Per-network rather than process-global so that concurrently running
+  /// simulations (parallel sweep points) stay independent and each run's
+  /// ids are deterministic regardless of what else ran in the process.
+  [[nodiscard]] std::uint64_t next_uid() noexcept { return ++uid_counter_; }
+
  private:
   /// Forwards `packet` out of `at` using the node's LPM table.
   void forward(NodeId at, net::Packet packet, bool decrement_ttl);
@@ -166,6 +172,7 @@ class Network {
   std::vector<net::PrefixTrie<NodeId>> tables_;  // indexed by NodeId
   Tracer* tracer_ = nullptr;
   NetworkCounters counters_;
+  std::uint64_t uid_counter_ = 0;
 };
 
 }  // namespace lispcp::sim

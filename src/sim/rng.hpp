@@ -15,11 +15,38 @@ namespace lispcp::sim {
 /// Seeded Mersenne-Twister wrapper with the distributions the library needs.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 1) : seed_(seed), engine_(seed) {}
 
   /// Derives an independent child stream (e.g. one per workload generator)
   /// so adding draws to one component does not perturb another.
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// splitmix64: the statelessly-seedable mixer used for stream derivation.
+  [[nodiscard]] static constexpr std::uint64_t splitmix64(
+      std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Seed of the stream identified by `stream_id` under root seed `seed`.
+  /// Pure function of (seed, stream_id): unlike fork(), unaffected by how
+  /// many draws have been made, so callers that name their streams (e.g.
+  /// sweep points keyed by axis coordinates) get stable seeds no matter in
+  /// what order — or on how many threads — the streams are created.
+  [[nodiscard]] static constexpr std::uint64_t derive_seed(
+      std::uint64_t seed, std::uint64_t stream_id) noexcept {
+    return splitmix64(splitmix64(seed) ^ splitmix64(stream_id));
+  }
+
+  /// Child stream `stream_id` of this Rng's *initial* seed (draw-count
+  /// independent; see derive_seed).
+  [[nodiscard]] Rng derive(std::uint64_t stream_id) const {
+    return Rng(derive_seed(seed_, stream_id));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Uniform in [0, 1).
   [[nodiscard]] double uniform() {
@@ -50,6 +77,7 @@ class Rng {
   std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
+  std::uint64_t seed_ = 1;  ///< the construction seed (for derive())
   std::mt19937_64 engine_;
 };
 

@@ -15,8 +15,9 @@ constexpr std::uint16_t kServerPort = 80;
 }  // namespace
 
 std::uint64_t Host::next_session_id() noexcept {
-  static std::uint64_t counter = 0;
-  return ++counter;
+  // Per-network, not process-global: parallel sweep points each own a
+  // Network, so their id spaces never interleave (and never race).
+  return network().next_uid();
 }
 
 Host::Host(sim::Network& network, std::string name, net::Ipv4Address eid,

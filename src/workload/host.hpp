@@ -101,7 +101,7 @@ class Host : public sim::Node {
   std::uint16_t next_port_ = 1024;
   std::uint16_t next_dns_id_ = 1;
 
-  static std::uint64_t next_session_id() noexcept;
+  std::uint64_t next_session_id() noexcept;
 };
 
 }  // namespace lispcp::workload

@@ -124,8 +124,21 @@ TEST(Table, AlignedOutput) {
   t.print(os);
   const auto text = os.str();
   EXPECT_NE(text.find("| control plane | drops |"), std::string::npos);
-  EXPECT_NE(text.find("| lisp-pce      | 0     |"), std::string::npos);
+  // Text cells left-align, numeric cells right-align.
+  EXPECT_NE(text.find("| lisp-alt      |   120 |"), std::string::npos);
+  EXPECT_NE(text.find("| lisp-pce      |     0 |"), std::string::npos);
   EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(Table, NumericCellDetection) {
+  EXPECT_TRUE(Table::is_numeric("42"));
+  EXPECT_TRUE(Table::is_numeric("-3.5"));
+  EXPECT_TRUE(Table::is_numeric("12.34%"));
+  EXPECT_FALSE(Table::is_numeric(""));
+  EXPECT_FALSE(Table::is_numeric("lisp-pce"));
+  EXPECT_FALSE(Table::is_numeric("1.2.3"));
+  EXPECT_FALSE(Table::is_numeric("-"));
+  EXPECT_FALSE(Table::is_numeric("%"));
 }
 
 TEST(Table, WrongArityThrows) {
@@ -138,7 +151,7 @@ TEST(Table, CsvEscapesSpecials) {
   t.add_row({"x", "has,comma"});
   t.add_row({"y", "has\"quote"});
   std::ostringstream os;
-  t.print_csv(os);
+  t.to_csv(os);
   const auto text = os.str();
   EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
   EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
