@@ -7,6 +7,9 @@
 // that scenario: mid-run, domain 0 moves its internal egress from ITR0 to
 // ITR1 (an IGP change).  With push-to-all the mapping is already there; with
 // push-to-one the moved flows miss and drop.
+//
+// Declarative sweep: one labelled push-scope axis; the TE move is a
+// stateful probe scheduling the IGP change at half the arrival window.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -14,91 +17,96 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Probe;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
 
-ExperimentConfig config_with(bool push_all) {
-  ExperimentConfig config;
-  config.spec = topo::InternetSpec::preset(ControlPlaneKind::kPce);
-  config.spec.domains = 16;
-  config.spec.hosts_per_domain = 8;  // 960 (ES, ED) pairs: new flows all run long
-  config.spec.providers_per_domain = 2;
-  config.spec.pce_push_all_itrs = push_all;
-  // Isolation note: for flows established *before* the TE move, the ETR
-  // reverse multicast (decision 5) has already replicated tuples to every
-  // border, so the push scope is irrelevant to them — itself a finding,
-  // recorded in EXPERIMENTS.md.  The discriminating population is flows
-  // whose *first* packet leaves after the move: low Zipf skew keeps new
-  // (ES, ED) pairs appearing throughout the run.
-  config.spec.seed = 6;
-  config.traffic.sessions_per_second = 40;
-  config.traffic.duration = sim::SimDuration::seconds(40);
-  config.traffic.zipf_alpha = 0.3;  // new destination pairs keep appearing
-  config.drain = sim::SimDuration::seconds(40);
-  return config;
+SweepSpec a1_base() {
+  SweepSpec spec;
+  spec.base([](ExperimentConfig& config) {
+    mapping::MappingSystemFactory::instance().apply_preset(
+        ControlPlaneKind::kPce, config.spec);
+    config.spec.domains = 16;
+    config.spec.hosts_per_domain = 8;  // 960 (ES, ED) pairs: new flows all run long
+    config.spec.providers_per_domain = 2;
+    // Isolation note: for flows established *before* the TE move, the ETR
+    // reverse multicast (decision 5) has already replicated tuples to every
+    // border, so the push scope is irrelevant to them — itself a finding,
+    // recorded in EXPERIMENTS.md.  The discriminating population is flows
+    // whose *first* packet leaves after the move: low Zipf skew keeps new
+    // (ES, ED) pairs appearing throughout the run.
+    config.spec.seed = 6;
+    config.traffic.sessions_per_second = 40;
+    config.traffic.duration = sim::SimDuration::seconds(40);
+    config.traffic.zipf_alpha = 0.3;  // new destination pairs keep appearing
+    config.drain = sim::SimDuration::seconds(40);
+  });
+  return spec;
 }
 
-struct Outcome {
-  std::uint64_t drops = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t push_messages = 0;
-  std::uint64_t established = 0;
-  std::uint64_t sessions = 0;
+/// Schedules the TE move at half the arrival window: internal egress flips
+/// from xtr0 to xtr1.  (Modelled as the IGP default-route change the paper
+/// alludes to.)  Half-window keeps the move meaningful under --quick.
+class TeMoveProbe final : public Probe {
+ public:
+  void on_configured(Experiment& experiment, const RunPoint& point) override {
+    auto& internet = experiment.internet();
+    auto& dom0 = internet.domain(0);
+    internet.sim().schedule(point.config.traffic.duration / 2,
+                            [&internet, &dom0] {
+                              auto& net = internet.network();
+                              const auto r = dom0.internal_router->id();
+                              net.add_route(r, net::Ipv4Prefix(),
+                                            dom0.xtrs[1]->id());
+                            });
+  }
+
+  void on_finished(Experiment& experiment, const RunPoint&,
+                   Record& record) override {
+    const auto s = experiment.summary();
+    std::uint64_t pushes = 0;
+    for (auto& dom : experiment.internet().domains()) {
+      pushes += dom.pce->stats().tuples_pushed;
+    }
+    record.set_int("sessions", s.sessions);
+    record.set_int("push messages", pushes);
+    record.set_int("drops after TE move", s.miss_drops);
+    record.set_int("SYN retransmissions", s.syn_retransmissions);
+    record.set_int("established", s.established);
+  }
 };
 
-Outcome run_arm(bool push_all) {
-  Experiment experiment(config_with(push_all));
-  auto& internet = experiment.internet();
-  auto& dom0 = internet.domain(0);
-
-  // The TE move at t = 20 s: internal egress flips from xtr0 to xtr1.
-  // (Modelled as the IGP default-route change the paper alludes to.)
-  internet.sim().schedule(sim::SimDuration::seconds(20), [&internet, &dom0] {
-    auto& net = internet.network();
-    const auto r = dom0.internal_router->id();
-    net.add_route(r, net::Ipv4Prefix(), dom0.xtrs[1]->id());
-  });
-
-  const auto summary = experiment.run();
-  Outcome out;
-  out.drops = summary.miss_drops;
-  out.retransmissions = summary.syn_retransmissions;
-  out.established = summary.established;
-  out.sessions = summary.sessions;
-  for (auto& dom : internet.domains()) {
-    out.push_messages += dom.pce->stats().tuples_pushed;
-  }
-  return out;
+void series_push_scope(bench::BenchContext& ctx) {
+  if (!ctx.enabled("A1a")) return;
+  auto spec = a1_base().named("A1a").axis(Axis::labeled(
+      "push scope",
+      {{"all ITRs (paper)",
+        [](ExperimentConfig& config) { config.spec.pce_push_all_itrs = true; }},
+       {"one ITR", [](ExperimentConfig& config) {
+          config.spec.pce_push_all_itrs = false;
+        }}}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe_factory([] { return std::make_unique<TeMoveProbe>(); });
+  ctx.run(runner).table().print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("A1", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "A1", "ablation: Step-7b push scope (all ITRs vs one)",
       "DESIGN.md decision 3; paper: \"the advantage of pushing the mapping "
       "to all ITRs\"");
-
-  const auto all = lispcp::run_arm(/*push_all=*/true);
-  const auto one = lispcp::run_arm(/*push_all=*/false);
-
-  lispcp::metrics::Table table(
-      {"push scope", "sessions", "push messages", "drops after TE move",
-       "SYN retransmissions", "established"});
-  table.add_row({"all ITRs (paper)", lispcp::metrics::Table::integer(all.sessions),
-                 lispcp::metrics::Table::integer(all.push_messages),
-                 lispcp::metrics::Table::integer(all.drops),
-                 lispcp::metrics::Table::integer(all.retransmissions),
-                 lispcp::metrics::Table::integer(all.established)});
-  table.add_row({"one ITR", lispcp::metrics::Table::integer(one.sessions),
-                 lispcp::metrics::Table::integer(one.push_messages),
-                 lispcp::metrics::Table::integer(one.drops),
-                 lispcp::metrics::Table::integer(one.retransmissions),
-                 lispcp::metrics::Table::integer(one.established)});
-  table.print(std::cout);
-
+  lispcp::series_push_scope(ctx);
   lispcp::bench::print_footer(
       "Shape check: push-to-all costs ~2x the push messages and survives "
       "the internal TE move (every ITR already holds every tuple); with "
@@ -106,5 +114,6 @@ int main() {
       "exit through the un-provisioned ITR and die there — drops, "
       "retransmission storms and failed connections, exactly the paper\'s "
       "rationale for Step 7b.");
+  ctx.finish();
   return 0;
 }

@@ -5,6 +5,9 @@
 // The question this ablation answers: how much of the PCE architecture's
 // benefit comes specifically from *snooping the DNS exchange* rather than
 // from anything else in the deployment?
+//
+// Declarative sweep: the canonical steady-state base (A2's old hand-rolled
+// config, verbatim) with a two-point control-plane axis.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -12,62 +15,50 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
 
-ExperimentConfig arm(bool snoop) {
-  ExperimentConfig config;
-  config.spec = topo::InternetSpec::preset(
-      snoop ? ControlPlaneKind::kPce : ControlPlaneKind::kAltQueue);
-  config.spec.domains = 16;
-  config.spec.hosts_per_domain = 2;
-  config.spec.providers_per_domain = 2;
-  config.spec.cache_capacity = 8;
-  config.spec.mapping_ttl_seconds = 60;
-  config.spec.seed = 8;
-  config.traffic.sessions_per_second = 30;
-  config.traffic.duration = sim::SimDuration::seconds(30);
-  config.drain = sim::SimDuration::seconds(30);
-  return config;
+void series_snooping(bench::BenchContext& ctx) {
+  if (!ctx.enabled("A2a")) return;
+  auto spec = SweepSpec::steady_state().named("A2a").axis(Axis::control_planes(
+      "arm", {ControlPlaneKind::kPce, ControlPlaneKind::kAltQueue},
+      {"snoop (PCE)", "reactive pull (queue)"}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
+    record.set_int("sessions", s.sessions);
+    record.set_int("first-packet miss events", s.miss_events);
+    record.set_int("drops", s.miss_drops);
+    record.set_real("T_setup mean (ms)", s.t_setup_mean_ms);
+    record.set_real("T_setup p95 (ms)", s.t_setup_p95_ms);
+    record.set_real("T_setup p99 (ms)", s.t_setup_p99_ms);
+    record.set_real(
+        "ITR queueing delay p95 (ms)",
+        experiment.internet().merged_queue_delay().p95() / 1000.0);
+  });
+  ctx.run(runner).table().print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
-  using lispcp::metrics::Table;
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("A2", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "A2", "ablation: proactive DNS snooping vs reactive pull",
       "DESIGN.md decision 1 (Steps 2-5: PCEs in the DNS data path)");
-
-  lispcp::Experiment snoop_arm(lispcp::arm(true));
-  const auto with_snoop = snoop_arm.run();
-  lispcp::Experiment pull_arm(lispcp::arm(false));
-  const auto without = pull_arm.run();
-
-  Table table({"metric", "snoop (PCE)", "reactive pull (queue)"});
-  table.add_row({"sessions", Table::integer(with_snoop.sessions),
-                 Table::integer(without.sessions)});
-  table.add_row({"first-packet miss events", Table::integer(with_snoop.miss_events),
-                 Table::integer(without.miss_events)});
-  table.add_row({"drops", Table::integer(with_snoop.miss_drops),
-                 Table::integer(without.miss_drops)});
-  table.add_row({"T_setup mean (ms)", Table::num(with_snoop.t_setup_mean_ms),
-                 Table::num(without.t_setup_mean_ms)});
-  table.add_row({"T_setup p95 (ms)", Table::num(with_snoop.t_setup_p95_ms),
-                 Table::num(without.t_setup_p95_ms)});
-  table.add_row({"T_setup p99 (ms)", Table::num(with_snoop.t_setup_p99_ms),
-                 Table::num(without.t_setup_p99_ms)});
-
-  const auto queue_delay = pull_arm.internet().merged_queue_delay();
-  table.add_row({"ITR queueing delay p95 (ms)", "0.00",
-                 Table::num(queue_delay.p95() / 1000.0)});
-  table.print(std::cout);
-
+  lispcp::series_snooping(ctx);
   lispcp::bench::print_footer(
       "Shape check: snooping eliminates the resolution wait entirely (0 miss "
       "events); the reactive arm pays one mapping round trip on every cold "
       "flow, visible as the p95/p99 setup gap and nonzero ITR queueing.");
+  ctx.finish();
   return 0;
 }

@@ -5,6 +5,8 @@
 // Without the multicast, a return packet leaving through a *different*
 // border router than the one the forward traffic arrived at finds no
 // mapping: the reverse path drops exactly the SYN-ACKs the handshake needs.
+//
+// Declarative sweep: PCE base with a labelled multicast on/off axis.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -12,65 +14,73 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
+using topo::ControlPlaneKind;
 
-ExperimentConfig arm(bool multicast) {
-  ExperimentConfig config;
-  config.spec = topo::InternetSpec::preset(topo::ControlPlaneKind::kPce);
-  config.spec.domains = 8;
-  config.spec.hosts_per_domain = 2;
-  config.spec.providers_per_domain = 2;
-  config.spec.multicast_reverse = multicast;
-  config.spec.seed = 9;
-  config.traffic.sessions_per_second = 30;
-  config.traffic.duration = sim::SimDuration::seconds(30);
-  config.drain = sim::SimDuration::seconds(60);
-  return config;
+SweepSpec a3_base() {
+  SweepSpec spec;
+  spec.base([](ExperimentConfig& config) {
+    mapping::MappingSystemFactory::instance().apply_preset(
+        ControlPlaneKind::kPce, config.spec);
+    config.spec.domains = 8;
+    config.spec.hosts_per_domain = 2;
+    config.spec.providers_per_domain = 2;
+    config.spec.seed = 9;
+    config.traffic.sessions_per_second = 30;
+    config.traffic.duration = sim::SimDuration::seconds(30);
+    config.drain = sim::SimDuration::seconds(60);
+  });
+  return spec;
+}
+
+void series_multicast(bench::BenchContext& ctx) {
+  if (!ctx.enabled("A3a")) return;
+  auto spec = a3_base().named("A3a").axis(Axis::labeled(
+      "reverse multicast",
+      {{"multicast on (paper)",
+        [](ExperimentConfig& config) { config.spec.multicast_reverse = true; }},
+       {"multicast off", [](ExperimentConfig& config) {
+          config.spec.multicast_reverse = false;
+        }}}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
+    std::uint64_t reverse_updates = 0;
+    for (auto& dom : experiment.internet().domains()) {
+      reverse_updates += dom.pce->stats().reverse_updates;
+    }
+    record.set_int("sessions", s.sessions);
+    record.set_int("reverse-path miss drops", s.miss_drops);
+    record.set_int("SYN retransmissions", s.syn_retransmissions);
+    record.set_real("T_setup p99 (ms)", s.t_setup_p99_ms);
+    record.set_int("PCE DB reverse updates", reverse_updates);
+    record.set_int("established", s.established);
+  });
+  ctx.run(runner).table().print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
-  using lispcp::metrics::Table;
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("A3", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "A3", "ablation: ETR reverse-mapping multicast on/off",
       "DESIGN.md decision 5; paper §2: \"pushes this mapping to the rest of "
       "the ETRs (and updates the PCED database) via multicast\"");
-
-  lispcp::Experiment with_arm(lispcp::arm(true));
-  const auto with_mc = with_arm.run();
-  lispcp::Experiment without_arm(lispcp::arm(false));
-  const auto without = without_arm.run();
-
-  auto reverse_updates = [](lispcp::scenario::Experiment& e) {
-    std::uint64_t total = 0;
-    for (auto& dom : e.internet().domains()) {
-      total += dom.pce->stats().reverse_updates;
-    }
-    return total;
-  };
-
-  Table table({"metric", "multicast on (paper)", "multicast off"});
-  table.add_row({"sessions", Table::integer(with_mc.sessions),
-                 Table::integer(without.sessions)});
-  table.add_row({"reverse-path miss drops", Table::integer(with_mc.miss_drops),
-                 Table::integer(without.miss_drops)});
-  table.add_row({"SYN retransmissions", Table::integer(with_mc.syn_retransmissions),
-                 Table::integer(without.syn_retransmissions)});
-  table.add_row({"T_setup p99 (ms)", Table::num(with_mc.t_setup_p99_ms),
-                 Table::num(without.t_setup_p99_ms)});
-  table.add_row({"PCE DB reverse updates", Table::integer(reverse_updates(with_arm)),
-                 Table::integer(reverse_updates(without_arm))});
-  table.add_row({"established", Table::integer(with_mc.established),
-                 Table::integer(without.established)});
-  table.print(std::cout);
-
+  lispcp::series_multicast(ctx);
   lispcp::bench::print_footer(
       "Shape check: with the multicast, two-way mapping completes on the "
       "first data packet and no reverse-path drops occur; without it, "
       "SYN-ACKs leaving via the sibling border router drop and sessions pay "
       "3-second retransmission timeouts (p99 blows up).");
+  ctx.finish();
   return 0;
 }

@@ -12,32 +12,44 @@
 //                         IRC + locator-status + Step-7b re-push
 //
 // plus a detection-parameter sweep (hello interval x down threshold) and a
-// repeated-outage soak (exponential MTBF/MTTR process) to show the
-// detection-latency / hello-overhead trade-off.
+// repeated-outage soak (exponential MTBF/MTTR process).  All three series
+// are declarative sweeps: the outage and the controller live in the
+// config's FailurePlan, executed per point by scenario::FailureProbe —
+// hello interval and down threshold are axes like any other knob.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "sim/failure.hpp"
 
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::FailurePlan;
+using scenario::FailureProbe;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
 
-ExperimentConfig base_config() {
-  ExperimentConfig config;
-  config.spec = topo::InternetSpec::preset(ControlPlaneKind::kPce);
-  config.spec.domains = 6;
-  config.spec.hosts_per_domain = 2;
-  config.spec.providers_per_domain = 2;
-  config.spec.te_policy = irc::TePolicy::kRoundRobin;
-  config.spec.seed = 31;
-  config.traffic.sessions_per_second = 40;
-  config.traffic.duration = sim::SimDuration::seconds(40);
-  config.drain = sim::SimDuration::seconds(20);
-  return config;
+SweepSpec a4_base() {
+  SweepSpec spec;
+  spec.base([](ExperimentConfig& config) {
+    mapping::MappingSystemFactory::instance().apply_preset(
+        ControlPlaneKind::kPce, config.spec);
+    config.spec.domains = 6;
+    config.spec.hosts_per_domain = 2;
+    config.spec.providers_per_domain = 2;
+    config.spec.te_policy = irc::TePolicy::kRoundRobin;
+    config.spec.seed = 31;
+    config.traffic.sessions_per_second = 40;
+    config.traffic.duration = sim::SimDuration::seconds(40);
+    config.drain = sim::SimDuration::seconds(20);
+  });
+  return spec;
 }
 
 core::LinkHealthConfig health(std::int64_t hello_ms, std::uint32_t threshold) {
@@ -48,150 +60,139 @@ core::LinkHealthConfig health(std::int64_t hello_ms, std::uint32_t threshold) {
   return config;
 }
 
-constexpr auto kFailAt = sim::SimTime::from_ns(15'000'000'000);
-
-void recovery_arms() {
-  metrics::Table table({"arm", "sessions", "established", "est. rate",
-                        "link-down drops", "flows re-pushed",
-                        "detect latency ms"});
-
-  {
-    Experiment reference(base_config());
-    const auto summary = reference.run();
-    table.add_row({"no failure", metrics::Table::integer(summary.sessions),
-                   metrics::Table::integer(summary.established),
-                   metrics::Table::percent(
-                       static_cast<double>(summary.established) /
-                       static_cast<double>(summary.sessions)),
-                   metrics::Table::integer(
-                       reference.internet().network().counters().drops_link_down),
-                   "-", "-"});
-  }
-  {
-    Experiment unprotected(base_config());
-    sim::FailureSchedule failures(unprotected.internet().network());
-    failures.link_outage(*unprotected.internet().domain(0).provider_links[0],
-                         kFailAt);
-    const auto summary = unprotected.run();
-    table.add_row({"failure, no recovery",
-                   metrics::Table::integer(summary.sessions),
-                   metrics::Table::integer(summary.established),
-                   metrics::Table::percent(
-                       static_cast<double>(summary.established) /
-                       static_cast<double>(summary.sessions)),
-                   metrics::Table::integer(unprotected.internet()
-                                               .network()
-                                               .counters()
-                                               .drops_link_down),
-                   "-", "-"});
-  }
-  {
-    Experiment protected_arm(base_config());
-    auto& controller =
-        protected_arm.internet().arm_failover(0, health(300, 3));
-    sim::FailureSchedule failures(protected_arm.internet().network());
-    failures.link_outage(*protected_arm.internet().domain(0).provider_links[0],
-                         kFailAt);
-    const auto summary = protected_arm.run();
-    const double detect_ms =
-        (controller.monitor(0).last_transition_at() - kFailAt).ms();
-    table.add_row({"failure + controller",
-                   metrics::Table::integer(summary.sessions),
-                   metrics::Table::integer(summary.established),
-                   metrics::Table::percent(
-                       static_cast<double>(summary.established) /
-                       static_cast<double>(summary.sessions)),
-                   metrics::Table::integer(protected_arm.internet()
-                                               .network()
-                                               .counters()
-                                               .drops_link_down),
-                   metrics::Table::integer(controller.stats().flows_repushed),
-                   metrics::Table::num(detect_ms, 1)});
-  }
-  table.print(std::cout);
+/// The one-shot outage instant: t=15s on the full workload, clamped to half
+/// the arrival window so --quick still fails the link mid-run.
+void set_outage_time(ExperimentConfig& config) {
+  config.failure.fail_at =
+      sim::SimTime{} +
+      std::min(sim::SimDuration::seconds(15), config.traffic.duration / 2);
 }
 
-void detection_sweep() {
-  metrics::Table table({"hello ms", "threshold", "bound ms", "measured ms",
-                        "hellos sent", "est. rate"});
-  for (const std::int64_t hello_ms : {100, 300, 1000}) {
-    for (const std::uint32_t threshold : {2u, 3u, 5u}) {
-      Experiment experiment(base_config());
-      auto& controller =
-          experiment.internet().arm_failover(0, health(hello_ms, threshold));
-      sim::FailureSchedule failures(experiment.internet().network());
-      failures.link_outage(
-          *experiment.internet().domain(0).provider_links[0], kFailAt);
-      const auto summary = experiment.run();
-      const double bound_ms = static_cast<double>(hello_ms) * threshold +
-                              static_cast<double>(hello_ms) / 2.0 +
-                              static_cast<double>(hello_ms);
-      const double measured_ms =
-          (controller.monitor(0).last_transition_at() - kFailAt).ms();
-      std::uint64_t hellos = 0;
-      for (std::size_t i = 0; i < controller.monitor_count(); ++i) {
-        hellos += controller.monitor(i).stats().hellos_sent;
-      }
-      table.add_row({metrics::Table::integer(hello_ms),
-                     metrics::Table::integer(threshold),
-                     metrics::Table::num(bound_ms, 0),
-                     metrics::Table::num(measured_ms, 1),
-                     metrics::Table::integer(hellos),
-                     metrics::Table::percent(
-                         static_cast<double>(summary.established) /
-                         static_cast<double>(summary.sessions))});
-    }
-  }
-  table.print(std::cout);
+void session_fields(Experiment& experiment, const RunPoint&, Record& record) {
+  const auto s = experiment.summary();
+  record.set_int("sessions", s.sessions);
+  record.set_int("established", s.established);
+  record.set_percent("est. rate",
+                     s.sessions ? static_cast<double>(s.established) /
+                                      static_cast<double>(s.sessions)
+                                : 0.0);
 }
 
-void outage_soak() {
-  metrics::Table table({"arm", "outages", "sessions", "established",
-                        "est. rate"});
-  for (const bool with_controller : {false, true}) {
-    Experiment experiment(base_config());
-    if (with_controller) {
-      experiment.internet().arm_failover(0, health(300, 3));
-    }
-    sim::FailureSchedule failures(experiment.internet().network());
-    failures.random_outages(*experiment.internet().domain(0).provider_links[0],
-                            sim::SimTime::from_ns(40'000'000'000),
-                            /*mtbf=*/sim::SimDuration::seconds(10),
-                            /*mttr=*/sim::SimDuration::seconds(3),
-                            sim::Rng(77));
-    const auto summary = experiment.run();
-    table.add_row({with_controller ? "controller" : "no recovery",
-                   metrics::Table::integer(failures.outages_injected()),
-                   metrics::Table::integer(summary.sessions),
-                   metrics::Table::integer(summary.established),
-                   metrics::Table::percent(
-                       static_cast<double>(summary.established) /
-                       static_cast<double>(summary.sessions))});
-  }
-  table.print(std::cout);
+void series_recovery_arms(bench::BenchContext& ctx) {
+  if (!ctx.enabled("A4a")) return;
+  std::cout << "\n-- A4a: recovery arms (one permanent provider-link failure "
+               "at t=15s; --quick clamps it to half the arrival window) --\n";
+  auto spec =
+      a4_base()
+          .named("A4a")
+          .axis(Axis::labeled(
+              "arm",
+              {{"no failure", [](ExperimentConfig&) {}},
+               {"failure, no recovery",
+                [](ExperimentConfig& config) {
+                  config.failure.mode = FailurePlan::Mode::kLinkOutage;
+                }},
+               {"failure + controller",
+                [](ExperimentConfig& config) {
+                  config.failure.mode = FailurePlan::Mode::kLinkOutage;
+                  config.failure.arm_failover = true;
+                  config.failure.health = health(300, 3);
+                }}}))
+          .tweak(set_outage_time);
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe(session_fields);
+  runner.probe_factory(FailureProbe::make);
+  ctx.run(runner)
+      .table()
+      .print(std::cout);
+}
+
+void series_detection(bench::BenchContext& ctx) {
+  if (!ctx.enabled("A4b")) return;
+  std::cout << "\n-- A4b: detection sweep (hello interval x down threshold) "
+               "--\n";
+  auto spec =
+      a4_base()
+          .named("A4b")
+          .base([](ExperimentConfig& config) {
+            config.failure.mode = FailurePlan::Mode::kLinkOutage;
+            config.failure.arm_failover = true;
+          })
+          .axis(Axis::integers("hello ms", {100, 300, 1000},
+                               [](ExperimentConfig& config, std::uint64_t v) {
+                                 config.failure.health = health(
+                                     static_cast<std::int64_t>(v),
+                                     config.failure.health.down_threshold);
+                               }))
+          .axis(Axis::integers(
+              "threshold", {2, 3, 5},
+              [](ExperimentConfig& config, std::uint64_t v) {
+                config.failure.health.down_threshold =
+                    static_cast<std::uint32_t>(v);
+              }))
+          .tweak(set_outage_time);
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe(session_fields);
+  runner.probe_factory(FailureProbe::make);
+  ctx.run(runner)
+      .table()
+      .print(std::cout);
+}
+
+void series_soak(bench::BenchContext& ctx) {
+  if (!ctx.enabled("A4c")) return;
+  std::cout << "\n-- A4c: repeated-outage soak (MTBF 10s / MTTR 3s on the "
+               "primary link) --\n";
+  auto spec =
+      a4_base()
+          .named("A4c")
+          .base([](ExperimentConfig& config) {
+            config.failure.mode = FailurePlan::Mode::kRandomOutages;
+            config.failure.mtbf = sim::SimDuration::seconds(10);
+            config.failure.mttr = sim::SimDuration::seconds(3);
+            config.failure.process_seed = 77;
+          })
+          .axis(Axis::labeled(
+              "arm", {{"no recovery", [](ExperimentConfig&) {}},
+                      {"controller",
+                       [](ExperimentConfig& config) {
+                         config.failure.arm_failover = true;
+                         config.failure.health = health(300, 3);
+                       }}}))
+          .tweak([](ExperimentConfig& config) {
+            // The renewal process runs over the arrival window (t=40s on
+            // the full workload), scaling down with --quick.
+            config.failure.until = sim::SimTime{} + config.traffic.duration;
+          });
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe(session_fields);
+  runner.probe_factory(FailureProbe::make);
+  ctx.run(runner)
+      .table()
+      .print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("A4", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "A4", "failure recovery through Step-7b re-push",
       "claim (iii) machinery as a repair path: dynamic mapping management "
       "moves traffic off a failed provider link with no re-resolution");
-  std::cout << "\n-- Recovery arms (one permanent provider-link failure at "
-               "t=15s) --\n";
-  lispcp::recovery_arms();
-  std::cout << "\n-- Detection sweep (hello interval x down threshold) --\n";
-  lispcp::detection_sweep();
-  std::cout << "\n-- Repeated-outage soak (MTBF 10s / MTTR 3s on the primary "
-               "link) --\n";
-  lispcp::outage_soak();
+  lispcp::series_recovery_arms(ctx);
+  lispcp::series_detection(ctx);
+  lispcp::series_soak(ctx);
   lispcp::bench::print_footer(
       "Shape check: without recovery the outage blackholes the domain "
       "(established rate collapses, link-down drops pile up); with the "
       "controller the loss is confined to the detection window, measured "
       "detection stays under the analytic bound, and tighter hellos buy "
       "faster detection at proportional hello overhead.");
+  ctx.finish();
   return 0;
 }

@@ -12,7 +12,8 @@
 //   reactive pull    (ALT queue)  mapping fetched by the ITR on first packet
 //
 // The gap between the arms is pure transport: everything else (topology,
-// IRC engine, push machinery, workload seed) is identical.
+// IRC engine, push machinery, workload seed) is identical — one labelled
+// transport axis on the canonical steady-state base.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -20,85 +21,81 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
 
-enum class Arm { kSnoop, kPcepOnDemand, kReactivePull };
+void apply_plane(ExperimentConfig& config, ControlPlaneKind kind) {
+  mapping::MappingSystemFactory::instance().apply_preset(kind, config.spec);
+}
 
-ExperimentConfig arm(Arm which) {
-  ExperimentConfig config;
-  config.spec = topo::InternetSpec::preset(which == Arm::kReactivePull
-                                               ? ControlPlaneKind::kAltQueue
-                                               : ControlPlaneKind::kPce);
-  if (which == Arm::kPcepOnDemand) {
-    config.spec.pce_snoop = false;
-    config.spec.pce_on_demand = true;
-  }
-  config.spec.domains = 16;
-  config.spec.hosts_per_domain = 2;
-  config.spec.providers_per_domain = 2;
-  config.spec.cache_capacity = 8;
-  config.spec.mapping_ttl_seconds = 60;
-  config.spec.seed = 8;
-  config.traffic.sessions_per_second = 30;
-  config.traffic.duration = sim::SimDuration::seconds(30);
-  config.drain = sim::SimDuration::seconds(30);
-  return config;
+void series_transport(bench::BenchContext& ctx) {
+  if (!ctx.enabled("A5a")) return;
+  auto spec = SweepSpec::steady_state().named("A5a").axis(Axis::labeled(
+      "transport",
+      {{"snooped port-P",
+        [](ExperimentConfig& config) {
+          apply_plane(config, ControlPlaneKind::kPce);
+        }},
+       {"PCEP on-demand",
+        [](ExperimentConfig& config) {
+          apply_plane(config, ControlPlaneKind::kPce);
+          config.spec.pce_snoop = false;
+          config.spec.pce_on_demand = true;
+        }},
+       {"reactive pull", [](ExperimentConfig& config) {
+          apply_plane(config, ControlPlaneKind::kAltQueue);
+        }}}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint& point, Record& record) {
+    const auto s = experiment.summary();
+    record.set_int("sessions", s.sessions);
+    record.set_int("first-packet miss events", s.miss_events);
+    record.set_int("drops", s.miss_drops);
+    record.set_int("sessions w/ retransmission", s.sessions_with_retransmission);
+    record.set_real("T_setup mean (ms)", s.t_setup_mean_ms);
+    record.set_real("T_setup p95 (ms)", s.t_setup_p95_ms);
+    record.set_real("T_setup p99 (ms)", s.t_setup_p99_ms);
+    // PCEP-side accounting, summed over domains.  Only the PCE arms run
+    // PCEs at all; the pull arm's record simply omits the fields (the
+    // snooped arm reports its structural zeros, as the paper table does).
+    if (point.config.spec.kind == ControlPlaneKind::kPce) {
+      std::uint64_t requests = 0, learned = 0, failures = 0;
+      for (const auto& dom : experiment.internet().domains()) {
+        requests += dom.pce->stats().pcep_requests;
+        learned += dom.pce->stats().pcep_mappings_learned;
+        failures += dom.pce->stats().pcep_failures;
+      }
+      record.set_int("PCEP requests issued", requests);
+      record.set_int("PCEP mappings learned", learned);
+      record.set_int("PCEP failures", failures);
+    }
+  });
+  ctx.run(runner).table().print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
-  using lispcp::metrics::Table;
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("A5", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "A5", "ablation: mapping transport between PCEs",
       "Step 6 port-P encapsulation vs explicit PCEP (RFC 5440) request/reply "
       "vs reactive pull");
-
-  lispcp::Experiment snoop(lispcp::arm(lispcp::Arm::kSnoop));
-  const auto s = snoop.run();
-  lispcp::Experiment pcep(lispcp::arm(lispcp::Arm::kPcepOnDemand));
-  const auto p = pcep.run();
-  lispcp::Experiment pull(lispcp::arm(lispcp::Arm::kReactivePull));
-  const auto r = pull.run();
-
-  Table table({"metric", "snooped port-P", "PCEP on-demand", "reactive pull"});
-  table.add_row({"sessions", Table::integer(s.sessions), Table::integer(p.sessions),
-                 Table::integer(r.sessions)});
-  table.add_row({"first-packet miss events", Table::integer(s.miss_events),
-                 Table::integer(p.miss_events), Table::integer(r.miss_events)});
-  table.add_row({"drops", Table::integer(s.miss_drops),
-                 Table::integer(p.miss_drops), Table::integer(r.miss_drops)});
-  table.add_row({"sessions w/ retransmission",
-                 Table::integer(s.sessions_with_retransmission),
-                 Table::integer(p.sessions_with_retransmission),
-                 Table::integer(r.sessions_with_retransmission)});
-  table.add_row({"T_setup mean (ms)", Table::num(s.t_setup_mean_ms),
-                 Table::num(p.t_setup_mean_ms), Table::num(r.t_setup_mean_ms)});
-  table.add_row({"T_setup p95 (ms)", Table::num(s.t_setup_p95_ms),
-                 Table::num(p.t_setup_p95_ms), Table::num(r.t_setup_p95_ms)});
-  table.add_row({"T_setup p99 (ms)", Table::num(s.t_setup_p99_ms),
-                 Table::num(p.t_setup_p99_ms), Table::num(r.t_setup_p99_ms)});
-
-  // PCEP-side accounting, summed over domains.
-  std::uint64_t requests = 0, learned = 0, failures = 0;
-  for (const auto& dom : pcep.internet().domains()) {
-    requests += dom.pce->stats().pcep_requests;
-    learned += dom.pce->stats().pcep_mappings_learned;
-    failures += dom.pce->stats().pcep_failures;
-  }
-  table.add_row({"PCEP requests issued", "0", Table::integer(requests), "-"});
-  table.add_row({"PCEP mappings learned", "0", Table::integer(learned), "-"});
-  table.add_row({"PCEP failures", "0", Table::integer(failures), "-"});
-  table.print(std::cout);
-
+  lispcp::series_transport(ctx);
   lispcp::bench::print_footer(
       "Shape check: snooping pre-positions every mapping (0 miss events); "
       "PCEP on-demand closes most of the gap to reactive pull — the mapping "
       "arrives one PCE RTT after the DNS answer, so only flows whose first "
       "packet beats that RTT still miss; reactive pull pays the full mapping "
       "resolution on every cold flow.");
+  ctx.finish();
   return 0;
 }

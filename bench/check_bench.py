@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Guard the BENCH_*.json perf-trajectory artifacts against silent decay.
+
+CI runs every sweep bench with --quick --jobs 2 and archives the JSON
+ResultSets.  A bench that stops emitting a series, drops a metric field, or
+writes an empty artifact would silently break the perf trajectory without
+failing the build — this script fails the job instead, by comparing each
+artifact against a committed schema baseline (bench/bench_schema.json).
+
+Checks per bench id in the baseline:
+  * BENCH_<id>.json exists, parses, and declares the bench id;
+  * every baseline series is present with at least one point;
+  * every point of a series carries at least the baseline's field set
+    (the intersection of fields across that series' points at the time the
+    baseline was committed — per-arm conditional fields stay allowed).
+
+Usage:
+  check_bench.py --dir build                 # verify against the baseline
+  check_bench.py --dir build --update        # regenerate the baseline
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_artifact(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f), None
+    except FileNotFoundError:
+        return None, "missing"
+    except json.JSONDecodeError as e:
+        return None, f"unparseable JSON ({e})"
+
+
+def series_fields(series):
+    """The field names every point of the series carries (intersection)."""
+    field_sets = [set(point.get("fields", {})) for point in series.get("points", [])]
+    if not field_sets:
+        return []
+    common = set.intersection(*field_sets)
+    # Keep first-appearance order from the first point for stable baselines.
+    first = list(series["points"][0].get("fields", {}))
+    return [name for name in first if name in common]
+
+
+def build_schema(directory):
+    schema = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        artifact, error = load_artifact(path)
+        if error:
+            print(f"error: {path.name}: {error}", file=sys.stderr)
+            sys.exit(1)
+        bench_id = artifact.get("bench") or path.stem.removeprefix("BENCH_")
+        schema[bench_id] = {
+            "series": {
+                series["name"]: {"fields": series_fields(series)}
+                for series in artifact.get("series", [])
+            }
+        }
+    return schema
+
+
+def check(directory, baseline):
+    problems = []
+    for bench_id, expected in sorted(baseline.items()):
+        path = directory / f"BENCH_{bench_id}.json"
+        artifact, error = load_artifact(path)
+        if error:
+            problems.append(f"{path.name}: {error}")
+            continue
+        declared = artifact.get("bench")
+        if declared != bench_id:
+            problems.append(
+                f"{path.name}: declares bench id '{declared}', expected "
+                f"'{bench_id}'"
+            )
+            continue
+        series_by_name = {s.get("name"): s for s in artifact.get("series", [])}
+        if not series_by_name:
+            problems.append(f"{path.name}: no series (empty artifact)")
+            continue
+        # Series unknown to the baseline are as unguarded as unknown files:
+        # force the baseline to grow with the bench.
+        for name in series_by_name:
+            if name not in expected["series"]:
+                problems.append(
+                    f"{path.name}: series '{name}' not in the schema baseline "
+                    "(regenerate with --update)"
+                )
+        for name, spec in expected["series"].items():
+            series = series_by_name.get(name)
+            if series is None:
+                problems.append(f"{path.name}: series '{name}' is missing")
+                continue
+            points = series.get("points", [])
+            if not points:
+                problems.append(f"{path.name}: series '{name}' has no points")
+                continue
+            required = set(spec["fields"])
+            for point in points:
+                missing = required - set(point.get("fields", {}))
+                if missing:
+                    problems.append(
+                        f"{path.name}: series '{name}' point {point.get('index')} "
+                        f"dropped fields: {', '.join(sorted(missing))}"
+                    )
+                    break
+    # An artifact with no baseline entry is unguarded: a new bench's JSON
+    # could be empty or corrupt without failing CI.  Force the baseline to
+    # be regenerated alongside the bench.
+    known = {f"BENCH_{bench_id}.json" for bench_id in baseline}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name not in known:
+            problems.append(
+                f"{path.name}: not in the schema baseline (regenerate with "
+                "--update)"
+            )
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", type=pathlib.Path,
+                        help="directory holding the BENCH_*.json artifacts")
+    parser.add_argument("--schema", type=pathlib.Path,
+                        default=pathlib.Path(__file__).with_name("bench_schema.json"))
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate the schema baseline from --dir")
+    args = parser.parse_args()
+
+    if args.update:
+        schema = build_schema(args.dir)
+        if not schema:
+            print(f"error: no BENCH_*.json artifacts in {args.dir}", file=sys.stderr)
+            return 1
+        args.schema.write_text(json.dumps(schema, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.schema} ({len(schema)} benches)")
+        return 0
+
+    try:
+        baseline = json.loads(args.schema.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"error: schema baseline {args.schema} not found "
+              "(run with --update to create it)", file=sys.stderr)
+        return 1
+
+    problems = check(args.dir, baseline)
+    if problems:
+        print("bench artifact check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    total_series = sum(len(b["series"]) for b in baseline.values())
+    print(f"bench artifacts OK: {len(baseline)} benches, {total_series} series "
+          f"verified against {args.schema.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

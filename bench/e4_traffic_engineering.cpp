@@ -12,6 +12,11 @@
 //   * PCE: RLOC_S is chosen per flow by the background IRC engine, so the
 //     inbound load follows the policy, even though egress stays pinned to
 //     the primary border router by the domain's internal routing.
+//
+// Declarative sweeps: the policy comparison is a labelled axis; the
+// link-window instrumentation and the mid-run reoptimize() are stateful
+// probes (windows open before the workload, fields written after).
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -19,181 +24,220 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Probe;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
-using topo::InternetSpec;
 
-ExperimentConfig base_config(ControlPlaneKind kind, irc::TePolicy policy) {
-  ExperimentConfig config;
-  config.spec = InternetSpec::preset(kind);
-  config.spec.domains = 10;
-  config.spec.hosts_per_domain = 2;
-  config.spec.providers_per_domain = 2;
-  config.spec.te_policy = policy;
-  config.spec.seed = 4;
-  config.traffic.sessions_per_second = 60;
-  config.traffic.duration = sim::SimDuration::seconds(30);
-  config.traffic.zipf_alpha = 0.8;
-  config.drain = sim::SimDuration::seconds(30);
-  return config;
+SweepSpec e4_base() {
+  SweepSpec spec;
+  spec.base([](ExperimentConfig& config) {
+    config.spec.domains = 10;
+    config.spec.hosts_per_domain = 2;
+    config.spec.providers_per_domain = 2;
+    config.spec.seed = 4;
+    config.traffic.sessions_per_second = 60;
+    config.traffic.duration = sim::SimDuration::seconds(30);
+    config.traffic.zipf_alpha = 0.8;
+    config.drain = sim::SimDuration::seconds(30);
+  });
+  return spec;
 }
 
-struct InboundSplit {
-  double share0 = 0.0;
-  double share1 = 0.0;
-  std::uint64_t total_bytes = 0;
-  double imbalance = 0.0;  ///< max share / ideal share (1.0 = perfect)
+std::function<void(ExperimentConfig&)> plane_and_policy(ControlPlaneKind kind,
+                                                        irc::TePolicy policy) {
+  return [kind, policy](ExperimentConfig& config) {
+    mapping::MappingSystemFactory::instance().apply_preset(kind, config.spec);
+    config.spec.te_policy = policy;
+  };
+}
+
+/// Windows on the ingress direction (core -> xTR) of both of domain 0's
+/// provider links, opened before the workload; the inbound byte split is
+/// read back after the run.
+class InboundSplitProbe final : public Probe {
+ public:
+  void on_configured(Experiment& experiment, const RunPoint&) override {
+    auto& dom0 = experiment.internet().domain(0);
+    for (std::size_t j = 0; j < dom0.provider_links.size(); ++j) {
+      const auto far = dom0.provider_links[j]->peer_of(dom0.xtrs[j]->id());
+      far_ends_.push_back(far);
+      windows_.push_back(dom0.provider_links[j]->open_window(far));
+    }
+  }
+
+  void on_finished(Experiment& experiment, const RunPoint&,
+                   Record& record) override {
+    auto& dom0 = experiment.internet().domain(0);
+    const auto b0 =
+        dom0.provider_links[0]->bytes_in_window(far_ends_[0], windows_[0]);
+    const auto b1 =
+        dom0.provider_links[1]->bytes_in_window(far_ends_[1], windows_[1]);
+    const auto total = b0 + b1;
+    const double share0 =
+        total ? static_cast<double>(b0) / static_cast<double>(total) : 0.0;
+    const double share1 =
+        total ? static_cast<double>(b1) / static_cast<double>(total) : 0.0;
+    record.set_percent("provider A share", share0);
+    record.set_percent("provider B share", share1);
+    record.set_real("imbalance (1.0=ideal)",
+                    total ? std::max(share0, share1) / 0.5 : 0.0);
+    record.set_int("inbound bytes", total);
+  }
+
+ private:
+  std::vector<sim::LinkWindow> windows_;
+  std::vector<sim::NodeId> far_ends_;
 };
 
-InboundSplit measure(ExperimentConfig config) {
-  Experiment experiment(std::move(config));
-  auto& dom0 = experiment.internet().domain(0);
-  // Windows on the ingress direction (core -> xTR) of both provider links.
-  std::vector<sim::LinkWindow> windows;
-  std::vector<sim::NodeId> far_ends;
-  for (std::size_t j = 0; j < dom0.provider_links.size(); ++j) {
-    const auto far = dom0.provider_links[j]->peer_of(dom0.xtrs[j]->id());
-    far_ends.push_back(far);
-    windows.push_back(dom0.provider_links[j]->open_window(far));
-  }
-  experiment.run();
-  InboundSplit split;
-  const auto b0 = dom0.provider_links[0]->bytes_in_window(far_ends[0], windows[0]);
-  const auto b1 = dom0.provider_links[1]->bytes_in_window(far_ends[1], windows[1]);
-  split.total_bytes = b0 + b1;
-  if (split.total_bytes > 0) {
-    split.share0 = static_cast<double>(b0) / static_cast<double>(split.total_bytes);
-    split.share1 = static_cast<double>(b1) / static_cast<double>(split.total_bytes);
-    split.imbalance = std::max(split.share0, split.share1) / 0.5;
-  }
-  return split;
-}
-
-void series_inbound() {
+void series_inbound(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E4a")) return;
   std::cout << "-- E4a: inbound (return-traffic) split over domain 0's two "
                "provider links --\n\n";
-  metrics::Table table({"control plane / policy", "provider A share",
-                        "provider B share", "imbalance (1.0=ideal)",
-                        "inbound bytes"});
-  {
-    const auto split =
-        measure(base_config(ControlPlaneKind::kAltQueue, irc::TePolicy::kLeastLoaded));
-    table.add_row({"lisp-alt (gleaned, symmetric)",
-                   metrics::Table::percent(split.share0),
-                   metrics::Table::percent(split.share1),
-                   metrics::Table::num(split.imbalance),
-                   metrics::Table::integer(split.total_bytes)});
-  }
+  std::vector<std::pair<std::string, std::function<void(ExperimentConfig&)>>>
+      arms;
+  arms.emplace_back(
+      "lisp-alt (gleaned, symmetric)",
+      plane_and_policy(ControlPlaneKind::kAltQueue, irc::TePolicy::kLeastLoaded));
   for (auto policy :
        {irc::TePolicy::kPrimaryBackup, irc::TePolicy::kRoundRobin,
         irc::TePolicy::kCapacityWeighted, irc::TePolicy::kLeastLoaded}) {
-    const auto split = measure(base_config(ControlPlaneKind::kPce, policy));
-    table.add_row({"lisp-pce / " + irc::to_string(policy),
-                   metrics::Table::percent(split.share0),
-                   metrics::Table::percent(split.share1),
-                   metrics::Table::num(split.imbalance),
-                   metrics::Table::integer(split.total_bytes)});
+    arms.emplace_back("lisp-pce / " + irc::to_string(policy),
+                      plane_and_policy(ControlPlaneKind::kPce, policy));
   }
-  table.print(std::cout);
+  auto spec = e4_base().named("E4a").axis(
+      Axis::labeled("control plane / policy", std::move(arms)));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe_factory([] { return std::make_unique<InboundSplitProbe>(); });
+  ctx.run(runner).table().print(std::cout);
   std::cout << "\n";
 }
 
-void series_one_way_tunnels() {
+void series_one_way_tunnels(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E4b")) return;
   std::cout << "-- E4b: independent one-way tunnels (ingress != egress router "
                "for the same flow) --\n\n";
-  Experiment experiment(
-      base_config(ControlPlaneKind::kPce, irc::TePolicy::kRoundRobin));
-  const auto summary = experiment.run();
-  auto& dom0 = experiment.internet().domain(0);
-
-  // Egress is pinned by internal routing to xtr0; count flows whose tuple
-  // advertises the *other* RLOC as ingress.
-  std::uint64_t asymmetric = 0;
-  std::uint64_t total = 0;
-  for (std::size_t h = 0; h < dom0.hosts.size(); ++h) {
-    for (std::size_t d = 1; d < experiment.internet().domains().size(); ++d) {
-      for (std::size_t p = 0; p < 2; ++p) {
-        const auto* tuple = dom0.xtrs[0]->find_flow_mapping(
-            dom0.hosts[h]->address(),
-            experiment.internet().domain(d).hosts[p]->address());
-        if (tuple == nullptr) continue;
-        ++total;
-        if (tuple->source_rloc != dom0.xtrs[0]->rloc()) ++asymmetric;
+  // A single-point sweep: no axes, just the PCE round-robin configuration.
+  auto spec = e4_base().named("E4b").base(
+      plane_and_policy(ControlPlaneKind::kPce, irc::TePolicy::kRoundRobin));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
+    auto& internet = experiment.internet();
+    auto& dom0 = internet.domain(0);
+    // Egress is pinned by internal routing to xtr0; count flows whose tuple
+    // advertises the *other* RLOC as ingress.
+    std::uint64_t asymmetric = 0;
+    std::uint64_t total = 0;
+    for (std::size_t h = 0; h < dom0.hosts.size(); ++h) {
+      for (std::size_t d = 1; d < internet.domains().size(); ++d) {
+        for (std::size_t p = 0; p < 2; ++p) {
+          const auto* tuple = dom0.xtrs[0]->find_flow_mapping(
+              dom0.hosts[h]->address(), internet.domain(d).hosts[p]->address());
+          if (tuple == nullptr) continue;
+          ++total;
+          if (tuple->source_rloc != dom0.xtrs[0]->rloc()) ++asymmetric;
+        }
       }
     }
-  }
-  metrics::Table table({"metric", "value"});
-  table.add_row({"configured flows inspected", metrics::Table::integer(total)});
-  table.add_row({"flows with ingress != egress router",
-                 metrics::Table::integer(asymmetric)});
-  table.add_row({"asymmetric share",
-                 metrics::Table::percent(
-                     total ? static_cast<double>(asymmetric) /
-                                 static_cast<double>(total)
-                           : 0.0)});
-  table.add_row({"first-packet drops (must stay 0)",
-                 metrics::Table::integer(summary.miss_drops)});
-  table.print(std::cout);
+    record.set_int("configured flows inspected", total);
+    record.set_int("flows with ingress != egress router", asymmetric);
+    record.set_percent("asymmetric share",
+                       total ? static_cast<double>(asymmetric) /
+                                   static_cast<double>(total)
+                             : 0.0);
+    record.set_int("first-packet drops (must stay 0)", s.miss_drops);
+  });
+  ctx.run(runner).table().print(std::cout);
   std::cout << "\n";
 }
 
-void series_reoptimization() {
-  std::cout << "-- E4c: dynamic TE — re-pushing mappings moves live inbound "
-               "traffic --\n\n";
-  auto config = base_config(ControlPlaneKind::kPce, irc::TePolicy::kPrimaryBackup);
-  config.traffic.duration = sim::SimDuration::seconds(60);
-  Experiment experiment(std::move(config));
-  auto& internet = experiment.internet();
-  auto& dom0 = internet.domain(0);
-
-  // Mid-run, switch every active flow's ingress by failing provider A for
-  // selection purposes and re-pushing (the paper's "local TE actions").
-  internet.sim().schedule(sim::SimDuration::seconds(30), [&dom0] {
-    dom0.irc->set_link_usable(0, false);
-    dom0.control_plane->reoptimize();
-  });
-
-  std::vector<sim::LinkWindow> first_half;
-  std::vector<sim::LinkWindow> second_half;
-  std::vector<sim::NodeId> far_ends;
-  for (std::size_t j = 0; j < dom0.provider_links.size(); ++j) {
-    far_ends.push_back(dom0.provider_links[j]->peer_of(dom0.xtrs[j]->id()));
-    first_half.push_back(dom0.provider_links[j]->open_window(far_ends[j]));
-  }
-  internet.sim().schedule(sim::SimDuration::seconds(30), [&] {
+/// E4c instrumentation: mid-run (half the arrival window), fail provider A
+/// for selection purposes and re-push every active flow (the paper's
+/// "local TE actions"); link windows bracket the two phases.
+class ReoptimizeProbe final : public Probe {
+ public:
+  void on_configured(Experiment& experiment, const RunPoint& point) override {
+    auto& internet = experiment.internet();
+    auto& dom0 = internet.domain(0);
+    const auto switch_at = point.config.traffic.duration / 2;
+    internet.sim().schedule(switch_at, [&dom0] {
+      dom0.irc->set_link_usable(0, false);
+      dom0.control_plane->reoptimize();
+    });
     for (std::size_t j = 0; j < dom0.provider_links.size(); ++j) {
-      second_half.push_back(dom0.provider_links[j]->open_window(far_ends[j]));
+      far_ends_.push_back(dom0.provider_links[j]->peer_of(dom0.xtrs[j]->id()));
+      first_half_.push_back(dom0.provider_links[j]->open_window(far_ends_[j]));
     }
-  });
+    internet.sim().schedule(switch_at, [this, &dom0] {
+      for (std::size_t j = 0; j < dom0.provider_links.size(); ++j) {
+        second_half_.push_back(dom0.provider_links[j]->open_window(far_ends_[j]));
+      }
+    });
+  }
 
-  experiment.run();
+  void on_finished(Experiment& experiment, const RunPoint&,
+                   Record& record) override {
+    auto& dom0 = experiment.internet().domain(0);
+    const auto first = [&](std::size_t j) {
+      return dom0.provider_links[j]->bytes_in_window(far_ends_[j],
+                                                     first_half_[j]) -
+             dom0.provider_links[j]->bytes_in_window(far_ends_[j],
+                                                     second_half_[j]);
+    };
+    const auto second = [&](std::size_t j) {
+      return dom0.provider_links[j]->bytes_in_window(far_ends_[j],
+                                                     second_half_[j]);
+    };
+    record.set_int("phase 1 provider A bytes", first(0));
+    record.set_int("phase 1 provider B bytes", first(1));
+    record.set_int("phase 2 provider A bytes", second(0));
+    record.set_int("phase 2 provider B bytes", second(1));
+  }
 
-  metrics::Table table({"phase", "provider A bytes", "provider B bytes"});
-  const auto a1 = dom0.provider_links[0]->bytes_in_window(far_ends[0], first_half[0]) -
-                  dom0.provider_links[0]->bytes_in_window(far_ends[0], second_half[0]);
-  const auto b1 = dom0.provider_links[1]->bytes_in_window(far_ends[1], first_half[1]) -
-                  dom0.provider_links[1]->bytes_in_window(far_ends[1], second_half[1]);
-  const auto a2 = dom0.provider_links[0]->bytes_in_window(far_ends[0], second_half[0]);
-  const auto b2 = dom0.provider_links[1]->bytes_in_window(far_ends[1], second_half[1]);
-  table.add_row({"0-30s (policy: primary only)", metrics::Table::integer(a1),
-                 metrics::Table::integer(b1)});
-  table.add_row({"30-60s (after reoptimize to B)", metrics::Table::integer(a2),
-                 metrics::Table::integer(b2)});
-  table.print(std::cout);
+ private:
+  std::vector<sim::LinkWindow> first_half_;
+  std::vector<sim::LinkWindow> second_half_;
+  std::vector<sim::NodeId> far_ends_;
+};
+
+void series_reoptimization(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E4c")) return;
+  std::cout << "-- E4c: dynamic TE — re-pushing mappings moves live inbound "
+               "traffic (phase 1: primary only; phase 2: after reoptimize "
+               "to B) --\n\n";
+  auto spec = e4_base()
+                  .named("E4c")
+                  .base(plane_and_policy(ControlPlaneKind::kPce,
+                                         irc::TePolicy::kPrimaryBackup))
+                  .base([](ExperimentConfig& config) {
+                    config.traffic.duration = sim::SimDuration::seconds(60);
+                  });
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe_factory([] { return std::make_unique<ReoptimizeProbe>(); });
+  ctx.run(runner).table().print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("E4", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "E4", "upstream/downstream traffic engineering via dynamic mappings",
       "claim (iii): IRC+PCE TE, \"utilization of different LISP ingress and "
       "egress local routers for the same flow\"");
-  lispcp::series_inbound();
-  lispcp::series_one_way_tunnels();
-  lispcp::series_reoptimization();
+  lispcp::series_inbound(ctx);
+  lispcp::series_one_way_tunnels(ctx);
+  lispcp::series_reoptimization(ctx);
   lispcp::bench::print_footer(
       "Shape check vs paper: vanilla LISP concentrates ~100% of return "
       "traffic on the primary border router (ingress forced == egress); the "
@@ -201,5 +245,6 @@ int main() {
       "when capacities differ), flows routinely use ingress != egress, and a "
       "reoptimize() call moves live traffic between providers without any "
       "re-resolution.");
+  ctx.finish();
   return 0;
 }

@@ -10,6 +10,9 @@
 //   * the PCE control plane distributes *per-flow tuples* derived from
 //     whatever mapping granularity exists, so its first-packet behaviour is
 //     unchanged — exactly the regime where its design pays off.
+//
+// Declarative sweep: de-aggregation factor x control plane, pivoted so each
+// plane's stress metrics line up per factor.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -17,73 +20,95 @@
 namespace lispcp {
 namespace {
 
+using scenario::Axis;
 using scenario::Experiment;
 using scenario::ExperimentConfig;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
 using topo::ControlPlaneKind;
-using topo::InternetSpec;
 
-ExperimentConfig config_with(ControlPlaneKind kind, std::size_t factor) {
-  ExperimentConfig config;
-  config.spec = InternetSpec::preset(kind);
-  config.spec.domains = 16;
-  config.spec.hosts_per_domain = 8;  // hosts spread across the sub-prefixes
-  config.spec.providers_per_domain = 2;
-  config.spec.deaggregation_factor = factor;
-  config.spec.cache_capacity = 24;  // fixed cache while state grows
-  config.spec.mapping_ttl_seconds = 120;
-  config.spec.seed = 12;
-  config.traffic.sessions_per_second = 40;
-  config.traffic.duration = sim::SimDuration::seconds(30);
-  config.traffic.zipf_alpha = 0.8;
-  config.drain = sim::SimDuration::seconds(40);
-  return config;
+SweepSpec f1_base() {
+  SweepSpec spec;
+  spec.base([](ExperimentConfig& config) {
+    config.spec.domains = 16;
+    config.spec.hosts_per_domain = 8;  // hosts spread across the sub-prefixes
+    config.spec.providers_per_domain = 2;
+    config.spec.cache_capacity = 24;  // fixed cache while state grows
+    config.spec.mapping_ttl_seconds = 120;
+    config.spec.seed = 12;
+    config.traffic.sessions_per_second = 40;
+    config.traffic.duration = sim::SimDuration::seconds(30);
+    config.traffic.zipf_alpha = 0.8;
+    config.drain = sim::SimDuration::seconds(40);
+  });
+  return spec;
 }
 
-void sweep() {
-  metrics::Table table({"deagg factor", "registered mappings",
-                        "alt miss events", "alt drops", "alt overlay routes",
-                        "nerd entries pushed", "pce drops"});
-  for (std::size_t factor : {1u, 2u, 4u, 8u, 16u}) {
-    Experiment alt(config_with(ControlPlaneKind::kAltDrop, factor));
-    const auto alt_summary = alt.run();
-    std::uint64_t overlay_routes = 0;
-    for (const auto* router : alt.internet().overlay()) {
-      overlay_routes += router->route_count();
+void series_deaggregation(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F1a")) return;
+  auto spec =
+      f1_base()
+          .named("F1a")
+          .axis(Axis::integers("deagg factor", {1, 2, 4, 8, 16},
+                               [](ExperimentConfig& config, std::uint64_t v) {
+                                 config.spec.deaggregation_factor =
+                                     static_cast<std::size_t>(v);
+                               }))
+          .axis(Axis::control_planes(
+              "control plane",
+              {ControlPlaneKind::kAltDrop, ControlPlaneKind::kNerd,
+               ControlPlaneKind::kPce}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint& point, Record& record) {
+    const auto s = experiment.summary();
+    record.set_int("drops", s.miss_drops);
+    switch (point.config.spec.kind) {
+      case ControlPlaneKind::kAltDrop: {
+        std::uint64_t overlay_routes = 0;
+        for (const auto* router : experiment.internet().overlay()) {
+          overlay_routes += router->route_count();
+        }
+        record.set_int("registered mappings",
+                       experiment.internet().registry().size());
+        record.set_int("miss events", s.miss_events);
+        record.set_int("overlay routes", overlay_routes);
+        break;
+      }
+      case ControlPlaneKind::kNerd:
+        record.set_int("entries pushed",
+                       experiment.internet().nerd()->stats().entries_pushed);
+        break;
+      default:
+        break;
     }
-    const auto registered = alt.internet().registry().size();
-
-    Experiment nerd(config_with(ControlPlaneKind::kNerd, factor));
-    nerd.run();
-    const auto nerd_pushed = nerd.internet().nerd()->stats().entries_pushed;
-
-    Experiment pce(config_with(ControlPlaneKind::kPce, factor));
-    const auto pce_summary = pce.run();
-
-    table.add_row({metrics::Table::integer(factor),
-                   metrics::Table::integer(registered),
-                   metrics::Table::integer(alt_summary.miss_events),
-                   metrics::Table::integer(alt_summary.miss_drops),
-                   metrics::Table::integer(overlay_routes),
-                   metrics::Table::integer(nerd_pushed),
-                   metrics::Table::integer(pce_summary.miss_drops)});
-  }
-  table.print(std::cout);
+  });
+  const auto& result = ctx.run(runner);
+  result
+      .pivot("deagg factor", "control plane",
+             {"registered mappings", "miss events", "drops", "overlay routes",
+              "entries pushed"})
+      .print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("F1", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "F1", "future work: prefix de-aggregation",
       "§3: TE study \"in the context of Latin America ... the world's "
       "largest IPv4 de-aggregation factor\"");
-  lispcp::sweep();
+  lispcp::series_deaggregation(ctx);
   lispcp::bench::print_footer(
       "Shape check: de-aggregation multiplies mapping-system state "
       "(registered mappings, overlay routes, NERD push volume) and drives "
       "up ALT's cache misses and drops at fixed capacity, while the PCE "
       "column stays zero — per-flow push distribution is insensitive to "
       "registration granularity.");
+  ctx.finish();
   return 0;
 }

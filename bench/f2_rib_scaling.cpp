@@ -11,94 +11,93 @@
 //   lisp-rloc-only  only provider RLOC aggregates enter BGP; stub EID blocks
 //                   become mapping-system entries.
 //
-// A second table measures re-homing churn: the BGP update storm when one
+// A second series measures re-homing churn: the BGP update storm when one
 // multihomed stub flaps its prefixes (the ingress-TE move of §2), versus the
 // LISP+PCE equivalent, a Step-7b mapping push that no BGP speaker hears.
+//
+// Declarative sweeps via the DFZ adapter (scenario/dfz_adapter.hpp): the
+// studies build their own three-tier Internet, so they run through
+// Runner::execute with stub-site count as a topology-size axis.
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "routing/dfz_study.hpp"
+#include "scenario/dfz_adapter.hpp"
 
 namespace lispcp {
 namespace {
 
-using routing::AddressingScenario;
-using routing::DfzStudyConfig;
+using scenario::ExperimentConfig;
+using scenario::Runner;
+using scenario::SweepSpec;
 
-DfzStudyConfig study_config(AddressingScenario scenario, std::size_t stubs,
-                            std::size_t deagg) {
-  DfzStudyConfig config;
-  config.internet.tier1_count = 4;
-  config.internet.transit_count = 10;
-  config.internet.stub_count = stubs;
-  config.internet.providers_per_stub = 2;
-  config.internet.seed = 7;
-  config.scenario = scenario;
-  config.deaggregation_factor = deagg;
-  return config;
+SweepSpec f2_base(bool quick) {
+  SweepSpec spec;
+  spec.base([quick](ExperimentConfig& config) {
+    config.dfz.internet.tier1_count = 4;
+    config.dfz.internet.transit_count = quick ? 6 : 10;
+    config.dfz.internet.providers_per_stub = 2;
+    config.dfz.internet.seed = 7;
+    // Keep the record's reported seed honest on the adapter path.
+    config.spec.seed = config.dfz.internet.seed;
+  });
+  return spec;
 }
 
-void table_scaling() {
-  metrics::Table table({"scenario", "stub sites", "deagg", "DFZ table",
-                        "mean RIB", "max RIB", "updates", "route records",
-                        "converge ms", "mapping entries"});
-  for (const std::size_t stubs : {50u, 100u, 200u}) {
-    for (const std::size_t deagg : {1u, 4u, 16u}) {
-      for (const auto scenario : {AddressingScenario::kLegacyBgp,
-                                  AddressingScenario::kLispRlocOnly}) {
-        const auto result =
-            routing::run_dfz_study(study_config(scenario, stubs, deagg));
-        table.add_row({to_string(scenario), metrics::Table::integer(stubs),
-                       metrics::Table::integer(deagg),
-                       metrics::Table::integer(result.dfz_table_size),
-                       metrics::Table::num(result.mean_rib_size, 1),
-                       metrics::Table::integer(result.max_rib_size),
-                       metrics::Table::integer(result.update_messages),
-                       metrics::Table::integer(result.route_records),
-                       metrics::Table::num(result.convergence_ms, 1),
-                       metrics::Table::integer(result.mapping_system_entries)});
-      }
-    }
-  }
-  table.print(std::cout);
+void series_scaling(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F2a")) return;
+  std::cout << "\n-- F2a: DFZ table size and convergence cost --\n";
+  const bool quick = ctx.quick();
+  auto spec =
+      f2_base(quick)
+          .named("F2a")
+          .axis(scenario::dfz::stub_sites(
+              quick ? std::vector<std::uint64_t>{20, 40}
+                    : std::vector<std::uint64_t>{50, 100, 200}))
+          .axis(scenario::dfz::deaggregation(
+              quick ? std::vector<std::uint64_t>{1, 4}
+                    : std::vector<std::uint64_t>{1, 4, 16}))
+          .axis(scenario::dfz::scenarios());
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_study);
+  ctx.run(runner).table().print(std::cout);
 }
 
-void table_churn() {
-  metrics::Table table({"scenario", "deagg", "updates", "route records",
-                        "ASes touched", "settle ms"});
-  for (const std::size_t deagg : {1u, 4u, 16u}) {
-    for (const auto scenario : {AddressingScenario::kLegacyBgp,
-                                AddressingScenario::kLispRlocOnly}) {
-      const auto churn =
-          routing::run_rehoming_churn(study_config(scenario, 100, deagg));
-      table.add_row({to_string(scenario), metrics::Table::integer(deagg),
-                     metrics::Table::integer(churn.update_messages),
-                     metrics::Table::integer(churn.route_records),
-                     metrics::Table::integer(churn.ases_touched),
-                     metrics::Table::num(churn.settle_ms, 1)});
-    }
-  }
-  table.print(std::cout);
+void series_churn(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F2b")) return;
+  std::cout << "\n-- F2b: re-homing churn — one stub swings its ingress "
+               "(BGP flap vs PCE mapping push) --\n";
+  const bool quick = ctx.quick();
+  auto spec = f2_base(quick)
+                  .named("F2b")
+                  .base([quick](ExperimentConfig& config) {
+                    config.dfz.internet.stub_count = quick ? 40 : 100;
+                  })
+                  .axis(scenario::dfz::deaggregation(
+                      quick ? std::vector<std::uint64_t>{1, 4}
+                            : std::vector<std::uint64_t>{1, 4, 16}))
+                  .axis(scenario::dfz::scenarios());
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_churn);
+  ctx.run(runner).table().print(std::cout);
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() {
+int main(int argc, char** argv) {
+  auto ctx = lispcp::bench::BenchContext("F2", lispcp::bench::parse_cli(argc, argv));
   lispcp::bench::print_header(
       "F2", "DFZ routing-table scaling under the Loc/ID split",
       "§1: \"scaling benefits arise when EID addresses are not routable "
       "through the Internet — only the RLOCs are globally routable\"");
-  std::cout << "\n-- DFZ table size and convergence cost --\n";
-  lispcp::table_scaling();
-  std::cout << "\n-- Re-homing churn: one stub swings its ingress "
-               "(BGP flap vs PCE mapping push) --\n";
-  lispcp::table_churn();
+  lispcp::series_scaling(ctx);
+  lispcp::series_churn(ctx);
   lispcp::bench::print_footer(
       "Shape check: the legacy DFZ grows with sites x de-aggregation while "
       "the LISP DFZ stays fixed at the provider-aggregate count; re-homing "
       "under legacy BGP touches most of the Internet and scales with the "
       "de-aggregation factor, whereas under LISP+PCE it is a mapping push "
       "with zero BGP messages (its latency is bench E4's subject).");
+  ctx.finish();
   return 0;
 }

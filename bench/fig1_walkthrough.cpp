@@ -2,12 +2,17 @@
 // 8-step control-plane walk-through on the two-domain, dual-provider scene
 // (providers A,B on the source side and X,Y on the destination side).
 //
-// Prints every step with its simulated timestamp and location, then checks
-// the paper's ordering guarantees:
+// FIG1a prints every step with its simulated timestamp and location, then
+// checks the paper's ordering guarantees:
 //   * the Step-7b mapping push reaches the ITRs before the DNS answer
 //     reaches the end-host (claim (ii): T_DNS + T_map ≈ T_DNS), and
 //   * the first data packet is encapsulated without a single miss
 //     (claim (i): neither dropped nor queued).
+//
+// FIG1b re-checks the ordering guarantee as a declarative sweep over
+// topology size (site count x multihoming degree): the slack must stay
+// positive and the miss count zero on every topology the walk-through's
+// claim is supposed to cover.
 #include <iomanip>
 #include <iostream>
 #include <optional>
@@ -107,11 +112,8 @@ class StepTracer : public sim::Tracer {
   std::optional<sim::SimTime> dns_answered_at;
 };
 
-int run() {
-  bench::print_header(
-      "FIG1", "control-plane walk-through (Fig. 1)",
-      "8-step architecture: ES->DNSS->root->TLD->DNSD, PCE encapsulation on "
-      "port P, mapping push, DNS answer");
+int timeline(bench::BenchContext& ctx) {
+  if (!ctx.enabled("FIG1a")) return 0;
 
   auto spec = topo::InternetSpec::preset(topo::ControlPlaneKind::kPce);
   spec.domains = 2;
@@ -157,14 +159,106 @@ int run() {
             << "/" << itr1_stats.flow_pushes_received
             << "  (Step 7b pushed to all ITRs)\n";
 
-  bench::print_footer(
-      "Shape check vs paper: steps fire in order 1..8, the mapping is in "
-      "place before the DNS answer (slack > 0), and the first data packet "
-      "is neither dropped nor queued.");
   return slack >= sim::SimDuration{} && no_miss ? 0 : 1;
+}
+
+/// FIG1b instrumentation: watches the first (and only) session's Step-7b
+/// pushes and DNS answer, reporting the claim-(ii) slack per topology.
+class SlackProbe final : public scenario::Probe {
+ public:
+  void on_configured(scenario::Experiment& experiment,
+                     const scenario::RunPoint&) override {
+    tracer_ = std::make_unique<StepTracer>(experiment.internet());
+    experiment.internet().network().set_tracer(tracer_.get());
+  }
+
+  void on_finished(scenario::Experiment& experiment,
+                   const scenario::RunPoint&, scenario::Record& record) override {
+    const auto s = experiment.summary();
+    const bool complete =
+        tracer_->mapping_installed_at && tracer_->dns_answered_at;
+    record.set_bool("walk-through complete", complete);
+    if (complete) {
+      const auto slack =
+          *tracer_->dns_answered_at - *tracer_->mapping_installed_at;
+      record.set_real("slack (ms)", slack.ms(), 3);
+      record.set_bool("mapping before answer",
+                      slack >= sim::SimDuration{});
+    }
+    record.set_int("miss events", experiment.internet().total_miss_events());
+    std::uint64_t min_pushes = ~0ull, max_pushes = 0;
+    for (const auto* xtr : experiment.internet().domain(0).xtrs) {
+      const auto pushes = xtr->stats().flow_pushes_received;
+      min_pushes = std::min(min_pushes, pushes);
+      max_pushes = std::max(max_pushes, pushes);
+    }
+    record.set_int("ITR tuples (min)", min_pushes);
+    record.set_int("ITR tuples (max)", max_pushes);
+    record.set_int("established", s.established);
+  }
+
+ private:
+  std::unique_ptr<StepTracer> tracer_;
+};
+
+/// Returns 0 when every point upholds claim (ii): walk-through complete,
+/// mapping installed before the DNS answer, zero misses.
+int series_topology_slack(bench::BenchContext& ctx) {
+  if (!ctx.enabled("FIG1b")) return 0;
+  std::cout << "\n-- FIG1b: claim (ii) ordering across topology sizes "
+               "(one session per point) --\n\n";
+  scenario::SweepSpec spec;
+  spec.named("FIG1b")
+      .base([](scenario::ExperimentConfig& config) {
+        mapping::MappingSystemFactory::instance().apply_preset(
+            topo::ControlPlaneKind::kPce, config.spec);
+        config.spec.hosts_per_domain = 2;
+        config.spec.seed = 3;
+        config.traffic.sessions_per_second = 4;
+        config.traffic.max_sessions = 1;  // the figure's single session
+        config.traffic.duration = sim::SimDuration::seconds(5);
+        config.drain = sim::SimDuration::seconds(10);
+      })
+      .axis(scenario::Axis::domains({2, 4, 8}))
+      .axis(scenario::Axis::providers_per_domain({1, 2}));
+  ctx.maybe_quick(spec);
+  scenario::Runner runner(std::move(spec));
+  runner.probe_factory([] { return std::make_unique<SlackProbe>(); });
+  const auto& result = ctx.run(runner);
+  result.table().print(std::cout);
+  int violations = 0;
+  for (const auto& record : result.records()) {
+    const auto* complete = record.find("walk-through complete");
+    const auto* ordered = record.find("mapping before answer");
+    const auto* misses = record.find("miss events");
+    if (complete == nullptr || !complete->as_bool() || ordered == nullptr ||
+        !ordered->as_bool() || misses == nullptr || misses->as_int() != 0) {
+      ++violations;
+    }
+  }
+  if (violations > 0) {
+    std::cout << "\nERROR: claim (ii) violated at " << violations
+              << " topology point(s)\n";
+  }
+  return violations == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace lispcp
 
-int main() { return lispcp::run(); }
+int main(int argc, char** argv) {
+  auto ctx =
+      lispcp::bench::BenchContext("FIG1", lispcp::bench::parse_cli(argc, argv));
+  lispcp::bench::print_header(
+      "FIG1", "control-plane walk-through (Fig. 1)",
+      "8-step architecture: ES->DNSS->root->TLD->DNSD, PCE encapsulation on "
+      "port P, mapping push, DNS answer");
+  int rc = lispcp::timeline(ctx);
+  rc |= lispcp::series_topology_slack(ctx);
+  lispcp::bench::print_footer(
+      "Shape check vs paper: steps fire in order 1..8, the mapping is in "
+      "place before the DNS answer (slack > 0), and the first data packet "
+      "is neither dropped nor queued — at every topology size FIG1b visits.");
+  ctx.finish();
+  return rc;
+}

@@ -50,6 +50,9 @@ bool Table::is_numeric(const std::string& cell) noexcept {
 }
 
 void Table::print(std::ostream& os) const {
+  // A table with no columns (e.g. a fully filtered-out ResultSet) has
+  // nothing to render; bare '|' separators would just be noise.
+  if (headers_.empty()) return;
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
   for (const auto& row : rows_) {

@@ -1,0 +1,57 @@
+#include "scenario/dfz_adapter.hpp"
+
+#include "routing/dfz_study.hpp"
+
+namespace lispcp::scenario::dfz {
+
+using routing::AddressingScenario;
+
+Axis scenarios(std::string name) {
+  std::vector<Axis::Point> points;
+  for (const auto scenario :
+       {AddressingScenario::kLegacyBgp, AddressingScenario::kLispRlocOnly}) {
+    const std::string label = routing::to_string(scenario);
+    points.push_back(Axis::Point{
+        label, Field::text(label), [scenario](ExperimentConfig& config) {
+          config.dfz.scenario = scenario;
+        }});
+  }
+  return Axis(std::move(name), std::move(points));
+}
+
+Axis stub_sites(std::vector<std::uint64_t> values, std::string name) {
+  return Axis::integers(std::move(name), std::move(values),
+                        [](ExperimentConfig& config, std::uint64_t v) {
+                          config.dfz.internet.stub_count =
+                              static_cast<std::size_t>(v);
+                        });
+}
+
+Axis deaggregation(std::vector<std::uint64_t> values, std::string name) {
+  return Axis::integers(std::move(name), std::move(values),
+                        [](ExperimentConfig& config, std::uint64_t v) {
+                          config.dfz.deaggregation_factor =
+                              static_cast<std::size_t>(v);
+                        });
+}
+
+void run_study(const RunPoint& point, Record& record) {
+  const auto result = routing::run_dfz_study(point.config.dfz);
+  record.set_int("DFZ table", result.dfz_table_size);
+  record.set_real("mean RIB", result.mean_rib_size, 1);
+  record.set_int("max RIB", result.max_rib_size);
+  record.set_int("updates", result.update_messages);
+  record.set_int("route records", result.route_records);
+  record.set_real("converge ms", result.convergence_ms, 1);
+  record.set_int("mapping entries", result.mapping_system_entries);
+}
+
+void run_churn(const RunPoint& point, Record& record) {
+  const auto churn = routing::run_rehoming_churn(point.config.dfz);
+  record.set_int("updates", churn.update_messages);
+  record.set_int("route records", churn.route_records);
+  record.set_int("ASes touched", churn.ases_touched);
+  record.set_real("settle ms", churn.settle_ms, 1);
+}
+
+}  // namespace lispcp::scenario::dfz

@@ -1,0 +1,50 @@
+// dfz_adapter.hpp — runs the BGP DFZ studies as sweep points.
+//
+// The F2 experiments (routing/dfz_study.hpp) build their own three-tier
+// synthetic Internet and converge a BGP-lite mesh over it — there is no
+// Experiment, no Simulator workload, nothing the default Runner path knows
+// how to drive.  This adapter closes the gap so the DFZ benches get the
+// same declarative treatment as everything else:
+//
+//   * axes over the DFZ section of ExperimentConfig (addressing scenario,
+//     stub-site count — a topology-size axis — and the de-aggregation
+//     factor), and
+//   * executors for Runner::execute that run the convergence study or the
+//     re-homing churn event for a point and write its typed Record fields
+//     (DFZ table size, mean/max RIB, update messages, convergence time).
+//
+// Bench f2 composes these; tests/test_sweep_axes.cpp round-trips the
+// records through the JSON sink.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/sweep.hpp"
+
+namespace lispcp::scenario::dfz {
+
+/// Addressing-scenario axis: legacy BGP (stub prefixes in the DFZ) vs the
+/// Loc/ID split (RLOC aggregates only).  Labels are the routing layer's
+/// to_string names, so tables read like the paper's.
+[[nodiscard]] Axis scenarios(std::string name = "scenario");
+
+/// Topology-size axis over the synthetic Internet's stub-site count.
+[[nodiscard]] Axis stub_sites(std::vector<std::uint64_t> values,
+                              std::string name = "stub sites");
+
+/// De-aggregation-factor axis (§3's Latin-America observation).
+[[nodiscard]] Axis deaggregation(std::vector<std::uint64_t> values,
+                                 std::string name = "deagg");
+
+/// Runner executor: origination-to-convergence for the point's DFZ config.
+/// Fields: "DFZ table", "mean RIB", "max RIB", "updates", "route records",
+/// "converge ms", "mapping entries".
+void run_study(const RunPoint& point, Record& record);
+
+/// Runner executor: the post-convergence re-homing churn event.  Fields:
+/// "updates", "route records", "ASes touched", "settle ms".
+void run_churn(const RunPoint& point, Record& record);
+
+}  // namespace lispcp::scenario::dfz

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "routing/dfz_study.hpp"
 #include "topo/internet.hpp"
 #include "workload/generator.hpp"
 
@@ -21,6 +22,47 @@ enum class TrafficMode {
   kAllToAll,      ///< every domain's hosts open sessions to every other
 };
 
+/// Declarative failure-injection plan, executed by scenario::FailureProbe
+/// (sweep.hpp) between topology construction and the workload run.  Living
+/// in the config — rather than in bench driver code — makes outage timing,
+/// the renewal process, and the BFD detection parameters sweepable axes
+/// like any other knob (see bench/a4_failure_recovery).
+struct FailurePlan {
+  enum class Mode {
+    kNone,           ///< no injection (the reference arm)
+    kLinkOutage,     ///< one provider-link outage at `fail_at`
+    kRandomOutages,  ///< renewal outage process until `until`
+  };
+  Mode mode = Mode::kNone;
+  std::size_t domain = 0;  ///< domain whose provider link fails
+  std::size_t link = 0;    ///< border-link index within that domain
+
+  // kLinkOutage: down at `fail_at`, restored `outage_duration` later
+  // (<= 0 keeps the link down for good).
+  sim::SimTime fail_at;
+  sim::SimDuration outage_duration;
+
+  // kRandomOutages: Exponential(mtbf) up-times / Exponential(mttr)
+  // down-times until `until`, deterministic per `process_seed`.
+  sim::SimTime until;
+  sim::SimDuration mtbf = sim::SimDuration::seconds(10);
+  sim::SimDuration mttr = sim::SimDuration::seconds(3);
+  std::uint64_t process_seed = 77;
+
+  /// Arm the domain's FailoverController (BFD-style monitors + Step-7b
+  /// re-push recovery) with `health` before the run.
+  bool arm_failover = false;
+  core::LinkHealthConfig health;
+
+  [[nodiscard]] bool enabled() const noexcept { return mode != Mode::kNone; }
+  /// The analytic detection-latency bound for `health`:
+  /// hello_interval * down_threshold + reply_timeout + one hello period.
+  [[nodiscard]] double detect_bound_ms() const noexcept {
+    return health.hello_interval.ms() * health.down_threshold +
+           health.reply_timeout.ms() + health.hello_interval.ms();
+  }
+};
+
 struct ExperimentConfig {
   topo::InternetSpec spec;
   workload::TrafficConfig traffic;
@@ -28,6 +70,12 @@ struct ExperimentConfig {
   /// Idle time after the arrival process ends, letting handshakes and
   /// retransmissions finish before counters are read.
   sim::SimDuration drain = sim::SimDuration::seconds(20);
+  /// Failure injection applied by scenario::FailureProbe (none by default).
+  FailurePlan failure;
+  /// The BGP DFZ-study section: consumed by the scenario::dfz adapter's
+  /// executors (which build routing::run_dfz_study's three-tier Internet
+  /// instead of an Experiment).  Ignored by the Experiment path.
+  routing::DfzStudyConfig dfz;
 };
 
 struct ExperimentSummary {

@@ -267,6 +267,30 @@ Axis Axis::labeled(
   return Axis(std::move(name), std::move(out));
 }
 
+Axis Axis::domains(std::vector<std::uint64_t> values, std::string name) {
+  return integers(std::move(name), std::move(values),
+                  [](ExperimentConfig& config, std::uint64_t v) {
+                    config.spec.domains = static_cast<std::size_t>(v);
+                  });
+}
+
+Axis Axis::hosts_per_domain(std::vector<std::uint64_t> values,
+                            std::string name) {
+  return integers(std::move(name), std::move(values),
+                  [](ExperimentConfig& config, std::uint64_t v) {
+                    config.spec.hosts_per_domain = static_cast<std::size_t>(v);
+                  });
+}
+
+Axis Axis::providers_per_domain(std::vector<std::uint64_t> values,
+                                std::string name) {
+  return integers(std::move(name), std::move(values),
+                  [](ExperimentConfig& config, std::uint64_t v) {
+                    config.spec.providers_per_domain =
+                        static_cast<std::size_t>(v);
+                  });
+}
+
 // ---------------------------------------------------------------------------
 // SweepSpec
 // ---------------------------------------------------------------------------
@@ -390,6 +414,9 @@ std::vector<RunPoint> SweepSpec::expand() const {
     if (seed_mode_ == SeedMode::kPerPoint) {
       point.config.spec.seed =
           sim::Rng::derive_seed(base_.spec.seed, stream_id);
+      // The DFZ adapter path reads its own seed field; keep it in step so
+      // per-point seeding means the same thing on both execution paths.
+      point.config.dfz.internet.seed = point.config.spec.seed;
     }
     point.seed = point.config.spec.seed;
     points.push_back(std::move(point));
@@ -410,6 +437,63 @@ std::vector<RunPoint> SweepSpec::expand() const {
 void Probe::on_configured(Experiment& experiment, const RunPoint& point) {
   (void)experiment;
   (void)point;
+}
+
+void FailureProbe::on_configured(Experiment& experiment, const RunPoint& point) {
+  const FailurePlan& plan = point.config.failure;
+  auto& internet = experiment.internet();
+  // Order matters for determinism: arm the monitors first, then schedule
+  // the outage — the exact sequence the hand-written benches used.
+  if (plan.arm_failover) {
+    internet.arm_failover(plan.domain, plan.health);
+  }
+  if (!plan.enabled()) return;
+  schedule_ = std::make_unique<sim::FailureSchedule>(internet.network());
+  sim::Link& link = *internet.domain(plan.domain).provider_links.at(plan.link);
+  switch (plan.mode) {
+    case FailurePlan::Mode::kLinkOutage:
+      schedule_->link_outage(link, plan.fail_at, plan.outage_duration);
+      break;
+    case FailurePlan::Mode::kRandomOutages:
+      schedule_->random_outages(link, plan.until, plan.mtbf, plan.mttr,
+                                sim::Rng(plan.process_seed));
+      break;
+    case FailurePlan::Mode::kNone:
+      break;
+  }
+}
+
+void FailureProbe::on_finished(Experiment& experiment, const RunPoint& point,
+                               Record& record) {
+  const FailurePlan& plan = point.config.failure;
+  auto& internet = experiment.internet();
+  record.set_int("link-down drops",
+                 internet.network().counters().drops_link_down);
+  if (plan.mode == FailurePlan::Mode::kRandomOutages) {
+    record.set_int("outages", schedule_ ? schedule_->outages_injected() : 0);
+  }
+  if (!plan.arm_failover) return;
+  const auto* controller = internet.domain(plan.domain).failover.get();
+  if (controller == nullptr) return;
+  record.set_int("flows re-pushed", controller->stats().flows_repushed);
+  std::uint64_t hellos = 0;
+  for (std::size_t i = 0; i < controller->monitor_count(); ++i) {
+    hellos += controller->monitor(i).stats().hellos_sent;
+  }
+  record.set_int("hellos sent", hellos);
+  // Detection latency is only well-defined for a permanent outage the
+  // monitor actually noticed: after a restore last_transition_at() is the
+  // up-transition, and before any detection it is still time zero.
+  if (plan.mode == FailurePlan::Mode::kLinkOutage &&
+      plan.outage_duration <= sim::SimDuration{} &&
+      controller->monitor(plan.link).last_transition_at() > plan.fail_at) {
+    record.set_real("bound ms", plan.detect_bound_ms(), 0);
+    record.set_real(
+        "detect ms",
+        (controller->monitor(plan.link).last_transition_at() - plan.fail_at)
+            .ms(),
+        1);
+  }
 }
 
 namespace {
@@ -595,6 +679,7 @@ bool operator==(const ResultSet& a, const ResultSet& b) noexcept {
 
 Runner& Runner::probe(
     std::function<void(Experiment&, const RunPoint&, Record&)> fn) {
+  require_no_executor();
   probe_factories_.push_back([fn]() -> std::unique_ptr<Probe> {
     return std::make_unique<LambdaProbe>(fn);
   });
@@ -602,8 +687,28 @@ Runner& Runner::probe(
 }
 
 Runner& Runner::probe_factory(std::function<std::unique_ptr<Probe>()> factory) {
+  require_no_executor();
   probe_factories_.push_back(std::move(factory));
   return *this;
+}
+
+Runner& Runner::execute(std::function<void(const RunPoint&, Record&)> executor) {
+  // Probes only fire on the default Experiment path; mixing the two would
+  // silently drop the probes' fields.
+  if (!probe_factories_.empty()) {
+    throw std::logic_error(
+        "Runner::execute: probes are already registered; a custom executor "
+        "replaces the probe path entirely");
+  }
+  executor_ = std::move(executor);
+  return *this;
+}
+
+void Runner::require_no_executor() const {
+  if (executor_) {
+    throw std::logic_error(
+        "Runner::probe: a custom executor is set; probes would never run");
+  }
 }
 
 ResultSet Runner::run(const RunOptions& options) const {
@@ -612,10 +717,15 @@ ResultSet Runner::run(const RunOptions& options) const {
     std::vector<RunPoint> kept;
     for (auto& point : points) {
       // Match the series label OR the point's resolved control-plane name,
-      // so "--filter lisp-pce" selects PCE points even when the axis uses
-      // short labels ("pce") or the plane is pinned in the base config.
-      if (point.series.find(options.filter) != std::string::npos ||
-          options.filter == topo::to_string(point.config.spec.kind)) {
+      // so "--filter pce" selects PCE points even when the axis uses short
+      // labels or the plane is pinned in the base config (single-point
+      // series have an empty series label and match only this way).  On
+      // the executor path spec.kind is meaningless (the study builds its
+      // own world), so only the series label counts there.
+      const bool kind_match =
+          !executor_ && std::string(topo::to_string(point.config.spec.kind))
+                                .find(options.filter) != std::string::npos;
+      if (point.series.find(options.filter) != std::string::npos || kind_match) {
         kept.push_back(std::move(point));
       }
     }
@@ -627,17 +737,21 @@ ResultSet Runner::run(const RunOptions& options) const {
 
   auto run_point = [&](std::size_t i) {
     try {
-      std::vector<std::unique_ptr<Probe>> probes;
-      probes.reserve(probe_factories_.size());
-      for (const auto& factory : probe_factories_) probes.push_back(factory());
-      Experiment experiment(points[i].config);
-      for (auto& p : probes) p->on_configured(experiment, points[i]);
-      experiment.run();
       Record record;
       for (const auto& [name, value] : points[i].coordinates) {
         record.set(name, value);
       }
-      for (auto& p : probes) p->on_finished(experiment, points[i], record);
+      if (executor_) {
+        executor_(points[i], record);
+      } else {
+        std::vector<std::unique_ptr<Probe>> probes;
+        probes.reserve(probe_factories_.size());
+        for (const auto& factory : probe_factories_) probes.push_back(factory());
+        Experiment experiment(points[i].config);
+        for (auto& p : probes) p->on_configured(experiment, points[i]);
+        experiment.run();
+        for (auto& p : probes) p->on_finished(experiment, points[i], record);
+      }
       records[i] = std::move(record);
     } catch (...) {
       errors[i] = std::current_exception();

@@ -37,6 +37,7 @@
 
 #include "metrics/table.hpp"
 #include "scenario/experiment.hpp"
+#include "sim/failure.hpp"
 
 namespace lispcp::scenario {
 
@@ -157,6 +158,18 @@ class Axis {
       std::vector<std::pair<std::string, std::function<void(ExperimentConfig&)>>>
           points);
 
+  // -- Topology-size axes ---------------------------------------------------
+  // First-class sweep dimensions over InternetSpec's shape knobs: every
+  // point builds a differently sized Internet, so multi-topology studies
+  // (scaling curves over sites, multihoming degree, host population) ride
+  // the same Runner as the parameter sweeps.
+  static Axis domains(std::vector<std::uint64_t> values,
+                      std::string name = "domains");
+  static Axis hosts_per_domain(std::vector<std::uint64_t> values,
+                               std::string name = "hosts/domain");
+  static Axis providers_per_domain(std::vector<std::uint64_t> values,
+                                   std::string name = "providers/domain");
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::vector<Point>& points() const noexcept {
     return points_;
@@ -261,6 +274,26 @@ class Probe {
                            Record& record) = 0;
 };
 
+/// Executes the point's ExperimentConfig::failure plan: schedules the link
+/// outage (or renewal outage process) and, when the plan asks for it, arms
+/// the domain's FailoverController — then reports the standard recovery
+/// metrics ("link-down drops"; with a controller, "flows re-pushed",
+/// "hellos sent" and, for one-shot outages, "detect ms" against the
+/// analytic "bound ms"; for renewal processes, "outages").  Fields the plan
+/// does not produce are simply absent, so mixed arms pivot cleanly.
+class FailureProbe final : public Probe {
+ public:
+  void on_configured(Experiment& experiment, const RunPoint& point) override;
+  void on_finished(Experiment& experiment, const RunPoint& point,
+                   Record& record) override;
+
+  /// The factory benches hand to Runner::probe_factory.
+  static std::unique_ptr<Probe> make() { return std::make_unique<FailureProbe>(); }
+
+ private:
+  std::unique_ptr<sim::FailureSchedule> schedule_;
+};
+
 // ---------------------------------------------------------------------------
 // Result set
 // ---------------------------------------------------------------------------
@@ -334,14 +367,27 @@ class Runner {
   /// Registers a stateful probe: the factory runs once per point.
   Runner& probe_factory(std::function<std::unique_ptr<Probe>()> factory);
 
+  /// Replaces the default point execution (build an Experiment, run the
+  /// workload, fire the probes) with a custom executor.  The adapter path
+  /// for studies that build their own world instead of an Experiment —
+  /// the DFZ/BGP studies of bench f2 (scenario/dfz_adapter.hpp).  The
+  /// executor receives the expanded point (axis mutations applied) and
+  /// writes metric fields into the record; coordinates are pre-seeded.
+  /// Probes are not invoked on this path.
+  Runner& execute(std::function<void(const RunPoint&, Record&)> executor);
+
   [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
 
   /// Runs all (filtered) points and returns their records in point order.
   [[nodiscard]] ResultSet run(const RunOptions& options = {}) const;
 
  private:
+  /// Throws when an executor is already set (probes would never run).
+  void require_no_executor() const;
+
   SweepSpec spec_;
   std::vector<std::function<std::unique_ptr<Probe>()>> probe_factories_;
+  std::function<void(const RunPoint&, Record&)> executor_;
 };
 
 }  // namespace lispcp::scenario

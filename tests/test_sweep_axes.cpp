@@ -1,0 +1,342 @@
+// Sweep-layer tests for the multi-topology additions: topology-size axes
+// (per-point InternetSpec mutation, seed stability under axis reordering,
+// parallel/serial determinism), the declarative failure-injection probe
+// path, and the DFZ-study adapter's record round-trip through the JSON
+// sink.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/dfz_adapter.hpp"
+#include "scenario/sweep.hpp"
+
+namespace lispcp::scenario {
+namespace {
+
+using topo::ControlPlaneKind;
+
+// ---------------------------------------------------------------------------
+// Topology-size axes
+// ---------------------------------------------------------------------------
+
+SweepSpec tiny_topology_sweep() {
+  SweepSpec spec;
+  spec.named("topo")
+      .base([](ExperimentConfig& config) {
+        mapping::MappingSystemFactory::instance().apply_preset(
+            ControlPlaneKind::kPce, config.spec);
+        config.spec.seed = 5;
+        config.traffic.sessions_per_second = 10;
+        config.traffic.duration = sim::SimDuration::seconds(2);
+        config.drain = sim::SimDuration::seconds(5);
+      })
+      .axis(Axis::domains({2, 3}))
+      .axis(Axis::providers_per_domain({1, 2}));
+  return spec;
+}
+
+TEST(TopologyAxes, MutateInternetSpecPerPoint) {
+  auto spec = tiny_topology_sweep();
+  spec.axis(Axis::hosts_per_domain({2, 4}));
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 8u);
+  // First axis slowest: domains=2 for the first four points.
+  EXPECT_EQ(points[0].config.spec.domains, 2u);
+  EXPECT_EQ(points[0].config.spec.providers_per_domain, 1u);
+  EXPECT_EQ(points[0].config.spec.hosts_per_domain, 2u);
+  EXPECT_EQ(points[7].config.spec.domains, 3u);
+  EXPECT_EQ(points[7].config.spec.providers_per_domain, 2u);
+  EXPECT_EQ(points[7].config.spec.hosts_per_domain, 4u);
+  // Coordinates carry the default axis names in declaration order.
+  EXPECT_EQ(points[0].coordinates[0].first, "domains");
+  EXPECT_EQ(points[0].coordinates[1].first, "providers/domain");
+  EXPECT_EQ(points[0].coordinates[2].first, "hosts/domain");
+}
+
+TEST(TopologyAxes, ParallelMatchesSerialOnQuickWorkload) {
+  auto make_runner = [] {
+    Runner runner(tiny_topology_sweep());
+    runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+      const auto s = experiment.summary();
+      record.set_int("sessions", s.sessions);
+      record.set_int("established", s.established);
+      record.set_int("drops", s.miss_drops);
+    });
+    return runner;
+  };
+  RunOptions serial;
+  serial.jobs = 1;
+  RunOptions parallel;
+  parallel.jobs = 4;
+  const auto a = make_runner().run(serial);
+  const auto b = make_runner().run(parallel);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_TRUE(a == b);
+  std::ostringstream ja, jb;
+  a.to_json(ja);
+  b.to_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(TopologyAxes, PerPointSeedsStableWhenTopologyAxisReordered) {
+  auto forward = tiny_topology_sweep();
+  forward.seed_mode(SeedMode::kPerPoint);
+
+  SweepSpec reversed;
+  reversed.named("topo")
+      .base([](ExperimentConfig& config) { config.spec.seed = 5; })
+      .axis(Axis::providers_per_domain({1, 2}))
+      .axis(Axis::domains({2, 3}))
+      .seed_mode(SeedMode::kPerPoint);
+
+  const auto a = forward.expand();
+  const auto b = reversed.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& pa : a) {
+    bool matched = false;
+    for (const auto& pb : b) {
+      if (pa.config.spec.domains == pb.config.spec.domains &&
+          pa.config.spec.providers_per_domain ==
+              pb.config.spec.providers_per_domain) {
+        EXPECT_EQ(pa.seed, pb.seed) << pa.series;
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched) << pa.series;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure-injection probe
+// ---------------------------------------------------------------------------
+
+SweepSpec failure_sweep() {
+  SweepSpec spec;
+  spec.named("failure")
+      .base([](ExperimentConfig& config) {
+        mapping::MappingSystemFactory::instance().apply_preset(
+            ControlPlaneKind::kPce, config.spec);
+        config.spec.domains = 4;
+        config.spec.providers_per_domain = 2;
+        config.spec.seed = 11;
+        config.traffic.sessions_per_second = 20;
+        config.traffic.duration = sim::SimDuration::seconds(5);
+        config.drain = sim::SimDuration::seconds(5);
+        config.failure.fail_at = sim::SimTime{} + sim::SimDuration::seconds(2);
+      })
+      .axis(Axis::labeled(
+          "arm",
+          {{"reference", [](ExperimentConfig&) {}},
+           {"outage",
+            [](ExperimentConfig& config) {
+              config.failure.mode = FailurePlan::Mode::kLinkOutage;
+            }},
+           {"outage+controller", [](ExperimentConfig& config) {
+              config.failure.mode = FailurePlan::Mode::kLinkOutage;
+              config.failure.arm_failover = true;
+              config.failure.health.hello_interval =
+                  sim::SimDuration::millis(100);
+              config.failure.health.reply_timeout = sim::SimDuration::millis(50);
+              config.failure.health.down_threshold = 2;
+            }}}));
+  return spec;
+}
+
+Runner failure_runner() {
+  Runner runner(failure_sweep());
+  runner.probe_factory(FailureProbe::make);
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    record.set_int("established", experiment.summary().established);
+  });
+  return runner;
+}
+
+TEST(FailureProbe, InjectsOutageAndReportsRecoveryFields) {
+  const auto result = failure_runner().run({});
+  ASSERT_EQ(result.size(), 3u);
+  const auto& reference = result.records()[0];
+  const auto& outage = result.records()[1];
+  const auto& controlled = result.records()[2];
+
+  ASSERT_NE(reference.find("link-down drops"), nullptr);
+  EXPECT_EQ(reference.find("link-down drops")->as_int(), 0u);
+  EXPECT_EQ(reference.find("detect ms"), nullptr);
+
+  EXPECT_GT(outage.find("link-down drops")->as_int(), 0u);
+  EXPECT_EQ(outage.find("flows re-pushed"), nullptr);
+
+  ASSERT_NE(controlled.find("detect ms"), nullptr);
+  ASSERT_NE(controlled.find("bound ms"), nullptr);
+  EXPECT_GT(controlled.find("detect ms")->as_real(), 0.0);
+  EXPECT_LE(controlled.find("detect ms")->as_real(),
+            controlled.find("bound ms")->as_real());
+  EXPECT_GT(controlled.find("hellos sent")->as_int(), 0u);
+  // Recovery confines the loss: the controlled arm completes more sessions.
+  EXPECT_GT(controlled.find("established")->as_int(),
+            outage.find("established")->as_int());
+}
+
+TEST(FailureProbe, DeterministicAcrossJobCounts) {
+  RunOptions serial;
+  serial.jobs = 1;
+  RunOptions parallel;
+  parallel.jobs = 4;
+  const auto a = failure_runner().run(serial);
+  const auto b = failure_runner().run(parallel);
+  EXPECT_TRUE(a == b);
+  std::ostringstream ja, jb;
+  a.to_json(ja);
+  b.to_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(FailureProbe, TransientOutageOmitsDetectionLatency) {
+  // After a restore, the monitor's last transition is the up-transition, so
+  // "detect ms" would be the wrong quantity — the probe must omit it.
+  SweepSpec spec = failure_sweep();
+  spec.base([](ExperimentConfig& config) {
+    config.failure.outage_duration = sim::SimDuration::seconds(1);
+  });
+  Runner runner(std::move(spec));
+  runner.probe_factory(FailureProbe::make);
+  const auto result = runner.run({});
+  ASSERT_EQ(result.size(), 3u);
+  const auto& controlled = result.records()[2];
+  EXPECT_EQ(controlled.find("detect ms"), nullptr);
+  EXPECT_EQ(controlled.find("bound ms"), nullptr);
+  // The rest of the recovery fields still report.
+  EXPECT_NE(controlled.find("flows re-pushed"), nullptr);
+  EXPECT_NE(controlled.find("hellos sent"), nullptr);
+}
+
+TEST(FailureProbe, RandomOutageProcessIsSeedDeterministic) {
+  auto make = [](std::uint64_t seed) {
+    SweepSpec spec;
+    spec.base([seed](ExperimentConfig& config) {
+      mapping::MappingSystemFactory::instance().apply_preset(
+          ControlPlaneKind::kPce, config.spec);
+      config.spec.domains = 4;
+      config.spec.providers_per_domain = 2;
+      config.spec.seed = 11;
+      config.traffic.sessions_per_second = 10;
+      config.traffic.duration = sim::SimDuration::seconds(5);
+      config.drain = sim::SimDuration::seconds(3);
+      config.failure.mode = FailurePlan::Mode::kRandomOutages;
+      config.failure.until = sim::SimTime{} + sim::SimDuration::seconds(5);
+      config.failure.mtbf = sim::SimDuration::seconds(2);
+      config.failure.mttr = sim::SimDuration::seconds(1);
+      config.failure.process_seed = seed;
+    });
+    Runner runner(std::move(spec));
+    runner.probe_factory(FailureProbe::make);
+    return runner.run({});
+  };
+  const auto a = make(7);
+  const auto b = make(7);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_NE(a.records()[0].find("outages"), nullptr);
+  EXPECT_EQ(a.records()[0].find("outages")->as_int(),
+            b.records()[0].find("outages")->as_int());
+}
+
+// ---------------------------------------------------------------------------
+// DFZ adapter
+// ---------------------------------------------------------------------------
+
+SweepSpec dfz_sweep() {
+  SweepSpec spec;
+  spec.named("dfz")
+      .base([](ExperimentConfig& config) {
+        config.dfz.internet.tier1_count = 2;
+        config.dfz.internet.transit_count = 3;
+        config.dfz.internet.providers_per_stub = 2;
+        config.dfz.internet.seed = 7;
+        // Keep the record's reported seed honest on the adapter path (the
+        // pattern bench/f2_rib_scaling documents).
+        config.spec.seed = config.dfz.internet.seed;
+      })
+      .axis(dfz::stub_sites({8, 12}))
+      .axis(dfz::scenarios());
+  return spec;
+}
+
+TEST(DfzAdapter, AxesMutateTheDfzSection) {
+  auto spec = dfz_sweep();
+  spec.axis(dfz::deaggregation({1, 4}));
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_EQ(points[0].config.dfz.internet.stub_count, 8u);
+  EXPECT_EQ(points[0].config.dfz.scenario,
+            routing::AddressingScenario::kLegacyBgp);
+  EXPECT_EQ(points[0].config.dfz.deaggregation_factor, 1u);
+  EXPECT_EQ(points[7].config.dfz.internet.stub_count, 12u);
+  EXPECT_EQ(points[7].config.dfz.scenario,
+            routing::AddressingScenario::kLispRlocOnly);
+  EXPECT_EQ(points[7].config.dfz.deaggregation_factor, 4u);
+}
+
+TEST(DfzAdapter, StudyExecutorWritesTypedRecords) {
+  Runner runner(dfz_sweep());
+  runner.execute(dfz::run_study);
+  const auto result = runner.run({});
+  ASSERT_EQ(result.size(), 4u);
+  for (const auto& record : result.records()) {
+    ASSERT_NE(record.find("DFZ table"), nullptr);
+    EXPECT_GT(record.find("DFZ table")->as_int(), 0u);
+    ASSERT_NE(record.find("mean RIB"), nullptr);
+    EXPECT_EQ(record.find("mean RIB")->kind(), Field::Kind::kReal);
+    ASSERT_NE(record.find("updates"), nullptr);
+    ASSERT_NE(record.find("converge ms"), nullptr);
+  }
+  // The premise itself: the legacy DFZ carries the stub prefixes the
+  // Loc/ID split keeps out.
+  const auto& legacy = result.records()[0];
+  const auto& lisp = result.records()[1];
+  EXPECT_GT(legacy.find("DFZ table")->as_int(),
+            lisp.find("DFZ table")->as_int());
+  EXPECT_EQ(legacy.find("mapping entries")->as_int(), 0u);
+  EXPECT_GT(lisp.find("mapping entries")->as_int(), 0u);
+}
+
+TEST(DfzAdapter, RecordsRoundTripThroughJsonSink) {
+  Runner runner(dfz_sweep());
+  runner.execute(dfz::run_study);
+  const auto result = runner.run({});
+  std::ostringstream os;
+  result.to_json(os);
+  const auto json = os.str();
+  // Coordinates and metric fields land in the artifact with their values.
+  EXPECT_NE(json.find("\"stub sites\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"stub sites\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"legacy-bgp\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"lisp-rloc-only\""), std::string::npos);
+  EXPECT_NE(json.find("\"DFZ table\": "), std::string::npos);
+  const auto expected_table =
+      "\"DFZ table\": " +
+      std::to_string(result.records()[0].find("DFZ table")->as_int());
+  EXPECT_NE(json.find(expected_table), std::string::npos);
+  // And the sink stays deterministic across job counts on the executor path.
+  Runner parallel_runner(dfz_sweep());
+  parallel_runner.execute(dfz::run_study);
+  RunOptions options;
+  options.jobs = 4;
+  std::ostringstream parallel_os;
+  parallel_runner.run(options).to_json(parallel_os);
+  EXPECT_EQ(json, parallel_os.str());
+}
+
+TEST(DfzAdapter, ChurnExecutorReportsTheContrast) {
+  Runner runner(dfz_sweep());
+  runner.execute(dfz::run_churn);
+  const auto result = runner.run({});
+  ASSERT_EQ(result.size(), 4u);
+  const auto& legacy = result.records()[0];
+  const auto& lisp = result.records()[1];
+  EXPECT_GT(legacy.find("updates")->as_int(), 0u);
+  EXPECT_GT(legacy.find("ASes touched")->as_int(), 0u);
+  EXPECT_EQ(lisp.find("updates")->as_int(), 0u);
+  EXPECT_EQ(lisp.find("ASes touched")->as_int(), 0u);
+}
+
+}  // namespace
+}  // namespace lispcp::scenario
