@@ -5,7 +5,9 @@
 // output verbatim.  The comparative benches declare scenario::SweepSpecs and
 // run them through this file's BenchContext, which owns the shared CLI:
 //
-//   --jobs N         run sweep points on N threads (default 1)
+//   --jobs N         run sweep points on N threads (default 1; 0 rejected)
+//   --shards K       BGP convergence-engine shards for the DFZ benches
+//                    (default 1; records are byte-identical for any K)
 //   --json <path>    archive every executed ResultSet as JSON (the CI perf
 //                    trajectory artifact, BENCH_<id>.json)
 //   --csv <path>     same, as CSV sections
@@ -15,11 +17,13 @@
 //   --quick          reduced sweep (short arrival window) for smoke runs
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mapping/mapping_system.hpp"
@@ -42,6 +46,9 @@ inline void print_footer(const std::string& note) {
 
 struct BenchOptions {
   std::size_t jobs = 1;
+  /// BGP convergence-engine shards, plumbed into the DFZ studies' BgpConfig
+  /// by the f benches.  Never changes records — only wall-clock.
+  std::size_t shards = 1;
   std::string json_path;
   std::string csv_path;
   std::string filter;
@@ -57,12 +64,27 @@ inline BenchOptions parse_cli(int argc, char** argv) {
     }
     return argv[++i];
   };
+  auto positive = [&](int& i, const char* flag) -> std::size_t {
+    const std::string raw = value(i, flag);
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(raw.c_str(), &end, 10);
+    // A silent clamp here used to hide typos like "--jobs 0"; reject
+    // anything that is not a plain positive decimal ("-1" would wrap,
+    // "3x" would truncate), and absurd counts before they hit a reserve().
+    if (raw.empty() || raw[0] == '-' || end == raw.c_str() || *end != '\0' ||
+        parsed == 0 || parsed > 1'000'000) {
+      std::cerr << argv[0] << ": " << flag << " needs a positive integer, got '"
+                << raw << "'\n";
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(parsed);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs") {
-      options.jobs = static_cast<std::size_t>(
-          std::strtoul(value(i, "--jobs").c_str(), nullptr, 10));
-      if (options.jobs == 0) options.jobs = 1;
+      options.jobs = positive(i, "--jobs");
+    } else if (arg == "--shards") {
+      options.shards = positive(i, "--shards");
     } else if (arg == "--json") {
       options.json_path = value(i, "--json");
     } else if (arg == "--csv") {
@@ -73,7 +95,7 @@ inline BenchOptions parse_cli(int argc, char** argv) {
       options.quick = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--jobs N] [--json path] [--csv path]"
+                << " [--jobs N] [--shards K] [--json path] [--csv path]"
                    " [--filter series] [--quick]\n";
       std::exit(0);
     } else {
@@ -93,6 +115,19 @@ class BenchContext {
 
   [[nodiscard]] const BenchOptions& options() const noexcept { return options_; }
   [[nodiscard]] bool quick() const noexcept { return options_.quick; }
+  [[nodiscard]] std::size_t shards() const noexcept { return options_.shards; }
+
+  /// Per-point convergence-engine worker budget: --jobs already
+  /// parallelises points, so divide the host's cores across them instead
+  /// of letting every point spawn min(shards, cores) threads (--jobs N x
+  /// --shards K would oversubscribe multiplicatively).  0 = engine
+  /// default (all cores), used when points run serially.
+  [[nodiscard]] std::size_t shard_workers() const {
+    if (options_.jobs <= 1) return 0;
+    const auto hw = static_cast<std::size_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    return std::max<std::size_t>(1, hw / options_.jobs);
+  }
 
   /// Whether a series should run under --filter.  A filter naming (part
   /// of) a control plane ("pce", "lisp-ms") still runs every series —

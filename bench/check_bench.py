@@ -12,7 +12,11 @@ Checks per bench id in the baseline:
   * every baseline series is present with at least one point;
   * every point of a series carries at least the baseline's field set
     (the intersection of fields across that series' points at the time the
-    baseline was committed — per-arm conditional fields stay allowed).
+    baseline was committed — per-arm conditional fields stay allowed);
+  * a series the baseline marks as replicated ("aggregate_fields", from
+    SweepSpec::replications) still carries its "aggregates" error bars:
+    every entry has n >= 1 and each baseline aggregate field keeps its
+    mean/sd/min/max keys.
 
 Usage:
   check_bench.py --dir build                 # verify against the baseline
@@ -46,6 +50,25 @@ def series_fields(series):
     return [name for name in first if name in common]
 
 
+def series_aggregate_fields(series):
+    """The error-barred metric names every aggregate entry carries."""
+    field_sets = [set(entry.get("fields", {}))
+                  for entry in series.get("aggregates", [])]
+    if not field_sets:
+        return []
+    common = set.intersection(*field_sets)
+    first = list(series["aggregates"][0].get("fields", {}))
+    return [name for name in first if name in common]
+
+
+def series_schema(series):
+    schema = {"fields": series_fields(series)}
+    aggregate_fields = series_aggregate_fields(series)
+    if aggregate_fields:
+        schema["aggregate_fields"] = aggregate_fields
+    return schema
+
+
 def build_schema(directory):
     schema = {}
     for path in sorted(directory.glob("BENCH_*.json")):
@@ -56,7 +79,7 @@ def build_schema(directory):
         bench_id = artifact.get("bench") or path.stem.removeprefix("BENCH_")
         schema[bench_id] = {
             "series": {
-                series["name"]: {"fields": series_fields(series)}
+                series["name"]: series_schema(series)
                 for series in artifact.get("series", [])
             }
         }
@@ -108,6 +131,34 @@ def check(directory, baseline):
                         f"dropped fields: {', '.join(sorted(missing))}"
                     )
                     break
+            required_aggregates = set(spec.get("aggregate_fields", []))
+            if required_aggregates:
+                aggregates = series.get("aggregates", [])
+                if not aggregates:
+                    problems.append(
+                        f"{path.name}: series '{name}' lost its replication "
+                        "aggregates (error bars)"
+                    )
+                for entry in aggregates:
+                    if entry.get("n", 0) < 1:
+                        problems.append(
+                            f"{path.name}: series '{name}' aggregate group "
+                            f"{entry.get('group')} has no replicas"
+                        )
+                        break
+                    bad = [
+                        agg_name
+                        for agg_name in required_aggregates
+                        if set(entry.get("fields", {}).get(agg_name, {}))
+                        < {"mean", "sd", "min", "max"}
+                    ]
+                    if bad:
+                        problems.append(
+                            f"{path.name}: series '{name}' aggregate group "
+                            f"{entry.get('group')} dropped error-bar fields: "
+                            f"{', '.join(sorted(bad))}"
+                        )
+                        break
     # An artifact with no baseline entry is unguarded: a new bench's JSON
     # could be empty or corrupt without failing CI.  Force the baseline to
     # be regenerated alongside the bench.

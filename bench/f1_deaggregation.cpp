@@ -12,10 +12,16 @@
 //     unchanged — exactly the regime where its design pays off.
 //
 // Declarative sweep: de-aggregation factor x control plane, pivoted so each
-// plane's stress metrics line up per factor.
+// plane's stress metrics line up per factor.  A second series (F1b) takes
+// the same §3 observation to the BGP substrate: de-aggregated stub prefixes
+// multiply the DFZ table and the convergence traffic under legacy
+// addressing while the LISP DFZ stays at the provider-aggregate count —
+// measured up to 1k stub sites on the sharded convergence engine
+// (--shards K; records are byte-identical for any K).
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "scenario/dfz_adapter.hpp"
 
 namespace lispcp {
 namespace {
@@ -93,6 +99,31 @@ void series_deaggregation(bench::BenchContext& ctx) {
       .print(std::cout);
 }
 
+void series_dfz_deaggregation(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F1b")) return;
+  std::cout << "\n-- F1b: de-aggregation in the DFZ — stub sites x factor, "
+               "legacy BGP vs Loc/ID split --\n";
+  const bool quick = ctx.quick();
+  SweepSpec spec;
+  spec.named("F1b")
+      .base([quick](ExperimentConfig& config) {
+        config.dfz.internet.tier1_count = 4;
+        config.dfz.internet.transit_count = quick ? 6 : 10;
+        config.dfz.internet.providers_per_stub = 2;
+        config.dfz.internet.seed = 12;
+        config.spec.seed = config.dfz.internet.seed;
+      })
+      .base(scenario::dfz::sharded(ctx.shards(), ctx.shard_workers()))
+      .axis(scenario::dfz::stub_sites(
+          quick ? std::vector<std::uint64_t>{30, 60}
+                : std::vector<std::uint64_t>{150, 1000}))
+      .axis(scenario::dfz::deaggregation({1, 4}))
+      .axis(scenario::dfz::scenarios());
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_study);
+  ctx.run(runner).table().print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -103,6 +134,7 @@ int main(int argc, char** argv) {
       "§3: TE study \"in the context of Latin America ... the world's "
       "largest IPv4 de-aggregation factor\"");
   lispcp::series_deaggregation(ctx);
+  lispcp::series_dfz_deaggregation(ctx);
   lispcp::bench::print_footer(
       "Shape check: de-aggregation multiplies mapping-system state "
       "(registered mappings, overlay routes, NERD push volume) and drives "

@@ -17,7 +17,13 @@
 //
 // Declarative sweeps via the DFZ adapter (scenario/dfz_adapter.hpp): the
 // studies build their own three-tier Internet, so they run through
-// Runner::execute with stub-site count as a topology-size axis.
+// Runner::execute with stub-site count as a topology-size axis.  The BGP
+// substrate is the sharded convergence engine: --shards K partitions each
+// point's AS graph across K deterministic shards (records are
+// byte-identical for any K — CI diffs --shards 4 against --shards 1), and
+// the F2c series scales the study to 1k stub sites, the regime where the
+// paper's table-size claim actually bites.  F2d replicates the churn study
+// over derived seeds (SweepSpec::replications) for mean/sd error bars.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -30,16 +36,18 @@ using scenario::ExperimentConfig;
 using scenario::Runner;
 using scenario::SweepSpec;
 
-SweepSpec f2_base(bool quick) {
+SweepSpec f2_base(const bench::BenchContext& ctx) {
+  const bool quick = ctx.quick();
   SweepSpec spec;
   spec.base([quick](ExperimentConfig& config) {
-    config.dfz.internet.tier1_count = 4;
-    config.dfz.internet.transit_count = quick ? 6 : 10;
-    config.dfz.internet.providers_per_stub = 2;
-    config.dfz.internet.seed = 7;
-    // Keep the record's reported seed honest on the adapter path.
-    config.spec.seed = config.dfz.internet.seed;
-  });
+        config.dfz.internet.tier1_count = 4;
+        config.dfz.internet.transit_count = quick ? 6 : 10;
+        config.dfz.internet.providers_per_stub = 2;
+        config.dfz.internet.seed = 7;
+        // Keep the record's reported seed honest on the adapter path.
+        config.spec.seed = config.dfz.internet.seed;
+      })
+      .base(scenario::dfz::sharded(ctx.shards(), ctx.shard_workers()));
   return spec;
 }
 
@@ -48,7 +56,7 @@ void series_scaling(bench::BenchContext& ctx) {
   std::cout << "\n-- F2a: DFZ table size and convergence cost --\n";
   const bool quick = ctx.quick();
   auto spec =
-      f2_base(quick)
+      f2_base(ctx)
           .named("F2a")
           .axis(scenario::dfz::stub_sites(
               quick ? std::vector<std::uint64_t>{20, 40}
@@ -67,7 +75,7 @@ void series_churn(bench::BenchContext& ctx) {
   std::cout << "\n-- F2b: re-homing churn — one stub swings its ingress "
                "(BGP flap vs PCE mapping push) --\n";
   const bool quick = ctx.quick();
-  auto spec = f2_base(quick)
+  auto spec = f2_base(ctx)
                   .named("F2b")
                   .base([quick](ExperimentConfig& config) {
                     config.dfz.internet.stub_count = quick ? 40 : 100;
@@ -81,6 +89,42 @@ void series_churn(bench::BenchContext& ctx) {
   ctx.run(runner).table().print(std::cout);
 }
 
+void series_scale_out(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F2c")) return;
+  std::cout << "\n-- F2c: the claim at production scale — up to 1k stub "
+               "sites (sharded convergence engine) --\n";
+  const bool quick = ctx.quick();
+  auto spec = f2_base(ctx)
+                  .named("F2c")
+                  .axis(scenario::dfz::stub_sites(
+                      quick ? std::vector<std::uint64_t>{60, 120}
+                            : std::vector<std::uint64_t>{500, 1000}))
+                  .axis(scenario::dfz::scenarios());
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_study);
+  ctx.run(runner).table().print(std::cout);
+}
+
+void series_churn_error_bars(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F2d")) return;
+  std::cout << "\n-- F2d: churn spread over topology seeds "
+               "(multi-seed replication, mean/sd/min/max) --\n";
+  const bool quick = ctx.quick();
+  auto spec = f2_base(ctx)
+                  .named("F2d")
+                  .base([quick](ExperimentConfig& config) {
+                    config.dfz.scenario =
+                        routing::AddressingScenario::kLegacyBgp;
+                    config.dfz.internet.stub_count = quick ? 40 : 100;
+                  })
+                  .axis(scenario::dfz::deaggregation({1, 4}))
+                  .seed_mode(scenario::SeedMode::kPerPoint)
+                  .replications(quick ? 3 : 5);
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_churn);
+  ctx.run(runner).aggregate().table().print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -92,6 +136,8 @@ int main(int argc, char** argv) {
       "through the Internet — only the RLOCs are globally routable\"");
   lispcp::series_scaling(ctx);
   lispcp::series_churn(ctx);
+  lispcp::series_scale_out(ctx);
+  lispcp::series_churn_error_bars(ctx);
   lispcp::bench::print_footer(
       "Shape check: the legacy DFZ grows with sites x de-aggregation while "
       "the LISP DFZ stays fixed at the provider-aggregate count; re-homing "

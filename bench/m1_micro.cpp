@@ -1,21 +1,59 @@
-// M1 — microbenchmarks (google-benchmark): the per-packet costs the paper's
-// "line rate" assumptions rest on — LISP encap/decap header work, map-cache
-// and LPM lookups, DNS and control-message (de)serialization, event-queue
-// throughput.
-#include <benchmark/benchmark.h>
+// M1 — microbenchmarks: the per-packet costs the paper's "line rate"
+// assumptions rest on — LISP encap/decap header work, map-cache and LPM
+// lookups, DNS and control-message (de)serialization, event-queue and
+// shard-queue throughput.
+//
+// Ported onto the shared bench CLI (bench_util.hpp) like every other bench:
+// each micro is a point on a labelled axis, timed by a self-calibrating
+// wall-clock harness (no google-benchmark dependency), so M1 accepts
+// --jobs/--json/--csv/--filter/--quick and emits BENCH_M1.json under the
+// schema guard.  --quick shrinks the per-micro time budget; --filter
+// narrows by micro name ("trie", "map-cache/4096").  Note that ns/op is a
+// wall-clock measurement: unlike the simulation benches the *values* are
+// host-dependent (the artifact schema, not the numbers, is what CI pins),
+// and --jobs > 1 makes concurrently timed micros perturb each other — the
+// default stays serial.
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "dns/message.hpp"
 #include "lisp/control.hpp"
 #include "lisp/map_cache.hpp"
-#include "net/packet.hpp"
 #include "net/checksum.hpp"
+#include "net/packet.hpp"
 #include "net/prefix_trie.hpp"
 #include "pcep/messages.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard_queue.hpp"
 
 namespace lispcp {
 namespace {
+
+using scenario::Axis;
+using scenario::ExperimentConfig;
+using scenario::Record;
+using scenario::Runner;
+using scenario::RunPoint;
+using scenario::SweepSpec;
+
+/// Keeps `value` observable so the loop body is not optimised away.
+template <typename T>
+inline void keep(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// One micro: setup() runs untimed and returns the iteration body.
+struct Micro {
+  std::string name;
+  std::function<std::function<void(std::uint64_t)>()> setup;
+};
 
 net::Packet make_data_packet() {
   net::TcpHeader tcp;
@@ -25,232 +63,356 @@ net::Packet make_data_packet() {
                           net::Ipv4Address(100, 64, 1, 10), tcp, 1000);
 }
 
-void BM_LispEncapsulate(benchmark::State& state) {
-  const auto base = make_data_packet();
-  for (auto _ : state) {
-    net::Packet p = base;
-    net::LispHeader shim;
-    shim.nonce = 42;
+std::vector<Micro> registry() {
+  std::vector<Micro> micros;
+
+  micros.push_back({"lisp encapsulate", [] {
+    const auto base = make_data_packet();
+    return std::function<void(std::uint64_t)>([base](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        net::Packet p = base;
+        net::LispHeader shim;
+        shim.nonce = 42;
+        net::UdpHeader udp;
+        udp.dst_port = net::ports::kLispData;
+        net::Ipv4Header outer;
+        outer.src = net::Ipv4Address(10, 0, 0, 1);
+        outer.dst = net::Ipv4Address(10, 0, 1, 1);
+        p.push_outer(shim);
+        p.push_outer(udp);
+        p.push_outer(outer);
+        keep(p.wire_size());
+      }
+    });
+  }});
+
+  micros.push_back({"lisp decapsulate", [] {
+    auto encapsulated = make_data_packet();
+    encapsulated.push_outer(net::LispHeader{});
+    encapsulated.push_outer(net::UdpHeader{});
+    encapsulated.push_outer(net::Ipv4Header{});
+    return std::function<void(std::uint64_t)>(
+        [encapsulated](std::uint64_t iters) {
+          for (std::uint64_t i = 0; i < iters; ++i) {
+            net::Packet p = encapsulated;
+            p.pop_outer();
+            p.pop_outer();
+            p.pop_outer();
+            keep(p.inner_ip().dst);
+          }
+        });
+  }});
+
+  micros.push_back({"packet serialize", [] {
+    auto p = make_data_packet();
+    p.push_outer(net::LispHeader{});
     net::UdpHeader udp;
     udp.dst_port = net::ports::kLispData;
+    p.push_outer(udp);
     net::Ipv4Header outer;
     outer.src = net::Ipv4Address(10, 0, 0, 1);
     outer.dst = net::Ipv4Address(10, 0, 1, 1);
-    p.push_outer(shim);
-    p.push_outer(udp);
     p.push_outer(outer);
-    benchmark::DoNotOptimize(p.wire_size());
-  }
-}
-BENCHMARK(BM_LispEncapsulate);
+    return std::function<void(std::uint64_t)>([p](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) keep(p.serialize());
+    });
+  }});
 
-void BM_LispDecapsulate(benchmark::State& state) {
-  auto encapsulated = make_data_packet();
-  encapsulated.push_outer(net::LispHeader{});
-  encapsulated.push_outer(net::UdpHeader{});
-  encapsulated.push_outer(net::Ipv4Header{});
-  for (auto _ : state) {
-    net::Packet p = encapsulated;
-    p.pop_outer();
-    p.pop_outer();
-    p.pop_outer();
-    benchmark::DoNotOptimize(p.inner_ip().dst);
+  for (const int sites : {64, 1024, 4096}) {
+    micros.push_back({"map-cache hit/" + std::to_string(sites), [sites] {
+      auto cache = std::make_shared<lisp::MapCache>();
+      for (int i = 0; i < sites; ++i) {
+        lisp::MapEntry entry;
+        entry.eid_prefix = net::Ipv4Prefix(
+            net::Ipv4Address(100, static_cast<std::uint8_t>(64 + i / 256),
+                             static_cast<std::uint8_t>(i % 256), 0),
+            24);
+        entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 0, 1), 1, 100, true}};
+        cache->insert(entry, sim::SimTime::zero());
+      }
+      const auto now = sim::SimTime::zero() + sim::SimDuration::seconds(1);
+      return std::function<void(std::uint64_t)>(
+          [cache, now](std::uint64_t iters) {
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              const net::Ipv4Address eid(
+                  100, static_cast<std::uint8_t>(64 + ((i / 256) % 16)),
+                  static_cast<std::uint8_t>(i % 256), 10);
+              keep(cache->lookup(eid, now));
+            }
+          });
+    }});
   }
-}
-BENCHMARK(BM_LispDecapsulate);
 
-void BM_PacketSerializeFull(benchmark::State& state) {
-  auto p = make_data_packet();
-  p.push_outer(net::LispHeader{});
-  net::UdpHeader udp;
-  udp.dst_port = net::ports::kLispData;
-  p.push_outer(udp);
-  net::Ipv4Header outer;
-  outer.src = net::Ipv4Address(10, 0, 0, 1);
-  outer.dst = net::Ipv4Address(10, 0, 1, 1);
-  p.push_outer(outer);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(p.serialize());
+  for (const int prefixes : {256, 4096, 65536}) {
+    micros.push_back({"prefix-trie lookup/" + std::to_string(prefixes),
+                      [prefixes] {
+      auto trie = std::make_shared<net::PrefixTrie<int>>();
+      sim::Rng rng(2);
+      for (int i = 0; i < prefixes; ++i) {
+        trie->insert(
+            net::Ipv4Prefix(
+                net::Ipv4Address(static_cast<std::uint32_t>(rng.engine()())),
+                8 + static_cast<int>(rng.uniform_int(0, 16))),
+            i);
+      }
+      return std::function<void(std::uint64_t)>([trie](std::uint64_t iters) {
+        std::uint32_t probe = 0;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          keep(trie->lookup(net::Ipv4Address(probe)));
+          probe += 2654435761u;
+        }
+      });
+    }});
   }
-}
-BENCHMARK(BM_PacketSerializeFull);
 
-void BM_MapCacheLookupHit(benchmark::State& state) {
-  const auto sites = static_cast<int>(state.range(0));
-  lisp::MapCache cache;
-  sim::Rng rng(1);
-  for (int i = 0; i < sites; ++i) {
-    lisp::MapEntry entry;
-    entry.eid_prefix = net::Ipv4Prefix(
-        net::Ipv4Address(100, static_cast<std::uint8_t>(64 + i / 256),
-                         static_cast<std::uint8_t>(i % 256), 0),
-        24);
-    entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 0, 1), 1, 100, true}};
-    cache.insert(entry, sim::SimTime::zero());
-  }
-  const auto now = sim::SimTime::zero() + sim::SimDuration::seconds(1);
-  std::uint32_t i = 0;
-  for (auto _ : state) {
-    const net::Ipv4Address eid(100, 64 + ((i / 256) % 16),
-                               static_cast<std::uint8_t>(i % 256), 10);
-    benchmark::DoNotOptimize(cache.lookup(eid, now));
-    ++i;
-  }
-}
-BENCHMARK(BM_MapCacheLookupHit)->Arg(64)->Arg(1024)->Arg(4096);
+  micros.push_back({"dns serialize", [] {
+    auto m = dns::DnsMessage::answer(
+        1, {dns::DomainName::from_string("h0.d5.example"), dns::RrType::kA},
+        {dns::ResourceRecord::a(dns::DomainName::from_string("h0.d5.example"),
+                                net::Ipv4Address(100, 64, 5, 10))},
+        true);
+    return std::function<void(std::uint64_t)>([m](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        net::ByteWriter w(m->wire_size());
+        m->serialize(w);
+        keep(w.view().data());
+      }
+    });
+  }});
 
-void BM_PrefixTrieLookup(benchmark::State& state) {
-  const auto prefixes = static_cast<int>(state.range(0));
-  net::PrefixTrie<int> trie;
-  sim::Rng rng(2);
-  for (int i = 0; i < prefixes; ++i) {
-    trie.insert(net::Ipv4Prefix(
-                    net::Ipv4Address(static_cast<std::uint32_t>(rng.engine()())),
-                    8 + static_cast<int>(rng.uniform_int(0, 16))),
-                i);
-  }
-  std::uint32_t probe = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(trie.lookup(net::Ipv4Address(probe)));
-    probe += 2654435761u;
-  }
-}
-BENCHMARK(BM_PrefixTrieLookup)->Arg(256)->Arg(4096)->Arg(65536);
-
-void BM_DnsMessageSerialize(benchmark::State& state) {
-  auto m = dns::DnsMessage::answer(
-      1, {dns::DomainName::from_string("h0.d5.example"), dns::RrType::kA},
-      {dns::ResourceRecord::a(dns::DomainName::from_string("h0.d5.example"),
-                              net::Ipv4Address(100, 64, 5, 10))},
-      true);
-  for (auto _ : state) {
-    net::ByteWriter w(m->wire_size());
+  micros.push_back({"dns parse", [] {
+    auto m = dns::DnsMessage::answer(
+        1, {dns::DomainName::from_string("h0.d5.example"), dns::RrType::kA},
+        {dns::ResourceRecord::a(dns::DomainName::from_string("h0.d5.example"),
+                                net::Ipv4Address(100, 64, 5, 10))},
+        true);
+    net::ByteWriter w;
     m->serialize(w);
-    benchmark::DoNotOptimize(w.view().data());
+    const auto bytes = w.take();
+    return std::function<void(std::uint64_t)>([bytes](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        net::ByteReader r(bytes);
+        keep(dns::DnsMessage::parse_wire(r));
+      }
+    });
+  }});
+
+  micros.push_back({"map-reply roundtrip", [] {
+    lisp::MapEntry entry;
+    entry.eid_prefix = net::Ipv4Prefix::from_string("100.64.1.0/24");
+    entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 1, 1), 1, 50, true},
+                   lisp::Rloc{net::Ipv4Address(10, 0, 1, 2), 1, 50, true}};
+    auto reply = std::make_shared<lisp::MapReply>(7, entry);
+    return std::function<void(std::uint64_t)>([reply](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        net::ByteWriter w(reply->wire_size());
+        reply->serialize(w);
+        auto bytes = w.take();
+        net::ByteReader r(bytes);
+        keep(lisp::MapReply::parse_wire(r));
+      }
+    });
+  }});
+
+  micros.push_back({"event-queue schedule+fire", [] {
+    return std::function<void(std::uint64_t)>([](std::uint64_t iters) {
+      sim::EventQueue queue;
+      std::int64_t t = 0;
+      sim::Rng rng(3);
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        // Keep ~1k events in flight, firing the earliest each iteration.
+        queue.schedule(
+            sim::SimTime::from_ns(t + static_cast<std::int64_t>(
+                                          rng.uniform_int(1, 1'000'000))),
+            [] {});
+        if (queue.size() > 1000) {
+          sim::EventQueue::Fired fired;
+          queue.pop(fired);
+          t = fired.time.ns();
+        }
+      }
+    });
+  }});
+
+  micros.push_back({"shard-queue schedule+fire", [] {
+    return std::function<void(std::uint64_t)>([](std::uint64_t iters) {
+      // The sharded engine's identity-keyed queue on the same in-flight
+      // profile as the event-queue micro above.
+      sim::ShardQueue queue;
+      std::int64_t t = 0;
+      sim::Rng rng(3);
+      std::uint64_t fired_through = 0;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        const auto at = sim::SimTime::from_ns(
+            t + static_cast<std::int64_t>(rng.uniform_int(1, 1'000'000)));
+        queue.schedule(at, sim::EventKey{t, i}, [] {});
+        if (queue.size() > 1000) {
+          const auto end = queue.next_time() + sim::SimDuration::nanos(1);
+          fired_through += queue.run_window(end);
+          t = queue.now().ns();
+        }
+      }
+      keep(fired_through);
+    });
+  }});
+
+  for (const int n : {1024, 65536}) {
+    micros.push_back({"zipf sample/" + std::to_string(n), [n] {
+      auto zipf = std::make_shared<sim::ZipfDistribution>(
+          static_cast<std::size_t>(n), 0.9);
+      return std::function<void(std::uint64_t)>([zipf](std::uint64_t iters) {
+        sim::Rng rng(4);
+        for (std::uint64_t i = 0; i < iters; ++i) keep((*zipf)(rng));
+      });
+    }});
+  }
+
+  for (const int bytes : {20, 1500}) {
+    micros.push_back({"checksum/" + std::to_string(bytes), [bytes] {
+      auto data = std::make_shared<std::vector<std::byte>>(
+          static_cast<std::size_t>(bytes), std::byte{0xA5});
+      return std::function<void(std::uint64_t)>([data](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          keep(net::internet_checksum(*data));
+        }
+      });
+    }});
+  }
+
+  micros.push_back({"pcep request roundtrip", [] {
+    auto request = std::make_shared<pcep::MapComputationRequest>(
+        7, net::Ipv4Address(100, 64, 1, 10));
+    return std::function<void(std::uint64_t)>([request](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        net::ByteWriter w;
+        request->serialize(w);
+        net::ByteReader r(w.view());
+        keep(pcep::parse_message(r));
+      }
+    });
+  }});
+
+  micros.push_back({"pcep reply roundtrip", [] {
+    lisp::MapEntry entry;
+    entry.eid_prefix = net::Ipv4Prefix(net::Ipv4Address(100, 64, 1, 0), 24);
+    for (int i = 0; i < 4; ++i) {
+      entry.rlocs.push_back(lisp::Rloc{
+          net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)), 1, 25,
+          true});
+    }
+    auto reply = std::make_shared<pcep::MapComputationReply>(7, entry);
+    return std::function<void(std::uint64_t)>([reply](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        net::ByteWriter w;
+        reply->serialize(w);
+        net::ByteReader r(w.view());
+        keep(pcep::parse_message(r));
+      }
+    });
+  }});
+
+  for (const int entries : {1, 16, 64}) {
+    micros.push_back({"map-register roundtrip/" + std::to_string(entries),
+                      [entries] {
+      std::vector<lisp::MapEntry> list(static_cast<std::size_t>(entries));
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        list[i].eid_prefix = net::Ipv4Prefix(
+            net::Ipv4Address(
+                static_cast<std::uint32_t>((100u << 24) | (i << 8))),
+            24);
+        list[i].rlocs = {
+            lisp::Rloc{net::Ipv4Address(10, 0, 0, 1), 1, 100, true}};
+      }
+      auto reg = std::make_shared<lisp::MapRegister>(1, 180, list);
+      return std::function<void(std::uint64_t)>([reg](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          net::ByteWriter w;
+          reg->serialize(w);
+          net::ByteReader r(w.view());
+          keep(lisp::MapRegister::parse_wire(r));
+        }
+      });
+    }});
+  }
+
+  return micros;
+}
+
+/// Grows the iteration count geometrically until the body fills the time
+/// budget, then reports the final timing.
+void time_micro(const std::function<void(std::uint64_t)>& body,
+                double budget_ns, Record& record) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    body(iters);
+    const double elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+    if (elapsed_ns >= budget_ns || iters >= (std::uint64_t{1} << 30)) {
+      record.set_int("iters", iters);
+      record.set_real("ns/op", elapsed_ns / static_cast<double>(iters), 1);
+      return;
+    }
+    iters *= 4;
   }
 }
-BENCHMARK(BM_DnsMessageSerialize);
 
-void BM_DnsMessageParse(benchmark::State& state) {
-  auto m = dns::DnsMessage::answer(
-      1, {dns::DomainName::from_string("h0.d5.example"), dns::RrType::kA},
-      {dns::ResourceRecord::a(dns::DomainName::from_string("h0.d5.example"),
-                              net::Ipv4Address(100, 64, 5, 10))},
-      true);
-  net::ByteWriter w;
-  m->serialize(w);
-  const auto bytes = w.take();
-  for (auto _ : state) {
-    net::ByteReader r(bytes);
-    benchmark::DoNotOptimize(dns::DnsMessage::parse_wire(r));
-  }
-}
-BENCHMARK(BM_DnsMessageParse);
-
-void BM_MapReplySerializeParse(benchmark::State& state) {
-  lisp::MapEntry entry;
-  entry.eid_prefix = net::Ipv4Prefix::from_string("100.64.1.0/24");
-  entry.rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 1, 1), 1, 50, true},
-                 lisp::Rloc{net::Ipv4Address(10, 0, 1, 2), 1, 50, true}};
-  lisp::MapReply reply(7, entry);
-  for (auto _ : state) {
-    net::ByteWriter w(reply.wire_size());
-    reply.serialize(w);
-    auto bytes = w.take();
-    net::ByteReader r(bytes);
-    benchmark::DoNotOptimize(lisp::MapReply::parse_wire(r));
-  }
-}
-BENCHMARK(BM_MapReplySerializeParse);
-
-void BM_EventQueueScheduleFire(benchmark::State& state) {
-  sim::EventQueue queue;
-  std::int64_t t = 0;
-  sim::Rng rng(3);
-  for (auto _ : state) {
-    // Keep ~1k events in flight, firing the earliest each iteration.
-    queue.schedule(sim::SimTime::from_ns(t + static_cast<std::int64_t>(
-                                                 rng.uniform_int(1, 1'000'000))),
-                   [] {});
-    if (queue.size() > 1000) {
-      sim::EventQueue::Fired fired;
-      queue.pop(fired);
-      t = fired.time.ns();
+void series_micro(bench::BenchContext& ctx) {
+  // --filter can name (part of) a micro ("trie", "map-cache/4096"):
+  // BenchContext only matches series and control-plane names, so narrow
+  // the axis here ourselves.
+  const std::string& filter = ctx.options().filter;
+  bool micro_filter = false;
+  if (!filter.empty()) {
+    for (const Micro& micro : registry()) {
+      if (micro.name.find(filter) != std::string::npos) {
+        micro_filter = true;
+        break;
+      }
     }
   }
-}
-BENCHMARK(BM_EventQueueScheduleFire);
+  if (!ctx.enabled("M1a") && !micro_filter) return;
+  std::cout << "\n-- M1a: per-operation costs (wall clock) --\n";
+  const double budget_ns = ctx.quick() ? 2e6 : 5e7;
 
-void BM_ZipfSample(benchmark::State& state) {
-  sim::ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.9);
-  sim::Rng rng(4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(zipf(rng));
+  std::vector<std::pair<std::string, std::function<void(ExperimentConfig&)>>>
+      points;
+  for (const Micro& micro : registry()) {
+    if (micro_filter && micro.name.find(filter) == std::string::npos) continue;
+    points.emplace_back(micro.name, [](ExperimentConfig&) {});
   }
-}
-BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(65536);
+  SweepSpec spec;
+  spec.named("M1a").axis(Axis::labeled("micro", std::move(points)));
 
-void BM_InternetChecksum(benchmark::State& state) {
-  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),
-                              std::byte{0xA5});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net::internet_checksum(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+  Runner runner(std::move(spec));
+  runner.execute([budget_ns](const RunPoint& point, Record& record) {
+    const std::string& name = point.coordinates.front().second.as_text();
+    for (const Micro& micro : registry()) {
+      if (micro.name != name) continue;
+      time_micro(micro.setup(), budget_ns, record);
+      return;
+    }
+  });
+  ctx.run(runner).table().print(std::cout);
 }
-BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
-
-void BM_PcepRequestSerializeParse(benchmark::State& state) {
-  const pcep::MapComputationRequest request(7, net::Ipv4Address(100, 64, 1, 10));
-  for (auto _ : state) {
-    net::ByteWriter w;
-    request.serialize(w);
-    net::ByteReader r(w.view());
-    benchmark::DoNotOptimize(pcep::parse_message(r));
-  }
-}
-BENCHMARK(BM_PcepRequestSerializeParse);
-
-void BM_PcepReplySerializeParse(benchmark::State& state) {
-  lisp::MapEntry entry;
-  entry.eid_prefix = net::Ipv4Prefix(net::Ipv4Address(100, 64, 1, 0), 24);
-  for (int i = 0; i < 4; ++i) {
-    entry.rlocs.push_back(
-        lisp::Rloc{net::Ipv4Address(10, 0, 0, std::uint8_t(i + 1)), 1, 25, true});
-  }
-  const pcep::MapComputationReply reply(7, entry);
-  for (auto _ : state) {
-    net::ByteWriter w;
-    reply.serialize(w);
-    net::ByteReader r(w.view());
-    benchmark::DoNotOptimize(pcep::parse_message(r));
-  }
-}
-BENCHMARK(BM_PcepReplySerializeParse);
-
-void BM_MapRegisterSerializeParse(benchmark::State& state) {
-  std::vector<lisp::MapEntry> entries(static_cast<std::size_t>(state.range(0)));
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    entries[i].eid_prefix =
-        net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(
-                            (100u << 24) | (i << 8))),
-                        24);
-    entries[i].rlocs = {lisp::Rloc{net::Ipv4Address(10, 0, 0, 1), 1, 100, true}};
-  }
-  const lisp::MapRegister reg(1, 180, entries);
-  for (auto _ : state) {
-    net::ByteWriter w;
-    reg.serialize(w);
-    net::ByteReader r(w.view());
-    benchmark::DoNotOptimize(lisp::MapRegister::parse_wire(r));
-  }
-}
-BENCHMARK(BM_MapRegisterSerializeParse)->Arg(1)->Arg(16)->Arg(64);
-
 
 }  // namespace
 }  // namespace lispcp
 
-BENCHMARK_MAIN();
-
+int main(int argc, char** argv) {
+  auto ctx =
+      lispcp::bench::BenchContext("M1", lispcp::bench::parse_cli(argc, argv));
+  lispcp::bench::print_header(
+      "M1", "microbenchmarks: per-packet and per-message costs",
+      "the \"line rate\" assumptions: encap/decap, cache and LPM lookups, "
+      "(de)serialization, event dispatch");
+  lispcp::series_micro(ctx);
+  lispcp::bench::print_footer(
+      "ns/op is wall-clock and host-dependent; CI pins the artifact schema, "
+      "not the values.  Run without --quick (and --jobs 1) for stable "
+      "numbers.");
+  ctx.finish();
+  return 0;
+}

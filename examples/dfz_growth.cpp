@@ -6,7 +6,7 @@
 // held by the LISP mapping system — and prints the table-size and churn
 // contrast the paper's §1 opens with.
 //
-//   $ ./dfz_growth [stub_sites] [deaggregation_factor]
+//   $ ./dfz_growth [stub_sites] [deaggregation_factor] [shards]
 #include <cstdlib>
 #include <iostream>
 
@@ -16,15 +16,28 @@
 using namespace lispcp;
 
 int main(int argc, char** argv) {
-  const std::size_t stubs =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
-  const std::size_t deagg =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+  // A negative atoi result would wrap through size_t to something huge
+  // (e.g. 2^64-1 shards), so validate instead of casting blindly.
+  const auto positive_arg = [&](int index, long fallback) -> std::size_t {
+    if (argc <= index) return static_cast<std::size_t>(fallback);
+    const long v = std::atol(argv[index]);
+    if (v <= 0) {
+      std::cerr << "usage: dfz_growth [stub_sites] [deaggregation_factor] "
+                   "[shards]  (positive integers)\n";
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(v);
+  };
+  const std::size_t stubs = positive_arg(1, 150);
+  const std::size_t deagg = positive_arg(2, 4);
+  const std::size_t shards = positive_arg(3, 1);
 
   routing::DfzStudyConfig config;
   config.internet.stub_count = stubs;
   config.internet.providers_per_stub = 2;
   config.deaggregation_factor = deagg;
+  // Convergence-engine partitions: the table is identical for any value.
+  config.bgp.shards = shards;
 
   metrics::Table table({"scenario", "DFZ table", "mean RIB", "updates",
                         "converge ms", "mapping entries", "rehoming updates",

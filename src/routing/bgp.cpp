@@ -161,14 +161,15 @@ void BgpSpeaker::enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
   } else {
     out.pending[prefix] = std::move(advert);
   }
-  if (!out.pending.empty() && !out.mrai_timer.pending()) {
-    out.mrai_timer = fabric_.sim().schedule(
-        fabric_.config().mrai, [this, neighbor] { flush(neighbor); });
+  if (!out.pending.empty() && !out.mrai_armed) {
+    out.mrai_armed = true;
+    fabric_.arm_mrai(asn_, neighbor, [this, neighbor] { flush(neighbor); });
   }
 }
 
 void BgpSpeaker::flush(AsNumber neighbor) {
   Outbound& out = outbound_[neighbor];
+  out.mrai_armed = false;
   if (out.pending.empty()) return;
   UpdateMessage message;
   for (auto& [prefix, advert] : out.pending) {
@@ -187,8 +188,22 @@ void BgpSpeaker::flush(AsNumber neighbor) {
   fabric_.send(asn_, neighbor, std::move(message));
 }
 
-BgpFabric::BgpFabric(sim::Simulator& sim, const AsGraph& graph, BgpConfig config)
-    : sim_(sim), graph_(graph), config_(config) {
+namespace {
+
+ShardEngineConfig engine_config(const BgpConfig& config) {
+  ShardEngineConfig out;
+  out.shards = config.shards;
+  // Lookahead: every cross-shard delivery takes at least the base session
+  // delay (jitter only adds).  MRAI timers are always shard-local.
+  out.epoch = config.session_delay;
+  out.workers = config.shard_workers;
+  return out;
+}
+
+}  // namespace
+
+BgpFabric::BgpFabric(const AsGraph& graph, BgpConfig config)
+    : graph_(graph), config_(config), engine_(graph, engine_config(config)) {
   for (AsNumber asn : graph_.ases()) {
     speakers_.emplace(asn, std::make_unique<BgpSpeaker>(*this, asn));
   }
@@ -234,14 +249,22 @@ sim::SimDuration BgpFabric::session_delay(AsNumber a, AsNumber b) const {
 
 void BgpFabric::send(AsNumber from, AsNumber to, UpdateMessage message) {
   auto shared = std::make_shared<UpdateMessage>(std::move(message));
-  sim_.schedule(session_delay(from, to), [this, from, to, shared] {
-    speaker(to).handle_update(from, *shared);
-  });
+  engine_.schedule(to, session_delay(from, to),
+                   ConvergenceEngine::delivery_tag(from, to),
+                   [this, from, to, shared] {
+                     speaker(to).handle_update(from, *shared);
+                   });
+}
+
+void BgpFabric::arm_mrai(AsNumber owner, AsNumber neighbor,
+                         std::function<void()> flush) {
+  engine_.schedule(owner, config_.mrai,
+                   ConvergenceEngine::timer_tag(owner, neighbor),
+                   std::move(flush));
 }
 
 sim::SimTime BgpFabric::run_to_convergence(std::uint64_t max_events) {
-  sim_.run(max_events);
-  return sim_.now();
+  return engine_.run(max_events);
 }
 
 std::uint64_t BgpFabric::total_updates_sent() const {

@@ -14,10 +14,12 @@
 //   * AS-path loop detection on receipt;
 //   * MRAI-style batching of outbound updates per session.
 //
-// Sessions exchange messages through the discrete-event simulator with a
-// per-session propagation delay, so "convergence time" is a simulated-time
-// measurement, and Simulator::run() returning means the protocol has
-// converged (no foreground work left).
+// Sessions exchange messages through the sharded convergence engine
+// (routing/shard_engine.hpp) with a per-session propagation delay, so
+// "convergence time" is a simulated-time measurement, and
+// run_to_convergence() returning means the protocol has converged (no
+// event pending on any shard).  Results are byte-identical for every
+// shard count; K=1 reproduces the former global-queue run.
 //
 // The abstraction level is the AS, not the packet: updates are structs, not
 // serialized TCP segments.  RIB sizes and message counts — the outputs of
@@ -34,7 +36,7 @@
 
 #include "net/ipv4.hpp"
 #include "routing/as_graph.hpp"
-#include "sim/simulator.hpp"
+#include "routing/shard_engine.hpp"
 
 namespace lispcp::routing {
 
@@ -62,6 +64,13 @@ struct BgpConfig {
   /// Outbound updates to one neighbor are batched for this long before a
   /// flush (the Min Route Advertisement Interval, abbreviated).
   sim::SimDuration mrai = sim::SimDuration::millis(100);
+  /// Convergence-engine shards (per-AS RIB partitions).  Results are
+  /// byte-identical for any value; > 1 parallelises convergence inside one
+  /// sweep point and requires session_delay > 0 (the engine's lookahead).
+  std::size_t shards = 1;
+  /// Worker threads driving the shards (0 = min(shards, hardware)).  Never
+  /// affects results — only wall-clock.
+  std::size_t shard_workers = 0;
 };
 
 struct BgpSpeakerStats {
@@ -136,21 +145,25 @@ class BgpSpeaker {
 
   /// Pending outbound deltas per neighbor: nullopt value = withdraw.
   /// `advertised` is the Adj-RIB-Out ledger, kept so a route that was never
-  /// told to a neighbor is never withdrawn from it.
+  /// told to a neighbor is never withdrawn from it.  `mrai_armed` tracks
+  /// the pending flush timer (cleared when it fires; a flush that finds
+  /// nothing pending is a no-op, exactly like the un-cancelled timer of
+  /// the old event-handle scheme).
   struct Outbound {
     std::map<net::Ipv4Prefix, std::optional<RouteAdvert>> pending;
     std::set<net::Ipv4Prefix> advertised;
-    sim::EventHandle mrai_timer;
+    bool mrai_armed = false;
   };
   std::unordered_map<AsNumber, Outbound> outbound_;
 
   BgpSpeakerStats stats_;
 };
 
-/// Owns one speaker per AS and the message plumbing between them.
+/// Owns one speaker per AS, the sharded convergence engine they run on,
+/// and the message plumbing between them.
 class BgpFabric {
  public:
-  BgpFabric(sim::Simulator& sim, const AsGraph& graph, BgpConfig config = {});
+  explicit BgpFabric(const AsGraph& graph, BgpConfig config = {});
 
   BgpFabric(const BgpFabric&) = delete;
   BgpFabric& operator=(const BgpFabric&) = delete;
@@ -159,8 +172,13 @@ class BgpFabric {
   [[nodiscard]] const BgpSpeaker& speaker(AsNumber asn) const;
 
   [[nodiscard]] const AsGraph& graph() const noexcept { return graph_; }
-  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
   [[nodiscard]] const BgpConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ConvergenceEngine& engine() const noexcept {
+    return engine_;
+  }
+
+  /// Current virtual time (the latest convergence instant).
+  [[nodiscard]] sim::SimTime now() const noexcept { return engine_.now(); }
 
   /// Relationship of `neighbor` as seen from `self`; throws if no session.
   [[nodiscard]] NeighborKind kind_of(AsNumber self, AsNumber neighbor) const;
@@ -168,13 +186,17 @@ class BgpFabric {
   /// Schedules delivery of `message` on the (from, to) session.
   void send(AsNumber from, AsNumber to, UpdateMessage message);
 
-  /// Runs the simulator until no foreground work remains, i.e. until the
+  /// Arms `owner`'s MRAI flush timer toward `neighbor` (speaker plumbing).
+  void arm_mrai(AsNumber owner, AsNumber neighbor,
+                std::function<void()> flush);
+
+  /// Runs the engine until no work remains on any shard, i.e. until the
   /// protocol has converged.  Returns the convergence instant.
   sim::SimTime run_to_convergence(std::uint64_t max_events = 50'000'000);
 
-  /// Messages in flight plus pending MRAI flushes are foreground events, so
+  /// Messages in flight plus pending MRAI flushes are queued events, so
   /// this is exact, not heuristic.
-  [[nodiscard]] bool converged() { return !sim_.queue().has_foreground(); }
+  [[nodiscard]] bool converged() const { return engine_.idle(); }
 
   /// Sum of a stat over all speakers.
   [[nodiscard]] std::uint64_t total_updates_sent() const;
@@ -184,9 +206,9 @@ class BgpFabric {
  private:
   [[nodiscard]] sim::SimDuration session_delay(AsNumber a, AsNumber b) const;
 
-  sim::Simulator& sim_;
   const AsGraph& graph_;
   BgpConfig config_;
+  ConvergenceEngine engine_;
   std::unordered_map<AsNumber, std::unique_ptr<BgpSpeaker>> speakers_;
 };
 

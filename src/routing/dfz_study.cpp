@@ -6,8 +6,6 @@
 #include <unordered_map>
 #include <stdexcept>
 
-#include "sim/simulator.hpp"
-
 namespace lispcp::routing {
 
 namespace {
@@ -34,7 +32,6 @@ constexpr int kProviderAggregateLength = 12;
 }
 
 struct BuiltStudy {
-  sim::Simulator sim;
   AsGraph graph;
   std::unique_ptr<BgpFabric> fabric;
   std::size_t origin_prefixes = 0;
@@ -51,8 +48,7 @@ struct BuiltStudy {
   }
   auto study = std::make_unique<BuiltStudy>();
   study->graph = build_synthetic_internet(config.internet);
-  study->fabric =
-      std::make_unique<BgpFabric>(study->sim, study->graph, config.bgp);
+  study->fabric = std::make_unique<BgpFabric>(study->graph, config.bgp);
 
   for (AsNumber provider : providers_of(study->graph)) {
     study->fabric->speaker(provider).originate(provider_aggregate(provider));
@@ -167,7 +163,7 @@ RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
     changes_before[asn.value()] =
         study->fabric->speaker(asn).stats().best_changes;
   }
-  const sim::SimTime t0 = study->sim.now();
+  const sim::SimTime t0 = study->fabric->now();
 
   // The flap: the first stub takes its prefixes down (converge), then brings
   // them back (converge) — the BGP cost of swinging ingress traffic that the
@@ -183,7 +179,7 @@ RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
   result.update_messages = study->fabric->total_updates_sent() - updates_before;
   result.route_records = study->fabric->total_routes_announced() +
                          study->fabric->total_routes_withdrawn() - records_before;
-  result.settle_ms = (study->sim.now() - t0).ms();
+  result.settle_ms = (study->fabric->now() - t0).ms();
   for (AsNumber asn : study->graph.ases()) {
     if (study->fabric->speaker(asn).stats().best_changes >
         changes_before[asn.value()]) {

@@ -35,6 +35,14 @@ Axis deaggregation(std::vector<std::uint64_t> values, std::string name) {
                         });
 }
 
+std::function<void(ExperimentConfig&)> sharded(std::size_t shards,
+                                               std::size_t workers) {
+  return [shards, workers](ExperimentConfig& config) {
+    config.dfz.bgp.shards = shards == 0 ? 1 : shards;
+    config.dfz.bgp.shard_workers = workers;
+  };
+}
+
 void run_study(const RunPoint& point, Record& record) {
   const auto result = routing::run_dfz_study(point.config.dfz);
   record.set_int("DFZ table", result.dfz_table_size);

@@ -38,6 +38,16 @@ namespace lispcp::scenario::dfz {
 [[nodiscard]] Axis deaggregation(std::vector<std::uint64_t> values,
                                  std::string name = "deagg");
 
+/// Base-config mutation for SweepSpec::base: partitions every point's BGP
+/// convergence run across `shards` RIB shards (the sharded convergence
+/// engine; records are byte-identical for any value — only wall-clock
+/// changes).  `workers` caps each point's engine threads (0 = all cores);
+/// benches pass BenchContext::shard_workers() so --jobs and --shards
+/// share the host instead of multiplying.  The f benches wire the
+/// --shards CLI flag through this.
+[[nodiscard]] std::function<void(ExperimentConfig&)> sharded(
+    std::size_t shards, std::size_t workers = 0);
+
 /// Runner executor: origination-to-convergence for the point's DFZ config.
 /// Fields: "DFZ table", "mean RIB", "max RIB", "updates", "route records",
 /// "converge ms", "mapping entries".

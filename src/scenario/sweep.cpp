@@ -5,11 +5,13 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 
 #include "mapping/mapping_system.hpp"
+#include "metrics/histogram.hpp"
 #include "sim/rng.hpp"
 
 namespace lispcp::scenario {
@@ -75,6 +77,20 @@ Field Field::boolean(bool v) {
   f.kind_ = Kind::kBool;
   f.bool_ = v;
   return f;
+}
+
+double Field::numeric() const noexcept {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kReal:
+    case Kind::kPercent:
+      return real_;
+    case Kind::kBool:
+    case Kind::kText:
+      break;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
 }
 
 std::string Field::cell() const {
@@ -384,16 +400,27 @@ SweepSpec& SweepSpec::seed_mode(SeedMode mode) {
   return *this;
 }
 
+SweepSpec& SweepSpec::replications(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("SweepSpec::replications: n must be >= 1");
+  }
+  replications_ = n;
+  return *this;
+}
+
 std::vector<RunPoint> SweepSpec::expand() const {
   std::size_t total = 1;
   for (const auto& group : groups_) total *= group.size();
+  // The replica coordinate would shadow (and its stream id collide with) an
+  // axis of the same name.
+  if (replications_ > 1) require_fresh_name("replica");
 
   std::vector<RunPoint> points;
-  points.reserve(total);
+  points.reserve(total * replications_);
   std::vector<std::size_t> radix(groups_.size(), 0);
   for (std::size_t index = 0; index < total; ++index) {
     RunPoint point;
-    point.index = index;
+    point.group = index;
     point.config = base_;
     std::uint64_t stream_id = 0;
     for (std::size_t g = 0; g < groups_.size(); ++g) {
@@ -419,7 +446,29 @@ std::vector<RunPoint> SweepSpec::expand() const {
       point.config.dfz.internet.seed = point.config.spec.seed;
     }
     point.seed = point.config.spec.seed;
-    points.push_back(std::move(point));
+    // Multi-seed replication: replica 0 keeps the point's seeds, replica
+    // r > 0 derives independent streams from them — pure functions of
+    // (point seed, r), so unaffected by axis order, filtering, or jobs.
+    // The DFZ topology seed derives from its own base, not from
+    // spec.seed: the two families stay independently honest even when a
+    // config sets one without the other (under kPerPoint they were
+    // already equal, so the derived values coincide).
+    for (std::size_t r = 0; r < replications_; ++r) {
+      RunPoint replica = point;
+      replica.index = points.size();
+      replica.replica = r;
+      if (r > 0) {
+        replica.config.spec.seed =
+            sim::Rng::derive_seed(point.config.spec.seed, r);
+        replica.config.dfz.internet.seed =
+            sim::Rng::derive_seed(point.config.dfz.internet.seed, r);
+        replica.seed = replica.config.spec.seed;
+      }
+      if (replications_ > 1) {
+        replica.coordinates.emplace_back("replica", Field::integer(r));
+      }
+      points.push_back(std::move(replica));
+    }
     // Advance the mixed-radix counter, last group fastest (so the first
     // axis is the outermost loop, matching the old hand-written nesting).
     for (std::size_t g = groups_.size(); g-- > 0;) {
@@ -520,6 +569,91 @@ class LambdaProbe final : public Probe {
 // ResultSet
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Record indices per replication group, groups in first-appearance order.
+std::vector<std::vector<std::size_t>> replication_groups(
+    const std::vector<RunPoint>& points) {
+  std::vector<std::size_t> ids;
+  std::vector<std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::size_t g = ids.size();
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      if (ids[k] == points[i].group) {
+        g = k;
+        break;
+      }
+    }
+    if (g == ids.size()) {
+      ids.push_back(points[i].group);
+      members.emplace_back();
+    }
+    members[g].push_back(i);
+  }
+  return members;
+}
+
+bool is_coordinate_of(const RunPoint& point, const std::string& name) {
+  for (const auto& [coordinate, value] : point.coordinates) {
+    (void)value;
+    if (coordinate == name) return true;
+  }
+  return false;
+}
+
+/// The spread of one metric over a group (replicas missing the field —
+/// per-arm conditional metrics — are simply left out of the statistic;
+/// count() reports how many actually contributed).
+metrics::Summary metric_spread(const std::vector<Record>& records,
+                                   const std::vector<std::size_t>& members,
+                                   const std::string& name) {
+  metrics::Summary stat;
+  for (const std::size_t i : members) {
+    const Field* field = records[i].find(name);
+    if (field == nullptr) continue;
+    const double v = field->numeric();
+    if (!std::isnan(v)) stat.add(v);
+  }
+  return stat;
+}
+
+/// Metric names over a whole group in first-appearance order — the union,
+/// not replica 0's set, so a conditional metric the lead run happened to
+/// skip still aggregates.
+std::vector<std::string> group_metric_names(
+    const std::vector<Record>& records,
+    const std::vector<std::size_t>& members, const RunPoint& lead) {
+  std::vector<std::string> names;
+  for (const std::size_t i : members) {
+    for (const auto& [name, field] : records[i].fields()) {
+      (void)field;
+      if (name == "replica" || is_coordinate_of(lead, name)) continue;
+      bool seen = false;
+      for (const auto& known : names) {
+        if (known == name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// The field to take kind/precision (or a pass-through value) from: the
+/// first replica of the group that carries it.
+const Field* group_exemplar(const std::vector<Record>& records,
+                            const std::vector<std::size_t>& members,
+                            const std::string& name) {
+  for (const std::size_t i : members) {
+    if (const Field* field = records[i].find(name)) return field;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 ResultSet::ResultSet(std::string name, std::vector<RunPoint> points,
                      std::vector<Record> records)
     : name_(std::move(name)),
@@ -528,6 +662,74 @@ ResultSet::ResultSet(std::string name, std::vector<RunPoint> points,
   if (points_.size() != records_.size()) {
     throw std::invalid_argument("ResultSet: points/records size mismatch");
   }
+}
+
+bool ResultSet::replicated() const noexcept {
+  for (const RunPoint& point : points_) {
+    if (point.replica != 0) return true;
+  }
+  return false;
+}
+
+ResultSet ResultSet::aggregate() const {
+  if (!replicated()) return *this;
+  const auto groups = replication_groups(points_);
+
+  std::vector<RunPoint> points;
+  std::vector<Record> records;
+  points.reserve(groups.size());
+  records.reserve(groups.size());
+  for (const auto& members : groups) {
+    const std::size_t lead = members.front();
+    RunPoint point = points_[lead];
+    point.index = points.size();
+    std::erase_if(point.coordinates,
+                  [](const auto& c) { return c.first == "replica"; });
+
+    Record record;
+    for (const auto& [name, field] : records_[lead].fields()) {
+      if (is_coordinate_of(points_[lead], name) && name != "replica") {
+        record.set(name, field);
+      }
+    }
+    record.set_int("replicas", members.size());
+    for (const std::string& name :
+         group_metric_names(records_, members, points_[lead])) {
+      const Field& field = *group_exemplar(records_, members, name);
+      const double v = field.numeric();
+      if (std::isnan(v)) {
+        record.set(name, field);  // text/bool metric: nothing to average
+        continue;
+      }
+      const auto stat = metric_spread(records_, members, name);
+      const int precision = field.precision();
+      switch (field.kind()) {
+        case Field::Kind::kInt:
+          record.set(name + " mean", Field::real(stat.mean(), 2));
+          record.set(name + " sd", Field::real(stat.stddev(), 2));
+          record.set(name + " min",
+                     Field::integer(static_cast<std::uint64_t>(stat.min())));
+          record.set(name + " max",
+                     Field::integer(static_cast<std::uint64_t>(stat.max())));
+          break;
+        case Field::Kind::kPercent:
+          record.set(name + " mean", Field::percent(stat.mean(), precision));
+          record.set(name + " sd", Field::percent(stat.stddev(), precision));
+          record.set(name + " min", Field::percent(stat.min(), precision));
+          record.set(name + " max", Field::percent(stat.max(), precision));
+          break;
+        default:
+          record.set(name + " mean", Field::real(stat.mean(), precision));
+          record.set(name + " sd", Field::real(stat.stddev(), precision));
+          record.set(name + " min", Field::real(stat.min(), precision));
+          record.set(name + " max", Field::real(stat.max(), precision));
+          break;
+      }
+    }
+    points.push_back(std::move(point));
+    records.push_back(std::move(record));
+  }
+  return ResultSet(name_, std::move(points), std::move(records));
 }
 
 metrics::Table ResultSet::table() const {
@@ -655,7 +857,52 @@ void ResultSet::to_json(std::ostream& os) const {
     }
     os << "}}";
   }
-  os << "\n]}\n";
+  os << "\n]";
+  if (replicated()) {
+    // Error bars: one entry per replication group, every numeric metric
+    // summarised as mean/sd/min/max over its n replicas.
+    os << ", ";
+    json_escape(os, "aggregates");
+    os << ": [";
+    const auto groups = replication_groups(points_);
+    bool first_group = true;
+    for (const auto& members : groups) {
+      const std::size_t lead = members.front();
+      if (!first_group) os << ",";
+      first_group = false;
+      os << "\n  {";
+      json_escape(os, "series");
+      os << ": ";
+      json_escape(os, points_[lead].series);
+      os << ", ";
+      json_escape(os, "group");
+      os << ": " << points_[lead].group << ", ";
+      json_escape(os, "n");
+      os << ": " << members.size() << ", ";
+      json_escape(os, "fields");
+      os << ": {";
+      bool first_field = true;
+      for (const std::string& name :
+           group_metric_names(records_, members, points_[lead])) {
+        const Field* exemplar = group_exemplar(records_, members, name);
+        if (exemplar == nullptr || std::isnan(exemplar->numeric())) continue;
+        const auto stat = metric_spread(records_, members, name);
+        if (!first_field) os << ", ";
+        first_field = false;
+        json_escape(os, name);
+        // Per-field n: conditional metrics may be carried by fewer
+        // replicas than the group holds.
+        os << ": {\"mean\": " << shortest_double(stat.mean())
+           << ", \"sd\": " << shortest_double(stat.stddev())
+           << ", \"min\": " << shortest_double(stat.min())
+           << ", \"max\": " << shortest_double(stat.max())
+           << ", \"n\": " << stat.count() << "}";
+      }
+      os << "}}";
+    }
+    os << "\n]";
+  }
+  os << "}\n";
 }
 
 void ResultSet::to_csv(std::ostream& os) const { table().to_csv(os); }

@@ -64,6 +64,11 @@ class Field {
   [[nodiscard]] double as_real() const noexcept { return real_; }
   [[nodiscard]] const std::string& as_text() const noexcept { return text_; }
   [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] int precision() const noexcept { return precision_; }
+
+  /// The numeric value of an int/real/percent field (nan for text/bool);
+  /// what replication aggregation averages over.
+  [[nodiscard]] double numeric() const noexcept;
 
   /// The table-cell rendering ("42", "3.14", "12.34%", "yes").
   [[nodiscard]] std::string cell() const;
@@ -185,8 +190,13 @@ struct RunPoint {
   std::size_t index = 0;       ///< position in expansion order
   std::uint64_t seed = 0;      ///< the seed config.spec.seed was set to
   std::string series;          ///< joined coordinate labels ("pce / 8")
+  /// Replication group (the pre-replication point index) and the replica's
+  /// position within it.  Without replications: group == index, replica 0.
+  std::size_t group = 0;
+  std::size_t replica = 0;
   /// Axis-name -> coordinate value, in axis declaration order.  The runner
-  /// copies these into the record as its leading fields.
+  /// copies these into the record as its leading fields ("replica" is
+  /// appended when the spec replicates).
   std::vector<std::pair<std::string, Field>> coordinates;
   ExperimentConfig config;
 };
@@ -231,6 +241,15 @@ class SweepSpec {
   /// policy that depends on the control plane the axis just selected).
   SweepSpec& tweak(std::function<void(ExperimentConfig&)> fn);
   SweepSpec& seed_mode(SeedMode mode);
+  /// Expands every point into `n` seed-derived replicas (multi-seed
+  /// replication: error bars instead of single draws).  Replica 0 keeps
+  /// the point's seed-mode seed, replica r > 0 runs
+  /// sim::Rng::derive_seed(point seed, r) — so replications(1) is the
+  /// identity and replica seeds are stable under axis reordering,
+  /// filtering, and the runner's job count.  Records gain a trailing
+  /// "replica" coordinate; ResultSet::aggregate() folds the replicas into
+  /// mean/stddev/min/max columns.
+  SweepSpec& replications(std::size_t n);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const ExperimentConfig& base_config() const noexcept {
@@ -255,6 +274,7 @@ class SweepSpec {
   std::vector<AxisGroup> groups_;
   std::vector<std::function<void(ExperimentConfig&)>> tweaks_;
   SeedMode seed_mode_ = SeedMode::kShared;
+  std::size_t replications_ = 1;
 };
 
 // ---------------------------------------------------------------------------
@@ -314,6 +334,18 @@ class ResultSet {
   }
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
+  /// True when the set carries multi-seed replicas (any point's replica
+  /// index is non-zero).
+  [[nodiscard]] bool replicated() const noexcept;
+
+  /// Folds each replication group into one record: coordinate fields (and
+  /// the "replica" index) pass through from replica 0, a "replicas" count
+  /// is added, every numeric metric becomes four columns — "<name> mean",
+  /// "<name> sd" (sample stddev), "<name> min", "<name> max" — and
+  /// non-numeric metrics copy replica 0's value.  The identity when the
+  /// set is not replicated.
+  [[nodiscard]] ResultSet aggregate() const;
+
   /// Flat rendering: one row per record; columns are the union of field
   /// names in first-appearance order (missing fields render empty).
   [[nodiscard]] metrics::Table table() const;
@@ -329,7 +361,10 @@ class ResultSet {
       const std::vector<std::string>& value_fields) const;
 
   /// JSON sink: {"name": ..., "points": [{"index", "seed", "series",
-  /// "fields": {...}}, ...]}.  Field values keep their JSON types.
+  /// "fields": {...}}, ...]}.  Field values keep their JSON types.  A
+  /// replicated set additionally carries "aggregates": one entry per
+  /// replication group with {"series", "group", "n", "fields": {name:
+  /// {"mean", "sd", "min", "max"}}} — the error bars CI archives.
   void to_json(std::ostream& os) const;
   /// CSV sink (via metrics::Table::to_csv on the flat rendering).
   void to_csv(std::ostream& os) const;

@@ -1,0 +1,34 @@
+#include "sim/shard_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace lispcp::sim {
+
+void ShardQueue::schedule(SimTime at, EventKey key,
+                          std::function<void()> action) {
+  if (at < now_) {
+    throw std::invalid_argument("ShardQueue::schedule: time in the past");
+  }
+  heap_.push_back(Entry{at, key, seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+SimTime ShardQueue::next_time() const noexcept { return heap_.front().time; }
+
+std::uint64_t ShardQueue::run_window(SimTime end, std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (!heap_.empty() && heap_.front().time < end) {
+    if (max_events != 0 && fired >= max_events) break;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = entry.time;
+    entry.action();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace lispcp::sim

@@ -5,11 +5,12 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
+#include <string>
 
 #include "routing/as_graph.hpp"
 #include "routing/bgp.hpp"
 #include "routing/dfz_study.hpp"
-#include "sim/simulator.hpp"
 
 namespace lispcp::routing {
 namespace {
@@ -22,9 +23,8 @@ struct Line {
     graph.add_as(AsNumber{1}, AsTier::kTransit);
     graph.add_as(AsNumber{2}, AsTier::kStub);
     graph.add_customer_provider(AsNumber{2}, AsNumber{1});
-    fabric = std::make_unique<BgpFabric>(sim, graph);
+    fabric = std::make_unique<BgpFabric>(graph);
   }
-  sim::Simulator sim;
   AsGraph graph;
   std::unique_ptr<BgpFabric> fabric;
 };
@@ -83,7 +83,6 @@ TEST(Bgp, CustomerRoutePreferredOverProvider) {
   //
   // Build: origin 2 is customer of 1 AND customer of 4, so 3 hears
   // [1, 2] from provider 1 and [4, 2] from customer 4.
-  sim::Simulator sim;
   AsGraph graph;
   graph.add_as(AsNumber{1}, AsTier::kTier1);
   graph.add_as(AsNumber{2}, AsTier::kStub);
@@ -93,7 +92,7 @@ TEST(Bgp, CustomerRoutePreferredOverProvider) {
   graph.add_customer_provider(AsNumber{2}, AsNumber{4});
   graph.add_customer_provider(AsNumber{3}, AsNumber{1});
   graph.add_customer_provider(AsNumber{4}, AsNumber{3});
-  BgpFabric fabric(sim, graph);
+  BgpFabric fabric(graph);
   fabric.speaker(AsNumber{2}).originate(kPrefix);
   fabric.run_to_convergence();
 
@@ -108,7 +107,6 @@ TEST(Bgp, CustomerRoutePreferredOverProvider) {
 
 TEST(Bgp, ShorterPathWinsWithinSameRelationship) {
   // AS 1 hears kPrefix from two customers: 2 directly, and via 3->2.
-  sim::Simulator sim;
   AsGraph graph;
   graph.add_as(AsNumber{1}, AsTier::kTier1);
   graph.add_as(AsNumber{2}, AsTier::kStub);
@@ -116,7 +114,7 @@ TEST(Bgp, ShorterPathWinsWithinSameRelationship) {
   graph.add_customer_provider(AsNumber{2}, AsNumber{1});
   graph.add_customer_provider(AsNumber{2}, AsNumber{3});
   graph.add_customer_provider(AsNumber{3}, AsNumber{1});
-  BgpFabric fabric(sim, graph);
+  BgpFabric fabric(graph);
   fabric.speaker(AsNumber{2}).originate(kPrefix);
   fabric.run_to_convergence();
 
@@ -128,7 +126,6 @@ TEST(Bgp, ShorterPathWinsWithinSameRelationship) {
 
 TEST(Bgp, LowestNeighborAsnBreaksTies) {
   // Two equal-length customer paths to AS 9: via 2 and via 3.
-  sim::Simulator sim;
   AsGraph graph;
   graph.add_as(AsNumber{9}, AsTier::kTier1);
   graph.add_as(AsNumber{2}, AsTier::kTransit);
@@ -138,7 +135,7 @@ TEST(Bgp, LowestNeighborAsnBreaksTies) {
   graph.add_customer_provider(AsNumber{3}, AsNumber{9});
   graph.add_customer_provider(AsNumber{5}, AsNumber{2});
   graph.add_customer_provider(AsNumber{5}, AsNumber{3});
-  BgpFabric fabric(sim, graph);
+  BgpFabric fabric(graph);
   fabric.speaker(AsNumber{5}).originate(kPrefix);
   fabric.run_to_convergence();
 
@@ -151,14 +148,13 @@ TEST(Bgp, LowestNeighborAsnBreaksTies) {
 TEST(Bgp, ValleyFreeExport_PeerRouteNotGivenToPeer) {
   // M peers with both P and Q; P originates.  Q must not learn the prefix
   // through M (peer->peer is a valley).
-  sim::Simulator sim;
   AsGraph graph;
   graph.add_as(AsNumber{1}, AsTier::kTier1);  // M
   graph.add_as(AsNumber{2}, AsTier::kTier1);  // P (origin)
   graph.add_as(AsNumber{3}, AsTier::kTier1);  // Q
   graph.add_peering(AsNumber{1}, AsNumber{2});
   graph.add_peering(AsNumber{1}, AsNumber{3});
-  BgpFabric fabric(sim, graph);
+  BgpFabric fabric(graph);
   fabric.speaker(AsNumber{2}).originate(kPrefix);
   fabric.run_to_convergence();
 
@@ -170,7 +166,6 @@ TEST(Bgp, ValleyFreeExport_PeerRouteNotGivenToPeer) {
 TEST(Bgp, ValleyFreeExport_ProviderRouteGoesOnlyToCustomers) {
   // Provider 1 originates; transit 2 (customer of 1) must pass it down to
   // its own customer 3 but not up/sideways.  Peer 4 of AS 2 must not hear it.
-  sim::Simulator sim;
   AsGraph graph;
   graph.add_as(AsNumber{1}, AsTier::kTier1);
   graph.add_as(AsNumber{2}, AsTier::kTransit);
@@ -179,7 +174,7 @@ TEST(Bgp, ValleyFreeExport_ProviderRouteGoesOnlyToCustomers) {
   graph.add_customer_provider(AsNumber{2}, AsNumber{1});
   graph.add_customer_provider(AsNumber{3}, AsNumber{2});
   graph.add_peering(AsNumber{2}, AsNumber{4});
-  BgpFabric fabric(sim, graph);
+  BgpFabric fabric(graph);
   fabric.speaker(AsNumber{1}).originate(kPrefix);
   fabric.run_to_convergence();
 
@@ -258,8 +253,8 @@ TEST(Bgp, StatsCountMessages) {
 
 TEST(Bgp, UnknownSpeakerThrows) {
   Line line;
-  EXPECT_THROW(line.fabric->speaker(AsNumber{42}), std::out_of_range);
-  EXPECT_THROW(line.fabric->kind_of(AsNumber{1}, AsNumber{42}),
+  EXPECT_THROW((void)line.fabric->speaker(AsNumber{42}), std::out_of_range);
+  EXPECT_THROW((void)line.fabric->kind_of(AsNumber{1}, AsNumber{42}),
                std::out_of_range);
 }
 
@@ -285,8 +280,7 @@ TEST_P(BgpConvergenceProperty, PathsAreLoopAndValleyFree) {
   internet.stub_count = 25;
   internet.seed = GetParam();
   const AsGraph graph = build_synthetic_internet(internet);
-  sim::Simulator sim;
-  BgpFabric fabric(sim, graph);
+  BgpFabric fabric(graph);
 
   // Every AS originates one prefix (its provider aggregate or site block).
   std::map<std::uint32_t, net::Ipv4Prefix> origin_of;
@@ -469,6 +463,153 @@ TEST(DfzStudy, ChurnScalesWithDeaggregation) {
       run_rehoming_churn(small_study(AddressingScenario::kLegacyBgp, 4));
   EXPECT_GT(four.route_records, one.route_records)
       << "each more-specific multiplies the records in the flap";
+}
+
+// ---------------------------------------------------------------------------
+// Sharded convergence engine: results are byte-identical for every shard
+// count and worker count, and repeated runs reproduce themselves.
+
+/// Serialises everything observable about a converged fabric: every
+/// speaker's stats and Loc-RIB (prefix, provenance, full AS path) plus the
+/// convergence instant.  Two equal fingerprints mean equal results down to
+/// the last counter.
+std::string fingerprint(const BgpFabric& fabric) {
+  std::ostringstream os;
+  os << "t=" << fabric.now().ns() << "\n";
+  for (AsNumber asn : fabric.graph().ases()) {
+    const BgpSpeaker& speaker = fabric.speaker(asn);
+    const BgpSpeakerStats& stats = speaker.stats();
+    os << asn.to_string() << " " << stats.updates_sent << "/"
+       << stats.updates_received << "/" << stats.routes_announced << "/"
+       << stats.routes_withdrawn << "/" << stats.loops_rejected << "/"
+       << stats.best_changes << "\n";
+    for (const net::Ipv4Prefix& prefix : speaker.rib_prefixes()) {
+      const auto* best = speaker.best(prefix);
+      os << "  " << prefix.to_string() << " <- "
+         << best->learned_from.to_string() << " k"
+         << static_cast<int>(best->neighbor_kind) << " p";
+      for (AsNumber hop : best->as_path) os << " " << hop.value();
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+/// Builds the property-sweep world (every AS originates one prefix) on a
+/// fabric with the given engine parameters and converges it.
+std::string converge_and_fingerprint(const AsGraph& graph, std::size_t shards,
+                                     std::size_t workers) {
+  BgpConfig config;
+  config.shards = shards;
+  config.shard_workers = workers;
+  BgpFabric fabric(graph, config);
+  const auto stubs = graph.ases_of_tier(AsTier::kStub);
+  for (AsNumber asn : graph.ases()) {
+    if (graph.tier(asn) == AsTier::kStub) {
+      const auto it = std::find(stubs.begin(), stubs.end(), asn);
+      fabric.speaker(asn).originate(stub_site_prefixes(
+          static_cast<std::size_t>(it - stubs.begin()), 1)[0]);
+    } else {
+      fabric.speaker(asn).originate(provider_aggregate(asn));
+    }
+  }
+  fabric.run_to_convergence();
+  return fingerprint(fabric);
+}
+
+TEST(ShardedBgp, ResultsAreShardCountInvariant) {
+  SyntheticInternetConfig internet;
+  internet.tier1_count = 3;
+  internet.transit_count = 6;
+  internet.stub_count = 30;
+  internet.seed = 5;
+  const AsGraph graph = build_synthetic_internet(internet);
+  const std::string reference = converge_and_fingerprint(graph, 1, 1);
+  for (const std::size_t shards : {2u, 3u, 8u}) {
+    EXPECT_EQ(converge_and_fingerprint(graph, shards, 1), reference)
+        << "shard count " << shards << " changed the converged state";
+  }
+}
+
+TEST(ShardedBgp, ResultsAreWorkerCountInvariant) {
+  SyntheticInternetConfig internet;
+  internet.tier1_count = 3;
+  internet.transit_count = 5;
+  internet.stub_count = 24;
+  internet.seed = 9;
+  const AsGraph graph = build_synthetic_internet(internet);
+  // Force more workers than this host may have cores: determinism must not
+  // depend on scheduling.
+  const std::string reference = converge_and_fingerprint(graph, 4, 1);
+  EXPECT_EQ(converge_and_fingerprint(graph, 4, 2), reference);
+  EXPECT_EQ(converge_and_fingerprint(graph, 4, 4), reference);
+}
+
+TEST(ShardedBgp, SpeakersAreHomedDeterministically) {
+  SyntheticInternetConfig internet;
+  internet.stub_count = 16;
+  const AsGraph graph = build_synthetic_internet(internet);
+  BgpConfig config;
+  config.shards = 4;
+  BgpFabric a(graph, config);
+  BgpFabric b(graph, config);
+  for (AsNumber asn : graph.ases()) {
+    EXPECT_EQ(a.engine().shard_of(asn), b.engine().shard_of(asn));
+    EXPECT_LT(a.engine().shard_of(asn), 4u);
+  }
+}
+
+TEST(ShardedBgp, ShardingRequiresPositiveSessionDelay) {
+  AsGraph graph;
+  graph.add_as(AsNumber{1}, AsTier::kTransit);
+  graph.add_as(AsNumber{2}, AsTier::kStub);
+  graph.add_customer_provider(AsNumber{2}, AsNumber{1});
+  BgpConfig config;
+  config.session_delay = sim::SimDuration{};
+  config.session_jitter = sim::SimDuration{};
+  config.shards = 2;
+  EXPECT_THROW(BgpFabric(graph, config), std::invalid_argument);
+}
+
+bool operator_eq(const RehomingChurnResult& a, const RehomingChurnResult& b) {
+  return a.update_messages == b.update_messages &&
+         a.route_records == b.route_records && a.settle_ms == b.settle_ms &&
+         a.ases_touched == b.ases_touched;
+}
+
+bool operator_eq(const DfzStudyResult& a, const DfzStudyResult& b) {
+  return a.dfz_table_size == b.dfz_table_size &&
+         a.mean_rib_size == b.mean_rib_size &&
+         a.max_rib_size == b.max_rib_size &&
+         a.update_messages == b.update_messages &&
+         a.route_records == b.route_records &&
+         a.convergence_ms == b.convergence_ms &&
+         a.mapping_system_entries == b.mapping_system_entries &&
+         a.bgp_origin_prefixes == b.bgp_origin_prefixes;
+}
+
+TEST(ShardedBgp, RehomingChurnIsDeterministicAcrossShardsAndRuns) {
+  DfzStudyConfig config = small_study(AddressingScenario::kLegacyBgp, 4);
+  const auto reference = run_rehoming_churn(config);
+  // Same seed, repeated run: identical result.
+  EXPECT_TRUE(operator_eq(run_rehoming_churn(config), reference));
+  // Same seed, any shard count (and a multi-worker run): identical result.
+  for (const std::size_t shards : {2u, 8u}) {
+    config.bgp.shards = shards;
+    config.bgp.shard_workers = shards == 8 ? 4 : 0;
+    EXPECT_TRUE(operator_eq(run_rehoming_churn(config), reference))
+        << "churn diverged at " << shards << " shards";
+  }
+}
+
+TEST(ShardedBgp, DfzStudyIsDeterministicAcrossShards) {
+  DfzStudyConfig config = small_study(AddressingScenario::kLegacyBgp, 2);
+  const auto reference = run_dfz_study(config);
+  for (const std::size_t shards : {2u, 5u}) {
+    config.bgp.shards = shards;
+    EXPECT_TRUE(operator_eq(run_dfz_study(config), reference))
+        << "study diverged at " << shards << " shards";
+  }
 }
 
 }  // namespace

@@ -3,9 +3,12 @@
 // sink's round-trip fidelity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "scenario/sweep.hpp"
 #include "sim/rng.hpp"
@@ -418,6 +421,187 @@ TEST(Record, SetReplacesInPlace) {
   ASSERT_EQ(record.fields().size(), 2u);
   EXPECT_EQ(record.fields()[0].first, "a");
   EXPECT_EQ(record.fields()[0].second.as_int(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-seed replication
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, ReplicationsExpandEachPointIntoSeedDerivedReplicas) {
+  auto spec = tiny_sweep();
+  spec.seed_mode(SeedMode::kPerPoint).replications(3);
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 12u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].group, i / 3);
+    EXPECT_EQ(points[i].replica, i % 3);
+    // Replicas share the series (and so the filter behaviour) but carry a
+    // trailing "replica" coordinate.
+    EXPECT_EQ(points[i].series, points[i - i % 3].series);
+    ASSERT_FALSE(points[i].coordinates.empty());
+    EXPECT_EQ(points[i].coordinates.back().first, "replica");
+    EXPECT_EQ(points[i].coordinates.back().second.as_int(), i % 3);
+  }
+  // Replica 0 keeps the point seed; later replicas derive from it.
+  const auto unreplicated = tiny_sweep().seed_mode(SeedMode::kPerPoint).expand();
+  for (std::size_t g = 0; g < unreplicated.size(); ++g) {
+    EXPECT_EQ(points[3 * g].seed, unreplicated[g].seed);
+    EXPECT_EQ(points[3 * g + 1].seed,
+              sim::Rng::derive_seed(unreplicated[g].seed, 1));
+    EXPECT_EQ(points[3 * g + 2].seed,
+              sim::Rng::derive_seed(unreplicated[g].seed, 2));
+    EXPECT_NE(points[3 * g + 1].seed, points[3 * g].seed);
+    EXPECT_EQ(points[3 * g + 1].config.dfz.internet.seed,
+              points[3 * g + 1].seed);
+  }
+}
+
+TEST(SweepSpec, ReplicationsOfOneIsTheIdentity) {
+  const auto base = tiny_sweep().expand();
+  auto spec = tiny_sweep();
+  spec.replications(1);
+  const auto same = spec.expand();
+  ASSERT_EQ(same.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(same[i].seed, base[i].seed);
+    EXPECT_EQ(same[i].series, base[i].series);
+    EXPECT_EQ(same[i].coordinates.size(), base[i].coordinates.size());
+  }
+  EXPECT_THROW(spec.replications(0), std::invalid_argument);
+}
+
+TEST(SweepSpec, ReplicaAxisNameCollisionThrows) {
+  auto spec = tiny_sweep();
+  spec.axis(Axis::integers("replica", {1, 2},
+                           [](ExperimentConfig&, std::uint64_t) {}))
+      .replications(2);
+  EXPECT_THROW(spec.expand(), std::invalid_argument);
+}
+
+/// A replicated sweep over a synthetic executor whose "metric" is a pure
+/// function of the seed — aggregation math is then exactly checkable.
+ResultSet replicated_result() {
+  SweepSpec spec;
+  spec.named("agg")
+      .base([](ExperimentConfig& config) { config.spec.seed = 11; })
+      .axis(Axis::integers("x", {1, 2},
+                           [](ExperimentConfig&, std::uint64_t) {}))
+      .seed_mode(SeedMode::kPerPoint)
+      .replications(4);
+  Runner runner(std::move(spec));
+  runner.execute([](const RunPoint& point, Record& record) {
+    record.set_int("value", point.seed % 97);
+    record.set_real("half", static_cast<double>(point.seed % 97) / 2.0, 3);
+    record.set_text("note", "n" + std::to_string(point.replica));
+    if (point.replica == 0) record.set_int("only-once", 5);
+  });
+  return runner.run();
+}
+
+TEST(ResultSet, AggregateFoldsReplicasIntoSpreadColumns) {
+  const ResultSet result = replicated_result();
+  ASSERT_TRUE(result.replicated());
+  ASSERT_EQ(result.size(), 8u);
+  const ResultSet agg = result.aggregate();
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_FALSE(agg.replicated());
+
+  for (std::size_t g = 0; g < 2; ++g) {
+    const Record& record = agg.records()[g];
+    // Coordinates pass through, the replica index does not.
+    ASSERT_NE(record.find("x"), nullptr);
+    EXPECT_EQ(record.find("replica"), nullptr);
+    ASSERT_NE(record.find("replicas"), nullptr);
+    EXPECT_EQ(record.find("replicas")->as_int(), 4u);
+
+    // Hand-computed spread over the four seed-derived values.
+    double sum = 0.0, lo = 1e99, hi = -1e99;
+    std::vector<double> values;
+    for (std::size_t r = 0; r < 4; ++r) {
+      const double v = static_cast<double>(
+          result.records()[4 * g + r].find("value")->as_int());
+      values.push_back(v);
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double mean = sum / 4.0;
+    double m2 = 0.0;
+    for (const double v : values) m2 += (v - mean) * (v - mean);
+    const double sd = std::sqrt(m2 / 3.0);
+
+    ASSERT_NE(record.find("value mean"), nullptr);
+    EXPECT_NEAR(record.find("value mean")->as_real(), mean, 1e-9);
+    EXPECT_NEAR(record.find("value sd")->as_real(), sd, 1e-9);
+    EXPECT_EQ(record.find("value min")->as_int(),
+              static_cast<std::uint64_t>(lo));
+    EXPECT_EQ(record.find("value max")->as_int(),
+              static_cast<std::uint64_t>(hi));
+    // Real metrics keep their precision; text metrics copy replica 0's.
+    ASSERT_NE(record.find("half mean"), nullptr);
+    EXPECT_NEAR(record.find("half mean")->as_real(), mean / 2.0, 1e-9);
+    ASSERT_NE(record.find("note"), nullptr);
+    EXPECT_EQ(record.find("note")->as_text(), "n0");
+    // A field only some replicas carry aggregates over those that do.
+    ASSERT_NE(record.find("only-once mean"), nullptr);
+    EXPECT_NEAR(record.find("only-once mean")->as_real(), 5.0, 1e-9);
+  }
+}
+
+TEST(ResultSet, AggregateIsIdentityWithoutReplicas) {
+  Runner runner(tiny_sweep());
+  runner.execute([](const RunPoint& point, Record& record) {
+    record.set_int("v", point.index);
+  });
+  const ResultSet result = runner.run();
+  EXPECT_FALSE(result.replicated());
+  EXPECT_TRUE(result.aggregate() == result);
+}
+
+TEST(ResultSet, JsonCarriesAggregatesForReplicatedSets) {
+  const ResultSet result = replicated_result();
+  std::ostringstream os;
+  result.to_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"aggregates\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"sd\""), std::string::npos);
+  EXPECT_NE(json.find("\"min\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 4"), std::string::npos);
+  // Coordinates are not error-barred.
+  EXPECT_EQ(json.find("\"x\": {\"mean\""), std::string::npos);
+
+  std::ostringstream plain;
+  Runner runner(tiny_sweep());
+  runner.execute([](const RunPoint&, Record& record) {
+    record.set_int("v", 1);
+  });
+  runner.run().to_json(plain);
+  EXPECT_EQ(plain.str().find("aggregates"), std::string::npos)
+      << "unreplicated sinks must stay byte-compatible";
+}
+
+TEST(Runner, ReplicatedSweepIsJobCountInvariant) {
+  auto make = [] {
+    SweepSpec spec;
+    spec.named("par")
+        .base([](ExperimentConfig& config) { config.spec.seed = 3; })
+        .axis(Axis::integers("x", {1, 2, 3},
+                             [](ExperimentConfig&, std::uint64_t) {}))
+        .seed_mode(SeedMode::kPerPoint)
+        .replications(3);
+    Runner runner(std::move(spec));
+    runner.execute([](const RunPoint& point, Record& record) {
+      record.set_int("value", point.seed % 1013);
+    });
+    return runner;
+  };
+  RunOptions serial;
+  RunOptions parallel;
+  parallel.jobs = 4;
+  EXPECT_TRUE(make().run(serial) == make().run(parallel));
 }
 
 }  // namespace

@@ -338,5 +338,49 @@ TEST(DfzAdapter, ChurnExecutorReportsTheContrast) {
   EXPECT_EQ(lisp.find("ASes touched")->as_int(), 0u);
 }
 
+TEST(DfzAdapter, ShardedBaseMutationLeavesRecordsByteIdentical) {
+  // dfz::sharded is the --shards plumbing: it must change the engine
+  // partitioning and nothing observable.
+  auto reference_spec = dfz_sweep();
+  reference_spec.base(dfz::sharded(1));
+  Runner reference(std::move(reference_spec));
+  reference.execute(dfz::run_study);
+
+  auto sharded_spec = dfz_sweep();
+  sharded_spec.base(dfz::sharded(4));
+  Runner sharded(std::move(sharded_spec));
+  sharded.execute(dfz::run_study);
+
+  EXPECT_EQ(sharded.spec().base_config().dfz.bgp.shards, 4u);
+  EXPECT_TRUE(reference.run({}) == sharded.run({}));
+}
+
+TEST(DfzAdapter, ReplicatedChurnSweepIsJobCountInvariant) {
+  auto make = [] {
+    auto spec = dfz_sweep();
+    spec.seed_mode(SeedMode::kPerPoint).replications(3);
+    Runner runner(std::move(spec));
+    runner.execute(dfz::run_churn);
+    return runner;
+  };
+  RunOptions serial;
+  RunOptions parallel;
+  parallel.jobs = 4;
+  const auto a = make().run(serial);
+  const auto b = make().run(parallel);
+  EXPECT_TRUE(a == b);
+  ASSERT_TRUE(a.replicated());
+  // Replicas run differently seeded topologies, so the churn spread is a
+  // real spread; the aggregate view carries it.
+  const auto agg = a.aggregate();
+  ASSERT_EQ(agg.size(), 4u);
+  for (const auto& record : agg.records()) {
+    ASSERT_NE(record.find("replicas"), nullptr);
+    EXPECT_EQ(record.find("replicas")->as_int(), 3u);
+    ASSERT_NE(record.find("updates mean"), nullptr);
+    ASSERT_NE(record.find("updates sd"), nullptr);
+  }
+}
+
 }  // namespace
 }  // namespace lispcp::scenario
