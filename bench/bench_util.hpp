@@ -11,9 +11,10 @@
 //   --json <path>    archive every executed ResultSet as JSON (the CI perf
 //                    trajectory artifact, BENCH_<id>.json)
 //   --csv <path>     same, as CSV sections
-//   --filter <str>   run only series whose name contains <str>, and only
-//                    points whose series label contains it when it names a
-//                    registered control plane
+//   --filter <str>   run only series whose name contains <str> (matched
+//                    case-insensitively), and only points whose series
+//                    label contains it when it names a registered control
+//                    plane
 //   --quick          reduced sweep (short arrival window) for smoke runs
 #pragma once
 
@@ -31,6 +32,15 @@
 #include "scenario/sweep.hpp"
 
 namespace lispcp::bench {
+
+/// ASCII lower-casing: --filter matches series, plane and point names
+/// case-insensitively ("--filter PCE" and "--filter pce" are equivalent).
+inline std::string ascii_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
 
 inline void print_header(const std::string& id, const std::string& title,
                          const std::string& claim) {
@@ -135,7 +145,8 @@ class BenchContext {
   [[nodiscard]] bool enabled(const std::string& series_name) const {
     if (options_.filter.empty()) return true;
     if (plane_filter()) return true;
-    return series_name.find(options_.filter) != std::string::npos;
+    return ascii_lower(series_name).find(ascii_lower(options_.filter)) !=
+           std::string::npos;
   }
 
   /// Executes a declared sweep with the CLI's jobs/filter applied (the
@@ -214,9 +225,10 @@ class BenchContext {
   /// rather than select series.
   [[nodiscard]] bool plane_filter() const {
     auto& factory = mapping::MappingSystemFactory::instance();
-    if (factory.find_kind(options_.filter).has_value()) return true;
+    const std::string needle = ascii_lower(options_.filter);
+    if (factory.find_kind(needle).has_value()) return true;
     for (const auto kind : factory.kinds()) {
-      if (std::string(topo::to_string(kind)).find(options_.filter) !=
+      if (ascii_lower(topo::to_string(kind)).find(needle) !=
           std::string::npos) {
         return true;
       }

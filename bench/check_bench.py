@@ -16,7 +16,10 @@ Checks per bench id in the baseline:
   * a series the baseline marks as replicated ("aggregate_fields", from
     SweepSpec::replications) still carries its "aggregates" error bars:
     every entry has n >= 1 and each baseline aggregate field keeps its
-    mean/sd/min/max keys.
+    mean/sd/min/max keys;
+  * mode_parity: in every series whose name contains "parity" (the
+    packet-vs-flow-aggregate validation sweeps, e1's E1d / e3's E3d),
+    the two workload engines agree on the pinned metrics within 2%.
 
 Usage:
   check_bench.py --dir build                 # verify against the baseline
@@ -86,6 +89,94 @@ def build_schema(directory):
     return schema
 
 
+# --- mode_parity guard -------------------------------------------------------
+#
+# The flow-aggregate engine is only trustworthy if it reproduces packet-mode
+# results where both engines can run (DESIGN.md "Flow-aggregate workloads").
+# Every series whose name contains "parity" carries a workload-mode axis;
+# points are paired by their series label minus the mode token and each pair
+# must agree on:
+#   * "drop rate"          — within 2% relative or 5e-4 absolute (the floor
+#     covers Poisson count noise between the engines' independent arrival
+#     streams at single-digit drop counts);
+#   * "t_setup mean (ms)"  — within 2% relative;
+#   * "t_setup p99 (ms)"   — within 2% relative, only for arms whose drop
+#     rate exceeds 1e-3: miss/RTO-dominated tails are stable, while warm
+#     p99s sit on histogram bucket edges where a single boundary session
+#     flips the reported value.
+# Pairs with fewer than 500 packet-mode sessions are skipped so reduced
+# smoke runs cannot produce false alarms.
+MODE_PARITY_RTOL = 0.02
+MODE_PARITY_DROP_ATOL = 5e-4
+MODE_PARITY_P99_MIN_DROP_RATE = 1e-3
+MODE_PARITY_MIN_SESSIONS = 500
+WORKLOAD_MODES = ("packet", "aggregate")
+
+
+def parity_pair_key(series_label):
+    """The point's coordinates with the workload-mode token removed."""
+    tokens = [token.strip() for token in series_label.split("/")]
+    return " / ".join(t for t in tokens if t not in WORKLOAD_MODES)
+
+
+def check_mode_parity(artifact, file_name):
+    problems = []
+    for series in artifact.get("series", []):
+        name = series.get("name", "")
+        if "parity" not in name.lower():
+            continue
+        pairs = {}
+        for point in series.get("points", []):
+            mode = point.get("fields", {}).get("mode")
+            if mode in WORKLOAD_MODES:
+                key = parity_pair_key(point.get("series", ""))
+                pairs.setdefault(key, {})[mode] = point
+        if not pairs:
+            problems.append(
+                f"{file_name}: parity series '{name}' has no workload-mode "
+                "points to pair"
+            )
+            continue
+        for key, by_mode in sorted(pairs.items()):
+            missing = [m for m in WORKLOAD_MODES if m not in by_mode]
+            if missing:
+                problems.append(
+                    f"{file_name}: series '{name}' point '{key}' lost its "
+                    f"{'/'.join(missing)}-mode twin"
+                )
+                continue
+            packet = by_mode["packet"]["fields"]
+            aggregate = by_mode["aggregate"]["fields"]
+            if packet.get("sessions", 0) < MODE_PARITY_MIN_SESSIONS:
+                continue
+
+            def compare(metric, tolerance_floor=0.0):
+                pv = packet.get(metric)
+                av = aggregate.get(metric)
+                if pv is None or av is None:
+                    problems.append(
+                        f"{file_name}: series '{name}' point '{key}' dropped "
+                        f"parity metric '{metric}'"
+                    )
+                    return
+                allowed = max(MODE_PARITY_RTOL * abs(pv), tolerance_floor)
+                if abs(av - pv) > allowed:
+                    problems.append(
+                        f"{file_name}: series '{name}' point '{key}': "
+                        f"'{metric}' diverges across engines "
+                        f"(packet {pv:.6g}, aggregate {av:.6g}, "
+                        f"allowed ±{allowed:.6g})"
+                    )
+
+            compare("drop rate", MODE_PARITY_DROP_ATOL)
+            compare("t_setup mean (ms)")
+            if min(packet.get("drop rate", 0.0),
+                   aggregate.get("drop rate", 0.0)) >= \
+                    MODE_PARITY_P99_MIN_DROP_RATE:
+                compare("t_setup p99 (ms)")
+    return problems
+
+
 def check(directory, baseline):
     problems = []
     for bench_id, expected in sorted(baseline.items()):
@@ -105,6 +196,7 @@ def check(directory, baseline):
         if not series_by_name:
             problems.append(f"{path.name}: no series (empty artifact)")
             continue
+        problems.extend(check_mode_parity(artifact, path.name))
         # Series unknown to the baseline are as unguarded as unknown files:
         # force the baseline to grow with the bench.
         for name in series_by_name:

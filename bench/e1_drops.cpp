@@ -5,6 +5,8 @@
 // Series E1a: first-packet outcome per control plane at a fixed workload.
 // Series E1b: drop rate vs map-cache capacity (ALT-drop) vs PCE.
 // Series E1c: drop rate vs destination-popularity skew (Zipf alpha).
+// Series E1d: packet vs flow-aggregate engine parity (the mode_parity guard).
+// Series E1e: aggregate-only scale series (thousands of sites, 10^5+ flows).
 //
 // Declarative sweeps throughout: each series is a SweepSpec + probes; run
 // with --jobs N for parallel points, --json/--csv for machine-readable
@@ -133,6 +135,109 @@ void series_zipf(bench::BenchContext& ctx) {
       .print(std::cout);
 }
 
+/// The calibrated cross-mode parity workload shared by E1d and E3d: warm
+/// caches (one cold resolution per name/prefix, then steady state) and an
+/// uncongested arrival process, so every pinned metric is governed by the
+/// session model rather than by packet-level congestion the aggregate
+/// engine deliberately does not reproduce.  check_bench.py's mode_parity
+/// guard pairs the packet/aggregate points of any series whose name
+/// contains "parity" and enforces the 2% tolerance — keep the field names
+/// below in sync with MODE_PARITY pins there.
+void parity_base(scenario::ExperimentConfig& config) {
+  config.spec.hosts_per_domain = 2;
+  config.spec.cache_capacity = 4096;
+  config.spec.mapping_ttl_seconds = 86400;
+  config.spec.seed = 42;
+  config.traffic.sessions_per_second = 200;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.traffic.zipf_alpha = 0.9;
+  config.traffic.aggregate_epoch = sim::SimDuration::millis(100);
+  config.drain = sim::SimDuration::seconds(20);
+}
+
+void parity_fields(Experiment& experiment, const RunPoint&, Record& record) {
+  const auto s = experiment.summary();
+  record.set_int("sessions", s.sessions);
+  record.set_percent("drop rate",
+                     s.sessions ? static_cast<double>(s.miss_drops) /
+                                      static_cast<double>(s.sessions)
+                                : 0.0,
+                     4);
+  record.set_real("t_setup mean (ms)", s.t_setup_mean_ms, 4);
+  record.set_real("t_setup p99 (ms)", s.t_setup_p99_ms, 4);
+  record.set_real("t_dns mean (ms)", s.t_dns_mean_ms, 4);
+}
+
+void series_mode_parity(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E1d")) return;
+  std::cout << "-- E1d: packet vs flow-aggregate parity "
+               "(cache=4096, mapping ttl=24h, 200 f/s x 30s) --\n\n";
+  scenario::SweepSpec spec;
+  spec.named("E1d-parity")
+      .base(parity_base)
+      .axis(Axis::domains({8, 24, 64}))
+      .axis(Axis::control_planes(
+          "control plane",
+          {ControlPlaneKind::kAltDrop, ControlPlaneKind::kAltQueue,
+           ControlPlaneKind::kPce},
+          {"alt-drop", "alt-queue", "pce"}))
+      .axis(Axis::workload_modes());
+  // Deliberately not ctx.maybe_quick(): the guard's tolerances are
+  // calibrated on the full 30 s arrival window (a 5 s window leaves the
+  // drop counts inside Poisson noise), and the series costs only seconds.
+  Runner runner(std::move(spec));
+  runner.probe(parity_fields);
+  const auto& result = ctx.run(runner);
+  result.table().print(std::cout);
+  std::cout << "\n";
+}
+
+void series_scale(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E1e")) return;
+  std::cout << "-- E1e: aggregate-engine scale series (recurring misses, "
+               "20k f/s; unreachable in packet mode) --\n\n";
+  scenario::SweepSpec spec;
+  spec.named("E1e-scale")
+      .base([](ExperimentConfig& config) {
+        config.spec.workload_mode = workload::Mode::kAggregate;
+        config.spec.hosts_per_domain = 2;
+        // Cache smaller than the prefix population plus a short mapping
+        // TTL: misses recur throughout the run, so the drop-vs-scale curve
+        // measures steady-state behaviour, not just the cold start.
+        config.spec.cache_capacity = 1024;
+        config.spec.mapping_ttl_seconds = 60;
+        config.spec.seed = 1;
+        config.traffic.sessions_per_second = 20000;
+        config.traffic.duration = sim::SimDuration::seconds(30);
+        config.traffic.zipf_alpha = 0.9;
+        config.traffic.aggregate_epoch = sim::SimDuration::millis(100);
+        config.drain = sim::SimDuration::seconds(20);
+      })
+      .axis(Axis::domains({256, 1024, 4096}))
+      .axis(Axis::control_planes(
+          "control plane", {ControlPlaneKind::kAltDrop, ControlPlaneKind::kPce},
+          {"alt-drop", "pce"}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
+    record.set_int("sessions", s.sessions);
+    record.set_int("miss events", s.miss_events);
+    record.set_int("drops", s.miss_drops);
+    record.set_percent("drop rate",
+                       s.sessions ? static_cast<double>(s.miss_drops) /
+                                        static_cast<double>(s.sessions)
+                                  : 0.0,
+                       4);
+    record.set_real("t_setup mean (ms)", s.t_setup_mean_ms);
+  });
+  const auto& result = ctx.run(runner);
+  result
+      .pivot("domains", "control plane",
+             {"sessions", "drops", "drop rate", "t_setup mean (ms)"})
+      .print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -145,6 +250,8 @@ int main(int argc, char** argv) {
   lispcp::series_control_planes(ctx);
   lispcp::series_cache_capacity(ctx);
   lispcp::series_zipf(ctx);
+  lispcp::series_mode_parity(ctx);
+  lispcp::series_scale(ctx);
   lispcp::bench::print_footer(
       "Shape check vs paper: pull systems (ALT/CONS) drop or queue first "
       "packets and the palliatives trade drops for queueing/overlay detours; "

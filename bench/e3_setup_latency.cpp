@@ -7,6 +7,8 @@
 // Series E3a: measured T_setup against the analytic formula per control plane.
 // Series E3b: cold vs warm cache.
 // Series E3c: T_setup vs inter-domain OWD.
+// Series E3d: packet vs flow-aggregate engine parity (the mode_parity guard).
+// Series E3e: aggregate-only setup-latency scale series.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -130,6 +132,95 @@ void series_owd(bench::BenchContext& ctx) {
       .print(std::cout);
 }
 
+/// The same calibrated parity workload as bench e1's E1d (see the comment
+/// there); E3d reads it through the latency lens.  Field names must match
+/// check_bench.py's MODE_PARITY pins.
+void parity_base(ExperimentConfig& config) {
+  config.spec.hosts_per_domain = 2;
+  config.spec.cache_capacity = 4096;
+  config.spec.mapping_ttl_seconds = 86400;
+  config.spec.seed = 42;
+  config.traffic.sessions_per_second = 200;
+  config.traffic.duration = sim::SimDuration::seconds(30);
+  config.traffic.zipf_alpha = 0.9;
+  config.traffic.aggregate_epoch = sim::SimDuration::millis(100);
+  config.drain = sim::SimDuration::seconds(20);
+}
+
+void series_mode_parity(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E3d")) return;
+  std::cout << "-- E3d: packet vs flow-aggregate parity on T_setup "
+               "(warm caches, 200 f/s x 30s) --\n\n";
+  SweepSpec spec;
+  spec.named("E3d-parity")
+      .base(parity_base)
+      .axis(Axis::domains({8, 24, 64}))
+      .axis(Axis::control_planes(
+          "control plane",
+          {ControlPlaneKind::kAltDrop, ControlPlaneKind::kAltQueue,
+           ControlPlaneKind::kPce},
+          {"alt-drop", "alt-queue", "pce"}))
+      .axis(Axis::workload_modes());
+  // Not ctx.maybe_quick(): the mode_parity guard's tolerances assume the
+  // full 30 s arrival window (see E1d); the series costs only seconds.
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
+    record.set_int("sessions", s.sessions);
+    record.set_percent("drop rate",
+                       s.sessions ? static_cast<double>(s.miss_drops) /
+                                        static_cast<double>(s.sessions)
+                                  : 0.0,
+                       4);
+    record.set_real("t_setup mean (ms)", s.t_setup_mean_ms, 4);
+    record.set_real("t_setup p99 (ms)", s.t_setup_p99_ms, 4);
+    record.set_real("t_dns mean (ms)", s.t_dns_mean_ms, 4);
+  });
+  const auto& result = ctx.run(runner);
+  result.table().print(std::cout);
+  std::cout << "\n";
+}
+
+void series_scale(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E3e")) return;
+  std::cout << "-- E3e: aggregate-engine setup latency at scale "
+               "(20k f/s; unreachable in packet mode) --\n\n";
+  SweepSpec spec;
+  spec.named("E3e-scale")
+      .base([](ExperimentConfig& config) {
+        config.spec.workload_mode = workload::Mode::kAggregate;
+        config.spec.hosts_per_domain = 2;
+        config.spec.cache_capacity = 1024;
+        config.spec.mapping_ttl_seconds = 60;
+        config.spec.seed = 3;
+        config.traffic.sessions_per_second = 20000;
+        config.traffic.duration = sim::SimDuration::seconds(30);
+        config.traffic.zipf_alpha = 0.9;
+        config.traffic.aggregate_epoch = sim::SimDuration::millis(100);
+        config.drain = sim::SimDuration::seconds(20);
+      })
+      .axis(Axis::domains({256, 1024, 4096}))
+      .axis(Axis::control_planes(
+          "control plane",
+          {ControlPlaneKind::kAltDrop, ControlPlaneKind::kAltQueue,
+           ControlPlaneKind::kPce},
+          {"alt-drop", "alt-queue", "pce"}));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    const auto s = experiment.summary();
+    record.set_int("sessions", s.sessions);
+    record.set_real("mean (ms)", s.t_setup_mean_ms);
+    record.set_real("p50 (ms)", s.t_setup_p50_ms);
+    record.set_real("p99 (ms)", s.t_setup_p99_ms);
+  });
+  const auto& result = ctx.run(runner);
+  result
+      .pivot("domains", "control plane",
+             {"mean (ms)", "p50 (ms)", "p99 (ms)"})
+      .print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -141,6 +232,8 @@ int main(int argc, char** argv) {
   lispcp::series_formula(ctx);
   lispcp::series_cold_warm(ctx);
   lispcp::series_owd(ctx);
+  lispcp::series_mode_parity(ctx);
+  lispcp::series_scale(ctx);
   lispcp::bench::print_footer(
       "Shape check vs paper: plain-IP and PCE sit on the analytic formula "
       "(no T_map term); alt-queue adds one mapping RTT; alt-drop's mean is "

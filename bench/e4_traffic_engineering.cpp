@@ -16,6 +16,9 @@
 // Declarative sweeps: the policy comparison is a labelled axis; the
 // link-window instrumentation and the mid-run reoptimize() are stateful
 // probes (windows open before the workload, fields written after).
+// Series E4d runs the inbound-split comparison at production scale (up to
+// 10k sites, 10^6+ flows per point) on the flow-aggregate engine — the
+// link windows read the same sim::Link byte counters either way.
 #include <algorithm>
 #include <iostream>
 
@@ -208,6 +211,41 @@ class ReoptimizeProbe final : public Probe {
   std::vector<sim::NodeId> far_ends_;
 };
 
+void series_scale(bench::BenchContext& ctx) {
+  if (!ctx.enabled("E4d")) return;
+  std::cout << "-- E4d: inbound TE split at production scale "
+               "(flow-aggregate engine, 40k f/s -> 1.2M flows/point) --\n\n";
+  std::vector<std::pair<std::string, std::function<void(ExperimentConfig&)>>>
+      arms;
+  arms.emplace_back("lisp-alt (gleaned, symmetric)",
+                    plane_and_policy(ControlPlaneKind::kAltQueue,
+                                     irc::TePolicy::kLeastLoaded));
+  arms.emplace_back("lisp-pce / least-loaded",
+                    plane_and_policy(ControlPlaneKind::kPce,
+                                     irc::TePolicy::kLeastLoaded));
+  auto spec = e4_base()
+                  .named("E4d-scale")
+                  .base([](ExperimentConfig& config) {
+                    config.spec.workload_mode = workload::Mode::kAggregate;
+                    config.traffic.sessions_per_second = 40000;
+                    config.traffic.duration = sim::SimDuration::seconds(30);
+                    config.traffic.aggregate_epoch =
+                        sim::SimDuration::millis(100);
+                    config.drain = sim::SimDuration::seconds(20);
+                  })
+                  .axis(Axis::domains({1000, 10000}))
+                  .axis(Axis::labeled("control plane / policy",
+                                      std::move(arms)));
+  ctx.maybe_quick(spec);
+  Runner runner(std::move(spec));
+  runner.probe([](Experiment& experiment, const RunPoint&, Record& record) {
+    record.set_int("sessions", experiment.summary().sessions);
+  });
+  runner.probe_factory([] { return std::make_unique<InboundSplitProbe>(); });
+  ctx.run(runner).table().print(std::cout);
+  std::cout << "\n";
+}
+
 void series_reoptimization(bench::BenchContext& ctx) {
   if (!ctx.enabled("E4c")) return;
   std::cout << "-- E4c: dynamic TE — re-pushing mappings moves live inbound "
@@ -238,6 +276,7 @@ int main(int argc, char** argv) {
   lispcp::series_inbound(ctx);
   lispcp::series_one_way_tunnels(ctx);
   lispcp::series_reoptimization(ctx);
+  lispcp::series_scale(ctx);
   lispcp::bench::print_footer(
       "Shape check vs paper: vanilla LISP concentrates ~100% of return "
       "traffic on the primary border router (ingress forced == egress); the "

@@ -72,6 +72,7 @@ class DnsResolver : public sim::Node {
   }
 
   [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ResolverConfig& config() const noexcept { return config_; }
 
   /// Latency of completed resolutions as observed at the resolver
   /// (client query in -> client response out), microseconds.

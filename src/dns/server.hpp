@@ -70,6 +70,9 @@ class DnsServer : public sim::Node {
   [[nodiscard]] Zone& zone() noexcept { return zone_; }
   [[nodiscard]] const Zone& zone() const noexcept { return zone_; }
   [[nodiscard]] const DnsServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::SimDuration processing_delay() const noexcept {
+    return processing_delay_;
+  }
 
   void deliver(net::Packet packet) override;
 

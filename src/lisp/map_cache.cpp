@@ -6,25 +6,31 @@
 namespace lispcp::lisp {
 
 std::optional<MapEntry> MapCache::lookup(net::Ipv4Address eid, sim::SimTime now) {
-  ++stats_.lookups;
+  return lookup_batch(eid, 1, now);
+}
+
+std::optional<MapEntry> MapCache::lookup_batch(net::Ipv4Address eid,
+                                               std::uint64_t count,
+                                               sim::SimTime now) {
+  stats_.lookups += count;
   const net::Ipv4Prefix* key = index_.lookup(eid);
   if (key == nullptr) {
-    ++stats_.misses_absent;
+    stats_.misses_absent += count;
     return std::nullopt;
   }
   auto it = entries_.find(*key);
   if (it == entries_.end()) {
     // Index and map out of sync would be a bug; treat as absent defensively.
-    ++stats_.misses_absent;
+    stats_.misses_absent += count;
     return std::nullopt;
   }
   if (it->second.expiry <= now) {
-    ++stats_.misses_expired;
+    stats_.misses_expired += count;
     erase(*key);
     return std::nullopt;
   }
   touch(it->second);
-  ++stats_.hits;
+  stats_.hits += count;
   return it->second.entry;
 }
 

@@ -46,6 +46,14 @@ class MapCache {
   [[nodiscard]] std::optional<MapEntry> lookup(net::Ipv4Address eid,
                                                sim::SimTime now);
 
+  /// Batch form for the flow-aggregate workload engine: one LPM walk and one
+  /// LRU touch, stats advanced by `count` lookups (all hit or all miss — a
+  /// batch models same-epoch flows to one destination, which in packet mode
+  /// would indeed probe the same entry back to back).
+  [[nodiscard]] std::optional<MapEntry> lookup_batch(net::Ipv4Address eid,
+                                                     std::uint64_t count,
+                                                     sim::SimTime now);
+
   /// Inserts or replaces the entry for its EID prefix, stamped at `now`.
   /// Eviction runs if the cache is over capacity.
   void insert(const MapEntry& entry, sim::SimTime now);

@@ -148,13 +148,28 @@ void TunnelRouter::on_miss(net::Packet packet, net::Ipv4Address eid) {
     it->second.timer = sim().schedule(config_.queue_timeout, [this, eid] {
       auto found = pending_.find(eid);
       if (found == pending_.end()) return;
-      for (auto& q : found->second.queue) {
-        ++stats_.queue_timeout_drops;
-        network().drop(sim::DropReason::kMappingMiss, q.packet);
-      }
+      PendingResolution timed_out = std::move(found->second);
       pending_.erase(found);
+      finish_pending(std::move(timed_out), /*resolved=*/false);
     });
   }
+}
+
+void TunnelRouter::finish_pending(PendingResolution pending, bool resolved) {
+  pending.timer.cancel();
+  if (resolved) {
+    for (auto& queued : pending.queue) {
+      ++stats_.queue_flushed;
+      queue_delay_.add_duration(sim().now() - queued.enqueued);
+      handle_outbound(std::move(queued.packet));
+    }
+  } else {
+    for (auto& queued : pending.queue) {
+      ++stats_.queue_timeout_drops;
+      network().drop(sim::DropReason::kMappingMiss, queued.packet);
+    }
+  }
+  for (auto& observer : pending.observers) observer(resolved);
 }
 
 void TunnelRouter::send_map_request(net::Ipv4Address eid,
@@ -191,11 +206,9 @@ void TunnelRouter::on_request_timeout(net::Ipv4Address eid) {
     return;
   }
   // Give up: drain the queue as mapping-miss drops.
-  for (auto& q : pending.queue) {
-    ++stats_.queue_timeout_drops;
-    network().drop(sim::DropReason::kMappingMiss, q.packet);
-  }
+  PendingResolution abandoned = std::move(pending);
   pending_.erase(it);
+  finish_pending(std::move(abandoned), /*resolved=*/false);
 }
 
 void TunnelRouter::forward_via_overlay(net::Packet packet) {
@@ -229,12 +242,7 @@ void TunnelRouter::on_map_reply(const MapReply& reply) {
     if (it->second.nonce != reply.nonce()) continue;
     PendingResolution pending = std::move(it->second);
     pending_.erase(it);
-    pending.timer.cancel();
-    for (auto& queued : pending.queue) {
-      ++stats_.queue_flushed;
-      queue_delay_.add_duration(sim().now() - queued.enqueued);
-      handle_outbound(std::move(queued.packet));
-    }
+    finish_pending(std::move(pending), /*resolved=*/true);
     return;
   }
 }
@@ -447,12 +455,7 @@ void TunnelRouter::install_mapping(const MapEntry& entry) {
     }
     PendingResolution pending = std::move(it->second);
     it = pending_.erase(it);
-    pending.timer.cancel();
-    for (auto& queued : pending.queue) {
-      ++stats_.queue_flushed;
-      queue_delay_.add_duration(sim().now() - queued.enqueued);
-      handle_outbound(std::move(queued.packet));
-    }
+    finish_pending(std::move(pending), /*resolved=*/true);
   }
 }
 
@@ -469,12 +472,7 @@ void TunnelRouter::install_flow_mapping(const FlowMapping& mapping) {
   if (pending_it != pending_.end()) {
     PendingResolution pending = std::move(pending_it->second);
     pending_.erase(pending_it);
-    pending.timer.cancel();
-    for (auto& queued : pending.queue) {
-      ++stats_.queue_flushed;
-      queue_delay_.add_duration(sim().now() - queued.enqueued);
-      handle_outbound(std::move(queued.packet));
-    }
+    finish_pending(std::move(pending), /*resolved=*/true);
   }
 }
 
@@ -482,6 +480,59 @@ const FlowMapping* TunnelRouter::find_flow_mapping(
     net::Ipv4Address src_eid, net::Ipv4Address dst_eid) const {
   auto it = flow_table_.find(net::pair_key(src_eid, dst_eid));
   return it == flow_table_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Flow-aggregate surface
+// ---------------------------------------------------------------------------
+
+std::optional<MapEntry> TunnelRouter::aggregate_lookup(net::Ipv4Address eid,
+                                                       std::uint64_t flows) {
+  return cache_.lookup_batch(eid, flows, sim().now());
+}
+
+void TunnelRouter::aggregate_resolve(net::Ipv4Address eid,
+                                     AggregateObserver observer) {
+  const bool can_pull = resolution_ != nullptr && resolution_->pull();
+  auto it = pending_.find(eid);
+  if (it == pending_.end()) {
+    ++stats_.miss_events;
+    PendingResolution pending;
+    pending.started = sim().now();
+    it = pending_.emplace(eid, std::move(pending)).first;
+    if (can_pull) {
+      send_map_request(eid, it->second);
+    } else {
+      // Push-only planes: wait for the push, give up after queue_timeout —
+      // same lifecycle on_miss() gives a packet-mode episode.
+      it->second.timer = sim().schedule(config_.queue_timeout, [this, eid] {
+        auto found = pending_.find(eid);
+        if (found == pending_.end()) return;
+        PendingResolution timed_out = std::move(found->second);
+        pending_.erase(found);
+        finish_pending(std::move(timed_out), /*resolved=*/false);
+      });
+    }
+  }
+  it->second.observers.push_back(std::move(observer));
+}
+
+void TunnelRouter::aggregate_account(const AggregateCounts& counts) noexcept {
+  stats_.data_seen += counts.data_seen;
+  stats_.encapsulated += counts.encapsulated;
+  stats_.decapsulated += counts.decapsulated;
+  stats_.miss_dropped += counts.miss_dropped;
+  stats_.miss_queued += counts.miss_queued;
+  stats_.queue_flushed += counts.queue_flushed;
+  stats_.queue_overflow_drops += counts.queue_overflow_drops;
+  stats_.queue_timeout_drops += counts.queue_timeout_drops;
+  stats_.overlay_data_forwarded += counts.overlay_data_forwarded;
+  stats_.entry_pushes_received += counts.entry_pushes_received;
+}
+
+void TunnelRouter::aggregate_queue_delay(sim::SimDuration delay,
+                                         std::uint64_t flows) {
+  queue_delay_.add_n(delay.us(), flows);
 }
 
 // ---------------------------------------------------------------------------

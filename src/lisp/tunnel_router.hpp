@@ -92,6 +92,22 @@ struct XtrConfig {
   int probe_down_threshold = 3;
 };
 
+/// Stat deltas booked in one shot by the flow-aggregate workload engine
+/// (counts in, counts out — no per-packet net::Packet allocation).  Only the
+/// counters the closed-form session model can attribute are present.
+struct AggregateCounts {
+  std::uint64_t data_seen = 0;
+  std::uint64_t encapsulated = 0;
+  std::uint64_t decapsulated = 0;
+  std::uint64_t miss_dropped = 0;
+  std::uint64_t miss_queued = 0;
+  std::uint64_t queue_flushed = 0;
+  std::uint64_t queue_overflow_drops = 0;
+  std::uint64_t queue_timeout_drops = 0;
+  std::uint64_t overlay_data_forwarded = 0;
+  std::uint64_t entry_pushes_received = 0;
+};
+
 struct XtrStats {
   // ITR side
   std::uint64_t data_seen = 0;
@@ -122,8 +138,15 @@ struct XtrStats {
   std::uint64_t rlocs_marked_up = 0;
 };
 
-class TunnelRouter : public sim::Node {
+// `final` so calls through concrete TunnelRouter pointers (the aggregate
+// engine's batch path, the topology builders) devirtualize.
+class TunnelRouter final : public sim::Node {
  public:
+  /// Notified when a resolution episode this observer joined completes:
+  /// `resolved` is true when a mapping arrived (reply or push), false when
+  /// the episode gave up (retries exhausted / push timeout).
+  using AggregateObserver = std::function<void(bool resolved)>;
+
   /// Invoked by the ETR role when a data packet reveals a reverse mapping:
   /// the tuple maps the *return* flow (inner dst -> inner src) onto
   /// (egress RLOC to be chosen locally, outer source RLOC of the sender).
@@ -175,6 +198,23 @@ class TunnelRouter : public sim::Node {
   void emit_map_request(net::Ipv4Address target, net::Ipv4Address eid,
                         std::uint64_t nonce, bool record_route);
 
+  // -- Flow-aggregate surface (workload::FlowAggregateEngine) ---------------
+  /// Batch map-cache probe: one LPM walk, `flows` lookups' worth of stats.
+  /// Does not start a resolution — pair with aggregate_resolve() on miss.
+  [[nodiscard]] std::optional<MapEntry> aggregate_lookup(net::Ipv4Address eid,
+                                                         std::uint64_t flows);
+
+  /// Joins (or starts) the resolution episode for `eid` exactly as a missed
+  /// packet would — Map-Request, retry timers and push timeouts are the same
+  /// simulator events packet mode runs — and calls `observer` on completion.
+  void aggregate_resolve(net::Ipv4Address eid, AggregateObserver observer);
+
+  /// Books pre-attributed packet counters (closed-form session model).
+  void aggregate_account(const AggregateCounts& counts) noexcept;
+
+  /// Records `flows` buffered-SYN residence times of `delay` each.
+  void aggregate_queue_delay(sim::SimDuration delay, std::uint64_t flows);
+
   /// Marks an RLOC up/down in every cached entry (reachability propagation).
   void set_rloc_reachability(net::Ipv4Address rloc, bool reachable);
 
@@ -210,6 +250,7 @@ class TunnelRouter : public sim::Node {
     int retries = 0;
     sim::EventHandle timer;
     sim::SimTime started;
+    std::vector<AggregateObserver> observers;  ///< aggregate-mode joiners
   };
 
   // ITR role
@@ -217,6 +258,11 @@ class TunnelRouter : public sim::Node {
   void encapsulate_and_send(net::Packet inner, net::Ipv4Address outer_src,
                             net::Ipv4Address outer_dst, std::uint32_t lsb);
   void on_miss(net::Packet packet, net::Ipv4Address eid);
+  /// Single exit point of a resolution episode (reply, push, or give-up):
+  /// flushes or drains the queued packets and notifies aggregate observers.
+  /// Callers remove the entry from `pending_` first and pass it by value so
+  /// re-entrant handle_outbound() calls see a consistent table.
+  void finish_pending(PendingResolution pending, bool resolved);
   void send_map_request(net::Ipv4Address eid, PendingResolution& pending);
   void on_request_timeout(net::Ipv4Address eid);
   void on_map_reply(const MapReply& reply);

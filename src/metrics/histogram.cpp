@@ -20,6 +20,26 @@ void Summary::add(double x) noexcept {
   }
 }
 
+void Summary::add_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  // Merge of a degenerate n-point summary at x (Chan's parallel update);
+  // equivalent to n add(x) calls up to floating-point association.
+  const double nn = static_cast<double>(n);
+  const double n1 = static_cast<double>(count_);
+  const double delta = x - mean_;
+  const double total_n = n1 + nn;
+  mean_ += delta * nn / total_n;
+  m2_ += delta * delta * n1 * nn / total_n;
+  total_ += x * nn;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += n;
+}
+
 double Summary::variance() const noexcept {
   return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
 }
@@ -69,6 +89,12 @@ double Histogram::bucket_upper(int bucket) noexcept {
 void Histogram::add(double value) noexcept {
   summary_.add(value);
   ++buckets_[static_cast<std::size_t>(bucket_of(std::max(value, 0.0)))];
+}
+
+void Histogram::add_n(double value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  summary_.add_n(value, n);
+  buckets_[static_cast<std::size_t>(bucket_of(std::max(value, 0.0)))] += n;
 }
 
 double Histogram::percentile(double q) const noexcept {

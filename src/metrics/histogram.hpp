@@ -19,6 +19,11 @@ class Summary {
  public:
   void add(double x) noexcept;
 
+  /// Records `n` identical observations of `x` in O(1) — the flow-aggregate
+  /// engine's per-batch path.  Equivalent to n add(x) calls up to FP
+  /// association (Chan's pairwise update).
+  void add_n(double x, std::uint64_t n) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
   [[nodiscard]] double variance() const noexcept;
@@ -49,6 +54,12 @@ class Histogram {
 
   void add(double value) noexcept;
   void add_duration(sim::SimDuration d) noexcept { add(d.us()); }
+
+  /// `n` identical observations in O(1) (see Summary::add_n).
+  void add_n(double value, std::uint64_t n) noexcept;
+  void add_duration_n(sim::SimDuration d, std::uint64_t n) noexcept {
+    add_n(d.us(), n);
+  }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return summary_.count(); }
   [[nodiscard]] double mean() const noexcept { return summary_.mean(); }

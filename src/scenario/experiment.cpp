@@ -1,6 +1,136 @@
 #include "scenario/experiment.hpp"
 
+#include <stdexcept>
+
 namespace lispcp::scenario {
+
+namespace {
+
+/// Assembles the flow-aggregate engine's view of the built topology for one
+/// source domain.  Everything the closed-form session model needs — path
+/// delays, DNS leg costs, provider links, miss policy — is read off the
+/// *actual* Internet, so the engine has no topology assumptions of its own.
+/// Two Dijkstra sweeps (client root, resolver root) amortize the per-peer
+/// path queries; per-pair Network::path_delay would be quadratic at 10k
+/// domains.
+workload::AggregateWorld build_aggregate_world(topo::Internet& net,
+                                               std::size_t source) {
+  workload::AggregateWorld world;
+  world.sim = &net.sim();
+  world.metrics = &net.metrics();
+
+  auto& network = net.network();
+  const auto& spec = net.spec();
+  auto& src = net.domain(source);
+
+  lisp::TunnelRouter* front = src.xtrs.front();
+  const bool lisp = front->config().itr_role;
+  if (lisp) {
+    world.itr = front;
+    world.miss_policy = front->config().miss_policy;
+    world.queue_capacity_per_eid = front->config().queue_capacity_per_eid;
+    // Encap at the ITR plus decap at the ETR, per crossing direction.
+    world.xtr_crossing_delay = 2 * front->config().processing_delay;
+  }
+  world.source_irc = src.irc.get();
+  world.pce_push = src.control_plane != nullptr && spec.pce_snoop;
+  for (std::size_t j = 0; j < src.xtrs.size(); ++j) {
+    world.uplinks.push_back(workload::AggregateWorld::Uplink{
+        src.provider_links[j], src.xtrs[j]->id(), src.xtrs[j],
+        src.xtrs[j]->rloc()});
+  }
+
+  const workload::HostConfig host_defaults;  // what build_domain installs
+  world.syn_rto = host_defaults.syn_rto;
+  world.max_syn_retries = host_defaults.max_syn_retries;
+  world.wire.data_packets = host_defaults.data_packets;
+  world.wire.data_packet_bytes = host_defaults.data_packet_bytes;
+  world.wire.response_packet_bytes = host_defaults.response_packet_bytes;
+  world.wire.lisp_encapsulated = lisp;
+
+  // DNS model: warm resolution plus the per-tier iterative legs, all read
+  // off the real node placement (so a PCE interposed in the DNS path is
+  // included via its attachment links).
+  const auto from_client =
+      network.path_delays_from(src.hosts.front()->id());
+  const auto from_resolver = network.path_delays_from(src.resolver->id());
+  const auto leg = [&](const std::vector<std::optional<sim::SimDuration>>& spt,
+                       sim::NodeId to, sim::SimDuration processing) {
+    const auto& d = spt.at(to.value());
+    if (!d.has_value()) {
+      throw std::logic_error("aggregate world: disconnected DNS path");
+    }
+    return 2 * *d + processing;
+  };
+  world.dns_warm = leg(from_client, src.resolver->id(),
+                       src.resolver->config().processing_delay);
+  world.dns_leg_root =
+      leg(from_resolver, net.root_dns().id(), net.root_dns().processing_delay());
+  world.dns_leg_tld =
+      leg(from_resolver, net.tld_dns().id(), net.tld_dns().processing_delay());
+
+  std::vector<std::uint32_t> peer_of_domain(spec.domains, 0);
+  for (std::size_t d = 0; d < spec.domains; ++d) {
+    if (d == source) continue;
+    auto& dom = net.domain(d);
+    workload::AggregateWorld::Peer peer;
+    peer.xtr = lisp ? dom.xtrs.front() : nullptr;
+    peer.irc = dom.irc.get();
+    const auto& owd = from_client.at(dom.hosts.front()->id().value());
+    if (!owd.has_value()) {
+      throw std::logic_error("aggregate world: disconnected domain");
+    }
+    peer.owd = *owd;
+    peer.dns_leg_auth = leg(from_resolver, dom.authoritative->id(),
+                            dom.authoritative->processing_delay());
+    if (src.pce != nullptr && dom.pce != nullptr) {
+      // Step-6 interception: the authoritative answer detours through the
+      // remote PCE's encapsulation and the local PCE's port-P relay.
+      peer.dns_leg_auth += src.pce->config().processing_delay +
+                           dom.pce->config().processing_delay;
+    }
+    peer_of_domain[d] = static_cast<std::uint32_t>(world.peers.size());
+    world.peers.push_back(std::move(peer));
+  }
+
+  // Destination ranks mirror Internet::destination_names: interleaved
+  // host-major so Zipf skew spreads over sites identically in both modes.
+  for (std::size_t h = 0; h < spec.hosts_per_domain; ++h) {
+    for (std::size_t d = 0; d < spec.domains; ++d) {
+      if (d == source) continue;
+      workload::AggregateWorld::Destination dest;
+      dest.peer = peer_of_domain[d];
+      dest.eid = net.host_eid(d, h);
+      const lisp::MapEntry* best = nullptr;
+      for (const auto& entry : net.domain(d).registered_entries) {
+        if (entry.eid_prefix.contains(dest.eid) &&
+            (best == nullptr ||
+             entry.eid_prefix.length() > best->eid_prefix.length())) {
+          best = &entry;
+        }
+      }
+      dest.registered_prefix =
+          best != nullptr ? best->eid_prefix : net.domain(d).eid_prefix;
+      world.destinations.push_back(dest);
+    }
+  }
+  return world;
+}
+
+std::unique_ptr<workload::Traffic> make_traffic(topo::Internet& net,
+                                                std::size_t source,
+                                                const workload::TrafficConfig& cfg,
+                                                sim::Rng rng) {
+  if (net.spec().workload_mode == workload::Mode::kAggregate) {
+    return std::make_unique<workload::FlowAggregateEngine>(
+        build_aggregate_world(net, source), cfg, std::move(rng));
+  }
+  return std::make_unique<workload::TrafficGenerator>(
+      net.sim(), net.domain(source).hosts, net.destination_names(source), cfg,
+      std::move(rng));
+}
+
+}  // namespace
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   internet_ = std::make_unique<topo::Internet>(config_.spec);
@@ -9,9 +139,7 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   sim::Rng seeder(config_.spec.seed ^ 0x9e3779b97f4a7c15ull);
 
   if (config_.mode == TrafficMode::kSingleSource) {
-    generators_.push_back(std::make_unique<workload::TrafficGenerator>(
-        net.sim(), net.domain(0).hosts, net.destination_names(0),
-        config_.traffic, seeder.fork()));
+    generators_.push_back(make_traffic(net, 0, config_.traffic, seeder.fork()));
   } else {
     // Split the aggregate rate evenly over the sending domains.
     workload::TrafficConfig per_domain = config_.traffic;
@@ -23,9 +151,7 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
           config_.traffic.max_sessions / config_.spec.domains;
     }
     for (std::size_t d = 0; d < config_.spec.domains; ++d) {
-      generators_.push_back(std::make_unique<workload::TrafficGenerator>(
-          net.sim(), net.domain(d).hosts, net.destination_names(d), per_domain,
-          seeder.fork()));
+      generators_.push_back(make_traffic(net, d, per_domain, seeder.fork()));
     }
   }
 }

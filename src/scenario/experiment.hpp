@@ -12,7 +12,9 @@
 
 #include "routing/dfz_study.hpp"
 #include "topo/internet.hpp"
+#include "workload/aggregate.hpp"
 #include "workload/generator.hpp"
+#include "workload/traffic.hpp"
 
 namespace lispcp::scenario {
 
@@ -114,10 +116,17 @@ class Experiment {
   [[nodiscard]] topo::Internet& internet() noexcept { return *internet_; }
   [[nodiscard]] ExperimentSummary summary() const;
 
+  /// The workload engines behind the seam (one per source domain); which
+  /// engine was built follows spec.workload_mode.
+  [[nodiscard]] const std::vector<std::unique_ptr<workload::Traffic>>&
+  traffic() const noexcept {
+    return generators_;
+  }
+
  private:
   ExperimentConfig config_;
   std::unique_ptr<topo::Internet> internet_;
-  std::vector<std::unique_ptr<workload::TrafficGenerator>> generators_;
+  std::vector<std::unique_ptr<workload::Traffic>> generators_;
 };
 
 }  // namespace lispcp::scenario

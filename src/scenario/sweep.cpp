@@ -36,6 +36,14 @@ std::string shortest_double(double v) {
   return buf;
 }
 
+/// ASCII lower-casing for the case-insensitive --filter match.
+std::string ascii_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -305,6 +313,20 @@ Axis Axis::providers_per_domain(std::vector<std::uint64_t> values,
                     config.spec.providers_per_domain =
                         static_cast<std::size_t>(v);
                   });
+}
+
+Axis Axis::workload_modes(std::vector<workload::Mode> modes,
+                          std::string name) {
+  std::vector<Point> points;
+  points.reserve(modes.size());
+  for (const auto mode : modes) {
+    const std::string label = workload::to_string(mode);
+    points.push_back(Point{label, Field::text(label),
+                           [mode](ExperimentConfig& config) {
+                             config.spec.workload_mode = mode;
+                           }});
+  }
+  return Axis(std::move(name), std::move(points));
 }
 
 // ---------------------------------------------------------------------------
@@ -961,18 +983,21 @@ void Runner::require_no_executor() const {
 ResultSet Runner::run(const RunOptions& options) const {
   std::vector<RunPoint> points = spec_.expand();
   if (!options.filter.empty()) {
+    const std::string needle = ascii_lower(options.filter);
     std::vector<RunPoint> kept;
     for (auto& point : points) {
-      // Match the series label OR the point's resolved control-plane name,
-      // so "--filter pce" selects PCE points even when the axis uses short
-      // labels or the plane is pinned in the base config (single-point
-      // series have an empty series label and match only this way).  On
-      // the executor path spec.kind is meaningless (the study builds its
-      // own world), so only the series label counts there.
+      // Match the series label OR the point's resolved control-plane name
+      // (both case-insensitively), so "--filter PCE" selects PCE points
+      // even when the axis uses short labels or the plane is pinned in the
+      // base config (single-point series have an empty series label and
+      // match only this way).  On the executor path spec.kind is
+      // meaningless (the study builds its own world), so only the series
+      // label counts there.
       const bool kind_match =
-          !executor_ && std::string(topo::to_string(point.config.spec.kind))
-                                .find(options.filter) != std::string::npos;
-      if (point.series.find(options.filter) != std::string::npos || kind_match) {
+          !executor_ && ascii_lower(topo::to_string(point.config.spec.kind))
+                                .find(needle) != std::string::npos;
+      if (ascii_lower(point.series).find(needle) != std::string::npos ||
+          kind_match) {
         kept.push_back(std::move(point));
       }
     }

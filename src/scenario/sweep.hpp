@@ -38,6 +38,7 @@
 #include "metrics/table.hpp"
 #include "scenario/experiment.hpp"
 #include "sim/failure.hpp"
+#include "workload/traffic.hpp"
 
 namespace lispcp::scenario {
 
@@ -174,6 +175,16 @@ class Axis {
                                std::string name = "hosts/domain");
   static Axis providers_per_domain(std::vector<std::uint64_t> values,
                                    std::string name = "providers/domain");
+
+  /// Workload-engine axis (packet vs flow-aggregate, workload/traffic.hpp):
+  /// the same scenario runs once per engine, so cross-mode parity is a
+  /// first-class sweep dimension — check_bench.py's mode_parity guard pairs
+  /// points whose coordinates differ only in this "mode" field.  Defaults
+  /// to both engines.
+  static Axis workload_modes(
+      std::vector<workload::Mode> modes = {workload::Mode::kPacket,
+                                           workload::Mode::kAggregate},
+      std::string name = "mode");
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::vector<Point>& points() const noexcept {
@@ -387,7 +398,8 @@ struct RunOptions {
   /// is byte-identical for any job count.
   std::size_t jobs = 1;
   /// When non-empty, only points whose series label contains this substring
-  /// run (e.g. "pce").  Filtering never changes a surviving point's seed.
+  /// (compared case-insensitively, e.g. "pce" or "PCE") run.  Filtering
+  /// never changes a surviving point's seed.
   std::string filter;
 };
 

@@ -63,6 +63,18 @@ class Link {
   void set_up(bool up) noexcept { up_ = up; }
   [[nodiscard]] bool is_up() const noexcept { return up_; }
 
+  /// Books `packets`/`bytes` of closed-form traffic onto the `from`
+  /// direction's counters without scheduling any transmission events.  The
+  /// flow-aggregate workload engine uses this so link windows, utilization
+  /// probes and the IRC's load feedback see aggregate traffic exactly as
+  /// they see per-packet traffic.  No queueing/serialization is modeled.
+  void account_aggregate(NodeId from, std::uint64_t packets,
+                         std::uint64_t bytes) {
+    auto& stats = direction(from).stats;
+    stats.tx_packets += packets;
+    stats.tx_bytes += bytes;
+  }
+
   /// Stats for the direction whose transmitter is `from`.
   [[nodiscard]] const LinkStats& stats(NodeId from) const {
     return direction(from).stats;

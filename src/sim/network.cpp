@@ -124,6 +124,19 @@ std::optional<SimDuration> Network::path_delay(NodeId from, NodeId to) const {
   return spt[from.value()].distance;
 }
 
+std::vector<std::optional<SimDuration>> Network::path_delays_from(
+    NodeId source) const {
+  // Link delays are symmetric per LinkConfig, so the reverse tree rooted at
+  // `source` doubles as the forward one.
+  const auto spt = shortest_paths_from(source);
+  std::vector<std::optional<SimDuration>> out(spt.size());
+  for (std::size_t i = 0; i < spt.size(); ++i) {
+    if (spt[i].reachable) out[i] = spt[i].distance;
+  }
+  out[source.value()] = SimDuration{};
+  return out;
+}
+
 void Network::inject(NodeId at, net::Packet packet) {
   Node& origin = node(at);
   if (tracer_ != nullptr) tracer_->on_send(sim_.now(), origin, packet);

@@ -144,6 +144,14 @@ class Network {
 
   [[nodiscard]] const NetworkCounters& counters() const noexcept { return counters_; }
 
+  /// One-way propagation delay from `source` to every node (indexed by
+  /// NodeId value; nullopt = unreachable).  One Dijkstra amortized over all
+  /// targets — the flow-aggregate world builder asks for thousands of
+  /// node pairs sharing a root, where per-pair path_delay() would be
+  /// quadratic in the topology size.
+  [[nodiscard]] std::vector<std::optional<SimDuration>> path_delays_from(
+      NodeId source) const;
+
   /// Allocates an identifier unique within this network (session ids).
   /// Per-network rather than process-global so that concurrently running
   /// simulations (parallel sweep points) stay independent and each run's

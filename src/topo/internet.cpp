@@ -9,6 +9,9 @@ namespace lispcp::topo {
 namespace {
 
 constexpr std::size_t kMaxDomains = 512;
+/// Flow-aggregate mode carries no per-packet events, so the topology (not
+/// the event count) is the limit; 16k domains builds in seconds.
+constexpr std::size_t kMaxDomainsAggregate = 16384;
 constexpr std::size_t kMaxHosts = 200;
 constexpr std::size_t kMaxProviders = 8;
 constexpr std::size_t kMaxReplicas = 64;
@@ -23,8 +26,14 @@ InternetSpec InternetSpec::preset(ControlPlaneKind kind) {
 
 Internet::Internet(InternetSpec spec) : spec_(std::move(spec)), sim_(spec_.seed),
                                         network_(sim_) {
-  if (spec_.domains < 2 || spec_.domains > kMaxDomains) {
-    throw std::invalid_argument("InternetSpec: domains must be in [2, 512]");
+  const std::size_t max_domains =
+      spec_.workload_mode == workload::Mode::kAggregate ? kMaxDomainsAggregate
+                                                        : kMaxDomains;
+  if (spec_.domains < 2 || spec_.domains > max_domains) {
+    throw std::invalid_argument(
+        spec_.workload_mode == workload::Mode::kAggregate
+            ? "InternetSpec: domains must be in [2, 16384] (aggregate)"
+            : "InternetSpec: domains must be in [2, 512]");
   }
   if (spec_.hosts_per_domain < 1 || spec_.hosts_per_domain > kMaxHosts) {
     throw std::invalid_argument("InternetSpec: hosts_per_domain must be in [1, 200]");

@@ -40,6 +40,7 @@
 #include "sim/simulator.hpp"
 #include "workload/host.hpp"
 #include "workload/session.hpp"
+#include "workload/traffic.hpp"
 
 namespace lispcp::topo {
 
@@ -52,6 +53,13 @@ struct InternetSpec {
   std::size_t domains = 2;
   std::size_t hosts_per_domain = 2;
   std::size_t providers_per_domain = 1;  ///< multihoming degree = xTR count
+
+  /// Which workload engine the scenario layer will drive over this topology.
+  /// The topology itself is identical in both modes; the mode lifts the
+  /// domain-count ceiling (per-packet simulation is capped at 512 domains,
+  /// flow-aggregate scales to 16384) and is carried here so sweeps can flip
+  /// it declaratively per point.
+  workload::Mode workload_mode = workload::Mode::kPacket;
 
   // Latency knobs (2008-era defaults; see DESIGN.md calibration note).
   sim::SimDuration core_link_delay = sim::SimDuration::millis(20);
@@ -194,6 +202,11 @@ class Internet {
 
   /// The core's echo-target address (border-link liveness probes).
   [[nodiscard]] net::Ipv4Address core_address() const;
+
+  /// The shared DNS hierarchy (the aggregate workload engine computes its
+  /// iterative-resolution legs from these nodes' positions).
+  [[nodiscard]] dns::DnsServer& root_dns() noexcept { return *root_dns_; }
+  [[nodiscard]] dns::DnsServer& tld_dns() noexcept { return *tld_dns_; }
 
   /// DNS name of host h in domain d: "h<h>.d<d>.example".
   [[nodiscard]] dns::DomainName host_name(std::size_t domain, std::size_t host) const;

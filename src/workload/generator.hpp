@@ -14,6 +14,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "workload/host.hpp"
+#include "workload/traffic.hpp"
 
 namespace lispcp::workload {
 
@@ -23,9 +24,12 @@ struct TrafficConfig {
   double zipf_alpha = 0.9;
   /// If > 0, stop after exactly this many sessions regardless of duration.
   std::uint64_t max_sessions = 0;
+  /// Flow-aggregate mode only: the epoch length (arrival batching window).
+  /// Ignored by the per-packet engine.
+  sim::SimDuration aggregate_epoch = sim::SimDuration::millis(500);
 };
 
-class TrafficGenerator {
+class TrafficGenerator final : public Traffic {
  public:
   /// `clients` originate sessions; `destinations` are resolvable names of
   /// remote hosts, index-aligned with the Zipf ranks (index 0 = hottest).
@@ -34,9 +38,11 @@ class TrafficGenerator {
                    sim::Rng rng);
 
   /// Schedules the arrival process from the current simulation time.
-  void start();
+  void start() override;
 
-  [[nodiscard]] std::uint64_t sessions_launched() const noexcept {
+  [[nodiscard]] Mode mode() const noexcept override { return Mode::kPacket; }
+
+  [[nodiscard]] std::uint64_t sessions_launched() const noexcept override {
     return launched_;
   }
 

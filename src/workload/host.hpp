@@ -40,6 +40,13 @@ struct HostConfig {
   std::size_t response_packet_bytes = 1000;
 };
 
+/// Plain (non-atomic) counters — single-writer by construction.  Each Host
+/// belongs to exactly one sim::Simulator, and scenario::Runner parallelism
+/// is *between* sweep points: every point builds its own Internet (its own
+/// hosts) and runs its event loop on one thread, so these counters are only
+/// ever mutated from that thread.  Probe callbacks fire inside the same
+/// event loop.  Audited with the parallel Runner; do not share a Host across
+/// simulators.
 struct HostStats {
   std::uint64_t syns_received = 0;
   std::uint64_t connections_accepted = 0;
@@ -48,7 +55,11 @@ struct HostStats {
   std::uint64_t responses_received = 0;
 };
 
-class Host : public sim::Node {
+// `final`: deliver() is the per-packet hot path — every DNS answer, TCP
+// segment and response lands here, and the generator/session bookkeeping
+// calls back into the concrete class.  Sealing it lets those calls
+// devirtualize behind the workload::Traffic seam.
+class Host final : public sim::Node {
  public:
   Host(sim::Network& network, std::string name, net::Ipv4Address eid,
        HostConfig config, WorkloadMetrics* metrics);

@@ -32,6 +32,14 @@ struct SessionResult {
 };
 
 /// Shared collector; hosts report into it as sessions progress.
+///
+/// "Shared" means shared between the hosts (and the aggregate engine) of
+/// *one* experiment, never between threads: like HostStats (host.hpp), the
+/// counters are plain integers under the single-writer invariant — every
+/// caller runs inside the owning point's event loop, and scenario::Runner
+/// parallelism is between points, each with its own Simulator, hosts and
+/// collector.  CI's TSan job runs the parallel-Runner tests to keep the
+/// invariant honest.
 class WorkloadMetrics {
  public:
   void session_started(std::uint64_t id, sim::SimTime now) {
@@ -75,6 +83,37 @@ class WorkloadMetrics {
     ++completed_;
     starts_.erase(id);
   }
+
+  // -- Batch entry points (flow-aggregate engine) ---------------------------
+  // The closed-form session model books whole batches of identical outcomes;
+  // these advance the same counters and histograms the per-session calls do,
+  // in O(1) per batch.  No per-id start table: the aggregate engine computes
+  // T_setup directly.
+
+  void aggregate_sessions_started(std::uint64_t n) { sessions_started_ += n; }
+
+  void aggregate_dns_resolved(std::uint64_t n, sim::SimDuration t_dns) {
+    t_dns_.add_duration_n(t_dns, n);
+  }
+
+  void aggregate_connected(std::uint64_t n, sim::SimDuration t_connect,
+                           bool retransmitted) {
+    t_connect_.add_duration_n(t_connect, n);
+    if (retransmitted) {
+      syn_retransmissions_ += n;
+      sessions_with_retransmission_ += n;
+    }
+  }
+
+  /// Successful batches establish and complete in one step (the aggregate
+  /// model has no separate data phase).
+  void aggregate_established(std::uint64_t n, sim::SimDuration t_setup) {
+    t_setup_.add_duration_n(t_setup, n);
+    established_ += n;
+    completed_ += n;
+  }
+
+  void aggregate_connect_failed(std::uint64_t n) { connect_failures_ += n; }
 
   [[nodiscard]] const metrics::Histogram& t_dns() const noexcept { return t_dns_; }
   [[nodiscard]] const metrics::Histogram& t_connect() const noexcept {

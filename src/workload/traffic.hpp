@@ -1,0 +1,64 @@
+// traffic.hpp — the workload-engine seam.
+//
+// Two interchangeable engines drive the paper's session workload over a
+// built topology:
+//
+//   * workload::TrafficGenerator (generator.hpp) — the per-packet path:
+//     every session is a real DNS exchange, TCP handshake and data burst,
+//     one simulator event per packet.  Full protocol fidelity (nonces,
+//     retransmission timers, queue occupancy), cost linear in packets.
+//
+//   * workload::FlowAggregateEngine (aggregate.hpp) — the flow-aggregate
+//     path: one event per epoch carries flow *counts* per destination;
+//     map-cache misses, drops, SYN-retransmit penalties and TE splits are
+//     evaluated in closed form against the real map-caches and the real
+//     control plane.  Cost linear in (destinations x epochs), which is what
+//     lets e1/e3/e4 sweep 10k domains x 10^6+ flows.
+//
+// Scenario code talks to this seam only; benches pick the engine through
+// the workload::Mode axis on scenario::SweepSpec (Axis::workload_modes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lispcp::workload {
+
+/// Which engine drives the workload.
+enum class Mode {
+  kPacket,     ///< discrete per-packet simulation
+  kAggregate,  ///< flow-aggregate epochs (analytic per-flow accounting)
+};
+
+[[nodiscard]] constexpr const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kPacket: return "packet";
+    case Mode::kAggregate: return "aggregate";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<Mode> parse_mode(
+    std::string_view text) noexcept {
+  if (text == "packet") return Mode::kPacket;
+  if (text == "aggregate") return Mode::kAggregate;
+  return std::nullopt;
+}
+
+/// The engine seam: scenario::Experiment owns one Traffic per source domain
+/// and never looks behind it.
+class Traffic {
+ public:
+  virtual ~Traffic() = default;
+
+  /// Schedules the arrival process from the current simulation time.
+  virtual void start() = 0;
+
+  [[nodiscard]] virtual Mode mode() const noexcept = 0;
+
+  /// Sessions (flows) the arrival process has admitted so far.
+  [[nodiscard]] virtual std::uint64_t sessions_launched() const noexcept = 0;
+};
+
+}  // namespace lispcp::workload
