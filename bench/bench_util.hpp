@@ -19,6 +19,8 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
@@ -61,6 +63,10 @@ struct BenchOptions {
   std::size_t shards = 1;
   std::string json_path;
   std::string csv_path;
+  /// Wall-clock sidecar (TIMING_<id>.json) for the CI perf ratchet.  A
+  /// separate file — never part of BENCH_<id>.json — so the records stay
+  /// byte-comparable across machines and runs.
+  std::string timing_path;
   std::string filter;
   bool quick = false;
 };
@@ -99,6 +105,8 @@ inline BenchOptions parse_cli(int argc, char** argv) {
       options.json_path = value(i, "--json");
     } else if (arg == "--csv") {
       options.csv_path = value(i, "--csv");
+    } else if (arg == "--timing") {
+      options.timing_path = value(i, "--timing");
     } else if (arg == "--filter") {
       options.filter = value(i, "--filter");
     } else if (arg == "--quick") {
@@ -106,7 +114,7 @@ inline BenchOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--jobs N] [--shards K] [--json path] [--csv path]"
-                   " [--filter series] [--quick]\n";
+                   " [--timing path] [--filter series] [--quick]\n";
       std::exit(0);
     } else {
       std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
@@ -121,7 +129,9 @@ inline BenchOptions parse_cli(int argc, char** argv) {
 class BenchContext {
  public:
   BenchContext(std::string bench_id, BenchOptions options)
-      : bench_id_(std::move(bench_id)), options_(std::move(options)) {}
+      : bench_id_(std::move(bench_id)),
+        options_(std::move(options)),
+        started_(std::chrono::steady_clock::now()) {}
 
   [[nodiscard]] const BenchOptions& options() const noexcept { return options_; }
   [[nodiscard]] bool quick() const noexcept { return options_.quick; }
@@ -217,6 +227,23 @@ class BenchContext {
         os << "\n";
       }
     }
+    if (!options_.timing_path.empty()) {
+      std::ofstream os(options_.timing_path);
+      if (!os) {
+        std::cerr << "cannot open " << options_.timing_path << "\n";
+        std::exit(1);
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_)
+              .count();
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f", elapsed);
+      os << "{\"bench\": \"" << bench_id_ << "\", \"jobs\": " << options_.jobs
+         << ", \"shards\": " << options_.shards
+         << ", \"quick\": " << (options_.quick ? "true" : "false")
+         << ", \"elapsed_s\": " << buf << "}\n";
+    }
   }
 
  private:
@@ -238,6 +265,7 @@ class BenchContext {
 
   std::string bench_id_;
   BenchOptions options_;
+  std::chrono::steady_clock::time_point started_;
   /// Deque: run() hands out references that must survive later push_backs.
   std::deque<scenario::ResultSet> results_;
 };

@@ -24,6 +24,27 @@ Checks per bench id in the baseline:
 Usage:
   check_bench.py --dir build                 # verify against the baseline
   check_bench.py --dir build --update        # regenerate the baseline
+
+Perf ratchet (--ratchet): beyond the schema, CI also guards the *speed* of
+the hot paths.  The bench run archives two kinds of timing next to the
+records — BENCH_M1.json carries ns/op per micro, and each bench invoked
+with --timing writes a TIMING_<id>.json wall-clock sidecar (never part of
+BENCH_<id>.json, so records stay byte-comparable).  --ratchet compares both
+against the committed trajectory under bench/trajectory/, normalising by
+the "checksum/1500" anchor micro first: the anchor measures raw host speed
+(pure arithmetic, untouched by any optimisation here), so trajectory
+numbers recorded on one machine transfer to another.  A value is a
+regression when
+
+  current > archived * (anchor_now / anchor_archived) * tolerance
+
+with tolerance 1.75x for micros and 1.9x for wall-clock — both below 2x,
+so CI's injected-2x selftest (--inject 2.0, applied to everything except
+the anchor) must fail, proving the gate is live.
+
+  check_bench.py --dir build --ratchet             # gate against trajectory
+  check_bench.py --dir build --ratchet --inject 2  # selftest: must fail
+  check_bench.py --dir build --ratchet-update      # refresh the trajectory
 """
 
 import argparse
@@ -264,6 +285,167 @@ def check(directory, baseline):
     return problems
 
 
+# --- perf ratchet ------------------------------------------------------------
+
+RATCHET_ANCHOR = "checksum/1500"
+# Below 2.0 so the CI --inject 2.0 selftest must trip the gate.  Micros are
+# single-threaded and anchor-normalised, so 1.75x headroom absorbs quick-run
+# jitter; wall-clocks also see scheduler noise from --jobs, hence 1.9x.
+RATCHET_MICRO_TOLERANCE = 1.75
+RATCHET_WALL_TOLERANCE = 1.9
+RATCHET_WALL_BENCHES = ("F2", "E4")
+
+
+def m1_ns_per_op(directory):
+    """micro name -> ns/op from BENCH_M1.json's M1a series."""
+    artifact, error = load_artifact(directory / "BENCH_M1.json")
+    if error:
+        return None, f"BENCH_M1.json: {error}"
+    values = {}
+    for series in artifact.get("series", []):
+        if series.get("name") != "M1a":
+            continue
+        for point in series.get("points", []):
+            fields = point.get("fields", {})
+            micro = fields.get("micro")
+            ns = fields.get("ns/op")
+            if isinstance(micro, str) and isinstance(ns, (int, float)):
+                values[micro] = float(ns)
+    if not values:
+        return None, "BENCH_M1.json: no M1a micro timings"
+    return values, None
+
+
+def load_timing(directory, bench_id):
+    """Elapsed seconds from a TIMING_<id>.json wall-clock sidecar."""
+    path = directory / f"TIMING_{bench_id}.json"
+    artifact, error = load_artifact(path)
+    if error:
+        return None, f"{path.name}: {error}"
+    elapsed = artifact.get("elapsed_s")
+    if not isinstance(elapsed, (int, float)) or elapsed <= 0:
+        return None, f"{path.name}: missing or non-positive elapsed_s"
+    return float(elapsed), None
+
+
+def ratchet_update(directory, trajectory_dir):
+    values, error = m1_ns_per_op(directory)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    anchor = values.get(RATCHET_ANCHOR)
+    if anchor is None:
+        print(f"error: anchor micro '{RATCHET_ANCHOR}' absent from "
+              "BENCH_M1.json", file=sys.stderr)
+        return 1
+    trajectory_dir.mkdir(parents=True, exist_ok=True)
+    m1_path = trajectory_dir / "m1.json"
+    m1_path.write_text(
+        json.dumps({"bench": "M1", "anchor": RATCHET_ANCHOR,
+                    "anchor_ns_per_op": anchor, "ns_per_op": values},
+                   indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    written = [m1_path.name]
+    for bench_id in RATCHET_WALL_BENCHES:
+        elapsed, error = load_timing(directory, bench_id)
+        if error:
+            print(f"error: {error} (run the bench with --timing "
+                  f"TIMING_{bench_id}.json)", file=sys.stderr)
+            return 1
+        path = trajectory_dir / f"{bench_id.lower()}.json"
+        path.write_text(
+            json.dumps({"bench": bench_id, "anchor": RATCHET_ANCHOR,
+                        "anchor_ns_per_op": anchor, "elapsed_s": elapsed},
+                       indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        written.append(path.name)
+    print(f"wrote {trajectory_dir}/{{{', '.join(written)}}}")
+    return 0
+
+
+def ratchet_check(directory, trajectory_dir, inject):
+    problems = []
+    values, error = m1_ns_per_op(directory)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    anchor_now = values.get(RATCHET_ANCHOR)
+    if anchor_now is None:
+        print(f"error: anchor micro '{RATCHET_ANCHOR}' absent from "
+              "BENCH_M1.json", file=sys.stderr)
+        return 1
+
+    m1_trajectory, error = load_artifact(trajectory_dir / "m1.json")
+    if error:
+        print(f"error: {trajectory_dir}/m1.json: {error} "
+              "(seed it with --ratchet-update)", file=sys.stderr)
+        return 1
+    anchor_archived = m1_trajectory.get("anchor_ns_per_op")
+    if not isinstance(anchor_archived, (int, float)) or anchor_archived <= 0:
+        print(f"error: {trajectory_dir}/m1.json: bad anchor_ns_per_op",
+              file=sys.stderr)
+        return 1
+    speed = anchor_now / anchor_archived
+
+    archived_micros = m1_trajectory.get("ns_per_op", {})
+    checked = 0
+    for name, archived in sorted(archived_micros.items()):
+        current = values.get(name)
+        if current is None:
+            problems.append(
+                f"m1: micro '{name}' vanished from BENCH_M1.json "
+                "(refresh bench/trajectory/ with --ratchet-update if "
+                "intentional)")
+            continue
+        # The anchor normalises itself: skip the tautology (it would only
+        # re-test the inject factor).
+        if name == RATCHET_ANCHOR:
+            continue
+        allowed = archived * speed * RATCHET_MICRO_TOLERANCE
+        if current * inject > allowed:
+            problems.append(
+                f"m1: '{name}' regressed: {current * inject:.1f} ns/op vs "
+                f"allowed {allowed:.1f} (archived {archived:.1f}, host speed "
+                f"x{speed:.2f}, tolerance x{RATCHET_MICRO_TOLERANCE})")
+        checked += 1
+    for name in values:
+        if name not in archived_micros:
+            problems.append(
+                f"m1: micro '{name}' has no trajectory entry (archive it "
+                "with --ratchet-update)")
+
+    walls = 0
+    for bench_id in RATCHET_WALL_BENCHES:
+        trajectory, error = load_artifact(
+            trajectory_dir / f"{bench_id.lower()}.json")
+        if error:
+            problems.append(
+                f"{bench_id}: {trajectory_dir}/{bench_id.lower()}.json: "
+                f"{error} (seed it with --ratchet-update)")
+            continue
+        archived = trajectory.get("elapsed_s")
+        elapsed, error = load_timing(directory, bench_id)
+        if error:
+            problems.append(f"{bench_id}: {error}")
+            continue
+        allowed = archived * speed * RATCHET_WALL_TOLERANCE
+        if elapsed * inject > allowed:
+            problems.append(
+                f"{bench_id}: wall-clock regressed: {elapsed * inject:.2f}s "
+                f"vs allowed {allowed:.2f}s (archived {archived:.2f}s, host "
+                f"speed x{speed:.2f}, tolerance x{RATCHET_WALL_TOLERANCE})")
+        walls += 1
+
+    if problems:
+        print("perf ratchet FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"perf ratchet OK: {checked} micros and {walls} wall-clocks within "
+          f"tolerance (host speed x{speed:.2f} vs trajectory)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dir", default=".", type=pathlib.Path,
@@ -272,7 +454,24 @@ def main():
                         default=pathlib.Path(__file__).with_name("bench_schema.json"))
     parser.add_argument("--update", action="store_true",
                         help="regenerate the schema baseline from --dir")
+    parser.add_argument("--trajectory", type=pathlib.Path,
+                        default=pathlib.Path(__file__).with_name("trajectory"),
+                        help="directory holding the perf-ratchet trajectory")
+    parser.add_argument("--ratchet", action="store_true",
+                        help="gate BENCH_M1 ns/op and TIMING_* wall-clocks "
+                             "against the archived trajectory")
+    parser.add_argument("--ratchet-update", action="store_true",
+                        help="archive the current run as the new trajectory")
+    parser.add_argument("--inject", type=float, default=1.0,
+                        help="multiply measured values (not the anchor) by "
+                             "this factor; CI uses 2.0 to prove the ratchet "
+                             "trips")
     args = parser.parse_args()
+
+    if args.ratchet_update:
+        return ratchet_update(args.dir, args.trajectory)
+    if args.ratchet:
+        return ratchet_check(args.dir, args.trajectory, args.inject)
 
     if args.update:
         schema = build_schema(args.dir)

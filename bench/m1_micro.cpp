@@ -17,11 +17,16 @@
 #include <cstdint>
 #include <functional>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/arena.hpp"
+#include "core/flat_map.hpp"
+#include "core/inline_function.hpp"
 #include "dns/message.hpp"
 #include "lisp/control.hpp"
 #include "lisp/map_cache.hpp"
@@ -29,6 +34,7 @@
 #include "net/packet.hpp"
 #include "net/prefix_trie.hpp"
 #include "pcep/messages.hpp"
+#include "routing/as_graph.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/shard_queue.hpp"
@@ -213,6 +219,134 @@ std::vector<Micro> registry() {
       }
     });
   }});
+
+  // -- PR-7 speed-program pairs: each optimisation next to the layout it
+  // replaced, so the artifact carries the speedup ratio directly. ---------
+
+  // Event-record allocation over the queue's live-window profile (~256 in
+  // flight): one heap shared_ptr + std::function per event (the seed
+  // layout) vs a slab pool slot with an inline-capture action (the arena
+  // layout sim::EventQueue now uses).
+  micros.push_back({"event alloc/make-shared", [] {
+    struct HeapRecord {
+      std::function<void()> action;
+      bool cancelled = false;
+      bool daemon = false;
+    };
+    return std::function<void(std::uint64_t)>([](std::uint64_t iters) {
+      std::vector<std::shared_ptr<HeapRecord>> live(256);
+      for (auto& record : live) {
+        record = std::make_shared<HeapRecord>();
+        record->action = [] {};
+      }
+      std::size_t head = 0;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        auto record = std::make_shared<HeapRecord>();
+        record->action = [] {};
+        live[head] = std::move(record);  // frees the displaced record
+        head = (head + 1) % live.size();
+      }
+      keep(live[head]);
+    });
+  }});
+
+  micros.push_back({"event alloc/arena", [] {
+    struct PoolRecord {
+      core::InlineFunction<void(), 88> action;
+      bool cancelled = false;
+      bool daemon = false;
+    };
+    return std::function<void(std::uint64_t)>([](std::uint64_t iters) {
+      core::Pool<PoolRecord> pool;
+      std::vector<std::uint32_t> live(256);
+      for (auto& slot : live) {
+        slot = pool.allocate();
+        pool[slot].action = [] {};
+      }
+      std::size_t head = 0;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        pool.release(live[head]);
+        const std::uint32_t index = pool.allocate();
+        pool[index].action = [] {};
+        live[head] = index;
+        head = (head + 1) % live.size();
+      }
+      keep(pool.live());
+    });
+  }});
+
+  // The RIB decision scan: per-prefix best-route lookups against a 16k-entry
+  // table — node-based std::map (the seed BgpSpeaker layout) vs the
+  // open-addressing core::FlatMap the RIBs use now.
+  {
+    constexpr int kRoutes = 16384;
+    const auto route_prefix = [](int i) {
+      return net::Ipv4Prefix(
+          net::Ipv4Address(100, static_cast<std::uint8_t>(i / 256),
+                           static_cast<std::uint8_t>(i % 256), 0),
+          24);
+    };
+    micros.push_back({"rib scan/std-map", [route_prefix] {
+      auto rib = std::make_shared<std::map<net::Ipv4Prefix, std::uint64_t>>();
+      for (int i = 0; i < kRoutes; ++i) {
+        rib->emplace(route_prefix(i), static_cast<std::uint64_t>(i));
+      }
+      return std::function<void(std::uint64_t)>(
+          [rib, route_prefix](std::uint64_t iters) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              const auto it =
+                  rib->find(route_prefix(static_cast<int>((i * 40503u) % kRoutes)));
+              if (it != rib->end()) sum += it->second;
+            }
+            keep(sum);
+          });
+    }});
+
+    micros.push_back({"rib scan/flat", [route_prefix] {
+      auto rib =
+          std::make_shared<core::FlatMap<net::Ipv4Prefix, std::uint64_t>>();
+      for (int i = 0; i < kRoutes; ++i) {
+        rib->insert_or_assign(route_prefix(i), static_cast<std::uint64_t>(i));
+      }
+      return std::function<void(std::uint64_t)>(
+          [rib, route_prefix](std::uint64_t iters) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              const auto* value =
+                  rib->find(route_prefix(static_cast<int>((i * 40503u) % kRoutes)));
+              if (value != nullptr) sum += *value;
+            }
+            keep(sum);
+          });
+    }});
+  }
+
+  // Building the F2 synthetic Internet from scratch vs forking the shared
+  // copy-on-write snapshot (what every same-shape sweep point after the
+  // first now does inside Runner::run's scope).
+  {
+    routing::SyntheticInternetConfig config;
+    config.stub_count = 200;
+    micros.push_back({"internet build/full", [config] {
+      return std::function<void(std::uint64_t)>([config](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          keep(routing::build_synthetic_internet(config).size());
+        }
+      });
+    }});
+
+    micros.push_back({"internet fork/cow", [config] {
+      auto scope = std::make_shared<routing::SyntheticInternetScope>();
+      const auto primed = routing::shared_synthetic_internet(config);
+      return std::function<void(std::uint64_t)>(
+          [scope, primed, config](std::uint64_t iters) {
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              keep(routing::shared_synthetic_internet(config).get());
+            }
+          });
+    }});
+  }
 
   micros.push_back({"event-queue schedule+fire", [] {
     return std::function<void(std::uint64_t)>([](std::uint64_t iters) {

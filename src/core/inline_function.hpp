@@ -1,0 +1,123 @@
+// inline_function.hpp — a move-only callable with inline capture storage.
+//
+// std::function's small-buffer optimisation (16 bytes in libstdc++) is too
+// small for the event closures the simulators enqueue: a BGP delivery
+// captures {fabric, from, to, message} and a packet hop captures a
+// shared_ptr plus endpoints, so every schedule() paid a heap allocation
+// per event.  This type keeps captures up to `Capacity` bytes inline in
+// the enqueued entry itself — the event queues' dominant allocation
+// disappears — and transparently falls back to the heap for oversized
+// captures, so no caller ever has to size its lambda.
+//
+// Move-only by design: event actions are consumed exactly once, and
+// requiring copyability (as std::function does) would forbid captured
+// move-only state.  Any copyable callable that fits std::function also
+// fits here.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lispcp::core {
+
+template <typename Signature, std::size_t Capacity = 88>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit like std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* dst) {
+        Fn* fn = std::launder(reinterpret_cast<Fn*>(s));
+        if (op == Op::kMove) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      // Oversized capture: one allocation, exactly what std::function paid.
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* dst) {
+        Fn** slot = std::launder(reinterpret_cast<Fn**>(s));
+        if (op == Op::kMove) {
+          ::new (dst) Fn*(*slot);
+        } else {
+          delete *slot;
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = R (*)(void*, Args&&...);
+  using Manage = void (*)(Op, void* src, void* dst);
+
+  void take(InlineFunction& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kMove, other.storage_, storage_);
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace lispcp::core

@@ -1,0 +1,82 @@
+// snapshot_cache.hpp — scope-gated sharing of immutable world snapshots.
+//
+// Sweep points that differ only in protocol knobs rebuild identical
+// topology-shaped state from scratch: the F2 DFZ points re-run
+// build_synthetic_internet for every (scenario, deagg) arm of the same stub
+// count, and every Experiment re-derives the same DNS name tables for its
+// domain count.  This cache lets the first point of a shape publish the
+// immutable part as a shared snapshot that every later point forks from
+// (shared_ptr<const Value> — copy-on-write in the only sense the
+// simulators need: the shared part is never written, each point builds its
+// own mutable state on top).
+//
+// Caching is *scoped*: entries are retained only while at least one Scope
+// object is alive.  scenario::Runner::run opens a Scope around its point
+// loop, so sweeps share snapshots across points and workers, while
+// stand-alone constructions (tests, single studies) build privately and
+// keep no global state alive.  Thread-safe; a build in progress holds the
+// lock, so concurrent workers requesting the same shape wait and then
+// share instead of duplicating the build.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace lispcp::core {
+
+template <typename Key, typename Value>
+class SnapshotCache {
+ public:
+  /// Retains cache entries while alive (see file comment).
+  class Scope {
+   public:
+    explicit Scope(SnapshotCache& cache) : cache_(cache) {
+      std::lock_guard<std::mutex> lock(cache_.mu_);
+      ++cache_.scopes_;
+    }
+    ~Scope() {
+      std::lock_guard<std::mutex> lock(cache_.mu_);
+      if (--cache_.scopes_ == 0) cache_.entries_.clear();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SnapshotCache& cache_;
+  };
+
+  /// The snapshot for `key`, building it with `build()` on first request.
+  /// Outside any Scope the build is private and nothing is retained.
+  template <typename Build>
+  [[nodiscard]] std::shared_ptr<const Value> acquire(const Key& key,
+                                                     Build&& build) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (scopes_ == 0) {
+      lock.unlock();
+      return std::make_shared<const Value>(build());
+    }
+    for (const auto& [cached_key, snapshot] : entries_) {
+      if (cached_key == key) return snapshot;
+    }
+    // Shapes per sweep number in the tens; a linear scan beats requiring
+    // every key type to be hashable.  Built under the lock so concurrent
+    // workers share the first build instead of racing duplicates.
+    auto snapshot = std::make_shared<const Value>(build());
+    entries_.emplace_back(key, snapshot);
+    return snapshot;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int scopes_ = 0;
+  std::vector<std::pair<Key, std::shared_ptr<const Value>>> entries_;
+};
+
+}  // namespace lispcp::core

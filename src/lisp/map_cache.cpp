@@ -1,54 +1,47 @@
 #include "lisp/map_cache.hpp"
 
 #include <algorithm>
-#include <vector>
 
 namespace lispcp::lisp {
 
-std::optional<MapEntry> MapCache::lookup(net::Ipv4Address eid, sim::SimTime now) {
-  return lookup_batch(eid, 1, now);
-}
-
-std::optional<MapEntry> MapCache::lookup_batch(net::Ipv4Address eid,
-                                               std::uint64_t count,
-                                               sim::SimTime now) {
+const MapEntry* MapCache::lookup_batch(net::Ipv4Address eid, std::uint64_t count,
+                                       sim::SimTime now) {
   stats_.lookups += count;
-  const net::Ipv4Prefix* key = index_.lookup(eid);
-  if (key == nullptr) {
+  const std::uint32_t* slot_index = index_.lookup(eid);
+  if (slot_index == nullptr) {
     stats_.misses_absent += count;
-    return std::nullopt;
+    return nullptr;
   }
-  auto it = entries_.find(*key);
-  if (it == entries_.end()) {
-    // Index and map out of sync would be a bug; treat as absent defensively.
-    stats_.misses_absent += count;
-    return std::nullopt;
-  }
-  if (it->second.expiry <= now) {
+  Slot& slot = slots_[*slot_index];
+  if (slot.expiry <= now) {
     stats_.misses_expired += count;
-    erase(*key);
-    return std::nullopt;
+    erase_slot(*slot_index);
+    return nullptr;
   }
-  touch(it->second);
+  touch(*slot_index);
   stats_.hits += count;
-  return it->second.entry;
+  return &slot.entry;
 }
 
 void MapCache::insert(const MapEntry& entry, sim::SimTime now) {
   const auto expiry = now + sim::SimDuration::seconds(entry.ttl_seconds);
-  auto it = entries_.find(entry.eid_prefix);
-  if (it != entries_.end()) {
-    unindex_rlocs(it->second.entry);
-    it->second.entry = entry;
-    it->second.expiry = expiry;
+  if (const std::uint32_t* existing = by_prefix_.find(entry.eid_prefix)) {
+    Slot& slot = slots_[*existing];
+    unindex_rlocs(slot.entry);
+    slot.entry = entry;
+    slot.expiry = expiry;
     index_rlocs(entry);
-    touch(it->second);
+    touch(*existing);
     ++stats_.updates;
     return;
   }
-  lru_.push_front(entry.eid_prefix);
-  entries_.emplace(entry.eid_prefix, Stored{entry, expiry, lru_.begin()});
-  index_.insert(entry.eid_prefix, entry.eid_prefix);
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.entry = entry;
+  slot.expiry = expiry;
+  link_front(index);
+  by_prefix_.insert_or_assign(entry.eid_prefix, index);
+  index_.insert(entry.eid_prefix, index);
   index_rlocs(entry);
   ++stats_.inserts;
   evict_if_needed();
@@ -56,9 +49,9 @@ void MapCache::insert(const MapEntry& entry, sim::SimTime now) {
 
 bool MapCache::set_rloc_reachability(const net::Ipv4Prefix& prefix,
                                      net::Ipv4Address rloc, bool reachable) {
-  auto it = entries_.find(prefix);
-  if (it == entries_.end()) return false;
-  for (auto& r : it->second.entry.rlocs) {
+  const std::uint32_t* index = by_prefix_.find(prefix);
+  if (index == nullptr) return false;
+  for (auto& r : slots_[*index].entry.rlocs) {
     if (r.address == rloc) {
       r.reachable = reachable;
       return true;
@@ -69,52 +62,112 @@ bool MapCache::set_rloc_reachability(const net::Ipv4Prefix& prefix,
 
 std::size_t MapCache::set_rloc_reachability_all(net::Ipv4Address rloc,
                                                 bool reachable) {
-  const auto indexed = rloc_index_.find(rloc);
-  if (indexed == rloc_index_.end()) return 0;
+  const auto* prefixes = rloc_index_.find(rloc);
+  if (prefixes == nullptr) return 0;
   std::size_t touched = 0;
-  for (const auto& prefix : indexed->second) {
-    auto it = entries_.find(prefix);
-    if (it == entries_.end()) continue;  // defensive; index mirrors entries_
-    for (auto& r : it->second.entry.rlocs) {
+  // Slot-order visit is fine here: each entry's flip is independent and
+  // idempotent, so the order entries are touched in is unobservable.
+  prefixes->for_each([&](const net::Ipv4Prefix& prefix) {
+    const std::uint32_t* index = by_prefix_.find(prefix);
+    if (index == nullptr) return;  // defensive; index mirrors the table
+    for (auto& r : slots_[*index].entry.rlocs) {
       if (r.address == rloc && r.reachable != reachable) {
         r.reachable = reachable;
         ++touched;
       }
     }
-  }
+  });
   return touched;
 }
 
 std::vector<net::Ipv4Address> MapCache::distinct_rlocs() const {
-  std::vector<net::Ipv4Address> out;
-  out.reserve(rloc_index_.size());
-  for (const auto& [rloc, prefixes] : rloc_index_) {
-    (void)prefixes;
-    out.push_back(rloc);
-  }
-  return out;
+  return rloc_index_.sorted_keys();
 }
 
 std::size_t MapCache::entries_referencing(net::Ipv4Address rloc) const {
-  const auto it = rloc_index_.find(rloc);
-  return it == rloc_index_.end() ? 0 : it->second.size();
+  const auto* prefixes = rloc_index_.find(rloc);
+  return prefixes == nullptr ? 0 : prefixes->size();
 }
 
 bool MapCache::erase(const net::Ipv4Prefix& prefix) {
-  auto it = entries_.find(prefix);
-  if (it == entries_.end()) return false;
-  unindex_rlocs(it->second.entry);
-  lru_.erase(it->second.lru_position);
-  index_.erase(prefix);
-  entries_.erase(it);
+  const std::uint32_t* index = by_prefix_.find(prefix);
+  if (index == nullptr) return false;
+  erase_slot(*index);
   return true;
 }
 
 void MapCache::clear() {
-  entries_.clear();
-  lru_.clear();
+  slots_.clear();
+  free_.clear();
+  live_ = 0;
+  lru_head_ = kNone;
+  lru_tail_ = kNone;
   index_.clear();
+  by_prefix_.clear();
   rloc_index_.clear();
+}
+
+std::uint32_t MapCache::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    ++live_;
+    return index;
+  }
+  const auto index = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  ++live_;
+  return index;
+}
+
+void MapCache::erase_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  unindex_rlocs(slot.entry);
+  unlink(index);
+  index_.erase(slot.entry.eid_prefix);
+  by_prefix_.erase(slot.entry.eid_prefix);
+  // The retired slot keeps its MapEntry (and the rlocs vector's capacity);
+  // the next acquire_slot() overwrites it by assignment.
+  free_.push_back(index);
+  --live_;
+}
+
+void MapCache::touch(std::uint32_t index) {
+  if (lru_head_ == index) return;
+  unlink(index);
+  link_front(index);
+}
+
+void MapCache::link_front(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.lru_prev = kNone;
+  slot.lru_next = lru_head_;
+  if (lru_head_ != kNone) slots_[lru_head_].lru_prev = index;
+  lru_head_ = index;
+  if (lru_tail_ == kNone) lru_tail_ = index;
+}
+
+void MapCache::unlink(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  if (slot.lru_prev != kNone) {
+    slots_[slot.lru_prev].lru_next = slot.lru_next;
+  } else if (lru_head_ == index) {
+    lru_head_ = slot.lru_next;
+  }
+  if (slot.lru_next != kNone) {
+    slots_[slot.lru_next].lru_prev = slot.lru_prev;
+  } else if (lru_tail_ == index) {
+    lru_tail_ = slot.lru_prev;
+  }
+  slot.lru_prev = kNone;
+  slot.lru_next = kNone;
+}
+
+void MapCache::evict_if_needed() {
+  while (capacity_ != 0 && live_ > capacity_) {
+    erase_slot(lru_tail_);
+    ++stats_.evictions;
+  }
 }
 
 void MapCache::index_rlocs(const MapEntry& entry) {
@@ -125,23 +178,10 @@ void MapCache::index_rlocs(const MapEntry& entry) {
 
 void MapCache::unindex_rlocs(const MapEntry& entry) {
   for (const auto& rloc : entry.rlocs) {
-    auto it = rloc_index_.find(rloc.address);
-    if (it == rloc_index_.end()) continue;
-    it->second.erase(entry.eid_prefix);
-    if (it->second.empty()) rloc_index_.erase(it);
-  }
-}
-
-void MapCache::touch(Stored& stored) {
-  lru_.splice(lru_.begin(), lru_, stored.lru_position);
-  stored.lru_position = lru_.begin();
-}
-
-void MapCache::evict_if_needed() {
-  while (capacity_ != 0 && entries_.size() > capacity_) {
-    const net::Ipv4Prefix victim = lru_.back();
-    erase(victim);
-    ++stats_.evictions;
+    core::FlatSet<net::Ipv4Prefix>* prefixes = rloc_index_.find(rloc.address);
+    if (prefixes == nullptr) continue;
+    prefixes->erase(entry.eid_prefix);
+    if (prefixes->empty()) rloc_index_.erase(rloc.address);
   }
 }
 

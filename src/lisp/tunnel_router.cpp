@@ -486,8 +486,8 @@ const FlowMapping* TunnelRouter::find_flow_mapping(
 // Flow-aggregate surface
 // ---------------------------------------------------------------------------
 
-std::optional<MapEntry> TunnelRouter::aggregate_lookup(net::Ipv4Address eid,
-                                                       std::uint64_t flows) {
+const MapEntry* TunnelRouter::aggregate_lookup(net::Ipv4Address eid,
+                                               std::uint64_t flows) {
   return cache_.lookup_batch(eid, flows, sim().now());
 }
 

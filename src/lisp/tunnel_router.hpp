@@ -201,8 +201,9 @@ class TunnelRouter final : public sim::Node {
   // -- Flow-aggregate surface (workload::FlowAggregateEngine) ---------------
   /// Batch map-cache probe: one LPM walk, `flows` lookups' worth of stats.
   /// Does not start a resolution — pair with aggregate_resolve() on miss.
-  [[nodiscard]] std::optional<MapEntry> aggregate_lookup(net::Ipv4Address eid,
-                                                         std::uint64_t flows);
+  /// The returned view is valid until the cache's next mutating call.
+  [[nodiscard]] const MapEntry* aggregate_lookup(net::Ipv4Address eid,
+                                                 std::uint64_t flows);
 
   /// Joins (or starts) the resolution episode for `eid` exactly as a missed
   /// packet would — Map-Request, retry timers and push timeouts are the same

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "core/arena.hpp"
+
 namespace lispcp::routing {
 
 namespace {
+
+/// Retired UpdateMessage shells, buffers intact: a flush reuses the vector
+/// capacity a delivered message gave back instead of growing from zero.
+/// Thread-local because shard workers flush and deliver concurrently; a
+/// message released on the delivery thread simply seeds that worker's own
+/// recycler.
+core::Recycler<UpdateMessage>& message_recycler() {
+  thread_local core::Recycler<UpdateMessage> recycler;
+  return recycler;
+}
 
 /// Relationship preference in the decision process: higher wins.  Locally
 /// originated routes outrank everything a neighbor could say.
@@ -59,15 +71,11 @@ void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
 
 const BgpSpeaker::BestRoute* BgpSpeaker::best(
     const net::Ipv4Prefix& prefix) const {
-  auto it = loc_rib_.find(prefix);
-  return it == loc_rib_.end() ? nullptr : &it->second;
+  return loc_rib_.find(prefix);
 }
 
 std::vector<net::Ipv4Prefix> BgpSpeaker::rib_prefixes() const {
-  std::vector<net::Ipv4Prefix> out;
-  out.reserve(loc_rib_.size());
-  for (const auto& [prefix, route] : loc_rib_) out.push_back(prefix);
-  return out;
+  return loc_rib_.sorted_keys();
 }
 
 void BgpSpeaker::decide(const net::Ipv4Prefix& prefix) {
@@ -93,25 +101,25 @@ void BgpSpeaker::decide(const net::Ipv4Prefix& prefix) {
   for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
     auto adj = adj_in_.find(neighbor.asn);
     if (adj == adj_in_.end()) continue;
-    auto route = adj->second.routes.find(prefix);
-    if (route == adj->second.routes.end()) continue;
-    BestRoute candidate{route->second, neighbor.asn, neighbor.kind,
+    const std::vector<AsNumber>* route = adj->second.routes.find(prefix);
+    if (route == nullptr) continue;
+    BestRoute candidate{*route, neighbor.asn, neighbor.kind,
                         /*local_origin=*/false};
     if (!winner || better(candidate, *winner)) winner = std::move(candidate);
   }
 
-  const auto installed = loc_rib_.find(prefix);
-  const bool had = installed != loc_rib_.end();
+  const BestRoute* installed = loc_rib_.find(prefix);
+  const bool had = installed != nullptr;
   if (!winner) {
     if (!had) return;
-    loc_rib_.erase(installed);
+    loc_rib_.erase(prefix);
     ++stats_.best_changes;
     for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
       enqueue(neighbor.asn, prefix, std::nullopt);
     }
     return;
   }
-  if (had && same_route(installed->second, *winner)) return;
+  if (had && same_route(*installed, *winner)) return;
 
   loc_rib_[prefix] = *winner;
   ++stats_.best_changes;
@@ -145,13 +153,12 @@ void BgpSpeaker::enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
                          std::optional<RouteAdvert> advert) {
   Outbound& out = outbound_[neighbor];
   if (!advert.has_value()) {
-    const auto pending = out.pending.find(prefix);
-    const bool pending_announce =
-        pending != out.pending.end() && pending->second.has_value();
+    const std::optional<RouteAdvert>* pending = out.pending.find(prefix);
+    const bool pending_announce = pending != nullptr && pending->has_value();
     if (pending_announce) {
       // The announce never left this router: just cancel it.  A withdraw is
       // still owed if an *earlier* flush advertised the prefix.
-      out.pending.erase(pending);
+      out.pending.erase(prefix);
     }
     if (out.advertised.contains(prefix)) {
       out.pending[prefix] = std::nullopt;
@@ -171,8 +178,15 @@ void BgpSpeaker::flush(AsNumber neighbor) {
   Outbound& out = outbound_[neighbor];
   out.mrai_armed = false;
   if (out.pending.empty()) return;
-  UpdateMessage message;
-  for (auto& [prefix, advert] : out.pending) {
+  // Sorted snapshot: the wire order (ascending prefix) is part of the
+  // byte-identical-records contract and must not depend on table layout.
+  const std::vector<net::Ipv4Prefix> prefixes = out.pending.sorted_keys();
+  UpdateMessage message = message_recycler().acquire();
+  message.announces.clear();
+  message.withdraws.clear();
+  message.announces.reserve(prefixes.size());
+  for (const net::Ipv4Prefix& prefix : prefixes) {
+    std::optional<RouteAdvert>& advert = *out.pending.find(prefix);
     if (advert.has_value()) {
       message.announces.push_back(std::move(*advert));
       out.advertised.insert(prefix);
@@ -248,16 +262,19 @@ sim::SimDuration BgpFabric::session_delay(AsNumber a, AsNumber b) const {
 }
 
 void BgpFabric::send(AsNumber from, AsNumber to, UpdateMessage message) {
-  auto shared = std::make_shared<UpdateMessage>(std::move(message));
+  // The message rides inside the event's inline capture — no shared_ptr,
+  // no per-message heap allocation — and its shell (vector buffers) is
+  // retired to the delivering worker's recycler after the update lands.
   engine_.schedule(to, session_delay(from, to),
                    ConvergenceEngine::delivery_tag(from, to),
-                   [this, from, to, shared] {
-                     speaker(to).handle_update(from, *shared);
+                   [this, from, to, message = std::move(message)]() mutable {
+                     speaker(to).handle_update(from, message);
+                     message_recycler().release(std::move(message));
                    });
 }
 
 void BgpFabric::arm_mrai(AsNumber owner, AsNumber neighbor,
-                         std::function<void()> flush) {
+                         sim::EventAction flush) {
   engine_.schedule(owner, config_.mrai,
                    ConvergenceEngine::timer_tag(owner, neighbor),
                    std::move(flush));
@@ -267,24 +284,28 @@ sim::SimTime BgpFabric::run_to_convergence(std::uint64_t max_events) {
   return engine_.run(max_events);
 }
 
+// The totals are commutative sums, so any walk order gives the same value;
+// they still walk in graph order as part of the repo-wide rule that no
+// observable output may be produced by iterating an unordered container.
+
 std::uint64_t BgpFabric::total_updates_sent() const {
   std::uint64_t total = 0;
-  for (const auto& [asn, speaker] : speakers_) total += speaker->stats().updates_sent;
+  for (AsNumber asn : graph_.ases()) total += speaker(asn).stats().updates_sent;
   return total;
 }
 
 std::uint64_t BgpFabric::total_routes_announced() const {
   std::uint64_t total = 0;
-  for (const auto& [asn, speaker] : speakers_) {
-    total += speaker->stats().routes_announced;
+  for (AsNumber asn : graph_.ases()) {
+    total += speaker(asn).stats().routes_announced;
   }
   return total;
 }
 
 std::uint64_t BgpFabric::total_routes_withdrawn() const {
   std::uint64_t total = 0;
-  for (const auto& [asn, speaker] : speakers_) {
-    total += speaker->stats().routes_withdrawn;
+  for (AsNumber asn : graph_.ases()) {
+    total += speaker(asn).stats().routes_withdrawn;
   }
   return total;
 }

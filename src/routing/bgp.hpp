@@ -27,13 +27,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.hpp"
 #include "net/ipv4.hpp"
 #include "routing/as_graph.hpp"
 #include "routing/shard_engine.hpp"
@@ -113,7 +112,8 @@ class BgpSpeaker {
   /// Loc-RIB size: the DFZ table when this AS is a tier-1.
   [[nodiscard]] std::size_t rib_size() const noexcept { return loc_rib_.size(); }
 
-  /// All Loc-RIB prefixes (deterministic order: map is ordered).
+  /// All Loc-RIB prefixes, ascending (a sorted snapshot of the flat table —
+  /// the same order the former std::map RIB iterated in).
   [[nodiscard]] std::vector<net::Ipv4Prefix> rib_prefixes() const;
 
   [[nodiscard]] const BgpSpeakerStats& stats() const noexcept { return stats_; }
@@ -134,14 +134,21 @@ class BgpSpeaker {
   BgpFabric& fabric_;
   AsNumber asn_;
 
+  // The RIB tables are open-addressing flat maps (core/flat_map.hpp): the
+  // decision process and update handling only ever do point lookups, and
+  // the two order-sensitive edges — MRAI flush emission and rib_prefixes()
+  // — take an explicit sorted snapshot, so the emitted bytes match the
+  // former std::map tables exactly while the hot path stops chasing
+  // red-black-tree nodes.
+
   /// Adj-RIB-In: per neighbor, the paths it advertised.
   struct AdjIn {
-    std::map<net::Ipv4Prefix, std::vector<AsNumber>> routes;
+    core::FlatMap<net::Ipv4Prefix, std::vector<AsNumber>> routes;
   };
   std::unordered_map<AsNumber, AdjIn> adj_in_;
 
-  std::map<net::Ipv4Prefix, BestRoute> loc_rib_;
-  std::set<net::Ipv4Prefix> origins_;
+  core::FlatMap<net::Ipv4Prefix, BestRoute> loc_rib_;
+  core::FlatSet<net::Ipv4Prefix> origins_;
 
   /// Pending outbound deltas per neighbor: nullopt value = withdraw.
   /// `advertised` is the Adj-RIB-Out ledger, kept so a route that was never
@@ -150,8 +157,8 @@ class BgpSpeaker {
   /// nothing pending is a no-op, exactly like the un-cancelled timer of
   /// the old event-handle scheme).
   struct Outbound {
-    std::map<net::Ipv4Prefix, std::optional<RouteAdvert>> pending;
-    std::set<net::Ipv4Prefix> advertised;
+    core::FlatMap<net::Ipv4Prefix, std::optional<RouteAdvert>> pending;
+    core::FlatSet<net::Ipv4Prefix> advertised;
     bool mrai_armed = false;
   };
   std::unordered_map<AsNumber, Outbound> outbound_;
@@ -187,8 +194,7 @@ class BgpFabric {
   void send(AsNumber from, AsNumber to, UpdateMessage message);
 
   /// Arms `owner`'s MRAI flush timer toward `neighbor` (speaker plumbing).
-  void arm_mrai(AsNumber owner, AsNumber neighbor,
-                std::function<void()> flush);
+  void arm_mrai(AsNumber owner, AsNumber neighbor, sim::EventAction flush);
 
   /// Runs the engine until no work remains on any shard, i.e. until the
   /// protocol has converged.  Returns the convergence instant.

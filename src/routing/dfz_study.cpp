@@ -32,7 +32,10 @@ constexpr int kProviderAggregateLength = 12;
 }
 
 struct BuiltStudy {
-  AsGraph graph;
+  /// Shared immutable topology (copy-on-write fork: every point of a sweep
+  /// with the same SyntheticInternetConfig reads one graph; the mutable
+  /// per-run state — speakers, RIBs, queues — lives in the fabric).
+  std::shared_ptr<const AsGraph> graph;
   std::unique_ptr<BgpFabric> fabric;
   std::size_t origin_prefixes = 0;
   std::size_t mapping_entries = 0;
@@ -47,14 +50,14 @@ struct BuiltStudy {
         "DfzStudy: deaggregation_factor must be a power of two <= 4096");
   }
   auto study = std::make_unique<BuiltStudy>();
-  study->graph = build_synthetic_internet(config.internet);
-  study->fabric = std::make_unique<BgpFabric>(study->graph, config.bgp);
+  study->graph = shared_synthetic_internet(config.internet);
+  study->fabric = std::make_unique<BgpFabric>(*study->graph, config.bgp);
 
-  for (AsNumber provider : providers_of(study->graph)) {
+  for (AsNumber provider : providers_of(*study->graph)) {
     study->fabric->speaker(provider).originate(provider_aggregate(provider));
     ++study->origin_prefixes;
   }
-  const auto stubs = study->graph.ases_of_tier(AsTier::kStub);
+  const auto stubs = study->graph->ases_of_tier(AsTier::kStub);
   for (std::size_t i = 0; i < stubs.size(); ++i) {
     const auto prefixes = stub_site_prefixes(i, config.deaggregation_factor);
     if (config.scenario == AddressingScenario::kLegacyBgp) {
@@ -128,17 +131,17 @@ DfzStudyResult run_dfz_study(const DfzStudyConfig& config) {
   result.route_records = study->fabric->total_routes_announced();
   result.convergence_ms = converged.ms();
 
-  const auto tier1s = study->graph.ases_of_tier(AsTier::kTier1);
+  const auto tier1s = study->graph->ases_of_tier(AsTier::kTier1);
   result.dfz_table_size = study->fabric->speaker(tier1s.front()).rib_size();
 
   std::uint64_t total = 0;
-  for (AsNumber asn : study->graph.ases()) {
+  for (AsNumber asn : study->graph->ases()) {
     const std::size_t size = study->fabric->speaker(asn).rib_size();
     total += size;
     result.max_rib_size = std::max(result.max_rib_size, size);
   }
   result.mean_rib_size =
-      static_cast<double>(total) / static_cast<double>(study->graph.size());
+      static_cast<double>(total) / static_cast<double>(study->graph->size());
   return result;
 }
 
@@ -159,7 +162,7 @@ RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
   const std::uint64_t records_before = study->fabric->total_routes_announced() +
                                        study->fabric->total_routes_withdrawn();
   std::unordered_map<std::uint32_t, std::uint64_t> changes_before;
-  for (AsNumber asn : study->graph.ases()) {
+  for (AsNumber asn : study->graph->ases()) {
     changes_before[asn.value()] =
         study->fabric->speaker(asn).stats().best_changes;
   }
@@ -168,7 +171,7 @@ RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
   // The flap: the first stub takes its prefixes down (converge), then brings
   // them back (converge) — the BGP cost of swinging ingress traffic that the
   // paper's CP replaces with a mapping push.
-  const auto stubs = study->graph.ases_of_tier(AsTier::kStub);
+  const auto stubs = study->graph->ases_of_tier(AsTier::kStub);
   const auto prefixes = stub_site_prefixes(0, config.deaggregation_factor);
   BgpSpeaker& mover = study->fabric->speaker(stubs.front());
   for (const net::Ipv4Prefix& prefix : prefixes) mover.withdraw_origin(prefix);
@@ -180,7 +183,7 @@ RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
   result.route_records = study->fabric->total_routes_announced() +
                          study->fabric->total_routes_withdrawn() - records_before;
   result.settle_ms = (study->fabric->now() - t0).ms();
-  for (AsNumber asn : study->graph.ases()) {
+  for (AsNumber asn : study->graph->ases()) {
     if (study->fabric->speaker(asn).stats().best_changes >
         changes_before[asn.value()]) {
       ++result.ases_touched;

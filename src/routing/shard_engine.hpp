@@ -39,7 +39,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -99,7 +98,7 @@ class ConvergenceEngine {
   /// scheduling requires delay >= the engine's epoch (the lookahead
   /// contract); violating it throws std::logic_error.
   void schedule(AsNumber asn, sim::SimDuration delay, std::uint64_t tag,
-                std::function<void()> action);
+                sim::EventAction action);
 
   /// Runs until every shard queue drains; returns the global convergence
   /// instant (unchanged if nothing was pending).  `max_events` guards
@@ -124,7 +123,7 @@ class ConvergenceEngine {
     std::size_t dst;
     sim::SimTime at;
     sim::EventKey key;
-    std::function<void()> action;
+    sim::EventAction action;
   };
 
   /// Fires shard `s`'s window with the thread-local caller context set.

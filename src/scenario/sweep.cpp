@@ -12,7 +12,9 @@
 
 #include "mapping/mapping_system.hpp"
 #include "metrics/histogram.hpp"
+#include "routing/as_graph.hpp"
 #include "sim/rng.hpp"
+#include "topo/blueprint.hpp"
 
 namespace lispcp::scenario {
 
@@ -439,9 +441,12 @@ std::vector<RunPoint> SweepSpec::expand() const {
 
   std::vector<RunPoint> points;
   points.reserve(total * replications_);
+  std::size_t axis_count = replications_ > 1 ? 1 : 0;
+  for (const auto& group : groups_) axis_count += group.axes.size();
   std::vector<std::size_t> radix(groups_.size(), 0);
   for (std::size_t index = 0; index < total; ++index) {
     RunPoint point;
+    point.coordinates.reserve(axis_count);
     point.group = index;
     point.config = base_;
     std::uint64_t stream_id = 0;
@@ -1004,12 +1009,22 @@ ResultSet Runner::run(const RunOptions& options) const {
     points = std::move(kept);
   }
 
+  // Copy-on-write world snapshots: while these scopes are alive, points
+  // sharing a topology shape fork prebuilt immutable state — the synthetic
+  // AS graph (DFZ executors) and the topo name/address tables — instead of
+  // rebuilding it per point.  The snapshots are shared across worker
+  // threads; both caches build under their lock, so concurrent workers
+  // wait for the first build rather than duplicating it.
+  routing::SyntheticInternetScope graph_scope;
+  topo::BlueprintScope blueprint_scope;
+
   std::vector<Record> records(points.size());
   std::vector<std::exception_ptr> errors(points.size());
 
   auto run_point = [&](std::size_t i) {
     try {
       Record record;
+      record.reserve(points[i].coordinates.size() + 16);  // + typical metrics
       for (const auto& [name, value] : points[i].coordinates) {
         record.set(name, value);
       }

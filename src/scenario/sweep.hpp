@@ -94,6 +94,10 @@ void json_escape(std::ostream& os, const std::string& s);
 /// record with the point's axis coordinates; probes append metric fields.
 class Record {
  public:
+  /// Pre-sizes the field sink (records are built by appending; callers that
+  /// know the coordinate/metric count skip the growth reallocations).
+  void reserve(std::size_t fields) { fields_.reserve(fields); }
+
   void set(std::string name, Field value);
   void set_int(std::string name, std::uint64_t v) { set(std::move(name), Field::integer(v)); }
   void set_real(std::string name, double v, int precision = 2) {

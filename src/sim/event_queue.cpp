@@ -4,21 +4,23 @@
 
 namespace lispcp::sim {
 
-EventHandle EventQueue::schedule(SimTime at, std::function<void()> action,
-                                 bool daemon) {
-  auto record = std::make_shared<EventHandle::Record>();
-  record->action = std::move(action);
-  record->daemon = daemon;
-  record->foreground_live = &foreground_live_;
-  if (!daemon) ++foreground_live_;
-  heap_.push(Entry{at, seq_++, record});
-  return EventHandle(record);
+EventHandle EventQueue::schedule(SimTime at, EventAction action, bool daemon) {
+  const std::uint32_t index = pool_->records.allocate();
+  auto& record = pool_->records[index];
+  record.action = std::move(action);
+  record.cancelled = false;
+  record.daemon = daemon;
+  if (!daemon) ++pool_->foreground_live;
+  heap_.push(Entry{at, seq_++, index});
+  return EventHandle(pool_, index, pool_->records.generation(index));
 }
 
 void EventQueue::prune() {
   // Cancelled entries already gave back their foreground count in
-  // EventHandle::cancel(); here they are only physically discarded.
-  while (!heap_.empty() && heap_.top().record->cancelled) {
+  // EventHandle::cancel(); here they are only physically discarded and
+  // their slots returned to the pool.
+  while (!heap_.empty() && pool_->records[heap_.top().index].cancelled) {
+    pool_->records.release(heap_.top().index);
     heap_.pop();
   }
 }
@@ -26,13 +28,17 @@ void EventQueue::prune() {
 bool EventQueue::pop(Fired& out) {
   prune();
   if (heap_.empty()) return false;
-  Entry entry = heap_.top();
+  const Entry entry = heap_.top();
   heap_.pop();
+  auto& record = pool_->records[entry.index];
   out.time = entry.time;
-  out.action = std::move(entry.record->action);
-  out.daemon = entry.record->daemon;
-  entry.record->cancelled = true;  // a fired event is no longer pending
-  if (!entry.record->daemon) --foreground_live_;
+  out.action = std::move(record.action);
+  out.daemon = record.daemon;
+  record.action.reset();
+  if (!record.daemon) --pool_->foreground_live;
+  // Releasing bumps the generation, so handles to the fired event report
+  // !pending() and cancel() returns false — same semantics as before.
+  pool_->records.release(entry.index);
   return true;
 }
 

@@ -5,17 +5,70 @@
 // deterministic: two events scheduled for the same instant always fire in
 // scheduling order.  Cancellation is O(1) via a tombstone flag; cancelled
 // entries are discarded lazily when popped.
+//
+// Storage: event records live in a slab pool (core/arena.hpp) owned by the
+// queue, not in one shared_ptr allocation per event — scheduling in steady
+// state allocates nothing (the action's capture is inline in the pooled
+// record, see core/inline_function.hpp).  Handles stay safe across every
+// destruction order the nodes exercise: an EventHandle names a record by
+// (pool, index, generation); firing or cancelling releases the slot and
+// bumps its generation, so a stale handle to a recycled slot can never
+// cancel the wrong event, and a handle that outlives the queue simply
+// finds the pool gone.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "core/arena.hpp"
+#include "core/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace lispcp::sim {
+
+/// The event-closure type: captures up to the inline capacity live in the
+/// pooled record itself (larger ones fall back to one heap allocation).
+using EventAction = core::InlineFunction<void(), 88>;
+
+namespace detail {
+
+/// The pooled record store behind one EventQueue, shared (via weak_ptr)
+/// with the handles it issued.
+struct EventRecordPool {
+  struct Record {
+    EventAction action;
+    bool cancelled = false;
+    bool daemon = false;
+  };
+
+  core::Pool<Record> records;
+  /// Exact live-foreground count (cancellation adjusts it immediately).
+  std::uint64_t foreground_live = 0;
+
+  [[nodiscard]] bool matches(std::uint32_t index,
+                             std::uint32_t generation) const noexcept {
+    return records.generation(index) == generation;
+  }
+
+  bool cancel(std::uint32_t index, std::uint32_t generation) noexcept {
+    if (!matches(index, generation)) return false;
+    Record& record = records[index];
+    if (record.cancelled) return false;
+    record.cancelled = true;
+    record.action.reset();  // release captured state eagerly
+    if (!record.daemon) --foreground_live;
+    return true;
+  }
+
+  [[nodiscard]] bool pending(std::uint32_t index,
+                             std::uint32_t generation) const noexcept {
+    return matches(index, generation) && !records[index].cancelled;
+  }
+};
+
+}  // namespace detail
 
 /// Handle for cancelling a scheduled event.  Default-constructed handles are
 /// inert; cancelling twice is harmless.
@@ -26,35 +79,25 @@ class EventHandle {
   /// Cancels the event if it has not fired yet.  Returns true iff this call
   /// transitioned the event from pending to cancelled.
   bool cancel() noexcept {
-    auto record = record_.lock();
-    if (!record || record->cancelled) return false;
-    record->cancelled = true;
-    record->action = nullptr;  // release captured state eagerly
-    if (!record->daemon && record->foreground_live != nullptr) {
-      --*record->foreground_live;
-    }
-    return true;
+    auto pool = pool_.lock();
+    return pool && pool->cancel(index_, generation_);
   }
 
   /// True while the event is still scheduled to fire.
   [[nodiscard]] bool pending() const noexcept {
-    auto record = record_.lock();
-    return record && !record->cancelled;
+    auto pool = pool_.lock();
+    return pool && pool->pending(index_, generation_);
   }
 
  private:
   friend class EventQueue;
-  struct Record {
-    std::function<void()> action;
-    bool cancelled = false;
-    bool daemon = false;
-    /// Exact live-foreground accounting at cancel time (see EventQueue).
-    /// The record is owned by the queue's heap, so this pointer cannot
-    /// outlive the counter it targets.
-    std::uint64_t* foreground_live = nullptr;
-  };
-  explicit EventHandle(std::weak_ptr<Record> record) : record_(std::move(record)) {}
-  std::weak_ptr<Record> record_;
+  EventHandle(std::weak_ptr<detail::EventRecordPool> pool, std::uint32_t index,
+              std::uint32_t generation)
+      : pool_(std::move(pool)), index_(index), generation_(generation) {}
+
+  std::weak_ptr<detail::EventRecordPool> pool_;
+  std::uint32_t index_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// Time-ordered event queue.  Not thread-safe: the whole simulation is
@@ -66,14 +109,13 @@ class EventQueue {
   /// push timers) fires in time order like any other, but does not keep the
   /// simulation alive: Simulator::run() drains the queue only while
   /// foreground work remains.
-  EventHandle schedule(SimTime at, std::function<void()> action,
-                       bool daemon = false);
+  EventHandle schedule(SimTime at, EventAction action, bool daemon = false);
 
   /// Removes and returns the next live event, skipping tombstones.
   /// Returns false when the queue is empty (of live events).
   struct Fired {
     SimTime time;
-    std::function<void()> action;
+    EventAction action;
     bool daemon = false;
   };
   bool pop(Fired& out);
@@ -87,7 +129,7 @@ class EventQueue {
   /// True while at least one live non-daemon event is queued.  Exact (not
   /// lazy): cancellation adjusts the count immediately.
   [[nodiscard]] bool has_foreground() const noexcept {
-    return foreground_live_ > 0;
+    return pool_->foreground_live > 0;
   }
 
   /// Queued entries.  Upper bound on live events: cancelled entries that
@@ -101,7 +143,7 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    std::shared_ptr<EventHandle::Record> record;
+    std::uint32_t index;  ///< record slot in the pool
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -113,8 +155,9 @@ class EventQueue {
   void prune();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::shared_ptr<detail::EventRecordPool> pool_ =
+      std::make_shared<detail::EventRecordPool>();
   std::uint64_t seq_ = 0;
-  std::uint64_t foreground_live_ = 0;
 };
 
 }  // namespace lispcp::sim

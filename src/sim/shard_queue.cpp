@@ -6,8 +6,7 @@
 
 namespace lispcp::sim {
 
-void ShardQueue::schedule(SimTime at, EventKey key,
-                          std::function<void()> action) {
+void ShardQueue::schedule(SimTime at, EventKey key, EventAction action) {
   if (at < now_) {
     throw std::invalid_argument("ShardQueue::schedule: time in the past");
   }

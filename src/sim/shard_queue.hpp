@@ -29,13 +29,17 @@
 
 #include <compare>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "core/inline_function.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace lispcp::sim {
+
+/// Same inline-capture closure type as the global EventQueue (the alias is
+/// redeclared identically in event_queue.hpp; either header suffices).
+using EventAction = core::InlineFunction<void(), 88>;
 
 /// The execution-independent part of an event's ordering key.
 struct EventKey {
@@ -58,7 +62,7 @@ class ShardQueue {
   ShardQueue& operator=(const ShardQueue&) = delete;
 
   /// Enqueues `action` to fire at absolute time `at` (>= now()).
-  void schedule(SimTime at, EventKey key, std::function<void()> action);
+  void schedule(SimTime at, EventKey key, EventAction action);
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
@@ -87,7 +91,7 @@ class ShardQueue {
     SimTime time;
     EventKey key;
     std::uint64_t seq;
-    std::function<void()> action;
+    EventAction action;
   };
   /// Min-heap order over (time, key, seq).
   struct Later {

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <stdexcept>
 
 #include "sim/event_queue.hpp"
@@ -27,7 +26,7 @@ class Simulator {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `action` after `delay` (>= 0) from now.
-  EventHandle schedule(SimDuration delay, std::function<void()> action) {
+  EventHandle schedule(SimDuration delay, EventAction action) {
     if (delay < SimDuration{}) {
       throw std::invalid_argument("Simulator::schedule: negative delay");
     }
@@ -35,7 +34,7 @@ class Simulator {
   }
 
   /// Schedules `action` at absolute time `at` (>= now()).
-  EventHandle schedule_at(SimTime at, std::function<void()> action) {
+  EventHandle schedule_at(SimTime at, EventAction action) {
     if (at < now_) {
       throw std::invalid_argument("Simulator::schedule_at: time in the past");
     }
@@ -47,7 +46,7 @@ class Simulator {
   /// daemons remain, run() returns.  Periodic self-rescheduling work (IRC
   /// refresh, RLOC probe cycles, NERD push timers) must use this, or an
   /// unbounded run() would spin on the maintenance loop forever.
-  EventHandle schedule_daemon(SimDuration delay, std::function<void()> action) {
+  EventHandle schedule_daemon(SimDuration delay, EventAction action) {
     if (delay < SimDuration{}) {
       throw std::invalid_argument("Simulator::schedule_daemon: negative delay");
     }

@@ -51,6 +51,9 @@ Internet::Internet(InternetSpec spec) : spec_(std::move(spec)), sim_(spec_.seed)
     throw std::invalid_argument(
         "InternetSpec: deaggregation_factor must be a power of two in [1, 64]");
   }
+  blueprint_ = Blueprint::shared(
+      BlueprintShape{spec_.domains, spec_.hosts_per_domain,
+                     spec_.deaggregation_factor});
   build();
 }
 
@@ -266,44 +269,20 @@ core::FailoverController& Internet::arm_failover(std::size_t d,
 net::Ipv4Address Internet::core_address() const { return kCoreAddress; }
 
 dns::DomainName Internet::host_name(std::size_t domain, std::size_t host) const {
-  return dns::DomainName::from_string("h" + std::to_string(host) + ".d" +
-                                      std::to_string(domain) + ".example");
+  return blueprint_->host_name(domain, host);
 }
 
 net::Ipv4Address Internet::host_eid(std::size_t domain, std::size_t host) const {
-  // Spread hosts across the /24 so every de-aggregated sub-prefix carries
-  // traffic; stride keeps addresses distinct for up to 200 hosts.
-  const std::uint64_t stride =
-      std::max<std::uint64_t>(1, 254 / spec_.hosts_per_domain);
-  return domain_eid_prefix(domain).nth(2 + host * stride);
+  return blueprint_->host_eid(domain, host);
 }
 
 std::vector<net::Ipv4Prefix> Internet::site_prefixes(std::size_t domain) const {
-  const auto base = domain_eid_prefix(domain);
-  const auto k = spec_.deaggregation_factor;
-  if (k == 1) return {base};
-  int extra_bits = 0;
-  while ((std::size_t{1} << extra_bits) < k) ++extra_bits;
-  std::vector<net::Ipv4Prefix> out;
-  out.reserve(k);
-  const std::uint64_t block = base.size() / k;
-  for (std::size_t i = 0; i < k; ++i) {
-    out.emplace_back(base.nth(i * block), base.length() + extra_bits);
-  }
-  return out;
+  return blueprint_->site_prefixes(domain);
 }
 
 std::vector<dns::DomainName> Internet::destination_names(
     std::size_t exclude_domain) const {
-  std::vector<dns::DomainName> out;
-  // Interleave across domains so Zipf rank 0..k spreads over many sites.
-  for (std::size_t h = 0; h < spec_.hosts_per_domain; ++h) {
-    for (std::size_t d = 0; d < spec_.domains; ++d) {
-      if (d == exclude_domain) continue;
-      out.push_back(host_name(d, h));
-    }
-  }
-  return out;
+  return blueprint_->destination_names(exclude_domain);
 }
 
 std::uint64_t Internet::total_miss_drops() const {

@@ -38,6 +38,7 @@
 #include "mapping/registry.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "topo/blueprint.hpp"
 #include "workload/host.hpp"
 #include "workload/session.hpp"
 #include "workload/traffic.hpp"
@@ -208,6 +209,12 @@ class Internet {
   [[nodiscard]] dns::DnsServer& root_dns() noexcept { return *root_dns_; }
   [[nodiscard]] dns::DnsServer& tld_dns() noexcept { return *tld_dns_; }
 
+  /// The shape-keyed immutable tables this Internet was built from (shared
+  /// with sibling Internets of the same shape inside a BlueprintScope).
+  [[nodiscard]] const std::shared_ptr<const Blueprint>& blueprint() const noexcept {
+    return blueprint_;
+  }
+
   /// DNS name of host h in domain d: "h<h>.d<d>.example".
   [[nodiscard]] dns::DomainName host_name(std::size_t domain, std::size_t host) const;
 
@@ -245,6 +252,7 @@ class Internet {
   void register_mappings();
 
   InternetSpec spec_;
+  std::shared_ptr<const Blueprint> blueprint_;
   sim::Simulator sim_;
   sim::Network network_;
   mapping::MappingRegistry registry_;

@@ -141,8 +141,8 @@ void FlowAggregateEngine::process(std::size_t rank, std::uint64_t flows) {
     return;
   }
 
-  const auto entry = world_.itr->aggregate_lookup(dest.eid, flows);
-  if (entry.has_value() && entry->select_rloc(0).has_value()) {
+  const lisp::MapEntry* entry = world_.itr->aggregate_lookup(dest.eid, flows);
+  if (entry != nullptr && entry->select_rloc(0).has_value()) {
     complete(rank, batch, sim::SimDuration{}, false);
     return;
   }

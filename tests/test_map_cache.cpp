@@ -29,7 +29,7 @@ sim::SimTime at_seconds(int s) {
 
 TEST(MapCache, MissOnEmpty) {
   MapCache cache;
-  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(0)).has_value());
+  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(0)) != nullptr);
   EXPECT_EQ(cache.stats().misses_absent, 1u);
   EXPECT_EQ(cache.stats().lookups, 1u);
 }
@@ -38,7 +38,7 @@ TEST(MapCache, HitAfterInsert) {
   MapCache cache;
   cache.insert(entry_for(1), at_seconds(0));
   auto hit = cache.lookup(eid_in(1), at_seconds(1));
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_EQ(hit->eid_prefix, entry_for(1).eid_prefix);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 1.0);
@@ -53,19 +53,19 @@ TEST(MapCache, LongestPrefixMatchWithinCache) {
   cache.insert(entry_for(1), at_seconds(0));
 
   auto specific = cache.lookup(eid_in(1), at_seconds(1));
-  ASSERT_TRUE(specific.has_value());
+  ASSERT_TRUE(specific != nullptr);
   EXPECT_EQ(specific->rlocs[0].address, net::Ipv4Address(10, 0, 1, 1));
 
   auto fallback = cache.lookup(eid_in(7), at_seconds(1));
-  ASSERT_TRUE(fallback.has_value());
+  ASSERT_TRUE(fallback != nullptr);
   EXPECT_EQ(fallback->rlocs[0].address, net::Ipv4Address(10, 9, 9, 9));
 }
 
 TEST(MapCache, TtlExpiryCountsAsExpiredMiss) {
   MapCache cache;
   cache.insert(entry_for(1, /*ttl=*/60), at_seconds(0));
-  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(59)).has_value());
-  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(60)).has_value());
+  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(59)) != nullptr);
+  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(60)) != nullptr);
   EXPECT_EQ(cache.stats().misses_expired, 1u);
   EXPECT_EQ(cache.size(), 0u);  // expired entry removed
 }
@@ -74,7 +74,7 @@ TEST(MapCache, ReinsertRefreshesTtl) {
   MapCache cache;
   cache.insert(entry_for(1, 60), at_seconds(0));
   cache.insert(entry_for(1, 60), at_seconds(50));
-  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(100)).has_value());
+  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(100)) != nullptr);
   EXPECT_EQ(cache.stats().inserts, 1u);
   EXPECT_EQ(cache.stats().updates, 1u);
 }
@@ -85,14 +85,14 @@ TEST(MapCache, LruEvictionAtCapacity) {
   cache.insert(entry_for(2), at_seconds(0));
   cache.insert(entry_for(3), at_seconds(0));
   // Touch 1 so 2 becomes the LRU victim.
-  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(1)).has_value());
+  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(1)) != nullptr);
   cache.insert(entry_for(4), at_seconds(2));
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(3)).has_value());
-  EXPECT_FALSE(cache.lookup(eid_in(2), at_seconds(3)).has_value());
-  EXPECT_TRUE(cache.lookup(eid_in(3), at_seconds(3)).has_value());
-  EXPECT_TRUE(cache.lookup(eid_in(4), at_seconds(3)).has_value());
+  EXPECT_TRUE(cache.lookup(eid_in(1), at_seconds(3)) != nullptr);
+  EXPECT_FALSE(cache.lookup(eid_in(2), at_seconds(3)) != nullptr);
+  EXPECT_TRUE(cache.lookup(eid_in(3), at_seconds(3)) != nullptr);
+  EXPECT_TRUE(cache.lookup(eid_in(4), at_seconds(3)) != nullptr);
 }
 
 TEST(MapCache, UnlimitedCapacityNeverEvicts) {
@@ -106,7 +106,7 @@ TEST(MapCache, EraseRemovesEntry) {
   cache.insert(entry_for(1), at_seconds(0));
   EXPECT_TRUE(cache.erase(entry_for(1).eid_prefix));
   EXPECT_FALSE(cache.erase(entry_for(1).eid_prefix));
-  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(1)).has_value());
+  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(1)) != nullptr);
 }
 
 TEST(MapCache, ReachabilityUpdateByPrefix) {
@@ -115,7 +115,7 @@ TEST(MapCache, ReachabilityUpdateByPrefix) {
   EXPECT_TRUE(cache.set_rloc_reachability(entry_for(1).eid_prefix,
                                           net::Ipv4Address(10, 0, 1, 1), false));
   auto entry = cache.lookup(eid_in(1), at_seconds(1));
-  ASSERT_TRUE(entry.has_value());
+  ASSERT_TRUE(entry != nullptr);
   EXPECT_FALSE(entry->rlocs[0].reachable);
   EXPECT_FALSE(cache.set_rloc_reachability(entry_for(2).eid_prefix,
                                            net::Ipv4Address(10, 0, 2, 1), false));
@@ -139,7 +139,7 @@ TEST(MapCache, ClearResetsContents) {
   cache.insert(entry_for(1), at_seconds(0));
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(1)).has_value());
+  EXPECT_FALSE(cache.lookup(eid_in(1), at_seconds(1)) != nullptr);
 }
 
 /// Property sweep: with a Zipf-skewed reference stream, the hit ratio must
@@ -154,7 +154,7 @@ TEST_P(MapCacheCapacityProperty, HitRatioGrowsWithCapacity) {
   for (int i = 0; i < 20'000; ++i) {
     const int site = static_cast<int>(zipf(rng));
     const auto now = at_seconds(i / 100);
-    if (!cache.lookup(eid_in(site % 250), now).has_value()) {
+    if (cache.lookup(eid_in(site % 250), now) == nullptr) {
       cache.insert(entry_for(site % 250), now);
     }
   }

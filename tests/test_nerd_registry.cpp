@@ -106,14 +106,14 @@ TEST(Nerd, StaleMappingUntilNextDeltaPush) {
   const auto probe_eid = internet.domain(3).hosts[0]->address();
   auto before = internet.domain(0).xtrs[0]->cache().lookup(
       probe_eid, internet.sim().now());
-  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(before != nullptr);
   EXPECT_EQ(before->rlocs[0].priority, 1);
 
   // After the push interval: the delta arrived.
   internet.sim().run_until(internet.sim().now() + sim::SimDuration::seconds(30));
   auto after = internet.domain(0).xtrs[0]->cache().lookup(
       probe_eid, internet.sim().now());
-  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(after != nullptr);
   EXPECT_EQ(after->rlocs[0].priority, 3);
   EXPECT_EQ(internet.nerd()->stats().delta_pushes, 1u);
 }

@@ -160,7 +160,7 @@ TEST_F(TunnelRouterTest, FlowTupleOverridesOuterSource) {
   EXPECT_EQ(itr_->stats().flow_tuple_used, 1u);
   // The ETR gleaned the reverse mapping with RLOC_S = the tuple's source.
   auto gleaned = etr_->cache().lookup(kSrcHost, sim_.now());
-  ASSERT_TRUE(gleaned.has_value());
+  ASSERT_TRUE(gleaned != nullptr);
   EXPECT_EQ(gleaned->rlocs[0].address, kItrRloc2);
 }
 

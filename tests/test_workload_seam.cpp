@@ -204,22 +204,22 @@ TEST(WorkloadSeam, LookupBatchCountsLikeSerialLookups) {
   batch.insert(batch_entry(), at_seconds(0));
   serial.insert(batch_entry(), at_seconds(0));
 
-  EXPECT_TRUE(batch.lookup_batch(eid, 5, at_seconds(1)).has_value());
+  EXPECT_TRUE(batch.lookup_batch(eid, 5, at_seconds(1)) != nullptr);
   for (int i = 0; i < 5; ++i) {
-    EXPECT_TRUE(serial.lookup(eid, at_seconds(1)).has_value());
+    EXPECT_TRUE(serial.lookup(eid, at_seconds(1)) != nullptr);
   }
   EXPECT_EQ(batch.stats().hits, serial.stats().hits);
   EXPECT_EQ(batch.stats().lookups, serial.stats().lookups);
 
   // Cold batch miss: every flow of the batch counts.
   const auto absent = net::Ipv4Address(100, 64, 9, 10);
-  EXPECT_FALSE(batch.lookup_batch(absent, 3, at_seconds(1)).has_value());
+  EXPECT_FALSE(batch.lookup_batch(absent, 3, at_seconds(1)) != nullptr);
   EXPECT_EQ(batch.stats().misses_absent, 3u);
 
   // Expired batch miss.
   lisp::MapCache expiring(4);
   expiring.insert(batch_entry(/*ttl=*/1), at_seconds(0));
-  EXPECT_FALSE(expiring.lookup_batch(eid, 4, at_seconds(5)).has_value());
+  EXPECT_FALSE(expiring.lookup_batch(eid, 4, at_seconds(5)) != nullptr);
   EXPECT_EQ(expiring.stats().misses_expired, 4u);
 }
 
