@@ -16,6 +16,8 @@
 //                    label contains it when it names a registered control
 //                    plane
 //   --quick          reduced sweep (short arrival window) for smoke runs
+//   --list           enumerate the bench's series names (the --filter
+//                    vocabulary) without running anything, then exit 0
 #pragma once
 
 #include <algorithm>
@@ -69,6 +71,8 @@ struct BenchOptions {
   std::string timing_path;
   std::string filter;
   bool quick = false;
+  /// Enumerate series names instead of running (the --filter vocabulary).
+  bool list = false;
 };
 
 inline BenchOptions parse_cli(int argc, char** argv) {
@@ -111,10 +115,12 @@ inline BenchOptions parse_cli(int argc, char** argv) {
       options.filter = value(i, "--filter");
     } else if (arg == "--quick") {
       options.quick = true;
+    } else if (arg == "--list") {
+      options.list = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--jobs N] [--shards K] [--json path] [--csv path]"
-                   " [--timing path] [--filter series] [--quick]\n";
+                   " [--timing path] [--filter series] [--quick] [--list]\n";
       std::exit(0);
     } else {
       std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
@@ -151,8 +157,13 @@ class BenchContext {
 
   /// Whether a series should run under --filter.  A filter naming (part
   /// of) a control plane ("pce", "lisp-ms") still runs every series —
-  /// point filtering narrows within them instead.
+  /// point filtering narrows within them instead.  Under --list nothing
+  /// runs: the name is recorded for finish()'s listing instead.
   [[nodiscard]] bool enabled(const std::string& series_name) const {
+    if (options_.list) {
+      listed_.push_back(series_name);
+      return false;
+    }
     if (options_.filter.empty()) return true;
     if (plane_filter()) return true;
     return ascii_lower(series_name).find(ascii_lower(options_.filter)) !=
@@ -189,8 +200,15 @@ class BenchContext {
     if (options_.quick) spec.base(apply_quick);
   }
 
-  /// Writes the collected ResultSets to the --json/--csv sinks.
+  /// Writes the collected ResultSets to the --json/--csv sinks.  Under
+  /// --list, prints the recorded series names instead and writes nothing.
   void finish() const {
+    if (options_.list) {
+      std::cout << bench_id_ << " series (use with --filter):\n";
+      for (const std::string& name : listed_) std::cout << "  " << name << "\n";
+      std::cout.flush();
+      return;
+    }
     if (!options_.filter.empty()) {
       std::size_t total_points = 0;
       for (const auto& result : results_) total_points += result.size();
@@ -268,6 +286,9 @@ class BenchContext {
   std::chrono::steady_clock::time_point started_;
   /// Deque: run() hands out references that must survive later push_backs.
   std::deque<scenario::ResultSet> results_;
+  /// Series names seen by enabled() under --list (mutable: recording a
+  /// name is not an observable state change for the run itself).
+  mutable std::vector<std::string> listed_;
 };
 
 }  // namespace lispcp::bench

@@ -124,6 +124,39 @@ void series_dfz_deaggregation(bench::BenchContext& ctx) {
   ctx.run(runner).table().print(std::cout);
 }
 
+void series_te_deaggregation_cost(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F1c")) return;
+  std::cout << "\n-- F1c: the claim-(iii) TE knob priced — selective vs "
+               "broadcast de-aggregation, per-announcement RIB/churn cost "
+               "(Gao-Rexford roles + export maps) --\n";
+  const bool quick = ctx.quick();
+  SweepSpec spec;
+  spec.named("F1c")
+      .base([quick](ExperimentConfig& config) {
+        config.dfz.internet.tier1_count = 4;
+        config.dfz.internet.transit_count = quick ? 6 : 10;
+        config.dfz.internet.providers_per_stub = 2;
+        config.dfz.internet.seed = 12;
+        config.spec.seed = config.dfz.internet.seed;
+        config.dfz.scenario = routing::AddressingScenario::kLegacyBgp;
+        config.dfz.deaggregation_factor = 1;
+        config.dfz.policy.event.victim_stub = 0;
+      })
+      .base(scenario::dfz::sharded(ctx.shards(), ctx.shard_workers()))
+      .base(scenario::dfz::roles_enabled())
+      .axis(scenario::dfz::stub_sites(
+          quick ? std::vector<std::uint64_t>{30, 60}
+                : std::vector<std::uint64_t>{100, 400}))
+      .axis(scenario::dfz::event_deagg(quick ? std::vector<std::uint64_t>{2, 8}
+                                             : std::vector<std::uint64_t>{2, 8, 32}))
+      .axis(scenario::dfz::policy_events(
+          {routing::PolicyEvent::Kind::kBroadcastDeagg,
+           routing::PolicyEvent::Kind::kSelectiveDeagg}));
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_policy_event);
+  ctx.run(runner).table().print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -135,6 +168,7 @@ int main(int argc, char** argv) {
       "largest IPv4 de-aggregation factor\"");
   lispcp::series_deaggregation(ctx);
   lispcp::series_dfz_deaggregation(ctx);
+  lispcp::series_te_deaggregation_cost(ctx);
   lispcp::bench::print_footer(
       "Shape check: de-aggregation multiplies mapping-system state "
       "(registered mappings, overlay routes, NERD push volume) and drives "

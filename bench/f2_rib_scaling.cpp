@@ -125,6 +125,32 @@ void series_churn_error_bars(bench::BenchContext& ctx) {
   ctx.run(runner).aggregate().table().print(std::cout);
 }
 
+void series_hijack_containment(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F2e")) return;
+  std::cout << "\n-- F2e: policy incidents vs containment — hijack/leak "
+               "blast radius against the filtered-transit fraction "
+               "(Gao-Rexford roles + IRR-style origin filters) --\n";
+  const bool quick = ctx.quick();
+  auto spec =
+      f2_base(ctx)
+          .named("F2e")
+          .base([quick](ExperimentConfig& config) {
+            config.dfz.scenario = routing::AddressingScenario::kLegacyBgp;
+            config.dfz.internet.stub_count = quick ? 40 : 100;
+            config.dfz.deaggregation_factor = 1;
+            config.dfz.policy.event.victim_stub = 0;  // actor = last stub
+          })
+          .base(scenario::dfz::roles_enabled())
+          .axis(scenario::dfz::policy_events(
+              {routing::PolicyEvent::Kind::kHijackMoreSpecific,
+               routing::PolicyEvent::Kind::kHijackSameSpecific,
+               routing::PolicyEvent::Kind::kRouteLeak}))
+          .axis(scenario::dfz::filtered_transits({0.0, 0.5, 1.0}));
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_policy_event);
+  ctx.run(runner).table().print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -138,6 +164,7 @@ int main(int argc, char** argv) {
   lispcp::series_churn(ctx);
   lispcp::series_scale_out(ctx);
   lispcp::series_churn_error_bars(ctx);
+  lispcp::series_hijack_containment(ctx);
   lispcp::bench::print_footer(
       "Shape check: the legacy DFZ grows with sites x de-aggregation while "
       "the LISP DFZ stays fixed at the provider-aggregate count; re-homing "

@@ -322,6 +322,51 @@ std::vector<Micro> registry() {
     }});
   }
 
+  // The policy layer's toll on the import+decide hot path: one speaker with
+  // two customer sessions flapping a prefix (announce/withdraw), so every
+  // iteration runs import processing, the full decision comparator, and a
+  // best-route transition — with the session policy table detached (the
+  // legacy code path) vs the Gao-Rexford role maps attached (route-map
+  // evaluation + local-pref/community actions per advert).
+  for (const bool policy_on : {false, true}) {
+    micros.push_back(
+        {std::string("bgp import+decide/") + (policy_on ? "policy-on" : "policy-off"),
+         [policy_on] {
+      auto graph = std::make_shared<routing::AsGraph>();
+      graph->add_as(routing::AsNumber(1), routing::AsTier::kTier1);
+      graph->add_as(routing::AsNumber(2), routing::AsTier::kStub);
+      graph->add_as(routing::AsNumber(3), routing::AsTier::kStub);
+      graph->add_customer_provider(routing::AsNumber(2), routing::AsNumber(1));
+      graph->add_customer_provider(routing::AsNumber(3), routing::AsNumber(1));
+      routing::BgpConfig config;
+      if (policy_on) {
+        config.policy = routing::policy::PolicyTable::gao_rexford(*graph);
+      }
+      auto fabric = std::make_shared<routing::BgpFabric>(*graph, config);
+      const net::Ipv4Prefix prefix(net::Ipv4Address(100, 0, 0, 0), 20);
+      // The standing alternative: AS3's equal-length path, beaten by AS2's
+      // on the final ASN tiebreak whenever AS2's route is present.
+      routing::UpdateMessage alt;
+      alt.announces = {{prefix, {routing::AsNumber(3)}, {}}};
+      fabric->speaker(routing::AsNumber(1))
+          .handle_update(routing::AsNumber(3), alt);
+      return std::function<void(std::uint64_t)>(
+          [graph, fabric, prefix](std::uint64_t iters) {
+            routing::BgpSpeaker& speaker =
+                fabric->speaker(routing::AsNumber(1));
+            routing::UpdateMessage announce;
+            announce.announces = {{prefix, {routing::AsNumber(2)}, {}}};
+            routing::UpdateMessage withdraw;
+            withdraw.withdraws = {prefix};
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              speaker.handle_update(routing::AsNumber(2),
+                                    (i & 1) == 0 ? announce : withdraw);
+            }
+            keep(speaker.stats().best_changes);
+          });
+    }});
+  }
+
   // Building the F2 synthetic Internet from scratch vs forking the shared
   // copy-on-write snapshot (what every same-shape sweep point after the
   // first now does inside Runner::run's scope).

@@ -93,6 +93,17 @@ class FlatMap {
     used_ = 0;
   }
 
+  /// Pre-sizes the table for `n` live entries: capacity jumps straight to
+  /// the power-of-two the growth policy would reach anyway, so a build-up
+  /// of known size (a BGP origination storm filling a RIB) performs zero
+  /// intermediate rehashes.  Capacity history affects only slot order,
+  /// which no sanctioned output depends on (sorted_keys() sorts).  No-op
+  /// if the table is already at least that big.
+  void reserve(std::size_t n) {
+    const std::size_t capacity = capacity_for(n);
+    if (capacity > state_.size()) rehash(capacity);
+  }
+
   /// Visits every (key, value) in slot order (NOT deterministic across
   /// capacity histories — sort before anything order-sensitive).
   template <typename F>
@@ -159,10 +170,16 @@ class FlatMap {
     }
   }
 
-  void rehash() {
-    // Grow when genuinely full; a tombstone-heavy table rehashes in place.
+  [[nodiscard]] static std::size_t capacity_for(std::size_t n) noexcept {
     std::size_t capacity = 16;
-    while (capacity < size_ * 4) capacity *= 2;
+    while (capacity < n * 4) capacity *= 2;
+    return capacity;
+  }
+
+  // Grow when genuinely full; a tombstone-heavy table rehashes in place.
+  void rehash() { rehash(capacity_for(size_)); }
+
+  void rehash(std::size_t capacity) {
     std::vector<K> old_keys = std::move(keys_);
     std::vector<V> old_values = std::move(values_);
     std::vector<std::uint8_t> old_state = std::move(state_);
@@ -204,6 +221,7 @@ class FlatSet {
   bool insert(const K& key) { return map_.try_emplace(key).second; }
   std::size_t erase(const K& key) { return map_.erase(key); }
   void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
   /// Visits every key in slot order (NOT deterministic — see FlatMap).
   template <typename F>
   void for_each(F&& fn) const {

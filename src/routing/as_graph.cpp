@@ -79,6 +79,13 @@ const std::vector<AsGraph::Neighbor>& AsGraph::neighbors(AsNumber asn) const {
   return entry(asn).neighbors;
 }
 
+std::optional<NeighborKind> AsGraph::kind_between(AsNumber a, AsNumber b) const {
+  for (const Neighbor& n : entry(a).neighbors) {
+    if (n.asn == b) return n.kind;
+  }
+  return std::nullopt;
+}
+
 std::vector<AsNumber> AsGraph::ases_of_tier(AsTier t) const {
   std::vector<AsNumber> out;
   for (AsNumber asn : ases_) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -91,6 +92,11 @@ class AsGraph {
 
   /// All sessions of `asn`, each labelled from `asn`'s perspective.
   [[nodiscard]] const std::vector<Neighbor>& neighbors(AsNumber asn) const;
+
+  /// Relationship of `b` as seen from `a`, or nullopt when no session
+  /// exists (used by the policy layer's valley-free path checker).
+  [[nodiscard]] std::optional<NeighborKind> kind_between(AsNumber a,
+                                                         AsNumber b) const;
 
   /// Every AS, in insertion order (deterministic iteration).
   [[nodiscard]] const std::vector<AsNumber>& ases() const noexcept {

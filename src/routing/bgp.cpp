@@ -18,26 +18,42 @@ core::Recycler<UpdateMessage>& message_recycler() {
   return recycler;
 }
 
-/// Relationship preference in the decision process: higher wins.  Locally
-/// originated routes outrank everything a neighbor could say.
-int preference(NeighborKind kind) {
-  switch (kind) {
-    case NeighborKind::kCustomer: return 2;
-    case NeighborKind::kPeer: return 1;
-    case NeighborKind::kProvider: return 0;
-  }
-  return -1;
-}
-
 bool same_route(const BgpSpeaker::BestRoute& a, const BgpSpeaker::BestRoute& b) {
   return a.local_origin == b.local_origin && a.learned_from == b.learned_from &&
-         a.as_path == b.as_path;
+         a.local_pref == b.local_pref && a.as_path == b.as_path &&
+         a.communities == b.communities;
 }
 
 }  // namespace
 
 BgpSpeaker::BgpSpeaker(BgpFabric& fabric, AsNumber asn)
-    : fabric_(fabric), asn_(asn) {}
+    : fabric_(fabric), asn_(asn) {
+  // Satellite of the policy PR: a known converged table size lets every
+  // RIB jump straight to its final capacity instead of rehashing through
+  // the origination storm.
+  loc_rib_.reserve(fabric_.config().expected_prefixes);
+}
+
+BgpSpeaker::AdjIn& BgpSpeaker::adj_in(AsNumber from) {
+  const auto [it, inserted] = adj_in_.try_emplace(from);
+  if (inserted && fabric_.config().expected_prefixes > 0 &&
+      fabric_.kind_of(asn_, from) != NeighborKind::kCustomer) {
+    // Peer/provider sessions carry (close to) the full table; customer
+    // sessions only their cone — reserving those would waste the memory.
+    it->second.routes.reserve(fabric_.config().expected_prefixes);
+  }
+  return it->second;
+}
+
+BgpSpeaker::Outbound& BgpSpeaker::outbound(AsNumber neighbor) {
+  const auto [it, inserted] = outbound_.try_emplace(neighbor);
+  if (inserted && fabric_.config().expected_prefixes > 0 &&
+      fabric_.kind_of(asn_, neighbor) == NeighborKind::kCustomer) {
+    // Customers get the full table, so the Adj-RIB-Out ledger fills up.
+    it->second.advertised.reserve(fabric_.config().expected_prefixes);
+  }
+  return it->second;
+}
 
 void BgpSpeaker::originate(const net::Ipv4Prefix& prefix) {
   origins_.insert(prefix);
@@ -51,9 +67,13 @@ void BgpSpeaker::withdraw_origin(const net::Ipv4Prefix& prefix) {
 
 void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
   ++stats_.updates_received;
+  AdjIn& adj = adj_in(from);
   for (const net::Ipv4Prefix& prefix : message.withdraws) {
-    if (adj_in_[from].routes.erase(prefix) > 0) decide(prefix);
+    if (adj.routes.erase(prefix) > 0) decide(prefix);
   }
+  const policy::SessionPolicy* session = fabric_.session_policy(asn_, from);
+  const policy::RouteMap* import =
+      session == nullptr ? nullptr : session->import;
   for (const RouteAdvert& advert : message.announces) {
     const bool loops = std::find(advert.as_path.begin(), advert.as_path.end(),
                                  asn_) != advert.as_path.end();
@@ -61,10 +81,31 @@ void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
       // A looped advert is unusable, and — update semantics — it implicitly
       // replaces whatever this neighbor said before, so the old path goes.
       ++stats_.loops_rejected;
-      if (adj_in_[from].routes.erase(advert.prefix) > 0) decide(advert.prefix);
+      if (adj.routes.erase(advert.prefix) > 0) decide(advert.prefix);
       continue;
     }
-    adj_in_[from].routes[advert.prefix] = advert.as_path;
+    AdjRoute route{advert.as_path, advert.communities, 0};
+    if (import != nullptr) {
+      const auto actions = import->evaluate(policy::RouteContext{
+          advert.prefix, route.as_path, route.communities});
+      if (!actions.has_value()) {
+        // Import-denied: like a loop reject, the advert still implicitly
+        // withdraws whatever this neighbor previously offered.
+        ++stats_.imports_filtered;
+        if (adj.routes.erase(advert.prefix) > 0) decide(advert.prefix);
+        continue;
+      }
+      route.local_pref = actions->local_pref;
+      for (const policy::Community c : actions->add_communities) {
+        policy::add_community(route.communities, c);
+      }
+      if (actions->prepend > 0) {
+        // Import prepend inserts the *neighbor's* ASN, lengthening the
+        // path this session offers to the decision process.
+        route.as_path.insert(route.as_path.begin(), actions->prepend, from);
+      }
+    }
+    adj.routes[advert.prefix] = std::move(route);
     decide(advert.prefix);
   }
 }
@@ -83,12 +124,11 @@ void BgpSpeaker::decide(const net::Ipv4Prefix& prefix) {
   // iterated in graph order for determinism.
   std::optional<BestRoute> winner;
   const auto better = [](const BestRoute& a, const BestRoute& b) {
-    // Local origin beats all; then relationship preference, path length,
+    // Local origin beats all; then highest local-pref (role defaults
+    // reproduce the legacy relationship-preference order), path length,
     // lowest neighbor ASN.
     if (a.local_origin != b.local_origin) return a.local_origin;
-    const int pa = preference(a.neighbor_kind);
-    const int pb = preference(b.neighbor_kind);
-    if (pa != pb) return pa > pb;
+    if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
     if (a.as_path.size() != b.as_path.size()) {
       return a.as_path.size() < b.as_path.size();
     }
@@ -96,15 +136,26 @@ void BgpSpeaker::decide(const net::Ipv4Prefix& prefix) {
   };
 
   if (origins_.contains(prefix)) {
-    winner = BestRoute{{}, asn_, NeighborKind::kCustomer, /*local_origin=*/true};
+    winner = BestRoute{{},
+                       asn_,
+                       NeighborKind::kCustomer,
+                       /*local_origin=*/true,
+                       policy::kCustomerLocalPref,
+                       {}};
   }
   for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
     auto adj = adj_in_.find(neighbor.asn);
     if (adj == adj_in_.end()) continue;
-    const std::vector<AsNumber>* route = adj->second.routes.find(prefix);
+    const AdjRoute* route = adj->second.routes.find(prefix);
     if (route == nullptr) continue;
-    BestRoute candidate{*route, neighbor.asn, neighbor.kind,
-                        /*local_origin=*/false};
+    BestRoute candidate{route->as_path,
+                        neighbor.asn,
+                        neighbor.kind,
+                        /*local_origin=*/false,
+                        route->local_pref != 0
+                            ? route->local_pref
+                            : policy::role_local_pref(neighbor.kind),
+                        route->communities};
     if (!winner || better(candidate, *winner)) winner = std::move(candidate);
   }
 
@@ -123,24 +174,62 @@ void BgpSpeaker::decide(const net::Ipv4Prefix& prefix) {
 
   loc_rib_[prefix] = *winner;
   ++stats_.best_changes;
+  announce_best(prefix, *winner);
+}
+
+void BgpSpeaker::announce_best(const net::Ipv4Prefix& prefix,
+                               const BestRoute& winner,
+                               std::optional<AsNumber> only) {
   std::vector<AsNumber> path;
-  path.reserve(winner->as_path.size() + 1);
+  path.reserve(winner.as_path.size() + 1);
   path.push_back(asn_);
-  path.insert(path.end(), winner->as_path.begin(), winner->as_path.end());
+  path.insert(path.end(), winner.as_path.begin(), winner.as_path.end());
 
   for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
+    if (only.has_value() && neighbor.asn != *only) continue;
     // Split horizon: never echo a route to the session it came from.  A
     // neighbor the new best is not exportable to gets a withdraw instead
     // (it may hold a previously exportable path).
-    if (!winner->local_origin && neighbor.asn == winner->learned_from) {
+    if (!winner.local_origin && neighbor.asn == winner.learned_from) {
       enqueue(neighbor.asn, prefix, std::nullopt);
       continue;
     }
-    if (exportable(*winner, neighbor.kind)) {
-      enqueue(neighbor.asn, prefix, RouteAdvert{prefix, path});
-    } else {
+    const policy::SessionPolicy* session =
+        fabric_.session_policy(asn_, neighbor.asn);
+    const bool role_ok = (session != nullptr && !session->valley_free) ||
+                         exportable(winner, neighbor.kind);
+    if (!role_ok) {
       enqueue(neighbor.asn, prefix, std::nullopt);
+      continue;
     }
+    if (session != nullptr && session->export_map != nullptr) {
+      const auto actions = session->export_map->evaluate(
+          policy::RouteContext{prefix, path, winner.communities});
+      if (!actions.has_value()) {
+        ++stats_.exports_filtered;
+        enqueue(neighbor.asn, prefix, std::nullopt);
+        continue;
+      }
+      RouteAdvert advert{prefix, path, winner.communities};
+      if (actions->prepend > 0) {
+        advert.as_path.insert(advert.as_path.begin(), actions->prepend, asn_);
+      }
+      for (const policy::Community c : actions->add_communities) {
+        policy::add_community(advert.communities, c);
+      }
+      enqueue(neighbor.asn, prefix, std::move(advert));
+      continue;
+    }
+    enqueue(neighbor.asn, prefix, RouteAdvert{prefix, path, winner.communities});
+  }
+}
+
+void BgpSpeaker::refresh_exports(std::optional<AsNumber> only) {
+  // Sorted snapshot: refresh order is observable through MRAI batching, so
+  // it must not depend on table layout.
+  for (const net::Ipv4Prefix& prefix : loc_rib_.sorted_keys()) {
+    const BestRoute* installed = loc_rib_.find(prefix);
+    if (installed != nullptr) announce_best(prefix, *installed, only);
   }
 }
 
@@ -151,7 +240,7 @@ bool BgpSpeaker::exportable(const BestRoute& route, NeighborKind to) {
 
 void BgpSpeaker::enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
                          std::optional<RouteAdvert> advert) {
-  Outbound& out = outbound_[neighbor];
+  Outbound& out = outbound(neighbor);
   if (!advert.has_value()) {
     const std::optional<RouteAdvert>* pending = out.pending.find(prefix);
     const bool pending_announce = pending != nullptr && pending->has_value();

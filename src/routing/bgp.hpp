@@ -5,12 +5,16 @@
 // motivation is about:
 //
 //   * per-neighbor Adj-RIB-In and a Loc-RIB with the standard decision
-//     process (relationship preference customer > peer > provider, then
-//     shortest AS path, then lowest neighbor ASN as the deterministic
-//     tie-break);
+//     process (highest local-pref — whose role defaults encode the
+//     relationship preference customer > peer > provider — then shortest
+//     AS path, then lowest neighbor ASN as the deterministic tie-break);
 //   * Gao-Rexford export policy (customer routes go everywhere; peer and
 //     provider routes go only to customers), which keeps paths valley-free
 //     and guarantees convergence;
+//   * an optional per-session policy layer (routing/policy.hpp): import/
+//     export route-map chains and a per-session valley-free gate.  With
+//     BgpConfig::policy null the speaker follows the exact legacy path —
+//     records are byte-identical to pre-policy artifacts;
 //   * AS-path loop detection on receipt;
 //   * MRAI-style batching of outbound updates per session.
 //
@@ -35,6 +39,7 @@
 #include "core/flat_map.hpp"
 #include "net/ipv4.hpp"
 #include "routing/as_graph.hpp"
+#include "routing/policy.hpp"
 #include "routing/shard_engine.hpp"
 
 namespace lispcp::routing {
@@ -43,10 +48,12 @@ class BgpFabric;
 
 /// One reachability announcement inside an update message.  `as_path`
 /// follows wire convention: front() is the most recently prepended AS (the
-/// sender), back() is the origin.
+/// sender), back() is the origin.  `communities` is sorted-unique and
+/// accumulates along the propagation path (empty with policy off).
 struct RouteAdvert {
   net::Ipv4Prefix prefix;
   std::vector<AsNumber> as_path;
+  std::vector<policy::Community> communities;
 };
 
 /// What one speaker sends a neighbor per MRAI flush.
@@ -70,6 +77,14 @@ struct BgpConfig {
   /// Worker threads driving the shards (0 = min(shards, hardware)).  Never
   /// affects results — only wall-clock.
   std::size_t shard_workers = 0;
+  /// Per-session routing policy (route-maps, Gao-Rexford role gates).
+  /// Null = policy off: the decision process and export defaults follow
+  /// the exact legacy path, byte-identical to pre-policy artifacts.
+  std::shared_ptr<const policy::PolicyTable> policy;
+  /// Expected converged Loc-RIB size (0 = unknown).  When set, the fabric
+  /// pre-sizes each speaker's flat RIB tables so origination storms fill
+  /// them without intermediate rehashes; never affects results.
+  std::size_t expected_prefixes = 0;
 };
 
 struct BgpSpeakerStats {
@@ -79,6 +94,8 @@ struct BgpSpeakerStats {
   std::uint64_t routes_withdrawn = 0;    ///< withdraw records sent
   std::uint64_t loops_rejected = 0;      ///< adverts dropped: own ASN in path
   std::uint64_t best_changes = 0;        ///< Loc-RIB best-route transitions
+  std::uint64_t imports_filtered = 0;    ///< adverts denied by import policy
+  std::uint64_t exports_filtered = 0;    ///< exports denied by an export map
 };
 
 /// One AS's routing process.
@@ -106,8 +123,22 @@ class BgpSpeaker {
     AsNumber learned_from;          ///< == asn() for locally originated
     NeighborKind neighbor_kind = NeighborKind::kCustomer;
     bool local_origin = false;
+    /// Effective local-pref: an import map's set value, or the role
+    /// default (policy::role_local_pref) — whose ordering reproduces the
+    /// legacy customer > peer > provider comparison exactly.
+    std::uint32_t local_pref = policy::kCustomerLocalPref;
+    std::vector<policy::Community> communities;
   };
   [[nodiscard]] const BestRoute* best(const net::Ipv4Prefix& prefix) const;
+
+  /// Re-runs the export leg of the decision process for every installed
+  /// route, in ascending prefix order (the local half of an RFC 2918 route
+  /// refresh).  Used after a post-convergence policy change — e.g. a
+  /// route-leak study toggling a session's valley-free gate — so the new
+  /// policy's view propagates without re-originating anything.  When
+  /// `only` is set, just that session is refreshed (the usual scope of a
+  /// policy change).
+  void refresh_exports(std::optional<AsNumber> only = std::nullopt);
 
   /// Loc-RIB size: the DFZ table when this AS is a tier-1.
   [[nodiscard]] std::size_t rib_size() const noexcept { return loc_rib_.size(); }
@@ -122,6 +153,13 @@ class BgpSpeaker {
   /// Re-runs the decision process for one prefix; if the best route
   /// changed, installs it and enqueues the delta to every eligible session.
   void decide(const net::Ipv4Prefix& prefix);
+
+  /// The export fan-out for an installed best route: split horizon, the
+  /// valley-free role gate (per-session policy may relax it), then the
+  /// session's export map.  Shared by decide() (all sessions) and
+  /// refresh_exports() (optionally one).
+  void announce_best(const net::Ipv4Prefix& prefix, const BestRoute& winner,
+                     std::optional<AsNumber> only = std::nullopt);
 
   /// Gao-Rexford: may `route` be told to a neighbor of kind `to`?
   [[nodiscard]] static bool exportable(const BestRoute& route, NeighborKind to);
@@ -141,11 +179,25 @@ class BgpSpeaker {
   // former std::map tables exactly while the hot path stops chasing
   // red-black-tree nodes.
 
-  /// Adj-RIB-In: per neighbor, the paths it advertised.
+  /// One Adj-RIB-In entry: the neighbor's path plus the attributes the
+  /// import chain resolved (local_pref 0 = no import override, use the
+  /// role default — the policy-off case never stores anything else).
+  struct AdjRoute {
+    std::vector<AsNumber> as_path;
+    std::vector<policy::Community> communities;
+    std::uint32_t local_pref = 0;
+  };
+
+  /// Adj-RIB-In: per neighbor, the routes it advertised.
   struct AdjIn {
-    core::FlatMap<net::Ipv4Prefix, std::vector<AsNumber>> routes;
+    core::FlatMap<net::Ipv4Prefix, AdjRoute> routes;
   };
   std::unordered_map<AsNumber, AdjIn> adj_in_;
+
+  /// adj_in_[from], pre-sizing the table on first touch when the session
+  /// can carry a full table (peer/provider sessions under a known
+  /// expected_prefixes).
+  AdjIn& adj_in(AsNumber from);
 
   core::FlatMap<net::Ipv4Prefix, BestRoute> loc_rib_;
   core::FlatSet<net::Ipv4Prefix> origins_;
@@ -162,6 +214,10 @@ class BgpSpeaker {
     bool mrai_armed = false;
   };
   std::unordered_map<AsNumber, Outbound> outbound_;
+
+  /// outbound_[neighbor], pre-sizing the Adj-RIB-Out ledger on first touch
+  /// for customer sessions (which receive the full table).
+  Outbound& outbound(AsNumber neighbor);
 
   BgpSpeakerStats stats_;
 };
@@ -189,6 +245,14 @@ class BgpFabric {
 
   /// Relationship of `neighbor` as seen from `self`; throws if no session.
   [[nodiscard]] NeighborKind kind_of(AsNumber self, AsNumber neighbor) const;
+
+  /// The (self -> neighbor) session policy, or nullptr with policy off /
+  /// no attachment.  One branch on the policy-off hot path.
+  [[nodiscard]] const policy::SessionPolicy* session_policy(
+      AsNumber self, AsNumber neighbor) const noexcept {
+    return config_.policy == nullptr ? nullptr
+                                     : config_.policy->find(self, neighbor);
+  }
 
   /// Schedules delivery of `message` on the (from, to) session.
   void send(AsNumber from, AsNumber to, UpdateMessage message);

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <stdexcept>
 
+#include "routing/policy.hpp"
+
 namespace lispcp::routing {
 
 namespace {
@@ -37,9 +39,108 @@ struct BuiltStudy {
   /// per-run state — speakers, RIBs, queues — lives in the fabric).
   std::shared_ptr<const AsGraph> graph;
   std::unique_ptr<BgpFabric> fabric;
+  /// Non-const handle on the fabric's policy table (null with roles off):
+  /// event studies mutate it between convergence runs (engine idle).
+  std::shared_ptr<policy::PolicyTable> table;
+  std::vector<AsNumber> stubs;
   std::size_t origin_prefixes = 0;
   std::size_t mapping_entries = 0;
 };
+
+/// The event's more-specific split, relative to the study's base factor.
+[[nodiscard]] std::size_t event_total_factor(const DfzStudyConfig& config) {
+  const PolicyEvent& event = config.policy.event;
+  switch (event.kind) {
+    case PolicyEvent::Kind::kHijackMoreSpecific:
+    case PolicyEvent::Kind::kSelectiveDeagg:
+    case PolicyEvent::Kind::kBroadcastDeagg:
+      return config.deaggregation_factor * event.deagg_factor;
+    default:
+      return config.deaggregation_factor;
+  }
+}
+
+/// Resolves PolicyEvent::actor_stub's SIZE_MAX default to the last stub.
+[[nodiscard]] std::size_t resolve_actor(const PolicyEvent& event,
+                                        std::size_t stub_count) {
+  return event.actor_stub == static_cast<std::size_t>(-1) ? stub_count - 1
+                                                          : event.actor_stub;
+}
+
+/// The provider sessions of a stub, in graph order.
+[[nodiscard]] std::vector<AsNumber> providers_of_stub(const AsGraph& graph,
+                                                      AsNumber stub) {
+  std::vector<AsNumber> out;
+  for (const AsGraph::Neighbor& n : graph.neighbors(stub)) {
+    if (n.kind == NeighborKind::kProvider) out.push_back(n.asn);
+  }
+  return out;
+}
+
+/// Attaches the Gao-Rexford table plus the study's policy wiring: IRR-style
+/// strict customer-origin import filters on the configured transit
+/// fraction, and — for the selective-TE event — export maps on the
+/// victim's non-chosen provider sessions denying its more-specifics.
+void wire_policy(const DfzStudyConfig& config, BuiltStudy& study,
+                 BgpConfig& bgp) {
+  study.table = policy::PolicyTable::gao_rexford(*study.graph);
+
+  const AsGraph& graph = *study.graph;
+  const auto transits = graph.ases_of_tier(AsTier::kTransit);
+  const auto& stubs = study.stubs;
+  std::unordered_map<std::uint32_t, std::size_t> stub_index;
+  for (std::size_t i = 0; i < stubs.size(); ++i) {
+    stub_index.emplace(stubs[i].value(), i);
+  }
+
+  const double fraction =
+      std::clamp(config.policy.filtered_transit_fraction, 0.0, 1.0);
+  const auto filtered = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(transits.size())));
+  for (std::size_t t = 0; t < filtered; ++t) {
+    for (const AsGraph::Neighbor& n : graph.neighbors(transits[t])) {
+      if (n.kind != NeighborKind::kCustomer) continue;
+      const auto it = stub_index.find(n.asn.value());
+      if (it == stub_index.end()) continue;  // a transit customer: no filter
+      const net::Ipv4Prefix block = stub_site_prefixes(it->second, 1).front();
+      policy::RouteMap& map =
+          study.table->add_map("customer-origin:" + n.asn.to_string());
+      map.add(policy::RouteMap::Action::kPermit)
+          .match_prefix_list(policy::PrefixList("own-block")
+                                 .permit(block, block.length(), 32))
+          .set_local_pref(policy::kCustomerLocalPref)
+          .add_community(policy::kLearnedFromCustomer);
+      study.table->session(transits[t], n.asn).import = &map;
+    }
+  }
+
+  if (config.policy.event.kind == PolicyEvent::Kind::kSelectiveDeagg &&
+      config.scenario == AddressingScenario::kLegacyBgp && !stubs.empty()) {
+    const std::size_t victim = config.policy.event.victim_stub;
+    if (victim < stubs.size()) {
+      const auto providers = providers_of_stub(graph, stubs[victim]);
+      const net::Ipv4Prefix block = stub_site_prefixes(victim, 1).front();
+      const int base_length =
+          stub_site_prefixes(victim, config.deaggregation_factor)
+              .front()
+              .length();
+      for (std::size_t p = 1; p < providers.size(); ++p) {
+        // Providers after the first (the TE choice) never hear the
+        // more-specifics: deny anything in the victim's block longer than
+        // its baseline announcements, pass the rest untouched.
+        policy::RouteMap& map = study.table->add_map(
+            "te-selective:" + providers[p].to_string());
+        map.add(policy::RouteMap::Action::kDeny)
+            .match_prefix_list(policy::PrefixList("own-more-specifics")
+                                   .permit(block, base_length + 1, 32));
+        map.add(policy::RouteMap::Action::kPermit);
+        study.table->session(stubs[victim], providers[p]).export_map = &map;
+      }
+    }
+  }
+
+  bgp.policy = study.table;
+}
 
 /// Builds the Internet, originates prefixes per scenario, returns the
 /// un-converged fabric.
@@ -51,13 +152,24 @@ struct BuiltStudy {
   }
   auto study = std::make_unique<BuiltStudy>();
   study->graph = shared_synthetic_internet(config.internet);
-  study->fabric = std::make_unique<BgpFabric>(*study->graph, config.bgp);
+  study->stubs = study->graph->ases_of_tier(AsTier::kStub);
+
+  BgpConfig bgp = config.bgp;
+  const std::size_t providers = providers_of(*study->graph).size();
+  bgp.expected_prefixes =
+      providers + (config.scenario == AddressingScenario::kLegacyBgp
+                       ? study->stubs.size() * config.deaggregation_factor +
+                             event_total_factor(config)
+                       : 0);
+  if (config.policy.roles) wire_policy(config, *study, bgp);
+
+  study->fabric = std::make_unique<BgpFabric>(*study->graph, bgp);
 
   for (AsNumber provider : providers_of(*study->graph)) {
     study->fabric->speaker(provider).originate(provider_aggregate(provider));
     ++study->origin_prefixes;
   }
-  const auto stubs = study->graph->ases_of_tier(AsTier::kStub);
+  const auto& stubs = study->stubs;
   for (std::size_t i = 0; i < stubs.size(); ++i) {
     const auto prefixes = stub_site_prefixes(i, config.deaggregation_factor);
     if (config.scenario == AddressingScenario::kLegacyBgp) {
@@ -80,6 +192,18 @@ std::string to_string(AddressingScenario scenario) {
   switch (scenario) {
     case AddressingScenario::kLegacyBgp: return "legacy-bgp";
     case AddressingScenario::kLispRlocOnly: return "lisp-rloc-only";
+  }
+  return "?";
+}
+
+std::string to_string(PolicyEvent::Kind kind) {
+  switch (kind) {
+    case PolicyEvent::Kind::kNone: return "none";
+    case PolicyEvent::Kind::kHijackMoreSpecific: return "hijack-more-specific";
+    case PolicyEvent::Kind::kHijackSameSpecific: return "hijack-same-specific";
+    case PolicyEvent::Kind::kRouteLeak: return "route-leak";
+    case PolicyEvent::Kind::kSelectiveDeagg: return "selective-deagg";
+    case PolicyEvent::Kind::kBroadcastDeagg: return "broadcast-deagg";
   }
   return "?";
 }
@@ -188,6 +312,178 @@ RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
         changes_before[asn.value()]) {
       ++result.ases_touched;
     }
+  }
+  return result;
+}
+
+PolicyEventResult run_policy_event(const DfzStudyConfig& config) {
+  const PolicyEvent& event = config.policy.event;
+  if (!config.policy.roles) {
+    throw std::invalid_argument(
+        "run_policy_event: requires policy.roles (Gao-Rexford table)");
+  }
+  if (config.scenario != AddressingScenario::kLegacyBgp) {
+    throw std::invalid_argument(
+        "run_policy_event: events are BGP incidents; use kLegacyBgp");
+  }
+  if (event.kind == PolicyEvent::Kind::kNone) {
+    throw std::invalid_argument("run_policy_event: event.kind is kNone");
+  }
+  if (!is_power_of_two(event.deagg_factor) || event.deagg_factor > 4096) {
+    throw std::invalid_argument(
+        "run_policy_event: event.deagg_factor must be a power of two <= 4096");
+  }
+
+  auto study = build_study(config);
+  const std::vector<AsNumber>& stubs = study->stubs;
+  if (event.victim_stub >= stubs.size()) {
+    throw std::invalid_argument("run_policy_event: victim_stub out of range");
+  }
+  const std::size_t actor_index = resolve_actor(event, stubs.size());
+  if (actor_index >= stubs.size()) {
+    throw std::invalid_argument("run_policy_event: actor_stub out of range");
+  }
+  const AsNumber victim = stubs[event.victim_stub];
+  const AsNumber actor = stubs[actor_index];
+
+  study->fabric->run_to_convergence();
+
+  PolicyEventResult result;
+  const std::uint64_t updates_before = study->fabric->total_updates_sent();
+  const std::uint64_t records_before = study->fabric->total_routes_announced() +
+                                       study->fabric->total_routes_withdrawn();
+  std::unordered_map<std::uint32_t, std::uint64_t> changes_before;
+  std::uint64_t rib_before = 0;
+  for (AsNumber asn : study->graph->ases()) {
+    changes_before[asn.value()] =
+        study->fabric->speaker(asn).stats().best_changes;
+    rib_before += study->fabric->speaker(asn).rib_size();
+  }
+  const auto tier1s = study->graph->ases_of_tier(AsTier::kTier1);
+  result.dfz_table_before = study->fabric->speaker(tier1s.front()).rib_size();
+  const sim::SimTime t0 = study->fabric->now();
+
+  // The probe prefixes the capture scan looks up afterwards, and the
+  // predicate that says "this best route prefers the actor".
+  std::vector<net::Ipv4Prefix> probes;
+  enum class Capture : std::uint8_t { kOriginatedByActor, kPathThrough };
+  Capture capture = Capture::kOriginatedByActor;
+  AsNumber capture_asn = actor;
+
+  switch (event.kind) {
+    case PolicyEvent::Kind::kHijackMoreSpecific: {
+      // The attacker splits the victim's block one level finer than the
+      // victim announces: every covered prefix is new, so longest-prefix
+      // match hands over traffic wherever the announcement survives.
+      probes = stub_site_prefixes(
+          event.victim_stub, config.deaggregation_factor * event.deagg_factor);
+      BgpSpeaker& speaker = study->fabric->speaker(actor);
+      for (const net::Ipv4Prefix& prefix : probes) speaker.originate(prefix);
+      result.event_announcements = probes.size();
+      break;
+    }
+    case PolicyEvent::Kind::kHijackSameSpecific: {
+      // The attacker forges the victim's exact announcements; the decision
+      // process arbitrates, so capture stays distance-limited.
+      probes = stub_site_prefixes(event.victim_stub, config.deaggregation_factor);
+      BgpSpeaker& speaker = study->fabric->speaker(actor);
+      for (const net::Ipv4Prefix& prefix : probes) speaker.originate(prefix);
+      result.event_announcements = probes.size();
+      break;
+    }
+    case PolicyEvent::Kind::kRouteLeak: {
+      // The classic type-1 leak: the actor re-exports everything it knows
+      // (including provider- and peer-learned routes) to one provider.
+      const auto providers = providers_of_stub(*study->graph, actor);
+      if (providers.empty()) {
+        throw std::invalid_argument("run_policy_event: leaker has no provider");
+      }
+      const AsNumber target = providers.back();
+      study->table->session(actor, target).valley_free = false;
+      BgpSpeaker& leaker = study->fabric->speaker(actor);
+      result.event_announcements = leaker.rib_size();
+      leaker.refresh_exports(target);
+      // Leaked traffic detours through the actor: probe the provider
+      // aggregates and count ASes whose best path transits the leaker.
+      for (AsNumber provider : providers_of(*study->graph)) {
+        probes.push_back(provider_aggregate(provider));
+      }
+      capture = Capture::kPathThrough;
+      break;
+    }
+    case PolicyEvent::Kind::kSelectiveDeagg:
+    case PolicyEvent::Kind::kBroadcastDeagg: {
+      // TE by de-aggregation: the victim splits its own block finer.  The
+      // selective variant's export maps (wired at build time) keep the
+      // more-specifics off every provider session but the first, so only
+      // the chosen ingress hears them; broadcast prices the naive version.
+      probes = stub_site_prefixes(
+          event.victim_stub, config.deaggregation_factor * event.deagg_factor);
+      BgpSpeaker& speaker = study->fabric->speaker(victim);
+      for (const net::Ipv4Prefix& prefix : probes) speaker.originate(prefix);
+      result.event_announcements = probes.size();
+      // Steering success: the best path toward a more-specific transits the
+      // chosen (first) provider.
+      const auto providers = providers_of_stub(*study->graph, victim);
+      if (providers.empty()) {
+        throw std::invalid_argument("run_policy_event: victim has no provider");
+      }
+      capture = Capture::kPathThrough;
+      capture_asn = providers.front();
+      break;
+    }
+    case PolicyEvent::Kind::kNone:
+      break;  // unreachable: rejected above
+  }
+
+  study->fabric->run_to_convergence();
+
+  result.update_messages = study->fabric->total_updates_sent() - updates_before;
+  result.route_records = study->fabric->total_routes_announced() +
+                         study->fabric->total_routes_withdrawn() -
+                         records_before;
+  result.settle_ms = (study->fabric->now() - t0).ms();
+  result.dfz_table_after = study->fabric->speaker(tier1s.front()).rib_size();
+
+  std::uint64_t rib_after = 0;
+  for (AsNumber asn : study->graph->ases()) {
+    const BgpSpeaker& speaker = study->fabric->speaker(asn);
+    rib_after += speaker.rib_size();
+    if (speaker.stats().best_changes > changes_before[asn.value()]) {
+      ++result.ases_touched;
+    }
+    // Exact-prefix capture scan (the probes are the event's own
+    // announcements, so LPM is unnecessary): does this AS's best route for
+    // any probe prefer the actor?
+    bool prefers = false;
+    for (const net::Ipv4Prefix& probe : probes) {
+      const BgpSpeaker::BestRoute* best = speaker.best(probe);
+      if (best == nullptr) continue;
+      if (capture == Capture::kOriginatedByActor) {
+        const AsNumber origin =
+            best->as_path.empty() ? asn : best->as_path.back();
+        prefers = origin == capture_asn;
+      } else {
+        prefers = std::find(best->as_path.begin(), best->as_path.end(),
+                            capture_asn) != best->as_path.end();
+      }
+      if (prefers) break;
+    }
+    if (prefers) ++result.ases_preferring_actor;
+  }
+  result.actor_preference_fraction =
+      static_cast<double>(result.ases_preferring_actor) /
+      static_cast<double>(study->graph->size());
+  result.rib_delta =
+      rib_after > rib_before ? static_cast<std::size_t>(rib_after - rib_before)
+                             : 0;
+  if (result.event_announcements > 0) {
+    result.rib_cost_per_announcement =
+        static_cast<double>(result.rib_delta) /
+        static_cast<double>(result.event_announcements);
+    result.churn_per_announcement =
+        static_cast<double>(result.route_records) /
+        static_cast<double>(result.event_announcements);
   }
   return result;
 }

@@ -33,6 +33,57 @@ enum class AddressingScenario : std::uint8_t { kLegacyBgp, kLispRlocOnly };
 
 [[nodiscard]] std::string to_string(AddressingScenario scenario);
 
+/// A declarative post-convergence policy scenario on the DFZ substrate.
+/// Each kind is the textbook incident the policy layer exists to model:
+///
+///   kHijackMoreSpecific — the actor originates more-specifics of the
+///       victim's block (split by deagg_factor); longest-prefix match pulls
+///       traffic everywhere the announcement survives import filters.
+///   kHijackSameSpecific — the actor originates the victim's exact
+///       prefixes; capture is decided by the decision process, so it stays
+///       distance-limited.  The paper-facing contrast with the above.
+///   kRouteLeak — the actor (a multihomed stub) drops the valley-free gate
+///       toward its last provider and refreshes the session, re-exporting
+///       provider-learned routes upward (the classic type-1 leak).
+///   kSelectiveDeagg — the victim splits its block and announces the
+///       more-specifics toward ONE provider only (export maps deny them on
+///       the other sessions): the paper's claim-(iii) TE knob, now with a
+///       realistic per-announcement RIB/churn cost.
+///   kBroadcastDeagg — the same split announced to every provider; the
+///       baseline that prices what "selective" saves.
+struct PolicyEvent {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kHijackMoreSpecific,
+    kHijackSameSpecific,
+    kRouteLeak,
+    kSelectiveDeagg,
+    kBroadcastDeagg,
+  };
+  Kind kind = Kind::kNone;
+  /// Stub index owning the affected prefix block.
+  std::size_t victim_stub = 0;
+  /// Stub index of the attacker/leaker; SIZE_MAX = the last stub.
+  std::size_t actor_stub = static_cast<std::size_t>(-1);
+  /// More-specific split factor for the hijack/de-aggregation events,
+  /// relative to the study's base deaggregation_factor.  Power of two.
+  std::size_t deagg_factor = 2;
+};
+
+[[nodiscard]] std::string to_string(PolicyEvent::Kind kind);
+
+/// Policy section of the DFZ study.  `roles` attaches the Gao-Rexford
+/// table (policy::PolicyTable::gao_rexford) to every speaker — required by
+/// run_policy_event.  `filtered_transit_fraction` puts IRR-style strict
+/// customer-origin import prefix-lists on the stub sessions of the first
+/// ceil(fraction * transit_count) transits: the containment knob the F2e
+/// hijack series sweeps.
+struct PolicyStudyConfig {
+  bool roles = false;
+  double filtered_transit_fraction = 0.0;
+  PolicyEvent event;
+};
+
 struct DfzStudyConfig {
   SyntheticInternetConfig internet;
   AddressingScenario scenario = AddressingScenario::kLegacyBgp;
@@ -40,6 +91,7 @@ struct DfzStudyConfig {
   /// ("the world's largest IPv4 de-aggregation factor").  Power of two.
   std::size_t deaggregation_factor = 1;
   BgpConfig bgp;
+  PolicyStudyConfig policy;
 };
 
 struct DfzStudyResult {
@@ -72,6 +124,36 @@ struct RehomingChurnResult {
 /// argument: with LISP+PCE, moving ingress traffic is a mapping push, not a
 /// BGP event.
 [[nodiscard]] RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config);
+
+struct PolicyEventResult {
+  std::size_t dfz_table_before = 0;   ///< tier-1 Loc-RIB pre-event
+  std::size_t dfz_table_after = 0;
+  std::uint64_t update_messages = 0;  ///< event-triggered MRAI flushes
+  std::uint64_t route_records = 0;    ///< announce+withdraw records
+  double settle_ms = 0.0;
+  std::size_t ases_touched = 0;       ///< Loc-RIB changed during the event
+  /// Route records the event itself injected (hijack/TE originations, or
+  /// the leaked session's refresh size) — the denominator of the
+  /// per-announcement costs.
+  std::size_t event_announcements = 0;
+  /// Network-wide Loc-RIB growth, total and per injected announcement: the
+  /// realistic cost model for de-aggregation TE.
+  std::size_t rib_delta = 0;
+  double rib_cost_per_announcement = 0.0;
+  double churn_per_announcement = 0.0;
+  /// ASes whose post-event best route for a probe prefix prefers the
+  /// actor (hijack: actor-originated; leak: path through the leaker;
+  /// TE: path through the chosen provider), and the fraction of all ASes.
+  std::size_t ases_preferring_actor = 0;
+  double actor_preference_fraction = 0.0;
+};
+
+/// Converges the study with Gao-Rexford roles attached, applies the
+/// configured PolicyEvent, reconverges, and measures the event's blast
+/// radius.  Requires config.policy.roles, a kLegacyBgp scenario, and an
+/// event kind != kNone (throws std::invalid_argument otherwise).
+/// Deterministic for any shard/worker count, like every study here.
+[[nodiscard]] PolicyEventResult run_policy_event(const DfzStudyConfig& config);
 
 /// The prefixes a stub injects under the given de-aggregation factor:
 /// `factor` equal-sized sub-blocks of its /20 site block (factor 1 = the

@@ -1,0 +1,282 @@
+#include "routing/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "routing/bgp.hpp"
+
+namespace lispcp::routing::policy {
+
+std::string to_string(Community community) {
+  return std::to_string(community >> 16) + ":" +
+         std::to_string(community & 0xffffu);
+}
+
+void add_community(std::vector<Community>& communities, Community community) {
+  const auto it =
+      std::lower_bound(communities.begin(), communities.end(), community);
+  if (it != communities.end() && *it == community) return;
+  communities.insert(it, community);
+}
+
+// ---------------------------------------------------------------------------
+// PrefixList
+// ---------------------------------------------------------------------------
+
+PrefixList& PrefixList::add(bool permit, const net::Ipv4Prefix& prefix, int ge,
+                            int le) {
+  Rule rule;
+  rule.permit = permit;
+  rule.prefix = prefix;
+  rule.min_length = ge < 0 ? prefix.length() : ge;
+  rule.max_length = le < 0 ? (ge < 0 ? prefix.length() : 32) : le;
+  if (rule.min_length < prefix.length() || rule.max_length > 32 ||
+      rule.min_length > rule.max_length) {
+    throw std::invalid_argument("PrefixList: bad ge/le bounds for " +
+                                prefix.to_string());
+  }
+  rules_.push_back(rule);
+  return *this;
+}
+
+bool PrefixList::matches(const net::Ipv4Prefix& prefix) const {
+  for (const Rule& rule : rules_) {
+    if (prefix.length() < rule.min_length || prefix.length() > rule.max_length) {
+      continue;
+    }
+    if (!rule.prefix.contains(prefix)) continue;
+    return rule.permit;
+  }
+  return false;  // implicit deny
+}
+
+// ---------------------------------------------------------------------------
+// AsPathPattern
+// ---------------------------------------------------------------------------
+
+AsPathPattern AsPathPattern::parse(std::string_view text) {
+  AsPathPattern out;
+  out.text_ = std::string(text);
+  std::string_view body = text;
+  const bool anchored_front = !body.empty() && body.front() == '^';
+  if (anchored_front) body.remove_prefix(1);
+  const bool anchored_back = !body.empty() && body.back() == '$';
+  if (anchored_back) body.remove_suffix(1);
+
+  if (body.empty()) {
+    if (anchored_front && anchored_back) {
+      out.kind_ = Kind::kEmpty;
+      return out;
+    }
+    if (!anchored_front && !anchored_back) {
+      out.kind_ = Kind::kAny;
+      return out;
+    }
+    throw std::invalid_argument("AsPathPattern: bad pattern '" +
+                                std::string(text) + "'");
+  }
+
+  std::uint32_t value = 0;
+  for (const char c : body) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("AsPathPattern: bad pattern '" +
+                                  std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  out.asn_ = AsNumber{value};
+  if (anchored_front && anchored_back) {
+    out.kind_ = Kind::kExact;
+  } else if (anchored_front) {
+    out.kind_ = Kind::kFirstHop;
+  } else if (anchored_back) {
+    out.kind_ = Kind::kOrigin;
+  } else {
+    out.kind_ = Kind::kContains;
+  }
+  return out;
+}
+
+bool AsPathPattern::matches(const std::vector<AsNumber>& as_path) const {
+  switch (kind_) {
+    case Kind::kAny:
+      return true;
+    case Kind::kEmpty:
+      return as_path.empty();
+    case Kind::kFirstHop:
+      return !as_path.empty() && as_path.front() == asn_;
+    case Kind::kOrigin:
+      return !as_path.empty() && as_path.back() == asn_;
+    case Kind::kExact:
+      return as_path.size() == 1 && as_path.front() == asn_;
+    case Kind::kContains:
+      return std::find(as_path.begin(), as_path.end(), asn_) != as_path.end();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// RouteMap
+// ---------------------------------------------------------------------------
+
+RouteMap::Clause& RouteMap::Clause::match_prefix_list(PrefixList list) {
+  prefix_list_ = std::move(list);
+  return *this;
+}
+
+RouteMap::Clause& RouteMap::Clause::match_prefix_length(int min_length,
+                                                        int max_length) {
+  if (min_length < 0 || max_length > 32 || min_length > max_length) {
+    throw std::invalid_argument("RouteMap: bad prefix-length bounds");
+  }
+  min_length_ = min_length;
+  max_length_ = max_length;
+  return *this;
+}
+
+RouteMap::Clause& RouteMap::Clause::match_community(Community community) {
+  policy::add_community(required_communities_, community);
+  return *this;
+}
+
+RouteMap::Clause& RouteMap::Clause::match_as_path(AsPathPattern pattern) {
+  as_path_ = std::move(pattern);
+  return *this;
+}
+
+RouteMap::Clause& RouteMap::Clause::set_local_pref(std::uint32_t value) {
+  if (value == 0) {
+    throw std::invalid_argument("RouteMap: local-pref 0 means 'unset'");
+  }
+  actions_.local_pref = value;
+  return *this;
+}
+
+RouteMap::Clause& RouteMap::Clause::add_community(Community community) {
+  policy::add_community(actions_.add_communities, community);
+  return *this;
+}
+
+RouteMap::Clause& RouteMap::Clause::prepend(std::size_t count) {
+  actions_.prepend = count;
+  return *this;
+}
+
+bool RouteMap::Clause::matches(const RouteContext& route) const {
+  if (prefix_list_ && !prefix_list_->matches(route.prefix)) return false;
+  if (min_length_ >= 0 && (route.prefix.length() < min_length_ ||
+                           route.prefix.length() > max_length_)) {
+    return false;
+  }
+  for (const Community required : required_communities_) {
+    if (!std::binary_search(route.communities.begin(), route.communities.end(),
+                            required)) {
+      return false;
+    }
+  }
+  if (as_path_ && !as_path_->matches(route.as_path)) return false;
+  return true;
+}
+
+std::optional<RouteActions> RouteMap::evaluate(const RouteContext& route) const {
+  for (const Clause& clause : clauses_) {
+    if (!clause.matches(route)) continue;
+    if (clause.action_ == Action::kDeny) return std::nullopt;
+    return clause.actions_;
+  }
+  return std::nullopt;  // implicit deny
+}
+
+// ---------------------------------------------------------------------------
+// PolicyTable
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<PolicyTable> PolicyTable::gao_rexford(const AsGraph& graph) {
+  auto table = std::make_shared<PolicyTable>();
+
+  // One shared import map per role: pin the role local-pref and tag the
+  // route with the learned-from-role community.  The maps are the explicit
+  // form of what the policy-off decision process hard-codes.
+  const auto role_import = [&table](const char* name, std::uint32_t local_pref,
+                                    Community tag) -> RouteMap& {
+    RouteMap& map = table->add_map(name);
+    map.add(RouteMap::Action::kPermit)
+        .set_local_pref(local_pref)
+        .add_community(tag);
+    return map;
+  };
+  const RouteMap& from_customer = role_import(
+      "role-import:customer", kCustomerLocalPref, kLearnedFromCustomer);
+  const RouteMap& from_peer =
+      role_import("role-import:peer", kPeerLocalPref, kLearnedFromPeer);
+  const RouteMap& from_provider = role_import(
+      "role-import:provider", kProviderLocalPref, kLearnedFromProvider);
+
+  for (const AsNumber asn : graph.ases()) {
+    for (const AsGraph::Neighbor& neighbor : graph.neighbors(asn)) {
+      SessionPolicy& session = table->session(asn, neighbor.asn);
+      session.valley_free = true;
+      switch (neighbor.kind) {
+        case NeighborKind::kCustomer: session.import = &from_customer; break;
+        case NeighborKind::kPeer: session.import = &from_peer; break;
+        case NeighborKind::kProvider: session.import = &from_provider; break;
+      }
+    }
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Valley-free checker
+// ---------------------------------------------------------------------------
+
+bool valley_free_path(const AsGraph& graph, AsNumber at,
+                      const std::vector<AsNumber>& as_path) {
+  if (as_path.empty()) return true;  // locally originated
+  // Walk the propagation chain origin -> ... -> first hop -> at.  Each
+  // step's role is how the *receiving* AS sees the AS it learned from;
+  // Gao-Rexford permits customer* peer? provider* along that walk.
+  enum class Phase { kUp, kAcross, kDown } phase = Phase::kUp;
+  AsNumber current = at;
+  for (const AsNumber prev : as_path) {  // front() is the nearest hop
+    const auto kind = graph.kind_between(current, prev);
+    if (!kind.has_value()) return false;  // path crosses a non-session edge
+    // Reversed walk: at -> origin.  Seen in propagation order (origin ->
+    // at) the roles read back-to-front, so classify against the reversed
+    // automaton: provider* peer? customer* while walking away from `at`.
+    switch (*kind) {
+      case NeighborKind::kProvider:
+        if (phase != Phase::kUp) return false;
+        break;
+      case NeighborKind::kPeer:
+        if (phase != Phase::kUp) return false;  // at most one peer step
+        phase = Phase::kAcross;
+        break;
+      case NeighborKind::kCustomer:
+        phase = Phase::kDown;
+        break;
+    }
+    current = prev;
+  }
+  return true;
+}
+
+ValleyCheck check_valley_free(const BgpFabric& fabric,
+                              std::size_t sample_stride) {
+  if (sample_stride == 0) sample_stride = 1;
+  ValleyCheck out;
+  const AsGraph& graph = fabric.graph();
+  for (const AsNumber asn : graph.ases()) {
+    const BgpSpeaker& speaker = fabric.speaker(asn);
+    const std::vector<net::Ipv4Prefix> prefixes = speaker.rib_prefixes();
+    for (std::size_t i = 0; i < prefixes.size(); i += sample_stride) {
+      const BgpSpeaker::BestRoute* route = speaker.best(prefixes[i]);
+      if (route == nullptr) continue;
+      ++out.paths_checked;
+      if (!valley_free_path(graph, asn, route->as_path)) ++out.violations;
+    }
+  }
+  return out;
+}
+
+}  // namespace lispcp::routing::policy

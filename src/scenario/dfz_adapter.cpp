@@ -62,4 +62,52 @@ void run_churn(const RunPoint& point, Record& record) {
   record.set_real("settle ms", churn.settle_ms, 1);
 }
 
+std::function<void(ExperimentConfig&)> roles_enabled() {
+  return [](ExperimentConfig& config) { config.dfz.policy.roles = true; };
+}
+
+Axis policy_events(std::vector<routing::PolicyEvent::Kind> kinds,
+                   std::string name) {
+  std::vector<Axis::Point> points;
+  for (const auto kind : kinds) {
+    const std::string label = routing::to_string(kind);
+    points.push_back(Axis::Point{
+        label, Field::text(label), [kind](ExperimentConfig& config) {
+          config.dfz.policy.event.kind = kind;
+        }});
+  }
+  return Axis(std::move(name), std::move(points));
+}
+
+Axis filtered_transits(std::vector<double> fractions, std::string name) {
+  return Axis::reals(std::move(name), std::move(fractions),
+                     [](ExperimentConfig& config, double v) {
+                       config.dfz.policy.filtered_transit_fraction = v;
+                     });
+}
+
+Axis event_deagg(std::vector<std::uint64_t> values, std::string name) {
+  return Axis::integers(std::move(name), std::move(values),
+                        [](ExperimentConfig& config, std::uint64_t v) {
+                          config.dfz.policy.event.deagg_factor =
+                              static_cast<std::size_t>(v);
+                        });
+}
+
+void run_policy_event(const RunPoint& point, Record& record) {
+  const auto result = routing::run_policy_event(point.config.dfz);
+  record.set_int("DFZ before", result.dfz_table_before);
+  record.set_int("DFZ after", result.dfz_table_after);
+  record.set_int("updates", result.update_messages);
+  record.set_int("route records", result.route_records);
+  record.set_real("settle ms", result.settle_ms, 1);
+  record.set_int("ASes touched", result.ases_touched);
+  record.set_int("announcements", result.event_announcements);
+  record.set_int("RIB delta", result.rib_delta);
+  record.set_real("RIB/ann", result.rib_cost_per_announcement, 2);
+  record.set_real("churn/ann", result.churn_per_announcement, 2);
+  record.set_int("captured ASes", result.ases_preferring_actor);
+  record.set_percent("captured", result.actor_preference_fraction);
+}
+
 }  // namespace lispcp::scenario::dfz

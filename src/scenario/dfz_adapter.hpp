@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "routing/dfz_study.hpp"
 #include "scenario/sweep.hpp"
 
 namespace lispcp::scenario::dfz {
@@ -56,5 +57,37 @@ void run_study(const RunPoint& point, Record& record);
 /// Runner executor: the post-convergence re-homing churn event.  Fields:
 /// "updates", "route records", "ASes touched", "settle ms".
 void run_churn(const RunPoint& point, Record& record);
+
+// ---------------------------------------------------------------------------
+// Policy layer (routing/policy.hpp): roles, incidents, containment
+// ---------------------------------------------------------------------------
+
+/// Base-config mutation: attach the Gao-Rexford role table to every BGP
+/// session (config.dfz.policy.roles).  Required by run_policy_event; also
+/// usable on the plain study to pin roles-on/policy-off record parity.
+[[nodiscard]] std::function<void(ExperimentConfig&)> roles_enabled();
+
+/// Policy-incident axis over PolicyEvent kinds (hijacks, route leak, the
+/// de-aggregation TE variants).  Labels are the routing layer's to_string
+/// names ("hijack-more-specific", ...).
+[[nodiscard]] Axis policy_events(std::vector<routing::PolicyEvent::Kind> kinds,
+                                 std::string name = "event");
+
+/// Containment axis: fraction of transits applying IRR-style strict
+/// customer-origin import filters (policy.filtered_transit_fraction).
+[[nodiscard]] Axis filtered_transits(std::vector<double> fractions,
+                                     std::string name = "filtered");
+
+/// Event split-factor axis (PolicyEvent::deagg_factor, relative to the
+/// study's base de-aggregation factor).
+[[nodiscard]] Axis event_deagg(std::vector<std::uint64_t> values,
+                               std::string name = "event deagg");
+
+/// Runner executor: converge, apply the point's PolicyEvent, reconverge
+/// (routing::run_policy_event).  Fields: "DFZ before", "DFZ after",
+/// "updates", "route records", "settle ms", "ASes touched",
+/// "announcements", "RIB delta", "RIB/ann", "churn/ann", "captured ASes",
+/// "captured".
+void run_policy_event(const RunPoint& point, Record& record);
 
 }  // namespace lispcp::scenario::dfz
