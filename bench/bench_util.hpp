@@ -16,6 +16,8 @@
 //                    label contains it when it names a registered control
 //                    plane
 //   --quick          reduced sweep (short arrival window) for smoke runs
+//   --full-replay    DFZ churn plans rebuild the world per event (parity
+//                    baseline for the incremental engine; same records)
 //   --list           enumerate the bench's series names (the --filter
 //                    vocabulary) without running anything, then exit 0
 #pragma once
@@ -71,6 +73,10 @@ struct BenchOptions {
   std::string timing_path;
   std::string filter;
   bool quick = false;
+  /// DFZ churn plans re-measure every event against a freshly rebuilt
+  /// world instead of the incremental long-lived fabric (the parity
+  /// baseline; records are byte-identical for state-restoring plans).
+  bool full_replay = false;
   /// Enumerate series names instead of running (the --filter vocabulary).
   bool list = false;
 };
@@ -115,12 +121,15 @@ inline BenchOptions parse_cli(int argc, char** argv) {
       options.filter = value(i, "--filter");
     } else if (arg == "--quick") {
       options.quick = true;
+    } else if (arg == "--full-replay") {
+      options.full_replay = true;
     } else if (arg == "--list") {
       options.list = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--jobs N] [--shards K] [--json path] [--csv path]"
-                   " [--timing path] [--filter series] [--quick] [--list]\n";
+                   " [--timing path] [--filter series] [--quick]"
+                   " [--full-replay] [--list]\n";
       std::exit(0);
     } else {
       std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
@@ -141,6 +150,9 @@ class BenchContext {
 
   [[nodiscard]] const BenchOptions& options() const noexcept { return options_; }
   [[nodiscard]] bool quick() const noexcept { return options_.quick; }
+  [[nodiscard]] bool full_replay() const noexcept {
+    return options_.full_replay;
+  }
   [[nodiscard]] std::size_t shards() const noexcept { return options_.shards; }
 
   /// Per-point convergence-engine worker budget: --jobs already

@@ -19,7 +19,11 @@ Checks per bench id in the baseline:
     mean/sd/min/max keys;
   * mode_parity: in every series whose name contains "parity" (the
     packet-vs-flow-aggregate validation sweeps, e1's E1d / e3's E3d),
-    the two workload engines agree on the pinned metrics within 2%.
+    the two workload engines agree on the pinned metrics within 2%;
+  * churn_soak: every point that reports a "flaps" field (the DFZ churn
+    soak, f2's F2f/F2g) actually executed a nonzero flap plan — a soak
+    that silently degenerates to zero events would still emit a
+    schema-valid artifact.
 
 Usage:
   check_bench.py --dir build                 # verify against the baseline
@@ -40,7 +44,10 @@ regression when
 
 with tolerance 1.75x for micros and 1.9x for wall-clock — both below 2x,
 so CI's injected-2x selftest (--inject 2.0, applied to everything except
-the anchor) must fail, proving the gate is live.
+the anchor) must fail, proving the gate is live.  --ratchet also asserts
+the incremental re-convergence claim directly: the M1a pair
+"flap reconverge/full-replay" / "flap reconverge/incremental" must keep a
+>= 5x ratio (a pure ratio — host- and inject-neutral).
 
   check_bench.py --dir build --ratchet             # gate against trajectory
   check_bench.py --dir build --ratchet --inject 2  # selftest: must fail
@@ -198,6 +205,26 @@ def check_mode_parity(artifact, file_name):
     return problems
 
 
+def check_churn_soak(artifact, file_name):
+    """Every point reporting a 'flaps' count must have executed flaps."""
+    problems = []
+    for series in artifact.get("series", []):
+        name = series.get("name", "")
+        for point in series.get("points", []):
+            fields = point.get("fields", {})
+            if "flaps" not in fields:
+                continue
+            flaps = fields["flaps"]
+            if not isinstance(flaps, (int, float)) or flaps <= 0:
+                problems.append(
+                    f"{file_name}: series '{name}' point "
+                    f"{point.get('index')} reports a zero/invalid flap "
+                    f"count ({flaps!r}) — the churn plan never ran"
+                )
+                break
+    return problems
+
+
 def check(directory, baseline):
     problems = []
     for bench_id, expected in sorted(baseline.items()):
@@ -218,6 +245,7 @@ def check(directory, baseline):
             problems.append(f"{path.name}: no series (empty artifact)")
             continue
         problems.extend(check_mode_parity(artifact, path.name))
+        problems.extend(check_churn_soak(artifact, path.name))
         # Series unknown to the baseline are as unguarded as unknown files:
         # force the baseline to grow with the bench.
         for name in series_by_name:
@@ -294,6 +322,13 @@ RATCHET_ANCHOR = "checksum/1500"
 RATCHET_MICRO_TOLERANCE = 1.75
 RATCHET_WALL_TOLERANCE = 1.9
 RATCHET_WALL_BENCHES = ("F2", "E4")
+# The incremental re-convergence claim as an absolute gate: one flap on a
+# 1k-stub fabric must re-converge at least this much faster than rebuilding
+# and re-converging the whole world.  A ratio of raw ns/op values, so it is
+# host-independent and --inject-neutral (both arms scale together).
+FLAP_PAIR_FULL = "flap reconverge/full-replay"
+FLAP_PAIR_INCREMENTAL = "flap reconverge/incremental"
+FLAP_PAIR_MIN_RATIO = 5.0
 
 
 def m1_ns_per_op(directory):
@@ -413,6 +448,23 @@ def ratchet_check(directory, trajectory_dir, inject):
             problems.append(
                 f"m1: micro '{name}' has no trajectory entry (archive it "
                 "with --ratchet-update)")
+
+    # Incremental-vs-full-replay speedup gate (ISSUE 9's tentpole claim).
+    full = values.get(FLAP_PAIR_FULL)
+    incremental = values.get(FLAP_PAIR_INCREMENTAL)
+    if full is None or incremental is None:
+        missing = [n for n, v in ((FLAP_PAIR_FULL, full),
+                                  (FLAP_PAIR_INCREMENTAL, incremental))
+                   if v is None]
+        problems.append(
+            f"m1: flap-reconverge pair incomplete — missing "
+            f"{', '.join(repr(n) for n in missing)}")
+    elif incremental <= 0 or full / incremental < FLAP_PAIR_MIN_RATIO:
+        ratio = full / incremental if incremental > 0 else float("nan")
+        problems.append(
+            f"m1: incremental re-convergence speedup collapsed: "
+            f"full-replay/incremental = {ratio:.2f}x, required >= "
+            f"{FLAP_PAIR_MIN_RATIO}x ({full:.0f} vs {incremental:.0f} ns/op)")
 
     walls = 0
     for bench_id in RATCHET_WALL_BENCHES:

@@ -24,6 +24,10 @@
 // the F2c series scales the study to 1k stub sites, the regime where the
 // paper's table-size claim actually bites.  F2d replicates the churn study
 // over derived seeds (SweepSpec::replications) for mean/sd error bars.
+// F2f soaks a 1k-stub Internet under a generated ChurnPlan of 1000+ flaps
+// spread over simulated days, re-converging incrementally on one long-lived
+// fabric; F2g is a short flap plan that CI also runs under --full-replay
+// (rebuild per event) and byte-diffs against the incremental artifact.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -48,6 +52,9 @@ SweepSpec f2_base(const bench::BenchContext& ctx) {
         config.spec.seed = config.dfz.internet.seed;
       })
       .base(scenario::dfz::sharded(ctx.shards(), ctx.shard_workers()));
+  // --full-replay: churn plans rebuild the world per event (the parity
+  // baseline the CI leg diffs against the incremental default).
+  if (ctx.full_replay()) spec.base(scenario::dfz::full_replay());
   return spec;
 }
 
@@ -151,6 +158,52 @@ void series_hijack_containment(bench::BenchContext& ctx) {
   ctx.run(runner).table().print(std::cout);
 }
 
+void series_churn_soak(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F2f")) return;
+  std::cout << "\n-- F2f: DFZ churn soak — 1k+ flaps over simulated days at "
+               "1k stub sites, incremental re-convergence "
+               "(per-flap cost, mean/sd over derived-seed plans) --\n";
+  const bool quick = ctx.quick();
+  auto spec = f2_base(ctx)
+                  .named("F2f")
+                  .base([](ExperimentConfig& config) {
+                    config.dfz.internet.stub_count = 1000;
+                    config.dfz.soak.mean_spacing = sim::SimDuration::seconds(120);
+                    config.dfz.soak.hold = sim::SimDuration::seconds(30);
+                  })
+                  .axis(scenario::dfz::soak_flaps(
+                      quick ? std::vector<std::uint64_t>{1000}
+                            : std::vector<std::uint64_t>{1000, 2000}))
+                  .axis(scenario::dfz::scenarios())
+                  .seed_mode(scenario::SeedMode::kPerPoint)
+                  .replications(quick ? 3 : 5);
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_soak);
+  ctx.run(runner).aggregate().table().print(std::cout);
+}
+
+void series_churn_parity(bench::BenchContext& ctx) {
+  if (!ctx.enabled("F2g")) return;
+  std::cout << "\n-- F2g: incremental vs full-replay parity probe — a short "
+               "flap plan whose records must be byte-identical under "
+               "--full-replay (CI diffs the two artifacts) --\n";
+  const bool quick = ctx.quick();
+  auto spec = f2_base(ctx)
+                  .named("F2g")
+                  .base([quick](ExperimentConfig& config) {
+                    config.dfz.scenario =
+                        routing::AddressingScenario::kLegacyBgp;
+                    config.dfz.internet.stub_count = quick ? 40 : 100;
+                    config.dfz.soak.flaps = 30;
+                    config.dfz.soak.mean_spacing = sim::SimDuration::seconds(60);
+                    config.dfz.soak.hold = sim::SimDuration::seconds(15);
+                  })
+                  .axis(scenario::dfz::deaggregation({1, 4}));
+  Runner runner(std::move(spec));
+  runner.execute(scenario::dfz::run_soak);
+  ctx.run(runner).table().print(std::cout);
+}
+
 }  // namespace
 }  // namespace lispcp
 
@@ -165,12 +218,17 @@ int main(int argc, char** argv) {
   lispcp::series_scale_out(ctx);
   lispcp::series_churn_error_bars(ctx);
   lispcp::series_hijack_containment(ctx);
+  lispcp::series_churn_soak(ctx);
+  lispcp::series_churn_parity(ctx);
   lispcp::bench::print_footer(
       "Shape check: the legacy DFZ grows with sites x de-aggregation while "
       "the LISP DFZ stays fixed at the provider-aggregate count; re-homing "
       "under legacy BGP touches most of the Internet and scales with the "
       "de-aggregation factor, whereas under LISP+PCE it is a mapping push "
-      "with zero BGP messages (its latency is bench E4's subject).");
+      "with zero BGP messages (its latency is bench E4's subject).  The "
+      "soak (F2f) amortises thousands of flaps on one long-lived fabric; "
+      "--full-replay rebuilds the world per flap and must reproduce the "
+      "same records (F2g is the CI parity probe).");
   ctx.finish();
   return 0;
 }

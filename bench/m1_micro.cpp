@@ -35,6 +35,7 @@
 #include "net/prefix_trie.hpp"
 #include "pcep/messages.hpp"
 #include "routing/as_graph.hpp"
+#include "routing/dfz_study.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/shard_queue.hpp"
@@ -388,6 +389,62 @@ std::vector<Micro> registry() {
           [scope, primed, config](std::uint64_t iters) {
             for (std::uint64_t i = 0; i < iters; ++i) {
               keep(routing::shared_synthetic_internet(config).get());
+            }
+          });
+    }});
+  }
+
+  // One stub flap on the 1k-stub F2 Internet: the full-replay arm rebuilds
+  // and re-converges the whole world around the flap (the pre-incremental
+  // measurement model), the incremental arm applies two RouteDelta batches
+  // to one long-lived converged fabric and replays only the dirty-prefix
+  // cascade.  The ratio is the tentpole's speedup; check_bench.py gates it
+  // at >= 5x under --ratchet.
+  {
+    routing::DfzStudyConfig study;
+    study.internet.tier1_count = 4;
+    study.internet.transit_count = 10;
+    study.internet.providers_per_stub = 2;
+    study.internet.stub_count = 1000;
+    study.internet.seed = 7;
+
+    micros.push_back({"flap reconverge/full-replay", [study] {
+      return std::function<void(std::uint64_t)>([study](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          keep(routing::run_rehoming_churn(study).update_messages);
+        }
+      });
+    }});
+
+    micros.push_back({"flap reconverge/incremental", [study] {
+      // Untimed: build and converge the world once.
+      const auto graph = routing::shared_synthetic_internet(study.internet);
+      routing::BgpConfig bgp = study.bgp;
+      bgp.expected_prefixes = graph->size();
+      auto fabric = std::make_shared<routing::BgpFabric>(*graph, bgp);
+      std::vector<routing::RouteDelta> originations;
+      const auto stubs = graph->ases_of_tier(routing::AsTier::kStub);
+      for (routing::AsNumber asn : graph->ases()) {
+        if (graph->tier(asn) == routing::AsTier::kStub) continue;
+        originations.push_back(routing::RouteDelta::announce(
+            asn, routing::provider_aggregate(asn)));
+      }
+      for (std::size_t i = 0; i < stubs.size(); ++i) {
+        originations.push_back(routing::RouteDelta::announce(
+            stubs[i], routing::stub_site_prefixes(i, 1).front()));
+      }
+      fabric->apply(originations);
+      fabric->run_to_convergence();
+      const routing::AsNumber mover = stubs.front();
+      const net::Ipv4Prefix prefix = routing::stub_site_prefixes(0, 1).front();
+      return std::function<void(std::uint64_t)>(
+          [fabric, mover, prefix](std::uint64_t iters) {
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              fabric->apply({routing::RouteDelta::withdraw(mover, prefix)});
+              fabric->run_to_convergence();
+              fabric->apply({routing::RouteDelta::announce(mover, prefix)});
+              fabric->run_to_convergence();
+              keep(fabric->last_run_events());
             }
           });
     }});

@@ -350,6 +350,28 @@ sim::SimDuration BgpFabric::session_delay(AsNumber a, AsNumber b) const {
   return config_.session_delay + sim::SimDuration::nanos(jitter_ns);
 }
 
+void BgpFabric::apply(const std::vector<RouteDelta>& batch) {
+  // The batch is the dirty-prefix worklist: deltas run in order, each one
+  // re-deciding exactly its own prefix.  decide() reads only per-prefix
+  // state (the origin bit and the per-neighbor adj entries for that
+  // prefix), so per-delta sequencing is byte-identical to any other
+  // grouping of the same deltas — the contract the parity tests pin.
+  for (const RouteDelta& delta : batch) {
+    BgpSpeaker& owner = speaker(delta.owner);
+    switch (delta.kind) {
+      case RouteDelta::Kind::kAnnounce:
+        owner.originate(delta.prefix);
+        break;
+      case RouteDelta::Kind::kWithdraw:
+        owner.withdraw_origin(delta.prefix);
+        break;
+      case RouteDelta::Kind::kRefresh:
+        owner.refresh_exports(delta.session);
+        break;
+    }
+  }
+}
+
 void BgpFabric::send(AsNumber from, AsNumber to, UpdateMessage message) {
   // The message rides inside the event's inline capture — no shared_ptr,
   // no per-message heap allocation — and its shell (vector buffers) is

@@ -62,6 +62,41 @@ struct UpdateMessage {
   std::vector<net::Ipv4Prefix> withdraws;
 };
 
+/// One element of a BgpFabric::apply batch — the unit of incremental
+/// re-convergence, and the **only** way client code mutates routing state
+/// after construction (the per-speaker originate/withdraw/refresh entry
+/// points are private to the fabric; see BgpFabric::apply).
+///
+///   kAnnounce — `owner` originates `prefix` locally;
+///   kWithdraw — `owner` retracts a local origination (no-op if absent);
+///   kRefresh  — attribute/policy change: `owner` re-runs the export leg
+///               for every installed route (the local half of an RFC 2918
+///               route refresh), toward `session` only when set — the
+///               usual scope of a post-convergence policy edit such as a
+///               route-leak study dropping a session's valley-free gate.
+struct RouteDelta {
+  enum class Kind : std::uint8_t { kAnnounce, kWithdraw, kRefresh };
+  Kind kind = Kind::kAnnounce;
+  AsNumber owner;
+  /// Subject prefix (kAnnounce/kWithdraw); ignored by kRefresh.
+  net::Ipv4Prefix prefix;
+  /// kRefresh: refresh only this session (nullopt = every session).
+  std::optional<AsNumber> session;
+
+  [[nodiscard]] static RouteDelta announce(AsNumber owner,
+                                           const net::Ipv4Prefix& prefix) {
+    return RouteDelta{Kind::kAnnounce, owner, prefix, std::nullopt};
+  }
+  [[nodiscard]] static RouteDelta withdraw(AsNumber owner,
+                                           const net::Ipv4Prefix& prefix) {
+    return RouteDelta{Kind::kWithdraw, owner, prefix, std::nullopt};
+  }
+  [[nodiscard]] static RouteDelta refresh(
+      AsNumber owner, std::optional<AsNumber> session = std::nullopt) {
+    return RouteDelta{Kind::kRefresh, owner, {}, session};
+  }
+};
+
 struct BgpConfig {
   /// One-way session propagation delay, plus deterministic per-session
   /// jitter in [0, session_jitter).
@@ -108,12 +143,6 @@ class BgpSpeaker {
 
   [[nodiscard]] AsNumber asn() const noexcept { return asn_; }
 
-  /// Injects a locally originated prefix and schedules its propagation.
-  void originate(const net::Ipv4Prefix& prefix);
-
-  /// Withdraws a locally originated prefix; no-op if never originated.
-  void withdraw_origin(const net::Ipv4Prefix& prefix);
-
   /// Delivery hook used by the fabric.
   void handle_update(AsNumber from, const UpdateMessage& message);
 
@@ -131,15 +160,6 @@ class BgpSpeaker {
   };
   [[nodiscard]] const BestRoute* best(const net::Ipv4Prefix& prefix) const;
 
-  /// Re-runs the export leg of the decision process for every installed
-  /// route, in ascending prefix order (the local half of an RFC 2918 route
-  /// refresh).  Used after a post-convergence policy change — e.g. a
-  /// route-leak study toggling a session's valley-free gate — so the new
-  /// policy's view propagates without re-originating anything.  When
-  /// `only` is set, just that session is refreshed (the usual scope of a
-  /// policy change).
-  void refresh_exports(std::optional<AsNumber> only = std::nullopt);
-
   /// Loc-RIB size: the DFZ table when this AS is a tier-1.
   [[nodiscard]] std::size_t rib_size() const noexcept { return loc_rib_.size(); }
 
@@ -150,6 +170,27 @@ class BgpSpeaker {
   [[nodiscard]] const BgpSpeakerStats& stats() const noexcept { return stats_; }
 
  private:
+  /// The fabric drives all state mutation (BgpFabric::apply) so every
+  /// post-construction change goes through one audited batch surface.
+  friend class BgpFabric;
+
+  /// Injects a locally originated prefix and schedules its propagation.
+  /// Reached via RouteDelta::Kind::kAnnounce.
+  void originate(const net::Ipv4Prefix& prefix);
+
+  /// Withdraws a locally originated prefix; no-op if never originated.
+  /// Reached via RouteDelta::Kind::kWithdraw.
+  void withdraw_origin(const net::Ipv4Prefix& prefix);
+
+  /// Re-runs the export leg of the decision process for every installed
+  /// route, in ascending prefix order (the local half of an RFC 2918 route
+  /// refresh).  Used after a post-convergence policy change — e.g. a
+  /// route-leak study toggling a session's valley-free gate — so the new
+  /// policy's view propagates without re-originating anything.  When
+  /// `only` is set, just that session is refreshed.  Reached via
+  /// RouteDelta::Kind::kRefresh.
+  void refresh_exports(std::optional<AsNumber> only = std::nullopt);
+
   /// Re-runs the decision process for one prefix; if the best route
   /// changed, installs it and enqueues the delta to every eligible session.
   void decide(const net::Ipv4Prefix& prefix);
@@ -224,6 +265,19 @@ class BgpSpeaker {
 
 /// Owns one speaker per AS, the sharded convergence engine they run on,
 /// and the message plumbing between them.
+///
+/// **Mutation surface.**  After construction the fabric is the sole entry
+/// point for routing-state changes: clients describe what changed as a
+/// RouteDelta batch and call apply(); the per-speaker mutators are private.
+/// This is the incremental re-convergence contract — a delta re-runs the
+/// decision process for exactly the prefixes it names (the batch *is* the
+/// dirty-prefix worklist) and seeds the engine's shard queues with the
+/// resulting update cascade, so the next run_to_convergence() replays only
+/// what the delta can reach instead of a full origination storm.  Results
+/// keep the identity-keyed determinism contract: byte-identical for every
+/// shard/worker count, and — because cascades are time-translation
+/// invariant — byte-identical whether the delta lands on a long-lived
+/// converged fabric or on a freshly rebuilt one (the CI parity gate).
 class BgpFabric {
  public:
   explicit BgpFabric(const AsGraph& graph, BgpConfig config = {});
@@ -252,6 +306,28 @@ class BgpFabric {
       AsNumber self, AsNumber neighbor) const noexcept {
     return config_.policy == nullptr ? nullptr
                                      : config_.policy->find(self, neighbor);
+  }
+
+  /// Applies a batch of routing mutations in order — the only way to
+  /// change routing state after construction.  Each delta stages its
+  /// origin-set edit and immediately re-runs the decision process for its
+  /// own prefix (a refresh re-runs the export leg per installed prefix);
+  /// nothing outside the batch's dirty set is touched until
+  /// run_to_convergence() drains the cascade the batch seeded.  Batches
+  /// applied outside a run are cause-keyed at the current convergence
+  /// instant; splitting one batch into several apply() calls (no run in
+  /// between) is observationally identical to applying it whole.
+  void apply(const std::vector<RouteDelta>& batch);
+
+  /// Advances the idle fabric's clock without firing anything: the gap
+  /// between churn events in a long-lived plan.  Cascades are
+  /// time-translation invariant, so spacing never changes measured deltas.
+  void advance(sim::SimDuration by) { engine_.advance(by); }
+
+  /// Events the last run_to_convergence() fired: the incremental cost of
+  /// the re-convergence a delta batch triggered.
+  [[nodiscard]] std::uint64_t last_run_events() const noexcept {
+    return engine_.last_run_processed();
   }
 
   /// Schedules delivery of `message` on the (from, to) session.

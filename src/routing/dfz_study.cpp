@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "routing/policy.hpp"
+#include "sim/rng.hpp"
 
 namespace lispcp::routing {
 
@@ -165,8 +166,14 @@ void wire_policy(const DfzStudyConfig& config, BuiltStudy& study,
 
   study->fabric = std::make_unique<BgpFabric>(*study->graph, bgp);
 
+  // The origination storm is one RouteDelta batch through the fabric's
+  // mutation surface — the same per-delta sequence the old speaker loops
+  // ran, so the converged state is byte-identical.
+  std::vector<RouteDelta> originations;
+  originations.reserve(bgp.expected_prefixes);
   for (AsNumber provider : providers_of(*study->graph)) {
-    study->fabric->speaker(provider).originate(provider_aggregate(provider));
+    originations.push_back(
+        RouteDelta::announce(provider, provider_aggregate(provider)));
     ++study->origin_prefixes;
   }
   const auto& stubs = study->stubs;
@@ -174,7 +181,7 @@ void wire_policy(const DfzStudyConfig& config, BuiltStudy& study,
     const auto prefixes = stub_site_prefixes(i, config.deaggregation_factor);
     if (config.scenario == AddressingScenario::kLegacyBgp) {
       for (const net::Ipv4Prefix& prefix : prefixes) {
-        study->fabric->speaker(stubs[i]).originate(prefix);
+        originations.push_back(RouteDelta::announce(stubs[i], prefix));
         ++study->origin_prefixes;
       }
     } else {
@@ -183,7 +190,308 @@ void wire_policy(const DfzStudyConfig& config, BuiltStudy& study,
       study->mapping_entries += prefixes.size();
     }
   }
+  study->fabric->apply(originations);
   return study;
+}
+
+/// Network-wide counters captured before an event and diffed afterwards.
+/// best_changes is in graph order (the ases() iteration), matching the
+/// touch scan — deterministic, no hashing.
+struct FabricCounters {
+  std::uint64_t updates = 0;
+  std::uint64_t records = 0;
+  std::vector<std::uint64_t> best_changes;
+};
+
+[[nodiscard]] FabricCounters snapshot_counters(const BuiltStudy& study) {
+  FabricCounters counters;
+  counters.updates = study.fabric->total_updates_sent();
+  counters.records = study.fabric->total_routes_announced() +
+                     study.fabric->total_routes_withdrawn();
+  counters.best_changes.reserve(study.graph->size());
+  for (AsNumber asn : study.graph->ases()) {
+    counters.best_changes.push_back(
+        study.fabric->speaker(asn).stats().best_changes);
+  }
+  return counters;
+}
+
+[[nodiscard]] std::size_t count_ases_touched(const BuiltStudy& study,
+                                             const FabricCounters& before) {
+  std::size_t touched = 0;
+  std::size_t index = 0;
+  for (AsNumber asn : study.graph->ases()) {
+    if (study.fabric->speaker(asn).stats().best_changes >
+        before.best_changes[index]) {
+      ++touched;
+    }
+    ++index;
+  }
+  return touched;
+}
+
+/// The prefixes a churn event takes down or brings back up.
+[[nodiscard]] std::vector<net::Ipv4Prefix> churn_subject_prefixes(
+    const DfzStudyConfig& config, const ChurnEvent& event) {
+  auto prefixes = stub_site_prefixes(event.stub, config.deaggregation_factor);
+  if (event.prefix_index == ChurnEvent::kWholeSite) return prefixes;
+  if (event.prefix_index >= prefixes.size()) {
+    throw std::invalid_argument("run_churn_plan: prefix_index out of range");
+  }
+  return {prefixes[event.prefix_index]};
+}
+
+/// The pre-build half of the policy-incident validation, kept in the
+/// legacy run_policy_event order and wording.
+void validate_incident_config(const DfzStudyConfig& config) {
+  const PolicyEvent& event = config.policy.event;
+  if (!config.policy.roles) {
+    throw std::invalid_argument(
+        "run_policy_event: requires policy.roles (Gao-Rexford table)");
+  }
+  if (config.scenario != AddressingScenario::kLegacyBgp) {
+    throw std::invalid_argument(
+        "run_policy_event: events are BGP incidents; use kLegacyBgp");
+  }
+  if (event.kind == PolicyEvent::Kind::kNone) {
+    throw std::invalid_argument("run_policy_event: event.kind is kNone");
+  }
+  if (!is_power_of_two(event.deagg_factor) || event.deagg_factor > 4096) {
+    throw std::invalid_argument(
+        "run_policy_event: event.deagg_factor must be a power of two <= 4096");
+  }
+}
+
+/// The post-build half: the incident's stubs must exist in this graph.
+void validate_incident_targets(const DfzStudyConfig& config,
+                               const BuiltStudy& study) {
+  const PolicyEvent& event = config.policy.event;
+  if (event.victim_stub >= study.stubs.size()) {
+    throw std::invalid_argument("run_policy_event: victim_stub out of range");
+  }
+  if (resolve_actor(event, study.stubs.size()) >= study.stubs.size()) {
+    throw std::invalid_argument("run_policy_event: actor_stub out of range");
+  }
+}
+
+/// Applies the configured PolicyEvent to a converged study and measures its
+/// blast radius — the former run_policy_event body, now mutating the world
+/// only through RouteDelta batches.
+[[nodiscard]] PolicyEventResult execute_policy_incident(
+    const DfzStudyConfig& config, BuiltStudy& study) {
+  const PolicyEvent& event = config.policy.event;
+  const std::vector<AsNumber>& stubs = study.stubs;
+  const AsNumber victim = stubs[event.victim_stub];
+  const AsNumber actor = stubs[resolve_actor(event, stubs.size())];
+
+  PolicyEventResult result;
+  const FabricCounters before = snapshot_counters(study);
+  std::uint64_t rib_before = 0;
+  for (AsNumber asn : study.graph->ases()) {
+    rib_before += study.fabric->speaker(asn).rib_size();
+  }
+  const auto tier1s = study.graph->ases_of_tier(AsTier::kTier1);
+  result.dfz_table_before = study.fabric->speaker(tier1s.front()).rib_size();
+  const sim::SimTime t0 = study.fabric->now();
+
+  // The probe prefixes the capture scan looks up afterwards, and the
+  // predicate that says "this best route prefers the actor".
+  std::vector<net::Ipv4Prefix> probes;
+  enum class Capture : std::uint8_t { kOriginatedByActor, kPathThrough };
+  Capture capture = Capture::kOriginatedByActor;
+  AsNumber capture_asn = actor;
+  std::vector<RouteDelta> batch;
+
+  switch (event.kind) {
+    case PolicyEvent::Kind::kHijackMoreSpecific: {
+      // The attacker splits the victim's block one level finer than the
+      // victim announces: every covered prefix is new, so longest-prefix
+      // match hands over traffic wherever the announcement survives.
+      probes = stub_site_prefixes(
+          event.victim_stub, config.deaggregation_factor * event.deagg_factor);
+      for (const net::Ipv4Prefix& prefix : probes) {
+        batch.push_back(RouteDelta::announce(actor, prefix));
+      }
+      result.event_announcements = probes.size();
+      break;
+    }
+    case PolicyEvent::Kind::kHijackSameSpecific: {
+      // The attacker forges the victim's exact announcements; the decision
+      // process arbitrates, so capture stays distance-limited.
+      probes =
+          stub_site_prefixes(event.victim_stub, config.deaggregation_factor);
+      for (const net::Ipv4Prefix& prefix : probes) {
+        batch.push_back(RouteDelta::announce(actor, prefix));
+      }
+      result.event_announcements = probes.size();
+      break;
+    }
+    case PolicyEvent::Kind::kRouteLeak: {
+      // The classic type-1 leak: the actor re-exports everything it knows
+      // (including provider- and peer-learned routes) to one provider.
+      const auto providers = providers_of_stub(*study.graph, actor);
+      if (providers.empty()) {
+        throw std::invalid_argument("run_policy_event: leaker has no provider");
+      }
+      const AsNumber target = providers.back();
+      study.table->session(actor, target).valley_free = false;
+      result.event_announcements = study.fabric->speaker(actor).rib_size();
+      batch.push_back(RouteDelta::refresh(actor, target));
+      // Leaked traffic detours through the actor: probe the provider
+      // aggregates and count ASes whose best path transits the leaker.
+      for (AsNumber provider : providers_of(*study.graph)) {
+        probes.push_back(provider_aggregate(provider));
+      }
+      capture = Capture::kPathThrough;
+      break;
+    }
+    case PolicyEvent::Kind::kSelectiveDeagg:
+    case PolicyEvent::Kind::kBroadcastDeagg: {
+      // TE by de-aggregation: the victim splits its own block finer.  The
+      // selective variant's export maps (wired at build time) keep the
+      // more-specifics off every provider session but the first, so only
+      // the chosen ingress hears them; broadcast prices the naive version.
+      probes = stub_site_prefixes(
+          event.victim_stub, config.deaggregation_factor * event.deagg_factor);
+      for (const net::Ipv4Prefix& prefix : probes) {
+        batch.push_back(RouteDelta::announce(victim, prefix));
+      }
+      result.event_announcements = probes.size();
+      // Steering success: the best path toward a more-specific transits the
+      // chosen (first) provider.
+      const auto providers = providers_of_stub(*study.graph, victim);
+      if (providers.empty()) {
+        throw std::invalid_argument("run_policy_event: victim has no provider");
+      }
+      capture = Capture::kPathThrough;
+      capture_asn = providers.front();
+      break;
+    }
+    case PolicyEvent::Kind::kNone:
+      break;  // unreachable: rejected by validate_incident_config
+  }
+
+  study.fabric->apply(batch);
+  study.fabric->run_to_convergence();
+
+  result.update_messages =
+      study.fabric->total_updates_sent() - before.updates;
+  result.route_records = study.fabric->total_routes_announced() +
+                         study.fabric->total_routes_withdrawn() -
+                         before.records;
+  result.settle_ms = (study.fabric->now() - t0).ms();
+  result.dfz_table_after = study.fabric->speaker(tier1s.front()).rib_size();
+
+  std::uint64_t rib_after = 0;
+  std::size_t index = 0;
+  for (AsNumber asn : study.graph->ases()) {
+    const BgpSpeaker& speaker = study.fabric->speaker(asn);
+    rib_after += speaker.rib_size();
+    if (speaker.stats().best_changes > before.best_changes[index]) {
+      ++result.ases_touched;
+    }
+    ++index;
+    // Exact-prefix capture scan (the probes are the event's own
+    // announcements, so LPM is unnecessary): does this AS's best route for
+    // any probe prefer the actor?
+    bool prefers = false;
+    for (const net::Ipv4Prefix& probe : probes) {
+      const BgpSpeaker::BestRoute* best = speaker.best(probe);
+      if (best == nullptr) continue;
+      if (capture == Capture::kOriginatedByActor) {
+        const AsNumber origin =
+            best->as_path.empty() ? asn : best->as_path.back();
+        prefers = origin == capture_asn;
+      } else {
+        prefers = std::find(best->as_path.begin(), best->as_path.end(),
+                            capture_asn) != best->as_path.end();
+      }
+      if (prefers) break;
+    }
+    if (prefers) ++result.ases_preferring_actor;
+  }
+  result.actor_preference_fraction =
+      static_cast<double>(result.ases_preferring_actor) /
+      static_cast<double>(study.graph->size());
+  result.rib_delta =
+      rib_after > rib_before ? static_cast<std::size_t>(rib_after - rib_before)
+                             : 0;
+  if (result.event_announcements > 0) {
+    result.rib_cost_per_announcement =
+        static_cast<double>(result.rib_delta) /
+        static_cast<double>(result.event_announcements);
+    result.churn_per_announcement =
+        static_cast<double>(result.route_records) /
+        static_cast<double>(result.event_announcements);
+  }
+  return result;
+}
+
+/// Executes one churn event against a converged study.  Flap-shaped events
+/// are two RouteDelta batches around an idle-clock hold; the measured
+/// settle excludes the hold, so a zero-hold flap costs exactly what the
+/// legacy back-to-back withdraw/announce sequence did.
+[[nodiscard]] ChurnEventMeasure execute_churn_event(
+    const DfzStudyConfig& config, BuiltStudy& study, const ChurnEvent& event,
+    std::optional<PolicyEventResult>& incident) {
+  ChurnEventMeasure measure;
+  measure.kind = event.kind;
+  if (event.kind == ChurnEvent::Kind::kPolicyIncident) {
+    PolicyEventResult incident_result = execute_policy_incident(config, study);
+    measure.update_messages = incident_result.update_messages;
+    measure.route_records = incident_result.route_records;
+    measure.settle_ms = incident_result.settle_ms;
+    measure.ases_touched = incident_result.ases_touched;
+    measure.engine_events = study.fabric->last_run_events();
+    incident = std::move(incident_result);
+    return measure;
+  }
+
+  if (event.stub >= study.stubs.size()) {
+    throw std::invalid_argument("run_churn_plan: event stub out of range");
+  }
+  const AsNumber subject = study.stubs[event.stub];
+  const auto prefixes = churn_subject_prefixes(config, event);
+  const FabricCounters before = snapshot_counters(study);
+  const sim::SimTime t0 = study.fabric->now();
+  sim::SimDuration held{};
+
+  std::vector<RouteDelta> batch;
+  batch.reserve(prefixes.size());
+  if (event.kind != ChurnEvent::Kind::kPrefixUp) {
+    for (const net::Ipv4Prefix& prefix : prefixes) {
+      batch.push_back(RouteDelta::withdraw(subject, prefix));
+    }
+    study.fabric->apply(batch);
+    study.fabric->run_to_convergence();
+    measure.engine_events += study.fabric->last_run_events();
+  }
+  const bool comes_back = event.kind == ChurnEvent::Kind::kFlap ||
+                          event.kind == ChurnEvent::Kind::kRehome ||
+                          event.kind == ChurnEvent::Kind::kPrefixUp;
+  if (comes_back) {
+    if (event.kind != ChurnEvent::Kind::kPrefixUp &&
+        event.hold > sim::SimDuration{}) {
+      study.fabric->advance(event.hold);
+      held = event.hold;
+    }
+    batch.clear();
+    for (const net::Ipv4Prefix& prefix : prefixes) {
+      batch.push_back(RouteDelta::announce(subject, prefix));
+    }
+    study.fabric->apply(batch);
+    study.fabric->run_to_convergence();
+    measure.engine_events += study.fabric->last_run_events();
+  }
+
+  measure.update_messages =
+      study.fabric->total_updates_sent() - before.updates;
+  measure.route_records = study.fabric->total_routes_announced() +
+                          study.fabric->total_routes_withdrawn() -
+                          before.records;
+  measure.settle_ms = ((study.fabric->now() - t0) - held).ms();
+  measure.ases_touched = count_ases_touched(study, before);
+  return measure;
 }
 
 }  // namespace
@@ -270,222 +578,129 @@ DfzStudyResult run_dfz_study(const DfzStudyConfig& config) {
 }
 
 RehomingChurnResult run_rehoming_churn(const DfzStudyConfig& config) {
+  // The §2 ingress swing — the first stub takes its prefixes down
+  // (converge) and brings them back (converge), the BGP cost the paper's
+  // CP replaces with a mapping push — expressed as one declarative event
+  // on the unified churn surface.  Outputs are byte-identical to the
+  // former hand-rolled withdraw/announce sequence.
+  ChurnPlan plan;
+  plan.events.push_back(ChurnEvent::rehome(0));
+  const ChurnPlanResult churn = run_churn_plan(config, plan);
+
   RehomingChurnResult result;
+  const ChurnEventMeasure& swing = churn.events.front();
+  result.update_messages = swing.update_messages;
+  result.route_records = swing.route_records;
+  result.settle_ms = swing.settle_ms;
+  result.ases_touched = swing.ases_touched;
+  return result;
+}
+
+ChurnPlanResult run_churn_plan(const DfzStudyConfig& config,
+                               const ChurnPlan& plan) {
+  bool has_incident = false;
+  for (const ChurnEvent& event : plan.events) {
+    if (event.kind == ChurnEvent::Kind::kPolicyIncident) has_incident = true;
+  }
+  if (has_incident) validate_incident_config(config);
+
+  const auto is_flap = [](const ChurnEvent& event) {
+    return event.kind == ChurnEvent::Kind::kFlap ||
+           event.kind == ChurnEvent::Kind::kRehome;
+  };
+
+  ChurnPlanResult result;
+  result.events.reserve(plan.events.size());
+
   if (config.scenario == AddressingScenario::kLispRlocOnly) {
-    // Re-homing is a mapping update: the PCE pushes a new (ES, ED, RLOC_S,
-    // RLOC_D) tuple (Step 7b) and no BGP speaker hears about it.  The BGP
-    // side of the event is identically zero; the mapping-side latency is
-    // measured by bench/e4_traffic_engineering on the packet simulator.
+    // Churn is a mapping update: the PCE pushes a new (ES, ED, RLOC_S,
+    // RLOC_D) tuple (Step 7b) and no BGP speaker hears about it.  Every
+    // BGP-side measure is identically zero — the paper's amortisation
+    // claim in one row — but the plan's shape (flap count, span) is still
+    // reported so soak series stay comparable across scenarios.  The
+    // mapping-side latency is measured by bench/e4_traffic_engineering.
+    for (const ChurnEvent& event : plan.events) {
+      ChurnEventMeasure measure;
+      measure.kind = event.kind;
+      result.events.push_back(measure);
+      if (is_flap(event)) ++result.flaps;
+      result.span_ms +=
+          event.spacing.ms() + (is_flap(event) ? event.hold.ms() : 0.0);
+    }
     return result;
   }
 
-  auto study = build_study(config);
-  study->fabric->run_to_convergence();
+  // Incremental mode converges one world and keeps it; full replay
+  // rebuilds it per event — the pre-incremental measurement model, kept as
+  // the CI parity baseline.  span_ms accumulates identically in both
+  // modes (spacing + settle + hold, per event), so artifacts byte-match.
+  std::unique_ptr<BuiltStudy> study;
+  const auto fresh_world = [&] {
+    study = build_study(config);
+    if (has_incident) validate_incident_targets(config, *study);
+    study->fabric->run_to_convergence();
+  };
+  if (!plan.full_replay) fresh_world();
 
-  const std::uint64_t updates_before = study->fabric->total_updates_sent();
-  const std::uint64_t records_before = study->fabric->total_routes_announced() +
-                                       study->fabric->total_routes_withdrawn();
-  std::unordered_map<std::uint32_t, std::uint64_t> changes_before;
-  for (AsNumber asn : study->graph->ases()) {
-    changes_before[asn.value()] =
-        study->fabric->speaker(asn).stats().best_changes;
-  }
-  const sim::SimTime t0 = study->fabric->now();
-
-  // The flap: the first stub takes its prefixes down (converge), then brings
-  // them back (converge) — the BGP cost of swinging ingress traffic that the
-  // paper's CP replaces with a mapping push.
-  const auto stubs = study->graph->ases_of_tier(AsTier::kStub);
-  const auto prefixes = stub_site_prefixes(0, config.deaggregation_factor);
-  BgpSpeaker& mover = study->fabric->speaker(stubs.front());
-  for (const net::Ipv4Prefix& prefix : prefixes) mover.withdraw_origin(prefix);
-  study->fabric->run_to_convergence();
-  for (const net::Ipv4Prefix& prefix : prefixes) mover.originate(prefix);
-  study->fabric->run_to_convergence();
-
-  result.update_messages = study->fabric->total_updates_sent() - updates_before;
-  result.route_records = study->fabric->total_routes_announced() +
-                         study->fabric->total_routes_withdrawn() - records_before;
-  result.settle_ms = (study->fabric->now() - t0).ms();
-  for (AsNumber asn : study->graph->ases()) {
-    if (study->fabric->speaker(asn).stats().best_changes >
-        changes_before[asn.value()]) {
-      ++result.ases_touched;
+  double flap_settle_sum = 0.0;
+  std::uint64_t flap_updates = 0;
+  std::uint64_t flap_records = 0;
+  for (const ChurnEvent& event : plan.events) {
+    if (plan.full_replay) fresh_world();
+    if (event.spacing > sim::SimDuration{}) {
+      study->fabric->advance(event.spacing);
     }
+    const ChurnEventMeasure measure =
+        execute_churn_event(config, *study, event, result.incident);
+
+    result.update_messages += measure.update_messages;
+    result.route_records += measure.route_records;
+    result.engine_events += measure.engine_events;
+    result.max_settle_ms = std::max(result.max_settle_ms, measure.settle_ms);
+    result.span_ms += event.spacing.ms() + measure.settle_ms +
+                      (is_flap(event) ? event.hold.ms() : 0.0);
+    if (is_flap(event)) {
+      ++result.flaps;
+      flap_settle_sum += measure.settle_ms;
+      flap_updates += measure.update_messages;
+      flap_records += measure.route_records;
+    }
+    result.events.push_back(measure);
+  }
+  if (result.flaps > 0) {
+    const auto flaps = static_cast<double>(result.flaps);
+    result.mean_updates_per_flap = static_cast<double>(flap_updates) / flaps;
+    result.mean_records_per_flap = static_cast<double>(flap_records) / flaps;
+    result.mean_settle_ms = flap_settle_sum / flaps;
   }
   return result;
 }
 
+ChurnPlan make_flap_plan(std::size_t flaps, std::size_t stub_count,
+                         std::uint64_t seed, sim::SimDuration mean_spacing,
+                         sim::SimDuration hold) {
+  if (stub_count == 0) {
+    throw std::invalid_argument("make_flap_plan: stub_count must be > 0");
+  }
+  sim::Rng rng(seed);
+  ChurnPlan plan;
+  plan.events.reserve(flaps);
+  for (std::size_t i = 0; i < flaps; ++i) {
+    const auto stub =
+        static_cast<std::size_t>(rng.uniform_int(0, stub_count - 1));
+    const auto spacing_ns = static_cast<std::int64_t>(std::llround(
+        rng.exponential(static_cast<double>(mean_spacing.ns()))));
+    plan.events.push_back(
+        ChurnEvent::flap(stub, hold, sim::SimDuration::nanos(spacing_ns)));
+  }
+  return plan;
+}
+
 PolicyEventResult run_policy_event(const DfzStudyConfig& config) {
-  const PolicyEvent& event = config.policy.event;
-  if (!config.policy.roles) {
-    throw std::invalid_argument(
-        "run_policy_event: requires policy.roles (Gao-Rexford table)");
-  }
-  if (config.scenario != AddressingScenario::kLegacyBgp) {
-    throw std::invalid_argument(
-        "run_policy_event: events are BGP incidents; use kLegacyBgp");
-  }
-  if (event.kind == PolicyEvent::Kind::kNone) {
-    throw std::invalid_argument("run_policy_event: event.kind is kNone");
-  }
-  if (!is_power_of_two(event.deagg_factor) || event.deagg_factor > 4096) {
-    throw std::invalid_argument(
-        "run_policy_event: event.deagg_factor must be a power of two <= 4096");
-  }
-
-  auto study = build_study(config);
-  const std::vector<AsNumber>& stubs = study->stubs;
-  if (event.victim_stub >= stubs.size()) {
-    throw std::invalid_argument("run_policy_event: victim_stub out of range");
-  }
-  const std::size_t actor_index = resolve_actor(event, stubs.size());
-  if (actor_index >= stubs.size()) {
-    throw std::invalid_argument("run_policy_event: actor_stub out of range");
-  }
-  const AsNumber victim = stubs[event.victim_stub];
-  const AsNumber actor = stubs[actor_index];
-
-  study->fabric->run_to_convergence();
-
-  PolicyEventResult result;
-  const std::uint64_t updates_before = study->fabric->total_updates_sent();
-  const std::uint64_t records_before = study->fabric->total_routes_announced() +
-                                       study->fabric->total_routes_withdrawn();
-  std::unordered_map<std::uint32_t, std::uint64_t> changes_before;
-  std::uint64_t rib_before = 0;
-  for (AsNumber asn : study->graph->ases()) {
-    changes_before[asn.value()] =
-        study->fabric->speaker(asn).stats().best_changes;
-    rib_before += study->fabric->speaker(asn).rib_size();
-  }
-  const auto tier1s = study->graph->ases_of_tier(AsTier::kTier1);
-  result.dfz_table_before = study->fabric->speaker(tier1s.front()).rib_size();
-  const sim::SimTime t0 = study->fabric->now();
-
-  // The probe prefixes the capture scan looks up afterwards, and the
-  // predicate that says "this best route prefers the actor".
-  std::vector<net::Ipv4Prefix> probes;
-  enum class Capture : std::uint8_t { kOriginatedByActor, kPathThrough };
-  Capture capture = Capture::kOriginatedByActor;
-  AsNumber capture_asn = actor;
-
-  switch (event.kind) {
-    case PolicyEvent::Kind::kHijackMoreSpecific: {
-      // The attacker splits the victim's block one level finer than the
-      // victim announces: every covered prefix is new, so longest-prefix
-      // match hands over traffic wherever the announcement survives.
-      probes = stub_site_prefixes(
-          event.victim_stub, config.deaggregation_factor * event.deagg_factor);
-      BgpSpeaker& speaker = study->fabric->speaker(actor);
-      for (const net::Ipv4Prefix& prefix : probes) speaker.originate(prefix);
-      result.event_announcements = probes.size();
-      break;
-    }
-    case PolicyEvent::Kind::kHijackSameSpecific: {
-      // The attacker forges the victim's exact announcements; the decision
-      // process arbitrates, so capture stays distance-limited.
-      probes = stub_site_prefixes(event.victim_stub, config.deaggregation_factor);
-      BgpSpeaker& speaker = study->fabric->speaker(actor);
-      for (const net::Ipv4Prefix& prefix : probes) speaker.originate(prefix);
-      result.event_announcements = probes.size();
-      break;
-    }
-    case PolicyEvent::Kind::kRouteLeak: {
-      // The classic type-1 leak: the actor re-exports everything it knows
-      // (including provider- and peer-learned routes) to one provider.
-      const auto providers = providers_of_stub(*study->graph, actor);
-      if (providers.empty()) {
-        throw std::invalid_argument("run_policy_event: leaker has no provider");
-      }
-      const AsNumber target = providers.back();
-      study->table->session(actor, target).valley_free = false;
-      BgpSpeaker& leaker = study->fabric->speaker(actor);
-      result.event_announcements = leaker.rib_size();
-      leaker.refresh_exports(target);
-      // Leaked traffic detours through the actor: probe the provider
-      // aggregates and count ASes whose best path transits the leaker.
-      for (AsNumber provider : providers_of(*study->graph)) {
-        probes.push_back(provider_aggregate(provider));
-      }
-      capture = Capture::kPathThrough;
-      break;
-    }
-    case PolicyEvent::Kind::kSelectiveDeagg:
-    case PolicyEvent::Kind::kBroadcastDeagg: {
-      // TE by de-aggregation: the victim splits its own block finer.  The
-      // selective variant's export maps (wired at build time) keep the
-      // more-specifics off every provider session but the first, so only
-      // the chosen ingress hears them; broadcast prices the naive version.
-      probes = stub_site_prefixes(
-          event.victim_stub, config.deaggregation_factor * event.deagg_factor);
-      BgpSpeaker& speaker = study->fabric->speaker(victim);
-      for (const net::Ipv4Prefix& prefix : probes) speaker.originate(prefix);
-      result.event_announcements = probes.size();
-      // Steering success: the best path toward a more-specific transits the
-      // chosen (first) provider.
-      const auto providers = providers_of_stub(*study->graph, victim);
-      if (providers.empty()) {
-        throw std::invalid_argument("run_policy_event: victim has no provider");
-      }
-      capture = Capture::kPathThrough;
-      capture_asn = providers.front();
-      break;
-    }
-    case PolicyEvent::Kind::kNone:
-      break;  // unreachable: rejected above
-  }
-
-  study->fabric->run_to_convergence();
-
-  result.update_messages = study->fabric->total_updates_sent() - updates_before;
-  result.route_records = study->fabric->total_routes_announced() +
-                         study->fabric->total_routes_withdrawn() -
-                         records_before;
-  result.settle_ms = (study->fabric->now() - t0).ms();
-  result.dfz_table_after = study->fabric->speaker(tier1s.front()).rib_size();
-
-  std::uint64_t rib_after = 0;
-  for (AsNumber asn : study->graph->ases()) {
-    const BgpSpeaker& speaker = study->fabric->speaker(asn);
-    rib_after += speaker.rib_size();
-    if (speaker.stats().best_changes > changes_before[asn.value()]) {
-      ++result.ases_touched;
-    }
-    // Exact-prefix capture scan (the probes are the event's own
-    // announcements, so LPM is unnecessary): does this AS's best route for
-    // any probe prefer the actor?
-    bool prefers = false;
-    for (const net::Ipv4Prefix& probe : probes) {
-      const BgpSpeaker::BestRoute* best = speaker.best(probe);
-      if (best == nullptr) continue;
-      if (capture == Capture::kOriginatedByActor) {
-        const AsNumber origin =
-            best->as_path.empty() ? asn : best->as_path.back();
-        prefers = origin == capture_asn;
-      } else {
-        prefers = std::find(best->as_path.begin(), best->as_path.end(),
-                            capture_asn) != best->as_path.end();
-      }
-      if (prefers) break;
-    }
-    if (prefers) ++result.ases_preferring_actor;
-  }
-  result.actor_preference_fraction =
-      static_cast<double>(result.ases_preferring_actor) /
-      static_cast<double>(study->graph->size());
-  result.rib_delta =
-      rib_after > rib_before ? static_cast<std::size_t>(rib_after - rib_before)
-                             : 0;
-  if (result.event_announcements > 0) {
-    result.rib_cost_per_announcement =
-        static_cast<double>(result.rib_delta) /
-        static_cast<double>(result.event_announcements);
-    result.churn_per_announcement =
-        static_cast<double>(result.route_records) /
-        static_cast<double>(result.event_announcements);
-  }
-  return result;
+  ChurnPlan plan;
+  plan.events.push_back(ChurnEvent::policy_incident());
+  ChurnPlanResult churn = run_churn_plan(config, plan);
+  return *std::move(churn.incident);
 }
 
 }  // namespace lispcp::routing

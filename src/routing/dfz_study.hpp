@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/ipv4.hpp"
@@ -84,6 +85,21 @@ struct PolicyStudyConfig {
   PolicyEvent event;
 };
 
+/// Parameters of the generated flap plan behind the F2f/F2g churn-soak
+/// series (run via the dfz adapter's run_soak executor): `flaps` events
+/// drawn over the stub population with exponential inter-arrival spacing,
+/// so a thousand flaps at the 120 s default mean spread over simulated
+/// days.  `full_replay` switches run_churn_plan to the marginal-cost
+/// baseline (rebuild + re-converge the world per event); records are
+/// byte-identical for state-restoring plans — the CI parity diff.
+struct ChurnSoakConfig {
+  std::size_t flaps = 0;
+  sim::SimDuration mean_spacing = sim::SimDuration::seconds(120);
+  /// Down-time between the withdrawal settling and the re-announcement.
+  sim::SimDuration hold = sim::SimDuration::seconds(30);
+  bool full_replay = false;
+};
+
 struct DfzStudyConfig {
   SyntheticInternetConfig internet;
   AddressingScenario scenario = AddressingScenario::kLegacyBgp;
@@ -92,6 +108,7 @@ struct DfzStudyConfig {
   std::size_t deaggregation_factor = 1;
   BgpConfig bgp;
   PolicyStudyConfig policy;
+  ChurnSoakConfig soak;
 };
 
 struct DfzStudyResult {
@@ -153,7 +170,136 @@ struct PolicyEventResult {
 /// radius.  Requires config.policy.roles, a kLegacyBgp scenario, and an
 /// event kind != kNone (throws std::invalid_argument otherwise).
 /// Deterministic for any shard/worker count, like every study here.
+/// Thin wrapper over run_churn_plan with a single kPolicyIncident event.
 [[nodiscard]] PolicyEventResult run_policy_event(const DfzStudyConfig& config);
+
+// ---------------------------------------------------------------------------
+// Unified churn surface: one declarative event vocabulary for everything
+// that perturbs a converged DFZ.  The former hand-rolled flap loops and
+// run_policy_event's direct speaker pokes all execute through
+// run_churn_plan, which mutates the world exclusively via BgpFabric::apply
+// (RouteDelta batches — the fabric's sole mutation entry point).
+// ---------------------------------------------------------------------------
+
+/// One post-convergence churn event.
+///
+///   kFlap           — the subject prefixes go down (converge), stay down
+///                     for `hold`, come back (converge): the paper's §1
+///                     churn unit, whose amortised cost the soak measures.
+///   kRehome         — the §2 ingress-TE swing run_rehoming_churn always
+///                     modelled: mechanically a whole-site flap with no
+///                     hold (the stub withdraws and immediately re-enters
+///                     via its new preference), kept as its own kind so
+///                     plans and records name the intent.
+///   kPrefixDown     — the subject prefixes are withdrawn and stay down.
+///   kPrefixUp       — the subject prefixes are (re-)announced.
+///   kPolicyIncident — fires the study's configured PolicyEvent
+///                     (config.policy.event — the incident is wired into
+///                     the policy table at build time, so its payload
+///                     lives in the config, not here).
+struct ChurnEvent {
+  enum class Kind : std::uint8_t {
+    kFlap,
+    kRehome,
+    kPrefixDown,
+    kPrefixUp,
+    kPolicyIncident,
+  };
+  /// prefix_index value meaning "every prefix the stub announces".
+  static constexpr std::size_t kWholeSite = static_cast<std::size_t>(-1);
+
+  Kind kind = Kind::kFlap;
+  /// Subject stub (index into the graph's stub tier); ignored by
+  /// kPolicyIncident.
+  std::size_t stub = 0;
+  /// Index into the stub's de-aggregated announcement list, or kWholeSite.
+  std::size_t prefix_index = kWholeSite;
+  /// kFlap: down-time between the withdrawal settling and re-announcement.
+  sim::SimDuration hold{};
+  /// Idle gap between the previous event settling and this one starting.
+  sim::SimDuration spacing{};
+
+  [[nodiscard]] static ChurnEvent flap(std::size_t stub,
+                                       sim::SimDuration hold = {},
+                                       sim::SimDuration spacing = {}) {
+    return ChurnEvent{Kind::kFlap, stub, kWholeSite, hold, spacing};
+  }
+  [[nodiscard]] static ChurnEvent rehome(std::size_t stub) {
+    return ChurnEvent{Kind::kRehome, stub, kWholeSite, {}, {}};
+  }
+  [[nodiscard]] static ChurnEvent prefix_down(std::size_t stub,
+                                              std::size_t prefix_index) {
+    return ChurnEvent{Kind::kPrefixDown, stub, prefix_index, {}, {}};
+  }
+  [[nodiscard]] static ChurnEvent prefix_up(std::size_t stub,
+                                            std::size_t prefix_index) {
+    return ChurnEvent{Kind::kPrefixUp, stub, prefix_index, {}, {}};
+  }
+  [[nodiscard]] static ChurnEvent policy_incident() {
+    return ChurnEvent{Kind::kPolicyIncident, 0, kWholeSite, {}, {}};
+  }
+};
+
+/// A declarative churn plan: events execute in order on one long-lived
+/// converged fabric (incremental mode), or — `full_replay` — each against
+/// a freshly rebuilt and re-converged world (the marginal-cost baseline).
+/// For state-restoring plans (flaps, re-homes, down/up pairs) the two
+/// modes measure byte-identical per-event deltas: a flap restores every
+/// RIB, ledger, and pending set exactly, and event cascades are
+/// time-translation invariant.  Plans with persistent events (a lone
+/// kPrefixDown, a policy incident followed by more events) diverge by
+/// construction — the baseline re-measures each from the pristine world.
+struct ChurnPlan {
+  std::vector<ChurnEvent> events;
+  bool full_replay = false;
+};
+
+/// Per-event measured deltas, network-wide.
+struct ChurnEventMeasure {
+  ChurnEvent::Kind kind = ChurnEvent::Kind::kFlap;
+  std::uint64_t update_messages = 0;
+  std::uint64_t route_records = 0;
+  /// Convergence time the event cost (hold/spacing excluded).
+  double settle_ms = 0.0;
+  std::size_t ases_touched = 0;
+  /// Engine events the re-convergence fired: the incremental-cost metric.
+  std::uint64_t engine_events = 0;
+};
+
+struct ChurnPlanResult {
+  std::vector<ChurnEventMeasure> events;
+  /// kFlap + kRehome events executed (the soak guard's flap count).
+  std::size_t flaps = 0;
+  std::uint64_t update_messages = 0;  ///< totals over all events
+  std::uint64_t route_records = 0;
+  std::uint64_t engine_events = 0;
+  double mean_updates_per_flap = 0.0;
+  double mean_records_per_flap = 0.0;
+  double mean_settle_ms = 0.0;  ///< over flap events
+  double max_settle_ms = 0.0;
+  /// Simulated span of the whole plan: spacings + settles + holds.
+  double span_ms = 0.0;
+  /// Full blast-radius measurement of the last kPolicyIncident, if any.
+  std::optional<PolicyEventResult> incident;
+};
+
+/// Executes the plan (see ChurnPlan) and measures every event.  Under
+/// kLispRlocOnly the events are mapping-side (a PCE push no BGP speaker
+/// hears): flaps are counted but every BGP-side measure is exactly zero,
+/// the paper's churn-amortisation claim in one row.  Deterministic for any
+/// shard/worker count; byte-identical across reruns and sweep --jobs.
+[[nodiscard]] ChurnPlanResult run_churn_plan(const DfzStudyConfig& config,
+                                             const ChurnPlan& plan);
+
+/// Deterministic soak-plan generator: `flaps` whole-site kFlap events over
+/// `stub_count` stubs (uniform via a derived sim::Rng stream), exponential
+/// inter-arrival spacing with the given mean, fixed hold.  Same seed, same
+/// plan — across reruns, --jobs, and machines.
+[[nodiscard]] ChurnPlan make_flap_plan(std::size_t flaps,
+                                       std::size_t stub_count,
+                                       std::uint64_t seed,
+                                       sim::SimDuration mean_spacing,
+                                       sim::SimDuration hold);
 
 /// The prefixes a stub injects under the given de-aggregation factor:
 /// `factor` equal-sized sub-blocks of its /20 site block (factor 1 = the

@@ -90,6 +90,24 @@ class ConvergenceEngine {
     return processed_;
   }
 
+  /// Events fired by the most recent run() — the incremental cost of the
+  /// last re-convergence (a full origination storm and a single-prefix
+  /// flap differ by orders of magnitude here; the churn studies record it
+  /// per event).
+  [[nodiscard]] std::uint64_t last_run_processed() const noexcept {
+    return last_run_processed_;
+  }
+
+  /// Advances the idle engine's clock by `by` without firing anything —
+  /// the gap between two churn events in a long-lived simulation.  All
+  /// shard clocks move together, so everything scheduled afterwards is
+  /// cause-keyed relative to the new instant; event *cascades* are
+  /// time-translation invariant (per-session jitter is a pure pair hash,
+  /// MRAI and delivery delays are relative), which is what makes a plan
+  /// spread over simulated days byte-comparable to back-to-back replays.
+  /// Throws std::logic_error if events are pending.
+  void advance(sim::SimDuration by);
+
   /// Schedules an event owned by `asn` (it executes on `asn`'s shard)
   /// `delay` after the caller's current virtual time — the firing event's
   /// instant when called from inside a run, the global clock otherwise.
@@ -140,12 +158,17 @@ class ConvergenceEngine {
   std::size_t workers_ = 1;
   sim::SimTime now_;
   std::uint64_t processed_ = 0;
+  std::uint64_t last_run_processed_ = 0;
   std::vector<std::unique_ptr<sim::ShardQueue>> queues_;
   std::unordered_map<std::uint32_t, std::size_t> home_;
   /// Per-source-shard mailboxes: written only by the worker driving the
   /// source shard during a window, drained by the barrier.
   std::vector<std::vector<Mail>> outbox_;
   std::vector<std::uint64_t> fired_;  ///< per-shard window event counts
+  /// Scratch for run_epoch: shards holding an event before the window end.
+  /// A small delta (one flap) leaves most shards idle; the epoch loop runs
+  /// the active ones inline instead of waking the worker pool for them.
+  std::vector<std::size_t> active_;
   /// Exceptions an event action raised on a pool thread, captured per
   /// shard so the barrier can complete before run() rethrows the first
   /// (lowest shard index — deterministic) on the caller.

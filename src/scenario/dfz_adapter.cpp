@@ -1,6 +1,7 @@
 #include "scenario/dfz_adapter.hpp"
 
 #include "routing/dfz_study.hpp"
+#include "sim/rng.hpp"
 
 namespace lispcp::scenario::dfz {
 
@@ -60,6 +61,41 @@ void run_churn(const RunPoint& point, Record& record) {
   record.set_int("route records", churn.route_records);
   record.set_int("ASes touched", churn.ases_touched);
   record.set_real("settle ms", churn.settle_ms, 1);
+}
+
+std::function<void(ExperimentConfig&)> full_replay() {
+  return [](ExperimentConfig& config) { config.dfz.soak.full_replay = true; };
+}
+
+Axis soak_flaps(std::vector<std::uint64_t> values, std::string name) {
+  return Axis::integers(std::move(name), std::move(values),
+                        [](ExperimentConfig& config, std::uint64_t v) {
+                          config.dfz.soak.flaps =
+                              static_cast<std::size_t>(v);
+                        });
+}
+
+void run_soak(const RunPoint& point, Record& record) {
+  const routing::DfzStudyConfig& config = point.config.dfz;
+  // The plan derives from the point's internet seed through its own
+  // stream, so seed_mode kPerPoint / replications() sweep distinct flap
+  // sequences while topology and plan stay locked together per point.
+  routing::ChurnPlan plan = routing::make_flap_plan(
+      config.soak.flaps, config.internet.stub_count,
+      sim::Rng::derive_seed(config.internet.seed, 0x536f616bu /* 'Soak' */),
+      config.soak.mean_spacing, config.soak.hold);
+  plan.full_replay = config.soak.full_replay;
+  const auto result = routing::run_churn_plan(config, plan);
+
+  record.set_int("flaps", result.flaps);
+  record.set_int("updates", result.update_messages);
+  record.set_int("route records", result.route_records);
+  record.set_real("updates/flap", result.mean_updates_per_flap, 2);
+  record.set_real("records/flap", result.mean_records_per_flap, 2);
+  record.set_real("settle ms", result.mean_settle_ms, 2);
+  record.set_real("max settle ms", result.max_settle_ms, 1);
+  record.set_int("engine events", result.engine_events);
+  record.set_real("sim days", result.span_ms / 86'400'000.0, 2);
 }
 
 std::function<void(ExperimentConfig&)> roles_enabled() {

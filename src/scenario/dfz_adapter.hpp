@@ -59,6 +59,28 @@ void run_study(const RunPoint& point, Record& record);
 void run_churn(const RunPoint& point, Record& record);
 
 // ---------------------------------------------------------------------------
+// Churn soak (routing::ChurnPlan): sustained flapping over simulated days
+// ---------------------------------------------------------------------------
+
+/// Base-config mutation: make every churn plan re-measure each event
+/// against a freshly rebuilt world (ChurnPlan::full_replay) instead of the
+/// incremental long-lived fabric.  Measures are byte-identical for
+/// state-restoring plans — the CI parity leg diffs the two modes.
+[[nodiscard]] std::function<void(ExperimentConfig&)> full_replay();
+
+/// Soak-size axis: number of whole-site flaps in the plan
+/// (config.dfz.soak.flaps; the plan itself derives from the point's
+/// internet seed, so replications() sweeps distinct flap sequences).
+[[nodiscard]] Axis soak_flaps(std::vector<std::uint64_t> values,
+                              std::string name = "flaps");
+
+/// Runner executor: converge once, then run the point's generated flap
+/// plan incrementally (routing::run_churn_plan).  Fields: "flaps",
+/// "updates", "route records", "updates/flap", "records/flap",
+/// "settle ms", "max settle ms", "engine events", "sim days".
+void run_soak(const RunPoint& point, Record& record);
+
+// ---------------------------------------------------------------------------
 // Policy layer (routing/policy.hpp): roles, incidents, containment
 // ---------------------------------------------------------------------------
 

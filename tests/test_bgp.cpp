@@ -31,7 +31,7 @@ struct Line {
 
 TEST(Bgp, OriginationInstallsLocally) {
   Line line;
-  line.fabric->speaker(AsNumber{2}).originate(kPrefix);
+  line.fabric->apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   const auto* best = line.fabric->speaker(AsNumber{2}).best(kPrefix);
   ASSERT_NE(best, nullptr);
   EXPECT_TRUE(best->local_origin);
@@ -40,7 +40,7 @@ TEST(Bgp, OriginationInstallsLocally) {
 
 TEST(Bgp, ProviderLearnsCustomerRoute) {
   Line line;
-  line.fabric->speaker(AsNumber{2}).originate(kPrefix);
+  line.fabric->apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   line.fabric->run_to_convergence();
   const auto* best = line.fabric->speaker(AsNumber{1}).best(kPrefix);
   ASSERT_NE(best, nullptr);
@@ -53,11 +53,11 @@ TEST(Bgp, ProviderLearnsCustomerRoute) {
 
 TEST(Bgp, WithdrawRemovesEverywhere) {
   Line line;
-  line.fabric->speaker(AsNumber{2}).originate(kPrefix);
+  line.fabric->apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   line.fabric->run_to_convergence();
   ASSERT_NE(line.fabric->speaker(AsNumber{1}).best(kPrefix), nullptr);
 
-  line.fabric->speaker(AsNumber{2}).withdraw_origin(kPrefix);
+  line.fabric->apply({RouteDelta::withdraw(AsNumber{2}, kPrefix)});
   line.fabric->run_to_convergence();
   EXPECT_EQ(line.fabric->speaker(AsNumber{1}).best(kPrefix), nullptr);
   EXPECT_EQ(line.fabric->speaker(AsNumber{2}).best(kPrefix), nullptr);
@@ -66,7 +66,7 @@ TEST(Bgp, WithdrawRemovesEverywhere) {
 
 TEST(Bgp, WithdrawOfUnknownOriginIsNoOp) {
   Line line;
-  line.fabric->speaker(AsNumber{2}).withdraw_origin(kPrefix);
+  line.fabric->apply({RouteDelta::withdraw(AsNumber{2}, kPrefix)});
   line.fabric->run_to_convergence();
   EXPECT_EQ(line.fabric->total_updates_sent(), 0u);
 }
@@ -93,7 +93,7 @@ TEST(Bgp, CustomerRoutePreferredOverProvider) {
   graph.add_customer_provider(AsNumber{3}, AsNumber{1});
   graph.add_customer_provider(AsNumber{4}, AsNumber{3});
   BgpFabric fabric(graph);
-  fabric.speaker(AsNumber{2}).originate(kPrefix);
+  fabric.apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   fabric.run_to_convergence();
 
   const auto* best = fabric.speaker(AsNumber{3}).best(kPrefix);
@@ -115,7 +115,7 @@ TEST(Bgp, ShorterPathWinsWithinSameRelationship) {
   graph.add_customer_provider(AsNumber{2}, AsNumber{3});
   graph.add_customer_provider(AsNumber{3}, AsNumber{1});
   BgpFabric fabric(graph);
-  fabric.speaker(AsNumber{2}).originate(kPrefix);
+  fabric.apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   fabric.run_to_convergence();
 
   const auto* best = fabric.speaker(AsNumber{1}).best(kPrefix);
@@ -136,7 +136,7 @@ TEST(Bgp, LowestNeighborAsnBreaksTies) {
   graph.add_customer_provider(AsNumber{5}, AsNumber{2});
   graph.add_customer_provider(AsNumber{5}, AsNumber{3});
   BgpFabric fabric(graph);
-  fabric.speaker(AsNumber{5}).originate(kPrefix);
+  fabric.apply({RouteDelta::announce(AsNumber{5}, kPrefix)});
   fabric.run_to_convergence();
 
   const auto* best = fabric.speaker(AsNumber{9}).best(kPrefix);
@@ -155,7 +155,7 @@ TEST(Bgp, ValleyFreeExport_PeerRouteNotGivenToPeer) {
   graph.add_peering(AsNumber{1}, AsNumber{2});
   graph.add_peering(AsNumber{1}, AsNumber{3});
   BgpFabric fabric(graph);
-  fabric.speaker(AsNumber{2}).originate(kPrefix);
+  fabric.apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   fabric.run_to_convergence();
 
   EXPECT_NE(fabric.speaker(AsNumber{1}).best(kPrefix), nullptr);
@@ -175,7 +175,7 @@ TEST(Bgp, ValleyFreeExport_ProviderRouteGoesOnlyToCustomers) {
   graph.add_customer_provider(AsNumber{3}, AsNumber{2});
   graph.add_peering(AsNumber{2}, AsNumber{4});
   BgpFabric fabric(graph);
-  fabric.speaker(AsNumber{1}).originate(kPrefix);
+  fabric.apply({RouteDelta::announce(AsNumber{1}, kPrefix)});
   fabric.run_to_convergence();
 
   EXPECT_NE(fabric.speaker(AsNumber{3}).best(kPrefix), nullptr)
@@ -221,10 +221,15 @@ TEST(Bgp, ImplicitReplaceOnNewAdvert) {
 
 TEST(Bgp, MraiBatchesMultiplePrefixesIntoOneUpdate) {
   Line line;
-  BgpSpeaker& stub = line.fabric->speaker(AsNumber{2});
-  stub.originate(net::Ipv4Prefix::from_string("100.0.0.0/22"));
-  stub.originate(net::Ipv4Prefix::from_string("100.0.4.0/22"));
-  stub.originate(net::Ipv4Prefix::from_string("100.0.8.0/22"));
+  const BgpSpeaker& stub = line.fabric->speaker(AsNumber{2});
+  line.fabric->apply({
+      RouteDelta::announce(AsNumber{2},
+                           net::Ipv4Prefix::from_string("100.0.0.0/22")),
+      RouteDelta::announce(AsNumber{2},
+                           net::Ipv4Prefix::from_string("100.0.4.0/22")),
+      RouteDelta::announce(AsNumber{2},
+                           net::Ipv4Prefix::from_string("100.0.8.0/22")),
+  });
   line.fabric->run_to_convergence();
   // One session, one MRAI window: exactly one flush carrying 3 records.
   EXPECT_EQ(stub.stats().updates_sent, 1u);
@@ -234,9 +239,10 @@ TEST(Bgp, MraiBatchesMultiplePrefixesIntoOneUpdate) {
 
 TEST(Bgp, AnnounceThenWithdrawWithinMraiSendsNothing) {
   Line line;
-  BgpSpeaker& stub = line.fabric->speaker(AsNumber{2});
-  stub.originate(kPrefix);
-  stub.withdraw_origin(kPrefix);  // cancelled before the MRAI flush
+  const BgpSpeaker& stub = line.fabric->speaker(AsNumber{2});
+  // One batch, withdraw cancelling the announce before the MRAI flush.
+  line.fabric->apply({RouteDelta::announce(AsNumber{2}, kPrefix),
+                      RouteDelta::withdraw(AsNumber{2}, kPrefix)});
   line.fabric->run_to_convergence();
   EXPECT_EQ(stub.stats().updates_sent, 0u);
   EXPECT_EQ(line.fabric->speaker(AsNumber{1}).rib_size(), 0u);
@@ -244,7 +250,7 @@ TEST(Bgp, AnnounceThenWithdrawWithinMraiSendsNothing) {
 
 TEST(Bgp, StatsCountMessages) {
   Line line;
-  line.fabric->speaker(AsNumber{2}).originate(kPrefix);
+  line.fabric->apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   line.fabric->run_to_convergence();
   EXPECT_EQ(line.fabric->speaker(AsNumber{2}).stats().updates_sent, 1u);
   EXPECT_EQ(line.fabric->speaker(AsNumber{1}).stats().updates_received, 1u);
@@ -261,7 +267,7 @@ TEST(Bgp, UnknownSpeakerThrows) {
 TEST(Bgp, ConvergedMeansNoForegroundWork) {
   Line line;
   EXPECT_TRUE(line.fabric->converged());
-  line.fabric->speaker(AsNumber{2}).originate(kPrefix);
+  line.fabric->apply({RouteDelta::announce(AsNumber{2}, kPrefix)});
   EXPECT_FALSE(line.fabric->converged());
   line.fabric->run_to_convergence();
   EXPECT_TRUE(line.fabric->converged());
@@ -295,7 +301,7 @@ TEST_P(BgpConvergenceProperty, PathsAreLoopAndValleyFree) {
       prefix = provider_aggregate(asn);
     }
     origin_of[asn.value()] = prefix;
-    fabric.speaker(asn).originate(prefix);
+    fabric.apply({RouteDelta::announce(asn, prefix)});
   }
   fabric.run_to_convergence();
 
@@ -507,10 +513,11 @@ std::string converge_and_fingerprint(const AsGraph& graph, std::size_t shards,
   for (AsNumber asn : graph.ases()) {
     if (graph.tier(asn) == AsTier::kStub) {
       const auto it = std::find(stubs.begin(), stubs.end(), asn);
-      fabric.speaker(asn).originate(stub_site_prefixes(
-          static_cast<std::size_t>(it - stubs.begin()), 1)[0]);
+      fabric.apply({RouteDelta::announce(
+          asn, stub_site_prefixes(
+                   static_cast<std::size_t>(it - stubs.begin()), 1)[0])});
     } else {
-      fabric.speaker(asn).originate(provider_aggregate(asn));
+      fabric.apply({RouteDelta::announce(asn, provider_aggregate(asn))});
     }
   }
   fabric.run_to_convergence();

@@ -157,8 +157,8 @@ TEST(BgpPolicy, ImportLocalPrefOverridesTiebreak) {
   table->session(AsNumber{1}, AsNumber{3}).import = &map;
 
   Fork fork(table);
-  fork.fabric->speaker(AsNumber{2}).originate(kForkPrefix);
-  fork.fabric->speaker(AsNumber{3}).originate(kForkPrefix);
+  fork.fabric->apply({RouteDelta::announce(AsNumber{2}, kForkPrefix),
+                      RouteDelta::announce(AsNumber{3}, kForkPrefix)});
   fork.fabric->run_to_convergence();
 
   const auto* best = fork.fabric->speaker(AsNumber{1}).best(kForkPrefix);
@@ -175,7 +175,7 @@ TEST(BgpPolicy, ImportDenyFiltersRoute) {
   table->session(AsNumber{1}, AsNumber{3}).import = &map;
 
   Fork fork(table);
-  fork.fabric->speaker(AsNumber{2}).originate(kForkPrefix);
+  fork.fabric->apply({RouteDelta::announce(AsNumber{2}, kForkPrefix)});
   fork.fabric->run_to_convergence();
 
   EXPECT_EQ(fork.fabric->speaker(AsNumber{1}).best(kForkPrefix), nullptr);
@@ -192,8 +192,8 @@ TEST(BgpPolicy, ExportDenyAndPrepend) {
   table->session(AsNumber{3}, AsNumber{1}).export_map = &pad;
 
   Fork fork(table);
-  fork.fabric->speaker(AsNumber{2}).originate(kForkPrefix);
-  fork.fabric->speaker(AsNumber{3}).originate(kForkPrefix);
+  fork.fabric->apply({RouteDelta::announce(AsNumber{2}, kForkPrefix),
+                      RouteDelta::announce(AsNumber{3}, kForkPrefix)});
   fork.fabric->run_to_convergence();
 
   // AS2's export is denied, so AS1 sees only AS3's padded path.
@@ -228,15 +228,19 @@ struct RolesInternet {
     config.shard_workers = 1;
     config.policy = table;
     fabric = std::make_unique<BgpFabric>(graph, config);
+    std::vector<RouteDelta> originations;
     for (AsTier tier : {AsTier::kTier1, AsTier::kTransit}) {
       for (AsNumber asn : graph.ases_of_tier(tier)) {
-        fabric->speaker(asn).originate(provider_aggregate(asn));
+        originations.push_back(
+            RouteDelta::announce(asn, provider_aggregate(asn)));
       }
     }
     const auto stubs = graph.ases_of_tier(AsTier::kStub);
     for (std::size_t i = 0; i < stubs.size(); ++i) {
-      fabric->speaker(stubs[i]).originate(stub_site_prefixes(i, 1).front());
+      originations.push_back(
+          RouteDelta::announce(stubs[i], stub_site_prefixes(i, 1).front()));
     }
+    fabric->apply(originations);
     fabric->run_to_convergence();
   }
   AsGraph graph;
@@ -263,7 +267,7 @@ TEST(ValleyFree, RouteLeakTurnsTheCheckerRed) {
   }
   ASSERT_NE(target.value(), 0u);
   internet.table->session(leaker, target).valley_free = false;
-  internet.fabric->speaker(leaker).refresh_exports(target);
+  internet.fabric->apply({RouteDelta::refresh(leaker, target)});
   internet.fabric->run_to_convergence();
   const auto check = policy::check_valley_free(*internet.fabric);
   EXPECT_GT(check.violations, 0u);
