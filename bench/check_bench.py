@@ -321,7 +321,7 @@ RATCHET_ANCHOR = "checksum/1500"
 # jitter; wall-clocks also see scheduler noise from --jobs, hence 1.9x.
 RATCHET_MICRO_TOLERANCE = 1.75
 RATCHET_WALL_TOLERANCE = 1.9
-RATCHET_WALL_BENCHES = ("F2", "E4")
+RATCHET_WALL_BENCHES = ("F1", "F2", "E4")
 # The incremental re-convergence claim as an absolute gate: one flap on a
 # 1k-stub fabric must re-converge at least this much faster than rebuilding
 # and re-converging the whole world.  A ratio of raw ns/op values, so it is
@@ -329,6 +329,12 @@ RATCHET_WALL_BENCHES = ("F2", "E4")
 FLAP_PAIR_FULL = "flap reconverge/full-replay"
 FLAP_PAIR_INCREMENTAL = "flap reconverge/incremental"
 FLAP_PAIR_MIN_RATIO = 5.0
+# The export update-group claim, same shape: a flap at a 64-session hub
+# must fan out measurably faster computing each UPDATE once per group than
+# once per neighbor.
+EXPORT_PAIR_PER_NEIGHBOR = "export fanout/per-neighbor"
+EXPORT_PAIR_GROUPED = "export fanout/grouped"
+EXPORT_PAIR_MIN_RATIO = 1.5
 
 
 def m1_ns_per_op(directory):
@@ -465,6 +471,24 @@ def ratchet_check(directory, trajectory_dir, inject):
             f"m1: incremental re-convergence speedup collapsed: "
             f"full-replay/incremental = {ratio:.2f}x, required >= "
             f"{FLAP_PAIR_MIN_RATIO}x ({full:.0f} vs {incremental:.0f} ns/op)")
+
+    # Export update-group speedup gate (ISSUE 10's tentpole claim).
+    per_neighbor = values.get(EXPORT_PAIR_PER_NEIGHBOR)
+    grouped = values.get(EXPORT_PAIR_GROUPED)
+    if per_neighbor is None or grouped is None:
+        missing = [n for n, v in ((EXPORT_PAIR_PER_NEIGHBOR, per_neighbor),
+                                  (EXPORT_PAIR_GROUPED, grouped))
+                   if v is None]
+        problems.append(
+            f"m1: export-fanout pair incomplete — missing "
+            f"{', '.join(repr(n) for n in missing)}")
+    elif grouped <= 0 or per_neighbor / grouped < EXPORT_PAIR_MIN_RATIO:
+        ratio = per_neighbor / grouped if grouped > 0 else float("nan")
+        problems.append(
+            f"m1: export update-group speedup collapsed: "
+            f"per-neighbor/grouped = {ratio:.2f}x, required >= "
+            f"{EXPORT_PAIR_MIN_RATIO}x ({per_neighbor:.0f} vs "
+            f"{grouped:.0f} ns/op)")
 
     walls = 0
     for bench_id in RATCHET_WALL_BENCHES:

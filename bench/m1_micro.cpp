@@ -348,7 +348,7 @@ std::vector<Micro> registry() {
       // The standing alternative: AS3's equal-length path, beaten by AS2's
       // on the final ASN tiebreak whenever AS2's route is present.
       routing::UpdateMessage alt;
-      alt.announces = {{prefix, {routing::AsNumber(3)}, {}}};
+      alt.announces = {fabric->make_advert(prefix, {routing::AsNumber(3)})};
       fabric->speaker(routing::AsNumber(1))
           .handle_update(routing::AsNumber(3), alt);
       return std::function<void(std::uint64_t)>(
@@ -356,7 +356,8 @@ std::vector<Micro> registry() {
             routing::BgpSpeaker& speaker =
                 fabric->speaker(routing::AsNumber(1));
             routing::UpdateMessage announce;
-            announce.announces = {{prefix, {routing::AsNumber(2)}, {}}};
+            announce.announces = {
+                fabric->make_advert(prefix, {routing::AsNumber(2)})};
             routing::UpdateMessage withdraw;
             withdraw.withdraws = {prefix};
             for (std::uint64_t i = 0; i < iters; ++i) {
@@ -364,6 +365,91 @@ std::vector<Micro> registry() {
                                     (i & 1) == 0 ? announce : withdraw);
             }
             keep(speaker.stats().best_changes);
+          });
+    }});
+  }
+
+  // The export leg on a 64-customer hub: one flap at the hub makes it
+  // recompute and fan out an UPDATE to every session.  The per-neighbor arm
+  // (share_exports = false) runs the export computation once per session —
+  // the pre-update-group model — while the grouped arm computes once per
+  // equivalence class and fans out by reference.  check_bench.py gates the
+  // ratio under --ratchet.
+  for (const bool grouped : {false, true}) {
+    micros.push_back(
+        {std::string("export fanout/") + (grouped ? "grouped" : "per-neighbor"),
+         [grouped] {
+      auto graph = std::make_shared<routing::AsGraph>();
+      graph->add_as(routing::AsNumber(1), routing::AsTier::kTransit);
+      constexpr std::uint32_t kFanout = 64;
+      for (std::uint32_t i = 0; i < kFanout; ++i) {
+        const routing::AsNumber stub(10 + i);
+        graph->add_as(stub, routing::AsTier::kStub);
+        graph->add_customer_provider(stub, routing::AsNumber(1));
+      }
+      routing::BgpConfig config;
+      config.share_exports = grouped;
+      auto fabric = std::make_shared<routing::BgpFabric>(*graph, config);
+      const net::Ipv4Prefix prefix(net::Ipv4Address(100, 0, 0, 0), 20);
+      routing::UpdateMessage announce;
+      announce.announces = {
+          fabric->make_advert(prefix, {routing::AsNumber(10)})};
+      routing::UpdateMessage withdraw;
+      withdraw.withdraws = {prefix};
+      return std::function<void(std::uint64_t)>(
+          [graph, fabric, announce, withdraw](std::uint64_t iters) {
+            routing::BgpSpeaker& hub = fabric->speaker(routing::AsNumber(1));
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              hub.handle_update(routing::AsNumber(10),
+                                (i & 1) == 0 ? announce : withdraw);
+            }
+            keep(hub.stats().routes_announced);
+          });
+    }});
+  }
+
+  // Distributing one attribute set to 16 holders (the adj-in/loc-rib/
+  // in-flight-advert copies one UPDATE used to spawn): the copy arm pays a
+  // vector deep-copy per holder — the pre-interning model — while the ref
+  // arm interns the canonical node once (steady-state hit: one hash probe,
+  // no allocation) and hands out refcounted handles.
+  {
+    constexpr std::size_t kHolders = 16;
+    const std::vector<routing::AsNumber> path{
+        routing::AsNumber(64500), routing::AsNumber(64501),
+        routing::AsNumber(64502), routing::AsNumber(64503),
+        routing::AsNumber(64504), routing::AsNumber(64505)};
+    const std::vector<routing::policy::Community> communities{0x00FF0001u,
+                                                             0x00FF0002u};
+    micros.push_back({"attr intern/copy", [path, communities] {
+      return std::function<void(std::uint64_t)>(
+          [path, communities](std::uint64_t iters) {
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              for (std::size_t h = 0; h < kHolders; ++h) {
+                std::vector<routing::AsNumber> p(path);
+                std::vector<routing::policy::Community> c(communities);
+                keep(p.data());
+                keep(c.data());
+              }
+            }
+          });
+    }});
+
+    micros.push_back({"attr intern/ref", [path, communities] {
+      auto table = std::make_shared<routing::AttrTable>();
+      // Untimed: the first intern allocates the canonical node; the timed
+      // loop measures the shared-hit path every later UPDATE takes.
+      auto anchor = std::make_shared<routing::AttrRef>(
+          table->intern(path, communities, 0));
+      return std::function<void(std::uint64_t)>(
+          [table, anchor, path, communities](std::uint64_t iters) {
+            for (std::uint64_t i = 0; i < iters; ++i) {
+              const routing::AttrRef ref = table->intern(path, communities, 0);
+              for (std::size_t h = 0; h < kHolders; ++h) {
+                const routing::AttrRef holder = ref;
+                keep(holder.use_count());
+              }
+            }
           });
     }});
   }

@@ -1,0 +1,116 @@
+#include "routing/attr_table.hpp"
+
+#include <algorithm>
+
+namespace lispcp::routing {
+
+namespace {
+
+/// splitmix64 finaliser — the same mix core/flat_map.hpp uses; the inputs
+/// here (ASNs, communities) are small structured integers whose low bits
+/// need spreading before they select a stripe/bucket.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+bool equal_content(const detail::AttrNode& node,
+                   std::span<const AsNumber> as_path,
+                   std::span<const policy::Community> communities,
+                   std::uint32_t local_pref) noexcept {
+  return node.local_pref == local_pref &&
+         node.as_path.size() == as_path.size() &&
+         node.communities.size() == communities.size() &&
+         std::equal(as_path.begin(), as_path.end(), node.as_path.begin()) &&
+         std::equal(communities.begin(), communities.end(),
+                    node.communities.begin());
+}
+
+}  // namespace
+
+std::uint64_t AttrTable::hash_of(std::span<const AsNumber> as_path,
+                                 std::span<const policy::Community> communities,
+                                 std::uint32_t local_pref) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ local_pref;
+  for (const AsNumber asn : as_path) {
+    h = mix(h ^ asn.value());
+  }
+  h = mix(h ^ (std::uint64_t{as_path.size()} << 32));
+  for (const policy::Community c : communities) {
+    h = mix(h ^ c);
+  }
+  return mix(h ^ communities.size());
+}
+
+AttrRef AttrTable::intern(std::span<const AsNumber> as_path,
+                          std::span<const policy::Community> communities,
+                          std::uint32_t local_pref) {
+  const std::uint64_t hash = hash_of(as_path, communities, local_pref);
+  Stripe& stripe = stripes_[hash % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto [begin, end] = stripe.nodes.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    detail::AttrNode* node = it->second;
+    if (equal_content(*node, as_path, communities, local_pref)) {
+      // May resurrect a node whose last ref just dropped: the increment
+      // happens under the stripe lock, so the pending evict()'s re-check
+      // sees it and backs off.
+      node->refs.fetch_add(1, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return AttrRef(node);
+    }
+  }
+  auto* node = new detail::AttrNode;
+  node->as_path.assign(as_path.begin(), as_path.end());
+  node->communities.assign(communities.begin(), communities.end());
+  node->local_pref = local_pref;
+  node->hash = hash;
+  node->refs.store(1, std::memory_order_relaxed);
+  node->table = this;
+  stripe.nodes.emplace(hash, node);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return AttrRef(node);
+}
+
+void AttrTable::evict(detail::AttrNode* node) {
+  Stripe& stripe = stripes_[node->hash % kStripes];
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  if (node->refs.load(std::memory_order_acquire) != 0) {
+    return;  // resurrected by a concurrent intern
+  }
+  const auto [begin, end] = stripe.nodes.equal_range(node->hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == node) {
+      stripe.nodes.erase(it);
+      break;
+    }
+  }
+  lock.unlock();
+  delete node;
+}
+
+std::size_t AttrTable::size() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(stripe.mu));
+    total += stripe.nodes.size();
+  }
+  return total;
+}
+
+AttrTable::~AttrTable() {
+  // All refs must be gone by now (the fabric destroys speakers and the
+  // engine first, and message shells drop their refs before recycling).
+  // Free whatever remains so a leaked ref corrupts nothing worse than the
+  // leak itself.
+  for (Stripe& stripe : stripes_) {
+    for (auto& [hash, node] : stripe.nodes) delete node;
+    stripe.nodes.clear();
+  }
+}
+
+}  // namespace lispcp::routing

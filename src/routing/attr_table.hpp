@@ -1,0 +1,209 @@
+// attr_table.hpp — hash-consed, refcounted BGP path-attribute sets.
+//
+// Every hop of a route's propagation used to deep-copy its
+// `as_path`/`communities` vectors: once into Adj-RIB-In on receipt, once
+// into the Loc-RIB on installation, and once **per neighbor** on export.
+// But the value set is tiny — a converged mesh holds one distinct
+// (as_path, communities, local_pref) triple per (origin, propagation path),
+// shared by every RIB entry and in-flight advert that mentions it.  This
+// table interns the triple the way quagga/FRR hash-cons `struct attr`:
+//
+//   * AttrTable::intern() returns an AttrRef to the canonical immutable
+//     node for the triple, allocating only on first sight — prepending a
+//     hop to an interned path costs one scratch-buffer probe and, for a
+//     path the network has produced before, zero allocations;
+//   * AttrRef is an intrusive refcounted handle.  Pointer equality implies
+//     value equality (and, while any ref holds a node live, the converse:
+//     re-interning equal content always finds the same node), which is what
+//     lets the decision process compare routes without touching vectors;
+//   * nodes are evicted when their last ref drops, so a long churn soak
+//     does not accrete dead attribute sets.
+//
+// Thread safety: shard workers intern (export leg) and release (delivered
+// message shells) concurrently.  The bucket array is striped — intern and
+// eviction take one stripe mutex — and refcounts are atomic with the usual
+// shared_ptr discipline.  A release racing an intern of the same node is
+// benign: eviction re-checks the count under the stripe lock, so an intern
+// that resurrects a dying node (count 0 -> 1 under the lock) simply aborts
+// the eviction.
+//
+// Determinism: the table is invisible in every sanctioned output.  Hashes
+// and bucket order are never observable; the records a fabric emits are
+// value-equal whether attributes are shared or copied (the parity tests in
+// tests/test_update_groups.cpp pin this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/as_graph.hpp"
+#include "routing/policy.hpp"
+
+namespace lispcp::routing {
+
+class AttrTable;
+
+namespace detail {
+
+/// One canonical attribute set.  Immutable after construction; only the
+/// refcount ever changes.
+struct AttrNode {
+  std::vector<AsNumber> as_path;
+  std::vector<policy::Community> communities;
+  std::uint32_t local_pref = 0;
+  std::uint64_t hash = 0;
+  std::atomic<std::uint32_t> refs{0};
+  AttrTable* table = nullptr;
+};
+
+}  // namespace detail
+
+/// Intrusive handle to an interned attribute set.  Copy = one atomic
+/// increment; destruction of the last ref evicts the node from its table.
+/// operator== is pointer identity, which the table makes equivalent to
+/// value identity for live nodes.
+class AttrRef {
+ public:
+  AttrRef() noexcept = default;
+  AttrRef(const AttrRef& other) noexcept : node_(other.node_) { retain(); }
+  AttrRef(AttrRef&& other) noexcept : node_(other.node_) {
+    other.node_ = nullptr;
+  }
+  AttrRef& operator=(const AttrRef& other) noexcept {
+    if (node_ != other.node_) {
+      release();
+      node_ = other.node_;
+      retain();
+    }
+    return *this;
+  }
+  AttrRef& operator=(AttrRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      node_ = other.node_;
+      other.node_ = nullptr;
+    }
+    return *this;
+  }
+  ~AttrRef() { release(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return node_ != nullptr;
+  }
+  void reset() noexcept {
+    release();
+    node_ = nullptr;
+  }
+
+  [[nodiscard]] const std::vector<AsNumber>& as_path() const noexcept {
+    return node_->as_path;
+  }
+  [[nodiscard]] const std::vector<policy::Community>& communities()
+      const noexcept {
+    return node_->communities;
+  }
+  [[nodiscard]] std::uint32_t local_pref() const noexcept {
+    return node_->local_pref;
+  }
+
+  /// Current reference count (relaxed read — exact only when no other
+  /// thread is mutating refs; the churn tests run single-threaded).
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return node_ == nullptr
+               ? 0
+               : node_->refs.load(std::memory_order_relaxed);
+  }
+
+  friend bool operator==(const AttrRef& a, const AttrRef& b) noexcept {
+    return a.node_ == b.node_;
+  }
+
+ private:
+  friend class AttrTable;
+  explicit AttrRef(detail::AttrNode* node) noexcept : node_(node) {}
+
+  void retain() noexcept {
+    if (node_ != nullptr) {
+      node_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void release() noexcept;
+
+  detail::AttrNode* node_ = nullptr;
+};
+
+/// The per-fabric interning table.  Must outlive every AttrRef it hands
+/// out (BgpFabric declares it before the engine and the speakers).
+class AttrTable {
+ public:
+  AttrTable() = default;
+  ~AttrTable();
+
+  AttrTable(const AttrTable&) = delete;
+  AttrTable& operator=(const AttrTable&) = delete;
+
+  /// The canonical ref for (as_path, communities, local_pref): an existing
+  /// node when the triple is live, a freshly allocated one otherwise.  The
+  /// span overload is the hot-path entry — callers probe with scratch
+  /// buffers and pay vector allocations only on a miss.
+  [[nodiscard]] AttrRef intern(std::span<const AsNumber> as_path,
+                               std::span<const policy::Community> communities,
+                               std::uint32_t local_pref);
+  [[nodiscard]] AttrRef intern(const std::vector<AsNumber>& as_path,
+                               const std::vector<policy::Community>& communities,
+                               std::uint32_t local_pref) {
+    return intern(std::span<const AsNumber>(as_path),
+                  std::span<const policy::Community>(communities), local_pref);
+  }
+
+  /// Distinct attribute sets currently live (refcount > 0).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Lifetime counters (relaxed; for tests and the m1 micro): interns that
+  /// found an existing node vs allocated a new one.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class AttrRef;
+
+  /// 16 stripes: enough to keep shard workers off each other's locks, few
+  /// enough that size() stays a cheap sweep.
+  static constexpr std::size_t kStripes = 16;
+
+  struct Stripe {
+    std::mutex mu;
+    /// hash -> nodes with that hash (collisions resolved by value compare).
+    std::unordered_multimap<std::uint64_t, detail::AttrNode*> nodes;
+  };
+
+  [[nodiscard]] static std::uint64_t hash_of(
+      std::span<const AsNumber> as_path,
+      std::span<const policy::Community> communities,
+      std::uint32_t local_pref) noexcept;
+
+  /// Last-ref drop: erase and delete unless a concurrent intern resurrected
+  /// the node (checked under the stripe lock).
+  void evict(detail::AttrNode* node);
+
+  Stripe stripes_[kStripes];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+inline void AttrRef::release() noexcept {
+  if (node_ != nullptr &&
+      node_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    node_->table->evict(node_);
+  }
+}
+
+}  // namespace lispcp::routing

@@ -12,47 +12,110 @@ namespace {
 /// capacity a delivered message gave back instead of growing from zero.
 /// Thread-local because shard workers flush and deliver concurrently; a
 /// message released on the delivery thread simply seeds that worker's own
-/// recycler.
+/// recycler.  Shells are released with their advert refs already cleared,
+/// so a pooled shell never pins an attribute set (or a table) alive.
 core::Recycler<UpdateMessage>& message_recycler() {
   thread_local core::Recycler<UpdateMessage> recycler;
   return recycler;
 }
 
-bool same_route(const BgpSpeaker::BestRoute& a, const BgpSpeaker::BestRoute& b) {
-  return a.local_origin == b.local_origin && a.learned_from == b.learned_from &&
-         a.local_pref == b.local_pref && a.as_path == b.as_path &&
-         a.communities == b.communities;
+/// Scratch buffers for the export/import legs: the path is assembled here,
+/// probed against the AttrTable, and only copied when the table has never
+/// seen it.  Thread-local because shard workers run speakers concurrently;
+/// each use is confined to one call, no reentrancy (announce/import legs
+/// never nest).
+std::vector<AsNumber>& path_scratch() {
+  thread_local std::vector<AsNumber> scratch;
+  return scratch;
+}
+std::vector<AsNumber>& modified_path_scratch() {
+  thread_local std::vector<AsNumber> scratch;
+  return scratch;
+}
+std::vector<policy::Community>& community_scratch() {
+  thread_local std::vector<policy::Community> scratch;
+  return scratch;
 }
 
 }  // namespace
 
 BgpSpeaker::BgpSpeaker(BgpFabric& fabric, AsNumber asn)
     : fabric_(fabric), asn_(asn) {
-  // Satellite of the policy PR: a known converged table size lets every
-  // RIB jump straight to its final capacity instead of rehashing through
-  // the origination storm.
+  // A known converged table size lets every RIB jump straight to its final
+  // capacity instead of rehashing through the origination storm.
   loc_rib_.reserve(fabric_.config().expected_prefixes);
+  const std::vector<AsGraph::Neighbor>& neighbors =
+      fabric_.graph().neighbors(asn_);
+  neighbor_pos_.reserve(neighbors.size());
+  for (std::uint32_t pos = 0; pos < neighbors.size(); ++pos) {
+    neighbor_pos_.insert_or_assign(neighbors[pos].asn, pos);
+  }
+  adj_in_.resize(neighbors.size());
+  outbound_.resize(neighbors.size());
+  rebuild_export_groups();
 }
 
-BgpSpeaker::AdjIn& BgpSpeaker::adj_in(AsNumber from) {
-  const auto [it, inserted] = adj_in_.try_emplace(from);
-  if (inserted && fabric_.config().expected_prefixes > 0 &&
-      fabric_.kind_of(asn_, from) != NeighborKind::kCustomer) {
-    // Peer/provider sessions carry (close to) the full table; customer
-    // sessions only their cone — reserving those would waste the memory.
-    it->second.routes.reserve(fabric_.config().expected_prefixes);
+std::uint32_t BgpSpeaker::neighbor_position(AsNumber neighbor) const {
+  const std::uint32_t* pos = neighbor_pos_.find(neighbor);
+  if (pos == nullptr) {
+    throw std::out_of_range("BgpFabric: no session " + asn_.to_string() +
+                            " <-> " + neighbor.to_string());
   }
-  return it->second;
+  return *pos;
 }
 
-BgpSpeaker::Outbound& BgpSpeaker::outbound(AsNumber neighbor) {
-  const auto [it, inserted] = outbound_.try_emplace(neighbor);
-  if (inserted && fabric_.config().expected_prefixes > 0 &&
-      fabric_.kind_of(asn_, neighbor) == NeighborKind::kCustomer) {
-    // Customers get the full table, so the Adj-RIB-Out ledger fills up.
-    it->second.advertised.reserve(fabric_.config().expected_prefixes);
+void BgpSpeaker::rebuild_export_groups() {
+  export_groups_.clear();
+  const std::vector<AsGraph::Neighbor>& neighbors =
+      fabric_.graph().neighbors(asn_);
+  for (std::uint32_t pos = 0; pos < neighbors.size(); ++pos) {
+    const policy::SessionPolicy* session =
+        fabric_.session_policy(asn_, neighbors[pos].asn);
+    const NeighborKind kind = neighbors[pos].kind;
+    const policy::RouteMap* map =
+        session == nullptr ? nullptr : session->export_map;
+    const bool valley_free = session == nullptr ? true : session->valley_free;
+    ExportGroup* group = nullptr;
+    for (ExportGroup& g : export_groups_) {
+      if (g.kind == kind && g.export_map == map &&
+          g.valley_free == valley_free) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      group = &export_groups_.emplace_back(
+          ExportGroup{kind, map, valley_free, {}});
+    }
+    group->members.push_back(pos);
   }
-  return it->second;
+}
+
+BgpSpeaker::AdjIn& BgpSpeaker::adj_in(std::uint32_t pos) {
+  AdjIn& adj = adj_in_[pos];
+  if (!adj.sized) {
+    adj.sized = true;
+    if (fabric_.config().expected_prefixes > 0 &&
+        fabric_.graph().neighbors(asn_)[pos].kind != NeighborKind::kCustomer) {
+      // Peer/provider sessions carry (close to) the full table; customer
+      // sessions only their cone — reserving those would waste the memory.
+      adj.routes.reserve(fabric_.config().expected_prefixes);
+    }
+  }
+  return adj;
+}
+
+BgpSpeaker::Outbound& BgpSpeaker::outbound(std::uint32_t pos) {
+  Outbound& out = outbound_[pos];
+  if (!out.sized) {
+    out.sized = true;
+    if (fabric_.config().expected_prefixes > 0 &&
+        fabric_.graph().neighbors(asn_)[pos].kind == NeighborKind::kCustomer) {
+      // Customers get the full table, so the Adj-RIB-Out ledger fills up.
+      out.advertised.reserve(fabric_.config().expected_prefixes);
+    }
+  }
+  return out;
 }
 
 void BgpSpeaker::originate(const net::Ipv4Prefix& prefix) {
@@ -67,7 +130,7 @@ void BgpSpeaker::withdraw_origin(const net::Ipv4Prefix& prefix) {
 
 void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
   ++stats_.updates_received;
-  AdjIn& adj = adj_in(from);
+  AdjIn& adj = adj_in(neighbor_position(from));
   for (const net::Ipv4Prefix& prefix : message.withdraws) {
     if (adj.routes.erase(prefix) > 0) decide(prefix);
   }
@@ -75,8 +138,9 @@ void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
   const policy::RouteMap* import =
       session == nullptr ? nullptr : session->import;
   for (const RouteAdvert& advert : message.announces) {
-    const bool loops = std::find(advert.as_path.begin(), advert.as_path.end(),
-                                 asn_) != advert.as_path.end();
+    const std::vector<AsNumber>& path = advert.as_path();
+    const bool loops =
+        std::find(path.begin(), path.end(), asn_) != path.end();
     if (loops) {
       // A looped advert is unusable, and — update semantics — it implicitly
       // replaces whatever this neighbor said before, so the old path goes.
@@ -84,10 +148,10 @@ void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
       if (adj.routes.erase(advert.prefix) > 0) decide(advert.prefix);
       continue;
     }
-    AdjRoute route{advert.as_path, advert.communities, 0};
+    AttrRef attrs;
     if (import != nullptr) {
       const auto actions = import->evaluate(policy::RouteContext{
-          advert.prefix, route.as_path, route.communities});
+          advert.prefix, path, advert.communities()});
       if (!actions.has_value()) {
         // Import-denied: like a loop reject, the advert still implicitly
         // withdraws whatever this neighbor previously offered.
@@ -95,17 +159,26 @@ void BgpSpeaker::handle_update(AsNumber from, const UpdateMessage& message) {
         if (adj.routes.erase(advert.prefix) > 0) decide(advert.prefix);
         continue;
       }
-      route.local_pref = actions->local_pref;
-      for (const policy::Community c : actions->add_communities) {
-        policy::add_community(route.communities, c);
-      }
-      if (actions->prepend > 0) {
+      if (actions->local_pref == 0 && actions->add_communities.empty() &&
+          actions->prepend == 0) {
+        attrs = advert.attrs;  // import changed nothing: share the wire attrs
+      } else {
         // Import prepend inserts the *neighbor's* ASN, lengthening the
         // path this session offers to the decision process.
-        route.as_path.insert(route.as_path.begin(), actions->prepend, from);
+        std::vector<AsNumber>& in_path = modified_path_scratch();
+        in_path.assign(actions->prepend, from);
+        in_path.insert(in_path.end(), path.begin(), path.end());
+        std::vector<policy::Community>& comm = community_scratch();
+        comm.assign(advert.communities().begin(), advert.communities().end());
+        for (const policy::Community c : actions->add_communities) {
+          policy::add_community(comm, c);
+        }
+        attrs = fabric_.attrs().intern(in_path, comm, actions->local_pref);
       }
+    } else {
+      attrs = advert.attrs;
     }
-    adj.routes[advert.prefix] = std::move(route);
+    adj.routes[advert.prefix] = AdjRoute{std::move(attrs)};
     decide(advert.prefix);
   }
 }
@@ -121,106 +194,211 @@ std::vector<net::Ipv4Prefix> BgpSpeaker::rib_prefixes() const {
 
 void BgpSpeaker::decide(const net::Ipv4Prefix& prefix) {
   // Gather candidates: local origination plus one per advertising neighbor,
-  // iterated in graph order for determinism.
-  std::optional<BestRoute> winner;
-  const auto better = [](const BestRoute& a, const BestRoute& b) {
+  // iterated in graph order for determinism.  Candidates borrow the adj
+  // entries' attr refs — no refcount traffic until the winner installs.
+  const AttrRef* win_attrs = nullptr;
+  AsNumber win_from;
+  NeighborKind win_kind = NeighborKind::kCustomer;
+  bool win_origin = false;
+  std::uint32_t win_pref = policy::kCustomerLocalPref;
+
+  if (origins_.contains(prefix)) {
+    win_attrs = &fabric_.origin_attrs();
+    win_from = asn_;
+    win_origin = true;
+  }
+  const std::vector<AsGraph::Neighbor>& neighbors =
+      fabric_.graph().neighbors(asn_);
+  for (std::uint32_t pos = 0; pos < neighbors.size(); ++pos) {
+    const AdjRoute* route = adj_in_[pos].routes.find(prefix);
+    if (route == nullptr) continue;
     // Local origin beats all; then highest local-pref (role defaults
     // reproduce the legacy relationship-preference order), path length,
     // lowest neighbor ASN.
-    if (a.local_origin != b.local_origin) return a.local_origin;
-    if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
-    if (a.as_path.size() != b.as_path.size()) {
-      return a.as_path.size() < b.as_path.size();
+    const std::uint32_t pref =
+        route->attrs.local_pref() != 0
+            ? route->attrs.local_pref()
+            : policy::role_local_pref(neighbors[pos].kind);
+    bool take;
+    if (win_attrs == nullptr) {
+      take = true;
+    } else if (win_origin) {
+      take = false;
+    } else if (pref != win_pref) {
+      take = pref > win_pref;
+    } else if (route->attrs.as_path().size() != win_attrs->as_path().size()) {
+      take = route->attrs.as_path().size() < win_attrs->as_path().size();
+    } else {
+      take = neighbors[pos].asn < win_from;
     }
-    return a.learned_from < b.learned_from;
-  };
-
-  if (origins_.contains(prefix)) {
-    winner = BestRoute{{},
-                       asn_,
-                       NeighborKind::kCustomer,
-                       /*local_origin=*/true,
-                       policy::kCustomerLocalPref,
-                       {}};
-  }
-  for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
-    auto adj = adj_in_.find(neighbor.asn);
-    if (adj == adj_in_.end()) continue;
-    const AdjRoute* route = adj->second.routes.find(prefix);
-    if (route == nullptr) continue;
-    BestRoute candidate{route->as_path,
-                        neighbor.asn,
-                        neighbor.kind,
-                        /*local_origin=*/false,
-                        route->local_pref != 0
-                            ? route->local_pref
-                            : policy::role_local_pref(neighbor.kind),
-                        route->communities};
-    if (!winner || better(candidate, *winner)) winner = std::move(candidate);
+    if (take) {
+      win_attrs = &route->attrs;
+      win_from = neighbors[pos].asn;
+      win_kind = neighbors[pos].kind;
+      win_pref = pref;
+    }
   }
 
   const BestRoute* installed = loc_rib_.find(prefix);
   const bool had = installed != nullptr;
-  if (!winner) {
+  if (win_attrs == nullptr) {
     if (!had) return;
     loc_rib_.erase(prefix);
     ++stats_.best_changes;
-    for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
-      enqueue(neighbor.asn, prefix, std::nullopt);
+    for (std::uint32_t pos = 0; pos < neighbors.size(); ++pos) {
+      enqueue(pos, neighbors[pos].asn, prefix, std::nullopt);
     }
     return;
   }
-  if (had && same_route(*installed, *winner)) return;
+  // Interning makes route equality a pointer compare: while the installed
+  // route holds its ref, re-interning equal content always resolves to the
+  // same node, so attrs-pointer + provenance equality is exactly the old
+  // field-by-field compare (effective local-pref is a pure function of the
+  // raw interned pref and the — equal — session role).
+  if (had && installed->local_origin == win_origin &&
+      installed->learned_from == win_from && installed->attrs == *win_attrs) {
+    return;
+  }
 
-  loc_rib_[prefix] = *winner;
+  BestRoute& slot = loc_rib_[prefix];
+  slot.attrs = *win_attrs;
+  slot.learned_from = win_from;
+  slot.neighbor_kind = win_kind;
+  slot.local_origin = win_origin;
+  slot.local_pref = win_pref;
   ++stats_.best_changes;
-  announce_best(prefix, *winner);
+  announce_best(prefix, slot);
 }
 
 void BgpSpeaker::announce_best(const net::Ipv4Prefix& prefix,
                                const BestRoute& winner,
                                std::optional<AsNumber> only) {
-  std::vector<AsNumber> path;
-  path.reserve(winner.as_path.size() + 1);
+  // The shared first hop — self prepended to the winner's path — is
+  // assembled once in scratch; interning turns it into at most one
+  // allocation per distinct path in the network.
+  std::vector<AsNumber>& path = path_scratch();
+  path.clear();
+  path.reserve(winner.as_path().size() + 1);
   path.push_back(asn_);
-  path.insert(path.end(), winner.as_path.begin(), winner.as_path.end());
+  path.insert(path.end(), winner.as_path().begin(), winner.as_path().end());
 
-  for (const AsGraph::Neighbor& neighbor : fabric_.graph().neighbors(asn_)) {
-    if (only.has_value() && neighbor.asn != *only) continue;
-    // Split horizon: never echo a route to the session it came from.  A
-    // neighbor the new best is not exportable to gets a withdraw instead
-    // (it may hold a previously exportable path).
-    if (!winner.local_origin && neighbor.asn == winner.learned_from) {
-      enqueue(neighbor.asn, prefix, std::nullopt);
+  if (!fabric_.config().share_exports) {
+    announce_best_per_neighbor(prefix, winner, path, only);
+    return;
+  }
+
+  const std::vector<AsGraph::Neighbor>& neighbors =
+      fabric_.graph().neighbors(asn_);
+  for (const ExportGroup& group : export_groups_) {
+    // One role-gate + export-map evaluation per group: every member shares
+    // (kind, map, valley-free), so the decision is identical for all of
+    // them.  The advert is computed lazily — a group whose members are all
+    // split-horizon (or filtered by `only`) never runs the leg.
+    const bool role_ok =
+        !group.valley_free || exportable(winner, group.kind);
+    bool computed = false;
+    bool denied = false;
+    AttrRef attrs;
+    for (const std::uint32_t pos : group.members) {
+      const AsNumber neighbor = neighbors[pos].asn;
+      if (only.has_value() && neighbor != *only) continue;
+      // Split horizon: never echo a route to the session it came from.  A
+      // neighbor the new best is not exportable to gets a withdraw instead
+      // (it may hold a previously exportable path).
+      if (!winner.local_origin && neighbor == winner.learned_from) {
+        enqueue(pos, neighbor, prefix, std::nullopt);
+        continue;
+      }
+      if (!role_ok) {
+        enqueue(pos, neighbor, prefix, std::nullopt);
+        continue;
+      }
+      if (!computed) {
+        computed = true;
+        if (group.export_map != nullptr) {
+          const auto actions = group.export_map->evaluate(
+              policy::RouteContext{prefix, path, winner.communities()});
+          if (!actions.has_value()) {
+            denied = true;
+          } else if (actions->prepend > 0 ||
+                     !actions->add_communities.empty()) {
+            std::vector<AsNumber>& out_path = modified_path_scratch();
+            out_path.assign(actions->prepend, asn_);
+            out_path.insert(out_path.end(), path.begin(), path.end());
+            std::vector<policy::Community>& comm = community_scratch();
+            comm.assign(winner.communities().begin(),
+                        winner.communities().end());
+            for (const policy::Community c : actions->add_communities) {
+              policy::add_community(comm, c);
+            }
+            attrs = fabric_.attrs().intern(out_path, comm, 0);
+          } else {
+            attrs = fabric_.attrs().intern(path, winner.communities(), 0);
+          }
+        } else {
+          attrs = fabric_.attrs().intern(path, winner.communities(), 0);
+        }
+      }
+      if (denied) {
+        ++stats_.exports_filtered;
+        enqueue(pos, neighbor, prefix, std::nullopt);
+        continue;
+      }
+      enqueue(pos, neighbor, prefix, RouteAdvert{prefix, attrs});
+    }
+  }
+}
+
+void BgpSpeaker::announce_best_per_neighbor(const net::Ipv4Prefix& prefix,
+                                            const BestRoute& winner,
+                                            const std::vector<AsNumber>& path,
+                                            std::optional<AsNumber> only) {
+  const std::vector<AsGraph::Neighbor>& neighbors =
+      fabric_.graph().neighbors(asn_);
+  for (std::uint32_t pos = 0; pos < neighbors.size(); ++pos) {
+    const AsNumber neighbor = neighbors[pos].asn;
+    if (only.has_value() && neighbor != *only) continue;
+    if (!winner.local_origin && neighbor == winner.learned_from) {
+      enqueue(pos, neighbor, prefix, std::nullopt);
       continue;
     }
     const policy::SessionPolicy* session =
-        fabric_.session_policy(asn_, neighbor.asn);
+        fabric_.session_policy(asn_, neighbor);
     const bool role_ok = (session != nullptr && !session->valley_free) ||
-                         exportable(winner, neighbor.kind);
+                         exportable(winner, neighbors[pos].kind);
     if (!role_ok) {
-      enqueue(neighbor.asn, prefix, std::nullopt);
+      enqueue(pos, neighbor, prefix, std::nullopt);
       continue;
     }
     if (session != nullptr && session->export_map != nullptr) {
       const auto actions = session->export_map->evaluate(
-          policy::RouteContext{prefix, path, winner.communities});
+          policy::RouteContext{prefix, path, winner.communities()});
       if (!actions.has_value()) {
         ++stats_.exports_filtered;
-        enqueue(neighbor.asn, prefix, std::nullopt);
+        enqueue(pos, neighbor, prefix, std::nullopt);
         continue;
       }
-      RouteAdvert advert{prefix, path, winner.communities};
-      if (actions->prepend > 0) {
-        advert.as_path.insert(advert.as_path.begin(), actions->prepend, asn_);
+      if (actions->prepend > 0 || !actions->add_communities.empty()) {
+        std::vector<AsNumber>& out_path = modified_path_scratch();
+        out_path.assign(actions->prepend, asn_);
+        out_path.insert(out_path.end(), path.begin(), path.end());
+        std::vector<policy::Community>& comm = community_scratch();
+        comm.assign(winner.communities().begin(), winner.communities().end());
+        for (const policy::Community c : actions->add_communities) {
+          policy::add_community(comm, c);
+        }
+        enqueue(pos, neighbor, prefix,
+                RouteAdvert{prefix, fabric_.attrs().intern(out_path, comm, 0)});
+      } else {
+        enqueue(pos, neighbor, prefix,
+                RouteAdvert{prefix, fabric_.attrs().intern(
+                                        path, winner.communities(), 0)});
       }
-      for (const policy::Community c : actions->add_communities) {
-        policy::add_community(advert.communities, c);
-      }
-      enqueue(neighbor.asn, prefix, std::move(advert));
       continue;
     }
-    enqueue(neighbor.asn, prefix, RouteAdvert{prefix, path, winner.communities});
+    enqueue(pos, neighbor, prefix,
+            RouteAdvert{prefix,
+                        fabric_.attrs().intern(path, winner.communities(), 0)});
   }
 }
 
@@ -238,9 +416,10 @@ bool BgpSpeaker::exportable(const BestRoute& route, NeighborKind to) {
   return route.local_origin || route.neighbor_kind == NeighborKind::kCustomer;
 }
 
-void BgpSpeaker::enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
+void BgpSpeaker::enqueue(std::uint32_t pos, AsNumber neighbor,
+                         const net::Ipv4Prefix& prefix,
                          std::optional<RouteAdvert> advert) {
-  Outbound& out = outbound(neighbor);
+  Outbound& out = outbound(pos);
   if (!advert.has_value()) {
     const std::optional<RouteAdvert>* pending = out.pending.find(prefix);
     const bool pending_announce = pending != nullptr && pending->has_value();
@@ -259,12 +438,13 @@ void BgpSpeaker::enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
   }
   if (!out.pending.empty() && !out.mrai_armed) {
     out.mrai_armed = true;
-    fabric_.arm_mrai(asn_, neighbor, [this, neighbor] { flush(neighbor); });
+    fabric_.arm_mrai(asn_, neighbor,
+                     [this, pos, neighbor] { flush(pos, neighbor); });
   }
 }
 
-void BgpSpeaker::flush(AsNumber neighbor) {
-  Outbound& out = outbound_[neighbor];
+void BgpSpeaker::flush(std::uint32_t pos, AsNumber neighbor) {
+  Outbound& out = outbound_[pos];
   out.mrai_armed = false;
   if (out.pending.empty()) return;
   // Sorted snapshot: the wire order (ascending prefix) is part of the
@@ -307,33 +487,36 @@ ShardEngineConfig engine_config(const BgpConfig& config) {
 
 BgpFabric::BgpFabric(const AsGraph& graph, BgpConfig config)
     : graph_(graph), config_(config), engine_(graph, engine_config(config)) {
-  for (AsNumber asn : graph_.ases()) {
-    speakers_.emplace(asn, std::make_unique<BgpSpeaker>(*this, asn));
+  origin_attrs_ = attrs_.intern(std::span<const AsNumber>{},
+                                std::span<const policy::Community>{},
+                                policy::kCustomerLocalPref);
+  const std::vector<AsNumber>& ases = graph_.ases();
+  as_index_.reserve(ases.size());
+  speakers_.reserve(ases.size());
+  for (std::uint32_t i = 0; i < ases.size(); ++i) {
+    as_index_.insert_or_assign(ases[i], i);
+    speakers_.push_back(std::make_unique<BgpSpeaker>(*this, ases[i]));
   }
 }
 
 BgpSpeaker& BgpFabric::speaker(AsNumber asn) {
-  auto it = speakers_.find(asn);
-  if (it == speakers_.end()) {
+  const std::uint32_t* index = as_index_.find(asn);
+  if (index == nullptr) {
     throw std::out_of_range("BgpFabric: unknown " + asn.to_string());
   }
-  return *it->second;
+  return *speakers_[*index];
 }
 
 const BgpSpeaker& BgpFabric::speaker(AsNumber asn) const {
-  auto it = speakers_.find(asn);
-  if (it == speakers_.end()) {
+  const std::uint32_t* index = as_index_.find(asn);
+  if (index == nullptr) {
     throw std::out_of_range("BgpFabric: unknown " + asn.to_string());
   }
-  return *it->second;
+  return *speakers_[*index];
 }
 
 NeighborKind BgpFabric::kind_of(AsNumber self, AsNumber neighbor) const {
-  for (const AsGraph::Neighbor& n : graph_.neighbors(self)) {
-    if (n.asn == neighbor) return n.kind;
-  }
-  throw std::out_of_range("BgpFabric: no session " + self.to_string() + " <-> " +
-                          neighbor.to_string());
+  return graph_.neighbors(self)[speaker(self).neighbor_position(neighbor)].kind;
 }
 
 sim::SimDuration BgpFabric::session_delay(AsNumber a, AsNumber b) const {
@@ -366,6 +549,9 @@ void BgpFabric::apply(const std::vector<RouteDelta>& batch) {
         owner.withdraw_origin(delta.prefix);
         break;
       case RouteDelta::Kind::kRefresh:
+        // A refresh is the one sanctioned policy-edit point, so the export
+        // update-groups are recomputed before the export leg re-runs.
+        owner.rebuild_export_groups();
         owner.refresh_exports(delta.session);
         break;
     }
@@ -376,10 +562,15 @@ void BgpFabric::send(AsNumber from, AsNumber to, UpdateMessage message) {
   // The message rides inside the event's inline capture — no shared_ptr,
   // no per-message heap allocation — and its shell (vector buffers) is
   // retired to the delivering worker's recycler after the update lands.
+  // The adverts' attr refs are dropped first (clear keeps the capacity):
+  // a pooled shell must not pin attribute sets — or a destroyed fabric's
+  // table — from a past life.
   engine_.schedule(to, session_delay(from, to),
                    ConvergenceEngine::delivery_tag(from, to),
                    [this, from, to, message = std::move(message)]() mutable {
                      speaker(to).handle_update(from, message);
+                     message.announces.clear();
+                     message.withdraws.clear();
                      message_recycler().release(std::move(message));
                    });
 }

@@ -18,6 +18,20 @@
 //   * AS-path loop detection on receipt;
 //   * MRAI-style batching of outbound updates per session.
 //
+// Two shared structures keep the hot path allocation-free (DESIGN.md
+// "Export update-groups and attribute interning"):
+//
+//   * path attributes are hash-consed: RouteAdvert, Adj-RIB-In, Loc-RIB,
+//     and pending-delta entries hold refcounted AttrRefs into a per-fabric
+//     AttrTable (routing/attr_table.hpp) instead of owning vectors, so
+//     receiving, deciding, and re-advertising a route copies a pointer,
+//     not a path;
+//   * each speaker partitions its sessions into export update-groups —
+//     equivalence classes under (NeighborKind, export-map identity,
+//     valley-free flag) — and runs the export leg once per group, fanning
+//     the shared interned advert out by reference.  Groups are rebuilt
+//     only on policy edits (the RouteDelta kRefresh path).
+//
 // Sessions exchange messages through the sharded convergence engine
 // (routing/shard_engine.hpp) with a per-session propagation delay, so
 // "convergence time" is a simulated-time measurement, and
@@ -33,12 +47,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/flat_map.hpp"
 #include "net/ipv4.hpp"
 #include "routing/as_graph.hpp"
+#include "routing/attr_table.hpp"
 #include "routing/policy.hpp"
 #include "routing/shard_engine.hpp"
 
@@ -46,14 +60,23 @@ namespace lispcp::routing {
 
 class BgpFabric;
 
-/// One reachability announcement inside an update message.  `as_path`
-/// follows wire convention: front() is the most recently prepended AS (the
-/// sender), back() is the origin.  `communities` is sorted-unique and
-/// accumulates along the propagation path (empty with policy off).
+/// One reachability announcement inside an update message.  The path
+/// attributes are a shared interned ref: `as_path()` follows wire
+/// convention — front() is the most recently prepended AS (the sender),
+/// back() the origin — and `communities()` is sorted-unique, accumulating
+/// along the propagation path (empty with policy off).  Build one by hand
+/// via BgpFabric::make_advert (tests, micros).
 struct RouteAdvert {
   net::Ipv4Prefix prefix;
-  std::vector<AsNumber> as_path;
-  std::vector<policy::Community> communities;
+  AttrRef attrs;
+
+  [[nodiscard]] const std::vector<AsNumber>& as_path() const noexcept {
+    return attrs.as_path();
+  }
+  [[nodiscard]] const std::vector<policy::Community>& communities()
+      const noexcept {
+    return attrs.communities();
+  }
 };
 
 /// What one speaker sends a neighbor per MRAI flush.
@@ -120,6 +143,11 @@ struct BgpConfig {
   /// pre-sizes each speaker's flat RIB tables so origination storms fill
   /// them without intermediate rehashes; never affects results.
   std::size_t expected_prefixes = 0;
+  /// Debug escape hatch: false runs the export leg once per neighbor (the
+  /// pre-update-group path) instead of once per group.  Results are
+  /// byte-identical either way — tests/test_update_groups.cpp diffs the
+  /// two — so leave it on outside parity tests.
+  bool share_exports = true;
 };
 
 struct BgpSpeakerStats {
@@ -148,7 +176,10 @@ class BgpSpeaker {
 
   /// The best route currently installed for `prefix`, if any.
   struct BestRoute {
-    std::vector<AsNumber> as_path;  ///< empty for locally originated
+    /// Shared attributes: (as_path, communities, raw import local-pref).
+    /// Pointer equality is value equality (attr_table.hpp), which is how
+    /// the decision process compares routes without touching vectors.
+    AttrRef attrs;
     AsNumber learned_from;          ///< == asn() for locally originated
     NeighborKind neighbor_kind = NeighborKind::kCustomer;
     bool local_origin = false;
@@ -156,7 +187,14 @@ class BgpSpeaker {
     /// default (policy::role_local_pref) — whose ordering reproduces the
     /// legacy customer > peer > provider comparison exactly.
     std::uint32_t local_pref = policy::kCustomerLocalPref;
-    std::vector<policy::Community> communities;
+
+    [[nodiscard]] const std::vector<AsNumber>& as_path() const noexcept {
+      return attrs.as_path();
+    }
+    [[nodiscard]] const std::vector<policy::Community>& communities()
+        const noexcept {
+      return attrs.communities();
+    }
   };
   [[nodiscard]] const BestRoute* best(const net::Ipv4Prefix& prefix) const;
 
@@ -168,6 +206,17 @@ class BgpSpeaker {
   [[nodiscard]] std::vector<net::Ipv4Prefix> rib_prefixes() const;
 
   [[nodiscard]] const BgpSpeakerStats& stats() const noexcept { return stats_; }
+
+  /// Position of `neighbor` in this speaker's graph-order session list —
+  /// the index every per-neighbor table is keyed by.  Throws
+  /// std::out_of_range when no session exists.
+  [[nodiscard]] std::uint32_t neighbor_position(AsNumber neighbor) const;
+
+  /// Export update-groups currently in effect (diagnostics/tests): the
+  /// number of distinct export legs one best-route change runs.
+  [[nodiscard]] std::size_t export_group_count() const noexcept {
+    return export_groups_.size();
+  }
 
  private:
   /// The fabric drives all state mutation (BgpFabric::apply) so every
@@ -191,24 +240,38 @@ class BgpSpeaker {
   /// RouteDelta::Kind::kRefresh.
   void refresh_exports(std::optional<AsNumber> only = std::nullopt);
 
+  /// Recomputes the export update-groups from the current policy table.
+  /// Called at construction and on the kRefresh path — the only points a
+  /// session's export policy may change.
+  void rebuild_export_groups();
+
   /// Re-runs the decision process for one prefix; if the best route
   /// changed, installs it and enqueues the delta to every eligible session.
   void decide(const net::Ipv4Prefix& prefix);
 
   /// The export fan-out for an installed best route: split horizon, the
   /// valley-free role gate (per-session policy may relax it), then the
-  /// session's export map.  Shared by decide() (all sessions) and
-  /// refresh_exports() (optionally one).
+  /// session's export map — run once per update-group (or per neighbor
+  /// with share_exports off), producing one shared interned advert that
+  /// enqueue() fans out by reference.  Shared by decide() (all sessions)
+  /// and refresh_exports() (optionally one).
   void announce_best(const net::Ipv4Prefix& prefix, const BestRoute& winner,
                      std::optional<AsNumber> only = std::nullopt);
+
+  /// The per-neighbor legacy export path (share_exports == false).
+  void announce_best_per_neighbor(const net::Ipv4Prefix& prefix,
+                                  const BestRoute& winner,
+                                  const std::vector<AsNumber>& path,
+                                  std::optional<AsNumber> only);
 
   /// Gao-Rexford: may `route` be told to a neighbor of kind `to`?
   [[nodiscard]] static bool exportable(const BestRoute& route, NeighborKind to);
 
-  /// Queues an announce/withdraw for `neighbor` and arms its MRAI timer.
-  void enqueue(AsNumber neighbor, const net::Ipv4Prefix& prefix,
-               std::optional<RouteAdvert> advert);
-  void flush(AsNumber neighbor);
+  /// Queues an announce/withdraw for the neighbor at session position
+  /// `pos` and arms its MRAI timer.
+  void enqueue(std::uint32_t pos, AsNumber neighbor,
+               const net::Ipv4Prefix& prefix, std::optional<RouteAdvert> advert);
+  void flush(std::uint32_t pos, AsNumber neighbor);
 
   BgpFabric& fabric_;
   AsNumber asn_;
@@ -218,53 +281,72 @@ class BgpSpeaker {
   // the two order-sensitive edges — MRAI flush emission and rib_prefixes()
   // — take an explicit sorted snapshot, so the emitted bytes match the
   // former std::map tables exactly while the hot path stops chasing
-  // red-black-tree nodes.
+  // red-black-tree nodes.  Per-neighbor tables (Adj-RIB-In, outbound) are
+  // dense vectors indexed by session position — the session set is fixed
+  // at construction.
 
-  /// One Adj-RIB-In entry: the neighbor's path plus the attributes the
-  /// import chain resolved (local_pref 0 = no import override, use the
-  /// role default — the policy-off case never stores anything else).
+  /// One Adj-RIB-In entry: the shared attributes the import chain resolved
+  /// (local_pref 0 inside the ref = no import override, use the role
+  /// default — the policy-off case never stores anything else).
   struct AdjRoute {
-    std::vector<AsNumber> as_path;
-    std::vector<policy::Community> communities;
-    std::uint32_t local_pref = 0;
+    AttrRef attrs;
   };
 
-  /// Adj-RIB-In: per neighbor, the routes it advertised.
+  /// Adj-RIB-In: per session position, the routes that neighbor advertised.
+  /// `sized` defers the expected_prefixes reservation to first touch, so
+  /// sessions that never carry a route cost nothing.
   struct AdjIn {
     core::FlatMap<net::Ipv4Prefix, AdjRoute> routes;
+    bool sized = false;
   };
-  std::unordered_map<AsNumber, AdjIn> adj_in_;
+  std::vector<AdjIn> adj_in_;
 
-  /// adj_in_[from], pre-sizing the table on first touch when the session
+  /// adj_in_[pos], pre-sizing the table on first touch when the session
   /// can carry a full table (peer/provider sessions under a known
   /// expected_prefixes).
-  AdjIn& adj_in(AsNumber from);
+  AdjIn& adj_in(std::uint32_t pos);
 
   core::FlatMap<net::Ipv4Prefix, BestRoute> loc_rib_;
   core::FlatSet<net::Ipv4Prefix> origins_;
 
-  /// Pending outbound deltas per neighbor: nullopt value = withdraw.
-  /// `advertised` is the Adj-RIB-Out ledger, kept so a route that was never
-  /// told to a neighbor is never withdrawn from it.  `mrai_armed` tracks
-  /// the pending flush timer (cleared when it fires; a flush that finds
-  /// nothing pending is a no-op, exactly like the un-cancelled timer of
-  /// the old event-handle scheme).
+  /// Pending outbound deltas per session position: nullopt value =
+  /// withdraw.  `advertised` is the Adj-RIB-Out ledger, kept so a route
+  /// that was never told to a neighbor is never withdrawn from it.
+  /// `mrai_armed` tracks the pending flush timer (cleared when it fires; a
+  /// flush that finds nothing pending is a no-op, exactly like the
+  /// un-cancelled timer of the old event-handle scheme).
   struct Outbound {
     core::FlatMap<net::Ipv4Prefix, std::optional<RouteAdvert>> pending;
     core::FlatSet<net::Ipv4Prefix> advertised;
     bool mrai_armed = false;
+    bool sized = false;
   };
-  std::unordered_map<AsNumber, Outbound> outbound_;
+  std::vector<Outbound> outbound_;
 
-  /// outbound_[neighbor], pre-sizing the Adj-RIB-Out ledger on first touch
-  /// for customer sessions (which receive the full table).
-  Outbound& outbound(AsNumber neighbor);
+  /// outbound_[pos], pre-sizing the Adj-RIB-Out ledger on first touch for
+  /// customer sessions (which receive the full table).
+  Outbound& outbound(std::uint32_t pos);
+
+  /// ASN -> session position for this speaker's neighbors.
+  core::FlatMap<AsNumber, std::uint32_t> neighbor_pos_;
+
+  /// One export equivalence class: sessions sharing (kind, export map,
+  /// valley-free flag) see the same export decision for every route, so
+  /// the leg runs once and the members share the interned advert.
+  struct ExportGroup {
+    NeighborKind kind = NeighborKind::kCustomer;
+    const policy::RouteMap* export_map = nullptr;
+    bool valley_free = true;
+    std::vector<std::uint32_t> members;  ///< session positions, graph order
+  };
+  std::vector<ExportGroup> export_groups_;
 
   BgpSpeakerStats stats_;
 };
 
 /// Owns one speaker per AS, the sharded convergence engine they run on,
-/// and the message plumbing between them.
+/// the attribute-interning table they share, and the message plumbing
+/// between them.
 ///
 /// **Mutation surface.**  After construction the fabric is the sole entry
 /// point for routing-state changes: clients describe what changed as a
@@ -294,6 +376,24 @@ class BgpFabric {
     return engine_;
   }
 
+  /// The attribute-interning table every advert/RIB entry refs into.
+  [[nodiscard]] AttrTable& attrs() noexcept { return attrs_; }
+  [[nodiscard]] const AttrTable& attrs() const noexcept { return attrs_; }
+
+  /// The shared attrs of a locally originated route (empty path, empty
+  /// communities, customer-grade local-pref).
+  [[nodiscard]] const AttrRef& origin_attrs() const noexcept {
+    return origin_attrs_;
+  }
+
+  /// Interns (as_path, communities) and wraps them as an advert — the way
+  /// tests and micros hand-craft update messages.
+  [[nodiscard]] RouteAdvert make_advert(
+      const net::Ipv4Prefix& prefix, const std::vector<AsNumber>& as_path,
+      const std::vector<policy::Community>& communities = {}) {
+    return RouteAdvert{prefix, attrs_.intern(as_path, communities, 0)};
+  }
+
   /// Current virtual time (the latest convergence instant).
   [[nodiscard]] sim::SimTime now() const noexcept { return engine_.now(); }
 
@@ -311,12 +411,13 @@ class BgpFabric {
   /// Applies a batch of routing mutations in order — the only way to
   /// change routing state after construction.  Each delta stages its
   /// origin-set edit and immediately re-runs the decision process for its
-  /// own prefix (a refresh re-runs the export leg per installed prefix);
-  /// nothing outside the batch's dirty set is touched until
-  /// run_to_convergence() drains the cascade the batch seeded.  Batches
-  /// applied outside a run are cause-keyed at the current convergence
-  /// instant; splitting one batch into several apply() calls (no run in
-  /// between) is observationally identical to applying it whole.
+  /// own prefix (a refresh rebuilds the owner's export update-groups, then
+  /// re-runs the export leg per installed prefix); nothing outside the
+  /// batch's dirty set is touched until run_to_convergence() drains the
+  /// cascade the batch seeded.  Batches applied outside a run are
+  /// cause-keyed at the current convergence instant; splitting one batch
+  /// into several apply() calls (no run in between) is observationally
+  /// identical to applying it whole.
   void apply(const std::vector<RouteDelta>& batch);
 
   /// Advances the idle fabric's clock without firing anything: the gap
@@ -354,8 +455,16 @@ class BgpFabric {
 
   const AsGraph& graph_;
   BgpConfig config_;
+  // attrs_ precedes everything that can hold an AttrRef (origin_attrs_,
+  // the engine's queued messages, the speakers' RIBs): members destroy in
+  // reverse order, so the table outlives every ref into it.
+  AttrTable attrs_;
+  AttrRef origin_attrs_;
   ConvergenceEngine engine_;
-  std::unordered_map<AsNumber, std::unique_ptr<BgpSpeaker>> speakers_;
+  /// AS -> dense index into speakers_ (the AS set is fixed at
+  /// construction; one hash probe, then flat storage).
+  core::FlatMap<AsNumber, std::uint32_t> as_index_;
+  std::vector<std::unique_ptr<BgpSpeaker>> speakers_;
 };
 
 }  // namespace lispcp::routing

@@ -400,11 +400,11 @@ void validate_incident_targets(const DfzStudyConfig& config,
       if (best == nullptr) continue;
       if (capture == Capture::kOriginatedByActor) {
         const AsNumber origin =
-            best->as_path.empty() ? asn : best->as_path.back();
+            best->as_path().empty() ? asn : best->as_path().back();
         prefers = origin == capture_asn;
       } else {
-        prefers = std::find(best->as_path.begin(), best->as_path.end(),
-                            capture_asn) != best->as_path.end();
+        prefers = std::find(best->as_path().begin(), best->as_path().end(),
+                            capture_asn) != best->as_path().end();
       }
       if (prefers) break;
     }

@@ -273,7 +273,7 @@ ValleyCheck check_valley_free(const BgpFabric& fabric,
       const BgpSpeaker::BestRoute* route = speaker.best(prefixes[i]);
       if (route == nullptr) continue;
       ++out.paths_checked;
-      if (!valley_free_path(graph, asn, route->as_path)) ++out.violations;
+      if (!valley_free_path(graph, asn, route->as_path())) ++out.violations;
     }
   }
   return out;

@@ -55,6 +55,7 @@ ConvergenceEngine::ConvergenceEngine(const AsGraph& graph,
   // evenly, stubs hashed by ASN.
   std::size_t tier1 = 0;
   std::size_t transit = 0;
+  home_.reserve(graph.ases().size());
   for (AsNumber asn : graph.ases()) {
     if (asn.value() >= (std::uint32_t{1} << 31)) {
       throw std::invalid_argument(
@@ -66,7 +67,7 @@ ConvergenceEngine::ConvergenceEngine(const AsGraph& graph,
       case AsTier::kTransit: home = transit++ % shards; break;
       case AsTier::kStub: home = sim::Rng::splitmix64(asn.value()) % shards; break;
     }
-    home_.emplace(asn.value(), home);
+    home_.insert_or_assign(asn.value(), static_cast<std::uint32_t>(home));
   }
 
   std::size_t workers =
@@ -89,11 +90,11 @@ ConvergenceEngine::~ConvergenceEngine() {
 }
 
 std::size_t ConvergenceEngine::shard_of(AsNumber asn) const {
-  const auto it = home_.find(asn.value());
-  if (it == home_.end()) {
+  const std::uint32_t* home = home_.find(asn.value());
+  if (home == nullptr) {
     throw std::out_of_range("ConvergenceEngine: unknown " + asn.to_string());
   }
-  return it->second;
+  return *home;
 }
 
 bool ConvergenceEngine::idle() const noexcept {

@@ -42,9 +42,9 @@
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.hpp"
 #include "routing/as_graph.hpp"
 #include "sim/shard_queue.hpp"
 
@@ -160,7 +160,8 @@ class ConvergenceEngine {
   std::uint64_t processed_ = 0;
   std::uint64_t last_run_processed_ = 0;
   std::vector<std::unique_ptr<sim::ShardQueue>> queues_;
-  std::unordered_map<std::uint32_t, std::size_t> home_;
+  /// ASN -> home shard (open-addressing: shard_of sits on every schedule()).
+  core::FlatMap<std::uint32_t, std::uint32_t> home_;
   /// Per-source-shard mailboxes: written only by the worker driving the
   /// source shard during a window, drained by the barrier.
   std::vector<std::vector<Mail>> outbox_;

@@ -35,7 +35,7 @@ TEST(Bgp, OriginationInstallsLocally) {
   const auto* best = line.fabric->speaker(AsNumber{2}).best(kPrefix);
   ASSERT_NE(best, nullptr);
   EXPECT_TRUE(best->local_origin);
-  EXPECT_TRUE(best->as_path.empty());
+  EXPECT_TRUE(best->as_path().empty());
 }
 
 TEST(Bgp, ProviderLearnsCustomerRoute) {
@@ -47,8 +47,8 @@ TEST(Bgp, ProviderLearnsCustomerRoute) {
   EXPECT_FALSE(best->local_origin);
   EXPECT_EQ(best->learned_from, AsNumber{2});
   EXPECT_EQ(best->neighbor_kind, NeighborKind::kCustomer);
-  ASSERT_EQ(best->as_path.size(), 1u);
-  EXPECT_EQ(best->as_path[0], AsNumber{2});
+  ASSERT_EQ(best->as_path().size(), 1u);
+  EXPECT_EQ(best->as_path()[0], AsNumber{2});
 }
 
 TEST(Bgp, WithdrawRemovesEverywhere) {
@@ -100,7 +100,7 @@ TEST(Bgp, CustomerRoutePreferredOverProvider) {
   ASSERT_NE(best, nullptr);
   EXPECT_EQ(best->neighbor_kind, NeighborKind::kCustomer);
   EXPECT_EQ(best->learned_from, AsNumber{4});
-  EXPECT_EQ(best->as_path.size(), 2u) << "customer path [4, 2] wins over "
+  EXPECT_EQ(best->as_path().size(), 2u) << "customer path [4, 2] wins over "
                                          "provider path [1, 2] despite equal "
                                          "length by relationship preference";
 }
@@ -121,7 +121,7 @@ TEST(Bgp, ShorterPathWinsWithinSameRelationship) {
   const auto* best = fabric.speaker(AsNumber{1}).best(kPrefix);
   ASSERT_NE(best, nullptr);
   EXPECT_EQ(best->learned_from, AsNumber{2});
-  EXPECT_EQ(best->as_path.size(), 1u);
+  EXPECT_EQ(best->as_path().size(), 1u);
 }
 
 TEST(Bgp, LowestNeighborAsnBreaksTies) {
@@ -141,7 +141,7 @@ TEST(Bgp, LowestNeighborAsnBreaksTies) {
 
   const auto* best = fabric.speaker(AsNumber{9}).best(kPrefix);
   ASSERT_NE(best, nullptr);
-  EXPECT_EQ(best->as_path.size(), 2u);
+  EXPECT_EQ(best->as_path().size(), 2u);
   EXPECT_EQ(best->learned_from, AsNumber{2}) << "deterministic lowest-ASN tie-break";
 }
 
@@ -189,14 +189,14 @@ TEST(Bgp, LoopedAdvertIsRejectedAndReplacesOldRoute) {
   BgpSpeaker& provider = line.fabric->speaker(AsNumber{1});
   // A valid route first.
   UpdateMessage good;
-  good.announces.push_back(RouteAdvert{kPrefix, {AsNumber{2}}});
+  good.announces.push_back(line.fabric->make_advert(kPrefix, {AsNumber{2}}));
   provider.handle_update(AsNumber{2}, good);
   ASSERT_NE(provider.best(kPrefix), nullptr);
 
   // Then the same neighbor advertises a path containing AS 1 itself.
   UpdateMessage looped;
-  looped.announces.push_back(
-      RouteAdvert{kPrefix, {AsNumber{2}, AsNumber{1}, AsNumber{7}}});
+  looped.announces.push_back(line.fabric->make_advert(
+      kPrefix, {AsNumber{2}, AsNumber{1}, AsNumber{7}}));
   provider.handle_update(AsNumber{2}, looped);
   EXPECT_EQ(provider.stats().loops_rejected, 1u);
   EXPECT_EQ(provider.best(kPrefix), nullptr)
@@ -208,15 +208,15 @@ TEST(Bgp, ImplicitReplaceOnNewAdvert) {
   Line line;
   BgpSpeaker& provider = line.fabric->speaker(AsNumber{1});
   UpdateMessage first;
-  first.announces.push_back(
-      RouteAdvert{kPrefix, {AsNumber{2}, AsNumber{8}, AsNumber{9}}});
+  first.announces.push_back(line.fabric->make_advert(
+      kPrefix, {AsNumber{2}, AsNumber{8}, AsNumber{9}}));
   provider.handle_update(AsNumber{2}, first);
-  ASSERT_EQ(provider.best(kPrefix)->as_path.size(), 3u);
+  ASSERT_EQ(provider.best(kPrefix)->as_path().size(), 3u);
 
   UpdateMessage second;
-  second.announces.push_back(RouteAdvert{kPrefix, {AsNumber{2}}});
+  second.announces.push_back(line.fabric->make_advert(kPrefix, {AsNumber{2}}));
   provider.handle_update(AsNumber{2}, second);
-  EXPECT_EQ(provider.best(kPrefix)->as_path.size(), 1u);
+  EXPECT_EQ(provider.best(kPrefix)->as_path().size(), 1u);
 }
 
 TEST(Bgp, MraiBatchesMultiplePrefixesIntoOneUpdate) {
@@ -321,7 +321,7 @@ TEST_P(BgpConvergenceProperty, PathsAreLoopAndValleyFree) {
 
       // Loop freedom: self plus the advertised path has no repeats.
       std::vector<AsNumber> full{asn};
-      full.insert(full.end(), best->as_path.begin(), best->as_path.end());
+      full.insert(full.end(), best->as_path().begin(), best->as_path().end());
       std::set<std::uint32_t> seen;
       for (AsNumber hop : full) {
         EXPECT_TRUE(seen.insert(hop.value()).second)
@@ -494,7 +494,7 @@ std::string fingerprint(const BgpFabric& fabric) {
       os << "  " << prefix.to_string() << " <- "
          << best->learned_from.to_string() << " k"
          << static_cast<int>(best->neighbor_kind) << " p";
-      for (AsNumber hop : best->as_path) os << " " << hop.value();
+      for (AsNumber hop : best->as_path()) os << " " << hop.value();
       os << "\n";
     }
   }

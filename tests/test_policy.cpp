@@ -200,9 +200,9 @@ TEST(BgpPolicy, ExportDenyAndPrepend) {
   const auto* best = fork.fabric->speaker(AsNumber{1}).best(kForkPrefix);
   ASSERT_NE(best, nullptr);
   EXPECT_EQ(best->learned_from, AsNumber{3});
-  ASSERT_EQ(best->as_path.size(), 3u);  // 3, 3, 3 (origin + two prepends)
-  EXPECT_EQ(best->as_path[0], AsNumber{3});
-  EXPECT_EQ(best->as_path[2], AsNumber{3});
+  ASSERT_EQ(best->as_path().size(), 3u);  // 3, 3, 3 (origin + two prepends)
+  EXPECT_EQ(best->as_path()[0], AsNumber{3});
+  EXPECT_EQ(best->as_path()[2], AsNumber{3});
   EXPECT_GT(fork.fabric->speaker(AsNumber{2}).stats().exports_filtered, 0u);
 }
 

@@ -1,0 +1,363 @@
+// Tests for the export update-group + interned-attribute pipeline: grouped
+// fan-out must be byte-identical to the legacy per-neighbor export leg
+// (BgpConfig::share_exports = false) for every shard count, with and
+// without policy attached; AttrTable must dedupe and evict; and a
+// post-convergence policy edit (the sanctioned kRefresh path) must rebuild
+// the groups so the leak study converges to the same tables either way.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "routing/as_graph.hpp"
+#include "routing/attr_table.hpp"
+#include "routing/bgp.hpp"
+#include "routing/dfz_study.hpp"
+
+namespace lispcp::routing {
+namespace {
+
+/// Serialises everything observable about a converged fabric — stats,
+/// Loc-RIBs with provenance and full paths, communities, and the
+/// convergence instant.  Equal fingerprints mean equal results down to the
+/// last counter, which is the grouped-vs-ungrouped contract.
+std::string fingerprint(const BgpFabric& fabric) {
+  std::ostringstream os;
+  os << "t=" << fabric.now().ns() << "\n";
+  for (AsNumber asn : fabric.graph().ases()) {
+    const BgpSpeaker& speaker = fabric.speaker(asn);
+    const BgpSpeakerStats& stats = speaker.stats();
+    os << asn.to_string() << " " << stats.updates_sent << "/"
+       << stats.updates_received << "/" << stats.routes_announced << "/"
+       << stats.routes_withdrawn << "/" << stats.loops_rejected << "/"
+       << stats.best_changes << "/" << stats.exports_filtered << "\n";
+    for (const net::Ipv4Prefix& prefix : speaker.rib_prefixes()) {
+      const auto* best = speaker.best(prefix);
+      os << "  " << prefix.to_string() << " <- "
+         << best->learned_from.to_string() << " k"
+         << static_cast<int>(best->neighbor_kind) << " lp"
+         << best->local_pref << " p";
+      for (AsNumber hop : best->as_path()) os << " " << hop.value();
+      os << " c";
+      for (policy::Community c : best->communities()) os << " " << c;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+AsGraph test_internet(std::uint64_t seed) {
+  SyntheticInternetConfig internet;
+  internet.tier1_count = 3;
+  internet.transit_count = 6;
+  internet.stub_count = 30;
+  internet.seed = seed;
+  return build_synthetic_internet(internet);
+}
+
+/// Originates one prefix per AS (the property-sweep world) and converges.
+std::string converge_and_fingerprint(
+    const AsGraph& graph, std::size_t shards, bool share_exports,
+    std::shared_ptr<const policy::PolicyTable> policy = nullptr) {
+  BgpConfig config;
+  config.shards = shards;
+  config.shard_workers = 1;
+  config.share_exports = share_exports;
+  config.policy = std::move(policy);
+  BgpFabric fabric(graph, config);
+  const auto stubs = graph.ases_of_tier(AsTier::kStub);
+  for (AsNumber asn : graph.ases()) {
+    if (graph.tier(asn) == AsTier::kStub) {
+      const auto it = std::find(stubs.begin(), stubs.end(), asn);
+      fabric.apply({RouteDelta::announce(
+          asn, stub_site_prefixes(
+                   static_cast<std::size_t>(it - stubs.begin()), 1)[0])});
+    } else {
+      fabric.apply({RouteDelta::announce(asn, provider_aggregate(asn))});
+    }
+  }
+  fabric.run_to_convergence();
+  return fingerprint(fabric);
+}
+
+TEST(UpdateGroups, GroupedMatchesPerNeighborPolicyOff) {
+  const AsGraph graph = test_internet(5);
+  const std::string reference = converge_and_fingerprint(graph, 1, false);
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    EXPECT_EQ(converge_and_fingerprint(graph, shards, true), reference)
+        << "grouped export diverged from per-neighbor at K=" << shards;
+  }
+}
+
+TEST(UpdateGroups, GroupedMatchesPerNeighborWithRoles) {
+  const AsGraph graph = test_internet(9);
+  const auto policy = policy::PolicyTable::gao_rexford(graph);
+  const std::string reference =
+      converge_and_fingerprint(graph, 1, false, policy);
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    EXPECT_EQ(converge_and_fingerprint(graph, shards, true, policy), reference)
+        << "grouped export diverged under role policy at K=" << shards;
+  }
+}
+
+TEST(UpdateGroups, GroupedMatchesPerNeighborWithRouteMaps) {
+  const AsGraph graph = test_internet(13);
+  // Roles plus real export maps: a TE prepend toward half of each stub's
+  // providers and a community tag on the rest, so sessions of the same
+  // NeighborKind land in *different* update-groups and the map-evaluation
+  // leg (prepend + community edits) is exercised through both code paths.
+  const auto policy = policy::PolicyTable::gao_rexford(graph);
+  policy::RouteMap& prepend_map = policy->add_map("te:prepend");
+  prepend_map.add(policy::RouteMap::Action::kPermit).prepend(2);
+  policy::RouteMap& tag_map = policy->add_map("te:tag");
+  tag_map.add(policy::RouteMap::Action::kPermit).add_community(0x00FF0001u);
+  for (const AsNumber stub : graph.ases_of_tier(AsTier::kStub)) {
+    bool flip = false;
+    for (const AsGraph::Neighbor& neighbor : graph.neighbors(stub)) {
+      if (neighbor.kind != NeighborKind::kProvider) continue;
+      policy->session(stub, neighbor.asn).export_map =
+          flip ? &prepend_map : &tag_map;
+      flip = !flip;
+    }
+  }
+  const std::string reference =
+      converge_and_fingerprint(graph, 1, false, policy);
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    EXPECT_EQ(converge_and_fingerprint(graph, shards, true, policy), reference)
+        << "grouped export diverged under export maps at K=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn: incremental vs full-replay, grouped vs ungrouped.
+
+bool measures_eq(const ChurnEventMeasure& a, const ChurnEventMeasure& b) {
+  return a.kind == b.kind && a.update_messages == b.update_messages &&
+         a.route_records == b.route_records && a.settle_ms == b.settle_ms &&
+         a.ases_touched == b.ases_touched &&
+         a.engine_events == b.engine_events;
+}
+
+bool results_eq(const ChurnPlanResult& a, const ChurnPlanResult& b) {
+  if (a.events.size() != b.events.size() || a.flaps != b.flaps ||
+      a.update_messages != b.update_messages ||
+      a.route_records != b.route_records ||
+      a.engine_events != b.engine_events ||
+      a.mean_updates_per_flap != b.mean_updates_per_flap ||
+      a.mean_records_per_flap != b.mean_records_per_flap ||
+      a.mean_settle_ms != b.mean_settle_ms ||
+      a.max_settle_ms != b.max_settle_ms || a.span_ms != b.span_ms) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    if (!measures_eq(a.events[i], b.events[i])) return false;
+  }
+  return true;
+}
+
+TEST(UpdateGroups, ChurnPlanInvariantUnderSharingAndReplayMode) {
+  DfzStudyConfig config;
+  config.internet.tier1_count = 3;
+  config.internet.transit_count = 5;
+  config.internet.stub_count = 20;
+  config.internet.seed = 11;
+  config.scenario = AddressingScenario::kLegacyBgp;
+  config.deaggregation_factor = 2;
+  const ChurnPlan plan =
+      make_flap_plan(5, config.internet.stub_count, 42,
+                     sim::SimDuration::seconds(90),
+                     sim::SimDuration::seconds(20));
+
+  DfzStudyConfig ungrouped = config;
+  ungrouped.bgp.share_exports = false;
+  const ChurnPlanResult reference = run_churn_plan(ungrouped, plan);
+  ASSERT_GT(reference.update_messages, 0u);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    DfzStudyConfig grouped = config;
+    grouped.bgp.shards = shards;
+    const ChurnPlanResult incremental = run_churn_plan(grouped, plan);
+    EXPECT_TRUE(results_eq(incremental, reference))
+        << "grouped incremental churn diverged at K=" << shards;
+    ChurnPlan replay = plan;
+    replay.full_replay = true;
+    EXPECT_TRUE(results_eq(run_churn_plan(grouped, replay), reference))
+        << "grouped full-replay churn diverged at K=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AttrTable: hash-consing, refcounts, eviction.
+
+TEST(AttrTable, InternDedupesAndEvictsOnLastRelease) {
+  AttrTable table;
+  const std::vector<AsNumber> path{AsNumber{1}, AsNumber{2}};
+  const std::vector<policy::Community> none;
+
+  AttrRef a = table.intern(path, none, 0);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.misses(), 1u);
+  EXPECT_EQ(a.use_count(), 1u);
+
+  AttrRef b = table.intern(path, none, 0);
+  EXPECT_TRUE(a == b) << "equal content must resolve to the same node";
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(a.use_count(), 2u);
+
+  // local_pref is part of the identity: a role import that pins a pref
+  // must not collide with the raw path.
+  AttrRef c = table.intern(path, none, 200);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(table.size(), 2u);
+
+  b.reset();
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(table.size(), 2u) << "a still holds its node live";
+  c.reset();
+  EXPECT_EQ(table.size(), 1u) << "last release must evict";
+  a.reset();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(AttrTable, FabricChurnDoesNotAccreteDeadAttributeSets) {
+  // A full announce/withdraw cycle must return the fabric's table to its
+  // resting state (just the shared origin attributes): no RIB, ledger, or
+  // recycled message shell may pin a dead path.
+  const AsGraph graph = test_internet(7);
+  BgpConfig config;
+  BgpFabric fabric(graph, config);
+  const std::size_t resting = fabric.attrs().size();
+  ASSERT_GE(resting, 1u);  // the origin attribute set
+
+  const net::Ipv4Prefix prefix = stub_site_prefixes(0, 1)[0];
+  const AsNumber owner = graph.ases_of_tier(AsTier::kStub).front();
+  fabric.apply({RouteDelta::announce(owner, prefix)});
+  fabric.run_to_convergence();
+  const std::size_t converged = fabric.attrs().size();
+  EXPECT_GT(converged, resting) << "propagation must intern distinct paths";
+
+  fabric.apply({RouteDelta::withdraw(owner, prefix)});
+  fabric.run_to_convergence();
+  EXPECT_EQ(fabric.attrs().size(), resting)
+      << "withdrawal must release every interned path";
+
+  // And a second identical cycle reproduces the same table population.
+  fabric.apply({RouteDelta::announce(owner, prefix)});
+  fabric.run_to_convergence();
+  EXPECT_EQ(fabric.attrs().size(), converged);
+}
+
+TEST(AttrTable, PolicyOffImportSharesTheAdvertAttributes) {
+  // On the policy-off hot path an accepted advert is stored by reference:
+  // Adj-RIB-In and Loc-RIB add refs, not nodes.
+  AsGraph graph;
+  graph.add_as(AsNumber{1}, AsTier::kTransit);
+  graph.add_as(AsNumber{2}, AsTier::kStub);
+  graph.add_customer_provider(AsNumber{2}, AsNumber{1});
+  BgpFabric fabric(graph);
+  const net::Ipv4Prefix prefix = net::Ipv4Prefix::from_string("100.0.0.0/20");
+
+  const std::size_t resting = fabric.attrs().size();
+  UpdateMessage msg;
+  msg.announces.push_back(fabric.make_advert(prefix, {AsNumber{2}}));
+  const AttrRef held = msg.announces[0].attrs;
+  EXPECT_EQ(held.use_count(), 2u);  // msg + held
+
+  fabric.speaker(AsNumber{1}).handle_update(AsNumber{2}, msg);
+  EXPECT_EQ(fabric.attrs().size(), resting + 1)
+      << "import must not intern a copy";
+  EXPECT_EQ(held.use_count(), 4u) << "msg + held + Adj-RIB-In + Loc-RIB";
+
+  UpdateMessage withdraw;
+  withdraw.withdraws.push_back(prefix);
+  fabric.speaker(AsNumber{1}).handle_update(AsNumber{2}, withdraw);
+  EXPECT_EQ(held.use_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Group rebuild on the sanctioned policy-edit path (kRefresh).
+
+TEST(UpdateGroups, RefreshRebuildsExportGroups) {
+  // Multihomed stub: both provider sessions share one group until an
+  // export map lands on one of them; the kRefresh delta is the sanctioned
+  // edit point that must rebuild the partition.
+  AsGraph graph;
+  graph.add_as(AsNumber{1}, AsTier::kTransit);
+  graph.add_as(AsNumber{2}, AsTier::kTransit);
+  graph.add_as(AsNumber{3}, AsTier::kStub);
+  graph.add_customer_provider(AsNumber{3}, AsNumber{1});
+  graph.add_customer_provider(AsNumber{3}, AsNumber{2});
+  graph.add_peering(AsNumber{1}, AsNumber{2});
+
+  // Converge, then attach an export map to ONE provider session and
+  // refresh it — the sanctioned mid-life policy edit.  A refresh re-runs
+  // the export leg (counters legitimately move), so the contract is
+  // grouped-vs-ungrouped parity over the whole sequence, plus the group
+  // partition actually splitting.
+  const net::Ipv4Prefix prefix = net::Ipv4Prefix::from_string("100.0.0.0/20");
+  const auto run_sequence = [&](bool share_exports) {
+    const auto policy = policy::PolicyTable::gao_rexford(graph);
+    BgpConfig config;
+    config.policy = policy;
+    config.share_exports = share_exports;
+    BgpFabric fabric(graph, config);
+    if (share_exports) {
+      EXPECT_EQ(fabric.speaker(AsNumber{3}).export_group_count(), 1u)
+          << "identical provider sessions must share one update-group";
+    }
+    fabric.apply({RouteDelta::announce(AsNumber{3}, prefix)});
+    fabric.run_to_convergence();
+
+    policy::RouteMap& prepend = policy->add_map("te:prepend");
+    prepend.add(policy::RouteMap::Action::kPermit).prepend(1);
+    policy->session(AsNumber{3}, AsNumber{1}).export_map = &prepend;
+    fabric.apply({RouteDelta::refresh(AsNumber{3}, AsNumber{1})});
+    fabric.run_to_convergence();
+    if (share_exports) {
+      EXPECT_EQ(fabric.speaker(AsNumber{3}).export_group_count(), 2u)
+          << "kRefresh must rebuild the update-group partition";
+    }
+    return fingerprint(fabric);
+  };
+  const std::string grouped = run_sequence(true);
+  EXPECT_EQ(grouped, run_sequence(false))
+      << "grouped export diverged across a mid-life policy edit";
+  EXPECT_NE(grouped.find("p 3 3"), std::string::npos)
+      << "the prepended path must actually install at AS1";
+}
+
+TEST(UpdateGroups, RouteLeakStudyInvariantUnderSharing) {
+  // The classic type-1 leak drops a session's valley-free gate and
+  // refreshes it mid-study — the group key changes after convergence.  The
+  // whole incident must measure identically grouped and ungrouped.
+  DfzStudyConfig config;
+  config.internet.tier1_count = 3;
+  config.internet.transit_count = 5;
+  config.internet.stub_count = 16;
+  config.internet.seed = 21;
+  config.scenario = AddressingScenario::kLegacyBgp;
+  config.policy.roles = true;
+  config.policy.event.kind = PolicyEvent::Kind::kRouteLeak;
+
+  DfzStudyConfig ungrouped = config;
+  ungrouped.bgp.share_exports = false;
+  const PolicyEventResult a = run_policy_event(config);
+  const PolicyEventResult b = run_policy_event(ungrouped);
+  EXPECT_EQ(a.dfz_table_before, b.dfz_table_before);
+  EXPECT_EQ(a.dfz_table_after, b.dfz_table_after);
+  EXPECT_EQ(a.update_messages, b.update_messages);
+  EXPECT_EQ(a.route_records, b.route_records);
+  EXPECT_EQ(a.settle_ms, b.settle_ms);
+  EXPECT_EQ(a.ases_touched, b.ases_touched);
+  EXPECT_EQ(a.event_announcements, b.event_announcements);
+  EXPECT_EQ(a.rib_delta, b.rib_delta);
+  EXPECT_EQ(a.ases_preferring_actor, b.ases_preferring_actor);
+  EXPECT_GT(a.update_messages, 0u) << "the leak must actually propagate";
+}
+
+}  // namespace
+}  // namespace lispcp::routing
